@@ -1,0 +1,46 @@
+// Shared output conventions for the experiment binaries: every figure and
+// table prints a banner, the parameters it ran with, a column-aligned
+// table, and (where useful) the qualitative check the paper's narrative
+// depends on.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "stats/histogram.hpp"
+#include "stats/table.hpp"
+
+namespace mdp::bench {
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s: %s\n", id.c_str(), title.c_str());
+  std::printf("============================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("-- %s\n", text.c_str());
+}
+
+inline void print_table(const stats::Table& t) {
+  std::printf("%s", t.to_text().c_str());
+}
+
+inline std::string us(std::uint64_t ns) { return stats::format_ns(ns); }
+
+/// Human label for a policy name used in tables.
+inline std::string policy_label(const std::string& p) {
+  if (p == "single") return "SinglePath";
+  if (p == "rss") return "RSS-Hash";
+  if (p == "rr") return "RoundRobin";
+  if (p == "jsq") return "JSQ";
+  if (p == "lla") return "LeastLatency";
+  if (p == "flowlet") return "Flowlet";
+  if (p == "red2") return "Redundant-2";
+  if (p == "red3") return "Redundant-3";
+  if (p == "red4") return "Redundant-4";
+  if (p == "adaptive") return "AdaptiveMDP";
+  return p;
+}
+
+}  // namespace mdp::bench

@@ -1,0 +1,164 @@
+// Fig 12 (ablation): which AdaptiveMDP mechanism buys what.
+//
+// Three sweeps at the reference scenario (k=4, 60% load, 15% duty):
+//   (a) replicate_k for latency-critical traffic
+//   (b) hedge budget for best-effort traffic (off / fixed values / auto)
+//   (c) flowlet gap (reordering vs load agility trade)
+#include "bench_common.hpp"
+#include "harness/experiment.hpp"
+
+using namespace mdp;
+
+namespace {
+
+harness::ScenarioResult run(core::AdaptiveMdpConfig acfg,
+                            bool hedge_off_entirely = false) {
+  harness::ScenarioConfig cfg;
+  cfg.make_policy = [acfg] {
+    return std::make_unique<core::AdaptiveMdpScheduler>(acfg);
+  };
+  cfg.policy = "adaptive(custom)";
+  cfg.num_paths = 4;
+  cfg.load = 0.6;
+  cfg.packets = 150'000;
+  cfg.warmup_packets = 15'000;
+  cfg.lc_fraction = 0.1;
+  cfg.interference = true;
+  cfg.interference_cfg.duty_cycle = 0.15;
+  cfg.interference_cfg.mean_burst_ns = 120'000;
+  cfg.seed = 12;
+  (void)hedge_off_entirely;
+  return harness::run_scenario(cfg);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig 12", "AdaptiveMDP ablation (k=4, 60% load, 15% duty)");
+
+  std::printf("\n(a) replication factor for latency-critical traffic:\n");
+  stats::Table ta({"replicate_k", "LC p99", "LC p99.9", "all p99.9",
+                   "extra copies/pkt"});
+  for (std::size_t k : {1u, 2u, 3u}) {
+    core::AdaptiveMdpConfig acfg;
+    acfg.replicate_k = k;
+    auto res = run(acfg);
+    ta.add_row({stats::fmt_u64(k), bench::us(res.lc_latency.p99()),
+                bench::us(res.lc_latency.p999()),
+                bench::us(res.latency.p999()),
+                stats::fmt_double(res.replica_fraction, 2)});
+  }
+  bench::print_table(ta);
+
+  std::printf("\n(b) hedge budget for best-effort traffic:\n");
+  stats::Table tb({"hedge", "hedges fired", "BE+LC p99", "p99.9",
+                   "extra copies/pkt"});
+  struct HedgeCase {
+    const char* label;
+    bool enabled;
+    sim::TimeNs fixed;
+  };
+  for (HedgeCase hc : {HedgeCase{"off", false, 0},
+                       HedgeCase{"20us", true, 20'000},
+                       HedgeCase{"50us", true, 50'000},
+                       HedgeCase{"100us", true, 100'000},
+                       HedgeCase{"auto(3xEWMA)", true, 0}}) {
+    core::AdaptiveMdpConfig acfg;
+    acfg.hedge_enabled = hc.enabled;
+    acfg.hedge_timeout_ns = hc.fixed;
+    auto res = run(acfg);
+    tb.add_row({hc.label, stats::fmt_u64(res.hedges),
+                bench::us(res.latency.p99()),
+                bench::us(res.latency.p999()),
+                stats::fmt_double(res.replica_fraction, 2)});
+  }
+  bench::print_table(tb);
+
+  std::printf("\n(c) flowlet gap:\n");
+  stats::Table tc({"gap", "OOO frac", "timeout rels", "p99", "p99.9"});
+  for (sim::TimeNs gap : {10'000u, 50'000u, 200'000u, 1'000'000u}) {
+    core::AdaptiveMdpConfig acfg;
+    acfg.flowlet_gap_ns = gap;
+    auto res = run(acfg);
+    tc.add_row({bench::us(gap), stats::fmt_percent(res.ooo_fraction, 2),
+                stats::fmt_u64(res.reorder_timeout_releases),
+                bench::us(res.latency.p99()),
+                bench::us(res.latency.p999())});
+  }
+  bench::print_table(tc);
+
+  std::printf("\n(d) replication load gate (at 85%% load, where it matters):\n");
+  stats::Table td({"backlog cap", "LC p99", "all p50", "all p99.9",
+                   "extra copies/pkt"});
+  struct GateCase {
+    const char* label;
+    sim::TimeNs cap;
+  };
+  for (GateCase gc : {GateCase{"off (always replicate)", 0},
+                      GateCase{"10us", 10'000},
+                      GateCase{"25us (default)", 25'000},
+                      GateCase{"100us", 100'000}}) {
+    core::AdaptiveMdpConfig acfg;
+    acfg.replicate_backlog_cap_ns = gc.cap;
+    harness::ScenarioConfig cfg;
+    cfg.make_policy = [acfg] {
+      return std::make_unique<core::AdaptiveMdpScheduler>(acfg);
+    };
+    cfg.policy = "adaptive(custom)";
+    cfg.num_paths = 4;
+    cfg.load = 0.85;
+    cfg.packets = 150'000;
+    cfg.warmup_packets = 15'000;
+    cfg.interference = true;
+    cfg.interference_cfg.duty_cycle = 0.15;
+    cfg.interference_cfg.mean_burst_ns = 120'000;
+    cfg.seed = 12;
+    auto res = harness::run_scenario(cfg);
+    td.add_row({gc.label, bench::us(res.lc_latency.p99()),
+                bench::us(res.latency.p50()),
+                bench::us(res.latency.p999()),
+                stats::fmt_double(res.replica_fraction, 2)});
+  }
+  bench::print_table(td);
+
+  std::printf("\n(e) multipath vs core-local prioritization for LC "
+              "traffic (same scenario):\n");
+  stats::Table te({"scheme", "LC p99", "LC p99.9", "all p99.9"});
+  struct PrioCase {
+    const char* label;
+    const char* policy;
+    std::size_t paths;
+    bool prio;
+  };
+  for (PrioCase pc : {PrioCase{"single + LC priority", "single", 4, true},
+                      PrioCase{"jsq (no priority)", "jsq", 4, false},
+                      PrioCase{"jsq + LC priority", "jsq", 4, true},
+                      PrioCase{"adaptive multipath", "adaptive", 4, false}}) {
+    harness::ScenarioConfig cfg;
+    cfg.policy = pc.policy;
+    cfg.num_paths = pc.paths;
+    cfg.load = 0.6;
+    cfg.packets = 150'000;
+    cfg.warmup_packets = 15'000;
+    cfg.lc_fraction = 0.1;
+    cfg.dp.lc_priority = pc.prio;
+    cfg.interference = true;
+    cfg.interference_cfg.duty_cycle = 0.15;
+    cfg.interference_cfg.mean_burst_ns = 120'000;
+    cfg.seed = 12;
+    auto res = harness::run_scenario(cfg);
+    te.add_row({pc.label, bench::us(res.lc_latency.p99()),
+                bench::us(res.lc_latency.p999()),
+                bench::us(res.latency.p999())});
+  }
+  bench::print_table(te);
+  bench::note("priority reorders the queue but cannot reorder the "
+              "hypervisor: during a theft burst the whole core stalls, so "
+              "only another path rescues LC packets");
+
+  bench::note("replication k=2 captures nearly all of k=3's LC tail gain "
+              "at half the overhead; aggressive hedging (20us) burns "
+              "copies for little gain over auto; long flowlet gaps pin "
+              "flows to stalled paths and re-grow the tail");
+  return 0;
+}

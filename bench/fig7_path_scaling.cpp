@@ -1,0 +1,43 @@
+// Fig 7: tail latency vs number of last-mile paths k.
+//
+// The core provisioning question: how many queue+core+chain replicas does
+// the last mile need before the tail is gone? Expected: large step from
+// k=1 to k=2, diminishing returns after k=4; replication-based policies
+// need k>=2 to function at all.
+#include "bench_common.hpp"
+#include "harness/experiment.hpp"
+
+using namespace mdp;
+
+int main() {
+  bench::banner("Fig 7", "p99.9 latency vs path count k (35% load, "
+                         "interference 15% duty on all paths)");
+
+  const std::vector<std::string> policies = {"single", "jsq", "lla", "red2",
+                                             "adaptive"};
+  stats::Table t({"k", "policy", "p50", "p99", "p99.9"});
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    for (const auto& policy : policies) {
+      if (policy == "red2" && k < 2) continue;  // needs 2 paths
+      harness::ScenarioConfig cfg;
+      cfg.policy = policy;
+      cfg.num_paths = k;
+      cfg.load = 0.35;
+      cfg.packets = 150'000;
+      cfg.warmup_packets = 15'000;
+      cfg.interference = true;
+      cfg.interference_cfg.duty_cycle = 0.15;
+      cfg.interference_cfg.mean_burst_ns = 120'000;
+      cfg.seed = 7;
+      auto res = harness::run_scenario(cfg);
+      t.add_row({stats::fmt_u64(k), bench::policy_label(policy),
+                 bench::us(res.latency.p50()), bench::us(res.latency.p99()),
+                 bench::us(res.latency.p999())});
+    }
+  }
+  bench::print_table(t);
+  bench::note("the k=1 -> k=2 step removes most of the tail; beyond k=4 "
+              "the returns diminish (interference on all k paths rarely "
+              "aligns)");
+  return 0;
+}

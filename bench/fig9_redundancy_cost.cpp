@@ -1,0 +1,46 @@
+// Fig 9: what redundancy costs.
+//
+// Replication factor r in {1..4} across offered loads. Reports the extra
+// internal work (replica fraction), the achievable egress rate, and the
+// tail. Expected crossover: r=2 wins the tail comfortably below ~50-65%
+// load, then queueing from the doubled work inverts the ranking.
+#include "bench_common.hpp"
+#include "harness/experiment.hpp"
+
+using namespace mdp;
+
+int main() {
+  bench::banner("Fig 9", "Redundancy factor vs load: overhead and tail "
+                         "(k=4, interference 10%)");
+
+  const std::vector<std::string> policies = {"single", "jsq", "red2",
+                                             "red3", "red4"};
+  stats::Table t({"load", "policy", "extra copies/pkt", "egress Mpps",
+                  "p99", "p99.9"});
+  for (double load : {0.3, 0.5, 0.7, 0.85}) {
+    for (const auto& policy : policies) {
+      harness::ScenarioConfig cfg;
+      cfg.policy = policy;
+      cfg.num_paths = 4;
+      cfg.load = load;
+      cfg.packets = 150'000;
+      cfg.warmup_packets = 15'000;
+      cfg.interference = true;
+      cfg.interference_cfg.duty_cycle = 0.10;
+      cfg.interference_cfg.mean_burst_ns = 100'000;
+      cfg.seed = 9;
+      auto res = harness::run_scenario(cfg);
+      t.add_row({stats::fmt_percent(load, 0), bench::policy_label(policy),
+                 stats::fmt_double(res.replica_fraction, 2),
+                 stats::fmt_double(res.achieved_mpps, 3),
+                 bench::us(res.latency.p99()),
+                 bench::us(res.latency.p999())});
+    }
+  }
+  bench::print_table(t);
+  bench::note("r-1 extra copies multiply the internal load by r: red4 at "
+              "85% offered load is internally oversubscribed (3.4x) and "
+              "its tail explodes; the crossover vs jsq sits between 50% "
+              "and 70%");
+  return 0;
+}

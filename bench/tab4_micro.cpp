@@ -1,0 +1,211 @@
+// Tab 4: data-structure microbenchmarks (google-benchmark, real time,
+// real hardware). These validate that the building blocks of the data
+// plane are in the nanosecond class a DPDK-grade last mile requires.
+#include <benchmark/benchmark.h>
+
+#include "core/dedup.hpp"
+#include "core/reorder.hpp"
+#include "net/checksum.hpp"
+#include "nf/chain.hpp"
+#include "net/packet_builder.hpp"
+#include "net/packet_pool.hpp"
+#include "nf/dpi.hpp"
+#include "nf/firewall.hpp"
+#include "nf/load_balancer.hpp"
+#include "nf/nat.hpp"
+#include "ring/mpmc_ring.hpp"
+#include "ring/spsc_ring.hpp"
+#include "sim/event_queue.hpp"
+#include "stats/histogram.hpp"
+
+using namespace mdp;
+
+static void BM_SpscPushPop(benchmark::State& state) {
+  ring::SpscRing<std::uint64_t> r(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    r.try_push(v);
+    std::uint64_t out;
+    r.try_pop(out);
+    benchmark::DoNotOptimize(out);
+    ++v;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscPushPop);
+
+static void BM_SpscBulk32(benchmark::State& state) {
+  ring::SpscRing<std::uint64_t> r(1024);
+  std::uint64_t buf[32] = {};
+  for (auto _ : state) {
+    r.try_push_bulk(std::span<std::uint64_t>(buf, 32));
+    std::uint64_t out[32];
+    r.try_pop_burst(std::span<std::uint64_t>(out, 32));
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_SpscBulk32);
+
+static void BM_MpmcPushPop(benchmark::State& state) {
+  ring::MpmcRing<std::uint64_t> r(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    r.try_push(v);
+    std::uint64_t out;
+    r.try_pop(out);
+    benchmark::DoNotOptimize(out);
+    ++v;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MpmcPushPop);
+
+static void BM_HistogramRecord(benchmark::State& state) {
+  stats::LatencyHistogram h;
+  std::uint64_t v = 12345;
+  for (auto _ : state) {
+    h.record(v);
+    v = v * 6364136223846793005ULL + 1;
+    v &= 0xfffffff;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+static void BM_FlowHash(benchmark::State& state) {
+  net::FlowKey f{0x0a000001, 0x0b000002, 1234, 80, 6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::hash_flow(f));
+    ++f.src_port;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowHash);
+
+static void BM_DedupExpectAccept(benchmark::State& state) {
+  core::Deduplicator d;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    auto k = core::Deduplicator::key(1, seq++);
+    d.expect(k, 2, 0);
+    benchmark::DoNotOptimize(d.accept(k));
+    benchmark::DoNotOptimize(d.accept(k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DedupExpectAccept);
+
+static void BM_ReorderInOrder(benchmark::State& state) {
+  sim::EventQueue eq;
+  net::PacketPool pool(4096, 256);
+  core::ReorderBuffer rb(eq, core::ReorderConfig{}, [](net::PacketPtr) {});
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    auto p = pool.alloc();
+    p->set_length(64);
+    p->anno().flow_id = 1;
+    p->anno().seq = seq++;
+    rb.submit(std::move(p));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReorderInOrder);
+
+static void BM_AhoCorasickScan(benchmark::State& state) {
+  nf::AhoCorasick ac;
+  ac.add_pattern("EVILPATTERN");
+  ac.add_pattern("MALWARE");
+  ac.add_pattern("c2beacon");
+  ac.add_pattern("exfil");
+  ac.build();
+  std::vector<std::byte> payload(state.range(0));
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::byte>('a' + (i % 23));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ac.match_count(payload.data(), payload.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AhoCorasickScan)->Arg(256)->Arg(1450);
+
+static void BM_FirewallDecide(benchmark::State& state) {
+  nf::FirewallTable t;
+  t.set_engine(state.range(0) ? nf::FirewallTable::Engine::kSrcTrie
+                              : nf::FirewallTable::Engine::kLinear);
+  std::string err;
+  for (const auto& text : nf::make_firewall_rules(64)) {
+    auto r = nf::FwRule::parse(text, &err);
+    t.add_rule(*r);
+  }
+  net::FlowKey f{0x0a050505, 0x0a006401, 1000, 80, 17};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.decide(f));
+    f.src_ip += 0x100;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FirewallDecide)->Arg(0)->Arg(1);  // 0=linear, 1=trie
+
+static void BM_NatTranslateHit(benchmark::State& state) {
+  nf::NatTable t;
+  net::FlowKey f{0xc0a80101, 0x08080808, 1000, 443, 6};
+  t.translate(f, 0);
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.translate(f, ++now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NatTranslateHit);
+
+static void BM_LbSelectHit(benchmark::State& state) {
+  nf::LoadBalancerCore lb;
+  for (std::uint32_t i = 0; i < 8; ++i)
+    lb.add_backend(nf::Backend{0x0ac80001 + i, 1, true});
+  net::FlowKey f{0x0b000001, 0x0a006401, 1000, 80, 6};
+  lb.select(f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lb.select(f));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LbSelectHit);
+
+static void BM_PoolAllocRecycle(benchmark::State& state) {
+  net::PacketPool pool(256, 2048);
+  for (auto _ : state) {
+    auto p = pool.alloc();
+    benchmark::DoNotOptimize(p.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolAllocRecycle);
+
+static void BM_BuildUdpFrame(benchmark::State& state) {
+  net::PacketPool pool(256, 2048);
+  net::BuildSpec spec;
+  spec.flow = {0x0a000001, 0x0a006401, 1000, 80, 17};
+  spec.payload_len = 200;
+  for (auto _ : state) {
+    auto p = net::build_udp(pool, spec);
+    benchmark::DoNotOptimize(p.get());
+    ++spec.flow.src_port;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BuildUdpFrame);
+
+static void BM_ChecksumFrame(benchmark::State& state) {
+  std::vector<std::byte> buf(state.range(0));
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<std::byte>(i * 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::checksum(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChecksumFrame)->Arg(64)->Arg(1500);
+
+BENCHMARK_MAIN();

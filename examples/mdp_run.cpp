@@ -1,0 +1,105 @@
+// mdp_run: command-line scenario runner — the harness as a standalone
+// tool, so new experiments don't need a recompile.
+//
+//   $ ./mdp_run policy=adaptive paths=4 load=0.6 chain=overlay
+//               duty=0.15 packets=200000 seed=3 csv=1   (one line)
+//
+// Keys (all optional):
+//   policy=single|rss|rr|jsq|lla|flowlet|red2|red3|red4|adaptive
+//   paths=N  load=F  chain=NAME  packets=N  warmup=N  flows=N
+//   lc=F (latency-critical fraction)   payload=F (mean bytes)
+//   duty=F (interference duty; 0 disables)  burst=NS  bursty=0|1 (MMPP)
+//   reorder=0|1  lc_priority=0|1  seed=N  csv=0|1
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "stats/table.hpp"
+
+using namespace mdp;
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> kv;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto eq_pos = arg.find('=');
+    if (eq_pos == std::string::npos) {
+      std::fprintf(stderr, "bad argument '%s' (want key=value)\n",
+                   argv[i]);
+      return 2;
+    }
+    kv[arg.substr(0, eq_pos)] = arg.substr(eq_pos + 1);
+  }
+  auto gets = [&](const char* k, const char* dflt) {
+    auto it = kv.find(k);
+    return it == kv.end() ? std::string(dflt) : it->second;
+  };
+  auto getd = [&](const char* k, double dflt) {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::atof(it->second.c_str());
+  };
+  auto getu = [&](const char* k, std::uint64_t dflt) {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt
+                          : std::strtoull(it->second.c_str(), nullptr, 10);
+  };
+
+  harness::ScenarioConfig cfg;
+  cfg.policy = gets("policy", "adaptive");
+  cfg.num_paths = static_cast<std::size_t>(getu("paths", 4));
+  cfg.load = getd("load", 0.5);
+  cfg.chain = gets("chain", "fw-nat-lb");
+  cfg.packets = getu("packets", 200'000);
+  cfg.warmup_packets = getu("warmup", cfg.packets / 10);
+  cfg.num_flows = static_cast<std::size_t>(getu("flows", 256));
+  cfg.lc_fraction = getd("lc", 0.1);
+  cfg.mean_payload = getd("payload", 200);
+  cfg.bursty_arrivals = getu("bursty", 0) != 0;
+  cfg.dp.reorder.enabled = getu("reorder", 1) != 0;
+  cfg.dp.lc_priority = getu("lc_priority", 0) != 0;
+  cfg.seed = getu("seed", 1);
+  double duty = getd("duty", 0.0);
+  if (duty > 0) {
+    cfg.interference = true;
+    cfg.interference_cfg.duty_cycle = duty;
+    cfg.interference_cfg.mean_burst_ns = getd("burst", 120'000);
+  }
+
+  harness::ScenarioResult res;
+  try {
+    res = harness::run_scenario(cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  stats::Table t({"metric", "value"});
+  t.add_row({"policy", cfg.policy});
+  t.add_row({"paths", stats::fmt_u64(cfg.num_paths)});
+  t.add_row({"chain", cfg.chain});
+  t.add_row({"offered load", stats::fmt_percent(cfg.load, 0)});
+  t.add_row({"packets emitted", stats::fmt_u64(res.emitted)});
+  t.add_row({"packets egressed", stats::fmt_u64(res.egressed)});
+  t.add_row({"chain filtered", stats::fmt_u64(res.chain_filtered)});
+  t.add_row({"p50", stats::format_ns(res.latency.p50())});
+  t.add_row({"p99", stats::format_ns(res.latency.p99())});
+  t.add_row({"p99.9", stats::format_ns(res.latency.p999())});
+  t.add_row({"p99.99", stats::format_ns(res.latency.p9999())});
+  t.add_row({"LC p99.9", stats::format_ns(res.lc_latency.p999())});
+  t.add_row({"egress Mpps", stats::fmt_double(res.achieved_mpps, 3)});
+  t.add_row({"extra copies/pkt", stats::fmt_double(res.replica_fraction, 3)});
+  t.add_row({"hedges", stats::fmt_u64(res.hedges)});
+  t.add_row({"OOO fraction", stats::fmt_percent(res.ooo_fraction, 2)});
+  t.add_row({"reorder timeouts",
+             stats::fmt_u64(res.reorder_timeout_releases)});
+  for (std::size_t p = 0; p < res.per_path_utilization.size(); ++p)
+    t.add_row({"util path " + std::to_string(p),
+               stats::fmt_percent(res.per_path_utilization[p], 1)});
+
+  bool csv = getu("csv", 0) != 0;
+  std::printf("%s", csv ? t.to_csv().c_str() : t.to_text().c_str());
+  return 0;
+}

@@ -1,0 +1,101 @@
+// NFV service chain example: build a realistic tenant-facing pipeline in
+// the Click configuration language and watch each NF do its job.
+//
+// Topology (one last-mile path, written as config text):
+//
+//   source -> CheckIPHeader -> Firewall -> Nat -> LoadBalancer
+//          -> Dpi (paints suspicious traffic) -> PaintSwitch
+//             [0] clean  -> FlowMonitor -> sink
+//             [1] dirty  -> scrubber counter -> Discard
+//
+//   $ ./nfv_service_chain
+#include <cstdio>
+#include <cstring>
+
+#include "click/elements.hpp"
+#include "click/router.hpp"
+#include "net/packet_builder.hpp"
+#include "nf/dpi.hpp"
+#include "nf/firewall.hpp"
+#include "nf/flow_monitor.hpp"
+#include "nf/nat.hpp"
+
+using namespace mdp;
+
+int main() {
+  sim::EventQueue eq;
+  net::PacketPool pool(1024, 2048);
+  click::Router router(click::Router::Context{&eq, &pool});
+
+  const char* config = R"(
+    // Tenant ingress pipeline
+    chk  :: CheckIPHeader;
+    fw   :: Firewall(default allow,
+                     deny src 127.0.0.0/8,
+                     deny src 192.0.2.0/24,
+                     deny proto tcp dport 23);
+    nat  :: Nat(203.0.113.1);
+    lb   :: LoadBalancer(10.0.100.1, 10.0.200.1, 10.0.200.2, 10.0.200.3);
+    dpi  :: Dpi(paint 1, "EVILPATTERN", "SELECT * FROM");
+    ps   :: PaintSwitch;
+    mon  :: FlowMonitor;
+    clean :: Counter;
+    dirty :: Counter;
+
+    chk -> fw -> nat -> lb -> dpi -> ps;
+    ps [0] -> mon -> clean -> Discard;
+    ps [1] -> dirty -> Discard;
+  )";
+
+  std::string err;
+  if (!router.configure(config, &err) || !router.initialize(&err)) {
+    std::fprintf(stderr, "config error: %s\n", err.c_str());
+    return 1;
+  }
+
+  // Send a mix of traffic through the chain head.
+  auto* head = router.find("chk");
+  auto send = [&](const char* src, std::uint16_t dport,
+                  const char* payload) {
+    net::BuildSpec spec;
+    net::ipv4_from_string(src, &spec.flow.src_ip);
+    net::ipv4_from_string("10.0.100.1", &spec.flow.dst_ip);
+    spec.flow.src_port = 40000;
+    spec.flow.dst_port = dport;
+    spec.payload_len = std::strlen(payload);
+    auto pkt = net::build_udp(pool, spec);
+    auto parsed = net::parse(*pkt);
+    std::memcpy(pkt->data() + parsed->payload_offset, payload,
+                std::strlen(payload));
+    head->push(0, std::move(pkt));
+  };
+
+  for (int i = 0; i < 500; ++i) {
+    send("198.51.100.7", 80, "GET /index.html");       // normal web
+    send("198.51.100.8", 443, "POST /api fine body");  // normal api
+    if (i % 10 == 0) send("127.0.0.1", 80, "spoofed loopback");  // deny
+    if (i % 25 == 0)
+      send("198.51.100.9", 80, "id=1; SELECT * FROM users");  // DPI hit
+  }
+
+  auto* fw = router.find_as<nf::Firewall>("fw");
+  auto* nat = router.find_as<nf::Nat>("nat");
+  auto* mon = router.find_as<nf::FlowMonitor>("mon");
+  std::printf("firewall: allowed=%llu denied=%llu\n",
+              (unsigned long long)fw->allowed(),
+              (unsigned long long)fw->denied());
+  std::printf("nat: translated=%llu bindings=%zu\n",
+              (unsigned long long)nat->translated(), nat->table().size());
+  std::printf("clean=%llu dirty=%llu\n",
+              (unsigned long long)router.find_as<click::Counter>("clean")
+                  ->packets(),
+              (unsigned long long)router.find_as<click::Counter>("dirty")
+                  ->packets());
+
+  std::printf("\ntop flows by bytes (post-NAT/LB 5-tuples):\n");
+  for (const auto& [flow, st] : mon->core().top_k(3))
+    std::printf("  %-45s %llu pkts %llu bytes\n", flow.to_string().c_str(),
+                (unsigned long long)st.packets,
+                (unsigned long long)st.bytes);
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "click/element.hpp"
+
+namespace mdp::click {
+
+void Element::push(int port, net::PacketPtr pkt) {
+  (void)port;
+  net::PacketPtr out = simple_action(std::move(pkt));
+  if (out) output_push(0, std::move(out));
+}
+
+net::PacketPtr Element::pull(int port) {
+  (void)port;
+  net::PacketPtr pkt = input_pull(0);
+  if (!pkt) return pkt;
+  return simple_action(std::move(pkt));
+}
+
+void Element::connect_output(int out_port, Element* dst, int dst_port) {
+  if (out_port >= static_cast<int>(outputs_.size()))
+    outputs_.resize(out_port + 1);
+  outputs_[out_port] = {dst, dst_port};
+}
+
+void Element::set_input(int in_port, Element* src, int src_port) {
+  if (in_port >= static_cast<int>(inputs_.size()))
+    inputs_.resize(in_port + 1);
+  inputs_[in_port] = {src, src_port};
+}
+
+void Element::output_push(int port, net::PacketPtr pkt) {
+  if (!output_connected(port)) return;  // drop: handle recycles the packet
+  auto& ref = outputs_[port];
+  ref.element->push(ref.port, std::move(pkt));
+}
+
+net::PacketPtr Element::input_pull(int port) {
+  if (!input_connected(port)) return net::PacketPtr{nullptr};
+  auto& ref = inputs_[port];
+  return ref.element->pull(ref.port);
+}
+
+}  // namespace mdp::click

@@ -1,0 +1,115 @@
+// Element: the Click processing unit. Packets move between elements either
+// by push (upstream calls downstream) or pull (downstream asks upstream),
+// exactly following Click's composition model:
+//
+//   FromDevice -> Classifier -> CheckIPHeader -> Queue -> Unqueue -> ToDevice
+//
+// Subclasses override push()/pull() for multi-port logic, or just
+// simple_action() for 1-in/1-out filters (return nullptr to drop).
+//
+// Each element also reports cost_ns(): its nominal per-packet CPU cost.
+// The discrete-event path model charges the sum of chain element costs as
+// the service time of a packet on a last-mile path, which is how functional
+// processing (real header rewrites) and timing (queueing model) stay in
+// sync.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/packet_pool.hpp"
+#include "sim/time.hpp"
+
+namespace mdp::sim {
+class EventQueue;
+}
+
+namespace mdp::click {
+
+class Router;
+
+class Element {
+ public:
+  virtual ~Element() = default;
+
+  /// Class name as registered ("Queue", "Firewall", ...).
+  virtual std::string class_name() const = 0;
+
+  virtual int n_inputs() const { return 1; }
+  virtual int n_outputs() const { return 1; }
+
+  /// Parse configuration arguments. Return false and set *err to reject.
+  virtual bool configure(const std::vector<std::string>& args,
+                         std::string* err) {
+    if (!args.empty() && !(args.size() == 1 && args[0].empty())) {
+      *err = class_name() + " takes no arguments";
+      return false;
+    }
+    return true;
+  }
+
+  /// Post-connection initialization (allocate tables, resolve handlers).
+  virtual bool initialize(std::string* err) {
+    (void)err;
+    return true;
+  }
+
+  /// Per-packet nominal processing cost for the path cost model.
+  virtual sim::TimeNs cost_ns() const { return 50; }
+
+  // --- packet movement ----------------------------------------------------
+  virtual void push(int port, net::PacketPtr pkt);
+  virtual net::PacketPtr pull(int port);
+  /// 1:1 transform hook used by the default push/pull. Return nullptr to
+  /// drop the packet (the handle recycles it).
+  virtual net::PacketPtr simple_action(net::PacketPtr pkt) {
+    return pkt;
+  }
+
+  // --- graph wiring (managed by Router) ------------------------------------
+  void connect_output(int out_port, Element* dst, int dst_port);
+  bool output_connected(int port) const noexcept {
+    return port >= 0 && port < static_cast<int>(outputs_.size()) &&
+           outputs_[port].element != nullptr;
+  }
+  void set_input(int in_port, Element* src, int src_port);
+  bool input_connected(int port) const noexcept {
+    return port >= 0 && port < static_cast<int>(inputs_.size()) &&
+           inputs_[port].element != nullptr;
+  }
+
+  /// Push a packet out of `port`. Unconnected port => packet dropped.
+  void output_push(int port, net::PacketPtr pkt);
+  /// Pull a packet from whatever feeds input `port`.
+  net::PacketPtr input_pull(int port);
+
+  /// Downstream element on output `port` (nullptr if unconnected).
+  Element* output_element(int port) const noexcept {
+    return output_connected(port) ? outputs_[port].element : nullptr;
+  }
+  int num_connected_outputs() const noexcept {
+    int n = 0;
+    for (const auto& ref : outputs_)
+      if (ref.element != nullptr) ++n;
+    return n;
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+  Router* router() const noexcept { return router_; }
+  void set_router(Router* r) noexcept { router_ = r; }
+
+ private:
+  struct PortRef {
+    Element* element = nullptr;
+    int port = 0;
+  };
+  std::vector<PortRef> outputs_;
+  std::vector<PortRef> inputs_;
+  std::string name_;
+  Router* router_ = nullptr;
+};
+
+}  // namespace mdp::click

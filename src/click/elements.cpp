@@ -1,0 +1,481 @@
+#include "click/elements.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "click/registry.hpp"
+#include "click/router.hpp"
+#include "net/checksum.hpp"
+#include "net/headers.hpp"
+#include "net/packet_builder.hpp"
+
+namespace mdp::click {
+
+bool parse_size_arg(const std::string& arg, std::size_t* out) {
+  if (arg.empty()) return false;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(arg.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_u64_arg(const std::string& arg, std::uint64_t* out) {
+  std::size_t tmp;
+  if (!parse_size_arg(arg, &tmp)) return false;
+  *out = tmp;
+  return true;
+}
+
+// --- Queue -------------------------------------------------------------------
+
+bool Queue::configure(const std::vector<std::string>& args,
+                      std::string* err) {
+  if (args.empty()) return true;
+  if (args.size() > 1 || !parse_size_arg(args[0], &capacity_) ||
+      capacity_ == 0) {
+    *err = "Queue(CAPACITY): positive integer expected";
+    return false;
+  }
+  return true;
+}
+
+void Queue::push(int, net::PacketPtr pkt) {
+  if (q_.size() >= capacity_) {
+    ++drops_;
+    return;  // tail drop; handle recycles
+  }
+  q_.push_back(std::move(pkt));
+  if (q_.size() > highwater_) highwater_ = q_.size();
+}
+
+net::PacketPtr Queue::pull(int) {
+  if (q_.empty()) return net::PacketPtr{nullptr};
+  net::PacketPtr pkt = std::move(q_.front());
+  q_.pop_front();
+  return pkt;
+}
+
+// --- Unqueue -----------------------------------------------------------------
+
+bool Unqueue::configure(const std::vector<std::string>& args,
+                        std::string* err) {
+  if (args.empty()) return true;
+  if (args.size() > 1 || !parse_size_arg(args[0], &burst_) || burst_ == 0) {
+    *err = "Unqueue(BURST): positive integer expected";
+    return false;
+  }
+  return true;
+}
+
+bool Unqueue::initialize(std::string*) {
+  task_ = std::make_unique<Task>([this] { return fire(); });
+  router()->scheduler().add(task_.get());
+  return true;
+}
+
+bool Unqueue::fire() {
+  bool did = false;
+  for (std::size_t i = 0; i < burst_; ++i) {
+    net::PacketPtr pkt = input_pull(0);
+    if (!pkt) break;
+    did = true;
+    output_push(0, std::move(pkt));
+  }
+  return did;
+}
+
+// --- Tee ---------------------------------------------------------------------
+
+bool Tee::initialize(std::string* err) {
+  if (num_connected_outputs() > 1 &&
+      (router() == nullptr || router()->context().pool == nullptr)) {
+    *err = "Tee with >1 output requires a packet pool in the router context";
+    return false;
+  }
+  return true;
+}
+
+void Tee::push(int, net::PacketPtr pkt) {
+  // Clone to every connected output except the last, which gets the
+  // original moved (zero-copy on the common single-output case).
+  constexpr int kMaxPorts = 64;
+  int last = -1;
+  for (int p = 0; p < kMaxPorts; ++p)
+    if (output_connected(p)) last = p;
+  if (last < 0) return;
+  for (int p = 0; p < last; ++p) {
+    if (!output_connected(p)) continue;
+    net::PacketPtr copy = router()->context().pool->clone(*pkt);
+    if (copy) output_push(p, std::move(copy));
+  }
+  output_push(last, std::move(pkt));
+}
+
+// --- Classifier --------------------------------------------------------------
+
+bool Classifier::parse_pattern(const std::string& text, Pattern* out,
+                               std::string* err) {
+  if (text == "-") return true;  // match-all
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && std::isspace((unsigned char)text[pos])) ++pos;
+    if (pos >= text.size()) break;
+    std::size_t end = pos;
+    while (end < text.size() && !std::isspace((unsigned char)text[end]))
+      ++end;
+    std::string term = text.substr(pos, end - pos);
+    pos = end;
+
+    std::size_t slash = term.find('/');
+    if (slash == std::string::npos) {
+      *err = "classifier term '" + term + "' missing '/'";
+      return false;
+    }
+    Term t;
+    t.offset = std::strtoull(term.substr(0, slash).c_str(), nullptr, 10);
+    std::string rest = term.substr(slash + 1);
+    std::string value = rest;
+    std::string mask;
+    std::size_t pct = rest.find('%');
+    if (pct != std::string::npos) {
+      value = rest.substr(0, pct);
+      mask = rest.substr(pct + 1);
+    }
+    if (value.empty() || value.size() % 2 != 0) {
+      *err = "classifier value '" + value + "' must be even-length hex";
+      return false;
+    }
+    auto hex_nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      return -1;
+    };
+    for (std::size_t i = 0; i < value.size(); i += 2) {
+      int hi = hex_nibble(value[i]);
+      int lo = hex_nibble(value[i + 1]);
+      if (hi < 0 || lo < 0) {
+        *err = "bad hex in classifier value '" + value + "'";
+        return false;
+      }
+      t.value.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    if (!mask.empty()) {
+      if (mask.size() != value.size()) {
+        *err = "classifier mask length must equal value length";
+        return false;
+      }
+      for (std::size_t i = 0; i < mask.size(); i += 2) {
+        int hi = hex_nibble(mask[i]);
+        int lo = hex_nibble(mask[i + 1]);
+        if (hi < 0 || lo < 0) {
+          *err = "bad hex in classifier mask '" + mask + "'";
+          return false;
+        }
+        t.mask.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+      }
+    } else {
+      t.mask.assign(t.value.size(), 0xff);
+    }
+    out->terms.push_back(std::move(t));
+  }
+  return true;
+}
+
+bool Classifier::configure(const std::vector<std::string>& args,
+                           std::string* err) {
+  if (args.empty()) {
+    *err = "Classifier requires at least one pattern";
+    return false;
+  }
+  for (const auto& a : args) {
+    Pattern p;
+    if (!parse_pattern(a, &p, err)) return false;
+    patterns_.push_back(std::move(p));
+  }
+  return true;
+}
+
+bool Classifier::matches(const Pattern& p, const net::Packet& pkt) const {
+  for (const Term& t : p.terms) {
+    if (t.offset + t.value.size() > pkt.length()) return false;
+    const std::byte* base = pkt.data() + t.offset;
+    for (std::size_t i = 0; i < t.value.size(); ++i) {
+      auto b = std::to_integer<std::uint8_t>(base[i]);
+      if ((b & t.mask[i]) != (t.value[i] & t.mask[i])) return false;
+    }
+  }
+  return true;
+}
+
+void Classifier::push(int, net::PacketPtr pkt) {
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    if (matches(patterns_[i], *pkt)) {
+      output_push(static_cast<int>(i), std::move(pkt));
+      return;
+    }
+  }
+  // No match: drop.
+}
+
+// --- switches ----------------------------------------------------------------
+
+bool HashSwitch::configure(const std::vector<std::string>& args,
+                           std::string* err) {
+  if (args.size() != 1 || !parse_size_arg(args[0], &n_) || n_ == 0) {
+    *err = "HashSwitch(N): positive output count required";
+    return false;
+  }
+  return true;
+}
+
+void HashSwitch::push(int, net::PacketPtr pkt) {
+  auto out = static_cast<int>(pkt->anno().flow_hash % n_);
+  output_push(out, std::move(pkt));
+}
+
+bool RoundRobinSwitch::configure(const std::vector<std::string>& args,
+                                 std::string* err) {
+  if (args.size() != 1 || !parse_size_arg(args[0], &n_) || n_ == 0) {
+    *err = "RoundRobinSwitch(N): positive output count required";
+    return false;
+  }
+  return true;
+}
+
+void RoundRobinSwitch::push(int, net::PacketPtr pkt) {
+  auto out = static_cast<int>(next_);
+  next_ = (next_ + 1) % n_;
+  output_push(out, std::move(pkt));
+}
+
+bool RandomSwitch::configure(const std::vector<std::string>& args,
+                             std::string* err) {
+  if (args.empty() || args.size() > 2 || !parse_size_arg(args[0], &n_) ||
+      n_ == 0) {
+    *err = "RandomSwitch(N, SEED=1)";
+    return false;
+  }
+  if (args.size() == 2) {
+    std::uint64_t seed;
+    if (!parse_u64_arg(args[1], &seed)) {
+      *err = "RandomSwitch: bad seed";
+      return false;
+    }
+    rng_ = sim::Rng(seed);
+  }
+  return true;
+}
+
+void RandomSwitch::push(int, net::PacketPtr pkt) {
+  auto out = static_cast<int>(rng_.uniform_u64(n_));
+  output_push(out, std::move(pkt));
+}
+
+// --- Paint / PaintSwitch -------------------------------------------------------
+
+bool Paint::configure(const std::vector<std::string>& args,
+                      std::string* err) {
+  std::size_t c;
+  if (args.size() != 1 || !parse_size_arg(args[0], &c) || c > 255) {
+    *err = "Paint(COLOR): 0..255";
+    return false;
+  }
+  color_ = static_cast<std::uint8_t>(c);
+  return true;
+}
+
+void PaintSwitch::push(int, net::PacketPtr pkt) {
+  int port = pkt->anno().paint;  // read before the move (arg order is UB)
+  output_push(port, std::move(pkt));
+}
+
+// --- IP header elements ---------------------------------------------------------
+
+void CheckIPHeader::push(int, net::PacketPtr pkt) {
+  auto parsed = net::parse(*pkt);
+  bool ok = parsed.has_value() && net::validate_ipv4_csum(*pkt, *parsed);
+  if (ok) {
+    output_push(0, std::move(pkt));
+  } else if (output_connected(1)) {
+    output_push(1, std::move(pkt));
+  } else {
+    ++drops_;
+  }
+}
+
+void DecIPTTL::push(int, net::PacketPtr pkt) {
+  auto parsed = net::parse(*pkt);
+  if (!parsed) {
+    ++expired_;
+    return;
+  }
+  net::Ipv4View ip(pkt->data() + parsed->l3_offset);
+  std::uint8_t ttl = ip.ttl();
+  if (ttl <= 1) {
+    ++expired_;
+    if (output_connected(1)) output_push(1, std::move(pkt));
+    return;
+  }
+  // Incremental checksum: the TTL/protocol 16-bit word changes.
+  std::uint16_t old_word =
+      static_cast<std::uint16_t>((std::uint16_t{ttl} << 8) | ip.protocol());
+  ip.set_ttl(ttl - 1);
+  std::uint16_t new_word = static_cast<std::uint16_t>(
+      (std::uint16_t{static_cast<std::uint8_t>(ttl - 1)} << 8) |
+      ip.protocol());
+  ip.set_checksum(net::checksum_update16(ip.checksum(), old_word, new_word));
+  output_push(0, std::move(pkt));
+}
+
+net::PacketPtr EtherMirror::simple_action(net::PacketPtr pkt) {
+  if (pkt->length() < net::kEthernetHeaderLen) return net::PacketPtr{nullptr};
+  net::EthernetView eth(pkt->data());
+  auto d = eth.dst();
+  eth.set_dst(eth.src());
+  eth.set_src(d);
+  return pkt;
+}
+
+// --- Strip / Unstrip ------------------------------------------------------------
+
+bool Strip::configure(const std::vector<std::string>& args,
+                      std::string* err) {
+  if (args.size() != 1 || !parse_size_arg(args[0], &n_)) {
+    *err = "Strip(N)";
+    return false;
+  }
+  return true;
+}
+
+bool Unstrip::configure(const std::vector<std::string>& args,
+                        std::string* err) {
+  if (args.size() != 1 || !parse_size_arg(args[0], &n_)) {
+    *err = "Unstrip(N)";
+    return false;
+  }
+  return true;
+}
+
+// --- SetTrafficClass -------------------------------------------------------------
+
+bool SetTrafficClass::configure(const std::vector<std::string>& args,
+                                std::string* err) {
+  if (args.size() != 1) {
+    *err = "SetTrafficClass(BE|LS|LC)";
+    return false;
+  }
+  if (args[0] == "BE") {
+    cls_ = net::TrafficClass::kBestEffort;
+  } else if (args[0] == "LS") {
+    cls_ = net::TrafficClass::kLatencySensitive;
+  } else if (args[0] == "LC") {
+    cls_ = net::TrafficClass::kLatencyCritical;
+  } else {
+    *err = "SetTrafficClass: unknown class '" + args[0] + "'";
+    return false;
+  }
+  return true;
+}
+
+// --- InfiniteSource --------------------------------------------------------------
+
+bool InfiniteSource::configure(const std::vector<std::string>& args,
+                               std::string* err) {
+  if (args.size() > 3) {
+    *err = "InfiniteSource(LIMIT=1024, SIZE=64, BURST=1)";
+    return false;
+  }
+  if (args.size() >= 1 && !parse_u64_arg(args[0], &limit_)) {
+    *err = "InfiniteSource: bad LIMIT";
+    return false;
+  }
+  if (args.size() >= 2 && !parse_size_arg(args[1], &payload_)) {
+    *err = "InfiniteSource: bad SIZE";
+    return false;
+  }
+  if (args.size() >= 3 &&
+      (!parse_size_arg(args[2], &burst_) || burst_ == 0)) {
+    *err = "InfiniteSource: bad BURST";
+    return false;
+  }
+  return true;
+}
+
+bool InfiniteSource::initialize(std::string* err) {
+  if (router() == nullptr || router()->context().pool == nullptr) {
+    *err = "InfiniteSource requires a packet pool in the router context";
+    return false;
+  }
+  task_ = std::make_unique<Task>([this] { return fire(); });
+  router()->scheduler().add(task_.get());
+  return true;
+}
+
+bool InfiniteSource::fire() {
+  if (emitted_ >= limit_) return false;
+  bool did = false;
+  for (std::size_t i = 0; i < burst_ && emitted_ < limit_; ++i) {
+    net::BuildSpec spec;
+    spec.flow.src_ip = 0x0a000001;
+    spec.flow.dst_ip = 0x0a000002;
+    spec.flow.src_port = static_cast<std::uint16_t>(1024 + (emitted_ % 1000));
+    spec.flow.dst_port = 80;
+    spec.payload_len = payload_;
+    auto pkt = net::build_udp(*router()->context().pool, spec);
+    if (!pkt) break;
+    ++emitted_;
+    did = true;
+    output_push(0, std::move(pkt));
+  }
+  return did;
+}
+
+// --- Print ---------------------------------------------------------------------
+
+bool Print::configure(const std::vector<std::string>& args,
+                      std::string* err) {
+  if (args.size() > 1) {
+    *err = "Print(LABEL)";
+    return false;
+  }
+  if (!args.empty()) label_ = args[0];
+  return true;
+}
+
+net::PacketPtr Print::simple_action(net::PacketPtr pkt) {
+  auto parsed = net::parse(*pkt);
+  if (parsed) {
+    std::printf("%s: len=%zu %s\n", label_.c_str(), pkt->length(),
+                parsed->flow.to_string().c_str());
+  } else {
+    std::printf("%s: len=%zu (non-IP)\n", label_.c_str(), pkt->length());
+  }
+  return pkt;
+}
+
+// --- registrations ----------------------------------------------------------------
+
+MDP_REGISTER_ELEMENT(Null, "Null");
+MDP_REGISTER_ELEMENT(Queue, "Queue");
+MDP_REGISTER_ELEMENT(Unqueue, "Unqueue");
+MDP_REGISTER_ELEMENT(Counter, "Counter");
+MDP_REGISTER_ELEMENT(Discard, "Discard");
+MDP_REGISTER_ELEMENT(Tee, "Tee");
+MDP_REGISTER_ELEMENT(Classifier, "Classifier");
+MDP_REGISTER_ELEMENT(HashSwitch, "HashSwitch");
+MDP_REGISTER_ELEMENT(RoundRobinSwitch, "RoundRobinSwitch");
+MDP_REGISTER_ELEMENT(RandomSwitch, "RandomSwitch");
+MDP_REGISTER_ELEMENT(Paint, "Paint");
+MDP_REGISTER_ELEMENT(PaintSwitch, "PaintSwitch");
+MDP_REGISTER_ELEMENT(CheckIPHeader, "CheckIPHeader");
+MDP_REGISTER_ELEMENT(DecIPTTL, "DecIPTTL");
+MDP_REGISTER_ELEMENT(Strip, "Strip");
+MDP_REGISTER_ELEMENT(Unstrip, "Unstrip");
+MDP_REGISTER_ELEMENT(EtherMirror, "EtherMirror");
+MDP_REGISTER_ELEMENT(SetTrafficClass, "SetTrafficClass");
+MDP_REGISTER_ELEMENT(InfiniteSource, "InfiniteSource");
+MDP_REGISTER_ELEMENT(Print, "Print");
+
+}  // namespace mdp::click

@@ -1,0 +1,339 @@
+// Standard Click element library: queues, fan-out, classification, IP
+// header manipulation, paint, and simple sources/sinks. NF-grade elements
+// (Firewall, NAT, ...) live in mdp::nf and register into the same registry.
+//
+// Port-count convention: n_inputs()/n_outputs() return -1 for "any number"
+// (switch/fan-out elements size themselves from the wiring).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "click/element.hpp"
+#include "click/task.hpp"
+#include "sim/rng.hpp"
+
+namespace mdp::click {
+
+/// Queue(CAPACITY=1024): push input, pull output, tail-drop on overflow.
+class Queue final : public Element {
+ public:
+  std::string class_name() const override { return "Queue"; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 25; }
+
+  void push(int port, net::PacketPtr pkt) override;
+  net::PacketPtr pull(int port) override;
+
+  std::size_t size() const noexcept { return q_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t drops() const noexcept { return drops_; }
+  std::uint64_t highwater() const noexcept { return highwater_; }
+
+ private:
+  std::deque<net::PacketPtr> q_;
+  std::size_t capacity_ = 1024;
+  std::uint64_t drops_ = 0;
+  std::uint64_t highwater_ = 0;
+};
+
+/// Unqueue(BURST=1): scheduled task that pulls from input and pushes out.
+class Unqueue final : public Element {
+ public:
+  std::string class_name() const override { return "Unqueue"; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  bool initialize(std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 15; }
+
+  Task* task() noexcept { return task_.get(); }
+
+ private:
+  bool fire();
+  std::unique_ptr<Task> task_;
+  std::size_t burst_ = 1;
+};
+
+/// Null: zero-cost pass-through. Used as the input/output endpoints of
+/// compound elements and as a wiring placeholder.
+class Null final : public Element {
+ public:
+  std::string class_name() const override { return "Null"; }
+  sim::TimeNs cost_ns() const override { return 0; }
+};
+
+/// Counter: transparent packet/byte counter.
+class Counter final : public Element {
+ public:
+  std::string class_name() const override { return "Counter"; }
+  sim::TimeNs cost_ns() const override { return 15; }
+  net::PacketPtr simple_action(net::PacketPtr pkt) override {
+    ++packets_;
+    bytes_ += pkt->length();
+    return pkt;
+  }
+  std::uint64_t packets() const noexcept { return packets_; }
+  std::uint64_t bytes() const noexcept { return bytes_; }
+  void reset() noexcept { packets_ = bytes_ = 0; }
+
+ private:
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Discard: sink; recycles everything pushed into it.
+class Discard final : public Element {
+ public:
+  std::string class_name() const override { return "Discard"; }
+  int n_outputs() const override { return 0; }
+  sim::TimeNs cost_ns() const override { return 5; }
+  void push(int, net::PacketPtr pkt) override {
+    ++count_;
+    pkt.reset();
+  }
+  std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// Tee: replicates each input packet to every connected output (clone via
+/// the router's packet pool for outputs beyond the first).
+class Tee final : public Element {
+ public:
+  std::string class_name() const override { return "Tee"; }
+  int n_outputs() const override { return -1; }
+  bool initialize(std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 35; }
+  void push(int port, net::PacketPtr pkt) override;
+};
+
+/// Classifier(pattern, ..., pattern): Click's byte-pattern classifier.
+/// Each pattern is a space-separated conjunction of `offset/hexvalue`
+/// or `offset/hexvalue%hexmask` terms; `-` matches everything. A packet
+/// goes to the output port of the first matching pattern; packets matching
+/// no pattern are dropped.
+class Classifier final : public Element {
+ public:
+  std::string class_name() const override { return "Classifier"; }
+  int n_outputs() const override { return -1; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 40; }
+  void push(int port, net::PacketPtr pkt) override;
+
+  std::size_t num_patterns() const noexcept { return patterns_.size(); }
+
+ private:
+  struct Term {
+    std::size_t offset;
+    std::vector<std::uint8_t> value;
+    std::vector<std::uint8_t> mask;
+  };
+  struct Pattern {
+    std::vector<Term> terms;  // empty => match-all ('-')
+  };
+  static bool parse_pattern(const std::string& text, Pattern* out,
+                            std::string* err);
+  bool matches(const Pattern& p, const net::Packet& pkt) const;
+  std::vector<Pattern> patterns_;
+};
+
+/// HashSwitch(N): output = flow_hash % N. The RSS baseline.
+class HashSwitch final : public Element {
+ public:
+  std::string class_name() const override { return "HashSwitch"; }
+  int n_outputs() const override { return -1; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 20; }
+  void push(int port, net::PacketPtr pkt) override;
+
+ private:
+  std::size_t n_ = 2;
+};
+
+/// RoundRobinSwitch(N): rotates over N outputs.
+class RoundRobinSwitch final : public Element {
+ public:
+  std::string class_name() const override { return "RoundRobinSwitch"; }
+  int n_outputs() const override { return -1; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 15; }
+  void push(int port, net::PacketPtr pkt) override;
+
+ private:
+  std::size_t n_ = 2;
+  std::size_t next_ = 0;
+};
+
+/// RandomSwitch(N, SEED=1): uniform random output.
+class RandomSwitch final : public Element {
+ public:
+  std::string class_name() const override { return "RandomSwitch"; }
+  int n_outputs() const override { return -1; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 20; }
+  void push(int port, net::PacketPtr pkt) override;
+
+ private:
+  std::size_t n_ = 2;
+  sim::Rng rng_{1};
+};
+
+/// Paint(COLOR): stamps the paint annotation.
+class Paint final : public Element {
+ public:
+  std::string class_name() const override { return "Paint"; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 10; }
+  net::PacketPtr simple_action(net::PacketPtr pkt) override {
+    pkt->anno().paint = color_;
+    return pkt;
+  }
+
+ private:
+  std::uint8_t color_ = 0;
+};
+
+/// PaintSwitch: routes by the paint annotation; out-of-range => drop.
+class PaintSwitch final : public Element {
+ public:
+  std::string class_name() const override { return "PaintSwitch"; }
+  int n_outputs() const override { return -1; }
+  sim::TimeNs cost_ns() const override { return 15; }
+  void push(int port, net::PacketPtr pkt) override;
+};
+
+/// CheckIPHeader: validates the IPv4 header (version, length, checksum).
+/// Valid packets exit port 0; invalid exit port 1 if connected, else drop.
+class CheckIPHeader final : public Element {
+ public:
+  std::string class_name() const override { return "CheckIPHeader"; }
+  int n_outputs() const override { return -1; }
+  sim::TimeNs cost_ns() const override { return 70; }
+  void push(int port, net::PacketPtr pkt) override;
+
+  std::uint64_t drops() const noexcept { return drops_; }
+
+ private:
+  std::uint64_t drops_ = 0;
+};
+
+/// DecIPTTL: decrements TTL with RFC 1624 incremental checksum update.
+/// Expired packets exit port 1 if connected, else drop.
+class DecIPTTL final : public Element {
+ public:
+  std::string class_name() const override { return "DecIPTTL"; }
+  int n_outputs() const override { return -1; }
+  sim::TimeNs cost_ns() const override { return 45; }
+  void push(int port, net::PacketPtr pkt) override;
+
+  std::uint64_t expired() const noexcept { return expired_; }
+
+ private:
+  std::uint64_t expired_ = 0;
+};
+
+/// Strip(N): remove N bytes from the front (e.g. Strip(14) de-Ethernets).
+class Strip final : public Element {
+ public:
+  std::string class_name() const override { return "Strip"; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 10; }
+  net::PacketPtr simple_action(net::PacketPtr pkt) override {
+    if (pkt->pull(n_) == nullptr) return net::PacketPtr{nullptr};
+    return pkt;
+  }
+
+ private:
+  std::size_t n_ = 14;
+};
+
+/// Unstrip(N): re-expose N bytes of headroom at the front.
+class Unstrip final : public Element {
+ public:
+  std::string class_name() const override { return "Unstrip"; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 10; }
+  net::PacketPtr simple_action(net::PacketPtr pkt) override {
+    if (pkt->push(n_) == nullptr) return net::PacketPtr{nullptr};
+    return pkt;
+  }
+
+ private:
+  std::size_t n_ = 14;
+};
+
+/// EtherMirror: swaps Ethernet source/destination (reflector).
+class EtherMirror final : public Element {
+ public:
+  std::string class_name() const override { return "EtherMirror"; }
+  sim::TimeNs cost_ns() const override { return 30; }
+  net::PacketPtr simple_action(net::PacketPtr pkt) override;
+};
+
+/// SetTrafficClass(BE|LS|LC): marks the multipath traffic class annotation.
+class SetTrafficClass final : public Element {
+ public:
+  std::string class_name() const override { return "SetTrafficClass"; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 10; }
+  net::PacketPtr simple_action(net::PacketPtr pkt) override {
+    pkt->anno().traffic_class = cls_;
+    return pkt;
+  }
+
+ private:
+  net::TrafficClass cls_ = net::TrafficClass::kBestEffort;
+};
+
+/// InfiniteSource(LIMIT=1024, SIZE=64, BURST=1): task-driven UDP packet
+/// source for self-contained router configs. Requires a pool in context.
+class InfiniteSource final : public Element {
+ public:
+  std::string class_name() const override { return "InfiniteSource"; }
+  int n_inputs() const override { return 0; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  bool initialize(std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 20; }
+
+  std::uint64_t emitted() const noexcept { return emitted_; }
+
+ private:
+  bool fire();
+  std::unique_ptr<Task> task_;
+  std::uint64_t limit_ = 1024;
+  std::size_t payload_ = 64;
+  std::size_t burst_ = 1;
+  std::uint64_t emitted_ = 0;
+};
+
+/// Print(LABEL): logs "<label>: len=N flow=..." per packet to stdout.
+class Print final : public Element {
+ public:
+  std::string class_name() const override { return "Print"; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 10; }
+  net::PacketPtr simple_action(net::PacketPtr pkt) override;
+
+ private:
+  std::string label_ = "Print";
+};
+
+/// Parse helpers shared by element configure() methods.
+bool parse_size_arg(const std::string& arg, std::size_t* out);
+bool parse_u64_arg(const std::string& arg, std::uint64_t* out);
+
+}  // namespace mdp::click

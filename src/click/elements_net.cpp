@@ -1,0 +1,222 @@
+#include "click/elements_net.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "click/elements.hpp"
+#include "click/registry.hpp"
+#include "net/checksum.hpp"
+#include "net/packet_builder.hpp"
+
+namespace mdp::click {
+
+// --- VxlanEncap ----------------------------------------------------------------
+
+bool VxlanEncap::configure(const std::vector<std::string>& args,
+                           std::string* err) {
+  if (args.size() != 3) {
+    *err = "VxlanEncap(VNI, LOCAL_VTEP, REMOTE_VTEP)";
+    return false;
+  }
+  char* end = nullptr;
+  unsigned long vni = std::strtoul(args[0].c_str(), &end, 10);
+  if (*end != '\0' || vni >= (1u << 24)) {
+    *err = "VxlanEncap: VNI must be 0..2^24-1";
+    return false;
+  }
+  tunnel_.vni = static_cast<std::uint32_t>(vni);
+  if (!net::ipv4_from_string(args[1], &tunnel_.local_vtep) ||
+      !net::ipv4_from_string(args[2], &tunnel_.remote_vtep)) {
+    *err = "VxlanEncap: bad VTEP address";
+    return false;
+  }
+  return true;
+}
+
+net::PacketPtr VxlanEncap::simple_action(net::PacketPtr pkt) {
+  if (!net::vxlan_encap(*pkt, tunnel_)) {
+    ++failed_;
+    return net::PacketPtr{nullptr};
+  }
+  ++encapped_;
+  return pkt;
+}
+
+// --- VxlanDecap ----------------------------------------------------------------
+
+bool VxlanDecap::configure(const std::vector<std::string>& args,
+                           std::string* err) {
+  if (args.empty()) return true;  // any VNI
+  if (args.size() != 1) {
+    *err = "VxlanDecap(VNI|any)";
+    return false;
+  }
+  if (args[0] == "any") {
+    match_any_ = true;
+    return true;
+  }
+  char* end = nullptr;
+  unsigned long vni = std::strtoul(args[0].c_str(), &end, 10);
+  if (*end != '\0' || vni >= (1u << 24)) {
+    *err = "VxlanDecap: bad VNI";
+    return false;
+  }
+  match_any_ = false;
+  expected_vni_ = static_cast<std::uint32_t>(vni);
+  return true;
+}
+
+void VxlanDecap::push(int, net::PacketPtr pkt) {
+  auto info = net::vxlan_decap(*pkt);
+  if (!info || (!match_any_ && info->vni != expected_vni_)) {
+    ++rejected_;
+    if (output_connected(1)) output_push(1, std::move(pkt));
+    return;
+  }
+  last_vni_ = info->vni;
+  ++decapped_;
+  output_push(0, std::move(pkt));
+}
+
+// --- VLAN ------------------------------------------------------------------------
+
+bool VLANEncap::configure(const std::vector<std::string>& args,
+                          std::string* err) {
+  if (args.empty() || args.size() > 2) {
+    *err = "VLANEncap(TAG [, PRIORITY])";
+    return false;
+  }
+  std::size_t tag;
+  if (!parse_size_arg(args[0], &tag) || tag >= 4096) {
+    *err = "VLANEncap: TAG must be 0..4095";
+    return false;
+  }
+  std::size_t prio = 0;
+  if (args.size() == 2 && (!parse_size_arg(args[1], &prio) || prio > 7)) {
+    *err = "VLANEncap: PRIORITY must be 0..7";
+    return false;
+  }
+  tci_ = static_cast<std::uint16_t>((prio << 13) | tag);
+  return true;
+}
+
+net::PacketPtr VLANEncap::simple_action(net::PacketPtr pkt) {
+  if (pkt->length() < net::kEthernetHeaderLen) return net::PacketPtr{nullptr};
+  // Insert 4 bytes after the two MACs: shift the MACs forward.
+  std::byte* front = pkt->push(4);
+  if (front == nullptr) return net::PacketPtr{nullptr};
+  std::memmove(front, front + 4, 12);
+  net::store_be16(front + 12, net::kEtherTypeVlan);
+  net::store_be16(front + 14, tci_);
+  return pkt;
+}
+
+net::PacketPtr VLANDecap::simple_action(net::PacketPtr pkt) {
+  if (pkt->length() < net::kEthernetHeaderLen + 4) return pkt;
+  net::EthernetView eth(pkt->data());
+  if (eth.ether_type() != net::kEtherTypeVlan) return pkt;
+  std::memmove(pkt->data() + 4, pkt->data(), 12);
+  pkt->pull(4);
+  ++decapped_;
+  return pkt;
+}
+
+// --- SetIPDscp ------------------------------------------------------------------
+
+bool SetIPDscp::configure(const std::vector<std::string>& args,
+                          std::string* err) {
+  std::size_t d;
+  if (args.size() != 1 || !parse_size_arg(args[0], &d) || d > 63) {
+    *err = "SetIPDscp(DSCP): 0..63";
+    return false;
+  }
+  dscp_ = static_cast<std::uint8_t>(d);
+  return true;
+}
+
+net::PacketPtr SetIPDscp::simple_action(net::PacketPtr pkt) {
+  auto parsed = net::parse(*pkt);
+  if (!parsed) return pkt;
+  net::Ipv4View ip(pkt->data() + parsed->l3_offset);
+  // The version/ihl + TOS bytes form the first checksummed 16-bit word.
+  std::uint16_t old_word = net::load_be16(pkt->data() + parsed->l3_offset);
+  ip.set_dscp(dscp_);
+  std::uint16_t new_word = net::load_be16(pkt->data() + parsed->l3_offset);
+  ip.set_checksum(net::checksum_update16(ip.checksum(), old_word, new_word));
+  return pkt;
+}
+
+// --- Meter ----------------------------------------------------------------------
+
+bool Meter::configure(const std::vector<std::string>& args,
+                      std::string* err) {
+  if (args.size() != 1) {
+    *err = "Meter(RATE_PPS)";
+    return false;
+  }
+  threshold_pps_ = std::atof(args[0].c_str());
+  if (threshold_pps_ <= 0) {
+    *err = "Meter: RATE_PPS must be positive";
+    return false;
+  }
+  return true;
+}
+
+void Meter::push(int, net::PacketPtr pkt) {
+  std::uint64_t now = pkt->anno().ingress_ns;
+  if (!primed_) {
+    primed_ = true;
+    last_ns_ = now;
+    rate_ = 0;
+  } else if (now > last_ns_) {
+    // Exponentially-decayed rate estimator with ~1ms time constant.
+    double dt_s = static_cast<double>(now - last_ns_) / 1e9;
+    double alpha = 1.0 - std::exp(-dt_s / 1e-3);
+    double inst = 1.0 / dt_s;
+    rate_ += alpha * (inst - rate_);
+    last_ns_ = now;
+  }
+  if (rate_ <= threshold_pps_) {
+    output_push(0, std::move(pkt));
+  } else if (output_connected(1)) {
+    output_push(1, std::move(pkt));
+  }
+}
+
+// --- Switch ---------------------------------------------------------------------
+
+bool Switch::configure(const std::vector<std::string>& args,
+                       std::string* err) {
+  if (args.empty() || args.size() > 2) {
+    *err = "Switch(N, START=0)";
+    return false;
+  }
+  if (!parse_size_arg(args[0], &n_) || n_ == 0) {
+    *err = "Switch: bad N";
+    return false;
+  }
+  std::size_t start = 0;
+  if (args.size() == 2 && (!parse_size_arg(args[1], &start) || start >= n_)) {
+    *err = "Switch: START out of range";
+    return false;
+  }
+  current_ = static_cast<int>(start);
+  return true;
+}
+
+void Switch::push(int, net::PacketPtr pkt) {
+  output_push(current_, std::move(pkt));
+}
+
+// --- registrations ---------------------------------------------------------------
+
+MDP_REGISTER_ELEMENT(VxlanEncap, "VxlanEncap");
+MDP_REGISTER_ELEMENT(VxlanDecap, "VxlanDecap");
+MDP_REGISTER_ELEMENT(VLANEncap, "VLANEncap");
+MDP_REGISTER_ELEMENT(VLANDecap, "VLANDecap");
+MDP_REGISTER_ELEMENT(SetIPDscp, "SetIPDscp");
+MDP_REGISTER_ELEMENT(Meter, "Meter");
+MDP_REGISTER_ELEMENT(Switch, "Switch");
+
+}  // namespace mdp::click

@@ -1,0 +1,139 @@
+// Network-encapsulation and traffic-conditioning elements: VXLAN overlay
+// endpoints, 802.1Q VLAN tagging, DSCP marking, a rate meter, and a
+// static Switch. These extend the standard element set with what a
+// virtualized-network last mile actually runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "click/element.hpp"
+#include "net/vxlan.hpp"
+
+namespace mdp::click {
+
+/// VxlanEncap(VNI, LOCAL_VTEP, REMOTE_VTEP): wraps each frame in the
+/// outer Ethernet/IPv4/UDP/VXLAN stack. Drops frames with insufficient
+/// headroom (counted).
+class VxlanEncap final : public Element {
+ public:
+  std::string class_name() const override { return "VxlanEncap"; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 110; }
+  net::PacketPtr simple_action(net::PacketPtr pkt) override;
+
+  const net::VxlanTunnel& tunnel() const noexcept { return tunnel_; }
+  std::uint64_t encapped() const noexcept { return encapped_; }
+  std::uint64_t failed() const noexcept { return failed_; }
+
+ private:
+  net::VxlanTunnel tunnel_;
+  std::uint64_t encapped_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+/// VxlanDecap(EXPECTED_VNI or 'any'): strips the outer stack. Frames that
+/// are not valid VXLAN, or whose VNI mismatches, exit port 1 if connected
+/// (else drop).
+class VxlanDecap final : public Element {
+ public:
+  std::string class_name() const override { return "VxlanDecap"; }
+  int n_outputs() const override { return -1; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 90; }
+  void push(int port, net::PacketPtr pkt) override;
+
+  std::uint64_t decapped() const noexcept { return decapped_; }
+  std::uint64_t rejected() const noexcept { return rejected_; }
+  std::uint32_t last_vni() const noexcept { return last_vni_; }
+
+ private:
+  bool match_any_ = true;
+  std::uint32_t expected_vni_ = 0;
+  std::uint64_t decapped_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint32_t last_vni_ = 0;
+};
+
+/// VLANEncap(TAG [, PRIORITY]): inserts an 802.1Q header after the MACs.
+class VLANEncap final : public Element {
+ public:
+  std::string class_name() const override { return "VLANEncap"; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 40; }
+  net::PacketPtr simple_action(net::PacketPtr pkt) override;
+
+ private:
+  std::uint16_t tci_ = 1;  // priority(3) | DEI(1) | VLAN id(12)
+};
+
+/// VLANDecap: removes an 802.1Q header; non-VLAN frames pass untouched.
+class VLANDecap final : public Element {
+ public:
+  std::string class_name() const override { return "VLANDecap"; }
+  sim::TimeNs cost_ns() const override { return 35; }
+  net::PacketPtr simple_action(net::PacketPtr pkt) override;
+
+  std::uint64_t decapped() const noexcept { return decapped_; }
+
+ private:
+  std::uint64_t decapped_ = 0;
+};
+
+/// SetIPDscp(DSCP): rewrites the DSCP field with incremental checksum fix.
+class SetIPDscp final : public Element {
+ public:
+  std::string class_name() const override { return "SetIPDscp"; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 40; }
+  net::PacketPtr simple_action(net::PacketPtr pkt) override;
+
+ private:
+  std::uint8_t dscp_ = 0;
+};
+
+/// Meter(RATE_PPS): EWMA-rate classifier. While the measured packet rate
+/// is at or below RATE_PPS, packets exit port 0; above it they exit
+/// port 1 (if connected, else dropped). Time source: ingress_ns.
+class Meter final : public Element {
+ public:
+  std::string class_name() const override { return "Meter"; }
+  int n_outputs() const override { return -1; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 30; }
+  void push(int port, net::PacketPtr pkt) override;
+
+  double rate_pps() const noexcept { return rate_; }
+
+ private:
+  double threshold_pps_ = 1e6;
+  double rate_ = 0;
+  std::uint64_t last_ns_ = 0;
+  bool primed_ = false;
+};
+
+/// Switch(N, START=0): emits everything to one selectable output;
+/// set_output() re-points it at runtime (used for draining/failover).
+class Switch final : public Element {
+ public:
+  std::string class_name() const override { return "Switch"; }
+  int n_outputs() const override { return -1; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 10; }
+  void push(int port, net::PacketPtr pkt) override;
+
+  void set_output(int out) noexcept { current_ = out; }
+  int output() const noexcept { return current_; }
+
+ private:
+  std::size_t n_ = 2;
+  int current_ = 0;
+};
+
+}  // namespace mdp::click

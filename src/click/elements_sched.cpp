@@ -1,0 +1,74 @@
+#include "click/elements_sched.hpp"
+
+#include "click/elements.hpp"
+#include "click/registry.hpp"
+
+namespace mdp::click {
+
+net::PacketPtr PrioSched::pull(int) {
+  for (int i = 0; i < kMaxInputs; ++i) {
+    if (!input_connected(i)) continue;
+    net::PacketPtr pkt = input_pull(i);
+    if (pkt) return pkt;
+  }
+  return net::PacketPtr{nullptr};
+}
+
+bool DrrSched::configure(const std::vector<std::string>& args,
+                         std::string* err) {
+  if (args.empty()) return true;
+  if (args.size() > 1 || !parse_size_arg(args[0], &quantum_) ||
+      quantum_ == 0) {
+    *err = "DrrSched(QUANTUM)";
+    return false;
+  }
+  return true;
+}
+
+bool DrrSched::initialize(std::string* err) {
+  constexpr int kMaxInputs = 64;
+  for (int i = 0; i < kMaxInputs; ++i)
+    if (input_connected(i)) n_inputs_wired_ = i + 1;
+  if (n_inputs_wired_ == 0) {
+    *err = "DrrSched has no connected inputs";
+    return false;
+  }
+  deficit_.assign(n_inputs_wired_, 0);
+  head_.resize(n_inputs_wired_);
+  served_.assign(n_inputs_wired_, 0);
+  served_bytes_.assign(n_inputs_wired_, 0);
+  return true;
+}
+
+net::PacketPtr DrrSched::pull(int) {
+  // Up to two full sweeps: one to grow deficits, one to serve — bounded
+  // work even when everything upstream is empty.
+  for (std::size_t sweep = 0; sweep < 2 * n_inputs_wired_ + 1; ++sweep) {
+    std::size_t i = current_;
+    // Fetch head-of-line if we don't have one stashed.
+    if (!head_[i] && input_connected(static_cast<int>(i)))
+      head_[i] = input_pull(static_cast<int>(i));
+    if (head_[i]) {
+      auto len = static_cast<std::int64_t>(head_[i]->length());
+      if (deficit_[i] >= len) {
+        deficit_[i] -= len;
+        ++served_[i];
+        served_bytes_[i] += static_cast<std::uint64_t>(len);
+        return std::move(head_[i]);
+      }
+      // Not enough deficit: grant a quantum and move on.
+      deficit_[i] += static_cast<std::int64_t>(quantum_);
+      current_ = (i + 1) % n_inputs_wired_;
+      continue;
+    }
+    // Empty input: per DRR, an idle flow's deficit resets.
+    deficit_[i] = 0;
+    current_ = (i + 1) % n_inputs_wired_;
+  }
+  return net::PacketPtr{nullptr};
+}
+
+MDP_REGISTER_ELEMENT(PrioSched, "PrioSched");
+MDP_REGISTER_ELEMENT(DrrSched, "DrrSched");
+
+}  // namespace mdp::click

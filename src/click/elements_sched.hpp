@@ -1,0 +1,56 @@
+// Link-scheduling pull elements: strict-priority and deficit round robin
+// (Click's PrioSched / DRRSched). Both have N pull inputs (normally fed by
+// Queues) and one pull output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "click/element.hpp"
+
+namespace mdp::click {
+
+/// PrioSched: always serves the lowest-numbered non-empty input.
+class PrioSched final : public Element {
+ public:
+  std::string class_name() const override { return "PrioSched"; }
+  int n_inputs() const override { return -1; }
+  sim::TimeNs cost_ns() const override { return 20; }
+  net::PacketPtr pull(int port) override;
+
+ private:
+  static constexpr int kMaxInputs = 64;
+};
+
+/// DrrSched(QUANTUM=500): deficit round robin over its inputs; each round
+/// an input's deficit grows by QUANTUM bytes and it may send packets while
+/// its deficit covers them. Byte-fair across inputs regardless of packet
+/// size mix.
+class DrrSched final : public Element {
+ public:
+  std::string class_name() const override { return "DrrSched"; }
+  int n_inputs() const override { return -1; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  bool initialize(std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 35; }
+  net::PacketPtr pull(int port) override;
+
+  std::uint64_t served(std::size_t input) const {
+    return input < served_.size() ? served_[input] : 0;
+  }
+  std::uint64_t served_bytes(std::size_t input) const {
+    return input < served_bytes_.size() ? served_bytes_[input] : 0;
+  }
+
+ private:
+  std::size_t quantum_ = 500;
+  std::size_t current_ = 0;
+  std::vector<std::int64_t> deficit_;
+  std::vector<net::PacketPtr> head_;  // head-of-line stash per input
+  std::vector<std::uint64_t> served_;
+  std::vector<std::uint64_t> served_bytes_;
+  std::size_t n_inputs_wired_ = 0;
+};
+
+}  // namespace mdp::click

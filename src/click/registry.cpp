@@ -1,0 +1,33 @@
+#include "click/registry.hpp"
+
+namespace mdp::click {
+
+ElementRegistry& ElementRegistry::instance() {
+  static ElementRegistry reg;
+  return reg;
+}
+
+void ElementRegistry::register_class(const std::string& name,
+                                     Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<Element> ElementRegistry::create(
+    const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) return nullptr;
+  return it->second();
+}
+
+bool ElementRegistry::has(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> ElementRegistry::class_names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [k, v] : factories_) out.push_back(k);
+  return out;
+}
+
+}  // namespace mdp::click

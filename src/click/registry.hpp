@@ -1,0 +1,44 @@
+// ElementRegistry: maps Click class names ("Queue", "Tee", "Firewall") to
+// factories so Router can instantiate elements from config text. Elements
+// self-register via MDP_REGISTER_ELEMENT at static-init time.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "click/element.hpp"
+
+namespace mdp::click {
+
+class ElementRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Element>()>;
+
+  static ElementRegistry& instance();
+
+  void register_class(const std::string& name, Factory factory);
+  std::unique_ptr<Element> create(const std::string& name) const;
+  bool has(const std::string& name) const;
+  std::vector<std::string> class_names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// Helper whose constructor performs the registration.
+struct ElementRegistration {
+  ElementRegistration(const std::string& name, ElementRegistry::Factory f) {
+    ElementRegistry::instance().register_class(name, std::move(f));
+  }
+};
+
+#define MDP_REGISTER_ELEMENT(cls, click_name)                         \
+  static ::mdp::click::ElementRegistration mdp_reg_##cls(             \
+      click_name, []() -> std::unique_ptr<::mdp::click::Element> {    \
+        return std::make_unique<cls>();                               \
+      })
+
+}  // namespace mdp::click

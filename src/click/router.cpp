@@ -1,0 +1,518 @@
+#include "click/router.hpp"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+
+#include "click/registry.hpp"
+
+namespace mdp::click {
+
+namespace {
+
+// --- lexer -----------------------------------------------------------------
+
+enum class TokKind { kIdent, kColonColon, kArrow, kLBracket, kRBracket,
+                     kSemicolon, kInt, kArgs, kBody, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 1;
+};
+
+/// Strip // and /* */ comments (preserving newlines for line numbers).
+std::string strip_comments(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size();) {
+    if (in[i] == '/' && i + 1 < in.size() && in[i + 1] == '/') {
+      while (i < in.size() && in[i] != '\n') ++i;
+    } else if (in[i] == '/' && i + 1 < in.size() && in[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < in.size() && !(in[i] == '*' && in[i + 1] == '/')) {
+        if (in[i] == '\n') out += '\n';
+        ++i;
+      }
+      i += 2;
+    } else {
+      out += in[i++];
+    }
+  }
+  return out;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string text) : text_(strip_comments(std::move(text))) {}
+
+  Token next() {
+    skip_ws();
+    if (pos_ >= text_.size()) return {TokKind::kEnd, "", line_};
+    char c = text_[pos_];
+    if (c == ';') {
+      ++pos_;
+      return {TokKind::kSemicolon, ";", line_};
+    }
+    if (c == '[') {
+      ++pos_;
+      return {TokKind::kLBracket, "[", line_};
+    }
+    if (c == ']') {
+      ++pos_;
+      return {TokKind::kRBracket, "]", line_};
+    }
+    if (c == ':' && peek(1) == ':') {
+      pos_ += 2;
+      return {TokKind::kColonColon, "::", line_};
+    }
+    if (c == '-' && peek(1) == '>') {
+      pos_ += 2;
+      return {TokKind::kArrow, "->", line_};
+    }
+    if (c == '(') return lex_balanced('(', ')', TokKind::kArgs);
+    if (c == '{') return lex_balanced('{', '}', TokKind::kBody);
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        num += text_[pos_++];
+      return {TokKind::kInt, num, line_};
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '@') {
+      std::string id;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '@' ||
+              text_[pos_] == '/'))
+        id += text_[pos_++];
+      return {TokKind::kIdent, id, line_};
+    }
+    return {TokKind::kEnd, std::string(1, c), line_};  // unknown char
+  }
+
+  int line() const noexcept { return line_; }
+
+ private:
+  char peek(std::size_t off) const {
+    return pos_ + off < text_.size() ? text_[pos_ + off] : '\0';
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+
+  /// Capture a balanced-delimiter blob as one token (contents only).
+  Token lex_balanced(char open, char close, TokKind kind) {
+    int depth = 0;
+    bool in_quote = false;
+    std::string blob;
+    int start_line = line_;
+    for (; pos_ < text_.size(); ++pos_) {
+      char c = text_[pos_];
+      if (c == '\n') ++line_;
+      if (in_quote) {
+        if (c == '"') in_quote = false;
+        blob += c;
+        continue;
+      }
+      if (c == '"') {
+        in_quote = true;
+        blob += c;
+        continue;
+      }
+      if (c == open) {
+        if (depth++ > 0) blob += c;
+        continue;
+      }
+      if (c == close) {
+        if (--depth == 0) {
+          ++pos_;
+          return {kind, blob, start_line};
+        }
+        blob += c;
+        continue;
+      }
+      blob += c;
+    }
+    return {TokKind::kEnd, blob, start_line};  // unbalanced
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// Split an args blob at top-level commas, trimming whitespace; fully
+/// quoted arguments lose their protective quotes.
+std::vector<std::string> split_args(const std::string& blob) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  bool in_quote = false;
+  for (char c : blob) {
+    if (in_quote) {
+      if (c == '"') in_quote = false;
+      cur += c;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quote = true;
+        cur += c;
+        break;
+      case '(':
+        ++depth;
+        cur += c;
+        break;
+      case ')':
+        --depth;
+        cur += c;
+        break;
+      case ',':
+        if (depth == 0) {
+          out.push_back(cur);
+          cur.clear();
+        } else {
+          cur += c;
+        }
+        break;
+      default:
+        cur += c;
+    }
+  }
+  out.push_back(cur);
+  for (auto& a : out) {
+    std::size_t b = a.find_first_not_of(" \t\n\r");
+    std::size_t e = a.find_last_not_of(" \t\n\r");
+    a = (b == std::string::npos) ? std::string{} : a.substr(b, e - b + 1);
+    if (a.size() >= 2 && a.front() == '"' && a.back() == '"')
+      a = a.substr(1, a.size() - 2);
+  }
+  if (out.size() == 1 && out[0].empty()) out.clear();
+  return out;
+}
+
+struct Endpoint {
+  std::string name;  // resolved element/instance name
+  int in_port = 0;
+  int out_port = 0;
+};
+
+}  // namespace
+
+// --- Router ------------------------------------------------------------------
+
+Element* Router::add_element(const std::string& name, const std::string& cls,
+                             const std::vector<std::string>& args,
+                             std::string* err) {
+  if (find(name) != nullptr || compound_instances_.count(name) != 0) {
+    *err = "duplicate element name '" + name + "'";
+    return nullptr;
+  }
+  auto elem = ElementRegistry::instance().create(cls);
+  if (!elem) {
+    *err = "unknown element class '" + cls + "'";
+    return nullptr;
+  }
+  elem->set_name(name);
+  elem->set_router(this);
+  if (!elem->configure(args, err)) {
+    if (err->empty()) *err = "configure failed";
+    *err = name + " :: " + cls + ": " + *err;
+    return nullptr;
+  }
+  elements_.push_back(std::move(elem));
+  return elements_.back().get();
+}
+
+Element* Router::instantiate(const std::string& name, const std::string& cls,
+                             const std::vector<std::string>& args,
+                             std::string* err) {
+  auto def = compound_defs_.find(cls);
+  if (def == compound_defs_.end())
+    return add_element(name, cls, args, err);
+
+  // Compound instantiation: pass-through endpoints + prefixed body.
+  if (!args.empty()) {
+    *err = "compound element '" + cls + "' takes no arguments";
+    return nullptr;
+  }
+  if (find(name) != nullptr || compound_instances_.count(name) != 0) {
+    *err = "duplicate element name '" + name + "'";
+    return nullptr;
+  }
+  Element* in = add_element(name + "/input", "Null", {}, err);
+  if (in == nullptr) return nullptr;
+  Element* out = add_element(name + "/output", "Null", {}, err);
+  if (out == nullptr) return nullptr;
+  compound_instances_[name] = {in, out};
+  if (!configure_impl(def->second, name + "/", err)) return nullptr;
+  return in;
+}
+
+Element* Router::adopt(std::unique_ptr<Element> elem,
+                       const std::string& name) {
+  if (find(name) != nullptr) return nullptr;
+  elem->set_name(name);
+  elem->set_router(this);
+  elements_.push_back(std::move(elem));
+  return elements_.back().get();
+}
+
+Element* Router::resolve(const std::string& name, bool as_source) const {
+  auto it = compound_instances_.find(name);
+  if (it != compound_instances_.end())
+    return as_source ? it->second.output : it->second.input;
+  return find(name);
+}
+
+bool Router::connect(Element* from, int from_port, Element* to, int to_port,
+                     std::string* err) {
+  if (from->n_outputs() >= 0 && from_port >= from->n_outputs()) {
+    *err = from->name() + " has no output port " + std::to_string(from_port);
+    return false;
+  }
+  if (to->n_inputs() >= 0 && to_port >= to->n_inputs()) {
+    *err = to->name() + " has no input port " + std::to_string(to_port);
+    return false;
+  }
+  if (from->output_connected(from_port)) {
+    *err = from->name() + " output " + std::to_string(from_port) +
+           " already connected";
+    return false;
+  }
+  from->connect_output(from_port, to, to_port);
+  to->set_input(to_port, from, from_port);
+  return true;
+}
+
+Element* Router::find(const std::string& name) const {
+  for (const auto& e : elements_)
+    if (e->name() == name) return e.get();
+  return nullptr;
+}
+
+bool Router::initialize(std::string* err) {
+  for (auto& e : elements_) {
+    std::string local;
+    if (!e->initialize(&local)) {
+      *err = e->name() + ": " + (local.empty() ? "initialize failed" : local);
+      return false;
+    }
+  }
+  initialized_ = true;
+  return true;
+}
+
+sim::TimeNs Router::chain_cost(const Element* head) const {
+  sim::TimeNs total = 0;
+  std::set<const Element*> seen;  // guard against cycles
+  const Element* cur = head;
+  while (cur != nullptr && seen.insert(cur).second) {
+    total += cur->cost_ns();
+    cur = cur->output_element(0);
+  }
+  return total;
+}
+
+bool Router::configure(const std::string& config_text, std::string* err) {
+  return configure_impl(config_text, "", err);
+}
+
+bool Router::configure_impl(const std::string& config_text,
+                            const std::string& prefix, std::string* err) {
+  Lexer lex(config_text);
+  Token tok = lex.next();
+
+  auto fail = [&](const std::string& msg) {
+    std::ostringstream os;
+    os << "line " << tok.line << ": " << msg;
+    *err = os.str();
+    return false;
+  };
+
+  // `input` / `output` inside a compound body refer to the instance's
+  // pass-through endpoints; everything else gets the scope prefix.
+  auto scoped = [&](const std::string& ref) { return prefix + ref; };
+
+  /// True if `ref` names something instantiable as an anonymous element.
+  auto known_class = [&](const std::string& ref) {
+    return ElementRegistry::instance().has(ref) ||
+           compound_defs_.count(ref) != 0;
+  };
+  auto exists = [&](const std::string& scoped_name) {
+    return find(scoped_name) != nullptr ||
+           compound_instances_.count(scoped_name) != 0;
+  };
+
+  // Parse one endpoint: [ '[' int ']' ] ref [ args ] [ '[' int ']' ].
+  auto parse_endpoint = [&](Endpoint* out) -> bool {
+    out->in_port = 0;
+    out->out_port = 0;
+    if (tok.kind == TokKind::kLBracket) {
+      tok = lex.next();
+      if (tok.kind != TokKind::kInt) return fail("expected port number");
+      out->in_port = std::stoi(tok.text);
+      tok = lex.next();
+      if (tok.kind != TokKind::kRBracket) return fail("expected ']'");
+      tok = lex.next();
+    }
+    if (tok.kind != TokKind::kIdent) return fail("expected element name");
+    std::string ref = tok.text;
+    tok = lex.next();
+
+    // Inline declaration in a connection: `... -> name :: Class(args) -> ...`
+    if (tok.kind == TokKind::kColonColon) {
+      tok = lex.next();
+      if (tok.kind != TokKind::kIdent)
+        return fail("expected class name after '::'");
+      std::string cls = tok.text;
+      tok = lex.next();
+      std::vector<std::string> args;
+      if (tok.kind == TokKind::kArgs) {
+        args = split_args(tok.text);
+        tok = lex.next();
+      }
+      if (instantiate(scoped(ref), cls, args, err) == nullptr) return false;
+      out->name = scoped(ref);
+      if (tok.kind == TokKind::kLBracket) {
+        tok = lex.next();
+        if (tok.kind != TokKind::kInt) return fail("expected port number");
+        out->out_port = std::stoi(tok.text);
+        tok = lex.next();
+        if (tok.kind != TokKind::kRBracket) return fail("expected ']'");
+        tok = lex.next();
+      }
+      return true;
+    }
+
+    if (tok.kind == TokKind::kArgs) {
+      std::string anon = scoped(ref + "@" + std::to_string(++anon_counter_));
+      if (instantiate(anon, ref, split_args(tok.text), err) == nullptr)
+        return false;
+      out->name = anon;
+      tok = lex.next();
+    } else if (!exists(scoped(ref)) && known_class(ref)) {
+      std::string anon = scoped(ref + "@" + std::to_string(++anon_counter_));
+      if (instantiate(anon, ref, {}, err) == nullptr) return false;
+      out->name = anon;
+    } else {
+      out->name = scoped(ref);
+    }
+
+    if (tok.kind == TokKind::kLBracket) {
+      tok = lex.next();
+      if (tok.kind != TokKind::kInt) return fail("expected port number");
+      out->out_port = std::stoi(tok.text);
+      tok = lex.next();
+      if (tok.kind != TokKind::kRBracket) return fail("expected ']'");
+      tok = lex.next();
+    }
+    return true;
+  };
+
+  while (tok.kind != TokKind::kEnd) {
+    if (tok.kind == TokKind::kSemicolon) {
+      tok = lex.next();
+      continue;
+    }
+
+    if (tok.kind == TokKind::kIdent) {
+      std::string first = tok.text;
+      tok = lex.next();
+
+      // elementclass Name { body };
+      if (first == "elementclass") {
+        if (tok.kind != TokKind::kIdent)
+          return fail("expected compound class name after 'elementclass'");
+        std::string cname = tok.text;
+        tok = lex.next();
+        if (tok.kind != TokKind::kBody)
+          return fail("expected '{ ... }' body for elementclass '" +
+                      cname + "'");
+        if (ElementRegistry::instance().has(cname) ||
+            compound_defs_.count(cname))
+          return fail("elementclass '" + cname + "' shadows existing class");
+        compound_defs_[cname] = tok.text;
+        tok = lex.next();
+        continue;
+      }
+
+      // Declaration: name :: Class(args)
+      if (tok.kind == TokKind::kColonColon) {
+        tok = lex.next();
+        if (tok.kind != TokKind::kIdent)
+          return fail("expected class name after '::'");
+        std::string cls = tok.text;
+        tok = lex.next();
+        std::vector<std::string> args;
+        if (tok.kind == TokKind::kArgs) {
+          args = split_args(tok.text);
+          tok = lex.next();
+        }
+        if (instantiate(scoped(first), cls, args, err) == nullptr)
+          return false;
+        continue;
+      }
+
+      // Connection chain starting at `first`.
+      Endpoint from;
+      from.name = scoped(first);
+      if (tok.kind == TokKind::kArgs) {
+        std::string anon =
+            scoped(first + "@" + std::to_string(++anon_counter_));
+        if (instantiate(anon, first, split_args(tok.text), err) == nullptr)
+          return false;
+        from.name = anon;
+        tok = lex.next();
+      } else if (!exists(from.name) && known_class(first) &&
+                 tok.kind == TokKind::kArrow) {
+        std::string anon =
+            scoped(first + "@" + std::to_string(++anon_counter_));
+        if (instantiate(anon, first, {}, err) == nullptr) return false;
+        from.name = anon;
+      }
+      if (tok.kind == TokKind::kLBracket) {
+        tok = lex.next();
+        if (tok.kind != TokKind::kInt) return fail("expected port number");
+        from.out_port = std::stoi(tok.text);
+        tok = lex.next();
+        if (tok.kind != TokKind::kRBracket) return fail("expected ']'");
+        tok = lex.next();
+      }
+      if (tok.kind == TokKind::kSemicolon || tok.kind == TokKind::kEnd) {
+        if (!exists(from.name))
+          return fail("unknown element '" + from.name + "'");
+        continue;
+      }
+      if (tok.kind != TokKind::kArrow)
+        return fail("expected '->' or '::' after '" + first + "'");
+
+      while (tok.kind == TokKind::kArrow) {
+        tok = lex.next();
+        Endpoint to;
+        if (!parse_endpoint(&to)) return false;
+        Element* fe = resolve(from.name, /*as_source=*/true);
+        Element* te = resolve(to.name, /*as_source=*/false);
+        if (fe == nullptr)
+          return fail("unknown element '" + from.name + "'");
+        if (te == nullptr) return fail("unknown element '" + to.name + "'");
+        if (!connect(fe, from.out_port, te, to.in_port, err)) return false;
+        from = to;
+        from.out_port = to.out_port;
+      }
+      continue;
+    }
+
+    return fail("unexpected token '" + tok.text + "'");
+  }
+  return true;
+}
+
+}  // namespace mdp::click

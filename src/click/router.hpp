@@ -1,0 +1,111 @@
+// Router: owns an element graph and builds it from Click configuration
+// text. The supported grammar is the core of Click's language:
+//
+//   // declarations
+//   q :: Queue(64);
+//   cnt :: Counter;
+//   // connections, with optional port specifiers and anonymous elements
+//   src -> Classifier(12/0800, -) -> q;
+//   q [0] -> [0] cnt -> Discard;
+//
+// Statements are ';'-separated; '//' and '/* */' comments are stripped.
+// Multi-hop connection chains instantiate anonymous elements inline.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "click/element.hpp"
+#include "click/task.hpp"
+#include "net/packet_pool.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mdp::click {
+
+class Router {
+ public:
+  /// Shared services elements may need. Both pointers are optional, but
+  /// elements that clone packets (Tee) require the pool and timestamping
+  /// elements require the event queue.
+  struct Context {
+    sim::EventQueue* eq = nullptr;
+    net::PacketPool* pool = nullptr;
+  };
+
+  Router() = default;
+  explicit Router(Context ctx) : ctx_(ctx) {}
+
+  /// Parse config text, instantiate elements, and wire connections.
+  /// On failure returns false with a human-readable *err (line-oriented).
+  ///
+  /// Compound elements are supported in the Click style:
+  ///
+  ///   elementclass Pipeline { input -> Counter -> Paint(1) -> output; };
+  ///   p :: Pipeline;
+  ///   src -> p -> sink;
+  ///
+  /// A compound instance expands to pass-through `name/input` and
+  /// `name/output` elements plus its prefixed body; connections to the
+  /// instance attach to those endpoints (single input/output port).
+  bool configure(const std::string& config_text, std::string* err);
+
+  /// Programmatic construction (what configure() lowers to).
+  Element* add_element(const std::string& name, const std::string& cls,
+                       const std::vector<std::string>& args,
+                       std::string* err);
+
+  /// Adopt an externally constructed element (for elements that need
+  /// runtime state a registry factory cannot provide, e.g. callbacks).
+  Element* adopt(std::unique_ptr<Element> elem, const std::string& name);
+  bool connect(Element* from, int from_port, Element* to, int to_port,
+               std::string* err);
+
+  /// Run every element's initialize(). Must be called once after wiring.
+  bool initialize(std::string* err);
+
+  Element* find(const std::string& name) const;
+
+  template <typename T>
+  T* find_as(const std::string& name) const {
+    return dynamic_cast<T*>(find(name));
+  }
+
+  const std::vector<std::unique_ptr<Element>>& elements() const noexcept {
+    return elements_;
+  }
+
+  Context& context() noexcept { return ctx_; }
+  StrideScheduler& scheduler() noexcept { return scheduler_; }
+
+  /// Sum of cost_ns() along the output-0 spine starting at `head`
+  /// (inclusive). The multipath path model uses this as the base service
+  /// time of a chain replica.
+  sim::TimeNs chain_cost(const Element* head) const;
+
+  bool initialized() const noexcept { return initialized_; }
+
+ private:
+  bool configure_impl(const std::string& config_text,
+                      const std::string& prefix, std::string* err);
+  Element* instantiate(const std::string& name, const std::string& cls,
+                       const std::vector<std::string>& args,
+                       std::string* err);
+  /// Endpoint element for a (possibly compound) instance name.
+  Element* resolve(const std::string& name, bool as_source) const;
+
+  Context ctx_;
+  std::vector<std::unique_ptr<Element>> elements_;
+  StrideScheduler scheduler_;
+  std::map<std::string, std::string> compound_defs_;  // class -> body text
+  struct CompoundPorts {
+    Element* input = nullptr;
+    Element* output = nullptr;
+  };
+  std::map<std::string, CompoundPorts> compound_instances_;
+  bool initialized_ = false;
+  int anon_counter_ = 0;
+};
+
+}  // namespace mdp::click

@@ -1,0 +1,82 @@
+// Task / StrideScheduler: Click's CPU scheduling model. Elements that need
+// agency (Unqueue pulling from a Queue, sources) own a Task; the stride
+// scheduler interleaves tasks proportionally to their tickets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace mdp::click {
+
+class Task {
+ public:
+  /// @param fn    returns true if the task did useful work this firing.
+  /// @param tickets proportional share (Click default 1024).
+  explicit Task(std::function<bool()> fn, std::uint32_t tickets = 1024)
+      : fn_(std::move(fn)), tickets_(tickets ? tickets : 1),
+        stride_(kStride1 / (tickets ? tickets : 1)) {}
+
+  bool fire() { return fn_(); }
+
+  std::uint64_t pass() const noexcept { return pass_; }
+  void advance() noexcept { pass_ += stride_; }
+  std::uint32_t tickets() const noexcept { return tickets_; }
+  std::uint64_t fire_count() const noexcept { return fires_; }
+  std::uint64_t work_count() const noexcept { return work_; }
+  void count_fire(bool did_work) noexcept {
+    ++fires_;
+    if (did_work) ++work_;
+  }
+
+ private:
+  static constexpr std::uint64_t kStride1 = 1u << 16;
+  std::function<bool()> fn_;
+  std::uint32_t tickets_;
+  std::uint64_t stride_;
+  std::uint64_t pass_ = 0;
+  std::uint64_t fires_ = 0;
+  std::uint64_t work_ = 0;
+};
+
+class StrideScheduler {
+ public:
+  void add(Task* t) { tasks_.push_back(t); }
+
+  bool empty() const noexcept { return tasks_.empty(); }
+  std::size_t num_tasks() const noexcept { return tasks_.size(); }
+
+  /// Fire the lowest-pass task once. Returns whether it did work.
+  bool run_once() {
+    if (tasks_.empty()) return false;
+    Task* best = tasks_[0];
+    for (Task* t : tasks_)
+      if (t->pass() < best->pass()) best = t;
+    bool did = best->fire();
+    best->count_fire(did);
+    best->advance();
+    return did;
+  }
+
+  /// Run until `max_iters` firings or until an entire sweep does no work.
+  /// Returns the number of firings that did work.
+  std::size_t run(std::size_t max_iters) {
+    std::size_t productive = 0;
+    std::size_t idle_streak = 0;
+    for (std::size_t i = 0; i < max_iters; ++i) {
+      if (run_once()) {
+        ++productive;
+        idle_streak = 0;
+      } else if (++idle_streak >= tasks_.size()) {
+        break;  // every task reported no work
+      }
+    }
+    return productive;
+  }
+
+ private:
+  std::vector<Task*> tasks_;
+};
+
+}  // namespace mdp::click

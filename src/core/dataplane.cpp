@@ -1,0 +1,210 @@
+#include "core/dataplane.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/path_egress.hpp"
+
+namespace mdp::core {
+
+MdpDataPlane::MdpDataPlane(sim::EventQueue& eq, net::PacketPool& pool,
+                           DataPlaneConfig cfg, SchedulerPtr scheduler)
+    : eq_(eq),
+      pool_(pool),
+      cfg_(cfg),
+      scheduler_(std::move(scheduler)),
+      router_(click::Router::Context{&eq, &pool}),
+      monitor_(cfg.num_paths),
+      rng_(cfg.seed),
+      // Unit-mean lognormal: mu = -sigma^2/2.
+      jitter_(-cfg.service_jitter_sigma * cfg.service_jitter_sigma / 2,
+              cfg.service_jitter_sigma) {
+  if (cfg_.num_paths == 0) throw std::invalid_argument("num_paths == 0");
+  if (!scheduler_) throw std::invalid_argument("null scheduler");
+
+  reorder_ = std::make_unique<ReorderBuffer>(
+      eq_, cfg_.reorder, [this](net::PacketPtr pkt) {
+        pkt->anno().egress_ns = eq_.now();
+        ++egress_count_;
+        counters_.inc("egress");
+        if (egress_) egress_(std::move(pkt));
+      });
+
+  nf::ChainSpec spec = nf::ChainSpec::preset(cfg_.chain);
+  std::string err;
+  paths_.reserve(cfg_.num_paths);
+  for (std::size_t p = 0; p < cfg_.num_paths; ++p) {
+    Path path;
+    path.core = std::make_unique<sim::SimCore>(
+        eq_, "path" + std::to_string(p));
+    auto built = nf::build_chain(router_, "path" + std::to_string(p), spec,
+                                 &err);
+    if (!built)
+      throw std::runtime_error("chain build failed: " + err);
+    path.chain_head = built->head;
+    chain_cost_ns_ = built->cost_ns;
+
+    auto pid = static_cast<std::uint16_t>(p);
+    click::Element* egress_elem = router_.adopt(
+        std::make_unique<PathEgress>([this, pid](net::PacketPtr pkt) {
+          egress_consumed_ = true;
+          on_path_complete(pid, std::move(pkt));
+        }),
+        "path" + std::to_string(p) + "_egress");
+    if (!router_.connect(built->tail, 0, egress_elem, 0, &err))
+      throw std::runtime_error("egress wiring failed: " + err);
+    paths_.push_back(std::move(path));
+  }
+  if (!router_.initialize(&err))
+    throw std::runtime_error("router init failed: " + err);
+
+  if (cfg_.dedup_sweep_interval_ns > 0) schedule_dedup_sweep();
+}
+
+MdpDataPlane::~MdpDataPlane() = default;
+
+void MdpDataPlane::schedule_dedup_sweep() {
+  eq_.schedule_in(cfg_.dedup_sweep_interval_ns, [this] {
+    dedup_.sweep(eq_.now(), cfg_.dedup_max_age_ns);
+    schedule_dedup_sweep();
+  });
+}
+
+sim::TimeNs MdpDataPlane::service_time(const net::Packet& pkt) {
+  double base = static_cast<double>(chain_cost_ns_);
+  if (cfg_.service_jitter_sigma > 0) base *= jitter_.sample(rng_);
+  base += cfg_.per_byte_ns * static_cast<double>(pkt.length());
+  return base < 1 ? 1 : static_cast<sim::TimeNs>(base);
+}
+
+void MdpDataPlane::ingress(net::PacketPtr pkt) {
+  ++ingress_count_;
+  counters_.inc("ingress");
+  auto& a = pkt->anno();
+  if (a.ingress_ns == 0) a.ingress_ns = eq_.now();
+  a.seq = next_seq_[a.flow_id]++;
+
+  select_buf_.clear();
+  scheduler_->select(*pkt, *this, rng_, select_buf_);
+  if (select_buf_.empty()) select_buf_.push_back(first_up_path(*this));
+
+  const std::uint64_t k = Deduplicator::key(a.flow_id, a.seq);
+  dedup_.expect(k, static_cast<std::uint8_t>(select_buf_.size()), eq_.now());
+  if (select_buf_.size() > 1)
+    counters_.inc("replicas", select_buf_.size() - 1);
+
+  // Hedging: single-copy packets may get a late second copy. The clone is
+  // parked now (the original moves into the path job and becomes
+  // inaccessible) and dispatched only if the timeout fires first.
+  if (select_buf_.size() == 1) {
+    sim::TimeNs timeout = scheduler_->hedge_timeout_ns(*pkt, *this);
+    if (timeout > 0) {
+      net::PacketPtr clone = pool_.clone(*pkt);
+      if (clone)
+        arm_hedge(k, select_buf_[0], timeout, std::move(clone));
+    }
+  }
+
+  // Dispatch copies: clones first (the original is consumed last).
+  for (std::size_t i = 1; i < select_buf_.size(); ++i) {
+    net::PacketPtr copy = pool_.clone(*pkt);
+    if (!copy) {
+      dedup_.cancel_one(k);
+      continue;
+    }
+    copy->anno().copy_index = static_cast<std::uint8_t>(i);
+    copy->anno().is_replica = true;
+    dispatch(select_buf_[i], std::move(copy));
+  }
+  pkt->anno().copy_index = 0;
+  pkt->anno().is_replica = false;
+  dispatch(select_buf_[0], std::move(pkt));
+}
+
+void MdpDataPlane::dispatch(std::uint16_t path, net::PacketPtr pkt) {
+  auto& a = pkt->anno();
+  if (cfg_.path_queue_capacity > 0 &&
+      paths_[path].core->queue_depth() >= cfg_.path_queue_capacity) {
+    // Tail drop at the path queue: release the dedup slot so merged
+    // delivery of surviving copies still works.
+    dedup_.cancel_one(Deduplicator::key(a.flow_id, a.seq));
+    counters_.inc("queue_drops");
+    return;
+  }
+  a.dispatch_ns = eq_.now();
+  a.path_id = path;
+  monitor_.on_dispatch(path);
+  counters_.inc("dispatched");
+
+  sim::TimeNs service = service_time(*pkt);
+  const std::uint64_t k = Deduplicator::key(a.flow_id, a.seq);
+  bool jump_queue =
+      cfg_.lc_priority &&
+      a.traffic_class == net::TrafficClass::kLatencyCritical;
+  paths_[path].core->submit(
+      service,
+      [this, path, k, pkt = std::move(pkt)](sim::TimeNs) mutable {
+        if (!cfg_.functional_chain) {
+          on_path_complete(path, std::move(pkt));
+          return;
+        }
+        // Push through the real chain replica; PathEgress sets the flag.
+        // If the chain filtered the packet (firewall deny, DPI drop), the
+        // copy will never reach the merge stage — release its dedup slot.
+        egress_consumed_ = false;
+        paths_[path].chain_head->push(0, std::move(pkt));
+        if (!egress_consumed_) {
+          monitor_.on_filtered(path);
+          dedup_.cancel_one(k);
+          counters_.inc("chain_filtered");
+        }
+      },
+      jump_queue);
+}
+
+void MdpDataPlane::on_path_complete(std::uint16_t path, net::PacketPtr pkt) {
+  const auto& a = pkt->anno();
+  sim::TimeNs latency = eq_.now() - a.dispatch_ns;
+  monitor_.on_complete(path, latency);
+  scheduler_->on_complete(path, latency);
+
+  const std::uint64_t k = Deduplicator::key(a.flow_id, a.seq);
+  // First completion cancels any parked hedge copy.
+  if (auto it = hedge_parked_.find(k); it != hedge_parked_.end())
+    hedge_parked_.erase(it);
+
+  if (!dedup_.accept(k)) {
+    counters_.inc("dup_dropped");
+    return;  // duplicate copy: recycle
+  }
+  reorder_->submit(std::move(pkt));
+}
+
+void MdpDataPlane::arm_hedge(std::uint64_t key, std::uint16_t original_path,
+                             sim::TimeNs timeout, net::PacketPtr clone) {
+  clone->anno().hedged = true;
+  clone->anno().is_replica = true;
+  clone->anno().copy_index = 1;
+  hedge_parked_.emplace(key, std::move(clone));
+  eq_.schedule_in(timeout, [this, key, original_path] {
+    auto it = hedge_parked_.find(key);
+    if (it == hedge_parked_.end()) return;  // original completed in time
+    net::PacketPtr copy = std::move(it->second);
+    hedge_parked_.erase(it);
+    // Best alternate: least-backlogged up path that is not the original.
+    PathVec two;
+    k_least_backlog_paths(*this, 2, two);
+    std::uint16_t alt = original_path;
+    for (std::uint16_t cand : two) {
+      if (cand != original_path) {
+        alt = cand;
+        break;
+      }
+    }
+    dedup_.add_expected(key);
+    counters_.inc("hedges");
+    dispatch(alt, std::move(copy));
+  });
+}
+
+}  // namespace mdp::core

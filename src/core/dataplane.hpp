@@ -1,0 +1,155 @@
+// MdpDataPlane: the multipath last mile, assembled.
+//
+//                      +-- path 0: SimCore --> chain replica --+
+//   ingress -> sched --+-- path 1: SimCore --> chain replica --+--> dedup
+//                      +-- ...                                 |     |
+//                                                              |  reorder
+//                                                              +---> egress
+//
+// Each path is one simulated worker core (queueing model, see SimCore)
+// running its own functional replica of the NF chain (real Click elements:
+// the firewall really filters, the NAT really rewrites). The service time
+// charged on the core is the chain's cost-model time with lognormal jitter;
+// when the job completes, the packet is pushed through the chain replica
+// for its functional effect, then merged: first-copy-wins dedup, per-flow
+// resequencing, and finally the egress callback.
+//
+// Interference is attached from outside (see sim::InterferenceModel) onto
+// any subset of the path cores — that is the "noisy neighbor" of the
+// experiments.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "click/router.hpp"
+#include "core/dedup.hpp"
+#include "core/path_monitor.hpp"
+#include "core/reorder.hpp"
+#include "core/scheduler.hpp"
+#include "net/packet_pool.hpp"
+#include "nf/chain.hpp"
+#include "sim/distributions.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/sim_core.hpp"
+#include "stats/counters.hpp"
+
+namespace mdp::core {
+
+struct DataPlaneConfig {
+  std::size_t num_paths = 4;
+  std::string chain = "fw-nat-lb";  ///< nf::ChainSpec preset name
+  /// Run packets through the real chain elements (functional effects +
+  /// chain drops). When false, only the cost model applies.
+  bool functional_chain = true;
+  /// Lognormal sigma on the per-packet service time (0 = deterministic).
+  double service_jitter_sigma = 0.25;
+  /// Additional service cost per payload byte (models touch cost).
+  double per_byte_ns = 0.15;
+  /// Dispatch latency-critical packets ahead of queued best-effort work
+  /// on their path core (strict priority). The classic alternative to
+  /// multipath — helps against queueing but not against CPU theft, which
+  /// stalls the whole core regardless of queue order (Fig 12 ablation).
+  bool lc_priority = false;
+  /// Per-path ingress queue bound (jobs waiting on the core). 0 =
+  /// unbounded. Real vNIC/vhost queues are bounded; overload then shows
+  /// up as drops instead of unbounded delay.
+  std::size_t path_queue_capacity = 0;
+  ReorderConfig reorder{};
+  sim::TimeNs dedup_sweep_interval_ns = 10 * sim::kMillisecond;
+  sim::TimeNs dedup_max_age_ns = 50 * sim::kMillisecond;
+  std::uint64_t seed = 42;
+};
+
+class MdpDataPlane final : public PathContext {
+ public:
+  using Egress = std::function<void(net::PacketPtr)>;
+
+  MdpDataPlane(sim::EventQueue& eq, net::PacketPool& pool,
+               DataPlaneConfig cfg, SchedulerPtr scheduler);
+  ~MdpDataPlane() override;
+
+  /// Egress sink for merged, in-order traffic. anno().egress_ns is set.
+  void set_egress(Egress egress) { egress_ = std::move(egress); }
+
+  /// Entry point: one packet from the NIC/workload into the last mile.
+  void ingress(net::PacketPtr pkt);
+
+  /// Access a path's core, e.g. to attach an InterferenceModel.
+  sim::SimCore& core(std::size_t path) { return *paths_[path].core; }
+  /// Mark a path administratively up/down (failure injection).
+  void set_path_up(std::size_t path, bool up) { paths_[path].up = up; }
+
+  // --- PathContext (the scheduler's view) -----------------------------------
+  std::size_t num_paths() const override { return paths_.size(); }
+  bool up(std::size_t path) const override { return paths_[path].up; }
+  /// Schedulers see the *observable* backlog: their own queued packets.
+  /// Interference in progress is invisible at dispatch time, exactly as a
+  /// hypervisor-preempted core looks to a vSwitch dispatcher.
+  sim::TimeNs backlog_ns(std::size_t path) const override {
+    return paths_[path].core->visible_backlog_ns();
+  }
+  std::size_t queue_depth(std::size_t path) const override {
+    return paths_[path].core->queue_depth();
+  }
+  std::uint64_t inflight(std::size_t path) const override {
+    return monitor_.inflight(path);
+  }
+  double ewma_latency_ns(std::size_t path) const override {
+    return monitor_.ewma_latency_ns(path);
+  }
+  sim::TimeNs now() const override { return eq_.now(); }
+
+  // --- introspection ----------------------------------------------------------
+  PathMonitor& monitor() noexcept { return monitor_; }
+  const Deduplicator& dedup() const noexcept { return dedup_; }
+  const ReorderBuffer& reorder() const noexcept { return *reorder_; }
+  Scheduler& scheduler() noexcept { return *scheduler_; }
+  const stats::CounterSet& counters() const noexcept { return counters_; }
+  const DataPlaneConfig& config() const noexcept { return cfg_; }
+  sim::TimeNs chain_cost_ns() const noexcept { return chain_cost_ns_; }
+  click::Router& router() noexcept { return router_; }
+
+  std::uint64_t ingress_count() const noexcept { return ingress_count_; }
+  std::uint64_t egress_count() const noexcept { return egress_count_; }
+
+ private:
+  struct Path {
+    std::unique_ptr<sim::SimCore> core;
+    click::Element* chain_head = nullptr;
+    bool up = true;
+  };
+
+  void dispatch(std::uint16_t path, net::PacketPtr pkt);
+  void on_path_complete(std::uint16_t path, net::PacketPtr pkt);
+  void arm_hedge(std::uint64_t key, std::uint16_t original_path,
+                 sim::TimeNs timeout, net::PacketPtr clone);
+  void schedule_dedup_sweep();
+  sim::TimeNs service_time(const net::Packet& pkt);
+
+  sim::EventQueue& eq_;
+  net::PacketPool& pool_;
+  DataPlaneConfig cfg_;
+  SchedulerPtr scheduler_;
+  click::Router router_;
+  std::vector<Path> paths_;
+  PathMonitor monitor_;
+  Deduplicator dedup_;
+  std::unique_ptr<ReorderBuffer> reorder_;
+  Egress egress_;
+  sim::Rng rng_;
+  sim::LogNormal jitter_;
+  sim::TimeNs chain_cost_ns_ = 0;
+  stats::CounterSet counters_;
+  std::unordered_map<std::uint32_t, std::uint64_t> next_seq_;
+  // Hedge copies parked until the timeout decides their fate.
+  std::unordered_map<std::uint64_t, net::PacketPtr> hedge_parked_;
+  std::uint64_t ingress_count_ = 0;
+  std::uint64_t egress_count_ = 0;
+  bool egress_consumed_ = false;  // set by PathEgress during a chain push
+  PathVec select_buf_;
+};
+
+}  // namespace mdp::core

@@ -1,0 +1,68 @@
+#include "core/health.hpp"
+
+namespace mdp::core {
+
+void PathHealthMonitor::start() {
+  eq_.schedule_in(cfg_.probe_interval_ns, [this] {
+    probe_all();
+    start();
+  });
+}
+
+void PathHealthMonitor::probe_all() {
+  for (std::size_t p = 0; p < state_.size(); ++p) {
+    PathState& st = state_[p];
+    // A probe still outstanding past its deadline already counted as a
+    // miss via the deadline event; don't stack probes on a stuck core.
+    if (st.probe_pending) continue;
+    st.probe_pending = true;
+    std::uint64_t epoch = ++st.probe_epoch;
+    ++probes_sent_;
+
+    // The probe rides the path core like a (tiny) packet would. Whichever
+    // of {completion, deadline} fires first decides the verdict; the flag
+    // is shared so the loser is a no-op.
+    auto decided = std::make_shared<bool>(false);
+    dp_.core(p).submit(cfg_.probe_cost_ns,
+                       [this, p, epoch, decided](sim::TimeNs) {
+                         if (*decided) return;
+                         *decided = true;
+                         on_probe_result(p, epoch, /*on_time=*/true);
+                       });
+    eq_.schedule_in(cfg_.probe_deadline_ns, [this, p, epoch, decided] {
+      if (*decided) return;
+      *decided = true;
+      on_probe_result(p, epoch, /*on_time=*/false);
+    });
+  }
+}
+
+void PathHealthMonitor::on_probe_result(std::size_t path,
+                                        std::uint64_t epoch, bool on_time) {
+  PathState& st = state_[path];
+  if (epoch != st.probe_epoch) return;  // stale (shouldn't happen)
+  st.probe_pending = false;
+
+  if (on_time) {
+    st.misses = 0;
+    if (!st.healthy && ++st.passes >= cfg_.up_after) {
+      st.healthy = true;
+      st.passes = 0;
+      ++ups_;
+      dp_.set_path_up(path, true);
+      if (on_transition_) on_transition_(path, true);
+    }
+  } else {
+    ++probes_missed_;
+    st.passes = 0;
+    if (st.healthy && ++st.misses >= cfg_.down_after) {
+      st.healthy = false;
+      st.misses = 0;
+      ++downs_;
+      dp_.set_path_up(path, false);
+      if (on_transition_) on_transition_(path, false);
+    }
+  }
+}
+
+}  // namespace mdp::core

@@ -1,0 +1,73 @@
+// PathHealthMonitor: automatic failure detection for last-mile paths.
+//
+// Periodically probes every path with a tiny health packet dispatched
+// straight onto its core. A path that misses `down_after` consecutive
+// probe deadlines is marked administratively down (schedulers stop
+// selecting it); it recovers after `up_after` consecutive on-time probes.
+// This turns the set_path_up() failover tested in the data plane into a
+// closed loop — the "path blackholes silently" failure mode.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <functional>
+#include <vector>
+
+#include "core/dataplane.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mdp::core {
+
+struct HealthConfig {
+  sim::TimeNs probe_interval_ns = 1 * sim::kMillisecond;
+  /// A probe not completed within this budget counts as a miss.
+  sim::TimeNs probe_deadline_ns = 500'000;
+  int down_after = 3;  ///< consecutive misses before marking down
+  int up_after = 2;    ///< consecutive passes before marking up again
+  sim::TimeNs probe_cost_ns = 200;  ///< core time one probe consumes
+};
+
+class PathHealthMonitor {
+ public:
+  PathHealthMonitor(sim::EventQueue& eq, MdpDataPlane& dp,
+                    HealthConfig cfg = {})
+      : eq_(eq), dp_(dp), cfg_(cfg), state_(dp.num_paths()) {}
+
+  /// Begin probing (self-rescheduling; drive the queue with run_until).
+  void start();
+
+  bool path_healthy(std::size_t p) const { return state_[p].healthy; }
+  std::uint64_t probes_sent() const noexcept { return probes_sent_; }
+  std::uint64_t probes_missed() const noexcept { return probes_missed_; }
+  std::uint64_t down_transitions() const noexcept { return downs_; }
+  std::uint64_t up_transitions() const noexcept { return ups_; }
+
+  /// Observer hook fired on every health transition (path, now_healthy).
+  void set_on_transition(std::function<void(std::size_t, bool)> cb) {
+    on_transition_ = std::move(cb);
+  }
+
+ private:
+  struct PathState {
+    bool healthy = true;
+    int misses = 0;
+    int passes = 0;
+    std::uint64_t probe_epoch = 0;  // invalidates stale completions
+    bool probe_pending = false;
+  };
+
+  void probe_all();
+  void on_probe_result(std::size_t path, std::uint64_t epoch, bool on_time);
+
+  sim::EventQueue& eq_;
+  MdpDataPlane& dp_;
+  HealthConfig cfg_;
+  std::vector<PathState> state_;
+  std::function<void(std::size_t, bool)> on_transition_;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t probes_missed_ = 0;
+  std::uint64_t downs_ = 0;
+  std::uint64_t ups_ = 0;
+};
+
+}  // namespace mdp::core

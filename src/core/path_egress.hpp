@@ -1,0 +1,30 @@
+// PathEgress: terminal element of each per-path chain replica. Hands every
+// packet that survived the chain back to the data plane's merge stage.
+// Constructed programmatically (Router::adopt) because it carries a
+// callback into the owning data plane.
+#pragma once
+
+#include <utility>
+
+#include "click/element.hpp"
+#include "sim/unique_function.hpp"
+
+namespace mdp::core {
+
+class PathEgress final : public click::Element {
+ public:
+  using Handler = std::function<void(net::PacketPtr)>;
+
+  explicit PathEgress(Handler handler) : handler_(std::move(handler)) {}
+
+  std::string class_name() const override { return "PathEgress"; }
+  int n_outputs() const override { return 0; }
+  sim::TimeNs cost_ns() const override { return 0; }
+
+  void push(int, net::PacketPtr pkt) override { handler_(std::move(pkt)); }
+
+ private:
+  Handler handler_;
+};
+
+}  // namespace mdp::core

@@ -1,0 +1,90 @@
+// PathMonitor: per-path telemetry the schedulers consume — in-flight count,
+// EWMA of observed per-path latency, completion counts. Updated by the
+// data plane on every dispatch/completion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mdp::core {
+
+class PathMonitor {
+ public:
+  explicit PathMonitor(std::size_t num_paths, double ewma_alpha = 0.2)
+      : alpha_(ewma_alpha), paths_(num_paths) {}
+
+  void on_dispatch(std::size_t path) noexcept {
+    ++paths_[path].inflight;
+    ++paths_[path].dispatched;
+  }
+
+  void on_complete(std::size_t path, sim::TimeNs latency_ns) noexcept {
+    auto& p = paths_[path];
+    if (p.inflight > 0) --p.inflight;
+    ++p.completed;
+    if (p.ewma_latency_ns <= 0) {
+      p.ewma_latency_ns = static_cast<double>(latency_ns);
+    } else {
+      p.ewma_latency_ns = alpha_ * static_cast<double>(latency_ns) +
+                          (1 - alpha_) * p.ewma_latency_ns;
+    }
+    if (latency_ns > p.max_latency_ns) p.max_latency_ns = latency_ns;
+  }
+
+  /// A dispatched copy that never completed (filtered inside the chain).
+  void on_filtered(std::size_t path) noexcept {
+    auto& p = paths_[path];
+    if (p.inflight > 0) --p.inflight;
+    ++p.filtered;
+  }
+
+  std::uint64_t inflight(std::size_t path) const noexcept {
+    return paths_[path].inflight;
+  }
+  double ewma_latency_ns(std::size_t path) const noexcept {
+    return paths_[path].ewma_latency_ns;
+  }
+  std::uint64_t dispatched(std::size_t path) const noexcept {
+    return paths_[path].dispatched;
+  }
+  std::uint64_t completed(std::size_t path) const noexcept {
+    return paths_[path].completed;
+  }
+  std::uint64_t filtered(std::size_t path) const noexcept {
+    return paths_[path].filtered;
+  }
+  sim::TimeNs max_latency_ns(std::size_t path) const noexcept {
+    return paths_[path].max_latency_ns;
+  }
+  std::size_t num_paths() const noexcept { return paths_.size(); }
+
+  /// Mean of per-path EWMAs over paths that have observations (the
+  /// auto-hedge timeout baseline).
+  double mean_ewma_latency_ns() const noexcept {
+    double sum = 0;
+    std::size_t n = 0;
+    for (const auto& p : paths_) {
+      if (p.ewma_latency_ns > 0) {
+        sum += p.ewma_latency_ns;
+        ++n;
+      }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+  }
+
+ private:
+  struct PerPath {
+    std::uint64_t inflight = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t filtered = 0;
+    double ewma_latency_ns = 0;
+    sim::TimeNs max_latency_ns = 0;
+  };
+  double alpha_;
+  std::vector<PerPath> paths_;
+};
+
+}  // namespace mdp::core

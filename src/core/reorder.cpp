@@ -1,0 +1,96 @@
+#include "core/reorder.hpp"
+
+namespace mdp::core {
+
+void ReorderBuffer::release(FlowState& st, net::PacketPtr pkt,
+                            sim::TimeNs arrived_ns) {
+  dwell_.record(eq_.now() - arrived_ns);
+  st.next_expected = pkt->anno().seq + 1;
+  emit_(std::move(pkt));
+}
+
+void ReorderBuffer::drain(FlowState& st) {
+  // Release consecutive buffered packets starting at next_expected.
+  while (true) {
+    auto it = st.pending.find(st.next_expected);
+    if (it == st.pending.end()) break;
+    net::PacketPtr pkt = std::move(it->second);
+    sim::TimeNs arrived = st.arrival_ns[it->first];
+    st.arrival_ns.erase(it->first);
+    st.pending.erase(it);
+    --buffered_count_;
+    release(st, std::move(pkt), arrived);
+  }
+}
+
+void ReorderBuffer::arm_timer(std::uint32_t flow_id, FlowState& st) {
+  if (st.timer_armed) return;
+  st.timer_armed = true;
+  eq_.schedule_in(cfg_.timeout_ns,
+                  [this, flow_id] { on_timeout(flow_id); });
+}
+
+void ReorderBuffer::on_timeout(std::uint32_t flow_id) {
+  auto fit = flows_.find(flow_id);
+  if (fit == flows_.end()) return;
+  FlowState& st = fit->second;
+  st.timer_armed = false;
+  if (st.pending.empty()) return;
+  // Only skip holes that have actually waited the full timeout; packets
+  // buffered more recently get a fresh timer.
+  sim::TimeNs oldest = st.arrival_ns.begin()->second;
+  for (const auto& [seq, t] : st.arrival_ns)
+    if (t < oldest) oldest = t;
+  if (eq_.now() - oldest >= cfg_.timeout_ns) {
+    // Advance the window past the hole: release from the smallest
+    // buffered seq onward.
+    auto it = st.pending.begin();
+    ++timeout_releases_;
+    net::PacketPtr pkt = std::move(it->second);
+    sim::TimeNs arrived = st.arrival_ns[it->first];
+    st.arrival_ns.erase(it->first);
+    st.pending.erase(it);
+    --buffered_count_;
+    release(st, std::move(pkt), arrived);
+    drain(st);
+  }
+  if (!st.pending.empty()) arm_timer(flow_id, st);
+}
+
+void ReorderBuffer::submit(net::PacketPtr pkt) {
+  const auto& a = pkt->anno();
+  FlowState& st = flows_[a.flow_id];
+
+  if (a.seq == st.next_expected) {
+    ++in_order_;
+    release(st, std::move(pkt), eq_.now());
+    drain(st);
+    return;
+  }
+
+  ++out_of_order_;
+  if (a.seq < st.next_expected) {
+    // Predecessor already skipped past this seq (timeout); deliver late
+    // rather than drop — better a reordered packet than a lost one.
+    ++late_after_skip_;
+    dwell_.record(0);
+    emit_(std::move(pkt));
+    return;
+  }
+
+  if (!cfg_.enabled) {
+    // Detection-only mode: count and pass through immediately.
+    st.next_expected = a.seq + 1;
+    dwell_.record(0);
+    emit_(std::move(pkt));
+    return;
+  }
+
+  std::uint64_t seq = a.seq;
+  st.arrival_ns[seq] = eq_.now();
+  st.pending.emplace(seq, std::move(pkt));
+  ++buffered_count_;
+  arm_timer(a.flow_id, st);
+}
+
+}  // namespace mdp::core

@@ -1,0 +1,229 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+namespace mdp::core {
+
+std::uint16_t first_up_path(const PathContext& ctx) {
+  for (std::size_t p = 0; p < ctx.num_paths(); ++p)
+    if (ctx.up(p)) return static_cast<std::uint16_t>(p);
+  return 0;
+}
+
+std::uint16_t least_backlog_path(const PathContext& ctx) {
+  std::uint16_t best = first_up_path(ctx);
+  sim::TimeNs best_backlog = ctx.up(best) ? ctx.backlog_ns(best)
+                                          : UINT64_MAX;
+  for (std::size_t p = 0; p < ctx.num_paths(); ++p) {
+    if (!ctx.up(p)) continue;
+    sim::TimeNs b = ctx.backlog_ns(p);
+    if (b < best_backlog) {
+      best_backlog = b;
+      best = static_cast<std::uint16_t>(p);
+    }
+  }
+  return best;
+}
+
+void k_least_backlog_paths(const PathContext& ctx, std::size_t k,
+                           PathVec& out) {
+  struct Cand {
+    sim::TimeNs backlog;
+    std::uint16_t path;
+  };
+  std::vector<Cand> cands;
+  cands.reserve(ctx.num_paths());
+  for (std::size_t p = 0; p < ctx.num_paths(); ++p)
+    if (ctx.up(p))
+      cands.push_back({ctx.backlog_ns(p), static_cast<std::uint16_t>(p)});
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    return a.backlog != b.backlog ? a.backlog < b.backlog
+                                  : a.path < b.path;
+  });
+  for (std::size_t i = 0; i < cands.size() && i < k; ++i)
+    out.push_back(cands[i].path);
+}
+
+// --- SinglePath -----------------------------------------------------------------
+
+void SinglePathScheduler::select(const net::Packet&, const PathContext& ctx,
+                                 sim::Rng&, PathVec& out) {
+  std::uint16_t p = pinned_;
+  if (p >= ctx.num_paths() || !ctx.up(p)) p = first_up_path(ctx);
+  out.push_back(p);
+}
+
+// --- RssHash --------------------------------------------------------------------
+
+void RssHashScheduler::select(const net::Packet& pkt, const PathContext& ctx,
+                              sim::Rng&, PathVec& out) {
+  std::size_t n = ctx.num_paths();
+  auto start = static_cast<std::size_t>(pkt.anno().flow_hash % n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t p = (start + i) % n;
+    if (ctx.up(p)) {
+      out.push_back(static_cast<std::uint16_t>(p));
+      return;
+    }
+  }
+  out.push_back(0);
+}
+
+// --- RoundRobin -----------------------------------------------------------------
+
+void RoundRobinScheduler::select(const net::Packet&, const PathContext& ctx,
+                                 sim::Rng&, PathVec& out) {
+  std::size_t n = ctx.num_paths();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t p = (next_ + i) % n;
+    if (ctx.up(p)) {
+      next_ = (p + 1) % n;
+      out.push_back(static_cast<std::uint16_t>(p));
+      return;
+    }
+  }
+  out.push_back(0);
+}
+
+// --- Jsq ------------------------------------------------------------------------
+
+void JsqScheduler::select(const net::Packet&, const PathContext& ctx,
+                          sim::Rng&, PathVec& out) {
+  out.push_back(least_backlog_path(ctx));
+}
+
+// --- LeastLatency ---------------------------------------------------------------
+
+void LeastLatencyScheduler::select(const net::Packet&, const PathContext& ctx,
+                                   sim::Rng& rng, PathVec& out) {
+  // Epsilon-greedy: occasionally probe a random up path so a path whose
+  // EWMA went stale (e.g. after an interference burst ended) can recover.
+  if (rng.bernoulli(epsilon_)) {
+    std::size_t n = ctx.num_paths();
+    for (std::size_t tries = 0; tries < n; ++tries) {
+      auto p = static_cast<std::size_t>(rng.uniform_u64(n));
+      if (ctx.up(p)) {
+        out.push_back(static_cast<std::uint16_t>(p));
+        return;
+      }
+    }
+  }
+  // Score = EWMA latency + current backlog (a path can be historically
+  // fast but momentarily buried; backlog captures that).
+  double best_score = 0;
+  int best = -1;
+  for (std::size_t p = 0; p < ctx.num_paths(); ++p) {
+    if (!ctx.up(p)) continue;
+    double score = ctx.ewma_latency_ns(p) +
+                   static_cast<double>(ctx.backlog_ns(p));
+    if (best < 0 || score < best_score) {
+      best_score = score;
+      best = static_cast<int>(p);
+    }
+  }
+  out.push_back(best < 0 ? std::uint16_t{0}
+                         : static_cast<std::uint16_t>(best));
+}
+
+// --- Flowlet --------------------------------------------------------------------
+
+void FlowletScheduler::select(const net::Packet& pkt, const PathContext& ctx,
+                              sim::Rng&, PathVec& out) {
+  std::uint32_t flow = pkt.anno().flow_id;
+  sim::TimeNs now = ctx.now();
+  auto it = table_.find(flow);
+  if (it != table_.end() && ctx.up(it->second.path) &&
+      now - it->second.last_seen_ns <= gap_ns_) {
+    it->second.last_seen_ns = now;
+    out.push_back(it->second.path);
+    return;
+  }
+  std::uint16_t p = least_backlog_path(ctx);
+  if (it != table_.end() && it->second.path != p) ++switches_;
+  table_[flow] = {p, now};
+  out.push_back(p);
+}
+
+// --- Redundant ------------------------------------------------------------------
+
+void RedundantScheduler::select(const net::Packet&, const PathContext& ctx,
+                                sim::Rng&, PathVec& out) {
+  k_least_backlog_paths(ctx, r_, out);
+  if (out.empty()) out.push_back(0);  // no up paths: pin to 0
+}
+
+// --- AdaptiveMdp ----------------------------------------------------------------
+
+bool AdaptiveMdpScheduler::is_critical(const net::Packet& pkt)
+    const noexcept {
+  const auto& a = pkt.anno();
+  if (a.traffic_class == net::TrafficClass::kLatencyCritical) return true;
+  if (cfg_.small_flow_bytes > 0 && a.flow_bytes > 0 &&
+      a.flow_bytes <= cfg_.small_flow_bytes)
+    return true;
+  return false;
+}
+
+void AdaptiveMdpScheduler::select(const net::Packet& pkt,
+                                  const PathContext& ctx, sim::Rng& rng,
+                                  PathVec& out) {
+  if (is_critical(pkt)) {
+    k_least_backlog_paths(ctx, cfg_.replicate_k, out);
+    // Load gate: drop extra copies whose target path already has a
+    // backlog above the cap — redundancy without spare capacity only
+    // adds queueing (the Fig 9 collapse).
+    if (cfg_.replicate_backlog_cap_ns > 0) {
+      while (out.size() > 1 &&
+             ctx.backlog_ns(out.back()) > cfg_.replicate_backlog_cap_ns)
+        out.pop_back();
+    }
+    if (out.empty()) out.push_back(0);
+    if (out.size() > 1) ++replicated_;
+    return;
+  }
+  flowlet_.select(pkt, ctx, rng, out);
+}
+
+sim::TimeNs AdaptiveMdpScheduler::hedge_timeout_ns(
+    const net::Packet& pkt, const PathContext& ctx) const {
+  if (!cfg_.hedge_enabled) return 0;
+  // Replicated packets already have redundancy; only hedge single copies.
+  if (is_critical(pkt) && cfg_.replicate_k > 1) return 0;
+  if (cfg_.hedge_timeout_ns > 0) return cfg_.hedge_timeout_ns;
+  double mean = 0;
+  std::size_t n = 0;
+  for (std::size_t p = 0; p < ctx.num_paths(); ++p) {
+    double e = ctx.ewma_latency_ns(p);
+    if (e > 0) {
+      mean += e;
+      ++n;
+    }
+  }
+  if (n == 0) return cfg_.hedge_min_ns;
+  auto t = static_cast<sim::TimeNs>(cfg_.hedge_ewma_factor * mean /
+                                    static_cast<double>(n));
+  return std::max(t, cfg_.hedge_min_ns);
+}
+
+// --- factory ---------------------------------------------------------------------
+
+SchedulerPtr make_scheduler(const std::string& name) {
+  if (name == "single") return std::make_unique<SinglePathScheduler>();
+  if (name == "rss") return std::make_unique<RssHashScheduler>();
+  if (name == "rr") return std::make_unique<RoundRobinScheduler>();
+  if (name == "jsq") return std::make_unique<JsqScheduler>();
+  if (name == "lla") return std::make_unique<LeastLatencyScheduler>();
+  if (name == "flowlet") return std::make_unique<FlowletScheduler>();
+  if (name == "red2") return std::make_unique<RedundantScheduler>(2);
+  if (name == "red3") return std::make_unique<RedundantScheduler>(3);
+  if (name == "red4") return std::make_unique<RedundantScheduler>(4);
+  if (name == "adaptive") return std::make_unique<AdaptiveMdpScheduler>();
+  return nullptr;
+}
+
+std::vector<std::string> evaluation_policy_names() {
+  return {"single", "rss", "rr", "jsq", "lla", "flowlet", "red2",
+          "adaptive"};
+}
+
+}  // namespace mdp::core

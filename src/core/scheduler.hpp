@@ -1,0 +1,219 @@
+// Multipath schedulers: the policy layer of the multipath data plane.
+//
+// Given a packet and a view of path state (PathContext), a scheduler
+// returns the set of paths that should carry copies of the packet
+// (usually one; >1 for redundancy). The headline AdaptiveMdp policy
+// combines three mechanisms:
+//   1. replicate latency-critical packets to the 2 least-backlogged paths
+//   2. flowlet-consistent JSQ for everything else (bounded reordering)
+//   3. hedge: if a single-copy packet hasn't egressed within a budget,
+//      issue a late copy on the current best alternate path
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace mdp::core {
+
+/// Read-only view of path state exposed to policies. Implemented by the
+/// data plane; test doubles implement it directly.
+class PathContext {
+ public:
+  virtual ~PathContext() = default;
+  virtual std::size_t num_paths() const = 0;
+  virtual bool up(std::size_t path) const = 0;
+  /// Outstanding work on the path's core (queued + in-service remainder).
+  virtual sim::TimeNs backlog_ns(std::size_t path) const = 0;
+  virtual std::size_t queue_depth(std::size_t path) const = 0;
+  virtual std::uint64_t inflight(std::size_t path) const = 0;
+  virtual double ewma_latency_ns(std::size_t path) const = 0;
+  virtual sim::TimeNs now() const = 0;
+};
+
+using PathVec = std::vector<std::uint16_t>;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+
+  /// Choose >= 1 distinct up paths for this packet's copies. `out` is
+  /// cleared by the caller. Must never return a down path when any up
+  /// path exists.
+  virtual void select(const net::Packet& pkt, const PathContext& ctx,
+                      sim::Rng& rng, PathVec& out) = 0;
+
+  /// Hedge budget for a packet dispatched as a single copy; 0 disables.
+  virtual sim::TimeNs hedge_timeout_ns(const net::Packet& pkt,
+                                       const PathContext& ctx) const {
+    (void)pkt;
+    (void)ctx;
+    return 0;
+  }
+
+  /// Completion feedback (for learning policies).
+  virtual void on_complete(std::uint16_t path, sim::TimeNs latency_ns) {
+    (void)path;
+    (void)latency_ns;
+  }
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+// --- helpers shared by policies ------------------------------------------------
+
+/// First up path (or 0 if none).
+std::uint16_t first_up_path(const PathContext& ctx);
+/// Up path with the minimum backlog; ties break to the lowest id.
+std::uint16_t least_backlog_path(const PathContext& ctx);
+/// The k distinct up paths with the smallest backlogs (ascending).
+void k_least_backlog_paths(const PathContext& ctx, std::size_t k,
+                           PathVec& out);
+
+// --- concrete policies ----------------------------------------------------------
+
+/// Everything on one pinned path: the status quo last mile.
+class SinglePathScheduler final : public Scheduler {
+ public:
+  explicit SinglePathScheduler(std::uint16_t pinned = 0) : pinned_(pinned) {}
+  std::string name() const override { return "single"; }
+  void select(const net::Packet&, const PathContext& ctx, sim::Rng&,
+              PathVec& out) override;
+
+ private:
+  std::uint16_t pinned_;
+};
+
+/// RSS: static flow-hash spreading (per-flow pinning, no load awareness).
+class RssHashScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "rss"; }
+  void select(const net::Packet& pkt, const PathContext& ctx, sim::Rng&,
+              PathVec& out) override;
+};
+
+/// Packet-level round robin (load-oblivious spraying; max reordering).
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "rr"; }
+  void select(const net::Packet&, const PathContext& ctx, sim::Rng&,
+              PathVec& out) override;
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Join-shortest-queue by backlog (per-packet, load-aware).
+class JsqScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "jsq"; }
+  void select(const net::Packet&, const PathContext& ctx, sim::Rng&,
+              PathVec& out) override;
+};
+
+/// Least-EWMA-latency with epsilon-greedy probing (latency-aware; learns
+/// asymmetric path speeds that backlog alone cannot see).
+class LeastLatencyScheduler final : public Scheduler {
+ public:
+  explicit LeastLatencyScheduler(double epsilon = 0.05)
+      : epsilon_(epsilon) {}
+  std::string name() const override { return "lla"; }
+  void select(const net::Packet&, const PathContext& ctx, sim::Rng& rng,
+              PathVec& out) override;
+
+ private:
+  double epsilon_;
+};
+
+/// Flowlet switching: a flow stays on its path while packet gaps are below
+/// `gap_ns`; an idle gap re-routes the flowlet via JSQ. Bounds reordering
+/// to flowlet boundaries.
+class FlowletScheduler final : public Scheduler {
+ public:
+  explicit FlowletScheduler(sim::TimeNs gap_ns = 50'000) : gap_ns_(gap_ns) {}
+  std::string name() const override { return "flowlet"; }
+  void select(const net::Packet& pkt, const PathContext& ctx, sim::Rng&,
+              PathVec& out) override;
+
+  sim::TimeNs gap_ns() const noexcept { return gap_ns_; }
+  std::uint64_t flowlet_switches() const noexcept { return switches_; }
+
+ private:
+  struct FlowletState {
+    std::uint16_t path;
+    sim::TimeNs last_seen_ns;
+  };
+  sim::TimeNs gap_ns_;
+  std::unordered_map<std::uint32_t, FlowletState> table_;
+  std::uint64_t switches_ = 0;
+};
+
+/// Full redundancy: every packet to the r least-backlogged paths;
+/// first copy wins at the dedup stage.
+class RedundantScheduler final : public Scheduler {
+ public:
+  explicit RedundantScheduler(std::size_t replicas = 2) : r_(replicas) {}
+  std::string name() const override {
+    return "red" + std::to_string(r_);
+  }
+  void select(const net::Packet&, const PathContext& ctx, sim::Rng&,
+              PathVec& out) override;
+
+ private:
+  std::size_t r_;
+};
+
+/// The headline policy (see file comment).
+struct AdaptiveMdpConfig {
+  std::size_t replicate_k = 2;          ///< copies for latency-critical
+  /// Load gate: replicate only while the extra copy's path has at most
+  /// this much backlog. This is what makes the policy *adaptive*: at high
+  /// load the spare capacity redundancy needs does not exist, so spending
+  /// it on copies just moves the whole latency curve up (see Fig 9) —
+  /// the gate degrades gracefully into flowlet-JSQ instead. 0 = no gate.
+  sim::TimeNs replicate_backlog_cap_ns = 25'000;
+  sim::TimeNs flowlet_gap_ns = 50'000;  ///< flowlet idle gap
+  bool hedge_enabled = true;
+  /// Fixed hedge budget; 0 => auto (hedge_ewma_factor x mean path EWMA).
+  sim::TimeNs hedge_timeout_ns = 0;
+  double hedge_ewma_factor = 3.0;
+  sim::TimeNs hedge_min_ns = 20'000;  ///< auto-hedge floor
+  /// Also replicate best-effort packets whose flow is known-small.
+  std::uint32_t small_flow_bytes = 0;  ///< 0 disables size-based replication
+};
+
+class AdaptiveMdpScheduler final : public Scheduler {
+ public:
+  explicit AdaptiveMdpScheduler(AdaptiveMdpConfig cfg = {})
+      : cfg_(cfg), flowlet_(cfg.flowlet_gap_ns) {}
+  std::string name() const override { return "adaptive"; }
+  void select(const net::Packet& pkt, const PathContext& ctx, sim::Rng& rng,
+              PathVec& out) override;
+  sim::TimeNs hedge_timeout_ns(const net::Packet& pkt,
+                               const PathContext& ctx) const override;
+
+  const AdaptiveMdpConfig& config() const noexcept { return cfg_; }
+  std::uint64_t replicated() const noexcept { return replicated_; }
+
+ private:
+  bool is_critical(const net::Packet& pkt) const noexcept;
+  AdaptiveMdpConfig cfg_;
+  FlowletScheduler flowlet_;
+  std::uint64_t replicated_ = 0;
+};
+
+/// Factory: "single" | "rss" | "rr" | "jsq" | "lla" | "flowlet" |
+/// "red2" | "red3" | "red4" | "adaptive". nullptr for unknown names.
+SchedulerPtr make_scheduler(const std::string& name);
+
+/// Canonical policy list for evaluation sweeps.
+std::vector<std::string> evaluation_policy_names();
+
+}  // namespace mdp::core

@@ -1,0 +1,100 @@
+// Experiment harness: one-call scenario runner shared by all bench
+// binaries. Assembles event queue + pool + multipath data plane + workload
+// + optional interference, runs warmup and measurement phases, and returns
+// the metrics every figure/table is built from.
+//
+// Load semantics: `load` is the offered fraction of the aggregate path
+// capacity (num_paths cores x 1/mean_service). Redundant policies do extra
+// internal work at the same offered load — exactly the overhead Fig 9
+// quantifies.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dataplane.hpp"
+#include "core/scheduler.hpp"
+#include "sim/interference.hpp"
+#include "stats/histogram.hpp"
+#include "stats/time_series.hpp"
+#include "workload/rpc_workload.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace mdp::harness {
+
+struct ScenarioConfig {
+  // Policy: either a name for core::make_scheduler, or a factory for
+  // ablations with custom parameters.
+  std::string policy = "jsq";
+  std::function<core::SchedulerPtr()> make_policy;  ///< overrides `policy`
+
+  std::size_t num_paths = 4;
+  std::string chain = "fw-nat-lb";
+  double load = 0.5;
+  std::uint64_t packets = 200'000;
+  std::uint64_t warmup_packets = 20'000;
+  std::size_t num_flows = 256;
+  double lc_fraction = 0.1;
+  double mean_payload = 200;
+  bool bursty_arrivals = false;  ///< MMPP instead of Poisson
+  workload::MmppConfig mmpp{};   ///< gaps overwritten by load calibration
+
+  bool interference = false;
+  sim::InterferenceConfig interference_cfg{};
+  /// Paths to attach interference to; empty = all paths.
+  std::vector<std::size_t> interference_paths;
+
+  core::DataPlaneConfig dp{};  ///< num_paths/chain/seed overwritten
+  std::uint64_t seed = 1;
+
+  /// If set, sample per-path queue depth into time series at this period.
+  sim::TimeNs sample_queues_interval_ns = 0;
+};
+
+struct ScenarioResult {
+  stats::LatencyHistogram latency;       ///< measured-phase egress latency
+  stats::LatencyHistogram lc_latency;    ///< latency-critical subset
+  std::uint64_t emitted = 0;
+  std::uint64_t egressed = 0;            ///< total (incl. warmup)
+  std::uint64_t measured = 0;            ///< egress events recorded
+  double achieved_mpps = 0;              ///< egress rate over measured phase
+  double offered_load = 0;
+  double duplicate_fraction = 0;         ///< dup drops / dispatched
+  double replica_fraction = 0;           ///< extra copies / ingress
+  std::uint64_t hedges = 0;
+  std::uint64_t chain_filtered = 0;
+  std::uint64_t queue_drops = 0;
+  double ooo_fraction = 0;               ///< out-of-order at merge point
+  std::uint64_t reorder_timeout_releases = 0;
+  stats::LatencyHistogram reorder_dwell;
+  std::vector<std::uint64_t> per_path_dispatched;
+  std::vector<double> per_path_utilization;
+  std::vector<stats::TimeSeries> queue_depth_series;  ///< if sampling on
+  sim::TimeNs sim_duration_ns = 0;
+  sim::TimeNs chain_cost_ns = 0;
+};
+
+/// Run a packet-level scenario (Figs 1, 6-10, 12; Tab 2).
+ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+struct RpcScenarioResult {
+  stats::LatencyHistogram short_fct;
+  stats::LatencyHistogram long_fct;
+  stats::LatencyHistogram all_fct;
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+};
+
+/// Run a flow-level FCT scenario (Fig 11). `workload_name` selects the
+/// flow-size CDF ("websearch" | "datamining" | "uniform").
+RpcScenarioResult run_rpc_scenario(const ScenarioConfig& cfg,
+                                   const std::string& workload_name,
+                                   std::uint64_t num_rpc_flows);
+
+/// Mean per-packet service time implied by a config (chain cost + payload
+/// touch cost); used for load calibration and reporting.
+double mean_service_ns(const ScenarioConfig& cfg);
+
+}  // namespace mdp::harness

@@ -1,0 +1,62 @@
+#include "net/checksum.hpp"
+
+#include "net/byte_order.hpp"
+
+namespace mdp::net {
+
+std::uint32_t checksum_partial(const std::byte* data, std::size_t len,
+                               std::uint32_t sum) noexcept {
+  while (len >= 2) {
+    sum += load_be16(data);
+    data += 2;
+    len -= 2;
+  }
+  if (len == 1) {
+    sum += std::to_integer<std::uint32_t>(data[0]) << 8;
+  }
+  return sum;
+}
+
+std::uint16_t checksum_fold(std::uint32_t sum) noexcept {
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint16_t checksum(const std::byte* data, std::size_t len) noexcept {
+  return checksum_fold(checksum_partial(data, len));
+}
+
+std::uint16_t checksum_update16(std::uint16_t old_csum, std::uint16_t old_word,
+                                std::uint16_t new_word) noexcept {
+  // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m')
+  std::uint32_t sum = static_cast<std::uint16_t>(~old_csum);
+  sum += static_cast<std::uint16_t>(~old_word);
+  sum += new_word;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint16_t checksum_update32(std::uint16_t old_csum, std::uint32_t old_val,
+                                std::uint32_t new_val) noexcept {
+  std::uint16_t c = old_csum;
+  c = checksum_update16(c, static_cast<std::uint16_t>(old_val >> 16),
+                        static_cast<std::uint16_t>(new_val >> 16));
+  c = checksum_update16(c, static_cast<std::uint16_t>(old_val & 0xffff),
+                        static_cast<std::uint16_t>(new_val & 0xffff));
+  return c;
+}
+
+std::uint32_t pseudo_header_sum(std::uint32_t src_ip, std::uint32_t dst_ip,
+                                std::uint8_t protocol,
+                                std::uint16_t l4_len) noexcept {
+  std::uint32_t sum = 0;
+  sum += src_ip >> 16;
+  sum += src_ip & 0xffff;
+  sum += dst_ip >> 16;
+  sum += dst_ip & 0xffff;
+  sum += protocol;
+  sum += l4_len;
+  return sum;
+}
+
+}  // namespace mdp::net

@@ -1,0 +1,13 @@
+#include "net/flow_key.hpp"
+
+#include "net/headers.hpp"
+
+namespace mdp::net {
+
+std::string FlowKey::to_string() const {
+  return ipv4_to_string(src_ip) + ":" + std::to_string(src_port) + "->" +
+         ipv4_to_string(dst_ip) + ":" + std::to_string(dst_port) + "/" +
+         std::to_string(protocol);
+}
+
+}  // namespace mdp::net

@@ -1,0 +1,68 @@
+// FlowKey: the classic 5-tuple, plus the hash used for RSS/ECMP-style path
+// selection. Hashing must be stable (same flow -> same path under RssHash)
+// and well mixed; we use a 64-bit fmix-style finalizer over the tuple.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mdp::net {
+
+struct FlowKey {
+  std::uint32_t src_ip = 0;   // host order
+  std::uint32_t dst_ip = 0;   // host order
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  /// Canonical direction-insensitive form (orders endpoints) — useful for
+  /// connection tracking where both directions map to one entry.
+  FlowKey canonical() const noexcept {
+    FlowKey k = *this;
+    if (src_ip > dst_ip || (src_ip == dst_ip && src_port > dst_port)) {
+      std::swap(k.src_ip, k.dst_ip);
+      std::swap(k.src_port, k.dst_port);
+    }
+    return k;
+  }
+
+  /// Reverse-direction key (for NAT return traffic lookups).
+  FlowKey reversed() const noexcept {
+    return FlowKey{dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+
+  std::string to_string() const;
+};
+
+/// 64-bit avalanche mix (MurmurHash3 finalizer).
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Stable 5-tuple hash. Seed lets different components (RSS vs dedupe)
+/// decorrelate their bucket assignment.
+inline std::uint64_t hash_flow(const FlowKey& k,
+                               std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    noexcept {
+  std::uint64_t h = seed;
+  h = mix64(h ^ ((std::uint64_t{k.src_ip} << 32) | k.dst_ip));
+  h = mix64(h ^ ((std::uint64_t{k.src_port} << 32) |
+                 (std::uint64_t{k.dst_port} << 16) | k.protocol));
+  return h;
+}
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const noexcept {
+    return static_cast<std::size_t>(hash_flow(k));
+  }
+};
+
+}  // namespace mdp::net

@@ -1,0 +1,23 @@
+#include "net/headers.hpp"
+
+#include <cstdio>
+
+namespace mdp::net {
+
+std::string ipv4_to_string(std::uint32_t a) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (a >> 24) & 0xff,
+                (a >> 16) & 0xff, (a >> 8) & 0xff, a & 0xff);
+  return buf;
+}
+
+bool ipv4_from_string(const std::string& s, std::uint32_t* out) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  int n = std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) return false;
+  *out = (a << 24) | (b << 16) | (c << 8) | d;
+  return true;
+}
+
+}  // namespace mdp::net

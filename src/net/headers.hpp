@@ -1,0 +1,176 @@
+// Protocol header views: Ethernet, IPv4, TCP, UDP.
+//
+// Each view wraps a byte pointer into a Packet and exposes typed, byte-order
+// correct accessors. Views never own memory and are cheap to construct; the
+// caller is responsible for bounds (use Packet::length() / parse helpers in
+// packet_builder.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "net/byte_order.hpp"
+
+namespace mdp::net {
+
+using MacAddress = std::array<std::uint8_t, 6>;
+
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr std::uint16_t kEtherTypeArp = 0x0806;
+constexpr std::uint16_t kEtherTypeVlan = 0x8100;
+
+constexpr std::uint8_t kIpProtoIcmp = 1;
+constexpr std::uint8_t kIpProtoTcp = 6;
+constexpr std::uint8_t kIpProtoUdp = 17;
+
+constexpr std::size_t kEthernetHeaderLen = 14;
+constexpr std::size_t kIpv4MinHeaderLen = 20;
+constexpr std::size_t kTcpMinHeaderLen = 20;
+constexpr std::size_t kUdpHeaderLen = 8;
+
+/// Render "a.b.c.d" for a host-order IPv4 address.
+std::string ipv4_to_string(std::uint32_t addr_host_order);
+/// Parse "a.b.c.d" into host order; returns false on malformed input.
+bool ipv4_from_string(const std::string& s, std::uint32_t* out);
+
+// ---------------------------------------------------------------------------
+class EthernetView {
+ public:
+  explicit EthernetView(std::byte* base) noexcept : base_(base) {}
+
+  MacAddress dst() const noexcept { return read_mac(0); }
+  MacAddress src() const noexcept { return read_mac(6); }
+  std::uint16_t ether_type() const noexcept { return load_be16(base_ + 12); }
+
+  void set_dst(const MacAddress& m) noexcept { write_mac(0, m); }
+  void set_src(const MacAddress& m) noexcept { write_mac(6, m); }
+  void set_ether_type(std::uint16_t t) noexcept { store_be16(base_ + 12, t); }
+
+ private:
+  MacAddress read_mac(std::size_t off) const noexcept {
+    MacAddress m;
+    for (std::size_t i = 0; i < 6; ++i)
+      m[i] = std::to_integer<std::uint8_t>(base_[off + i]);
+    return m;
+  }
+  void write_mac(std::size_t off, const MacAddress& m) noexcept {
+    for (std::size_t i = 0; i < 6; ++i)
+      base_[off + i] = static_cast<std::byte>(m[i]);
+  }
+  std::byte* base_;
+};
+
+// ---------------------------------------------------------------------------
+class Ipv4View {
+ public:
+  explicit Ipv4View(std::byte* base) noexcept : base_(base) {}
+
+  std::uint8_t version() const noexcept {
+    return std::to_integer<std::uint8_t>(base_[0]) >> 4;
+  }
+  std::uint8_t ihl() const noexcept {  // header length in 32-bit words
+    return std::to_integer<std::uint8_t>(base_[0]) & 0x0f;
+  }
+  std::size_t header_len() const noexcept { return std::size_t{ihl()} * 4; }
+  std::uint8_t dscp() const noexcept {
+    return std::to_integer<std::uint8_t>(base_[1]) >> 2;
+  }
+  std::uint16_t total_length() const noexcept { return load_be16(base_ + 2); }
+  std::uint16_t id() const noexcept { return load_be16(base_ + 4); }
+  std::uint8_t ttl() const noexcept {
+    return std::to_integer<std::uint8_t>(base_[8]);
+  }
+  std::uint8_t protocol() const noexcept {
+    return std::to_integer<std::uint8_t>(base_[9]);
+  }
+  std::uint16_t checksum() const noexcept { return load_be16(base_ + 10); }
+  std::uint32_t src() const noexcept { return load_be32(base_ + 12); }
+  std::uint32_t dst() const noexcept { return load_be32(base_ + 16); }
+
+  void set_version_ihl(std::uint8_t version, std::uint8_t ihl) noexcept {
+    base_[0] = static_cast<std::byte>((version << 4) | (ihl & 0x0f));
+  }
+  void set_dscp(std::uint8_t d) noexcept {
+    auto b = std::to_integer<std::uint8_t>(base_[1]);
+    base_[1] = static_cast<std::byte>((d << 2) | (b & 0x03));
+  }
+  void set_total_length(std::uint16_t v) noexcept { store_be16(base_ + 2, v); }
+  void set_id(std::uint16_t v) noexcept { store_be16(base_ + 4, v); }
+  void set_flags_frag(std::uint16_t v) noexcept { store_be16(base_ + 6, v); }
+  void set_ttl(std::uint8_t v) noexcept { base_[8] = static_cast<std::byte>(v); }
+  void set_protocol(std::uint8_t v) noexcept {
+    base_[9] = static_cast<std::byte>(v);
+  }
+  void set_checksum(std::uint16_t v) noexcept { store_be16(base_ + 10, v); }
+  void set_src(std::uint32_t v) noexcept { store_be32(base_ + 12, v); }
+  void set_dst(std::uint32_t v) noexcept { store_be32(base_ + 16, v); }
+
+  const std::byte* raw() const noexcept { return base_; }
+  std::byte* raw() noexcept { return base_; }
+
+ private:
+  std::byte* base_;
+};
+
+// ---------------------------------------------------------------------------
+class TcpView {
+ public:
+  explicit TcpView(std::byte* base) noexcept : base_(base) {}
+
+  std::uint16_t src_port() const noexcept { return load_be16(base_); }
+  std::uint16_t dst_port() const noexcept { return load_be16(base_ + 2); }
+  std::uint32_t seq() const noexcept { return load_be32(base_ + 4); }
+  std::uint32_t ack() const noexcept { return load_be32(base_ + 8); }
+  std::uint8_t data_offset() const noexcept {  // in 32-bit words
+    return std::to_integer<std::uint8_t>(base_[12]) >> 4;
+  }
+  std::uint8_t flags() const noexcept {
+    return std::to_integer<std::uint8_t>(base_[13]);
+  }
+  std::uint16_t window() const noexcept { return load_be16(base_ + 14); }
+  std::uint16_t checksum() const noexcept { return load_be16(base_ + 16); }
+
+  void set_src_port(std::uint16_t v) noexcept { store_be16(base_, v); }
+  void set_dst_port(std::uint16_t v) noexcept { store_be16(base_ + 2, v); }
+  void set_seq(std::uint32_t v) noexcept { store_be32(base_ + 4, v); }
+  void set_ack(std::uint32_t v) noexcept { store_be32(base_ + 8, v); }
+  void set_data_offset(std::uint8_t words) noexcept {
+    base_[12] = static_cast<std::byte>(words << 4);
+  }
+  void set_flags(std::uint8_t v) noexcept {
+    base_[13] = static_cast<std::byte>(v);
+  }
+  void set_window(std::uint16_t v) noexcept { store_be16(base_ + 14, v); }
+  void set_checksum(std::uint16_t v) noexcept { store_be16(base_ + 16, v); }
+
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+
+ private:
+  std::byte* base_;
+};
+
+// ---------------------------------------------------------------------------
+class UdpView {
+ public:
+  explicit UdpView(std::byte* base) noexcept : base_(base) {}
+
+  std::uint16_t src_port() const noexcept { return load_be16(base_); }
+  std::uint16_t dst_port() const noexcept { return load_be16(base_ + 2); }
+  std::uint16_t length() const noexcept { return load_be16(base_ + 4); }
+  std::uint16_t checksum() const noexcept { return load_be16(base_ + 6); }
+
+  void set_src_port(std::uint16_t v) noexcept { store_be16(base_, v); }
+  void set_dst_port(std::uint16_t v) noexcept { store_be16(base_ + 2, v); }
+  void set_length(std::uint16_t v) noexcept { store_be16(base_ + 4, v); }
+  void set_checksum(std::uint16_t v) noexcept { store_be16(base_ + 6, v); }
+
+ private:
+  std::byte* base_;
+};
+
+}  // namespace mdp::net

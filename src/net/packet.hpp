@@ -1,0 +1,151 @@
+// Packet: the mbuf-like buffer every layer of mdp operates on.
+//
+// Mirrors the layout conventions of DPDK's rte_mbuf / Click's Packet:
+// a fixed-capacity buffer with headroom in front of the payload so headers
+// can be prepended without copying, tailroom behind it, and a block of
+// out-of-band annotations (timestamps, flow ids, multipath metadata) that
+// travel with the packet through the data plane.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace mdp::net {
+
+class PacketPool;
+
+/// Delivery class carried in the annotation area. AdaptiveMdp replicates
+/// kLatencyCritical traffic and sprays kBestEffort traffic.
+enum class TrafficClass : std::uint8_t {
+  kBestEffort = 0,
+  kLatencySensitive = 1,
+  kLatencyCritical = 2,
+};
+
+/// Out-of-band metadata carried alongside the packet payload. This is the
+/// moral equivalent of Click's annotation area / rte_mbuf's udata fields.
+struct Annotations {
+  std::uint64_t ingress_ns = 0;    ///< timestamp at data-plane ingress
+  std::uint64_t dispatch_ns = 0;   ///< timestamp when scheduled onto a path
+  std::uint64_t egress_ns = 0;     ///< timestamp at data-plane egress
+  std::uint64_t flow_hash = 0;     ///< cached 5-tuple hash
+  std::uint64_t seq = 0;           ///< per-flow sequence number (multipath)
+  std::uint64_t cache_cookie = 0;  ///< FlowCache slow-path correlation id
+  std::uint32_t flow_id = 0;       ///< dense flow identifier
+  std::uint32_t flow_bytes = 0;    ///< total flow size, if known (FCT exps)
+  std::uint16_t path_id = 0;       ///< last-mile path this copy traversed
+  std::uint8_t copy_index = 0;     ///< 0 = original, >0 = redundant copy
+  std::uint8_t paint = 0;          ///< Click-style paint annotation
+  TrafficClass traffic_class = TrafficClass::kBestEffort;
+  bool is_replica = false;         ///< true for redundant copies
+  bool hedged = false;             ///< true if a hedge copy was issued
+
+  void clear() { *this = Annotations{}; }
+};
+
+/// Fixed-capacity packet buffer with headroom/tailroom semantics.
+///
+/// Not copyable: packets are pool-owned and move through the data plane by
+/// pointer. Use PacketPool::clone() to produce a redundant copy.
+class Packet {
+ public:
+  static constexpr std::size_t kDefaultHeadroom = 128;
+
+  Packet(std::byte* buffer, std::size_t capacity, PacketPool* pool) noexcept
+      : buffer_(buffer), capacity_(capacity), pool_(pool) {
+    reset();
+  }
+
+  Packet(const Packet&) = delete;
+  Packet& operator=(const Packet&) = delete;
+
+  /// Restore the pristine state (empty payload, default headroom).
+  void reset() noexcept {
+    data_offset_ = kDefaultHeadroom < capacity_ ? kDefaultHeadroom : 0;
+    length_ = 0;
+    anno_.clear();
+  }
+
+  // --- payload accessors -------------------------------------------------
+  std::byte* data() noexcept { return buffer_ + data_offset_; }
+  const std::byte* data() const noexcept { return buffer_ + data_offset_; }
+  std::size_t length() const noexcept { return length_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t headroom() const noexcept { return data_offset_; }
+  std::size_t tailroom() const noexcept {
+    return capacity_ - data_offset_ - length_;
+  }
+  std::span<std::byte> payload() noexcept { return {data(), length_}; }
+  std::span<const std::byte> payload() const noexcept {
+    return {data(), length_};
+  }
+
+  /// Set payload length directly (contents are whatever is in the buffer).
+  /// Returns false if the requested length exceeds available room.
+  bool set_length(std::size_t len) noexcept {
+    if (data_offset_ + len > capacity_) return false;
+    length_ = len;
+    return true;
+  }
+
+  /// Prepend `n` bytes (consume headroom). Returns the new front, or
+  /// nullptr if headroom is insufficient.
+  std::byte* push(std::size_t n) noexcept {
+    if (n > data_offset_) return nullptr;
+    data_offset_ -= n;
+    length_ += n;
+    return data();
+  }
+
+  /// Strip `n` bytes from the front (grow headroom). Returns nullptr if the
+  /// packet is shorter than `n`.
+  std::byte* pull(std::size_t n) noexcept {
+    if (n > length_) return nullptr;
+    data_offset_ += n;
+    length_ -= n;
+    return data();
+  }
+
+  /// Append `n` bytes at the tail. Returns pointer to the appended region,
+  /// or nullptr if tailroom is insufficient.
+  std::byte* put(std::size_t n) noexcept {
+    if (n > tailroom()) return nullptr;
+    std::byte* tail = data() + length_;
+    length_ += n;
+    return tail;
+  }
+
+  /// Remove `n` bytes from the tail. Returns false if packet is shorter.
+  bool trim(std::size_t n) noexcept {
+    if (n > length_) return false;
+    length_ -= n;
+    return true;
+  }
+
+  /// Copy `src` into the payload area, replacing current contents.
+  bool assign(std::span<const std::byte> src) noexcept {
+    data_offset_ = kDefaultHeadroom < capacity_ ? kDefaultHeadroom : 0;
+    if (src.size() > capacity_ - data_offset_) return false;
+    std::memcpy(buffer_ + data_offset_, src.data(), src.size());
+    length_ = src.size();
+    return true;
+  }
+
+  // --- annotations --------------------------------------------------------
+  Annotations& anno() noexcept { return anno_; }
+  const Annotations& anno() const noexcept { return anno_; }
+
+  PacketPool* pool() const noexcept { return pool_; }
+
+ private:
+  std::byte* buffer_;
+  std::size_t capacity_;
+  PacketPool* pool_;
+  std::size_t data_offset_ = 0;
+  std::size_t length_ = 0;
+  Annotations anno_;
+};
+
+}  // namespace mdp::net

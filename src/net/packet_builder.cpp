@@ -1,0 +1,159 @@
+#include "net/packet_builder.hpp"
+
+#include <cstring>
+
+#include "net/checksum.hpp"
+
+namespace mdp::net {
+
+std::optional<ParsedPacket> parse(const Packet& pkt) {
+  const std::byte* base = pkt.data();
+  std::size_t len = pkt.length();
+  if (len < kEthernetHeaderLen) return std::nullopt;
+
+  EthernetView eth(const_cast<std::byte*>(base));
+  std::size_t l3 = kEthernetHeaderLen;
+  if (eth.ether_type() != kEtherTypeIpv4) return std::nullopt;
+  if (len < l3 + kIpv4MinHeaderLen) return std::nullopt;
+
+  Ipv4View ip(const_cast<std::byte*>(base + l3));
+  if (ip.version() != 4) return std::nullopt;
+  std::size_t ihl = ip.header_len();
+  if (ihl < kIpv4MinHeaderLen || len < l3 + ihl) return std::nullopt;
+
+  ParsedPacket out;
+  out.l3_offset = l3;
+  out.l4_offset = l3 + ihl;
+  out.flow.src_ip = ip.src();
+  out.flow.dst_ip = ip.dst();
+  out.flow.protocol = ip.protocol();
+
+  if (ip.protocol() == kIpProtoTcp && len >= out.l4_offset + kTcpMinHeaderLen) {
+    TcpView tcp(const_cast<std::byte*>(base + out.l4_offset));
+    out.flow.src_port = tcp.src_port();
+    out.flow.dst_port = tcp.dst_port();
+    std::size_t hl = std::size_t{tcp.data_offset()} * 4;
+    if (hl < kTcpMinHeaderLen || len < out.l4_offset + hl) return std::nullopt;
+    out.payload_offset = out.l4_offset + hl;
+    out.has_l4 = true;
+  } else if (ip.protocol() == kIpProtoUdp &&
+             len >= out.l4_offset + kUdpHeaderLen) {
+    UdpView udp(const_cast<std::byte*>(base + out.l4_offset));
+    out.flow.src_port = udp.src_port();
+    out.flow.dst_port = udp.dst_port();
+    out.payload_offset = out.l4_offset + kUdpHeaderLen;
+    out.has_l4 = true;
+  } else {
+    out.payload_offset = out.l4_offset;
+  }
+  out.payload_len = len - out.payload_offset;
+  return out;
+}
+
+bool validate_ipv4_csum(const Packet& pkt, const ParsedPacket& info) {
+  Ipv4View ip(const_cast<std::byte*>(pkt.data() + info.l3_offset));
+  // Checksum over the header including the stored checksum folds to 0.
+  return checksum(pkt.data() + info.l3_offset, ip.header_len()) == 0;
+}
+
+void write_ipv4_csum(Packet& pkt, std::size_t l3_offset) {
+  Ipv4View ip(pkt.data() + l3_offset);
+  ip.set_checksum(0);
+  ip.set_checksum(checksum(pkt.data() + l3_offset, ip.header_len()));
+}
+
+namespace {
+
+PacketPtr build_l4(PacketPool& pool, const BuildSpec& spec,
+                   std::uint8_t protocol) {
+  std::size_t l4_len = (protocol == kIpProtoTcp) ? kTcpMinHeaderLen
+                                                 : kUdpHeaderLen;
+  std::size_t total = kEthernetHeaderLen + kIpv4MinHeaderLen + l4_len +
+                      spec.payload_len;
+  PacketPtr pkt = pool.alloc();
+  if (!pkt || !pkt->set_length(total)) return PacketPtr{nullptr};
+
+  std::byte* base = pkt->data();
+  EthernetView eth(base);
+  eth.set_dst(spec.dst_mac);
+  eth.set_src(spec.src_mac);
+  eth.set_ether_type(kEtherTypeIpv4);
+
+  std::size_t l3 = kEthernetHeaderLen;
+  Ipv4View ip(base + l3);
+  ip.set_version_ihl(4, 5);
+  base[l3 + 1] = std::byte{0};
+  ip.set_dscp(spec.dscp);
+  ip.set_total_length(
+      static_cast<std::uint16_t>(total - kEthernetHeaderLen));
+  ip.set_id(0);
+  ip.set_flags_frag(0x4000);  // DF
+  ip.set_ttl(spec.ttl);
+  ip.set_protocol(protocol);
+  ip.set_checksum(0);
+  ip.set_src(spec.flow.src_ip);
+  ip.set_dst(spec.flow.dst_ip);
+
+  std::size_t l4 = l3 + kIpv4MinHeaderLen;
+  std::uint16_t l4_total = static_cast<std::uint16_t>(l4_len + spec.payload_len);
+  if (protocol == kIpProtoTcp) {
+    TcpView tcp(base + l4);
+    tcp.set_src_port(spec.flow.src_port);
+    tcp.set_dst_port(spec.flow.dst_port);
+    tcp.set_seq(spec.tcp_seq);
+    tcp.set_ack(0);
+    tcp.set_data_offset(5);
+    tcp.set_flags(spec.tcp_flags);
+    tcp.set_window(0xffff);
+    tcp.set_checksum(0);
+    store_be16(base + l4 + 18, 0);  // urgent pointer
+  } else {
+    UdpView udp(base + l4);
+    udp.set_src_port(spec.flow.src_port);
+    udp.set_dst_port(spec.flow.dst_port);
+    udp.set_length(l4_total);
+    udp.set_checksum(0);
+  }
+
+  std::memset(base + l4 + l4_len, spec.payload_fill, spec.payload_len);
+
+  // L4 checksum over pseudo header + segment.
+  std::uint32_t sum = pseudo_header_sum(spec.flow.src_ip, spec.flow.dst_ip,
+                                        protocol, l4_total);
+  sum = checksum_partial(base + l4, l4_total, sum);
+  std::uint16_t l4_csum = checksum_fold(sum);
+  if (protocol == kIpProtoTcp) {
+    TcpView(base + l4).set_checksum(l4_csum);
+  } else {
+    // UDP checksum of 0 means "no checksum"; transmit 0xffff instead.
+    UdpView(base + l4).set_checksum(l4_csum == 0 ? 0xffff : l4_csum);
+  }
+
+  write_ipv4_csum(*pkt, l3);
+
+  auto& a = pkt->anno();
+  a.flow_hash = hash_flow(spec.flow);
+  return pkt;
+}
+
+}  // namespace
+
+PacketPtr build_udp(PacketPool& pool, const BuildSpec& spec) {
+  BuildSpec s = spec;
+  s.flow.protocol = kIpProtoUdp;
+  return build_l4(pool, s, kIpProtoUdp);
+}
+
+PacketPtr build_tcp(PacketPool& pool, const BuildSpec& spec) {
+  BuildSpec s = spec;
+  s.flow.protocol = kIpProtoTcp;
+  return build_l4(pool, s, kIpProtoTcp);
+}
+
+std::size_t frame_length(const BuildSpec& spec, std::uint8_t protocol) {
+  std::size_t l4 = (protocol == kIpProtoTcp) ? kTcpMinHeaderLen
+                                             : kUdpHeaderLen;
+  return kEthernetHeaderLen + kIpv4MinHeaderLen + l4 + spec.payload_len;
+}
+
+}  // namespace mdp::net

@@ -1,0 +1,60 @@
+// Packet construction and parsing helpers.
+//
+// build_udp/build_tcp synthesize a full Ethernet/IPv4/L4 frame in a pool
+// packet with correct lengths and checksums; parse() walks the headers and
+// extracts the 5-tuple plus offsets for the NF elements.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/flow_key.hpp"
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+#include "net/packet_pool.hpp"
+
+namespace mdp::net {
+
+/// Result of walking the protocol headers of a packet.
+struct ParsedPacket {
+  FlowKey flow;
+  std::size_t l3_offset = 0;  ///< byte offset of the IPv4 header
+  std::size_t l4_offset = 0;  ///< byte offset of the TCP/UDP header
+  std::size_t payload_offset = 0;
+  std::size_t payload_len = 0;
+  bool has_l4 = false;
+};
+
+/// Parse Ethernet/IPv4/{TCP,UDP}. Returns nullopt for truncated or
+/// non-IPv4 packets. Does not validate checksums (see validate_ipv4_csum).
+std::optional<ParsedPacket> parse(const Packet& pkt);
+
+/// True if the IPv4 header checksum of a parsed packet verifies.
+bool validate_ipv4_csum(const Packet& pkt, const ParsedPacket& info);
+
+/// Recompute and install the IPv4 header checksum.
+void write_ipv4_csum(Packet& pkt, std::size_t l3_offset);
+
+struct BuildSpec {
+  FlowKey flow;
+  std::size_t payload_len = 64;
+  std::uint8_t ttl = 64;
+  std::uint8_t dscp = 0;
+  std::uint8_t tcp_flags = TcpView::kAck;  // TCP only
+  std::uint32_t tcp_seq = 0;               // TCP only
+  std::uint8_t payload_fill = 0x5a;
+  MacAddress src_mac{{0x02, 0, 0, 0, 0, 0x01}};
+  MacAddress dst_mac{{0x02, 0, 0, 0, 0, 0x02}};
+};
+
+/// Build a UDP datagram (flow.protocol forced to UDP). Returns null handle
+/// if the pool is exhausted or payload exceeds the buffer.
+PacketPtr build_udp(PacketPool& pool, const BuildSpec& spec);
+
+/// Build a TCP segment (flow.protocol forced to TCP).
+PacketPtr build_tcp(PacketPool& pool, const BuildSpec& spec);
+
+/// Total frame length a BuildSpec will produce (Ethernet..payload).
+std::size_t frame_length(const BuildSpec& spec, std::uint8_t protocol);
+
+}  // namespace mdp::net

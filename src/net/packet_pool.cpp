@@ -1,0 +1,61 @@
+#include "net/packet_pool.hpp"
+
+#include <new>
+
+namespace mdp::net {
+
+void PoolDeleter::operator()(Packet* p) const noexcept {
+  if (p != nullptr && p->pool() != nullptr) p->pool()->recycle(p);
+}
+
+PacketPool::PacketPool(std::size_t num_packets, std::size_t buf_capacity,
+                       bool allow_growth)
+    : buf_capacity_(buf_capacity), allow_growth_(allow_growth) {
+  if (num_packets > 0) add_slab(num_packets);
+}
+
+PacketPool::~PacketPool() = default;
+
+void PacketPool::add_slab(std::size_t num_packets) {
+  Slab slab;
+  slab.count = num_packets;
+  slab.buffers = std::make_unique<std::byte[]>(num_packets * buf_capacity_);
+  slab.packets =
+      std::make_unique<std::byte[]>(num_packets * sizeof(Packet));
+  free_list_.reserve(free_list_.size() + num_packets);
+  for (std::size_t i = 0; i < num_packets; ++i) {
+    auto* storage = slab.packets.get() + i * sizeof(Packet);
+    auto* buf = slab.buffers.get() + i * buf_capacity_;
+    auto* pkt = new (storage) Packet(buf, buf_capacity_, this);
+    free_list_.push_back(pkt);
+  }
+  total_ += num_packets;
+  slabs_.push_back(std::move(slab));
+}
+
+PacketPtr PacketPool::alloc() {
+  if (free_list_.empty()) {
+    if (!allow_growth_) return PacketPtr{nullptr};
+    add_slab(total_ > 0 ? total_ : 64);  // double the pool
+  }
+  Packet* p = free_list_.back();
+  free_list_.pop_back();
+  p->reset();
+  ++allocs_;
+  return PacketPtr{p};
+}
+
+PacketPtr PacketPool::clone(const Packet& src) {
+  PacketPtr copy = alloc();
+  if (!copy) return copy;
+  copy->assign(src.payload());
+  copy->anno() = src.anno();
+  return copy;
+}
+
+void PacketPool::recycle(Packet* p) noexcept {
+  ++recycles_;
+  free_list_.push_back(p);
+}
+
+}  // namespace mdp::net

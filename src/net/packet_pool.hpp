@@ -1,0 +1,78 @@
+// PacketPool: slab allocator for Packet objects, in the style of DPDK's
+// mempool. Allocation and free are O(1) (free-list pop/push); clone() deep
+// copies payload + annotations for redundant multipath transmission.
+//
+// The pool is single-threaded by design (each simulated host owns one); the
+// real-thread data plane uses one pool per producer thread.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace mdp::net {
+
+class PacketPool;
+
+/// Deleter that returns the packet to its owning pool instead of freeing.
+struct PoolDeleter {
+  void operator()(Packet* p) const noexcept;
+};
+
+/// Owning handle for a pool packet. Dropping the handle recycles the buffer.
+using PacketPtr = std::unique_ptr<Packet, PoolDeleter>;
+
+class PacketPool {
+ public:
+  /// @param num_packets  pool population (grows on demand if exhausted and
+  ///                     `allow_growth` is true)
+  /// @param buf_capacity per-packet buffer size in bytes
+  explicit PacketPool(std::size_t num_packets = 1024,
+                      std::size_t buf_capacity = 2048,
+                      bool allow_growth = true);
+
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+  ~PacketPool();
+
+  /// Allocate a pristine packet. Returns nullptr handle if the pool is
+  /// exhausted and growth is disabled.
+  PacketPtr alloc();
+
+  /// Deep-copy `src` (payload bytes + annotations). Used by Redundant and
+  /// hedging policies to create path copies.
+  PacketPtr clone(const Packet& src);
+
+  /// Return a raw packet to the free list (normally via PoolDeleter).
+  void recycle(Packet* p) noexcept;
+
+  std::size_t capacity() const noexcept { return total_; }
+  std::size_t available() const noexcept { return free_list_.size(); }
+  std::size_t in_use() const noexcept { return total_ - free_list_.size(); }
+  std::size_t buf_capacity() const noexcept { return buf_capacity_; }
+
+  /// Lifetime counters, used by leak-detection property tests.
+  std::uint64_t total_allocs() const noexcept { return allocs_; }
+  std::uint64_t total_recycles() const noexcept { return recycles_; }
+
+ private:
+  void add_slab(std::size_t num_packets);
+
+  std::size_t buf_capacity_;
+  bool allow_growth_;
+  std::size_t total_ = 0;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t recycles_ = 0;
+
+  struct Slab {
+    std::unique_ptr<std::byte[]> buffers;
+    std::unique_ptr<std::byte[]> packets;  // raw storage for Packet objects
+    std::size_t count = 0;
+  };
+  std::vector<Slab> slabs_;
+  std::vector<Packet*> free_list_;
+};
+
+}  // namespace mdp::net

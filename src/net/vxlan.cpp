@@ -1,0 +1,73 @@
+#include "net/vxlan.hpp"
+
+#include "net/checksum.hpp"
+#include "net/flow_key.hpp"
+#include "net/packet_builder.hpp"
+
+namespace mdp::net {
+
+bool vxlan_encap(Packet& pkt, const VxlanTunnel& tunnel) {
+  // Entropy for underlay ECMP: hash the inner flow into the source port.
+  std::uint16_t sport = 0xc000;
+  if (auto inner = parse(pkt))
+    sport = 0xc000 | static_cast<std::uint16_t>(
+                         hash_flow(inner->flow) & 0x3fff);
+
+  std::size_t inner_len = pkt.length();
+  std::byte* front = pkt.push(kVxlanOverhead);
+  if (front == nullptr) return false;
+
+  EthernetView eth(front);
+  eth.set_dst(tunnel.remote_mac);
+  eth.set_src(tunnel.local_mac);
+  eth.set_ether_type(kEtherTypeIpv4);
+
+  std::size_t l3 = kEthernetHeaderLen;
+  Ipv4View ip(front + l3);
+  ip.set_version_ihl(4, 5);
+  front[l3 + 1] = std::byte{0};
+  std::uint16_t ip_total = static_cast<std::uint16_t>(
+      kIpv4MinHeaderLen + kUdpHeaderLen + kVxlanHeaderLen + inner_len);
+  ip.set_total_length(ip_total);
+  ip.set_id(0);
+  ip.set_flags_frag(0x4000);
+  ip.set_ttl(64);
+  ip.set_protocol(kIpProtoUdp);
+  ip.set_checksum(0);
+  ip.set_src(tunnel.local_vtep);
+  ip.set_dst(tunnel.remote_vtep);
+  ip.set_checksum(checksum(front + l3, kIpv4MinHeaderLen));
+
+  std::size_t l4 = l3 + kIpv4MinHeaderLen;
+  UdpView udp(front + l4);
+  udp.set_src_port(sport);
+  udp.set_dst_port(kVxlanPort);
+  udp.set_length(static_cast<std::uint16_t>(kUdpHeaderLen +
+                                            kVxlanHeaderLen + inner_len));
+  udp.set_checksum(0);  // RFC 7348 allows zero outer UDP checksum
+
+  VxlanView(front + l4 + kUdpHeaderLen).init(tunnel.vni);
+  return true;
+}
+
+std::optional<VxlanInfo> vxlan_decap(Packet& pkt) {
+  auto outer = parse(pkt);
+  if (!outer || outer->flow.protocol != kIpProtoUdp) return std::nullopt;
+  if (outer->flow.dst_port != kVxlanPort) return std::nullopt;
+  if (outer->payload_len < kVxlanHeaderLen + kEthernetHeaderLen)
+    return std::nullopt;
+
+  VxlanView vx(pkt.data() + outer->payload_offset);
+  if (!vx.valid()) return std::nullopt;
+
+  VxlanInfo info;
+  info.vni = vx.vni();
+  info.outer_src = outer->flow.src_ip;
+  info.outer_dst = outer->flow.dst_ip;
+  info.outer_src_port = outer->flow.src_port;
+
+  pkt.pull(outer->payload_offset + kVxlanHeaderLen);
+  return info;
+}
+
+}  // namespace mdp::net

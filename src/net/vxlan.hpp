@@ -1,0 +1,76 @@
+// VXLAN (RFC 7348) encapsulation — the overlay that actually carries
+// tenant traffic in a virtualized network. The last-mile pipeline of a
+// real vSwitch encapsulates/decapsulates every frame; the cost and the
+// header arithmetic are part of the reproduction.
+//
+// Outer layout: Ethernet / IPv4 / UDP(dst 4789) / VXLAN(8B) / inner frame.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+
+namespace mdp::net {
+
+constexpr std::uint16_t kVxlanPort = 4789;
+constexpr std::size_t kVxlanHeaderLen = 8;
+/// Full overhead prepended by encapsulation.
+constexpr std::size_t kVxlanOverhead =
+    kEthernetHeaderLen + kIpv4MinHeaderLen + kUdpHeaderLen +
+    kVxlanHeaderLen;
+
+class VxlanView {
+ public:
+  explicit VxlanView(std::byte* base) noexcept : base_(base) {}
+
+  /// I flag (bit 3 of the first byte) must be set for a valid VNI.
+  bool valid() const noexcept {
+    return (std::to_integer<std::uint8_t>(base_[0]) & 0x08) != 0;
+  }
+  std::uint32_t vni() const noexcept {
+    return (std::to_integer<std::uint32_t>(base_[4]) << 16) |
+           (std::to_integer<std::uint32_t>(base_[5]) << 8) |
+           std::to_integer<std::uint32_t>(base_[6]);
+  }
+  void init(std::uint32_t vni) noexcept {
+    base_[0] = std::byte{0x08};
+    base_[1] = base_[2] = base_[3] = std::byte{0};
+    base_[4] = static_cast<std::byte>((vni >> 16) & 0xff);
+    base_[5] = static_cast<std::byte>((vni >> 8) & 0xff);
+    base_[6] = static_cast<std::byte>(vni & 0xff);
+    base_[7] = std::byte{0};
+  }
+
+ private:
+  std::byte* base_;
+};
+
+struct VxlanTunnel {
+  std::uint32_t local_vtep = 0;   ///< outer src IP (host order)
+  std::uint32_t remote_vtep = 0;  ///< outer dst IP
+  std::uint32_t vni = 0;
+  MacAddress local_mac{{0x02, 0, 0, 0, 0, 0x10}};
+  MacAddress remote_mac{{0x02, 0, 0, 0, 0, 0x20}};
+};
+
+/// Prepend the full outer stack in the packet's headroom. Returns false if
+/// headroom is insufficient. Outer UDP checksum is 0 (permitted for
+/// VXLAN); outer src port is derived from the inner flow hash so the
+/// underlay can ECMP.
+bool vxlan_encap(Packet& pkt, const VxlanTunnel& tunnel);
+
+struct VxlanInfo {
+  std::uint32_t vni = 0;
+  std::uint32_t outer_src = 0;
+  std::uint32_t outer_dst = 0;
+  std::uint16_t outer_src_port = 0;
+};
+
+/// Validate and strip the outer stack, leaving the inner frame at the
+/// front. Returns the decap info, or nullopt (packet untouched) when the
+/// packet is not well-formed VXLAN-in-IPv4.
+std::optional<VxlanInfo> vxlan_decap(Packet& pkt);
+
+}  // namespace mdp::net

@@ -1,0 +1,184 @@
+#include "nf/conntrack.hpp"
+
+#include "click/registry.hpp"
+#include "net/headers.hpp"
+#include "net/packet_builder.hpp"
+
+namespace mdp::nf {
+
+const char* to_string(ConnState s) {
+  switch (s) {
+    case ConnState::kNew: return "NEW";
+    case ConnState::kSynAck: return "SYN_ACK";
+    case ConnState::kEstablished: return "ESTABLISHED";
+    case ConnState::kFinWait: return "FIN_WAIT";
+    case ConnState::kClosed: return "CLOSED";
+  }
+  return "?";
+}
+
+ConnState ConnTracker::observe(const net::FlowKey& flow,
+                               std::uint8_t tcp_flags,
+                               std::uint64_t now_ns) {
+  net::FlowKey canon = flow.canonical();
+  bool is_forward = (flow == canon);
+
+  auto it = table_.find(canon);
+  if (it == table_.end()) {
+    if (table_.size() >= cfg_.max_entries) evict_lru();
+    Keyed k;
+    k.forward_is_initiator = is_forward;
+    k.entry.state = ConnState::kNew;
+    it = table_.emplace(canon, k).first;
+  }
+  Keyed& k = it->second;
+  ConnEntry& e = k.entry;
+  ++e.packets;
+  e.last_seen_ns = now_ns;
+
+  bool from_initiator = (is_forward == k.forward_is_initiator);
+
+  if (flow.protocol != net::kIpProtoTcp) {
+    // UDP pseudo-states: NEW until the responder speaks, then ESTABLISHED.
+    if (e.state == ConnState::kNew && !from_initiator)
+      e.state = ConnState::kEstablished;
+    return e.state;
+  }
+
+  using net::TcpView;
+  if (tcp_flags & TcpView::kRst) {
+    e.state = ConnState::kClosed;
+    return e.state;
+  }
+  switch (e.state) {
+    case ConnState::kNew:
+      if ((tcp_flags & TcpView::kSyn) && (tcp_flags & TcpView::kAck) &&
+          !from_initiator) {
+        e.state = ConnState::kSynAck;
+      }
+      break;
+    case ConnState::kSynAck:
+      if ((tcp_flags & TcpView::kAck) && from_initiator)
+        e.state = ConnState::kEstablished;
+      break;
+    case ConnState::kEstablished:
+      if (tcp_flags & TcpView::kFin) {
+        (from_initiator ? e.forward_fin : e.reverse_fin) = true;
+        e.state = ConnState::kFinWait;
+      }
+      break;
+    case ConnState::kFinWait:
+      if (tcp_flags & TcpView::kFin) {
+        (from_initiator ? e.forward_fin : e.reverse_fin) = true;
+        if (e.forward_fin && e.reverse_fin) e.state = ConnState::kClosed;
+      }
+      break;
+    case ConnState::kClosed:
+      break;
+  }
+  return e.state;
+}
+
+ConnState ConnTracker::lookup(const net::FlowKey& flow) const {
+  auto it = table_.find(flow.canonical());
+  return it == table_.end() ? ConnState::kClosed : it->second.entry.state;
+}
+
+std::size_t ConnTracker::expire(std::uint64_t now_ns) {
+  std::size_t n = 0;
+  for (auto it = table_.begin(); it != table_.end();) {
+    const ConnEntry& e = it->second.entry;
+    std::uint64_t timeout =
+        e.state == ConnState::kClosed
+            ? cfg_.closed_linger_ns
+            : (it->first.protocol == net::kIpProtoTcp
+                   ? cfg_.tcp_idle_timeout_ns
+                   : cfg_.udp_idle_timeout_ns);
+    if (now_ns - e.last_seen_ns >= timeout) {
+      it = table_.erase(it);
+      ++n;
+    } else {
+      ++it;
+    }
+  }
+  return n;
+}
+
+void ConnTracker::evict_lru() {
+  // O(n) scan is fine at eviction frequency; a true LRU list would add a
+  // pointer per entry for an event that should be rare when sized right.
+  auto oldest = table_.begin();
+  for (auto it = table_.begin(); it != table_.end(); ++it)
+    if (it->second.entry.last_seen_ns < oldest->second.entry.last_seen_ns)
+      oldest = it;
+  if (oldest != table_.end()) {
+    table_.erase(oldest);
+    ++evictions_;
+  }
+}
+
+// --- StatefulFirewall ----------------------------------------------------------
+
+bool StatefulFirewall::configure(const std::vector<std::string>& args,
+                                 std::string* err) {
+  for (const auto& arg : args) {
+    if (arg.rfind("default ", 0) == 0) {
+      std::string v = arg.substr(8);
+      if (v == "allow") {
+        table_.set_default(FwAction::kAllow);
+      } else if (v == "deny") {
+        table_.set_default(FwAction::kDeny);
+      } else {
+        *err = "default must be allow|deny";
+        return false;
+      }
+      continue;
+    }
+    auto rule = FwRule::parse(arg, err);
+    if (!rule) return false;
+    table_.add_rule(*rule);
+  }
+  return true;
+}
+
+void StatefulFirewall::push(int, net::PacketPtr pkt) {
+  auto parsed = net::parse(*pkt);
+  if (!parsed || !parsed->has_l4) {
+    ++rejected_;
+    if (output_connected(1)) output_push(1, std::move(pkt));
+    return;
+  }
+
+  std::uint8_t flags = 0;
+  if (parsed->flow.protocol == net::kIpProtoTcp)
+    flags = net::TcpView(pkt->data() + parsed->l4_offset).flags();
+
+  ConnState before = tracker_.lookup(parsed->flow);
+  bool opening =
+      (parsed->flow.protocol == net::kIpProtoTcp)
+          ? (flags & net::TcpView::kSyn) != 0 && (flags & net::TcpView::kAck) == 0
+          : before == ConnState::kClosed;  // unknown UDP flow
+
+  if (opening) {
+    if (table_.decide(parsed->flow) != FwAction::kAllow) {
+      ++rejected_;
+      if (output_connected(1)) output_push(1, std::move(pkt));
+      return;
+    }
+  } else if (before == ConnState::kClosed &&
+             parsed->flow.protocol == net::kIpProtoTcp) {
+    // Mid-stream TCP with no tracked connection: out-of-state, reject.
+    ++out_of_state_;
+    ++rejected_;
+    if (output_connected(1)) output_push(1, std::move(pkt));
+    return;
+  }
+
+  tracker_.observe(parsed->flow, flags, pkt->anno().ingress_ns);
+  ++accepted_;
+  output_push(0, std::move(pkt));
+}
+
+MDP_REGISTER_ELEMENT(StatefulFirewall, "StatefulFirewall");
+
+}  // namespace mdp::nf

@@ -1,0 +1,108 @@
+// Connection tracking + stateful firewall.
+//
+// ConnTracker follows the TCP state machine (and pseudo-states for UDP)
+// per canonical 5-tuple; StatefulFirewall admits packets that belong to an
+// ESTABLISHED (or legitimately progressing) connection and applies the
+// static ACL only to connection-opening packets — the iptables
+// "ESTABLISHED,RELATED ACCEPT" pattern.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "click/element.hpp"
+#include "net/flow_key.hpp"
+#include "nf/firewall.hpp"
+
+namespace mdp::nf {
+
+enum class ConnState : std::uint8_t {
+  kNew,          // first packet seen (UDP) / SYN sent (TCP)
+  kSynAck,       // SYN+ACK observed
+  kEstablished,  // handshake done / bidirectional UDP
+  kFinWait,      // one side sent FIN
+  kClosed,       // both FINs or RST
+};
+
+const char* to_string(ConnState s);
+
+struct ConnEntry {
+  ConnState state = ConnState::kNew;
+  std::uint64_t packets = 0;
+  std::uint64_t last_seen_ns = 0;
+  bool forward_fin = false;
+  bool reverse_fin = false;
+};
+
+struct ConnTrackerConfig {
+  std::size_t max_entries = 1 << 16;
+  std::uint64_t tcp_idle_timeout_ns = 300ull * 1'000'000'000;
+  std::uint64_t udp_idle_timeout_ns = 30ull * 1'000'000'000;
+  std::uint64_t closed_linger_ns = 1'000'000'000;
+};
+
+class ConnTracker {
+ public:
+  explicit ConnTracker(ConnTrackerConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Advance the connection for one observed packet.
+  /// @param flow       packet 5-tuple in packet direction
+  /// @param tcp_flags  TCP flags byte, 0 for non-TCP
+  /// @returns the state AFTER this packet.
+  ConnState observe(const net::FlowKey& flow, std::uint8_t tcp_flags,
+                    std::uint64_t now_ns);
+
+  /// Current state (kClosed for unknown connections).
+  ConnState lookup(const net::FlowKey& flow) const;
+
+  /// Expire idle/closed entries. Returns count removed.
+  std::size_t expire(std::uint64_t now_ns);
+
+  std::size_t size() const noexcept { return table_.size(); }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+
+ private:
+  struct Keyed {
+    ConnEntry entry;
+    bool forward_is_initiator;  // canonical-src initiated the connection
+  };
+  void evict_lru();
+
+  ConnTrackerConfig cfg_;
+  std::unordered_map<net::FlowKey, Keyed, net::FlowKeyHash> table_;
+  std::uint64_t evictions_ = 0;
+};
+
+/// Click element: StatefulFirewall(RULES...). Rules use FwRule syntax and
+/// gate only connection-*opening* packets: anything on an established
+/// connection passes. Out-of-state TCP packets (e.g. an ACK with no
+/// tracked connection) are rejected — the classic stateful-FW behaviour.
+/// Output 0 = accept, output 1 (optional) = reject.
+class StatefulFirewall final : public click::Element {
+ public:
+  std::string class_name() const override { return "StatefulFirewall"; }
+  int n_outputs() const override { return -1; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override {
+    return 140 + 8 * static_cast<sim::TimeNs>(table_.num_rules());
+  }
+  void push(int port, net::PacketPtr pkt) override;
+
+  ConnTracker& tracker() noexcept { return tracker_; }
+  FirewallTable& acl() noexcept { return table_; }
+  std::uint64_t accepted() const noexcept { return accepted_; }
+  std::uint64_t rejected() const noexcept { return rejected_; }
+  std::uint64_t out_of_state() const noexcept { return out_of_state_; }
+
+ private:
+  ConnTracker tracker_;
+  FirewallTable table_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t out_of_state_ = 0;
+};
+
+}  // namespace mdp::nf

@@ -1,0 +1,157 @@
+#include "nf/dpi.hpp"
+
+#include <cstdlib>
+#include <queue>
+
+#include "click/registry.hpp"
+#include "net/packet_builder.hpp"
+
+namespace mdp::nf {
+
+int AhoCorasick::add_pattern(const std::string& pattern) {
+  int id = static_cast<int>(patterns_.size());
+  patterns_.push_back(pattern);
+  int node = 0;
+  for (unsigned char c : pattern) {
+    if (nodes_[node].next[c] < 0) {
+      nodes_[node].next[c] = static_cast<int>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    node = nodes_[node].next[c];
+  }
+  nodes_[node].out.push_back(id);
+  built_ = false;
+  return id;
+}
+
+void AhoCorasick::build() {
+  // BFS: convert the trie into a deterministic automaton (goto function is
+  // total after this pass; fail links merge output sets).
+  std::queue<int> bfs;
+  for (int c = 0; c < 256; ++c) {
+    int v = nodes_[0].next[c];
+    if (v < 0) {
+      nodes_[0].next[c] = 0;
+    } else {
+      nodes_[v].fail = 0;
+      bfs.push(v);
+    }
+  }
+  while (!bfs.empty()) {
+    int u = bfs.front();
+    bfs.pop();
+    for (int id : nodes_[nodes_[u].fail].out) nodes_[u].out.push_back(id);
+    for (int c = 0; c < 256; ++c) {
+      int v = nodes_[u].next[c];
+      if (v < 0) {
+        nodes_[u].next[c] = nodes_[nodes_[u].fail].next[c];
+      } else {
+        nodes_[v].fail = nodes_[nodes_[u].fail].next[c];
+        bfs.push(v);
+      }
+    }
+  }
+  built_ = true;
+}
+
+std::size_t AhoCorasick::match_count(const std::byte* data, std::size_t len,
+                                     int* first_match) const {
+  if (first_match) *first_match = -1;
+  if (!built_) return 0;
+  std::size_t count = 0;
+  int node = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    node = nodes_[node].next[std::to_integer<std::uint8_t>(data[i])];
+    if (!nodes_[node].out.empty()) {
+      count += nodes_[node].out.size();
+      if (first_match && *first_match < 0)
+        *first_match = nodes_[node].out.front();
+    }
+  }
+  return count;
+}
+
+std::size_t AhoCorasick::match_count_first_only(const std::byte* data,
+                                                std::size_t len,
+                                                int* first) const {
+  *first = -1;
+  if (!built_) return 0;
+  int node = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    node = nodes_[node].next[std::to_integer<std::uint8_t>(data[i])];
+    if (!nodes_[node].out.empty()) {
+      *first = nodes_[node].out.front();
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// --- Dpi element -----------------------------------------------------------------
+
+bool Dpi::configure(const std::vector<std::string>& args, std::string* err) {
+  if (args.size() < 2) {
+    *err = "Dpi(drop|\"paint N\", PATTERN, ...)";
+    return false;
+  }
+  if (args[0] == "drop") {
+    action_ = Action::kDrop;
+  } else if (args[0].rfind("paint ", 0) == 0) {
+    action_ = Action::kPaint;
+    int p = std::atoi(args[0].substr(6).c_str());
+    if (p < 0 || p > 255) {
+      *err = "Dpi: paint color 0..255";
+      return false;
+    }
+    paint_ = static_cast<std::uint8_t>(p);
+  } else {
+    *err = "Dpi: unknown action '" + args[0] + "'";
+    return false;
+  }
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    std::string pat = args[i];
+    // Allow quoted patterns so commas/spaces survive config parsing.
+    if (pat.size() >= 2 && pat.front() == '"' && pat.back() == '"')
+      pat = pat.substr(1, pat.size() - 2);
+    if (pat.empty()) {
+      *err = "Dpi: empty pattern";
+      return false;
+    }
+    ac_.add_pattern(pat);
+  }
+  return true;
+}
+
+bool Dpi::initialize(std::string*) {
+  if (!ac_.built()) ac_.build();
+  return true;
+}
+
+void Dpi::push(int, net::PacketPtr pkt) {
+  auto parsed = net::parse(*pkt);
+  const std::byte* payload = pkt->data();
+  std::size_t len = pkt->length();
+  if (parsed) {
+    payload = pkt->data() + parsed->payload_offset;
+    len = parsed->payload_len;
+  }
+  int first = -1;
+  std::size_t hits = ac_.match_count(payload, len, &first);
+  if (hits == 0) {
+    ++clean_;
+    output_push(0, std::move(pkt));
+    return;
+  }
+  ++matched_;
+  if (action_ == Action::kPaint) {
+    pkt->anno().paint = paint_;
+    output_push(0, std::move(pkt));
+  } else if (output_connected(1)) {
+    output_push(1, std::move(pkt));
+  }
+  // else: drop
+}
+
+MDP_REGISTER_ELEMENT(Dpi, "Dpi");
+
+}  // namespace mdp::nf

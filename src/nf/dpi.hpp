@@ -1,0 +1,80 @@
+// Dpi: multi-pattern payload inspection via an Aho-Corasick automaton.
+//
+// All patterns are matched in a single pass over the payload regardless of
+// pattern count. Matching packets can be dropped or painted (for a
+// downstream PaintSwitch to divert to a scrubber), per configuration.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "click/element.hpp"
+
+namespace mdp::nf {
+
+class AhoCorasick {
+ public:
+  /// Add a pattern before build(). Returns its pattern id.
+  int add_pattern(const std::string& pattern);
+
+  /// Finalize: compute goto/fail/output structure (BFS).
+  void build();
+
+  /// Count of pattern occurrences in `data`. If `first_match` is non-null,
+  /// receives the id of the first pattern matched (-1 if none).
+  std::size_t match_count(const std::byte* data, std::size_t len,
+                          int* first_match = nullptr) const;
+
+  bool contains(const std::byte* data, std::size_t len) const {
+    int first = -1;
+    (void)match_count_first_only(data, len, &first);
+    return first >= 0;
+  }
+
+  std::size_t num_patterns() const noexcept { return patterns_.size(); }
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  bool built() const noexcept { return built_; }
+
+ private:
+  std::size_t match_count_first_only(const std::byte* data, std::size_t len,
+                                     int* first) const;
+  struct Node {
+    std::array<int, 256> next;
+    int fail = 0;
+    std::vector<int> out;  // pattern ids ending here
+    Node() { next.fill(-1); }
+  };
+  std::vector<Node> nodes_{1};
+  std::vector<std::string> patterns_;
+  bool built_ = false;
+};
+
+/// Click element: Dpi(ACTION, PATTERN, PATTERN, ...) where ACTION is
+/// "drop" or "paint N". Clean packets exit port 0 unchanged; under "drop",
+/// matching packets exit port 1 if connected (else dropped).
+class Dpi final : public click::Element {
+ public:
+  std::string class_name() const override { return "Dpi"; }
+  int n_outputs() const override { return -1; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  bool initialize(std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 600; }
+  void push(int port, net::PacketPtr pkt) override;
+
+  AhoCorasick& automaton() noexcept { return ac_; }
+  std::uint64_t matched() const noexcept { return matched_; }
+  std::uint64_t clean() const noexcept { return clean_; }
+
+ private:
+  enum class Action { kDrop, kPaint };
+  AhoCorasick ac_;
+  Action action_ = Action::kDrop;
+  std::uint8_t paint_ = 1;
+  std::uint64_t matched_ = 0;
+  std::uint64_t clean_ = 0;
+};
+
+}  // namespace mdp::nf

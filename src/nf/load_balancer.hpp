@@ -1,0 +1,92 @@
+// LoadBalancer: L4 VIP -> backend (DIP) selection with per-flow affinity.
+//
+// Two selection policies:
+//   - kConsistentHash : 160-vnode consistent-hash ring; backend changes
+//                       disturb only O(1/n) of the flow space
+//   - kWeightedRR     : smooth weighted round robin (nginx algorithm)
+// Affinity: the first packet of a flow picks the backend; subsequent
+// packets follow the affinity table so connections never split.
+// The packet's dst_ip is rewritten to the chosen DIP with incremental
+// checksum patching.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "click/element.hpp"
+#include "net/flow_key.hpp"
+
+namespace mdp::nf {
+
+struct Backend {
+  std::uint32_t dip = 0;   // host order
+  std::uint32_t weight = 1;
+  bool healthy = true;
+};
+
+class LoadBalancerCore {
+ public:
+  enum class Policy { kConsistentHash, kWeightedRR };
+
+  explicit LoadBalancerCore(Policy p = Policy::kConsistentHash)
+      : policy_(p) {}
+
+  void add_backend(Backend b);
+  /// Mark a backend (by DIP) unhealthy; its flows re-resolve on next packet.
+  void set_healthy(std::uint32_t dip, bool healthy);
+
+  /// Pick the backend for a flow (affinity table first). Returns 0 if no
+  /// healthy backend exists.
+  std::uint32_t select(const net::FlowKey& flow);
+
+  std::size_t num_backends() const noexcept { return backends_.size(); }
+  std::size_t affinity_entries() const noexcept { return affinity_.size(); }
+  Policy policy() const noexcept { return policy_; }
+
+  /// Per-backend packet counts (for balance tests).
+  const std::unordered_map<std::uint32_t, std::uint64_t>& hits()
+      const noexcept {
+    return hits_;
+  }
+
+ private:
+  static constexpr int kVnodesPerWeight = 160;
+  void rebuild_ring();
+  std::uint32_t pick_consistent(std::uint64_t hash) const;
+  std::uint32_t pick_wrr();
+  bool is_healthy(std::uint32_t dip) const;
+
+  Policy policy_;
+  std::vector<Backend> backends_;
+  std::map<std::uint64_t, std::uint32_t> ring_;  // vnode hash -> dip
+  std::unordered_map<net::FlowKey, std::uint32_t, net::FlowKeyHash>
+      affinity_;
+  std::unordered_map<std::uint32_t, std::uint64_t> hits_;
+  // Smooth WRR state.
+  std::vector<std::int64_t> wrr_current_;
+};
+
+/// Click element: LoadBalancer(VIP, DIP1 [w], DIP2 [w], ... [, policy hash|rr]).
+/// Packets whose dst is not the VIP pass through untouched.
+class LoadBalancer final : public click::Element {
+ public:
+  std::string class_name() const override { return "LoadBalancer"; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 120; }
+  net::PacketPtr simple_action(net::PacketPtr pkt) override;
+
+  LoadBalancerCore& core() noexcept { return core_; }
+  std::uint64_t rewritten() const noexcept { return rewritten_; }
+
+ private:
+  LoadBalancerCore core_;
+  std::vector<Backend> backends_pending_;  // staged until policy is known
+  std::uint32_t vip_ = 0;
+  std::uint64_t rewritten_ = 0;
+};
+
+}  // namespace mdp::nf

@@ -1,0 +1,112 @@
+#include "nf/lpm.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "click/registry.hpp"
+#include "net/headers.hpp"
+#include "net/packet_builder.hpp"
+
+namespace mdp::nf {
+
+void LpmTable::insert(Prefix prefix, int value) {
+  int node = 0;
+  for (std::uint8_t bit = 0; bit < prefix.len; ++bit) {
+    int b = (prefix.addr >> (31 - bit)) & 1;
+    if (nodes_[node].child[b] < 0) {
+      nodes_[node].child[b] = static_cast<int>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    node = nodes_[node].child[b];
+  }
+  if (!nodes_[node].has_value) ++routes_;
+  nodes_[node].has_value = true;
+  nodes_[node].value = value;
+}
+
+std::optional<int> LpmTable::lookup(std::uint32_t addr) const {
+  int best = -1;
+  bool found = false;
+  int node = 0;
+  for (std::uint8_t bit = 0; bit <= 32; ++bit) {
+    if (nodes_[node].has_value) {
+      best = nodes_[node].value;
+      found = true;
+    }
+    if (bit == 32) break;
+    int b = (addr >> (31 - bit)) & 1;
+    node = nodes_[node].child[b];
+    if (node < 0) break;
+  }
+  if (!found) return std::nullopt;
+  return best;
+}
+
+bool LpmTable::remove(Prefix prefix) {
+  int node = 0;
+  for (std::uint8_t bit = 0; bit < prefix.len; ++bit) {
+    int b = (prefix.addr >> (31 - bit)) & 1;
+    node = nodes_[node].child[b];
+    if (node < 0) return false;
+  }
+  if (!nodes_[node].has_value) return false;
+  nodes_[node].has_value = false;
+  nodes_[node].value = -1;
+  --routes_;
+  return true;
+}
+
+// --- IPLookup element -------------------------------------------------------
+
+bool IPLookup::configure(const std::vector<std::string>& args,
+                         std::string* err) {
+  if (args.empty()) {
+    *err = "IPLookup(\"CIDR PORT\", ...)";
+    return false;
+  }
+  for (const auto& arg : args) {
+    std::istringstream is(arg);
+    std::string cidr;
+    int port = -1;
+    if (!(is >> cidr >> port) || port < 0) {
+      *err = "IPLookup: route '" + arg + "' must be 'CIDR PORT'";
+      return false;
+    }
+    Prefix p;
+    std::string addr = cidr;
+    int len = 32;
+    if (auto slash = cidr.find('/'); slash != std::string::npos) {
+      addr = cidr.substr(0, slash);
+      len = std::atoi(cidr.substr(slash + 1).c_str());
+      if (len < 0 || len > 32) {
+        *err = "IPLookup: bad prefix length in '" + cidr + "'";
+        return false;
+      }
+    }
+    if (!net::ipv4_from_string(addr, &p.addr)) {
+      *err = "IPLookup: bad address in '" + cidr + "'";
+      return false;
+    }
+    p.len = static_cast<std::uint8_t>(len);
+    table_.insert(p, port);
+  }
+  return true;
+}
+
+void IPLookup::push(int, net::PacketPtr pkt) {
+  auto parsed = net::parse(*pkt);
+  if (!parsed) {
+    ++unroutable_;
+    return;
+  }
+  auto port = table_.lookup(parsed->flow.dst_ip);
+  if (!port) {
+    ++unroutable_;
+    return;
+  }
+  output_push(*port, std::move(pkt));
+}
+
+MDP_REGISTER_ELEMENT(IPLookup, "IPLookup");
+
+}  // namespace mdp::nf

@@ -1,0 +1,64 @@
+// Longest-prefix-match routing table (binary trie) and the IPLookup
+// element — the Click RadixIPLookup role: route the packet by destination
+// prefix to an output port.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "click/element.hpp"
+#include "nf/firewall.hpp"  // Prefix
+
+namespace mdp::nf {
+
+/// Binary-trie LPM over IPv4. Values are small ints (ports / next-hop
+/// ids). Insertion order is irrelevant: longest prefix wins.
+class LpmTable {
+ public:
+  LpmTable() : nodes_(1) {}
+
+  /// Insert/overwrite a route. len 0 = default route.
+  void insert(Prefix prefix, int value);
+
+  /// Longest-prefix match; nullopt when nothing (not even default) covers.
+  std::optional<int> lookup(std::uint32_t addr) const;
+
+  /// Remove a route (exact prefix). Returns false if absent.
+  bool remove(Prefix prefix);
+
+  std::size_t num_routes() const noexcept { return routes_; }
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int child[2] = {-1, -1};
+    int value = -1;  // -1 = no route terminates here
+    bool has_value = false;
+  };
+  std::vector<Node> nodes_;
+  std::size_t routes_ = 0;
+};
+
+/// Click element: IPLookup("CIDR PORT", ..., "CIDR PORT").
+/// Routes each IPv4 packet by dst to the port of its longest matching
+/// prefix; unroutable packets are dropped (and counted).
+class IPLookup final : public click::Element {
+ public:
+  std::string class_name() const override { return "IPLookup"; }
+  int n_outputs() const override { return -1; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 95; }
+  void push(int port, net::PacketPtr pkt) override;
+
+  LpmTable& table() noexcept { return table_; }
+  std::uint64_t unroutable() const noexcept { return unroutable_; }
+
+ private:
+  LpmTable table_;
+  std::uint64_t unroutable_ = 0;
+};
+
+}  // namespace mdp::nf

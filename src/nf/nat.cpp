@@ -1,0 +1,158 @@
+#include "nf/nat.hpp"
+
+#include "click/registry.hpp"
+#include "net/checksum.hpp"
+#include "net/headers.hpp"
+#include "net/packet_builder.hpp"
+
+namespace mdp::nf {
+
+NatTable::NatTable(NatConfig cfg) : cfg_(cfg) {
+  free_ports_.reserve(cfg_.port_hi - cfg_.port_lo + 1);
+  // Populate descending so allocation starts at port_lo (pop_back).
+  for (std::uint32_t p = cfg_.port_hi; p >= cfg_.port_lo; --p) {
+    free_ports_.push_back(static_cast<std::uint16_t>(p));
+    if (p == 0) break;  // uint wrap guard
+  }
+}
+
+std::optional<std::uint16_t> NatTable::translate(const net::FlowKey& flow,
+                                                 std::uint64_t now_ns) {
+  auto it = bindings_.find(flow);
+  if (it != bindings_.end()) {
+    it->second.binding.last_used_ns = now_ns;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.binding.external_port;
+  }
+  if (bindings_.size() >= cfg_.max_entries) evict_lru();
+  if (free_ports_.empty()) {
+    evict_lru();
+    if (free_ports_.empty()) return std::nullopt;
+  }
+  std::uint16_t port = free_ports_.back();
+  free_ports_.pop_back();
+  lru_.push_front(flow);
+  bindings_.emplace(flow, Entry{Binding{port, now_ns}, lru_.begin()});
+  by_port_.emplace(port, flow);
+  return port;
+}
+
+std::optional<net::FlowKey> NatTable::reverse(
+    std::uint16_t external_port) const {
+  auto it = by_port_.find(external_port);
+  if (it == by_port_.end()) return std::nullopt;
+  return it->second;
+}
+
+void NatTable::erase_binding(const net::FlowKey& flow) {
+  auto it = bindings_.find(flow);
+  if (it == bindings_.end()) return;
+  free_ports_.push_back(it->second.binding.external_port);
+  by_port_.erase(it->second.binding.external_port);
+  lru_.erase(it->second.lru_it);
+  bindings_.erase(it);
+  ++evictions_;
+}
+
+void NatTable::evict_lru() {
+  if (lru_.empty()) return;
+  erase_binding(lru_.back());
+}
+
+std::size_t NatTable::expire(std::uint64_t now_ns) {
+  std::size_t n = 0;
+  while (!lru_.empty()) {
+    const net::FlowKey& oldest = lru_.back();
+    auto it = bindings_.find(oldest);
+    if (it == bindings_.end()) break;
+    if (now_ns - it->second.binding.last_used_ns < cfg_.idle_timeout_ns)
+      break;
+    erase_binding(oldest);
+    ++n;
+  }
+  return n;
+}
+
+// --- Nat element ----------------------------------------------------------------
+
+bool Nat::configure(const std::vector<std::string>& args, std::string* err) {
+  NatConfig cfg;
+  if (!args.empty()) {
+    if (!net::ipv4_from_string(args[0], &cfg.external_ip)) {
+      *err = "Nat: bad external IP '" + args[0] + "'";
+      return false;
+    }
+  }
+  if (args.size() >= 3) {
+    int lo = std::atoi(args[1].c_str());
+    int hi = std::atoi(args[2].c_str());
+    if (lo <= 0 || hi > 65535 || lo > hi) {
+      *err = "Nat: bad port range";
+      return false;
+    }
+    cfg.port_lo = static_cast<std::uint16_t>(lo);
+    cfg.port_hi = static_cast<std::uint16_t>(hi);
+  } else if (args.size() == 2) {
+    *err = "Nat(EXTERNAL_IP [, PORT_LO, PORT_HI])";
+    return false;
+  }
+  cfg_ = cfg;
+  table_ = std::make_unique<NatTable>(cfg);
+  return true;
+}
+
+void Nat::push(int, net::PacketPtr pkt) {
+  auto parsed = net::parse(*pkt);
+  if (!parsed || !parsed->has_l4) {
+    ++failed_;
+    if (output_connected(1)) output_push(1, std::move(pkt));
+    return;
+  }
+  auto port = table_->translate(parsed->flow, pkt->anno().ingress_ns);
+  if (!port) {
+    ++failed_;
+    if (output_connected(1)) output_push(1, std::move(pkt));
+    return;
+  }
+
+  net::Ipv4View ip(pkt->data() + parsed->l3_offset);
+  std::uint32_t old_ip = ip.src();
+  std::uint16_t old_port = parsed->flow.src_port;
+  std::uint32_t new_ip = table_->config().external_ip;
+  std::uint16_t new_port = *port;
+
+  ip.set_src(new_ip);
+  ip.set_checksum(net::checksum_update32(ip.checksum(), old_ip, new_ip));
+
+  std::byte* l4 = pkt->data() + parsed->l4_offset;
+  if (parsed->flow.protocol == net::kIpProtoTcp) {
+    net::TcpView tcp(l4);
+    tcp.set_src_port(new_port);
+    std::uint16_t c = tcp.checksum();
+    c = net::checksum_update32(c, old_ip, new_ip);  // pseudo-header
+    c = net::checksum_update16(c, old_port, new_port);
+    tcp.set_checksum(c);
+  } else {
+    net::UdpView udp(l4);
+    udp.set_src_port(new_port);
+    std::uint16_t c = udp.checksum();
+    if (c != 0) {  // 0 = checksum disabled
+      c = net::checksum_update32(c, old_ip, new_ip);
+      c = net::checksum_update16(c, old_port, new_port);
+      udp.set_checksum(c == 0 ? 0xffff : c);
+    }
+  }
+
+  // The flow identity changed; refresh the cached hash annotation.
+  net::FlowKey new_flow = parsed->flow;
+  new_flow.src_ip = new_ip;
+  new_flow.src_port = new_port;
+  pkt->anno().flow_hash = net::hash_flow(new_flow);
+
+  ++translated_;
+  output_push(0, std::move(pkt));
+}
+
+MDP_REGISTER_ELEMENT(Nat, "Nat");
+
+}  // namespace mdp::nf

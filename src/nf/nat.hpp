@@ -1,0 +1,96 @@
+// Nat: source NAT with dynamic port allocation (the IPRewriter pattern).
+//
+// Outbound packets get src_ip rewritten to the external address and
+// src_port to a port drawn from the pool; the (internal flow -> external
+// port) binding persists for the life of the flow so a flow stays
+// recognizable downstream. Checksums (IPv4 + TCP/UDP) are patched
+// incrementally (RFC 1624) rather than recomputed.
+//
+// Bindings expire LRU when the table is full and by idle timeout.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "click/element.hpp"
+#include "net/flow_key.hpp"
+
+namespace mdp::nf {
+
+struct NatConfig {
+  std::uint32_t external_ip = 0x0a0a0a0a;  // 10.10.10.10
+  std::uint16_t port_lo = 10000;
+  std::uint16_t port_hi = 60000;
+  std::size_t max_entries = 65536;
+  std::uint64_t idle_timeout_ns = 120ull * 1'000'000'000;  // 120 s
+};
+
+class NatTable {
+ public:
+  explicit NatTable(NatConfig cfg = {});
+
+  struct Binding {
+    std::uint16_t external_port;
+    std::uint64_t last_used_ns;
+  };
+
+  /// Translate an outbound flow: returns the external port bound to this
+  /// flow (allocating one if new), or nullopt if the port pool and table
+  /// are exhausted.
+  std::optional<std::uint16_t> translate(const net::FlowKey& flow,
+                                         std::uint64_t now_ns);
+
+  /// Reverse lookup: which internal flow owns this external port?
+  std::optional<net::FlowKey> reverse(std::uint16_t external_port) const;
+
+  /// Drop bindings idle longer than the timeout. Returns count evicted.
+  std::size_t expire(std::uint64_t now_ns);
+
+  std::size_t size() const noexcept { return bindings_.size(); }
+  std::size_t ports_available() const noexcept { return free_ports_.size(); }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  const NatConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void evict_lru();
+  void erase_binding(const net::FlowKey& flow);
+
+  NatConfig cfg_;
+  struct Entry {
+    Binding binding;
+    std::list<net::FlowKey>::iterator lru_it;
+  };
+  std::unordered_map<net::FlowKey, Entry, net::FlowKeyHash> bindings_;
+  std::unordered_map<std::uint16_t, net::FlowKey> by_port_;
+  std::list<net::FlowKey> lru_;  // front = most recent
+  std::vector<std::uint16_t> free_ports_;
+  std::uint64_t evictions_ = 0;
+};
+
+/// Click element: Nat(EXTERNAL_IP [, PORT_LO, PORT_HI]). Output 0 carries
+/// translated traffic; packets that cannot be translated (pool exhausted,
+/// non-IP) exit port 1 if connected, else drop.
+class Nat final : public click::Element {
+ public:
+  std::string class_name() const override { return "Nat"; }
+  int n_outputs() const override { return -1; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 180; }
+  void push(int port, net::PacketPtr pkt) override;
+
+  NatTable& table() noexcept { return *table_; }
+  std::uint64_t translated() const noexcept { return translated_; }
+  std::uint64_t failed() const noexcept { return failed_; }
+
+ private:
+  std::unique_ptr<NatTable> table_ = std::make_unique<NatTable>();
+  NatConfig cfg_{};
+  std::uint64_t translated_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace mdp::nf

@@ -1,0 +1,45 @@
+#include "nf/rate_limiter.hpp"
+
+#include <cstdlib>
+
+#include "click/registry.hpp"
+
+namespace mdp::nf {
+
+bool RateLimiter::configure(const std::vector<std::string>& args,
+                            std::string* err) {
+  if (args.empty() || args.size() > 2) {
+    *err = "RateLimiter(RATE_MBPS, BURST_KB=64)";
+    return false;
+  }
+  double mbps = std::atof(args[0].c_str());
+  if (mbps <= 0) {
+    *err = "RateLimiter: RATE_MBPS must be positive";
+    return false;
+  }
+  double burst_kb = 64;
+  if (args.size() == 2) {
+    burst_kb = std::atof(args[1].c_str());
+    if (burst_kb <= 0) {
+      *err = "RateLimiter: BURST_KB must be positive";
+      return false;
+    }
+  }
+  // Mbps (megabits) -> bytes/s.
+  bucket_ = TokenBucket(mbps * 1e6 / 8.0, burst_kb * 1024.0);
+  return true;
+}
+
+void RateLimiter::push(int, net::PacketPtr pkt) {
+  if (bucket_.admit(pkt->length(), pkt->anno().ingress_ns)) {
+    ++conformed_;
+    output_push(0, std::move(pkt));
+  } else {
+    ++exceeded_;
+    if (output_connected(1)) output_push(1, std::move(pkt));
+  }
+}
+
+MDP_REGISTER_ELEMENT(RateLimiter, "RateLimiter");
+
+}  // namespace mdp::nf

@@ -1,0 +1,76 @@
+// RateLimiter: token-bucket policer. Time comes from the packet's
+// ingress_ns annotation (virtual time in simulation, wall clock in the
+// threaded data plane) so the element works identically in both modes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "click/element.hpp"
+
+namespace mdp::nf {
+
+class TokenBucket {
+ public:
+  /// @param rate_bps   sustained rate in bytes per second
+  /// @param burst_bytes bucket depth
+  TokenBucket(double rate_bps, double burst_bytes)
+      : rate_bps_(rate_bps), burst_(burst_bytes), tokens_(burst_bytes) {}
+
+  /// True if `bytes` may pass at time `now_ns` (consumes tokens).
+  bool admit(std::size_t bytes, std::uint64_t now_ns) noexcept {
+    refill(now_ns);
+    if (tokens_ >= static_cast<double>(bytes)) {
+      tokens_ -= static_cast<double>(bytes);
+      return true;
+    }
+    return false;
+  }
+
+  double tokens() const noexcept { return tokens_; }
+  double rate_bps() const noexcept { return rate_bps_; }
+  double burst() const noexcept { return burst_; }
+
+ private:
+  void refill(std::uint64_t now_ns) noexcept {
+    if (!primed_) {
+      primed_ = true;
+      last_ns_ = now_ns;
+      return;
+    }
+    if (now_ns <= last_ns_) return;
+    double dt_s = static_cast<double>(now_ns - last_ns_) / 1e9;
+    tokens_ += dt_s * rate_bps_;
+    if (tokens_ > burst_) tokens_ = burst_;
+    last_ns_ = now_ns;
+  }
+
+  double rate_bps_;
+  double burst_;
+  double tokens_;
+  std::uint64_t last_ns_ = 0;
+  bool primed_ = false;  // distinguishes t=0 from "never seen a packet"
+};
+
+/// Click element: RateLimiter(RATE_MBPS, BURST_KB=64). Conforming packets
+/// exit port 0; excess exits port 1 if connected, else dropped.
+class RateLimiter final : public click::Element {
+ public:
+  std::string class_name() const override { return "RateLimiter"; }
+  int n_outputs() const override { return -1; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string* err) override;
+  sim::TimeNs cost_ns() const override { return 80; }
+  void push(int port, net::PacketPtr pkt) override;
+
+  std::uint64_t conformed() const noexcept { return conformed_; }
+  std::uint64_t exceeded() const noexcept { return exceeded_; }
+  TokenBucket& bucket() noexcept { return bucket_; }
+
+ private:
+  TokenBucket bucket_{125'000'000.0, 65536.0};  // 1 Gbps, 64 KB default
+  std::uint64_t conformed_ = 0;
+  std::uint64_t exceeded_ = 0;
+};
+
+}  // namespace mdp::nf

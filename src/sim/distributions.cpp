@@ -1,0 +1,42 @@
+#include "sim/distributions.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mdp::sim {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<std::pair<double, double>> knots)
+    : knots_(std::move(knots)) {
+  if (knots_.size() < 2) throw std::invalid_argument("need >= 2 CDF knots");
+  if (!std::is_sorted(knots_.begin(), knots_.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.second < b.second;
+                      }))
+    throw std::invalid_argument("CDF probabilities must be non-decreasing");
+  if (knots_.back().second < 1.0) knots_.back().second = 1.0;
+
+  // Mean of the piecewise-linear distribution: sum of segment midpoints
+  // weighted by segment probability mass.
+  double m = 0;
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    double pmass = knots_[i].second - knots_[i - 1].second;
+    m += pmass * (knots_[i].first + knots_[i - 1].first) / 2.0;
+  }
+  mean_ = m;
+}
+
+double EmpiricalCdf::sample(Rng& rng) {
+  double u = rng.uniform();
+  auto it = std::lower_bound(
+      knots_.begin(), knots_.end(), u,
+      [](const auto& k, double p) { return k.second < p; });
+  if (it == knots_.begin()) return knots_.front().first;
+  if (it == knots_.end()) return knots_.back().first;
+  auto lo = *(it - 1);
+  auto hi = *it;
+  double span = hi.second - lo.second;
+  double frac = span > 0 ? (u - lo.second) / span : 0.0;
+  return lo.first + frac * (hi.first - lo.first);
+}
+
+}  // namespace mdp::sim

@@ -1,0 +1,129 @@
+// Random-variate distributions used by workloads, service models, and
+// interference: exponential, bounded Pareto (heavy tail), lognormal,
+// constant, uniform, and empirical CDFs (the DCTCP-style flow-size CDFs).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace mdp::sim {
+
+/// Abstract positive-valued distribution. sample() returns a double; call
+/// sites round to integral ns/bytes as appropriate.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  virtual double sample(Rng& rng) = 0;
+  virtual double mean() const = 0;
+};
+
+using DistributionPtr = std::unique_ptr<Distribution>;
+
+class Constant final : public Distribution {
+ public:
+  explicit Constant(double v) : v_(v) {}
+  double sample(Rng&) override { return v_; }
+  double mean() const override { return v_; }
+
+ private:
+  double v_;
+};
+
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi) : lo_(lo), hi_(hi) {}
+  double sample(Rng& rng) override { return rng.uniform_range(lo_, hi_); }
+  double mean() const override { return (lo_ + hi_) / 2; }
+
+ private:
+  double lo_, hi_;
+};
+
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double mean) : mean_(mean) {}
+  double sample(Rng& rng) override {
+    // Inverse transform; 1-u avoids log(0).
+    return -mean_ * std::log(1.0 - rng.uniform());
+  }
+  double mean() const override { return mean_; }
+
+ private:
+  double mean_;
+};
+
+/// Pareto truncated to [min, max]: the standard heavy-tail model for burst
+/// durations and flow sizes. alpha <= 1 still has a finite mean thanks to
+/// the upper bound.
+class BoundedPareto final : public Distribution {
+ public:
+  BoundedPareto(double alpha, double min, double max)
+      : alpha_(alpha), min_(min), max_(max) {}
+
+  double sample(Rng& rng) override {
+    double u = rng.uniform();
+    double la = std::pow(min_, alpha_);
+    double ha = std::pow(max_, alpha_);
+    // Inverse CDF of the truncated Pareto.
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+  }
+
+  double mean() const override {
+    if (alpha_ == 1.0)
+      return (std::log(max_) - std::log(min_)) /
+             (1.0 / min_ - 1.0 / max_);
+    double la = std::pow(min_, alpha_);
+    double ha = std::pow(max_, alpha_);
+    return (la / (1.0 - la / ha)) * (alpha_ / (alpha_ - 1.0)) *
+           (1.0 / std::pow(min_, alpha_ - 1.0) -
+            1.0 / std::pow(max_, alpha_ - 1.0));
+  }
+
+ private:
+  double alpha_, min_, max_;
+};
+
+class LogNormal final : public Distribution {
+ public:
+  /// Parameterized by the mean and sigma of the underlying normal.
+  LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {}
+
+  double sample(Rng& rng) override {
+    // Box-Muller; consume two uniforms deterministically.
+    double u1 = rng.uniform();
+    double u2 = rng.uniform();
+    if (u1 <= 0) u1 = 1e-12;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    return std::exp(mu_ + sigma_ * z);
+  }
+
+  double mean() const override {
+    return std::exp(mu_ + sigma_ * sigma_ / 2.0);
+  }
+
+ private:
+  double mu_, sigma_;
+};
+
+/// Piecewise-linear inverse of an empirical CDF given as (value, cum_prob)
+/// knots, cum_prob increasing to 1.0. This is how the web-search and
+/// data-mining flow-size distributions from the DCTCP paper are encoded.
+class EmpiricalCdf final : public Distribution {
+ public:
+  explicit EmpiricalCdf(std::vector<std::pair<double, double>> knots);
+
+  double sample(Rng& rng) override;
+  double mean() const override { return mean_; }
+
+ private:
+  std::vector<std::pair<double, double>> knots_;  // (value, cum prob)
+  double mean_ = 0;
+};
+
+}  // namespace mdp::sim

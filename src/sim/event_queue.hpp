@@ -1,0 +1,88 @@
+// EventQueue: the discrete-event core. A binary heap of (virtual time,
+// insertion sequence, callback); ties in time break by insertion order so
+// runs are fully deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/unique_function.hpp"
+
+namespace mdp::sim {
+
+class EventQueue {
+ public:
+  using Callback = UniqueFunction<void()>;
+
+  TimeNs now() const noexcept { return now_; }
+
+  /// Schedule `cb` at absolute virtual time `at_ns` (clamped to now()).
+  void schedule_at(TimeNs at_ns, Callback cb) {
+    if (at_ns < now_) at_ns = now_;
+    heap_.push(Event{at_ns, seq_++, std::move(cb)});
+  }
+
+  /// Schedule `cb` `delay_ns` after now().
+  void schedule_in(TimeNs delay_ns, Callback cb) {
+    schedule_at(now_ + delay_ns, std::move(cb));
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+  /// Run the next event; returns false if none pending.
+  bool step() {
+    if (heap_.empty()) return false;
+    // priority_queue::top is const; the event must be moved out, so we
+    // const_cast around the API (the object is popped immediately after).
+    Event& top = const_cast<Event&>(heap_.top());
+    TimeNs t = top.at;
+    Callback cb = std::move(top.cb);
+    heap_.pop();
+    now_ = t;
+    ++processed_;
+    cb();
+    return true;
+  }
+
+  /// Run events until the queue is drained.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Run events with time <= until_ns; advances now() to until_ns.
+  void run_until(TimeNs until_ns) {
+    while (!heap_.empty() && heap_.top().at <= until_ns) step();
+    if (now_ < until_ns) now_ = until_ns;
+  }
+
+  /// Discard all pending events WITHOUT executing them. Call this before
+  /// tearing down objects the queued closures reference (packet pools,
+  /// cores): closures may own packets whose deleters touch the pool, so
+  /// they must be destroyed while it is still alive.
+  void clear() {
+    while (!heap_.empty()) heap_.pop();
+  }
+
+ private:
+  struct Event {
+    TimeNs at;
+    std::uint64_t seq;
+    Callback cb;
+    // Min-heap via greater-than: earlier time first, then lower seq.
+    bool operator<(const Event& o) const noexcept {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event> heap_;
+  TimeNs now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace mdp::sim

@@ -1,0 +1,55 @@
+// InterferenceModel: the "noisy neighbor". Generates CPU-theft bursts on a
+// SimCore following an on/off renewal process:
+//
+//   off period ~ Exponential(mean_off)  (core belongs to the data plane)
+//   on  period ~ burst distribution     (core stolen; queue backs up)
+//
+// duty cycle = mean_on / (mean_on + mean_off). Burst lengths default to a
+// bounded Pareto so occasional long stalls exist — those are precisely what
+// creates the last-mile p99.9 tail the paper targets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/distributions.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/sim_core.hpp"
+
+namespace mdp::sim {
+
+struct InterferenceConfig {
+  double duty_cycle = 0.1;          ///< fraction of core time stolen
+  double mean_burst_ns = 100'000;   ///< mean theft burst (100us default)
+  double burst_alpha = 1.3;         ///< Pareto tail index for burst length
+  double max_burst_ns = 2'000'000;  ///< burst cap (2ms)
+  bool pareto_bursts = true;        ///< false => exponential bursts
+};
+
+class InterferenceModel {
+ public:
+  InterferenceModel(EventQueue& eq, SimCore& core, InterferenceConfig cfg,
+                    std::uint64_t seed);
+
+  /// Begin injecting theft bursts (schedules the first off->on transition).
+  void start();
+
+  std::uint64_t bursts_injected() const noexcept { return bursts_; }
+  TimeNs total_stolen_ns() const noexcept { return stolen_ns_; }
+  const InterferenceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void schedule_next_burst();
+
+  EventQueue& eq_;
+  SimCore& core_;
+  InterferenceConfig cfg_;
+  Rng rng_;
+  DistributionPtr burst_dist_;
+  DistributionPtr gap_dist_;
+  std::uint64_t bursts_ = 0;
+  TimeNs stolen_ns_ = 0;
+};
+
+}  // namespace mdp::sim

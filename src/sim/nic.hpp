@@ -1,0 +1,88 @@
+// SimNic: a multi-queue NIC front end, the ingress of the simulated host.
+// Frames arrive via rx(); RSS steers them to one of `num_queues` bounded RX
+// queues by 5-tuple hash (or the caller overrides steering, which is how
+// the multipath scheduler takes control of the last mile).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/packet_pool.hpp"
+
+namespace mdp::sim {
+
+struct NicConfig {
+  std::size_t num_queues = 4;
+  std::size_t queue_capacity = 1024;  ///< per-queue; overflow => tail drop
+};
+
+class SimNic {
+ public:
+  explicit SimNic(NicConfig cfg) : cfg_(cfg), queues_(cfg.num_queues) {}
+
+  std::size_t num_queues() const noexcept { return queues_.size(); }
+
+  /// RSS steering: stable hash -> queue.
+  std::size_t rss_queue(const net::Packet& pkt) const noexcept {
+    return static_cast<std::size_t>(pkt.anno().flow_hash % queues_.size());
+  }
+
+  /// Deliver a frame into its RSS queue. Returns false (and drops) if the
+  /// queue is full.
+  bool rx(net::PacketPtr pkt) {
+    // Evaluate the queue before moving the handle: function-argument
+    // evaluation order is unspecified, so a one-liner would be UB.
+    std::size_t q = rss_queue(*pkt);
+    return rx_to(q, std::move(pkt));
+  }
+
+  /// Deliver into an explicit queue (multipath steering).
+  bool rx_to(std::size_t queue, net::PacketPtr pkt) {
+    auto& q = queues_[queue];
+    if (q.size() >= cfg_.queue_capacity) {
+      ++drops_;
+      return false;  // pkt handle recycles on destruction
+    }
+    q.push_back(std::move(pkt));
+    ++received_;
+    return true;
+  }
+
+  /// Poll one frame from a queue (nullptr handle if empty).
+  net::PacketPtr poll(std::size_t queue) {
+    auto& q = queues_[queue];
+    if (q.empty()) return net::PacketPtr{nullptr};
+    net::PacketPtr pkt = std::move(q.front());
+    q.pop_front();
+    return pkt;
+  }
+
+  /// Poll up to `max` frames from a queue into `out`.
+  std::size_t poll_burst(std::size_t queue, std::size_t max,
+                         std::vector<net::PacketPtr>& out) {
+    std::size_t n = 0;
+    while (n < max) {
+      auto pkt = poll(queue);
+      if (!pkt) break;
+      out.push_back(std::move(pkt));
+      ++n;
+    }
+    return n;
+  }
+
+  std::size_t queue_depth(std::size_t queue) const noexcept {
+    return queues_[queue].size();
+  }
+  std::uint64_t total_received() const noexcept { return received_; }
+  std::uint64_t total_drops() const noexcept { return drops_; }
+
+ private:
+  NicConfig cfg_;
+  std::vector<std::deque<net::PacketPtr>> queues_;
+  std::uint64_t received_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace mdp::sim

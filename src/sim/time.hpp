@@ -1,0 +1,14 @@
+// Virtual time: nanoseconds since simulation start.
+#pragma once
+
+#include <cstdint>
+
+namespace mdp::sim {
+
+using TimeNs = std::uint64_t;
+
+inline constexpr TimeNs kMicrosecond = 1'000;
+inline constexpr TimeNs kMillisecond = 1'000'000;
+inline constexpr TimeNs kSecond = 1'000'000'000;
+
+}  // namespace mdp::sim

@@ -1,0 +1,53 @@
+// UniqueFunction: minimal type-erased move-only callable (the subset of
+// C++23 std::move_only_function we need). Event callbacks capture move-only
+// PacketPtr handles, which std::function cannot hold.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace mdp::sim {
+
+template <typename Sig>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, UniqueFunction>)
+  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  explicit operator bool() const noexcept { return impl_ != nullptr; }
+
+  R operator()(Args... args) {
+    return impl_->call(std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual R call(Args... args) = 0;
+  };
+
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F f) : fn(std::move(f)) {}
+    R call(Args... args) override {
+      return fn(std::forward<Args>(args)...);
+    }
+    F fn;
+  };
+
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace mdp::sim

@@ -1,0 +1,44 @@
+// CounterSet: named monotonic counters for data-plane accounting
+// (packets in/out, drops, replicas, dedup hits, reorder events, ...).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mdp::stats {
+
+class CounterSet {
+ public:
+  void inc(const std::string& name, std::uint64_t by = 1) {
+    counters_[name] += by;
+  }
+
+  std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void reset() { counters_.clear(); }
+
+  const std::map<std::string, std::uint64_t>& all() const noexcept {
+    return counters_;
+  }
+
+  std::string to_string() const {
+    std::string out;
+    for (const auto& [k, v] : counters_) {
+      out += k;
+      out += '=';
+      out += std::to_string(v);
+      out += ' ';
+    }
+    if (!out.empty()) out.pop_back();
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace mdp::stats

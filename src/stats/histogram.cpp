@@ -1,0 +1,119 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace mdp::stats {
+
+// Bucket layout. Let S = 2^kSubBits.
+//   - values in [0, S)             : one exact bucket per value, index = v
+//   - values in [S*2^e, S*2^(e+1)) : S linear sub-buckets of width 2^e,
+//                                    index = S*(e+1) + ((v >> e) - S)
+// Relative quantization error is therefore bounded by 2^-kSubBits.
+namespace {
+constexpr std::size_t kSub = std::size_t{1} << LatencyHistogram::kSubBits;
+constexpr std::size_t kNumBuckets =
+    kSub * (LatencyHistogram::kMaxExp + 2);
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t v) noexcept {
+  if (v < kSub) return static_cast<std::size_t>(v);
+  unsigned msb = 63 - static_cast<unsigned>(std::countl_zero(v));
+  unsigned e = msb - kSubBits;
+  if (e > kMaxExp) e = kMaxExp;
+  std::uint64_t sub = (v >> e) - kSub;
+  if (sub >= kSub) sub = kSub - 1;  // only when e was clamped
+  return kSub * (std::size_t{e} + 1) + static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::size_t idx) noexcept {
+  if (idx < kSub) return idx;
+  std::size_t e = idx / kSub - 1;
+  std::uint64_t sub = idx % kSub;
+  return ((kSub + sub + 1) << e) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t v) noexcept { record_n(v, 1); }
+
+void LatencyHistogram::record_n(std::uint64_t v, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  buckets_[bucket_index(v)] += n;
+  count_ += n;
+  sum_ += v * n;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum > target) return std::min(bucket_upper(i), max_);
+  }
+  return max_;
+}
+
+std::vector<std::pair<std::uint64_t, double>> LatencyHistogram::cdf() const {
+  std::vector<std::pair<std::uint64_t, double>> out;
+  if (count_ == 0) return out;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    cum += buckets_[i];
+    out.emplace_back(bucket_upper(i),
+                     static_cast<double>(cum) / static_cast<double>(count_));
+  }
+  return out;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%s p50=%s p99=%s p999=%s max=%s",
+                static_cast<unsigned long long>(count_),
+                format_ns(static_cast<std::uint64_t>(mean())).c_str(),
+                format_ns(p50()).c_str(), format_ns(p99()).c_str(),
+                format_ns(p999()).c_str(), format_ns(max()).c_str());
+  return buf;
+}
+
+std::string format_ns(std::uint64_t ns) {
+  char buf[64];
+  if (ns < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(ns));
+  } else if (ns < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 1000000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace mdp::stats

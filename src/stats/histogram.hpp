@@ -1,0 +1,69 @@
+// LatencyHistogram: HDR-histogram-style log-linear bucketing.
+//
+// Values (nanoseconds) are bucketed with a bounded relative error: each
+// power-of-two range is split into 2^kSubBits linear sub-buckets, so the
+// relative quantization error is at most 2^-kSubBits. Recording is O(1),
+// memory is a few KB, and percentile queries walk the bucket array once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdp::stats {
+
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kSubBits = 7;   // 128 sub-buckets => <0.8% error
+  static constexpr unsigned kMaxExp = 40;   // covers up to ~1100 s in ns
+
+  LatencyHistogram();
+
+  void record(std::uint64_t value_ns) noexcept;
+  void record_n(std::uint64_t value_ns, std::uint64_t count) noexcept;
+
+  /// Merge another histogram into this one (bucket-wise add).
+  void merge(const LatencyHistogram& other) noexcept;
+
+  void reset() noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Value at quantile q in [0,1]; e.g. q=0.999 for p99.9. Returns the
+  /// upper edge of the containing bucket (pessimistic, bounded error).
+  std::uint64_t quantile(double q) const noexcept;
+
+  std::uint64_t p50() const noexcept { return quantile(0.50); }
+  std::uint64_t p90() const noexcept { return quantile(0.90); }
+  std::uint64_t p99() const noexcept { return quantile(0.99); }
+  std::uint64_t p999() const noexcept { return quantile(0.999); }
+  std::uint64_t p9999() const noexcept { return quantile(0.9999); }
+
+  /// CDF sample points (value_ns, cumulative_fraction) for plotting;
+  /// only non-empty buckets are emitted.
+  std::vector<std::pair<std::uint64_t, double>> cdf() const;
+
+  /// One-line human summary: count/mean/p50/p99/p999/max.
+  std::string summary() const;
+
+ private:
+  static std::size_t bucket_index(std::uint64_t v) noexcept;
+  static std::uint64_t bucket_upper(std::size_t idx) noexcept;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+/// Convenience formatting: 1234 -> "1.2us", 1234567 -> "1.2ms".
+std::string format_ns(std::uint64_t ns);
+
+}  // namespace mdp::stats

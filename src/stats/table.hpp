@@ -1,0 +1,46 @@
+// Table: tiny column-aligned table builder for experiment output, with
+// markdown and CSV renderers. Every bench binary prints its figure/table
+// through this so the output format is uniform and machine-scrapable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdp::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_cols() const noexcept { return headers_.size(); }
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
+  /// Space-padded fixed-width text (for terminals).
+  std::string to_text() const;
+  /// GitHub-flavoured markdown.
+  std::string to_markdown() const;
+  /// RFC-4180-ish CSV (fields containing commas/quotes get quoted).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helpers for building cells.
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_u64(std::uint64_t v);
+std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace mdp::stats

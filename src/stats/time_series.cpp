@@ -1,0 +1,43 @@
+#include "stats/time_series.hpp"
+
+#include <algorithm>
+
+namespace mdp::stats {
+
+void TimeSeries::ensure(std::size_t idx) {
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1);
+}
+
+void TimeSeries::observe(std::uint64_t t_ns, double value) {
+  std::size_t idx = static_cast<std::size_t>(t_ns / interval_ns_);
+  ensure(idx);
+  auto& b = buckets_[idx];
+  b.sum += value;
+  b.max = std::max(b.max, value);
+  ++b.count;
+}
+
+void TimeSeries::observe_max(std::uint64_t t_ns, double value) {
+  std::size_t idx = static_cast<std::size_t>(t_ns / interval_ns_);
+  ensure(idx);
+  auto& b = buckets_[idx];
+  b.use_max = true;
+  b.max = std::max(b.max, value);
+  b.sum += value;
+  ++b.count;
+}
+
+std::vector<TimeSeries::Sample> TimeSeries::samples() const {
+  std::vector<Sample> out;
+  out.reserve(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const auto& b = buckets_[i];
+    double v = 0;
+    if (b.count > 0)
+      v = b.use_max ? b.max : b.sum / static_cast<double>(b.count);
+    out.push_back({i * interval_ns_, v, b.count});
+  }
+  return out;
+}
+
+}  // namespace mdp::stats

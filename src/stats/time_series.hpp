@@ -1,0 +1,48 @@
+// TimeSeries: fixed-interval sampled series (queue depth over time, etc.)
+// used by the timeline figures. Samples are bucketed by virtual time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdp::stats {
+
+class TimeSeries {
+ public:
+  /// @param interval_ns width of one sample bucket.
+  explicit TimeSeries(std::uint64_t interval_ns, std::string name = {})
+      : interval_ns_(interval_ns), name_(std::move(name)) {}
+
+  /// Record an observation at virtual time `t_ns`. Observations in the
+  /// same bucket are averaged.
+  void observe(std::uint64_t t_ns, double value);
+
+  /// Record a max-style observation (bucket keeps the maximum).
+  void observe_max(std::uint64_t t_ns, double value);
+
+  struct Sample {
+    std::uint64_t t_ns;
+    double value;
+    std::uint64_t count;
+  };
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint64_t interval_ns() const noexcept { return interval_ns_; }
+  std::vector<Sample> samples() const;
+
+ private:
+  struct Bucket {
+    double sum = 0;
+    double max = 0;
+    std::uint64_t count = 0;
+    bool use_max = false;
+  };
+  void ensure(std::size_t idx);
+
+  std::uint64_t interval_ns_;
+  std::string name_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace mdp::stats

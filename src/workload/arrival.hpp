@@ -1,0 +1,103 @@
+// Arrival processes for open-loop traffic generation.
+//
+//   Poisson       : exponential gaps (the classic load model)
+//   Deterministic : fixed gaps (line-rate pacing)
+//   Mmpp          : 2-state Markov-modulated Poisson process — the burst
+//                   model. State HI emits at burst_factor x the base rate;
+//                   dwell times are exponential. This is what creates the
+//                   micro-bursts the motivation figures show.
+#pragma once
+
+#include <memory>
+
+#include "sim/distributions.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace mdp::workload {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Gap to the next arrival, in ns.
+  virtual sim::TimeNs next_gap(sim::Rng& rng) = 0;
+  /// Long-run mean gap (for load accounting).
+  virtual double mean_gap_ns() const = 0;
+};
+
+using ArrivalPtr = std::unique_ptr<ArrivalProcess>;
+
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double mean_gap_ns) : exp_(mean_gap_ns) {}
+  sim::TimeNs next_gap(sim::Rng& rng) override {
+    double g = exp_.sample(rng);
+    return g < 1 ? 1 : static_cast<sim::TimeNs>(g);
+  }
+  double mean_gap_ns() const override { return exp_.mean(); }
+
+ private:
+  sim::Exponential exp_;
+};
+
+class DeterministicArrivals final : public ArrivalProcess {
+ public:
+  explicit DeterministicArrivals(sim::TimeNs gap_ns)
+      : gap_(gap_ns ? gap_ns : 1) {}
+  sim::TimeNs next_gap(sim::Rng&) override { return gap_; }
+  double mean_gap_ns() const override { return static_cast<double>(gap_); }
+
+ private:
+  sim::TimeNs gap_;
+};
+
+struct MmppConfig {
+  double base_gap_ns = 2000;     ///< mean gap in the LO state
+  double burst_factor = 10;      ///< HI-state rate multiplier
+  double mean_hi_dwell_ns = 50'000;
+  double mean_lo_dwell_ns = 450'000;
+};
+
+class MmppArrivals final : public ArrivalProcess {
+ public:
+  explicit MmppArrivals(MmppConfig cfg)
+      : cfg_(cfg),
+        lo_(cfg.base_gap_ns),
+        hi_(cfg.base_gap_ns / cfg.burst_factor) {}
+
+  sim::TimeNs next_gap(sim::Rng& rng) override {
+    // Advance the modulating chain by the consumed gap, possibly flipping
+    // state mid-gap (approximation: state is sampled at gap boundaries,
+    // which is accurate when dwell >> gap, as configured).
+    if (remaining_dwell_ns_ <= 0) {
+      in_hi_ = !in_hi_;
+      double dwell =
+          in_hi_ ? cfg_.mean_hi_dwell_ns : cfg_.mean_lo_dwell_ns;
+      remaining_dwell_ns_ = sim::Exponential(dwell).sample(rng);
+    }
+    double g = (in_hi_ ? hi_ : lo_).sample(rng);
+    if (g < 1) g = 1;
+    remaining_dwell_ns_ -= g;
+    return static_cast<sim::TimeNs>(g);
+  }
+
+  double mean_gap_ns() const override {
+    // Time-weighted harmonic combination of the two rates.
+    double p_hi = cfg_.mean_hi_dwell_ns /
+                  (cfg_.mean_hi_dwell_ns + cfg_.mean_lo_dwell_ns);
+    double rate = p_hi * (cfg_.burst_factor / cfg_.base_gap_ns) +
+                  (1 - p_hi) * (1.0 / cfg_.base_gap_ns);
+    return 1.0 / rate;
+  }
+
+  bool in_burst() const noexcept { return in_hi_; }
+
+ private:
+  MmppConfig cfg_;
+  sim::Exponential lo_;
+  sim::Exponential hi_;
+  bool in_hi_ = false;
+  double remaining_dwell_ns_ = 0;
+};
+
+}  // namespace mdp::workload

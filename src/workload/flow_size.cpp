@@ -1,0 +1,42 @@
+#include "workload/flow_size.hpp"
+
+namespace mdp::workload {
+
+sim::DistributionPtr web_search_flow_sizes() {
+  // Knots (bytes, cum prob) approximating the DCTCP web-search trace.
+  return std::make_unique<sim::EmpiricalCdf>(
+      std::vector<std::pair<double, double>>{
+          {6'000, 0.00},   {10'000, 0.15},  {13'000, 0.20},
+          {19'000, 0.30},  {33'000, 0.40},  {53'000, 0.53},
+          {133'000, 0.60}, {667'000, 0.70}, {1'333'000, 0.80},
+          {3'333'000, 0.90}, {6'667'000, 0.97}, {20'000'000, 1.00}});
+}
+
+sim::DistributionPtr data_mining_flow_sizes() {
+  // Knots approximating the VL2 data-mining trace: 80% of flows under
+  // 10 KB but a tail reaching 1 GB carries most of the bytes.
+  return std::make_unique<sim::EmpiricalCdf>(
+      std::vector<std::pair<double, double>>{
+          {100, 0.00},        {180, 0.10},        {250, 0.20},
+          {560, 0.30},        {900, 0.40},        {1'100, 0.50},
+          {1'870, 0.60},      {3'160, 0.70},      {10'000, 0.80},
+          {400'000, 0.90},    {3'160'000, 0.95},  {100'000'000, 0.98},
+          {1'000'000'000, 1.00}});
+}
+
+sim::DistributionPtr uniform_rpc_flow_sizes() {
+  return std::make_unique<sim::Uniform>(1'024, 16'384);
+}
+
+sim::DistributionPtr flow_sizes_by_name(const std::string& name) {
+  if (name == "websearch") return web_search_flow_sizes();
+  if (name == "datamining") return data_mining_flow_sizes();
+  if (name == "uniform") return uniform_rpc_flow_sizes();
+  return nullptr;
+}
+
+std::vector<std::string> flow_size_workload_names() {
+  return {"websearch", "datamining", "uniform"};
+}
+
+}  // namespace mdp::workload

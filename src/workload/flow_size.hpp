@@ -1,0 +1,31 @@
+// Flow-size distributions. The web-search and data-mining CDFs are the
+// standard datacenter workload stand-ins (from the DCTCP / VL2 traces as
+// reused by pFabric, pHost, Homa, ...): both heavy-tailed, data-mining far
+// more so (most flows are tiny, most bytes are in elephants).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/distributions.hpp"
+
+namespace mdp::workload {
+
+/// Web-search workload CDF (flow size in bytes).
+sim::DistributionPtr web_search_flow_sizes();
+
+/// Data-mining workload CDF (flow size in bytes).
+sim::DistributionPtr data_mining_flow_sizes();
+
+/// Uniform small-RPC mix: 1..16 KB.
+sim::DistributionPtr uniform_rpc_flow_sizes();
+
+/// Factory by name ("websearch" | "datamining" | "uniform"); nullptr for
+/// unknown names.
+sim::DistributionPtr flow_sizes_by_name(const std::string& name);
+
+/// Names accepted by flow_sizes_by_name, in canonical order.
+std::vector<std::string> flow_size_workload_names();
+
+}  // namespace mdp::workload

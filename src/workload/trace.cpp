@@ -1,0 +1,62 @@
+#include "workload/trace.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace mdp::workload {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4d445054;  // "MDPT"
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+bool TraceWriter::save(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  std::uint32_t header[3] = {kMagic, kVersion,
+                             static_cast<std::uint32_t>(records_.size())};
+  if (std::fwrite(header, sizeof(header), 1, f.get()) != 1) return false;
+  for (const auto& r : records_) {
+    if (std::fwrite(&r.t_ns, sizeof(r.t_ns), 1, f.get()) != 1) return false;
+    if (std::fwrite(&r.flow_id, sizeof(r.flow_id), 1, f.get()) != 1)
+      return false;
+    if (std::fwrite(&r.size_bytes, sizeof(r.size_bytes), 1, f.get()) != 1)
+      return false;
+    if (std::fwrite(&r.traffic_class, sizeof(r.traffic_class), 1, f.get()) !=
+        1)
+      return false;
+  }
+  return true;
+}
+
+bool TraceReader::load(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  std::uint32_t header[3];
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1) return false;
+  if (header[0] != kMagic || header[1] != kVersion) return false;
+  records_.clear();
+  records_.reserve(header[2]);
+  for (std::uint32_t i = 0; i < header[2]; ++i) {
+    TraceRecord r;
+    if (std::fread(&r.t_ns, sizeof(r.t_ns), 1, f.get()) != 1) return false;
+    if (std::fread(&r.flow_id, sizeof(r.flow_id), 1, f.get()) != 1)
+      return false;
+    if (std::fread(&r.size_bytes, sizeof(r.size_bytes), 1, f.get()) != 1)
+      return false;
+    if (std::fread(&r.traffic_class, sizeof(r.traffic_class), 1, f.get()) !=
+        1)
+      return false;
+    records_.push_back(r);
+  }
+  return true;
+}
+
+}  // namespace mdp::workload

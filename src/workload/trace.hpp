@@ -1,0 +1,47 @@
+// PacketTrace: minimal binary trace format (one record per packet:
+// timestamp, flow id, size, class) with writer/reader. Lets experiments be
+// replayed exactly and serves as the stand-in for pcap replay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdp::workload {
+
+struct TraceRecord {
+  std::uint64_t t_ns = 0;
+  std::uint32_t flow_id = 0;
+  std::uint16_t size_bytes = 0;
+  std::uint8_t traffic_class = 0;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+class TraceWriter {
+ public:
+  void append(TraceRecord r) { records_.push_back(r); }
+  std::size_t size() const noexcept { return records_.size(); }
+  /// Serialize to file. Returns false on I/O error.
+  bool save(const std::string& path) const;
+  const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+class TraceReader {
+ public:
+  /// Load from file. Returns false on I/O error or bad magic.
+  bool load(const std::string& path);
+  const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace mdp::workload

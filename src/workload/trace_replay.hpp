@@ -1,0 +1,75 @@
+// TraceReplay: drives the data-plane ingress from a recorded packet trace
+// (see trace.hpp), reproducing exact arrival times, flow identities,
+// sizes, and traffic classes. The pcap-replay stand-in: any experiment can
+// be captured once (TraceWriter) and replayed bit-identically.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/packet_builder.hpp"
+#include "net/packet_pool.hpp"
+#include "sim/event_queue.hpp"
+#include "workload/trace.hpp"
+
+namespace mdp::workload {
+
+class TraceReplay {
+ public:
+  using Sink = std::function<void(net::PacketPtr)>;
+
+  /// @param time_offset_ns shifts every record so replay can start "now".
+  TraceReplay(sim::EventQueue& eq, net::PacketPool& pool,
+              std::vector<TraceRecord> records, Sink sink,
+              sim::TimeNs time_offset_ns = 0)
+      : eq_(eq),
+        pool_(pool),
+        records_(std::move(records)),
+        sink_(std::move(sink)),
+        offset_(time_offset_ns) {}
+
+  /// Schedule every record. Packets materialize lazily at fire time so
+  /// the pool only holds in-flight packets.
+  void start() {
+    for (const TraceRecord& r : records_) {
+      eq_.schedule_at(offset_ + r.t_ns, [this, r] { emit(r); });
+    }
+  }
+
+  std::uint64_t emitted() const noexcept { return emitted_; }
+  std::size_t size() const noexcept { return records_.size(); }
+
+ private:
+  void emit(const TraceRecord& r) {
+    net::BuildSpec spec;
+    spec.flow.src_ip = 0x0b000000 | (r.flow_id & 0x00ffffff);
+    spec.flow.dst_ip = 0x0a006401;
+    spec.flow.src_port =
+        static_cast<std::uint16_t>(1024 + (r.flow_id % 60000));
+    spec.flow.dst_port = 80;
+    constexpr std::size_t kHeaders = net::kEthernetHeaderLen +
+                                     net::kIpv4MinHeaderLen +
+                                     net::kUdpHeaderLen;
+    spec.payload_len =
+        r.size_bytes > kHeaders + 18
+            ? static_cast<std::size_t>(r.size_bytes) - kHeaders
+            : 18;
+    auto pkt = net::build_udp(pool_, spec);
+    if (!pkt) return;
+    auto& a = pkt->anno();
+    a.flow_id = r.flow_id;
+    a.ingress_ns = eq_.now();
+    a.traffic_class = static_cast<net::TrafficClass>(r.traffic_class);
+    ++emitted_;
+    sink_(std::move(pkt));
+  }
+
+  sim::EventQueue& eq_;
+  net::PacketPool& pool_;
+  std::vector<TraceRecord> records_;
+  Sink sink_;
+  sim::TimeNs offset_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace mdp::workload

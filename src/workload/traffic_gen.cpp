@@ -1,0 +1,69 @@
+#include "workload/traffic_gen.hpp"
+
+#include <algorithm>
+
+namespace mdp::workload {
+
+TrafficGen::TrafficGen(sim::EventQueue& eq, net::PacketPool& pool,
+                       TrafficGenConfig cfg, ArrivalPtr arrivals, Sink sink)
+    : eq_(eq),
+      pool_(pool),
+      cfg_(cfg),
+      arrivals_(std::move(arrivals)),
+      sink_(std::move(sink)),
+      rng_(cfg.seed),
+      payload_dist_(cfg.mean_payload) {}
+
+net::FlowKey TrafficGen::flow_key(std::uint32_t flow_id) const noexcept {
+  net::FlowKey k;
+  // Spread sources across the client subnet; distinct ports per flow.
+  k.src_ip = cfg_.client_subnet | ((flow_id * 2654435761u) & 0x00ffffff);
+  k.dst_ip = cfg_.vip;
+  k.src_port = static_cast<std::uint16_t>(1024 + (flow_id % 60000));
+  k.dst_port = 80;
+  k.protocol = cfg_.tcp ? net::kIpProtoTcp : net::kIpProtoUdp;
+  return k;
+}
+
+void TrafficGen::start(std::uint64_t count) {
+  remaining_ = count;
+  schedule_next();
+}
+
+void TrafficGen::schedule_next() {
+  if (remaining_ == 0) return;
+  eq_.schedule_in(arrivals_->next_gap(rng_), [this] {
+    if (remaining_ == 0) return;
+    --remaining_;
+    emit_one();
+    schedule_next();
+  });
+}
+
+void TrafficGen::emit_one() {
+  auto flow_id =
+      static_cast<std::uint32_t>(rng_.uniform_u64(cfg_.num_flows));
+  net::BuildSpec spec;
+  spec.flow = flow_key(flow_id);
+  double p = payload_dist_.sample(rng_);
+  spec.payload_len = std::clamp(static_cast<std::size_t>(p),
+                                cfg_.min_payload, cfg_.max_payload);
+  net::PacketPtr pkt = cfg_.tcp ? net::build_tcp(pool_, spec)
+                                : net::build_udp(pool_, spec);
+  if (!pkt) return;  // pool exhausted: drop at the wire
+
+  auto& a = pkt->anno();
+  a.flow_id = flow_id;
+  a.ingress_ns = eq_.now();
+  // Flow ids below the critical fraction are latency-critical; stable per
+  // flow so policies can learn.
+  double frac = static_cast<double>(flow_id) /
+                static_cast<double>(cfg_.num_flows);
+  a.traffic_class = frac < cfg_.latency_critical_fraction
+                        ? net::TrafficClass::kLatencyCritical
+                        : net::TrafficClass::kBestEffort;
+  ++emitted_;
+  sink_(std::move(pkt));
+}
+
+}  // namespace mdp::workload

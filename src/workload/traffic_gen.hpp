@@ -1,0 +1,69 @@
+// TrafficGen: open-loop packet generator driving the data-plane ingress.
+//
+// Packets arrive per the configured arrival process; each belongs to one of
+// `num_flows` long-lived flows (distinct 5-tuples through the VIP so the
+// whole NF chain exercises). A configurable fraction of flows is marked
+// latency-critical — the traffic AdaptiveMdp replicates.
+//
+// Packet sizes are drawn per-packet from a size distribution (bytes on the
+// wire, clamped to [64, mtu]).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/packet_builder.hpp"
+#include "net/packet_pool.hpp"
+#include "sim/event_queue.hpp"
+#include "workload/arrival.hpp"
+
+namespace mdp::workload {
+
+struct TrafficGenConfig {
+  std::uint64_t seed = 1;
+  std::size_t num_flows = 256;
+  double latency_critical_fraction = 0.1;  ///< of flows, by flow id
+  std::size_t min_payload = 18;            ///< 64B frame floor
+  std::size_t max_payload = 1458;          ///< 1500B frame ceiling
+  double mean_payload = 200;               ///< exponential payload sizes
+  std::uint32_t client_subnet = 0x0b000000;  ///< 11.0.0.0/8 sources
+  std::uint32_t vip = 0x0a006401;            ///< 10.0.100.1 (LB VIP)
+  bool tcp = false;                          ///< UDP by default
+};
+
+class TrafficGen {
+ public:
+  /// `sink` receives each generated packet (the data-plane ingress).
+  using Sink = std::function<void(net::PacketPtr)>;
+
+  TrafficGen(sim::EventQueue& eq, net::PacketPool& pool,
+             TrafficGenConfig cfg, ArrivalPtr arrivals, Sink sink);
+
+  /// Generate `count` packets starting at now(); events self-schedule.
+  void start(std::uint64_t count);
+
+  /// Stop after the current packet (pending events drain harmlessly).
+  void stop() noexcept { remaining_ = 0; }
+
+  std::uint64_t emitted() const noexcept { return emitted_; }
+  const TrafficGenConfig& config() const noexcept { return cfg_; }
+
+  /// The 5-tuple of flow `id` (tests use this to predict NF behaviour).
+  net::FlowKey flow_key(std::uint32_t flow_id) const noexcept;
+
+ private:
+  void emit_one();
+  void schedule_next();
+
+  sim::EventQueue& eq_;
+  net::PacketPool& pool_;
+  TrafficGenConfig cfg_;
+  ArrivalPtr arrivals_;
+  Sink sink_;
+  sim::Rng rng_;
+  sim::Exponential payload_dist_;
+  std::uint64_t remaining_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace mdp::workload

@@ -1,0 +1,454 @@
+// Click engine tests: registry, config-language parsing, element
+// semantics, the stride scheduler, and chain cost accounting.
+#include <gtest/gtest.h>
+
+#include "click/element.hpp"
+#include "click/elements.hpp"
+#include "click/registry.hpp"
+#include "click/router.hpp"
+#include "click/task.hpp"
+#include "net/packet_builder.hpp"
+
+namespace mdp::click {
+namespace {
+
+struct ClickFixture : ::testing::Test {
+  sim::EventQueue eq;
+  net::PacketPool pool{256, 2048};
+  Router router{Router::Context{&eq, &pool}};
+
+  net::PacketPtr make_udp(std::uint16_t sport = 1000,
+                          std::size_t payload = 64) {
+    net::BuildSpec spec;
+    spec.flow = {0x0a000001, 0x0a000002, sport, 80, 17};
+    spec.payload_len = payload;
+    auto pkt = net::build_udp(pool, spec);
+    EXPECT_TRUE(pkt);
+    return pkt;
+  }
+};
+
+TEST_F(ClickFixture, RegistryKnowsStandardElements) {
+  auto& reg = ElementRegistry::instance();
+  for (const char* name :
+       {"Queue", "Unqueue", "Counter", "Discard", "Tee", "Classifier",
+        "HashSwitch", "RoundRobinSwitch", "Paint", "PaintSwitch",
+        "CheckIPHeader", "DecIPTTL", "Strip", "Unstrip", "EtherMirror",
+        "InfiniteSource", "Firewall", "Nat", "LoadBalancer", "Dpi",
+        "RateLimiter", "FlowMonitor"})
+    EXPECT_TRUE(reg.has(name)) << name;
+  EXPECT_FALSE(reg.has("Bogus"));
+  EXPECT_EQ(reg.create("Bogus"), nullptr);
+}
+
+TEST_F(ClickFixture, ParseDeclarationsAndConnections) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    // a comment
+    q :: Queue(8);
+    cnt :: Counter;
+    sink :: Discard;
+    /* block comment */
+    cnt -> q;
+  )",
+                               &err))
+      << err;
+  EXPECT_NE(router.find("q"), nullptr);
+  EXPECT_NE(router.find("cnt"), nullptr);
+  EXPECT_EQ(router.find("nonexistent"), nullptr);
+  auto* q = router.find_as<Queue>("q");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->capacity(), 8u);
+}
+
+TEST_F(ClickFixture, ParseAnonymousChains) {
+  std::string err;
+  ASSERT_TRUE(router.configure(
+      "c :: Counter; c -> Paint(3) -> Counter -> Discard;", &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  auto* c = router.find_as<Counter>("c");
+  c->push(0, make_udp());
+  EXPECT_EQ(c->packets(), 1u);
+}
+
+TEST_F(ClickFixture, ParsePortSpecifiers) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    cl :: Classifier(23/11, -);
+    a :: Counter; b :: Counter;
+    cl [0] -> a -> Discard;
+    cl [1] -> [0] b -> Discard;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  auto* cl = router.find("cl");
+  // Offset 23 of an Ethernet+IPv4 frame is the protocol byte; 0x11 = UDP.
+  cl->push(0, make_udp());
+  EXPECT_EQ(router.find_as<Counter>("a")->packets(), 1u);
+  EXPECT_EQ(router.find_as<Counter>("b")->packets(), 0u);
+}
+
+TEST_F(ClickFixture, ParseErrorsAreReported) {
+  std::string err;
+  EXPECT_FALSE(router.configure("x :: NoSuchElement;", &err));
+  EXPECT_NE(err.find("NoSuchElement"), std::string::npos);
+
+  Router r2;
+  EXPECT_FALSE(r2.configure("a -> b;", &err));
+  Router r3;
+  EXPECT_FALSE(r3.configure("q :: Queue(0);", &err));
+  Router r4;
+  EXPECT_FALSE(r4.configure("q :: Queue(4); q :: Queue(4);", &err));
+  EXPECT_NE(err.find("duplicate"), std::string::npos);
+}
+
+TEST_F(ClickFixture, DoubleConnectOutputRejected) {
+  std::string err;
+  EXPECT_FALSE(router.configure(
+      "c :: Counter; d1 :: Discard; d2 :: Discard; c -> d1; c -> d2;",
+      &err));
+  EXPECT_NE(err.find("already connected"), std::string::npos);
+}
+
+TEST_F(ClickFixture, QueueStoresAndDropsAtCapacity) {
+  std::string err;
+  ASSERT_TRUE(router.configure("q :: Queue(2);", &err)) << err;
+  auto* q = router.find_as<Queue>("q");
+  q->push(0, make_udp(1));
+  q->push(0, make_udp(2));
+  q->push(0, make_udp(3));  // dropped
+  EXPECT_EQ(q->size(), 2u);
+  EXPECT_EQ(q->drops(), 1u);
+  EXPECT_EQ(q->highwater(), 2u);
+  auto out = q->pull(0);
+  ASSERT_TRUE(out);
+  auto parsed = net::parse(*out);
+  EXPECT_EQ(parsed->flow.src_port, 1) << "FIFO order";
+}
+
+TEST_F(ClickFixture, UnqueueMovesPacketsUnderScheduler) {
+  std::string err;
+  ASSERT_TRUE(router.configure(
+      "q :: Queue(16); u :: Unqueue; c :: Counter; "
+      "q -> u -> c -> Discard;",
+      &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  auto* q = router.find_as<Queue>("q");
+  for (int i = 0; i < 5; ++i) q->push(0, make_udp());
+  router.scheduler().run(100);
+  EXPECT_EQ(router.find_as<Counter>("c")->packets(), 5u);
+  EXPECT_EQ(q->size(), 0u);
+}
+
+TEST_F(ClickFixture, TeeDuplicatesToAllOutputs) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    t :: Tee; a :: Counter; b :: Counter; c :: Counter;
+    t [0] -> a -> Discard; t [1] -> b -> Discard; t [2] -> c -> Discard;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  std::uint64_t in_use_before = pool.in_use();
+  router.find("t")->push(0, make_udp());
+  EXPECT_EQ(router.find_as<Counter>("a")->packets(), 1u);
+  EXPECT_EQ(router.find_as<Counter>("b")->packets(), 1u);
+  EXPECT_EQ(router.find_as<Counter>("c")->packets(), 1u);
+  EXPECT_EQ(pool.in_use(), in_use_before)
+      << "all copies must be recycled by Discard";
+}
+
+TEST_F(ClickFixture, ClassifierMasksAndFallthrough) {
+  std::string err;
+  // 12/0800 matches the IPv4 ethertype; mask variant checks low nibble.
+  ASSERT_TRUE(router.configure(R"(
+    cl :: Classifier(12/0800, -);
+    ip :: Counter; other :: Counter;
+    cl [0] -> ip -> Discard; cl [1] -> other -> Discard;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  auto* cl = router.find("cl");
+  cl->push(0, make_udp());
+  auto arp = pool.alloc();
+  arp->set_length(60);
+  net::EthernetView(arp->data()).set_ether_type(net::kEtherTypeArp);
+  cl->push(0, std::move(arp));
+  EXPECT_EQ(router.find_as<Counter>("ip")->packets(), 1u);
+  EXPECT_EQ(router.find_as<Counter>("other")->packets(), 1u);
+}
+
+TEST_F(ClickFixture, ClassifierRejectsBadPatterns) {
+  std::string err;
+  Router r;
+  EXPECT_FALSE(r.configure("c :: Classifier(nonsense);", &err));
+  Router r2;
+  EXPECT_FALSE(r2.configure("c :: Classifier(12/08zz);", &err));
+  Router r3;
+  EXPECT_FALSE(r3.configure("c :: Classifier(12/0800%ff);", &err))
+      << "mask length mismatch must be rejected";
+}
+
+TEST_F(ClickFixture, HashSwitchIsFlowConsistent) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    h :: HashSwitch(2); a :: Counter; b :: Counter;
+    h [0] -> a -> Discard; h [1] -> b -> Discard;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  auto* h = router.find("h");
+  for (int i = 0; i < 10; ++i) h->push(0, make_udp(4242));
+  auto* a = router.find_as<Counter>("a");
+  auto* b = router.find_as<Counter>("b");
+  EXPECT_EQ(a->packets() + b->packets(), 10u);
+  EXPECT_TRUE(a->packets() == 10 || b->packets() == 10)
+      << "one flow must stick to one output";
+}
+
+TEST_F(ClickFixture, RoundRobinSwitchAlternates) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    r :: RoundRobinSwitch(2); a :: Counter; b :: Counter;
+    r [0] -> a -> Discard; r [1] -> b -> Discard;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  for (int i = 0; i < 10; ++i) router.find("r")->push(0, make_udp());
+  EXPECT_EQ(router.find_as<Counter>("a")->packets(), 5u);
+  EXPECT_EQ(router.find_as<Counter>("b")->packets(), 5u);
+}
+
+TEST_F(ClickFixture, PaintThenPaintSwitchRoutes) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    p :: Paint(1); ps :: PaintSwitch;
+    a :: Counter; b :: Counter;
+    p -> ps; ps [0] -> a -> Discard; ps [1] -> b -> Discard;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  router.find("p")->push(0, make_udp());
+  EXPECT_EQ(router.find_as<Counter>("b")->packets(), 1u);
+  EXPECT_EQ(router.find_as<Counter>("a")->packets(), 0u);
+}
+
+TEST_F(ClickFixture, CheckIPHeaderDropsCorrupted) {
+  std::string err;
+  ASSERT_TRUE(router.configure(
+      "chk :: CheckIPHeader; ok :: Counter; chk -> ok -> Discard;", &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  auto* chk = router.find_as<CheckIPHeader>("chk");
+  chk->push(0, make_udp());
+  auto bad = make_udp();
+  bad->data()[net::kEthernetHeaderLen + 8] ^= std::byte{0x55};  // TTL
+  chk->push(0, std::move(bad));
+  EXPECT_EQ(router.find_as<Counter>("ok")->packets(), 1u);
+  EXPECT_EQ(chk->drops(), 1u);
+}
+
+TEST_F(ClickFixture, DecIPTTLKeepsChecksumValid) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    dec :: DecIPTTL; chk :: CheckIPHeader; ok :: Counter;
+    dec -> chk -> ok -> Discard;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  router.find("dec")->push(0, make_udp());
+  EXPECT_EQ(router.find_as<Counter>("ok")->packets(), 1u)
+      << "post-decrement checksum must still validate";
+}
+
+TEST_F(ClickFixture, DecIPTTLExpiresAtOne) {
+  std::string err;
+  ASSERT_TRUE(router.configure(
+      "dec :: DecIPTTL; ok :: Counter; dec -> ok -> Discard;", &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  net::BuildSpec spec;
+  spec.flow = {1, 2, 3, 4, 17};
+  spec.ttl = 1;
+  auto pkt = net::build_udp(pool, spec);
+  auto* dec = router.find_as<DecIPTTL>("dec");
+  dec->push(0, std::move(pkt));
+  EXPECT_EQ(dec->expired(), 1u);
+  EXPECT_EQ(router.find_as<Counter>("ok")->packets(), 0u);
+}
+
+TEST_F(ClickFixture, StripUnstripRestoreFrame) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    s :: Strip(14); u :: Unstrip(14); c :: Counter;
+    s -> u -> c -> Discard;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  auto pkt = make_udp();
+  std::size_t len = pkt->length();
+  auto* c = router.find_as<Counter>("c");
+  router.find("s")->push(0, std::move(pkt));
+  EXPECT_EQ(c->packets(), 1u);
+  EXPECT_EQ(c->bytes(), len) << "Unstrip must restore the original length";
+}
+
+TEST_F(ClickFixture, EtherMirrorSwapsMacs) {
+  auto pkt = make_udp();
+  net::EthernetView eth(pkt->data());
+  auto src = eth.src();
+  auto dst = eth.dst();
+  EtherMirror mirror;
+  auto out = mirror.simple_action(std::move(pkt));
+  ASSERT_TRUE(out);
+  net::EthernetView eth2(out->data());
+  EXPECT_EQ(eth2.src(), dst);
+  EXPECT_EQ(eth2.dst(), src);
+}
+
+TEST_F(ClickFixture, InfiniteSourceHonorsLimit) {
+  std::string err;
+  ASSERT_TRUE(router.configure(
+      "src :: InfiniteSource(25, 100, 4); c :: Counter; "
+      "src -> c -> Discard;",
+      &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  router.scheduler().run(1000);
+  EXPECT_EQ(router.find_as<Counter>("c")->packets(), 25u);
+}
+
+TEST_F(ClickFixture, ChainCostSumsAlongSpine) {
+  std::string err;
+  ASSERT_TRUE(router.configure(
+      "a :: Counter; b :: Counter; a -> b -> Discard;", &err))
+      << err;
+  auto* a = router.find("a");
+  auto* b = router.find("b");
+  auto* d = b->output_element(0);
+  EXPECT_EQ(router.chain_cost(a),
+            a->cost_ns() + b->cost_ns() + d->cost_ns());
+}
+
+TEST_F(ClickFixture, CompoundElementExpandsAndForwards) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    elementclass Tagger { input -> Paint(3) -> Counter -> output; };
+    t :: Tagger;
+    q :: Queue(8);
+    t -> q;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  // Push into the compound instance's input endpoint.
+  auto* in = router.find("t/input");
+  ASSERT_NE(in, nullptr) << "compound must expand to t/input";
+  in->push(0, make_udp());
+  auto out = router.find_as<Queue>("q")->pull(0);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->anno().paint, 3) << "body elements must run";
+  EXPECT_EQ(router.find_as<Counter>("t/Counter@2")->packets(), 1u)
+      << "inner anonymous elements are name-scoped under the instance";
+}
+
+TEST_F(ClickFixture, CompoundInstancesAreIndependent) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    elementclass C { input -> cnt :: Counter; cnt -> output; };
+    a :: C; b :: C;
+    a -> Discard; b -> Discard;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  router.find("a/input")->push(0, make_udp());
+  router.find("a/input")->push(0, make_udp());
+  router.find("b/input")->push(0, make_udp());
+  EXPECT_EQ(router.find_as<Counter>("a/cnt")->packets(), 2u);
+  EXPECT_EQ(router.find_as<Counter>("b/cnt")->packets(), 1u);
+}
+
+TEST_F(ClickFixture, CompoundInConnectionChain) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    elementclass Stamp { input -> Paint(9) -> output; };
+    s :: Stamp;
+    c :: Counter;
+    c -> s -> Queue(4);
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  router.find("c")->push(0, make_udp());
+  auto* q = router.find_as<Queue>("Queue@2");
+  ASSERT_NE(q, nullptr);
+  auto out = q->pull(0);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->anno().paint, 9);
+}
+
+TEST_F(ClickFixture, NestedCompounds) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    elementclass Inner { input -> Paint(5) -> output; };
+    elementclass Outer { input -> i :: Inner; i -> output; };
+    o :: Outer;
+    o -> Queue(4);
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  router.find("o/input")->push(0, make_udp());
+  auto out = router.find_as<Queue>("Queue@2")->pull(0);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->anno().paint, 5);
+}
+
+TEST_F(ClickFixture, CompoundErrors) {
+  std::string err;
+  Router r1;
+  EXPECT_FALSE(r1.configure("elementclass Queue { input -> output; };",
+                            &err))
+      << "shadowing a built-in class must fail";
+  Router r2;
+  EXPECT_FALSE(r2.configure(
+      "elementclass C { input -> output; }; x :: C(42);", &err))
+      << "compounds take no arguments";
+  Router r3;
+  EXPECT_FALSE(r3.configure("elementclass C;", &err));
+}
+
+TEST(StrideScheduler, ProportionalToTickets) {
+  StrideScheduler sched;
+  int a_count = 0, b_count = 0;
+  Task a([&] { ++a_count; return true; }, /*tickets=*/300);
+  Task b([&] { ++b_count; return true; }, /*tickets=*/100);
+  sched.add(&a);
+  sched.add(&b);
+  sched.run(4000);
+  double ratio = static_cast<double>(a_count) / b_count;
+  EXPECT_NEAR(ratio, 3.0, 0.2);
+}
+
+TEST(StrideScheduler, StopsWhenAllTasksIdle) {
+  StrideScheduler sched;
+  int fires = 0;
+  Task t([&] { ++fires; return false; });
+  sched.add(&t);
+  std::size_t productive = sched.run(1000);
+  EXPECT_EQ(productive, 0u);
+  EXPECT_LT(fires, 10) << "scheduler must give up on an idle task set";
+}
+
+}  // namespace
+}  // namespace mdp::click

@@ -1,0 +1,122 @@
+// Deduplicator tests: exactly-once acceptance, expected-count accounting,
+// hedge increments, cancellation, and the age sweep.
+#include <gtest/gtest.h>
+
+#include "core/dedup.hpp"
+#include "sim/rng.hpp"
+
+namespace mdp::core {
+namespace {
+
+TEST(Dedup, FirstCopyWinsRestDrop) {
+  Deduplicator d;
+  auto k = Deduplicator::key(1, 1);
+  d.expect(k, 3, 0);
+  EXPECT_TRUE(d.accept(k));
+  EXPECT_FALSE(d.accept(k));
+  EXPECT_FALSE(d.accept(k));
+  EXPECT_EQ(d.dup_drops(), 2u);
+  EXPECT_EQ(d.pending(), 0u) << "entry retires when all copies seen";
+}
+
+TEST(Dedup, SingleCopyRetiresImmediately) {
+  Deduplicator d;
+  auto k = Deduplicator::key(5, 9);
+  d.expect(k, 1, 0);
+  EXPECT_TRUE(d.accept(k));
+  EXPECT_EQ(d.pending(), 0u);
+}
+
+TEST(Dedup, UnknownKeyIsLateDrop) {
+  Deduplicator d;
+  EXPECT_FALSE(d.accept(Deduplicator::key(1, 1)));
+  EXPECT_EQ(d.late_drops(), 1u);
+}
+
+TEST(Dedup, KeysAreFlowAndSeqScoped) {
+  // Distinct (flow, seq) pairs used in practice map to distinct keys.
+  Deduplicator d;
+  d.expect(Deduplicator::key(1, 0), 1, 0);
+  d.expect(Deduplicator::key(2, 0), 1, 0);
+  d.expect(Deduplicator::key(1, 1), 1, 0);
+  EXPECT_TRUE(d.accept(Deduplicator::key(1, 0)));
+  EXPECT_TRUE(d.accept(Deduplicator::key(2, 0)));
+  EXPECT_TRUE(d.accept(Deduplicator::key(1, 1)));
+}
+
+TEST(Dedup, AddExpectedExtendsLifetime) {
+  Deduplicator d;
+  auto k = Deduplicator::key(1, 1);
+  d.expect(k, 1, 0);
+  d.add_expected(k);  // hedge issued
+  EXPECT_TRUE(d.accept(k));
+  EXPECT_EQ(d.pending(), 1u) << "hedge copy still outstanding";
+  EXPECT_FALSE(d.accept(k));
+  EXPECT_EQ(d.pending(), 0u);
+}
+
+TEST(Dedup, CancelOneReleasesSlot) {
+  Deduplicator d;
+  auto k = Deduplicator::key(1, 1);
+  d.expect(k, 2, 0);
+  EXPECT_TRUE(d.accept(k));
+  EXPECT_EQ(d.pending(), 1u);
+  d.cancel_one(k);  // second copy filtered in-chain
+  EXPECT_EQ(d.pending(), 0u);
+}
+
+TEST(Dedup, CancelAllCopiesWithoutAcceptRetires) {
+  Deduplicator d;
+  auto k = Deduplicator::key(3, 3);
+  d.expect(k, 2, 0);
+  d.cancel_one(k);
+  EXPECT_EQ(d.pending(), 1u);
+  d.cancel_one(k);
+  EXPECT_EQ(d.pending(), 0u);
+}
+
+TEST(Dedup, CompletedReflectsFirstAcceptance) {
+  Deduplicator d;
+  auto k = Deduplicator::key(1, 1);
+  d.expect(k, 2, 0);
+  EXPECT_FALSE(d.completed(k));
+  d.accept(k);
+  EXPECT_TRUE(d.completed(k));
+  // Retired entries also count as completed.
+  d.accept(k);
+  EXPECT_TRUE(d.completed(k));
+}
+
+TEST(Dedup, SweepRemovesOnlyOldEntries) {
+  Deduplicator d;
+  d.expect(Deduplicator::key(1, 1), 2, /*now=*/0);
+  d.expect(Deduplicator::key(1, 2), 2, /*now=*/900);
+  EXPECT_EQ(d.sweep(/*now=*/1000, /*max_age=*/500), 1u);
+  EXPECT_EQ(d.pending(), 1u);
+  EXPECT_EQ(d.swept(), 1u);
+}
+
+TEST(Dedup, RandomizedExactlyOnceProperty) {
+  // For random replication factors and arrival patterns, exactly one copy
+  // per (flow, seq) is ever accepted.
+  sim::Rng rng(31337);
+  Deduplicator d;
+  std::uint64_t accepted = 0;
+  constexpr int kPackets = 20'000;
+  for (int i = 0; i < kPackets; ++i) {
+    std::uint32_t flow = static_cast<std::uint32_t>(rng.uniform_u64(64));
+    auto k = Deduplicator::key(flow, static_cast<std::uint64_t>(i));
+    auto copies = static_cast<std::uint8_t>(1 + rng.uniform_u64(4));
+    d.expect(k, copies, 0);
+    int accepted_here = 0;
+    for (std::uint8_t c = 0; c < copies; ++c)
+      if (d.accept(k)) ++accepted_here;
+    ASSERT_EQ(accepted_here, 1);
+    accepted += accepted_here;
+  }
+  EXPECT_EQ(accepted, static_cast<std::uint64_t>(kPackets));
+  EXPECT_EQ(d.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace mdp::core

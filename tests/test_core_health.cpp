@@ -1,0 +1,102 @@
+// PathHealthMonitor tests: down detection on a blackholed path, recovery,
+// transition hysteresis, and closed-loop failover through the data plane.
+#include <gtest/gtest.h>
+
+#include "core/dataplane.hpp"
+#include "core/health.hpp"
+#include "net/packet_builder.hpp"
+
+namespace mdp::core {
+namespace {
+
+struct HealthFixture : ::testing::Test {
+  sim::EventQueue eq;
+  net::PacketPool pool{512, 2048};
+  std::unique_ptr<MdpDataPlane> dp;
+  std::unique_ptr<PathHealthMonitor> hm;
+
+  void SetUp() override {
+    DataPlaneConfig cfg;
+    cfg.num_paths = 3;
+    cfg.dedup_sweep_interval_ns = 0;
+    dp = std::make_unique<MdpDataPlane>(eq, pool, cfg,
+                                        make_scheduler("jsq"));
+    HealthConfig hcfg;
+    hcfg.probe_interval_ns = 100'000;   // 100us
+    hcfg.probe_deadline_ns = 50'000;    // 50us
+    hm = std::make_unique<PathHealthMonitor>(eq, *dp, hcfg);
+  }
+
+  /// Blackhole a path: an enormous high-priority job pins its core.
+  void stall_path(std::size_t p, sim::TimeNs duration) {
+    dp->core(p).submit(duration, [](sim::TimeNs) {}, true, /*visible=*/false);
+  }
+};
+
+TEST_F(HealthFixture, HealthyPathsStayUp) {
+  hm->start();
+  eq.run_until(5 * sim::kMillisecond);
+  for (std::size_t p = 0; p < 3; ++p) EXPECT_TRUE(hm->path_healthy(p));
+  EXPECT_EQ(hm->down_transitions(), 0u);
+  EXPECT_GT(hm->probes_sent(), 100u);
+  EXPECT_EQ(hm->probes_missed(), 0u);
+}
+
+TEST_F(HealthFixture, StalledPathGoesDownThenRecovers) {
+  hm->start();
+  std::vector<std::pair<std::size_t, bool>> transitions;
+  hm->set_on_transition([&](std::size_t p, bool up) {
+    transitions.emplace_back(p, up);
+  });
+
+  eq.schedule_at(1 * sim::kMillisecond,
+                 [this] { stall_path(1, 2 * sim::kMillisecond); });
+  eq.run_until(2 * sim::kMillisecond);
+  EXPECT_FALSE(hm->path_healthy(1)) << "3 missed probes => down";
+  EXPECT_TRUE(hm->path_healthy(0));
+  EXPECT_TRUE(hm->path_healthy(2));
+
+  eq.run_until(6 * sim::kMillisecond);
+  EXPECT_TRUE(hm->path_healthy(1)) << "must recover after the stall ends";
+  ASSERT_GE(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0], (std::pair<std::size_t, bool>{1, false}));
+  EXPECT_EQ(transitions[1], (std::pair<std::size_t, bool>{1, true}));
+}
+
+TEST_F(HealthFixture, ShortBlipDoesNotFlap) {
+  hm->start();
+  // One 60us stall: at most one missed probe < down_after(3).
+  eq.schedule_at(500'000, [this] { stall_path(0, 60'000); });
+  eq.run_until(3 * sim::kMillisecond);
+  EXPECT_TRUE(hm->path_healthy(0));
+  EXPECT_EQ(hm->down_transitions(), 0u);
+}
+
+TEST_F(HealthFixture, TrafficFailsOverWhileDown) {
+  hm->start();
+  std::uint64_t egressed = 0;
+  dp->set_egress([&](net::PacketPtr) { ++egressed; });
+
+  stall_path(2, 10 * sim::kMillisecond);  // blackhole path 2 from t=0
+  eq.run_until(1 * sim::kMillisecond);    // let the monitor react
+  ASSERT_FALSE(hm->path_healthy(2));
+
+  std::uint64_t dispatched_before = dp->monitor().dispatched(2);
+  for (int i = 0; i < 200; ++i) {
+    eq.schedule_in(1000 + i * 500, [this, i] {
+      net::BuildSpec spec;
+      spec.flow = {0x0a010101, 0x0a006401,
+                   static_cast<std::uint16_t>(1000 + i % 8), 80, 0};
+      auto pkt = net::build_udp(pool, spec);
+      pkt->anno().flow_id = i % 8;
+      dp->ingress(std::move(pkt));
+    });
+  }
+  eq.run_until(5 * sim::kMillisecond);
+  EXPECT_EQ(egressed, 200u);
+  EXPECT_EQ(dp->monitor().dispatched(2), dispatched_before)
+      << "no traffic may land on the down path";
+}
+
+}  // namespace
+}  // namespace mdp::core

@@ -1,0 +1,294 @@
+// Scheduler policy tests against a scripted PathContext double: selection
+// logic, flowlet stickiness, redundancy, adaptivity, hedge budgets, and
+// the never-pick-a-down-path property across all policies.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/scheduler.hpp"
+#include "net/flow_key.hpp"
+#include "net/packet_pool.hpp"
+
+namespace mdp::core {
+namespace {
+
+class FakeContext final : public PathContext {
+ public:
+  explicit FakeContext(std::size_t n) : n_(n) {
+    backlog.assign(n, 0);
+    ewma.assign(n, 0);
+    depth.assign(n, 0);
+    inflight_v.assign(n, 0);
+    up_v.assign(n, true);
+  }
+  std::size_t num_paths() const override { return n_; }
+  bool up(std::size_t p) const override { return up_v[p]; }
+  sim::TimeNs backlog_ns(std::size_t p) const override { return backlog[p]; }
+  std::size_t queue_depth(std::size_t p) const override { return depth[p]; }
+  std::uint64_t inflight(std::size_t p) const override {
+    return inflight_v[p];
+  }
+  double ewma_latency_ns(std::size_t p) const override { return ewma[p]; }
+  sim::TimeNs now() const override { return now_v; }
+
+  std::size_t n_;
+  std::vector<sim::TimeNs> backlog;
+  std::vector<double> ewma;
+  std::vector<std::size_t> depth;
+  std::vector<std::uint64_t> inflight_v;
+  std::vector<bool> up_v;
+  sim::TimeNs now_v = 0;
+};
+
+struct PolicyFixture : ::testing::Test {
+  net::PacketPool pool{16, 2048};
+  sim::Rng rng{1};
+
+  net::PacketPtr pkt(std::uint32_t flow_id = 1,
+                     net::TrafficClass tc = net::TrafficClass::kBestEffort) {
+    auto p = pool.alloc();
+    p->set_length(100);
+    p->anno().flow_id = flow_id;
+    p->anno().flow_hash = net::mix64(flow_id * 2654435761u + 17);
+    p->anno().traffic_class = tc;
+    return p;
+  }
+
+  PathVec select(Scheduler& s, const PathContext& ctx, net::Packet& p) {
+    PathVec out;
+    s.select(p, ctx, rng, out);
+    return out;
+  }
+};
+
+TEST_F(PolicyFixture, SinglePathAlwaysPinned) {
+  FakeContext ctx(4);
+  SinglePathScheduler s(2);
+  auto p = pkt();
+  for (int i = 0; i < 5; ++i) {
+    auto out = select(s, ctx, *p);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 2);
+  }
+}
+
+TEST_F(PolicyFixture, SinglePathFallsBackWhenPinnedDown) {
+  FakeContext ctx(4);
+  ctx.up_v[2] = false;
+  SinglePathScheduler s(2);
+  auto p = pkt();
+  auto out = select(s, ctx, *p);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0);
+}
+
+TEST_F(PolicyFixture, RssIsFlowStableAndFlowSpread) {
+  FakeContext ctx(4);
+  RssHashScheduler s;
+  auto p = pkt(42);
+  auto first = select(s, ctx, *p);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(select(s, ctx, *p), first) << "same flow, same path";
+  std::set<std::uint16_t> used;
+  for (std::uint32_t f = 0; f < 64; ++f) {
+    auto q = pkt(f);
+    used.insert(select(s, ctx, *q)[0]);
+  }
+  EXPECT_EQ(used.size(), 4u) << "64 flows must cover all 4 paths";
+}
+
+TEST_F(PolicyFixture, RoundRobinCyclesThroughUpPaths) {
+  FakeContext ctx(3);
+  RoundRobinScheduler s;
+  auto p = pkt();
+  std::vector<std::uint16_t> seq;
+  for (int i = 0; i < 6; ++i) seq.push_back(select(s, ctx, *p)[0]);
+  EXPECT_EQ(seq, (std::vector<std::uint16_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST_F(PolicyFixture, JsqPicksMinimumBacklog) {
+  FakeContext ctx(4);
+  ctx.backlog = {500, 100, 900, 100};
+  JsqScheduler s;
+  auto p = pkt();
+  EXPECT_EQ(select(s, ctx, *p)[0], 1) << "ties break to lowest id";
+  ctx.backlog[1] = 2000;
+  EXPECT_EQ(select(s, ctx, *p)[0], 3);
+}
+
+TEST_F(PolicyFixture, LeastLatencyCombinesEwmaAndBacklog) {
+  FakeContext ctx(2);
+  ctx.ewma = {10'000, 1'000};
+  LeastLatencyScheduler s(/*epsilon=*/0.0);
+  auto p = pkt();
+  EXPECT_EQ(select(s, ctx, *p)[0], 1);
+  // Bury path 1 in backlog: path 0 wins despite worse EWMA.
+  ctx.backlog[1] = 100'000;
+  EXPECT_EQ(select(s, ctx, *p)[0], 0);
+}
+
+TEST_F(PolicyFixture, FlowletSticksWithinGapAndSwitchesAfter) {
+  FakeContext ctx(4);
+  ctx.backlog = {100, 0, 0, 0};
+  FlowletScheduler s(/*gap_ns=*/1000);
+  auto p = pkt(7);
+  ctx.now_v = 0;
+  auto first = select(s, ctx, *p)[0];
+  EXPECT_EQ(first, 1) << "first packet goes to least backlog";
+  // Make the chosen path look bad; within the gap the flow must stick.
+  ctx.backlog[first] = 1'000'000;
+  ctx.now_v = 500;
+  EXPECT_EQ(select(s, ctx, *p)[0], first);
+  // After an idle gap the flowlet re-routes.
+  ctx.now_v = 5000;
+  auto next = select(s, ctx, *p)[0];
+  EXPECT_NE(next, first);
+  EXPECT_GE(s.flowlet_switches(), 1u);
+}
+
+TEST_F(PolicyFixture, RedundantSelectsKDistinctLeastLoaded) {
+  FakeContext ctx(4);
+  ctx.backlog = {400, 100, 300, 200};
+  RedundantScheduler s(2);
+  auto p = pkt();
+  auto out = select(s, ctx, *p);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 3);
+  EXPECT_NE(out[0], out[1]);
+}
+
+TEST_F(PolicyFixture, RedundantClampsToAvailablePaths) {
+  FakeContext ctx(2);
+  RedundantScheduler s(4);
+  auto p = pkt();
+  auto out = select(s, ctx, *p);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(PolicyFixture, AdaptiveReplicatesCriticalOnly) {
+  FakeContext ctx(4);
+  AdaptiveMdpScheduler s;
+  auto lc = pkt(1, net::TrafficClass::kLatencyCritical);
+  auto be = pkt(2, net::TrafficClass::kBestEffort);
+  EXPECT_EQ(select(s, ctx, *lc).size(), 2u);
+  EXPECT_EQ(select(s, ctx, *be).size(), 1u);
+  EXPECT_EQ(s.replicated(), 1u);
+}
+
+TEST_F(PolicyFixture, AdaptiveLoadGateSuppressesReplication) {
+  FakeContext ctx(4);
+  AdaptiveMdpConfig cfg;
+  cfg.replicate_backlog_cap_ns = 10'000;
+  AdaptiveMdpScheduler s(cfg);
+  auto lc = pkt(1, net::TrafficClass::kLatencyCritical);
+  // All paths lightly loaded: replicate.
+  EXPECT_EQ(select(s, ctx, *lc).size(), 2u);
+  // Every alternate path buried: the gate degrades to a single copy on
+  // the least-backlogged path.
+  ctx.backlog = {5'000, 50'000, 60'000, 70'000};
+  auto out = select(s, ctx, *lc);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0);
+  // Gate disabled: always replicate.
+  AdaptiveMdpConfig ungated;
+  ungated.replicate_backlog_cap_ns = 0;
+  AdaptiveMdpScheduler s2(ungated);
+  EXPECT_EQ(select(s2, ctx, *lc).size(), 2u);
+}
+
+TEST_F(PolicyFixture, AdaptiveSmallFlowReplication) {
+  AdaptiveMdpConfig cfg;
+  cfg.small_flow_bytes = 10'000;
+  AdaptiveMdpScheduler s(cfg);
+  FakeContext ctx(4);
+  auto small = pkt(1);
+  small->anno().flow_bytes = 5'000;
+  auto big = pkt(2);
+  big->anno().flow_bytes = 1'000'000;
+  EXPECT_EQ(select(s, ctx, *small).size(), 2u);
+  EXPECT_EQ(select(s, ctx, *big).size(), 1u);
+}
+
+TEST_F(PolicyFixture, AdaptiveHedgeBudgetAutoScalesWithEwma) {
+  FakeContext ctx(2);
+  AdaptiveMdpScheduler s;
+  auto be = pkt(1, net::TrafficClass::kBestEffort);
+  // No observations yet: floor applies.
+  EXPECT_EQ(s.hedge_timeout_ns(*be, ctx), s.config().hedge_min_ns);
+  ctx.ewma = {100'000, 300'000};
+  EXPECT_EQ(s.hedge_timeout_ns(*be, ctx),
+            static_cast<sim::TimeNs>(3.0 * 200'000));
+  // Replicated (critical) packets are not hedged.
+  auto lc = pkt(2, net::TrafficClass::kLatencyCritical);
+  EXPECT_EQ(s.hedge_timeout_ns(*lc, ctx), 0u);
+}
+
+TEST_F(PolicyFixture, AdaptiveHedgeDisabledReturnsZero) {
+  AdaptiveMdpConfig cfg;
+  cfg.hedge_enabled = false;
+  AdaptiveMdpScheduler s(cfg);
+  FakeContext ctx(2);
+  auto p = pkt();
+  EXPECT_EQ(s.hedge_timeout_ns(*p, ctx), 0u);
+}
+
+TEST(SchedulerFactory, KnownNamesConstruct) {
+  for (const auto& name : evaluation_policy_names()) {
+    auto s = make_scheduler(name);
+    ASSERT_NE(s, nullptr) << name;
+    EXPECT_EQ(s->name(), name);
+  }
+  EXPECT_NE(make_scheduler("red3"), nullptr);
+  EXPECT_NE(make_scheduler("red4"), nullptr);
+  EXPECT_EQ(make_scheduler("bogus"), nullptr);
+}
+
+// Property: no policy ever selects a down path (while any path is up),
+// never returns duplicates, and always returns at least one path.
+class DownPathProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DownPathProperty, NeverSelectsDownPath) {
+  auto sched = make_scheduler(GetParam());
+  ASSERT_NE(sched, nullptr);
+  net::PacketPool pool(16, 2048);
+  sim::Rng rng(99);
+  FakeContext ctx(6);
+
+  for (int trial = 0; trial < 3000; ++trial) {
+    // Random up/down pattern with at least one up path.
+    bool any_up = false;
+    for (std::size_t p = 0; p < 6; ++p) {
+      ctx.up_v[p] = rng.bernoulli(0.7);
+      ctx.backlog[p] = rng.uniform_u64(100'000);
+      ctx.ewma[p] = static_cast<double>(rng.uniform_u64(100'000));
+      any_up |= ctx.up_v[p];
+    }
+    if (!any_up) ctx.up_v[rng.uniform_u64(6)] = true;
+    ctx.now_v += rng.uniform_u64(100'000);
+
+    auto pkt = pool.alloc();
+    pkt->set_length(64);
+    pkt->anno().flow_id = static_cast<std::uint32_t>(rng.uniform_u64(32));
+    pkt->anno().flow_hash = net::mix64(pkt->anno().flow_id + 5);
+    pkt->anno().traffic_class = rng.bernoulli(0.3)
+                                    ? net::TrafficClass::kLatencyCritical
+                                    : net::TrafficClass::kBestEffort;
+    PathVec out;
+    sched->select(*pkt, ctx, rng, out);
+    ASSERT_GE(out.size(), 1u);
+    std::set<std::uint16_t> distinct(out.begin(), out.end());
+    ASSERT_EQ(distinct.size(), out.size()) << "duplicate paths selected";
+    for (auto p : out)
+      ASSERT_TRUE(ctx.up_v[p]) << GetParam() << " picked down path " << p
+                               << " at trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, DownPathProperty,
+                         ::testing::Values("single", "rss", "rr", "jsq",
+                                           "lla", "flowlet", "red2", "red3",
+                                           "adaptive"));
+
+}  // namespace
+}  // namespace mdp::core

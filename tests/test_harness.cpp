@@ -1,0 +1,178 @@
+// Harness-level integration tests. These are small versions of the real
+// experiments: they assert the *qualitative* results the paper's figures
+// depend on (interference inflates single-path tails; multipath removes
+// them; redundancy costs throughput headroom).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "workload/trace.hpp"
+#include "workload/trace_replay.hpp"
+
+namespace mdp::harness {
+namespace {
+
+ScenarioConfig small_scenario(const std::string& policy) {
+  ScenarioConfig cfg;
+  cfg.policy = policy;
+  cfg.packets = 30'000;
+  cfg.warmup_packets = 3'000;
+  cfg.load = 0.4;
+  cfg.num_paths = 4;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Harness, ScenarioCompletesAndAccountsPackets) {
+  auto res = run_scenario(small_scenario("jsq"));
+  EXPECT_EQ(res.emitted, 30'000u);
+  // Everything not filtered by the chain must egress.
+  EXPECT_EQ(res.egressed + res.chain_filtered, res.emitted);
+  EXPECT_EQ(res.measured, res.latency.count());
+  EXPECT_GT(res.latency.count(), 20'000u);
+  EXPECT_GT(res.latency.p50(), 0u);
+  EXPECT_GT(res.achieved_mpps, 0.0);
+  EXPECT_EQ(res.per_path_dispatched.size(), 4u);
+}
+
+TEST(Harness, MeanServiceReflectsChainChoice) {
+  ScenarioConfig a = small_scenario("jsq");
+  a.chain = "ipcheck";
+  ScenarioConfig b = small_scenario("jsq");
+  b.chain = "full";
+  EXPECT_GT(mean_service_ns(b), mean_service_ns(a) * 3);
+}
+
+TEST(Harness, InterferenceInflatesSinglePathTailNotMultipath) {
+  auto base = small_scenario("single");
+  base.interference = true;
+  base.interference_cfg.duty_cycle = 0.25;
+  base.interference_cfg.mean_burst_ns = 150'000;
+  // Interference on path 0 only: single-path eats it, JSQ routes around.
+  base.interference_paths = {0};
+  auto single = run_scenario(base);
+
+  auto multi_cfg = base;
+  multi_cfg.policy = "jsq";
+  auto jsq = run_scenario(multi_cfg);
+
+  EXPECT_GT(single.latency.p999(), jsq.latency.p999() * 4)
+      << "single p999=" << single.latency.p999()
+      << " jsq p999=" << jsq.latency.p999();
+  // Medians stay comparable (the tail is the story, not the median).
+  EXPECT_LT(jsq.latency.p50(), single.latency.p50() * 3);
+}
+
+TEST(Harness, RedundancyDoublesInternalWork) {
+  auto cfg = small_scenario("red2");
+  auto res = run_scenario(cfg);
+  EXPECT_NEAR(res.replica_fraction, 1.0, 0.05)
+      << "red2 must add ~1 extra copy per packet";
+  EXPECT_GT(res.duplicate_fraction, 0.3)
+      << "roughly half of dispatched copies are dropped at merge";
+}
+
+TEST(Harness, UtilizationMatchesOfferedLoad) {
+  auto cfg = small_scenario("jsq");
+  cfg.load = 0.5;
+  cfg.packets = 60'000;
+  auto res = run_scenario(cfg);
+  double mean_util = 0;
+  for (double u : res.per_path_utilization) mean_util += u;
+  mean_util /= static_cast<double>(res.per_path_utilization.size());
+  EXPECT_NEAR(mean_util, 0.5, 0.1);
+}
+
+TEST(Harness, BurstyArrivalsWidenTheTail) {
+  auto smooth = small_scenario("single");
+  smooth.num_paths = 1;
+  auto bursty = smooth;
+  bursty.bursty_arrivals = true;
+  bursty.mmpp.burst_factor = 12;
+  auto a = run_scenario(smooth);
+  auto b = run_scenario(bursty);
+  EXPECT_GT(b.latency.p999(), a.latency.p999() * 2);
+}
+
+TEST(Harness, QueueSamplingProducesSeries) {
+  auto cfg = small_scenario("jsq");
+  cfg.packets = 5'000;
+  cfg.sample_queues_interval_ns = 100'000;
+  auto res = run_scenario(cfg);
+  ASSERT_EQ(res.queue_depth_series.size(), 4u);
+  EXPECT_GT(res.queue_depth_series[0].samples().size(), 10u);
+}
+
+TEST(Harness, RpcScenarioCompletesFlows) {
+  auto cfg = small_scenario("adaptive");
+  cfg.load = 0.3;
+  auto res = run_rpc_scenario(cfg, "uniform", 400);
+  EXPECT_EQ(res.flows_started, 400u);
+  EXPECT_GT(res.flows_completed, 390u);
+  EXPECT_GT(res.all_fct.p50(), 0u);
+}
+
+TEST(Harness, UnknownPolicyAndWorkloadThrow) {
+  auto cfg = small_scenario("not-a-policy");
+  EXPECT_THROW(run_scenario(cfg), std::invalid_argument);
+  auto cfg2 = small_scenario("jsq");
+  EXPECT_THROW(run_rpc_scenario(cfg2, "not-a-workload", 10),
+               std::invalid_argument);
+}
+
+TEST(Harness, TraceCaptureReplayReproducesDataPlaneBehaviour) {
+  // Capture a workload into a trace, then replay it through two fresh
+  // data planes: identical per-packet egress order and latencies.
+  workload::TraceWriter trace;
+  {
+    sim::EventQueue eq;
+    net::PacketPool pool(2048, 2048);
+    workload::TrafficGenConfig tg;
+    tg.seed = 9;
+    workload::TrafficGen gen(
+        eq, pool, tg, std::make_unique<workload::PoissonArrivals>(1200),
+        [&](net::PacketPtr p) {
+          trace.append(workload::TraceRecord{
+              eq.now(), p->anno().flow_id,
+              static_cast<std::uint16_t>(p->length()),
+              static_cast<std::uint8_t>(p->anno().traffic_class)});
+        });
+    gen.start(5000);
+    eq.run();
+  }
+  ASSERT_EQ(trace.records().size(), 5000u);
+
+  auto run_replay = [&] {
+    sim::EventQueue eq;
+    net::PacketPool pool(2048, 2048);
+    core::DataPlaneConfig cfg;
+    cfg.num_paths = 4;
+    cfg.dedup_sweep_interval_ns = 0;
+    core::MdpDataPlane dp(eq, pool, cfg, core::make_scheduler("adaptive"));
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> out;
+    dp.set_egress([&](net::PacketPtr p) {
+      out.emplace_back(p->anno().flow_id,
+                       p->anno().egress_ns - p->anno().ingress_ns);
+    });
+    workload::TraceReplay replay(
+        eq, pool, trace.records(),
+        [&](net::PacketPtr p) { dp.ingress(std::move(p)); });
+    replay.start();
+    eq.run();
+    return out;
+  };
+  auto a = run_replay();
+  auto b = run_replay();
+  EXPECT_EQ(a.size(), 5000u);
+  EXPECT_EQ(a, b) << "replayed trace must be bit-identical end to end";
+}
+
+TEST(Harness, DeterministicAcrossRuns) {
+  auto a = run_scenario(small_scenario("adaptive"));
+  auto b = run_scenario(small_scenario("adaptive"));
+  EXPECT_EQ(a.latency.p999(), b.latency.p999());
+  EXPECT_EQ(a.egressed, b.egressed);
+  EXPECT_EQ(a.hedges, b.hedges);
+}
+
+}  // namespace
+}  // namespace mdp::harness

@@ -1,0 +1,172 @@
+// Connection tracker + stateful firewall tests: TCP state machine
+// progression, direction handling, expiry, and the
+// established-traffic-bypasses-ACL behaviour.
+#include <gtest/gtest.h>
+
+#include "click/elements.hpp"
+#include "click/router.hpp"
+#include "net/packet_builder.hpp"
+#include "nf/conntrack.hpp"
+
+namespace mdp::nf {
+namespace {
+
+const net::FlowKey kFwd{0x0a000001, 0x0b000001, 40000, 443,
+                        net::kIpProtoTcp};
+const net::FlowKey kRev = kFwd.reversed();
+
+using net::TcpView;
+
+TEST(ConnTracker, TcpHandshakeReachesEstablished) {
+  ConnTracker ct;
+  EXPECT_EQ(ct.observe(kFwd, TcpView::kSyn, 0), ConnState::kNew);
+  EXPECT_EQ(ct.observe(kRev, TcpView::kSyn | TcpView::kAck, 1),
+            ConnState::kSynAck);
+  EXPECT_EQ(ct.observe(kFwd, TcpView::kAck, 2), ConnState::kEstablished);
+  EXPECT_EQ(ct.lookup(kFwd), ConnState::kEstablished);
+  EXPECT_EQ(ct.lookup(kRev), ConnState::kEstablished)
+      << "both directions share one connection";
+  EXPECT_EQ(ct.size(), 1u);
+}
+
+TEST(ConnTracker, SynAckFromInitiatorDoesNotAdvance) {
+  ConnTracker ct;
+  ct.observe(kFwd, TcpView::kSyn, 0);
+  // Bogus SYN+ACK from the same side that sent the SYN.
+  EXPECT_EQ(ct.observe(kFwd, TcpView::kSyn | TcpView::kAck, 1),
+            ConnState::kNew);
+}
+
+TEST(ConnTracker, FinFromBothSidesCloses) {
+  ConnTracker ct;
+  ct.observe(kFwd, TcpView::kSyn, 0);
+  ct.observe(kRev, TcpView::kSyn | TcpView::kAck, 1);
+  ct.observe(kFwd, TcpView::kAck, 2);
+  EXPECT_EQ(ct.observe(kFwd, TcpView::kFin | TcpView::kAck, 3),
+            ConnState::kFinWait);
+  EXPECT_EQ(ct.observe(kRev, TcpView::kAck, 4), ConnState::kFinWait);
+  EXPECT_EQ(ct.observe(kRev, TcpView::kFin | TcpView::kAck, 5),
+            ConnState::kClosed);
+}
+
+TEST(ConnTracker, RstClosesImmediately) {
+  ConnTracker ct;
+  ct.observe(kFwd, TcpView::kSyn, 0);
+  ct.observe(kRev, TcpView::kSyn | TcpView::kAck, 1);
+  ct.observe(kFwd, TcpView::kAck, 2);
+  EXPECT_EQ(ct.observe(kRev, TcpView::kRst, 3), ConnState::kClosed);
+}
+
+TEST(ConnTracker, UdpBecomesEstablishedOnReply) {
+  ConnTracker ct;
+  net::FlowKey udp_f{1, 2, 100, 53, net::kIpProtoUdp};
+  EXPECT_EQ(ct.observe(udp_f, 0, 0), ConnState::kNew);
+  EXPECT_EQ(ct.observe(udp_f, 0, 1), ConnState::kNew)
+      << "more packets from the initiator don't establish";
+  EXPECT_EQ(ct.observe(udp_f.reversed(), 0, 2), ConnState::kEstablished);
+}
+
+TEST(ConnTracker, ExpiryByProtocolTimeout) {
+  ConnTrackerConfig cfg;
+  cfg.tcp_idle_timeout_ns = 1000;
+  cfg.udp_idle_timeout_ns = 100;
+  ConnTracker ct(cfg);
+  ct.observe(kFwd, TcpView::kSyn, 0);
+  ct.observe(net::FlowKey{1, 2, 3, 4, net::kIpProtoUdp}, 0, 0);
+  EXPECT_EQ(ct.expire(500), 1u) << "only the UDP entry is past timeout";
+  EXPECT_EQ(ct.expire(2000), 1u) << "now the TCP entry too";
+  EXPECT_EQ(ct.size(), 0u);
+}
+
+TEST(ConnTracker, ClosedEntriesLingerBriefly) {
+  ConnTrackerConfig cfg;
+  cfg.closed_linger_ns = 100;
+  ConnTracker ct(cfg);
+  ct.observe(kFwd, TcpView::kRst, 0);
+  EXPECT_EQ(ct.size(), 1u);
+  EXPECT_EQ(ct.expire(50), 0u);
+  EXPECT_EQ(ct.expire(200), 1u);
+}
+
+TEST(ConnTracker, CapacityEvictsOldest) {
+  ConnTrackerConfig cfg;
+  cfg.max_entries = 3;
+  ConnTracker ct(cfg);
+  for (std::uint32_t i = 0; i < 5; ++i)
+    ct.observe(net::FlowKey{i + 1, 99, 1000, 80, net::kIpProtoTcp},
+               TcpView::kSyn, i);
+  EXPECT_LE(ct.size(), 3u);
+  EXPECT_EQ(ct.evictions(), 2u);
+  // The oldest flows (1, 2) were evicted; 5 survives.
+  EXPECT_EQ(ct.lookup(net::FlowKey{5, 99, 1000, 80, net::kIpProtoTcp}),
+            ConnState::kNew);
+}
+
+struct SfwFixture : ::testing::Test {
+  sim::EventQueue eq;
+  net::PacketPool pool{256, 2048};
+  click::Router router{click::Router::Context{&eq, &pool}};
+  StatefulFirewall* sfw = nullptr;
+  click::Counter* ok = nullptr;
+  click::Counter* bad = nullptr;
+
+  void SetUp() override {
+    std::string err;
+    ASSERT_TRUE(router.configure(R"(
+      sfw :: StatefulFirewall(default deny, allow proto tcp dport 443);
+      ok :: Counter; bad :: Counter;
+      sfw [0] -> ok -> Discard; sfw [1] -> bad -> Discard;
+    )",
+                                 &err))
+        << err;
+    ASSERT_TRUE(router.initialize(&err)) << err;
+    sfw = router.find_as<StatefulFirewall>("sfw");
+    ok = router.find_as<click::Counter>("ok");
+    bad = router.find_as<click::Counter>("bad");
+  }
+
+  void send(const net::FlowKey& flow, std::uint8_t flags) {
+    net::BuildSpec spec;
+    spec.flow = flow;
+    spec.tcp_flags = flags;
+    sfw->push(0, net::build_tcp(pool, spec));
+  }
+};
+
+TEST_F(SfwFixture, HandshakeThenDataAllAccepted) {
+  send(kFwd, TcpView::kSyn);
+  send(kRev, TcpView::kSyn | TcpView::kAck);
+  send(kFwd, TcpView::kAck);
+  send(kFwd, TcpView::kAck | TcpView::kPsh);  // data
+  send(kRev, TcpView::kAck);                  // reply direction
+  EXPECT_EQ(ok->packets(), 5u);
+  EXPECT_EQ(bad->packets(), 0u);
+  EXPECT_EQ(sfw->tracker().lookup(kFwd), ConnState::kEstablished);
+}
+
+TEST_F(SfwFixture, AclBlocksOpeningButNotEstablished) {
+  // Port 80 is not allowed by the ACL: the SYN is rejected.
+  net::FlowKey port80 = kFwd;
+  port80.dst_port = 80;
+  send(port80, TcpView::kSyn);
+  EXPECT_EQ(bad->packets(), 1u);
+  EXPECT_EQ(ok->packets(), 0u);
+}
+
+TEST_F(SfwFixture, MidStreamPacketWithoutConnectionRejected) {
+  send(kFwd, TcpView::kAck);  // no SYN ever seen
+  EXPECT_EQ(bad->packets(), 1u);
+  EXPECT_EQ(sfw->out_of_state(), 1u);
+}
+
+TEST_F(SfwFixture, ReverseDirectionOfAllowedConnPassesDespiteAcl) {
+  // The ACL only allows dport 443; the reverse direction has dport 40000
+  // and would fail a stateless check — statefulness must admit it.
+  send(kFwd, TcpView::kSyn);
+  send(kRev, TcpView::kSyn | TcpView::kAck);
+  EXPECT_EQ(ok->packets(), 2u);
+  EXPECT_EQ(bad->packets(), 0u);
+}
+
+}  // namespace
+}  // namespace mdp::nf

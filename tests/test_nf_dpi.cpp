@@ -1,0 +1,162 @@
+// DPI tests: Aho-Corasick correctness (overlaps, shared prefixes, counts)
+// and element-level drop/paint actions.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "click/elements.hpp"
+#include "click/router.hpp"
+#include "net/packet_builder.hpp"
+#include "nf/dpi.hpp"
+
+namespace mdp::nf {
+namespace {
+
+std::size_t count_in(AhoCorasick& ac, const std::string& text) {
+  return ac.match_count(reinterpret_cast<const std::byte*>(text.data()),
+                        text.size());
+}
+
+TEST(AhoCorasick, FindsSinglePattern) {
+  AhoCorasick ac;
+  ac.add_pattern("needle");
+  ac.build();
+  EXPECT_EQ(count_in(ac, "hay needle hay"), 1u);
+  EXPECT_EQ(count_in(ac, "haystack only"), 0u);
+  EXPECT_EQ(count_in(ac, "needleneedle"), 2u);
+}
+
+TEST(AhoCorasick, OverlappingOccurrencesAllCounted) {
+  AhoCorasick ac;
+  ac.add_pattern("aa");
+  ac.build();
+  EXPECT_EQ(count_in(ac, "aaaa"), 3u) << "overlaps at 0,1,2";
+}
+
+TEST(AhoCorasick, PatternsSharingPrefixesAndSuffixes) {
+  AhoCorasick ac;
+  ac.add_pattern("he");
+  ac.add_pattern("she");
+  ac.add_pattern("his");
+  ac.add_pattern("hers");
+  ac.build();
+  // "ushers" contains she (1), he (1), hers (1).
+  EXPECT_EQ(count_in(ac, "ushers"), 3u);
+}
+
+TEST(AhoCorasick, SubstringPatternBothMatch) {
+  AhoCorasick ac;
+  ac.add_pattern("abc");
+  ac.add_pattern("b");
+  ac.build();
+  EXPECT_EQ(count_in(ac, "abc"), 2u);
+}
+
+TEST(AhoCorasick, FirstMatchIdReported) {
+  AhoCorasick ac;
+  int id_foo = ac.add_pattern("foo");
+  int id_bar = ac.add_pattern("bar");
+  ac.build();
+  std::string text = "xxbarfoo";
+  int first = -1;
+  ac.match_count(reinterpret_cast<const std::byte*>(text.data()),
+                 text.size(), &first);
+  EXPECT_EQ(first, id_bar);
+  (void)id_foo;
+}
+
+TEST(AhoCorasick, BinaryBytesSupported) {
+  AhoCorasick ac;
+  std::string pat("\x00\xff\x7f", 3);
+  ac.add_pattern(pat);
+  ac.build();
+  std::string text = std::string("abc") + pat + "def";
+  EXPECT_EQ(count_in(ac, text), 1u);
+}
+
+TEST(AhoCorasick, UnbuiltAutomatonMatchesNothing) {
+  AhoCorasick ac;
+  ac.add_pattern("x");
+  EXPECT_EQ(count_in(ac, "xxx"), 0u);
+}
+
+struct DpiFixture : ::testing::Test {
+  sim::EventQueue eq;
+  net::PacketPool pool{64, 2048};
+
+  net::PacketPtr packet_with_payload(const std::string& payload) {
+    net::BuildSpec spec;
+    spec.flow = {1, 2, 3, 4, 17};
+    spec.payload_len = payload.size();
+    auto pkt = net::build_udp(pool, spec);
+    auto parsed = net::parse(*pkt);
+    std::memcpy(pkt->data() + parsed->payload_offset, payload.data(),
+                payload.size());
+    return pkt;
+  }
+};
+
+TEST_F(DpiFixture, DropActionDivertsMatches) {
+  click::Router router(click::Router::Context{&eq, &pool});
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    dpi :: Dpi(drop, "EVIL", "MALWARE");
+    clean :: Counter; dirty :: Counter;
+    dpi [0] -> clean -> Discard; dpi [1] -> dirty -> Discard;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  auto* dpi = router.find("dpi");
+  dpi->push(0, packet_with_payload("totally benign data"));
+  dpi->push(0, packet_with_payload("xxEVILxx"));
+  dpi->push(0, packet_with_payload("MALWARE and EVIL"));
+  EXPECT_EQ(router.find_as<click::Counter>("clean")->packets(), 1u);
+  EXPECT_EQ(router.find_as<click::Counter>("dirty")->packets(), 2u);
+}
+
+TEST_F(DpiFixture, PaintActionMarksAndPasses) {
+  click::Router router(click::Router::Context{&eq, &pool});
+  std::string err;
+  ASSERT_TRUE(router.configure(
+      "dpi :: Dpi(paint 7, \"BAD\"); q :: Queue(8); dpi -> q;", &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  auto* dpi = router.find("dpi");
+  dpi->push(0, packet_with_payload("has BAD inside"));
+  dpi->push(0, packet_with_payload("spotless"));
+  auto* q = router.find_as<click::Queue>("q");
+  auto first = q->pull(0);
+  auto second = q->pull(0);
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(first->anno().paint, 7);
+  EXPECT_EQ(second->anno().paint, 0);
+}
+
+TEST_F(DpiFixture, MatchWithoutPort1Drops) {
+  click::Router router(click::Router::Context{&eq, &pool});
+  std::string err;
+  ASSERT_TRUE(router.configure(
+      "dpi :: Dpi(drop, \"X\"); c :: Counter; dpi -> c -> Discard;", &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  std::size_t in_use = pool.in_use();
+  router.find("dpi")->push(0, packet_with_payload("XXX"));
+  EXPECT_EQ(pool.in_use(), in_use);
+  EXPECT_EQ(router.find_as<click::Counter>("c")->packets(), 0u);
+}
+
+TEST(DpiConfig, Rejected) {
+  sim::EventQueue eq;
+  net::PacketPool pool(8, 2048);
+  std::string err;
+  click::Router r1(click::Router::Context{&eq, &pool});
+  EXPECT_FALSE(r1.configure("d :: Dpi(drop);", &err)) << "needs patterns";
+  click::Router r2(click::Router::Context{&eq, &pool});
+  EXPECT_FALSE(r2.configure("d :: Dpi(explode, \"x\");", &err));
+  click::Router r3(click::Router::Context{&eq, &pool});
+  EXPECT_FALSE(r3.configure("d :: Dpi(paint 900, \"x\");", &err));
+}
+
+}  // namespace
+}  // namespace mdp::nf

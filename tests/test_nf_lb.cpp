@@ -1,0 +1,156 @@
+// Load-balancer tests: affinity, consistent-hash balance and minimal
+// disruption, smooth WRR weighting, health handling, packet rewriting.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "click/elements.hpp"
+#include "click/router.hpp"
+#include "net/packet_builder.hpp"
+#include "nf/load_balancer.hpp"
+#include "sim/rng.hpp"
+
+namespace mdp::nf {
+namespace {
+
+net::FlowKey flow_n(std::uint32_t n) {
+  return net::FlowKey{0x0b000000 + n, 0x0a006401,
+                      static_cast<std::uint16_t>(1000 + n % 60000), 80, 6};
+}
+
+LoadBalancerCore make_ch(std::size_t backends) {
+  LoadBalancerCore lb(LoadBalancerCore::Policy::kConsistentHash);
+  for (std::size_t i = 0; i < backends; ++i)
+    lb.add_backend(Backend{0x0ac80001 + static_cast<std::uint32_t>(i), 1,
+                           true});
+  return lb;
+}
+
+TEST(LoadBalancerCore, AffinityKeepsFlowOnBackend) {
+  auto lb = make_ch(4);
+  std::uint32_t d1 = lb.select(flow_n(1));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(lb.select(flow_n(1)), d1);
+  EXPECT_EQ(lb.affinity_entries(), 1u);
+}
+
+TEST(LoadBalancerCore, ConsistentHashBalancesFlows) {
+  auto lb = make_ch(4);
+  std::map<std::uint32_t, int> counts;
+  constexpr int kFlows = 8000;
+  for (std::uint32_t i = 0; i < kFlows; ++i) ++counts[lb.select(flow_n(i))];
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [dip, n] : counts) {
+    EXPECT_GT(n, kFlows / 4 / 2) << "backend starved";
+    EXPECT_LT(n, kFlows / 4 * 2) << "backend overloaded";
+  }
+}
+
+TEST(LoadBalancerCore, RemovingBackendDisturbsFewFlows) {
+  // Flows mapped to surviving backends must keep their assignment when one
+  // backend dies (the consistent-hash property). Use two fresh cores so
+  // affinity does not mask the ring behaviour.
+  auto before = make_ch(4);
+  auto after = make_ch(4);
+  after.set_healthy(0x0ac80002, false);
+
+  int moved_from_survivors = 0;
+  constexpr int kFlows = 4000;
+  for (std::uint32_t i = 0; i < kFlows; ++i) {
+    std::uint32_t b = before.select(flow_n(i));
+    std::uint32_t a = after.select(flow_n(i));
+    if (b != 0x0ac80002 && a != b) ++moved_from_survivors;
+    EXPECT_NE(a, 0x0ac80002u) << "dead backend selected";
+  }
+  EXPECT_EQ(moved_from_survivors, 0)
+      << "consistent hashing must only remap the dead backend's flows";
+}
+
+TEST(LoadBalancerCore, UnhealthyBackendFlowsReassign) {
+  auto lb = make_ch(3);
+  std::uint32_t victim = lb.select(flow_n(5));
+  lb.set_healthy(victim, false);
+  std::uint32_t next = lb.select(flow_n(5));
+  EXPECT_NE(next, victim);
+  lb.set_healthy(victim, true);
+  // Affinity now points at the replacement; it must stick.
+  EXPECT_EQ(lb.select(flow_n(5)), next);
+}
+
+TEST(LoadBalancerCore, WeightedRrHonorsWeights) {
+  LoadBalancerCore lb(LoadBalancerCore::Policy::kWeightedRR);
+  lb.add_backend(Backend{1, 3, true});
+  lb.add_backend(Backend{2, 1, true});
+  std::map<std::uint32_t, int> counts;
+  for (std::uint32_t i = 0; i < 4000; ++i) ++counts[lb.select(flow_n(i))];
+  double ratio = static_cast<double>(counts[1]) / counts[2];
+  EXPECT_NEAR(ratio, 3.0, 0.3);
+}
+
+TEST(LoadBalancerCore, NoHealthyBackendReturnsZero) {
+  auto lb = make_ch(2);
+  lb.set_healthy(0x0ac80001, false);
+  lb.set_healthy(0x0ac80002, false);
+  EXPECT_EQ(lb.select(flow_n(1)), 0u);
+}
+
+struct LbElementFixture : ::testing::Test {
+  sim::EventQueue eq;
+  net::PacketPool pool{64, 2048};
+  click::Router router{click::Router::Context{&eq, &pool}};
+  click::Queue* q = nullptr;
+
+  void SetUp() override {
+    std::string err;
+    ASSERT_TRUE(router.configure(R"(
+      lb :: LoadBalancer(10.0.100.1, 10.200.0.1, 10.200.0.2);
+      chk :: CheckIPHeader;
+      q :: Queue(64);
+      lb -> chk -> q;
+    )",
+                                 &err))
+        << err;
+    ASSERT_TRUE(router.initialize(&err)) << err;
+    q = router.find_as<click::Queue>("q");
+  }
+};
+
+TEST_F(LbElementFixture, RewritesVipToBackendWithValidChecksum) {
+  net::BuildSpec spec;
+  spec.flow = flow_n(9);
+  router.find("lb")->push(0, net::build_tcp(pool, spec));
+  auto out = q->pull(0);
+  ASSERT_TRUE(out) << "packet must survive CheckIPHeader after rewrite";
+  auto parsed = net::parse(*out);
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->flow.dst_ip == 0x0ac80001 ||
+              parsed->flow.dst_ip == 0x0ac80002)
+      << net::ipv4_to_string(parsed->flow.dst_ip);
+}
+
+TEST_F(LbElementFixture, NonVipTrafficPassesUntouched) {
+  net::BuildSpec spec;
+  spec.flow = {0x0b000001, 0x01010101, 500, 80, 0};
+  router.find("lb")->push(0, net::build_udp(pool, spec));
+  auto out = q->pull(0);
+  ASSERT_TRUE(out);
+  auto parsed = net::parse(*out);
+  EXPECT_EQ(parsed->flow.dst_ip, 0x01010101u);
+  EXPECT_EQ(router.find_as<LoadBalancer>("lb")->rewritten(), 0u);
+}
+
+TEST(LbElement, ConfigErrors) {
+  sim::EventQueue eq;
+  net::PacketPool pool(8, 2048);
+  std::string err;
+  click::Router r1(click::Router::Context{&eq, &pool});
+  EXPECT_FALSE(r1.configure("lb :: LoadBalancer(10.0.0.1);", &err));
+  click::Router r2(click::Router::Context{&eq, &pool});
+  EXPECT_FALSE(
+      r2.configure("lb :: LoadBalancer(bogus, 10.0.0.2);", &err));
+  click::Router r3(click::Router::Context{&eq, &pool});
+  EXPECT_FALSE(r3.configure(
+      "lb :: LoadBalancer(10.0.0.1, 10.0.0.2, policy bogus);", &err));
+}
+
+}  // namespace
+}  // namespace mdp::nf

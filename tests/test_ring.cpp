@@ -1,0 +1,186 @@
+// Ring tests: FIFO semantics, capacity behaviour, bulk ops, and real
+// multi-threaded loss/duplication checks for both SPSC and MPMC rings.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "ring/mpmc_ring.hpp"
+#include "ring/spsc_ring.hpp"
+
+namespace mdp::ring {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> r(100);
+  EXPECT_EQ(r.capacity(), 128u);
+  SpscRing<int> r2(128);
+  EXPECT_EQ(r2.capacity(), 128u);
+  SpscRing<int> tiny(0);
+  EXPECT_GE(tiny.capacity(), 2u);
+}
+
+TEST(SpscRing, FifoOrderSingleThread) {
+  SpscRing<int> r(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(r.try_push(i));
+  for (int i = 0; i < 10; ++i) {
+    int v = -1;
+    ASSERT_TRUE(r.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  int v;
+  EXPECT_FALSE(r.try_pop(v)) << "empty ring must fail pop";
+}
+
+TEST(SpscRing, FullRingRejectsPush) {
+  SpscRing<int> r(4);
+  for (std::size_t i = 0; i < r.capacity(); ++i)
+    ASSERT_TRUE(r.try_push(static_cast<int>(i)));
+  EXPECT_FALSE(r.try_push(99));
+  int v;
+  ASSERT_TRUE(r.try_pop(v));
+  EXPECT_TRUE(r.try_push(99)) << "pop must free a slot";
+}
+
+TEST(SpscRing, WrapAroundManyTimes) {
+  SpscRing<int> r(4);
+  int next_out = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(r.try_push(i));
+    if (i % 3 == 2) {  // drain occasionally, crossing the wrap point
+      int v;
+      while (r.try_pop(v)) EXPECT_EQ(v, next_out++);
+    }
+  }
+  int v;
+  while (r.try_pop(v)) EXPECT_EQ(v, next_out++);
+  EXPECT_EQ(next_out, 1000);
+}
+
+TEST(SpscRing, BulkPushAllOrNothing) {
+  SpscRing<int> r(8);
+  std::vector<int> items{1, 2, 3, 4, 5};
+  EXPECT_EQ(r.try_push_bulk(items), 5u);
+  std::vector<int> too_many(6, 7);
+  EXPECT_EQ(r.try_push_bulk(too_many), 0u) << "bulk must be all-or-nothing";
+  EXPECT_EQ(r.size(), 5u);
+}
+
+TEST(SpscRing, BurstPopReturnsUpToN) {
+  SpscRing<int> r(16);
+  for (int i = 0; i < 5; ++i) r.try_push(i);
+  std::vector<int> out(8, -1);
+  EXPECT_EQ(r.try_pop_burst(out), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(SpscRing, ThreadedTransferNoLossNoDupNoReorder) {
+  constexpr int kItems = 200'000;
+  SpscRing<int> r(1024);
+  std::vector<int> received;
+  received.reserve(kItems);
+
+  std::thread consumer([&] {
+    int v;
+    while (static_cast<int>(received.size()) < kItems) {
+      if (r.try_pop(v)) {
+        received.push_back(v);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (int i = 0; i < kItems; ++i) {
+    while (!r.try_push(i)) std::this_thread::yield();
+  }
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i)
+    ASSERT_EQ(received[i], i) << "order broken at " << i;
+}
+
+TEST(MpmcRing, FifoSingleThread) {
+  MpmcRing<int> r(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(r.try_push(i));
+  for (int i = 0; i < 10; ++i) {
+    int v;
+    ASSERT_TRUE(r.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(MpmcRing, FullAndEmptyBoundaries) {
+  MpmcRing<int> r(4);
+  for (std::size_t i = 0; i < r.capacity(); ++i)
+    ASSERT_TRUE(r.try_push(static_cast<int>(i)));
+  EXPECT_FALSE(r.try_push(5));
+  int v;
+  for (std::size_t i = 0; i < r.capacity(); ++i) ASSERT_TRUE(r.try_pop(v));
+  EXPECT_FALSE(r.try_pop(v));
+}
+
+// Property: N producers x M consumers, every produced token consumed
+// exactly once. Parameterized over (producers, consumers).
+class MpmcStress
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MpmcStress, ExactlyOnceDelivery) {
+  const auto [kProducers, kConsumers] = GetParam();
+  constexpr int kPerProducer = 30'000;
+  const int total = kProducers * kPerProducer;
+  MpmcRing<std::uint64_t> r(512);
+  std::atomic<int> consumed{0};
+  std::vector<std::atomic<std::uint8_t>> seen(total);
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      std::uint64_t v;
+      while (consumed.load(std::memory_order_relaxed) < total) {
+        if (r.try_pop(v)) {
+          seen[v].fetch_add(1);
+          consumed.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        std::uint64_t token =
+            static_cast<std::uint64_t>(p) * kPerProducer + i;
+        while (!r.try_push(token)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+
+  for (int i = 0; i < total; ++i)
+    ASSERT_EQ(seen[i].load(), 1) << "token " << i
+                                 << " not delivered exactly once";
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, MpmcStress,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(2, 1),
+                                           std::make_pair(1, 2),
+                                           std::make_pair(2, 2)));
+
+TEST(MpmcRing, MoveOnlyTypes) {
+  MpmcRing<std::unique_ptr<int>> r(8);
+  ASSERT_TRUE(r.try_push(std::make_unique<int>(42)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(r.try_pop(out));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, 42);
+}
+
+}  // namespace
+}  // namespace mdp::ring

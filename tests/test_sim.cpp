@@ -1,0 +1,310 @@
+// Simulation substrate tests: event queue ordering/determinism, RNG,
+// distributions, the SimCore queueing model, interference duty cycle, and
+// the multi-queue NIC.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/packet_builder.hpp"
+#include "sim/distributions.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/interference.hpp"
+#include "sim/nic.hpp"
+#include "sim/rng.hpp"
+#include "sim/sim_core.hpp"
+
+namespace mdp::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule_at(300, [&] { order.push_back(3); });
+  eq.schedule_at(100, [&] { order.push_back(1); });
+  eq.schedule_at(200, [&] { order.push_back(2); });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eq.now(), 300u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    eq.schedule_at(500, [&order, i] { order.push_back(i); });
+  eq.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NestedSchedulingFromCallbacks) {
+  EventQueue eq;
+  std::vector<std::uint64_t> times;
+  eq.schedule_at(10, [&] {
+    times.push_back(eq.now());
+    eq.schedule_in(5, [&] { times.push_back(eq.now()); });
+  });
+  eq.run();
+  EXPECT_EQ(times, (std::vector<std::uint64_t>{10, 15}));
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  EventQueue eq;
+  eq.schedule_at(100, [&] {
+    eq.schedule_at(50, [&] { EXPECT_EQ(eq.now(), 100u); });
+  });
+  eq.run();
+}
+
+TEST(EventQueue, RunUntilAdvancesClockEvenWhenIdle) {
+  EventQueue eq;
+  eq.run_until(12345);
+  EXPECT_EQ(eq.now(), 12345u);
+}
+
+TEST(EventQueue, ClearDiscardsWithoutExecuting) {
+  EventQueue eq;
+  bool fired = false;
+  // The closure owns a resource; clear() must destroy (not run) it.
+  auto owned = std::make_unique<int>(1);
+  eq.schedule_at(5, [&fired, o = std::move(owned)] { fired = true; });
+  eq.clear();
+  EXPECT_TRUE(eq.empty());
+  eq.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, MoveOnlyCaptures) {
+  EventQueue eq;
+  auto p = std::make_unique<int>(7);
+  int got = 0;
+  eq.schedule_at(1, [p = std::move(p), &got] { got = *p; });
+  eq.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(Rng(123).next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    ASSERT_LT(rng.uniform_u64(17), 17u);
+  }
+}
+
+// Distribution means converge to the configured value.
+struct DistCase {
+  const char* name;
+  std::function<DistributionPtr()> make;
+  double expected_mean;
+  double tolerance;  // relative
+};
+
+class DistributionMean : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributionMean, SampleMeanMatchesAnalyticMean) {
+  static const DistCase cases[] = {
+      {"constant", [] { return std::make_unique<Constant>(42.0); }, 42.0,
+       0.001},
+      {"uniform", [] { return std::make_unique<Uniform>(10, 30); }, 20.0,
+       0.02},
+      {"exponential", [] { return std::make_unique<Exponential>(1000.0); },
+       1000.0, 0.03},
+      {"lognormal", [] { return std::make_unique<LogNormal>(0.0, 0.5); },
+       std::exp(0.125), 0.03},
+      {"pareto",
+       [] { return std::make_unique<BoundedPareto>(1.3, 1.0, 1000.0); },
+       0.0 /* use dist->mean() */, 0.05},
+  };
+  const DistCase& c = cases[GetParam()];
+  auto dist = c.make();
+  double expected = c.expected_mean > 0 ? c.expected_mean : dist->mean();
+
+  Rng rng(777);
+  double sum = 0;
+  constexpr int kN = 400'000;
+  for (int i = 0; i < kN; ++i) sum += dist->sample(rng);
+  double sample_mean = sum / kN;
+  EXPECT_NEAR(sample_mean, expected, expected * c.tolerance)
+      << c.name << ": analytic mean " << dist->mean();
+}
+
+INSTANTIATE_TEST_SUITE_P(All, DistributionMean, ::testing::Range(0, 5));
+
+TEST(BoundedPareto, SamplesWithinBounds) {
+  BoundedPareto p(1.1, 2.0, 500.0);
+  Rng rng(1);
+  for (int i = 0; i < 50'000; ++i) {
+    double v = p.sample(rng);
+    ASSERT_GE(v, 2.0 - 1e-9);
+    ASSERT_LE(v, 500.0 + 1e-9);
+  }
+}
+
+TEST(EmpiricalCdf, InterpolatesBetweenKnots) {
+  EmpiricalCdf cdf({{0, 0.0}, {100, 0.5}, {1000, 1.0}});
+  Rng rng(2);
+  int below_100 = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i)
+    if (cdf.sample(rng) <= 100.0) ++below_100;
+  EXPECT_NEAR(below_100 / static_cast<double>(kN), 0.5, 0.02);
+}
+
+TEST(EmpiricalCdf, RejectsBadKnots) {
+  EXPECT_THROW(EmpiricalCdf({{1, 0.5}}), std::invalid_argument);
+  EXPECT_THROW(EmpiricalCdf({{1, 0.9}, {2, 0.1}}), std::invalid_argument);
+}
+
+TEST(SimCore, ServesFifoWithCorrectTimes) {
+  EventQueue eq;
+  SimCore core(eq);
+  std::vector<TimeNs> completions;
+  core.submit(100, [&](TimeNs t) { completions.push_back(t); });
+  core.submit(50, [&](TimeNs t) { completions.push_back(t); });
+  eq.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0], 100u);
+  EXPECT_EQ(completions[1], 150u);
+  EXPECT_EQ(core.busy_ns(), 150u);
+  EXPECT_EQ(core.jobs_completed(), 2u);
+}
+
+TEST(SimCore, IdleCoreStartsImmediately) {
+  EventQueue eq;
+  SimCore core(eq);
+  eq.schedule_at(1000, [&] {
+    core.submit(10, [&](TimeNs t) { EXPECT_EQ(t, 1010u); });
+  });
+  eq.run();
+}
+
+TEST(SimCore, HighPriorityJumpsQueue) {
+  EventQueue eq;
+  SimCore core(eq);
+  std::vector<int> order;
+  core.submit(100, [&](TimeNs) { order.push_back(0); });  // in service
+  core.submit(100, [&](TimeNs) { order.push_back(1); });  // queued
+  core.submit(10, [&](TimeNs) { order.push_back(2); }, /*high=*/true);
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}))
+      << "high-priority job must run after the in-service job but before "
+         "queued normal jobs";
+}
+
+TEST(SimCore, BacklogTracksOutstandingWork) {
+  EventQueue eq;
+  SimCore core(eq);
+  core.submit(100, [](TimeNs) {});
+  core.submit(200, [](TimeNs) {});
+  // At t=0 (before any event runs) one job is in service (100ns left) and
+  // one queued (200ns).
+  EXPECT_EQ(core.backlog_ns(), 300u);
+  EXPECT_EQ(core.queue_depth(), 1u);
+  eq.run();
+  EXPECT_EQ(core.backlog_ns(), 0u);
+}
+
+TEST(SimCore, TheftIsInvisibleToTheDispatcherView) {
+  EventQueue eq;
+  SimCore core(eq);
+  // A theft burst in service: ground truth sees it, the dispatcher not.
+  core.submit(10'000, [](TimeNs) {}, /*high_priority=*/true, /*visible=*/false);
+  EXPECT_EQ(core.backlog_ns(), 10'000u);
+  EXPECT_EQ(core.visible_backlog_ns(), 0u)
+      << "a stolen core must look idle to the scheduler";
+  // Packets queued behind the theft ARE visible.
+  core.submit(300, [](TimeNs) {});
+  EXPECT_EQ(core.visible_backlog_ns(), 300u);
+  EXPECT_EQ(core.backlog_ns(), 10'300u);
+  eq.run();
+  EXPECT_EQ(core.visible_backlog_ns(), 0u);
+}
+
+TEST(Interference, DutyCycleConverges) {
+  EventQueue eq;
+  SimCore core(eq);
+  InterferenceConfig cfg;
+  cfg.duty_cycle = 0.2;
+  cfg.mean_burst_ns = 50'000;
+  InterferenceModel noise(eq, core, cfg, /*seed=*/5);
+  noise.start();
+  constexpr TimeNs kHorizon = 5 * kSecond;
+  eq.run_until(kHorizon);
+  double duty = static_cast<double>(noise.total_stolen_ns()) /
+                static_cast<double>(kHorizon);
+  EXPECT_NEAR(duty, 0.2, 0.05);
+  EXPECT_GT(noise.bursts_injected(), 1000u);
+}
+
+TEST(Interference, ZeroDutyInjectsNothing) {
+  EventQueue eq;
+  SimCore core(eq);
+  InterferenceConfig cfg;
+  cfg.duty_cycle = 0.0;
+  InterferenceModel noise(eq, core, cfg, 5);
+  noise.start();
+  eq.run_until(kSecond);
+  EXPECT_EQ(noise.bursts_injected(), 0u);
+}
+
+TEST(SimNic, RssSteersByFlowHashConsistently) {
+  net::PacketPool pool(64, 2048);
+  SimNic nic(NicConfig{4, 16});
+  net::BuildSpec spec;
+  spec.flow = {0x0a000001, 0x0b000001, 1000, 80, 17};
+  auto p1 = net::build_udp(pool, spec);
+  auto p2 = net::build_udp(pool, spec);
+  std::size_t q1 = nic.rss_queue(*p1);
+  EXPECT_EQ(q1, nic.rss_queue(*p2)) << "same flow must map to same queue";
+  ASSERT_TRUE(nic.rx(std::move(p1)));
+  EXPECT_EQ(nic.queue_depth(q1), 1u);
+  auto out = nic.poll(q1);
+  EXPECT_TRUE(out);
+  EXPECT_FALSE(nic.poll(q1));
+}
+
+TEST(SimNic, TailDropsWhenQueueFull) {
+  net::PacketPool pool(64, 2048);
+  SimNic nic(NicConfig{1, 2});
+  net::BuildSpec spec;
+  spec.flow = {1, 2, 3, 4, 17};
+  ASSERT_TRUE(nic.rx_to(0, net::build_udp(pool, spec)));
+  ASSERT_TRUE(nic.rx_to(0, net::build_udp(pool, spec)));
+  EXPECT_FALSE(nic.rx_to(0, net::build_udp(pool, spec)));
+  EXPECT_EQ(nic.total_drops(), 1u);
+  EXPECT_EQ(nic.total_received(), 2u);
+}
+
+TEST(Determinism, SameSeedSameTrace) {
+  auto run = [](std::uint64_t seed) {
+    EventQueue eq;
+    SimCore core(eq);
+    Rng rng(seed);
+    Exponential gaps(500);
+    std::vector<TimeNs> completions;
+    TimeNs t = 0;
+    for (int i = 0; i < 200; ++i) {
+      t += static_cast<TimeNs>(gaps.sample(rng)) + 1;
+      eq.schedule_at(t, [&core, &completions, &rng] {
+        core.submit(static_cast<TimeNs>(rng.uniform_u64(300) + 1),
+                    [&completions](TimeNs done) {
+                      completions.push_back(done);
+                    });
+      });
+    }
+    eq.run();
+    return completions;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+}  // namespace
+}  // namespace mdp::sim

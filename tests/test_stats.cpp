@@ -1,0 +1,226 @@
+// Stats tests: histogram accuracy bounds, quantile monotonicity, merge,
+// CDF; table renderers; time series bucketing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "stats/counters.hpp"
+#include "stats/histogram.hpp"
+#include "stats/table.hpp"
+#include "stats/time_series.hpp"
+
+namespace mdp::stats {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.99), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 128; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 128u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 127u);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 127u);
+  EXPECT_EQ(h.p50(), 63u);
+}
+
+TEST(Histogram, SingleValueAllQuantilesEqual) {
+  LatencyHistogram h;
+  h.record_n(5000, 1000);
+  std::uint64_t q50 = h.p50();
+  EXPECT_EQ(h.p99(), q50);
+  EXPECT_EQ(h.p999(), q50);
+  // Relative quantization error bounded by 2^-7.
+  EXPECT_NEAR(static_cast<double>(q50), 5000.0, 5000.0 / 128.0 + 1);
+}
+
+TEST(Histogram, RelativeErrorBoundAcrossMagnitudes) {
+  for (std::uint64_t v :
+       {137ULL, 1'500ULL, 73'000ULL, 2'000'000ULL, 900'000'000ULL,
+        123'456'789'012ULL}) {
+    LatencyHistogram h;
+    h.record(v);
+    std::uint64_t q = h.quantile(0.5);
+    double rel = std::abs(static_cast<double>(q) - static_cast<double>(v)) /
+                 static_cast<double>(v);
+    EXPECT_LE(rel, 1.0 / 128.0 + 1e-9) << "value " << v << " -> " << q;
+    EXPECT_GE(q, v) << "bucket upper edge must not under-report";
+  }
+}
+
+TEST(Histogram, QuantilesMonotone) {
+  LatencyHistogram h;
+  sim::Rng rng(5);
+  for (int i = 0; i < 100'000; ++i)
+    h.record(rng.uniform_u64(10'000'000) + 1);
+  std::uint64_t prev = 0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 0.9999, 1.0}) {
+    std::uint64_t v = h.quantile(q);
+    EXPECT_GE(v, prev) << "quantile " << q;
+    prev = v;
+  }
+}
+
+TEST(Histogram, QuantileOfUniformIsProportional) {
+  LatencyHistogram h;
+  sim::Rng rng(11);
+  for (int i = 0; i < 200'000; ++i) h.record(rng.uniform_u64(1'000'000));
+  EXPECT_NEAR(static_cast<double>(h.p50()), 500'000, 25'000);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 990'000, 25'000);
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  sim::Rng rng(3);
+  LatencyHistogram a, b, combined;
+  for (int i = 0; i < 10'000; ++i) {
+    std::uint64_t v = rng.uniform_u64(1'000'000) + 1;
+    if (i % 2) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double q : {0.5, 0.9, 0.99, 0.999})
+    EXPECT_EQ(a.quantile(q), combined.quantile(q)) << q;
+}
+
+TEST(Histogram, CdfIsNonDecreasingAndEndsAtOne) {
+  LatencyHistogram h;
+  sim::Rng rng(4);
+  for (int i = 0; i < 5000; ++i) h.record(rng.uniform_u64(100'000));
+  auto cdf = h.cdf();
+  ASSERT_FALSE(cdf.empty());
+  double prev = 0;
+  std::uint64_t prev_v = 0;
+  for (auto [v, p] : cdf) {
+    EXPECT_GE(p, prev);
+    EXPECT_GE(v, prev_v);
+    prev = p;
+    prev_v = v;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+// Property: histogram quantiles track exact (sorted-vector) quantiles
+// within the configured relative error across distributions and seeds.
+class HistogramAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramAccuracy, QuantilesWithinRelativeErrorOfExact) {
+  sim::Rng rng(GetParam());
+  LatencyHistogram h;
+  std::vector<std::uint64_t> exact;
+  constexpr int kN = 50'000;
+  exact.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    // Log-uniform values spanning 6 decades — the worst case for a
+    // fixed-bucket scheme, easy for a log-bucketed one.
+    double mag = rng.uniform_range(1, 7);
+    auto v = static_cast<std::uint64_t>(std::pow(10.0, mag));
+    h.record(v);
+    exact.push_back(v);
+  }
+  std::sort(exact.begin(), exact.end());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    auto idx = static_cast<std::size_t>(q * (kN - 1));
+    double truth = static_cast<double>(exact[idx]);
+    double est = static_cast<double>(h.quantile(q));
+    EXPECT_NEAR(est, truth, truth / 64.0 + 2)
+        << "q=" << q << " seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramAccuracy, ::testing::Range(1, 6));
+
+TEST(Histogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(12345);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(FormatNs, HumanUnits) {
+  EXPECT_EQ(format_ns(500), "500ns");
+  EXPECT_EQ(format_ns(1500), "1.5us");
+  EXPECT_EQ(format_ns(2'500'000), "2.50ms");
+  EXPECT_EQ(format_ns(3'000'000'000ULL), "3.000s");
+}
+
+TEST(Table, TextRendersAllCells) {
+  Table t({"policy", "p99"});
+  t.add_row({"jsq", "120us"});
+  t.add_row({"single", "4.2ms"});
+  std::string s = t.to_text();
+  EXPECT_NE(s.find("policy"), std::string::npos);
+  EXPECT_NE(s.find("jsq"), std::string::npos);
+  EXPECT_NE(s.find("4.2ms"), std::string::npos);
+}
+
+TEST(Table, MarkdownShape) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TimeSeries, BucketsAverageWithinInterval) {
+  TimeSeries ts(1000, "q");
+  ts.observe(100, 10);
+  ts.observe(900, 20);
+  ts.observe(1500, 7);
+  auto s = ts.samples();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0].value, 15.0);
+  EXPECT_DOUBLE_EQ(s[1].value, 7.0);
+  EXPECT_EQ(s[0].t_ns, 0u);
+  EXPECT_EQ(s[1].t_ns, 1000u);
+}
+
+TEST(TimeSeries, MaxModeKeepsPeak) {
+  TimeSeries ts(1000);
+  ts.observe_max(0, 3);
+  ts.observe_max(10, 42);
+  ts.observe_max(20, 7);
+  auto s = ts.samples();
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0].value, 42.0);
+}
+
+TEST(Counters, IncrementAndQuery) {
+  CounterSet c;
+  c.inc("a");
+  c.inc("a", 4);
+  c.inc("b");
+  EXPECT_EQ(c.get("a"), 5u);
+  EXPECT_EQ(c.get("b"), 1u);
+  EXPECT_EQ(c.get("missing"), 0u);
+  EXPECT_EQ(c.to_string(), "a=5 b=1");
+}
+
+}  // namespace
+}  // namespace mdp::stats

@@ -1,0 +1,105 @@
+// ThreadedDataPlane tests: real-thread end-to-end completion accounting,
+// policy steering, backpressure, and restartability.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/threaded_dataplane.hpp"
+
+namespace mdp::core {
+namespace {
+
+TEST(ThreadedDataPlane, AllSubmittedPacketsComplete) {
+  ThreadedConfig cfg;
+  cfg.num_paths = 2;
+  std::atomic<std::uint64_t> completions{0};
+  ThreadedDataPlane dp(cfg, [&](std::uint64_t latency, std::uint16_t) {
+    EXPECT_GT(latency, 0u);
+    completions.fetch_add(1);
+  });
+  dp.start();
+  constexpr std::uint64_t kPackets = 20'000;
+  std::uint64_t submitted = 0;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    while (!dp.ingress(i * 0x9e3779b97f4a7c15ULL)) {
+    }
+    ++submitted;
+  }
+  dp.stop();
+  EXPECT_EQ(submitted, kPackets);
+  EXPECT_EQ(dp.completed(), kPackets);
+  EXPECT_EQ(completions.load(), kPackets);
+  std::uint64_t per_path_sum = 0;
+  for (std::size_t p = 0; p < cfg.num_paths; ++p)
+    per_path_sum += dp.per_path_count(p);
+  EXPECT_EQ(per_path_sum, kPackets);
+}
+
+TEST(ThreadedDataPlane, HashPolicySteersFlowConsistently) {
+  ThreadedConfig cfg;
+  cfg.num_paths = 4;
+  cfg.policy = "hash";
+  ThreadedDataPlane dp(cfg, nullptr);
+  dp.start();
+  // One flow hash: all packets must land on one path.
+  for (int i = 0; i < 1000; ++i)
+    while (!dp.ingress(0xabcdef)) {
+    }
+  dp.stop();
+  int used = 0;
+  for (std::size_t p = 0; p < 4; ++p)
+    if (dp.per_path_count(p) > 0) ++used;
+  EXPECT_EQ(used, 1);
+}
+
+TEST(ThreadedDataPlane, RrPolicySpreadsEvenly) {
+  ThreadedConfig cfg;
+  cfg.num_paths = 4;
+  cfg.policy = "rr";
+  ThreadedDataPlane dp(cfg, nullptr);
+  dp.start();
+  for (int i = 0; i < 4000; ++i)
+    while (!dp.ingress(static_cast<std::uint64_t>(i))) {
+    }
+  dp.stop();
+  for (std::size_t p = 0; p < 4; ++p)
+    EXPECT_EQ(dp.per_path_count(p), 1000u);
+}
+
+TEST(ThreadedDataPlane, RejectsWhenPoolExhaustedInsteadOfBlocking) {
+  ThreadedConfig cfg;
+  cfg.num_paths = 1;
+  cfg.pool_size = 8;
+  cfg.ring_capacity = 4;
+  ThreadedDataPlane dp(cfg, nullptr);
+  // Workers not started: rings fill up and ingress must fail-fast.
+  int accepted = 0;
+  for (int i = 0; i < 100; ++i)
+    if (dp.ingress(i)) ++accepted;
+  EXPECT_LE(accepted, 8);
+  EXPECT_GT(dp.rejected(), 0u);
+  dp.start();  // drain what was queued
+  dp.stop();
+  EXPECT_EQ(dp.completed(), static_cast<std::uint64_t>(accepted));
+}
+
+TEST(ThreadedDataPlane, JsqAvoidsBuriedPath) {
+  // With JSQ on ring occupancy and workers stopped, all packets pile onto
+  // alternating rings rather than one.
+  ThreadedConfig cfg;
+  cfg.num_paths = 2;
+  cfg.ring_capacity = 64;
+  cfg.pool_size = 64;
+  ThreadedDataPlane dp(cfg, nullptr);
+  for (int i = 0; i < 60; ++i) dp.ingress(i);
+  // Not started: ring sizes visible to JSQ; spread must be ~even.
+  auto a = dp.per_path_count(0);
+  auto b = dp.per_path_count(1);
+  EXPECT_NEAR(static_cast<double>(a), static_cast<double>(b), 2.0);
+  dp.start();
+  dp.stop();
+}
+
+}  // namespace
+}  // namespace mdp::core

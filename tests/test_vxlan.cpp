@@ -1,0 +1,240 @@
+// VXLAN overlay tests: encap/decap round trip at the net layer and via
+// the Click elements; plus VLAN tagging, DSCP marking, Meter, Switch.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "click/elements.hpp"
+#include "click/elements_net.hpp"
+#include "click/router.hpp"
+#include "net/packet_builder.hpp"
+#include "net/vxlan.hpp"
+
+namespace mdp::net {
+namespace {
+
+PacketPtr inner_packet(PacketPool& pool, std::uint16_t sport = 4242) {
+  BuildSpec spec;
+  spec.flow = {0x0a000001, 0x0a000002, sport, 80, 17};
+  spec.payload_len = 64;
+  return build_udp(pool, spec);
+}
+
+TEST(Vxlan, EncapDecapRoundTripPreservesInnerFrame) {
+  PacketPool pool(8, 2048);
+  auto pkt = inner_packet(pool);
+  std::vector<std::byte> original(pkt->payload().begin(),
+                                  pkt->payload().end());
+
+  VxlanTunnel tun;
+  tun.local_vtep = 0xc0a80a01;
+  tun.remote_vtep = 0xc0a80a02;
+  tun.vni = 5001;
+  ASSERT_TRUE(vxlan_encap(*pkt, tun));
+  EXPECT_EQ(pkt->length(), original.size() + kVxlanOverhead);
+
+  // The outer stack parses as a UDP/4789 IPv4 packet with valid checksum.
+  auto outer = parse(*pkt);
+  ASSERT_TRUE(outer);
+  EXPECT_EQ(outer->flow.protocol, kIpProtoUdp);
+  EXPECT_EQ(outer->flow.dst_port, kVxlanPort);
+  EXPECT_EQ(outer->flow.src_ip, tun.local_vtep);
+  EXPECT_TRUE(validate_ipv4_csum(*pkt, *outer));
+
+  auto info = vxlan_decap(*pkt);
+  ASSERT_TRUE(info);
+  EXPECT_EQ(info->vni, 5001u);
+  EXPECT_EQ(info->outer_src, tun.local_vtep);
+  EXPECT_EQ(info->outer_dst, tun.remote_vtep);
+  ASSERT_EQ(pkt->length(), original.size());
+  EXPECT_EQ(std::memcmp(pkt->data(), original.data(), original.size()), 0);
+}
+
+TEST(Vxlan, OuterSourcePortCarriesInnerFlowEntropy) {
+  PacketPool pool(8, 2048);
+  VxlanTunnel tun;
+  auto p1 = inner_packet(pool, 1000);
+  auto p2 = inner_packet(pool, 1000);
+  auto p3 = inner_packet(pool, 2000);
+  ASSERT_TRUE(vxlan_encap(*p1, tun));
+  ASSERT_TRUE(vxlan_encap(*p2, tun));
+  ASSERT_TRUE(vxlan_encap(*p3, tun));
+  auto sp = [](Packet& p) { return parse(p)->flow.src_port; };
+  EXPECT_EQ(sp(*p1), sp(*p2)) << "same inner flow, same outer port";
+  EXPECT_NE(sp(*p1), sp(*p3)) << "different flows should spread";
+}
+
+TEST(Vxlan, DecapRejectsNonVxlan) {
+  PacketPool pool(8, 2048);
+  auto pkt = inner_packet(pool);  // plain UDP to port 80
+  std::size_t len = pkt->length();
+  EXPECT_FALSE(vxlan_decap(*pkt).has_value());
+  EXPECT_EQ(pkt->length(), len) << "failed decap must not modify";
+}
+
+TEST(Vxlan, EncapFailsWithoutHeadroom) {
+  PacketPool pool(8, 2048);
+  auto pkt = pool.alloc();
+  pkt->push(pkt->headroom());  // consume all headroom
+  VxlanTunnel tun;
+  EXPECT_FALSE(vxlan_encap(*pkt, tun));
+}
+
+}  // namespace
+}  // namespace mdp::net
+
+namespace mdp::click {
+namespace {
+
+struct NetElemFixture : ::testing::Test {
+  sim::EventQueue eq;
+  net::PacketPool pool{64, 2048};
+  Router router{Router::Context{&eq, &pool}};
+
+  net::PacketPtr make_udp(std::uint16_t sport = 7000) {
+    net::BuildSpec spec;
+    spec.flow = {0x0a000001, 0x0a000002, sport, 80, 17};
+    return net::build_udp(pool, spec);
+  }
+};
+
+TEST_F(NetElemFixture, VxlanElementsTunnelEndToEnd) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    enc :: VxlanEncap(7, 192.168.10.1, 192.168.10.2);
+    dec :: VxlanDecap(7);
+    chk :: CheckIPHeader;
+    q :: Queue(8);
+    enc -> dec -> chk -> q;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  router.find("enc")->push(0, make_udp());
+  auto out = router.find_as<Queue>("q")->pull(0);
+  ASSERT_TRUE(out) << "inner frame must survive the tunnel and validate";
+  auto* dec = router.find_as<VxlanDecap>("dec");
+  EXPECT_EQ(dec->decapped(), 1u);
+  EXPECT_EQ(dec->last_vni(), 7u);
+}
+
+TEST_F(NetElemFixture, VxlanDecapVniMismatchDiverts) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    enc :: VxlanEncap(8, 192.168.10.1, 192.168.10.2);
+    dec :: VxlanDecap(9);
+    ok :: Counter; rej :: Counter;
+    enc -> dec; dec [0] -> ok -> Discard; dec [1] -> rej -> Discard;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  router.find("enc")->push(0, make_udp());
+  EXPECT_EQ(router.find_as<Counter>("rej")->packets(), 1u);
+  EXPECT_EQ(router.find_as<Counter>("ok")->packets(), 0u);
+}
+
+TEST_F(NetElemFixture, VlanTagRoundTrip) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    enc :: VLANEncap(100, 5);
+    dec :: VLANDecap;
+    chk :: CheckIPHeader;
+    q :: Queue(8);
+    enc -> dec -> chk -> q;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  auto pkt = make_udp();
+  std::size_t len = pkt->length();
+  router.find("enc")->push(0, std::move(pkt));
+  auto out = router.find_as<Queue>("q")->pull(0);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->length(), len) << "decap must restore the original size";
+  EXPECT_EQ(router.find_as<VLANDecap>("dec")->decapped(), 1u);
+}
+
+TEST_F(NetElemFixture, VlanEncapWritesCorrectTag) {
+  VLANEncap enc;
+  std::string err;
+  ASSERT_TRUE(enc.configure({"100", "5"}, &err)) << err;
+  auto pkt = enc.simple_action(make_udp());
+  ASSERT_TRUE(pkt);
+  net::EthernetView eth(pkt->data());
+  EXPECT_EQ(eth.ether_type(), net::kEtherTypeVlan);
+  std::uint16_t tci = net::load_be16(pkt->data() + 14);
+  EXPECT_EQ(tci & 0x0fff, 100);
+  EXPECT_EQ(tci >> 13, 5);
+  // Inner ethertype follows the tag.
+  EXPECT_EQ(net::load_be16(pkt->data() + 16), net::kEtherTypeIpv4);
+}
+
+TEST_F(NetElemFixture, SetIPDscpKeepsChecksumValid) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    mark :: SetIPDscp(46);
+    chk :: CheckIPHeader;
+    q :: Queue(4);
+    mark -> chk -> q;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  router.find("mark")->push(0, make_udp());
+  auto out = router.find_as<Queue>("q")->pull(0);
+  ASSERT_TRUE(out) << "checksum must still validate after DSCP rewrite";
+  auto parsed = net::parse(*out);
+  EXPECT_EQ(net::Ipv4View(out->data() + parsed->l3_offset).dscp(), 46);
+}
+
+TEST_F(NetElemFixture, MeterDivertsWhenRateExceeds) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    m :: Meter(100000);  // 100k pps
+    ok :: Counter; over :: Counter;
+    m [0] -> ok -> Discard; m [1] -> over -> Discard;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  auto* m = router.find("m");
+  // 1M pps offered (1us gaps): must trip the meter.
+  for (int i = 0; i < 2000; ++i) {
+    auto pkt = make_udp();
+    pkt->anno().ingress_ns = static_cast<std::uint64_t>(i) * 1000;
+    m->push(0, std::move(pkt));
+  }
+  EXPECT_GT(router.find_as<Counter>("over")->packets(), 1000u);
+  // 10k pps offered (100us gaps): must pass.
+  auto* ok = router.find_as<Counter>("ok");
+  auto before = ok->packets();
+  for (int i = 0; i < 200; ++i) {
+    auto pkt = make_udp();
+    pkt->anno().ingress_ns = 10'000'000 + static_cast<std::uint64_t>(i) * 100'000;
+    m->push(0, std::move(pkt));
+  }
+  EXPECT_GE(ok->packets() - before, 190u);
+}
+
+TEST_F(NetElemFixture, SwitchRetargetsAtRuntime) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    s :: Switch(2);
+    a :: Counter; b :: Counter;
+    s [0] -> a -> Discard; s [1] -> b -> Discard;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  auto* s = router.find_as<Switch>("s");
+  s->push(0, make_udp());
+  s->set_output(1);
+  s->push(0, make_udp());
+  s->push(0, make_udp());
+  EXPECT_EQ(router.find_as<Counter>("a")->packets(), 1u);
+  EXPECT_EQ(router.find_as<Counter>("b")->packets(), 2u);
+}
+
+}  // namespace
+}  // namespace mdp::click
