@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext1_failover.dir/ext1_failover.cpp.o"
+  "CMakeFiles/ext1_failover.dir/ext1_failover.cpp.o.d"
+  "ext1_failover"
+  "ext1_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext1_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

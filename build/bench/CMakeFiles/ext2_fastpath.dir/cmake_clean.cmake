@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext2_fastpath.dir/ext2_fastpath.cpp.o"
+  "CMakeFiles/ext2_fastpath.dir/ext2_fastpath.cpp.o.d"
+  "ext2_fastpath"
+  "ext2_fastpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext2_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

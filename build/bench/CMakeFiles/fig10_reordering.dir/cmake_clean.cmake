@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_reordering.dir/fig10_reordering.cpp.o"
+  "CMakeFiles/fig10_reordering.dir/fig10_reordering.cpp.o.d"
+  "fig10_reordering"
+  "fig10_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_fct.dir/fig11_fct.cpp.o"
+  "CMakeFiles/fig11_fct.dir/fig11_fct.cpp.o.d"
+  "fig11_fct"
+  "fig11_fct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_burst_timeline.dir/fig2_burst_timeline.cpp.o"
+  "CMakeFiles/fig2_burst_timeline.dir/fig2_burst_timeline.cpp.o.d"
+  "fig2_burst_timeline"
+  "fig2_burst_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_burst_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

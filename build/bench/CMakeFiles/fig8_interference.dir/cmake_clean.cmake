@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_interference.dir/fig8_interference.cpp.o"
+  "CMakeFiles/fig8_interference.dir/fig8_interference.cpp.o.d"
+  "fig8_interference"
+  "fig8_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

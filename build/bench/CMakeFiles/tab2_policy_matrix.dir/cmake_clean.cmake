@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_policy_matrix.dir/tab2_policy_matrix.cpp.o"
+  "CMakeFiles/tab2_policy_matrix.dir/tab2_policy_matrix.cpp.o.d"
+  "tab2_policy_matrix"
+  "tab2_policy_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_policy_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

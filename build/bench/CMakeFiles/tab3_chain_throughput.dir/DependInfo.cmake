@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab3_chain_throughput.cpp" "bench/CMakeFiles/tab3_chain_throughput.dir/tab3_chain_throughput.cpp.o" "gcc" "bench/CMakeFiles/tab3_chain_throughput.dir/tab3_chain_throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/mdp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mdp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mdp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mdp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

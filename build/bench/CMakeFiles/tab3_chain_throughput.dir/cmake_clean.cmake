@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_chain_throughput.dir/tab3_chain_throughput.cpp.o"
+  "CMakeFiles/tab3_chain_throughput.dir/tab3_chain_throughput.cpp.o.d"
+  "tab3_chain_throughput"
+  "tab3_chain_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_chain_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_micro.dir/tab4_micro.cpp.o"
+  "CMakeFiles/tab4_micro.dir/tab4_micro.cpp.o.d"
+  "tab4_micro"
+  "tab4_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/click_router.dir/click_router.cpp.o"
+  "CMakeFiles/click_router.dir/click_router.cpp.o.d"
+  "click_router"
+  "click_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/click_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdp_run.dir/mdp_run.cpp.o"
+  "CMakeFiles/mdp_run.dir/mdp_run.cpp.o.d"
+  "mdp_run"
+  "mdp_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdp_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

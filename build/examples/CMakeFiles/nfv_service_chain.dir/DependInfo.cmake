@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/nfv_service_chain.cpp" "examples/CMakeFiles/nfv_service_chain.dir/nfv_service_chain.cpp.o" "gcc" "examples/CMakeFiles/nfv_service_chain.dir/nfv_service_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/mdp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mdp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mdp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mdp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

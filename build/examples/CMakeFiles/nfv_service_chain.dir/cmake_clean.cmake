@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_service_chain.dir/nfv_service_chain.cpp.o"
+  "CMakeFiles/nfv_service_chain.dir/nfv_service_chain.cpp.o.d"
+  "nfv_service_chain"
+  "nfv_service_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_service_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

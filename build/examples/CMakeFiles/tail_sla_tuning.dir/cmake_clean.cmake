@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tail_sla_tuning.dir/tail_sla_tuning.cpp.o"
+  "CMakeFiles/tail_sla_tuning.dir/tail_sla_tuning.cpp.o.d"
+  "tail_sla_tuning"
+  "tail_sla_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tail_sla_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

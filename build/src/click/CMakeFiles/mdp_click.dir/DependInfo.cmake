@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/click/element.cpp" "src/click/CMakeFiles/mdp_click.dir/element.cpp.o" "gcc" "src/click/CMakeFiles/mdp_click.dir/element.cpp.o.d"
+  "/root/repo/src/click/elements.cpp" "src/click/CMakeFiles/mdp_click.dir/elements.cpp.o" "gcc" "src/click/CMakeFiles/mdp_click.dir/elements.cpp.o.d"
+  "/root/repo/src/click/elements_net.cpp" "src/click/CMakeFiles/mdp_click.dir/elements_net.cpp.o" "gcc" "src/click/CMakeFiles/mdp_click.dir/elements_net.cpp.o.d"
+  "/root/repo/src/click/elements_sched.cpp" "src/click/CMakeFiles/mdp_click.dir/elements_sched.cpp.o" "gcc" "src/click/CMakeFiles/mdp_click.dir/elements_sched.cpp.o.d"
+  "/root/repo/src/click/registry.cpp" "src/click/CMakeFiles/mdp_click.dir/registry.cpp.o" "gcc" "src/click/CMakeFiles/mdp_click.dir/registry.cpp.o.d"
+  "/root/repo/src/click/router.cpp" "src/click/CMakeFiles/mdp_click.dir/router.cpp.o" "gcc" "src/click/CMakeFiles/mdp_click.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

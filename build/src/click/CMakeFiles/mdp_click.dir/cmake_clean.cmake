@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdp_click.dir/element.cpp.o"
+  "CMakeFiles/mdp_click.dir/element.cpp.o.d"
+  "CMakeFiles/mdp_click.dir/elements.cpp.o"
+  "CMakeFiles/mdp_click.dir/elements.cpp.o.d"
+  "CMakeFiles/mdp_click.dir/elements_net.cpp.o"
+  "CMakeFiles/mdp_click.dir/elements_net.cpp.o.d"
+  "CMakeFiles/mdp_click.dir/elements_sched.cpp.o"
+  "CMakeFiles/mdp_click.dir/elements_sched.cpp.o.d"
+  "CMakeFiles/mdp_click.dir/registry.cpp.o"
+  "CMakeFiles/mdp_click.dir/registry.cpp.o.d"
+  "CMakeFiles/mdp_click.dir/router.cpp.o"
+  "CMakeFiles/mdp_click.dir/router.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdp_click.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dataplane.cpp" "src/core/CMakeFiles/mdp_core.dir/dataplane.cpp.o" "gcc" "src/core/CMakeFiles/mdp_core.dir/dataplane.cpp.o.d"
+  "/root/repo/src/core/health.cpp" "src/core/CMakeFiles/mdp_core.dir/health.cpp.o" "gcc" "src/core/CMakeFiles/mdp_core.dir/health.cpp.o.d"
+  "/root/repo/src/core/reorder.cpp" "src/core/CMakeFiles/mdp_core.dir/reorder.cpp.o" "gcc" "src/core/CMakeFiles/mdp_core.dir/reorder.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/mdp_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/mdp_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/threaded_dataplane.cpp" "src/core/CMakeFiles/mdp_core.dir/threaded_dataplane.cpp.o" "gcc" "src/core/CMakeFiles/mdp_core.dir/threaded_dataplane.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

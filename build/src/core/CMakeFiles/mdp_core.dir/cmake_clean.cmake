@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdp_core.dir/dataplane.cpp.o"
+  "CMakeFiles/mdp_core.dir/dataplane.cpp.o.d"
+  "CMakeFiles/mdp_core.dir/health.cpp.o"
+  "CMakeFiles/mdp_core.dir/health.cpp.o.d"
+  "CMakeFiles/mdp_core.dir/reorder.cpp.o"
+  "CMakeFiles/mdp_core.dir/reorder.cpp.o.d"
+  "CMakeFiles/mdp_core.dir/scheduler.cpp.o"
+  "CMakeFiles/mdp_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mdp_core.dir/threaded_dataplane.cpp.o"
+  "CMakeFiles/mdp_core.dir/threaded_dataplane.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdp_harness.dir/experiment.cpp.o"
+  "CMakeFiles/mdp_harness.dir/experiment.cpp.o.d"
+  "libmdp_harness.a"
+  "libmdp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

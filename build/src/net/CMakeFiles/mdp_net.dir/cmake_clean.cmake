@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdp_net.dir/checksum.cpp.o"
+  "CMakeFiles/mdp_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/mdp_net.dir/flow_key.cpp.o"
+  "CMakeFiles/mdp_net.dir/flow_key.cpp.o.d"
+  "CMakeFiles/mdp_net.dir/headers.cpp.o"
+  "CMakeFiles/mdp_net.dir/headers.cpp.o.d"
+  "CMakeFiles/mdp_net.dir/packet_builder.cpp.o"
+  "CMakeFiles/mdp_net.dir/packet_builder.cpp.o.d"
+  "CMakeFiles/mdp_net.dir/packet_pool.cpp.o"
+  "CMakeFiles/mdp_net.dir/packet_pool.cpp.o.d"
+  "CMakeFiles/mdp_net.dir/vxlan.cpp.o"
+  "CMakeFiles/mdp_net.dir/vxlan.cpp.o.d"
+  "libmdp_net.a"
+  "libmdp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

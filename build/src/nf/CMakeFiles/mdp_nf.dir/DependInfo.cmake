@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nf/chain.cpp" "src/nf/CMakeFiles/mdp_nf.dir/chain.cpp.o" "gcc" "src/nf/CMakeFiles/mdp_nf.dir/chain.cpp.o.d"
+  "/root/repo/src/nf/conntrack.cpp" "src/nf/CMakeFiles/mdp_nf.dir/conntrack.cpp.o" "gcc" "src/nf/CMakeFiles/mdp_nf.dir/conntrack.cpp.o.d"
+  "/root/repo/src/nf/dpi.cpp" "src/nf/CMakeFiles/mdp_nf.dir/dpi.cpp.o" "gcc" "src/nf/CMakeFiles/mdp_nf.dir/dpi.cpp.o.d"
+  "/root/repo/src/nf/firewall.cpp" "src/nf/CMakeFiles/mdp_nf.dir/firewall.cpp.o" "gcc" "src/nf/CMakeFiles/mdp_nf.dir/firewall.cpp.o.d"
+  "/root/repo/src/nf/flow_cache.cpp" "src/nf/CMakeFiles/mdp_nf.dir/flow_cache.cpp.o" "gcc" "src/nf/CMakeFiles/mdp_nf.dir/flow_cache.cpp.o.d"
+  "/root/repo/src/nf/flow_monitor.cpp" "src/nf/CMakeFiles/mdp_nf.dir/flow_monitor.cpp.o" "gcc" "src/nf/CMakeFiles/mdp_nf.dir/flow_monitor.cpp.o.d"
+  "/root/repo/src/nf/load_balancer.cpp" "src/nf/CMakeFiles/mdp_nf.dir/load_balancer.cpp.o" "gcc" "src/nf/CMakeFiles/mdp_nf.dir/load_balancer.cpp.o.d"
+  "/root/repo/src/nf/lpm.cpp" "src/nf/CMakeFiles/mdp_nf.dir/lpm.cpp.o" "gcc" "src/nf/CMakeFiles/mdp_nf.dir/lpm.cpp.o.d"
+  "/root/repo/src/nf/nat.cpp" "src/nf/CMakeFiles/mdp_nf.dir/nat.cpp.o" "gcc" "src/nf/CMakeFiles/mdp_nf.dir/nat.cpp.o.d"
+  "/root/repo/src/nf/rate_limiter.cpp" "src/nf/CMakeFiles/mdp_nf.dir/rate_limiter.cpp.o" "gcc" "src/nf/CMakeFiles/mdp_nf.dir/rate_limiter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

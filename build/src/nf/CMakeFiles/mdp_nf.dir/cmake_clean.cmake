@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdp_nf.dir/chain.cpp.o"
+  "CMakeFiles/mdp_nf.dir/chain.cpp.o.d"
+  "CMakeFiles/mdp_nf.dir/conntrack.cpp.o"
+  "CMakeFiles/mdp_nf.dir/conntrack.cpp.o.d"
+  "CMakeFiles/mdp_nf.dir/dpi.cpp.o"
+  "CMakeFiles/mdp_nf.dir/dpi.cpp.o.d"
+  "CMakeFiles/mdp_nf.dir/firewall.cpp.o"
+  "CMakeFiles/mdp_nf.dir/firewall.cpp.o.d"
+  "CMakeFiles/mdp_nf.dir/flow_cache.cpp.o"
+  "CMakeFiles/mdp_nf.dir/flow_cache.cpp.o.d"
+  "CMakeFiles/mdp_nf.dir/flow_monitor.cpp.o"
+  "CMakeFiles/mdp_nf.dir/flow_monitor.cpp.o.d"
+  "CMakeFiles/mdp_nf.dir/load_balancer.cpp.o"
+  "CMakeFiles/mdp_nf.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/mdp_nf.dir/lpm.cpp.o"
+  "CMakeFiles/mdp_nf.dir/lpm.cpp.o.d"
+  "CMakeFiles/mdp_nf.dir/nat.cpp.o"
+  "CMakeFiles/mdp_nf.dir/nat.cpp.o.d"
+  "CMakeFiles/mdp_nf.dir/rate_limiter.cpp.o"
+  "CMakeFiles/mdp_nf.dir/rate_limiter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdp_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdp_sim.dir/distributions.cpp.o"
+  "CMakeFiles/mdp_sim.dir/distributions.cpp.o.d"
+  "CMakeFiles/mdp_sim.dir/interference.cpp.o"
+  "CMakeFiles/mdp_sim.dir/interference.cpp.o.d"
+  "libmdp_sim.a"
+  "libmdp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

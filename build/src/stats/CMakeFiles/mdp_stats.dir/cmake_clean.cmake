@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdp_stats.dir/histogram.cpp.o"
+  "CMakeFiles/mdp_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/mdp_stats.dir/table.cpp.o"
+  "CMakeFiles/mdp_stats.dir/table.cpp.o.d"
+  "CMakeFiles/mdp_stats.dir/time_series.cpp.o"
+  "CMakeFiles/mdp_stats.dir/time_series.cpp.o.d"
+  "libmdp_stats.a"
+  "libmdp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/flow_size.cpp" "src/workload/CMakeFiles/mdp_workload.dir/flow_size.cpp.o" "gcc" "src/workload/CMakeFiles/mdp_workload.dir/flow_size.cpp.o.d"
+  "/root/repo/src/workload/rpc_workload.cpp" "src/workload/CMakeFiles/mdp_workload.dir/rpc_workload.cpp.o" "gcc" "src/workload/CMakeFiles/mdp_workload.dir/rpc_workload.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/mdp_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/mdp_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/traffic_gen.cpp" "src/workload/CMakeFiles/mdp_workload.dir/traffic_gen.cpp.o" "gcc" "src/workload/CMakeFiles/mdp_workload.dir/traffic_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mdp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

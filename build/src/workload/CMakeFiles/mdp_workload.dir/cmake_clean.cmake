@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdp_workload.dir/flow_size.cpp.o"
+  "CMakeFiles/mdp_workload.dir/flow_size.cpp.o.d"
+  "CMakeFiles/mdp_workload.dir/rpc_workload.cpp.o"
+  "CMakeFiles/mdp_workload.dir/rpc_workload.cpp.o.d"
+  "CMakeFiles/mdp_workload.dir/trace.cpp.o"
+  "CMakeFiles/mdp_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/mdp_workload.dir/traffic_gen.cpp.o"
+  "CMakeFiles/mdp_workload.dir/traffic_gen.cpp.o.d"
+  "libmdp_workload.a"
+  "libmdp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_click.dir/test_click.cpp.o"
+  "CMakeFiles/test_click.dir/test_click.cpp.o.d"
+  "test_click"
+  "test_click.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_click.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

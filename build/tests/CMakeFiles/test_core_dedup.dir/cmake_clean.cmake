@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_dedup.dir/test_core_dedup.cpp.o"
+  "CMakeFiles/test_core_dedup.dir/test_core_dedup.cpp.o.d"
+  "test_core_dedup"
+  "test_core_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_health.dir/test_core_health.cpp.o"
+  "CMakeFiles/test_core_health.dir/test_core_health.cpp.o.d"
+  "test_core_health"
+  "test_core_health.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_health.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_reorder.dir/test_core_reorder.cpp.o"
+  "CMakeFiles/test_core_reorder.dir/test_core_reorder.cpp.o.d"
+  "test_core_reorder"
+  "test_core_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nf_conntrack.dir/test_nf_conntrack.cpp.o"
+  "CMakeFiles/test_nf_conntrack.dir/test_nf_conntrack.cpp.o.d"
+  "test_nf_conntrack"
+  "test_nf_conntrack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nf_conntrack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nf_dpi.dir/test_nf_dpi.cpp.o"
+  "CMakeFiles/test_nf_dpi.dir/test_nf_dpi.cpp.o.d"
+  "test_nf_dpi"
+  "test_nf_dpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nf_dpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

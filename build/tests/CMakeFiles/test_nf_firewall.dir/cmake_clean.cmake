@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nf_firewall.dir/test_nf_firewall.cpp.o"
+  "CMakeFiles/test_nf_firewall.dir/test_nf_firewall.cpp.o.d"
+  "test_nf_firewall"
+  "test_nf_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nf_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

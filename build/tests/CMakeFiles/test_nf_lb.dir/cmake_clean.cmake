@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nf_lb.dir/test_nf_lb.cpp.o"
+  "CMakeFiles/test_nf_lb.dir/test_nf_lb.cpp.o.d"
+  "test_nf_lb"
+  "test_nf_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nf_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

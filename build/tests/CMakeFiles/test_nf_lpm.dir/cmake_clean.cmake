@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nf_lpm.dir/test_nf_lpm.cpp.o"
+  "CMakeFiles/test_nf_lpm.dir/test_nf_lpm.cpp.o.d"
+  "test_nf_lpm"
+  "test_nf_lpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nf_lpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

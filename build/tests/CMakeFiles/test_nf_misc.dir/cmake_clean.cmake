@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nf_misc.dir/test_nf_misc.cpp.o"
+  "CMakeFiles/test_nf_misc.dir/test_nf_misc.cpp.o.d"
+  "test_nf_misc"
+  "test_nf_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nf_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vxlan.dir/test_vxlan.cpp.o"
+  "CMakeFiles/test_vxlan.dir/test_vxlan.cpp.o.d"
+  "test_vxlan"
+  "test_vxlan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vxlan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
