@@ -2,13 +2,22 @@
 // table prints a banner, the parameters it ran with, a column-aligned
 // table, and (where useful) the qualitative check the paper's narrative
 // depends on.
+//
+// Machine-readable output: every bench accepts `--json <file>` (or
+// `--json=<file>`, "-" for stdout). When present, each scenario run is
+// captured as an "mdp.run_report.v1" document and the bench writes
+// {"bench": <id>, "runs": [{"label": ..., "report": {...}}, ...]} on exit.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "harness/report.hpp"
 #include "stats/histogram.hpp"
 #include "stats/table.hpp"
+#include "trace/json.hpp"
 
 namespace mdp::bench {
 
@@ -27,6 +36,59 @@ inline void print_table(const stats::Table& t) {
 }
 
 inline std::string us(std::uint64_t ns) { return stats::format_ns(ns); }
+
+/// Collects per-run JSON reports when the user asked for them and writes
+/// one combined document at the end. Inactive (all no-ops) without --json,
+/// so benches pay nothing for the wiring.
+class JsonReportSink {
+ public:
+  /// Parse `--json <file>` / `--json=<file>` out of argv. `id` names the
+  /// bench in the output document (e.g. "fig6").
+  JsonReportSink(std::string id, int argc, char** argv)
+      : id_(std::move(id)) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) path_ = argv[i + 1];
+      else if (arg.rfind("--json=", 0) == 0) path_ = arg.substr(7);
+    }
+  }
+
+  /// True when --json was given; benches use this to turn on cfg.trace.
+  bool active() const { return !path_.empty(); }
+
+  void add(const std::string& label, const harness::ScenarioConfig& cfg,
+           const harness::ScenarioResult& res) {
+    if (!active()) return;
+    runs_.emplace_back(label, harness::scenario_report_json(cfg, res));
+  }
+
+  /// Write the combined document. Returns true on success (or inactive).
+  bool flush() {
+    if (!active()) return true;
+    trace::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value(id_);
+    w.key("runs").begin_array();
+    for (const auto& [label, report] : runs_) {
+      w.begin_object();
+      w.key("label").value(label);
+      w.key("report").raw(report);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    bool ok = harness::write_text_file(path_, w.take());
+    if (!ok)
+      std::fprintf(stderr, "failed to write json report to '%s'\n",
+                   path_.c_str());
+    return ok;
+  }
+
+ private:
+  std::string id_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> runs_;
+};
 
 /// Human label for a policy name used in tables.
 inline std::string policy_label(const std::string& p) {

@@ -10,9 +10,10 @@
 
 using namespace mdp;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 6", "Latency vs offered load (k=4, fw-nat-lb chain, "
                          "10% duty interference on all paths)");
+  bench::JsonReportSink sink("fig6", argc, argv);
 
   stats::Table t({"load", "policy", "p50", "p99", "p99.9", "egress Mpps"});
   for (double load : {0.1, 0.3, 0.5, 0.7, 0.8, 0.9}) {
@@ -27,7 +28,9 @@ int main() {
       cfg.interference_cfg.duty_cycle = 0.10;
       cfg.interference_cfg.mean_burst_ns = 100'000;
       cfg.seed = 6;
+      cfg.trace = sink.active();
       auto res = harness::run_scenario(cfg);
+      sink.add(policy + "@" + stats::fmt_percent(load, 0), cfg, res);
       t.add_row({stats::fmt_percent(load, 0), bench::policy_label(policy),
                  bench::us(res.latency.p50()), bench::us(res.latency.p99()),
                  bench::us(res.latency.p999()),
@@ -37,5 +40,5 @@ int main() {
   bench::print_table(t);
   bench::note("watch the red2 column collapse between 50% and 90% load "
               "while adaptive stays near the jsq throughput envelope");
-  return 0;
+  return sink.flush() ? 0 : 1;
 }

@@ -21,9 +21,10 @@ struct WorkloadProfile {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Tab 2", "p99 / p99.9 by policy and workload (k=4, 50% "
                          "load, 15% duty)");
+  bench::JsonReportSink sink("tab2", argc, argv);
 
   const WorkloadProfile profiles[] = {
       {"rpc-small", 120, 512, 0.2, false},
@@ -49,7 +50,9 @@ int main() {
       cfg.interference_cfg.duty_cycle = 0.15;
       cfg.interference_cfg.mean_burst_ns = 120'000;
       cfg.seed = 2;
+      cfg.trace = sink.active();
       auto res = harness::run_scenario(cfg);
+      sink.add(std::string(wp.name) + "/" + policy, cfg, res);
       t.add_row({wp.name, bench::policy_label(policy),
                  bench::us(res.latency.p50()), bench::us(res.latency.p99()),
                  bench::us(res.latency.p999()),
@@ -58,5 +61,5 @@ int main() {
     }
   }
   bench::print_table(t);
-  return 0;
+  return sink.flush() ? 0 : 1;
 }

@@ -10,6 +10,10 @@
 //   lc=F (latency-critical fraction)   payload=F (mean bytes)
 //   duty=F (interference duty; 0 disables)  burst=NS  bursty=0|1 (MMPP)
 //   reorder=0|1  lc_priority=0|1  seed=N  csv=0|1
+//   trace=0|1 (stage-level tracing)
+//   json=FILE (write an mdp.run_report.v1 document; "-" = stdout;
+//              implies trace=1 unless trace=0 given explicitly;
+//              --json FILE / --json=FILE also accepted)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +21,7 @@
 #include <string>
 
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
 #include "stats/table.hpp"
 
 using namespace mdp;
@@ -25,6 +30,14 @@ int main(int argc, char** argv) {
   std::map<std::string, std::string> kv;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {  // flag-style alias for json=
+      kv["json"] = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      kv["json"] = arg.substr(7);
+      continue;
+    }
     auto eq_pos = arg.find('=');
     if (eq_pos == std::string::npos) {
       std::fprintf(stderr, "bad argument '%s' (want key=value)\n",
@@ -67,6 +80,8 @@ int main(int argc, char** argv) {
     cfg.interference_cfg.duty_cycle = duty;
     cfg.interference_cfg.mean_burst_ns = getd("burst", 120'000);
   }
+  std::string json_path = gets("json", "");
+  cfg.trace = getu("trace", json_path.empty() ? 0 : 1) != 0;
 
   harness::ScenarioResult res;
   try {
@@ -98,6 +113,20 @@ int main(int argc, char** argv) {
   for (std::size_t p = 0; p < res.per_path_utilization.size(); ++p)
     t.add_row({"util path " + std::to_string(p),
                stats::fmt_percent(res.per_path_utilization[p], 1)});
+
+  if (!json_path.empty()) {
+    // JSON replaces the table when writing to stdout; otherwise both.
+    std::string doc = harness::scenario_report_json(cfg, res);
+    if (json_path != "-") {
+      bool csv = getu("csv", 0) != 0;
+      std::printf("%s", csv ? t.to_csv().c_str() : t.to_text().c_str());
+    }
+    if (!harness::write_text_file(json_path, doc)) {
+      std::fprintf(stderr, "failed to write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    return 0;
+  }
 
   bool csv = getu("csv", 0) != 0;
   std::printf("%s", csv ? t.to_csv().c_str() : t.to_text().c_str());

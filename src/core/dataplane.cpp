@@ -7,6 +7,21 @@
 
 namespace mdp::core {
 
+const char* dp_counter_name(DpCounter c) noexcept {
+  switch (c) {
+    case DpCounter::kIngress: return "ingress";
+    case DpCounter::kEgress: return "egress";
+    case DpCounter::kDispatched: return "dispatched";
+    case DpCounter::kReplicas: return "replicas";
+    case DpCounter::kHedges: return "hedges";
+    case DpCounter::kDupDropped: return "dup_dropped";
+    case DpCounter::kQueueDrops: return "queue_drops";
+    case DpCounter::kChainFiltered: return "chain_filtered";
+    case DpCounter::kCount: break;
+  }
+  return "?";
+}
+
 MdpDataPlane::MdpDataPlane(sim::EventQueue& eq, net::PacketPool& pool,
                            DataPlaneConfig cfg, SchedulerPtr scheduler)
     : eq_(eq),
@@ -26,7 +41,13 @@ MdpDataPlane::MdpDataPlane(sim::EventQueue& eq, net::PacketPool& pool,
       eq_, cfg_.reorder, [this](net::PacketPtr pkt) {
         pkt->anno().egress_ns = eq_.now();
         ++egress_count_;
-        counters_.inc("egress");
+        fast_counters_.inc(DpCounter::kEgress);
+#if MDP_TRACE_ENABLED
+        if (tracer_) {
+          pkt->anno().span.egress_ns = eq_.now();
+          tracer_->on_egress(pkt->anno().span);
+        }
+#endif
         if (egress_) egress_(std::move(pkt));
       });
 
@@ -79,7 +100,7 @@ sim::TimeNs MdpDataPlane::service_time(const net::Packet& pkt) {
 
 void MdpDataPlane::ingress(net::PacketPtr pkt) {
   ++ingress_count_;
-  counters_.inc("ingress");
+  fast_counters_.inc(DpCounter::kIngress);
   auto& a = pkt->anno();
   if (a.ingress_ns == 0) a.ingress_ns = eq_.now();
   a.seq = next_seq_[a.flow_id]++;
@@ -88,10 +109,24 @@ void MdpDataPlane::ingress(net::PacketPtr pkt) {
   scheduler_->select(*pkt, *this, rng_, select_buf_);
   if (select_buf_.empty()) select_buf_.push_back(first_up_path(*this));
 
+#if MDP_TRACE_ENABLED
+  // Activate the span before cloning so every copy inherits the ingress
+  // boundary and decision metadata.
+  if (tracer_ && tracer_->enabled()) {
+    auto& sp = a.span;
+    sp.active = true;
+    sp.ingress_ns = a.ingress_ns;
+    sp.flow_id = a.flow_id;
+    sp.seq = a.seq;
+    sp.traffic_class = static_cast<std::uint8_t>(a.traffic_class);
+    sp.num_copies = static_cast<std::uint8_t>(select_buf_.size());
+  }
+#endif
+
   const std::uint64_t k = Deduplicator::key(a.flow_id, a.seq);
   dedup_.expect(k, static_cast<std::uint8_t>(select_buf_.size()), eq_.now());
   if (select_buf_.size() > 1)
-    counters_.inc("replicas", select_buf_.size() - 1);
+    fast_counters_.inc(DpCounter::kReplicas, select_buf_.size() - 1);
 
   // Hedging: single-copy packets may get a late second copy. The clone is
   // parked now (the original moves into the path job and becomes
@@ -128,22 +163,42 @@ void MdpDataPlane::dispatch(std::uint16_t path, net::PacketPtr pkt) {
     // Tail drop at the path queue: release the dedup slot so merged
     // delivery of surviving copies still works.
     dedup_.cancel_one(Deduplicator::key(a.flow_id, a.seq));
-    counters_.inc("queue_drops");
+    fast_counters_.inc(DpCounter::kQueueDrops);
     return;
   }
   a.dispatch_ns = eq_.now();
   a.path_id = path;
   monitor_.on_dispatch(path);
-  counters_.inc("dispatched");
+  fast_counters_.inc(DpCounter::kDispatched);
 
   sim::TimeNs service = service_time(*pkt);
+#if MDP_TRACE_ENABLED
+  if (a.span.active) {
+    a.span.dispatch_ns = a.dispatch_ns;
+    a.span.path_id = path;
+    a.span.hedged = a.hedged;
+  }
+#endif
   const std::uint64_t k = Deduplicator::key(a.flow_id, a.seq);
   bool jump_queue =
       cfg_.lc_priority &&
       a.traffic_class == net::TrafficClass::kLatencyCritical;
   paths_[path].core->submit(
       service,
-      [this, path, k, pkt = std::move(pkt)](sim::TimeNs) mutable {
+      [this, path, k, service, pkt = std::move(pkt)](sim::TimeNs done_at)
+          mutable {
+        (void)service;
+#if MDP_TRACE_ENABLED
+        // The core is FIFO and non-preemptive, so service started exactly
+        // `service` before completion; everything since dispatch was
+        // queue wait.
+        if (pkt->anno().span.active) {
+          pkt->anno().span.service_start_ns = done_at - service;
+          pkt->anno().span.service_end_ns = done_at;
+        }
+#else
+        (void)done_at;
+#endif
         if (!cfg_.functional_chain) {
           on_path_complete(path, std::move(pkt));
           return;
@@ -156,17 +211,27 @@ void MdpDataPlane::dispatch(std::uint16_t path, net::PacketPtr pkt) {
         if (!egress_consumed_) {
           monitor_.on_filtered(path);
           dedup_.cancel_one(k);
-          counters_.inc("chain_filtered");
+          fast_counters_.inc(DpCounter::kChainFiltered);
         }
       },
       jump_queue);
 }
 
 void MdpDataPlane::on_path_complete(std::uint16_t path, net::PacketPtr pkt) {
-  const auto& a = pkt->anno();
+  auto& a = pkt->anno();
   sim::TimeNs latency = eq_.now() - a.dispatch_ns;
   monitor_.on_complete(path, latency);
   scheduler_->on_complete(path, latency);
+
+#if MDP_TRACE_ENABLED
+  // In sim mode the chain traversal and merge decision are instantaneous,
+  // so these boundaries coincide with service_end; a real data plane
+  // would stamp measurable chain/merge time here.
+  if (a.span.active) {
+    a.span.chain_done_ns = eq_.now();
+    a.span.merge_ns = eq_.now();
+  }
+#endif
 
   const std::uint64_t k = Deduplicator::key(a.flow_id, a.seq);
   // First completion cancels any parked hedge copy.
@@ -174,7 +239,7 @@ void MdpDataPlane::on_path_complete(std::uint16_t path, net::PacketPtr pkt) {
     hedge_parked_.erase(it);
 
   if (!dedup_.accept(k)) {
-    counters_.inc("dup_dropped");
+    fast_counters_.inc(DpCounter::kDupDropped);
     return;  // duplicate copy: recycle
   }
   reorder_->submit(std::move(pkt));
@@ -202,9 +267,76 @@ void MdpDataPlane::arm_hedge(std::uint64_t key, std::uint16_t original_path,
       }
     }
     dedup_.add_expected(key);
-    counters_.inc("hedges");
+    fast_counters_.inc(DpCounter::kHedges);
     dispatch(alt, std::move(copy));
   });
+}
+
+stats::CounterSet MdpDataPlane::counters() const {
+  stats::CounterSet out = adhoc_counters_;
+  for (std::size_t i = 0; i < stats::EnumCounters<DpCounter>::kSize; ++i) {
+    auto c = static_cast<DpCounter>(i);
+    std::uint64_t v = fast_counters_.get(c);
+    if (v) out.inc(dp_counter_name(c), v);
+  }
+  return out;
+}
+
+void MdpDataPlane::register_stats(trace::StatsRegistry& reg) const {
+  for (std::size_t i = 0; i < stats::EnumCounters<DpCounter>::kSize; ++i) {
+    auto c = static_cast<DpCounter>(i);
+    reg.add_counter(std::string("dp.") + dp_counter_name(c),
+                    [this, c] { return fast_counters_.get(c); });
+  }
+  reg.add_counter_set("dp", &adhoc_counters_);
+
+  for (std::size_t p = 0; p < paths_.size(); ++p) {
+    std::string pre = "path" + std::to_string(p) + ".";
+    reg.add_counter(pre + "dispatched",
+                    [this, p] { return monitor_.dispatched(p); });
+    reg.add_counter(pre + "completed",
+                    [this, p] { return monitor_.completed(p); });
+    reg.add_counter(pre + "filtered",
+                    [this, p] { return monitor_.filtered(p); });
+    reg.add_counter(pre + "inflight_underflows",
+                    [this, p] { return monitor_.underflows(p); });
+    reg.add_counter(pre + "busy_ns", [this, p] {
+      return static_cast<std::uint64_t>(paths_[p].core->busy_ns());
+    });
+    reg.add_gauge(pre + "ewma_latency_ns",
+                  [this, p] { return monitor_.ewma_latency_ns(p); });
+    reg.add_gauge(pre + "max_latency_ns", [this, p] {
+      return static_cast<double>(monitor_.max_latency_ns(p));
+    });
+    reg.add_gauge(pre + "queue_depth", [this, p] {
+      return static_cast<double>(paths_[p].core->queue_depth());
+    });
+    reg.add_gauge(pre + "up",
+                  [this, p] { return paths_[p].up ? 1.0 : 0.0; });
+  }
+  reg.add_counter("paths.inflight_underflows",
+                  [this] { return monitor_.inflight_underflows(); });
+
+  reg.add_counter("dedup.dup_drops", [this] { return dedup_.dup_drops(); });
+  reg.add_counter("dedup.late_drops",
+                  [this] { return dedup_.late_drops(); });
+  reg.add_counter("dedup.swept", [this] { return dedup_.swept(); });
+  reg.add_gauge("dedup.pending", [this] {
+    return static_cast<double>(dedup_.pending());
+  });
+
+  reg.add_counter("reorder.in_order",
+                  [this] { return reorder_->in_order(); });
+  reg.add_counter("reorder.out_of_order",
+                  [this] { return reorder_->out_of_order(); });
+  reg.add_counter("reorder.timeout_releases",
+                  [this] { return reorder_->timeout_releases(); });
+  reg.add_counter("reorder.late_after_skip",
+                  [this] { return reorder_->late_after_skip(); });
+  reg.add_gauge("reorder.buffered", [this] {
+    return static_cast<double>(reorder_->buffered());
+  });
+  reg.add_histogram("reorder.dwell", &reorder_->dwell());
 }
 
 }  // namespace mdp::core

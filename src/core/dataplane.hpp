@@ -35,8 +35,25 @@
 #include "sim/event_queue.hpp"
 #include "sim/sim_core.hpp"
 #include "stats/counters.hpp"
+#include "trace/tracer.hpp"
 
 namespace mdp::core {
+
+/// Fixed hot-path counter set bumped per packet (enum-indexed; see
+/// stats::EnumCounters). Ad-hoc/cold counters stay on the string API.
+enum class DpCounter : std::uint8_t {
+  kIngress = 0,
+  kEgress,
+  kDispatched,
+  kReplicas,
+  kHedges,
+  kDupDropped,
+  kQueueDrops,
+  kChainFiltered,
+  kCount,
+};
+
+const char* dp_counter_name(DpCounter c) noexcept;
 
 struct DataPlaneConfig {
   std::size_t num_paths = 4;
@@ -102,12 +119,27 @@ class MdpDataPlane final : public PathContext {
   }
   sim::TimeNs now() const override { return eq_.now(); }
 
+  /// Attach (or detach with nullptr) a stage tracer. Spans are stamped
+  /// only while a tracer is attached and enabled; the disabled cost is
+  /// one pointer test per stage.
+  void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
+  trace::Tracer* tracer() const noexcept { return tracer_; }
+
   // --- introspection ----------------------------------------------------------
   PathMonitor& monitor() noexcept { return monitor_; }
+  const PathMonitor& monitor() const noexcept { return monitor_; }
   const Deduplicator& dedup() const noexcept { return dedup_; }
   const ReorderBuffer& reorder() const noexcept { return *reorder_; }
   Scheduler& scheduler() noexcept { return *scheduler_; }
-  const stats::CounterSet& counters() const noexcept { return counters_; }
+  /// Materialized view of hot-path (enum) + ad-hoc (string) counters.
+  stats::CounterSet counters() const;
+  const stats::EnumCounters<DpCounter>& fast_counters() const noexcept {
+    return fast_counters_;
+  }
+  /// Register every data-plane metric (counters, per-path telemetry,
+  /// dedup/reorder stats, dwell histogram) with a StatsRegistry. The
+  /// registry's snapshot() must not outlive this data plane.
+  void register_stats(trace::StatsRegistry& reg) const;
   const DataPlaneConfig& config() const noexcept { return cfg_; }
   sim::TimeNs chain_cost_ns() const noexcept { return chain_cost_ns_; }
   click::Router& router() noexcept { return router_; }
@@ -142,7 +174,9 @@ class MdpDataPlane final : public PathContext {
   sim::Rng rng_;
   sim::LogNormal jitter_;
   sim::TimeNs chain_cost_ns_ = 0;
-  stats::CounterSet counters_;
+  stats::EnumCounters<DpCounter> fast_counters_;
+  stats::CounterSet adhoc_counters_;
+  trace::Tracer* tracer_ = nullptr;
   std::unordered_map<std::uint32_t, std::uint64_t> next_seq_;
   // Hedge copies parked until the timeout decides their fate.
   std::unordered_map<std::uint64_t, net::PacketPtr> hedge_parked_;

@@ -15,6 +15,7 @@
 
 #include "core/dataplane.hpp"
 #include "sim/event_queue.hpp"
+#include "trace/registry.hpp"
 
 namespace mdp::core {
 
@@ -45,6 +46,21 @@ class PathHealthMonitor {
   /// Observer hook fired on every health transition (path, now_healthy).
   void set_on_transition(std::function<void(std::size_t, bool)> cb) {
     on_transition_ = std::move(cb);
+  }
+
+  /// Expose probe counters through a StatsRegistry as `health.*`. The
+  /// monitor must outlive any snapshot() taken from `reg`.
+  void register_stats(trace::StatsRegistry& reg) const {
+    reg.add_counter("health.probes_sent", [this] { return probes_sent_; });
+    reg.add_counter("health.probes_missed",
+                    [this] { return probes_missed_; });
+    reg.add_counter("health.down_transitions", [this] { return downs_; });
+    reg.add_counter("health.up_transitions", [this] { return ups_; });
+    reg.add_gauge("health.paths_healthy", [this] {
+      double n = 0;
+      for (const auto& s : state_) n += s.healthy ? 1 : 0;
+      return n;
+    });
   }
 
  private:

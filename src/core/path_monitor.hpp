@@ -22,7 +22,15 @@ class PathMonitor {
 
   void on_complete(std::size_t path, sim::TimeNs latency_ns) noexcept {
     auto& p = paths_[path];
-    if (p.inflight > 0) --p.inflight;
+    // An underflow means a completion was reported without a matching
+    // dispatch — an accounting bug upstream. Count it loudly instead of
+    // silently clamping; tests assert this stays zero.
+    if (p.inflight > 0) {
+      --p.inflight;
+    } else {
+      ++p.underflows;
+      ++underflows_;
+    }
     ++p.completed;
     if (p.ewma_latency_ns <= 0) {
       p.ewma_latency_ns = static_cast<double>(latency_ns);
@@ -36,7 +44,12 @@ class PathMonitor {
   /// A dispatched copy that never completed (filtered inside the chain).
   void on_filtered(std::size_t path) noexcept {
     auto& p = paths_[path];
-    if (p.inflight > 0) --p.inflight;
+    if (p.inflight > 0) {
+      --p.inflight;
+    } else {
+      ++p.underflows;
+      ++underflows_;
+    }
     ++p.filtered;
   }
 
@@ -58,6 +71,11 @@ class PathMonitor {
   sim::TimeNs max_latency_ns(std::size_t path) const noexcept {
     return paths_[path].max_latency_ns;
   }
+  std::uint64_t underflows(std::size_t path) const noexcept {
+    return paths_[path].underflows;
+  }
+  /// Total inflight underflows across all paths (should always be 0).
+  std::uint64_t inflight_underflows() const noexcept { return underflows_; }
   std::size_t num_paths() const noexcept { return paths_.size(); }
 
   /// Mean of per-path EWMAs over paths that have observations (the
@@ -80,11 +98,13 @@ class PathMonitor {
     std::uint64_t dispatched = 0;
     std::uint64_t completed = 0;
     std::uint64_t filtered = 0;
+    std::uint64_t underflows = 0;
     double ewma_latency_ns = 0;
     sim::TimeNs max_latency_ns = 0;
   };
   double alpha_;
   std::vector<PerPath> paths_;
+  std::uint64_t underflows_ = 0;
 };
 
 }  // namespace mdp::core

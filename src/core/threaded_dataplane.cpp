@@ -93,6 +93,7 @@ void ThreadedDataPlane::worker_loop(std::size_t path) {
       std::this_thread::yield();
       continue;
     }
+    if (cfg_.record_stage_hist) slot->dequeue_ns = now_ns();
     // Real per-packet work: seed-perturbed checksum passes over the
     // payload region (memory traffic + ALU, like header parsing would).
     buf[0] = static_cast<std::uint8_t>(slot->payload_seed);
@@ -102,6 +103,7 @@ void ThreadedDataPlane::worker_loop(std::size_t path) {
           reinterpret_cast<const std::byte*>(buf.data()), buf.size());
       buf[1] = static_cast<std::uint8_t>(sink);
     }
+    if (cfg_.record_stage_hist) slot->done_ns = now_ns();
     while (!done_ring_->try_push(slot)) std::this_thread::yield();
   }
 }
@@ -116,8 +118,21 @@ void ThreadedDataPlane::collector_loop() {
       std::this_thread::yield();
       continue;
     }
-    std::uint64_t latency = now_ns() - slot->enqueue_ns;
+    std::uint64_t now = now_ns();
+    std::uint64_t latency = now - slot->enqueue_ns;
     std::uint16_t path = slot->path;
+    if (cfg_.record_stage_hist) {
+      // Slot stamps were written by the worker before the done_ring_
+      // push (release) and read after the pop (acquire) — no race.
+      queue_wait_hist_.record(slot->dequeue_ns >= slot->enqueue_ns
+                                  ? slot->dequeue_ns - slot->enqueue_ns
+                                  : 0);
+      service_hist_.record(slot->done_ns >= slot->dequeue_ns
+                               ? slot->done_ns - slot->dequeue_ns
+                               : 0);
+      merge_wait_hist_.record(now >= slot->done_ns ? now - slot->done_ns
+                                                   : 0);
+    }
     completed_.fetch_add(1, std::memory_order_relaxed);
     free_ring_->try_push(slot);
     if (on_complete_) on_complete_(latency, path);

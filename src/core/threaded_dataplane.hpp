@@ -23,6 +23,7 @@
 
 #include "ring/mpmc_ring.hpp"
 #include "ring/spsc_ring.hpp"
+#include "stats/histogram.hpp"
 
 namespace mdp::core {
 
@@ -33,6 +34,10 @@ struct ThreadedConfig {
   std::size_t payload_bytes = 256;   ///< bytes the worker actually touches
   std::size_t work_iterations = 4;   ///< checksum passes per packet
   std::string policy = "jsq";        ///< "jsq" | "rr" | "hash"
+  /// Attribute each packet's latency to ring wait / service / collection
+  /// (two extra clock reads per packet on the worker; off for pure
+  /// throughput benchmarking).
+  bool record_stage_hist = false;
 };
 
 class ThreadedDataPlane {
@@ -66,9 +71,26 @@ class ThreadedDataPlane {
     return path_counts_[p];
   }
 
+  // Stage attribution (valid when cfg.record_stage_hist; read after
+  // stop() — the histograms are written by the collector thread).
+  /// Ingress enqueue -> worker pop (path ring wait).
+  const stats::LatencyHistogram& queue_wait_hist() const noexcept {
+    return queue_wait_hist_;
+  }
+  /// Worker pop -> work done (per-packet service).
+  const stats::LatencyHistogram& service_hist() const noexcept {
+    return service_hist_;
+  }
+  /// Work done -> collector pop (completion ring + merge wait).
+  const stats::LatencyHistogram& merge_wait_hist() const noexcept {
+    return merge_wait_hist_;
+  }
+
  private:
   struct Slot {
     std::uint64_t enqueue_ns = 0;
+    std::uint64_t dequeue_ns = 0;  ///< worker pop (stage attribution)
+    std::uint64_t done_ns = 0;     ///< work complete (stage attribution)
     std::uint16_t path = 0;
     std::uint32_t payload_seed = 0;
   };
@@ -94,6 +116,9 @@ class ThreadedDataPlane {
   std::uint64_t rejected_ = 0;
   std::size_t rr_next_ = 0;
   std::vector<std::uint64_t> path_counts_;
+  stats::LatencyHistogram queue_wait_hist_;
+  stats::LatencyHistogram service_hist_;
+  stats::LatencyHistogram merge_wait_hist_;
 };
 
 }  // namespace mdp::core

@@ -89,12 +89,27 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   res.chain_cost_ns = a.dp->chain_cost_ns();
   res.offered_load = cfg.load;
 
+  // --- stage tracing -------------------------------------------------------
+  std::unique_ptr<trace::Tracer> tracer;
+  if (cfg.trace) {
+    trace::TracerConfig tc;
+    tc.reservoir = cfg.reservoir;
+    if (tc.reservoir.seed == 0) tc.reservoir.seed = cfg.seed;
+    // Start disabled when there is a warmup phase: spans activate at
+    // ingress, so enabling at the warmup boundary (below) means the trace
+    // covers packets ingressed during the measured phase.
+    tc.enabled = cfg.warmup_packets == 0;
+    tracer = std::make_unique<trace::Tracer>(tc);
+    a.dp->set_tracer(tracer.get());
+  }
+
   // --- egress instrumentation ---------------------------------------------
   std::uint64_t measured_first_ns = 0;
   std::uint64_t measured_last_ns = 0;
   a.dp->set_egress([&](net::PacketPtr pkt) {
     const auto& an = pkt->anno();
     if (a.dp->egress_count() <= cfg.warmup_packets) return;
+    if (tracer && !tracer->enabled()) tracer->set_enabled(true);
     sim::TimeNs lat = an.egress_ns - an.ingress_ns;
     res.latency.record(lat);
     if (an.traffic_class == net::TrafficClass::kLatencyCritical)
@@ -197,6 +212,14 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     res.achieved_mpps = static_cast<double>(res.measured - 1) * 1e3 /
                         static_cast<double>(measured_last_ns -
                                             measured_first_ns);
+
+  // --- metric snapshot ------------------------------------------------------
+  trace::StatsRegistry reg;
+  a.dp->register_stats(reg);
+  if (tracer) tracer->register_with(reg, "trace");
+  for (const auto& ts : res.queue_depth_series) reg.add_time_series(&ts);
+  res.stats = reg.snapshot();
+  if (tracer) res.trace = tracer->report();
   return res;
 }
 

@@ -19,6 +19,8 @@
 #include "sim/interference.hpp"
 #include "stats/histogram.hpp"
 #include "stats/time_series.hpp"
+#include "trace/registry.hpp"
+#include "trace/tracer.hpp"
 #include "workload/rpc_workload.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -51,6 +53,14 @@ struct ScenarioConfig {
 
   /// If set, sample per-path queue depth into time series at this period.
   sim::TimeNs sample_queues_interval_ns = 0;
+
+  /// Stage-level tracing: per-packet spans, per-stage histograms, tail
+  /// exemplars. Enabled from the end of warmup so the trace covers the
+  /// measured phase. Reservoir seed defaults to `seed` when left at 0.
+  bool trace = false;
+  trace::ReservoirConfig reservoir{.slowest_capacity = 32,
+                                   .sample_capacity = 32,
+                                   .seed = 0};
 };
 
 struct ScenarioResult {
@@ -74,6 +84,12 @@ struct ScenarioResult {
   std::vector<stats::TimeSeries> queue_depth_series;  ///< if sampling on
   sim::TimeNs sim_duration_ns = 0;
   sim::TimeNs chain_cost_ns = 0;
+
+  /// Full metric snapshot (counters, per-path telemetry, dedup/reorder
+  /// stats, dwell histogram) taken at the end of the run.
+  trace::Snapshot stats;
+  /// Stage-level trace results; engaged iff ScenarioConfig::trace.
+  std::optional<trace::TraceReport> trace;
 };
 
 /// Run a packet-level scenario (Figs 1, 6-10, 12; Tab 2).

@@ -1,0 +1,120 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+
+#include "trace/json.hpp"
+
+namespace mdp::harness {
+
+namespace {
+
+void write_hist_summary(trace::JsonWriter& w,
+                        const stats::LatencyHistogram& h) {
+  w.begin_object();
+  w.key("count").value(h.count());
+  w.key("sum_ns").value(h.sum());
+  w.key("mean_ns").value(h.mean());
+  w.key("min_ns").value(h.min());
+  w.key("max_ns").value(h.max());
+  w.key("p50_ns").value(h.p50());
+  w.key("p90_ns").value(h.p90());
+  w.key("p99_ns").value(h.p99());
+  w.key("p999_ns").value(h.p999());
+  w.key("p9999_ns").value(h.p9999());
+  w.end_object();
+}
+
+}  // namespace
+
+std::string scenario_report_json(const ScenarioConfig& cfg,
+                                 const ScenarioResult& res) {
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("mdp.run_report.v1");
+
+  w.key("config").begin_object();
+  w.key("policy").value(cfg.policy);
+  w.key("paths").value(static_cast<std::uint64_t>(cfg.num_paths));
+  w.key("chain").value(cfg.chain);
+  w.key("load").value(cfg.load);
+  w.key("packets").value(cfg.packets);
+  w.key("warmup_packets").value(cfg.warmup_packets);
+  w.key("num_flows").value(static_cast<std::uint64_t>(cfg.num_flows));
+  w.key("lc_fraction").value(cfg.lc_fraction);
+  w.key("mean_payload").value(cfg.mean_payload);
+  w.key("bursty_arrivals").value(cfg.bursty_arrivals);
+  w.key("interference").value(cfg.interference);
+  if (cfg.interference) {
+    w.key("interference_duty").value(cfg.interference_cfg.duty_cycle);
+    w.key("interference_burst_ns")
+        .value(static_cast<double>(cfg.interference_cfg.mean_burst_ns));
+  }
+  w.key("lc_priority").value(cfg.dp.lc_priority);
+  w.key("reorder_enabled").value(cfg.dp.reorder.enabled);
+  w.key("seed").value(cfg.seed);
+  w.key("trace").value(cfg.trace);
+  w.end_object();
+
+  w.key("metrics").begin_object();
+  w.key("emitted").value(res.emitted);
+  w.key("egressed").value(res.egressed);
+  w.key("measured").value(res.measured);
+  w.key("achieved_mpps").value(res.achieved_mpps);
+  w.key("offered_load").value(res.offered_load);
+  w.key("duplicate_fraction").value(res.duplicate_fraction);
+  w.key("replica_fraction").value(res.replica_fraction);
+  w.key("hedges").value(res.hedges);
+  w.key("chain_filtered").value(res.chain_filtered);
+  w.key("queue_drops").value(res.queue_drops);
+  w.key("ooo_fraction").value(res.ooo_fraction);
+  w.key("reorder_timeout_releases").value(res.reorder_timeout_releases);
+  w.key("sim_duration_ns")
+      .value(static_cast<std::uint64_t>(res.sim_duration_ns));
+  w.key("chain_cost_ns")
+      .value(static_cast<std::uint64_t>(res.chain_cost_ns));
+  w.key("latency");
+  write_hist_summary(w, res.latency);
+  w.key("lc_latency");
+  write_hist_summary(w, res.lc_latency);
+  w.key("reorder_dwell");
+  write_hist_summary(w, res.reorder_dwell);
+  w.key("per_path").begin_array();
+  for (std::size_t p = 0; p < res.per_path_dispatched.size(); ++p) {
+    w.begin_object();
+    w.key("path").value(static_cast<std::uint64_t>(p));
+    w.key("dispatched").value(res.per_path_dispatched[p]);
+    w.key("utilization")
+        .value(p < res.per_path_utilization.size()
+                   ? res.per_path_utilization[p]
+                   : 0.0);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  // Full registry snapshot (per-stage histograms live here too, under
+  // "trace.stage.*", alongside per-path counters and dedup/reorder stats).
+  w.key("stats").raw(res.stats.to_json());
+
+  if (res.trace) {
+    w.key("trace").raw(res.trace->to_json());
+  }
+  w.end_object();
+  return w.take();
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    std::fputc('\n', stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  std::fputc('\n', f);
+  int rc = std::fclose(f);
+  return n == content.size() && rc == 0;
+}
+
+}  // namespace mdp::harness

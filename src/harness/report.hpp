@@ -1,0 +1,24 @@
+// Machine-readable run reports: one JSON document per scenario run, with
+// the config, the headline metrics, the full stats snapshot, and (when
+// tracing) per-stage histograms and tail exemplars. This is the export
+// every figure in EXPERIMENTS.md can be regenerated from, and the format
+// the bench binaries' --json flag emits.
+//
+// Schema: "mdp.run_report.v1" — documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <string>
+
+#include "harness/experiment.hpp"
+
+namespace mdp::harness {
+
+/// Serialize a completed scenario as a self-contained JSON object.
+std::string scenario_report_json(const ScenarioConfig& cfg,
+                                 const ScenarioResult& res);
+
+/// Write `content` to `path` ("-" means stdout). Returns false on I/O
+/// failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace mdp::harness

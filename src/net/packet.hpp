@@ -12,6 +12,8 @@
 #include <cstring>
 #include <span>
 
+#include "trace/span.hpp"
+
 namespace mdp::net {
 
 class PacketPool;
@@ -41,6 +43,12 @@ struct Annotations {
   TrafficClass traffic_class = TrafficClass::kBestEffort;
   bool is_replica = false;         ///< true for redundant copies
   bool hedged = false;             ///< true if a hedge copy was issued
+#if MDP_TRACE_ENABLED
+  /// Stage-level trace span (stamped only while a Tracer is attached and
+  /// enabled; see src/trace/span.hpp). Compile out with
+  /// -DMDP_TRACE_ENABLED=0.
+  trace::SpanRecord span;
+#endif
 
   void clear() { *this = Annotations{}; }
 };

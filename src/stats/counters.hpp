@@ -1,12 +1,39 @@
-// CounterSet: named monotonic counters for data-plane accounting
-// (packets in/out, drops, replicas, dedup hits, reorder events, ...).
+// Monotonic counters for data-plane accounting.
+//
+// Two tiers:
+//   EnumCounters — enum-indexed array counters for the *fixed* hot-path
+//     set: inc() is one add into a cache-resident slot, no string
+//     construction, no map walk. Use these anywhere a counter is bumped
+//     per packet.
+//   CounterSet — string-keyed map counters for cold / ad-hoc accounting
+//     where flexibility beats speed (setup errors, rare events, tooling).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 
 namespace mdp::stats {
+
+/// Enum-indexed fast counters. `Enum` must be a scoped enum with
+/// consecutive values starting at 0 and a trailing `kCount` sentinel.
+template <typename Enum>
+class EnumCounters {
+ public:
+  static constexpr std::size_t kSize = static_cast<std::size_t>(Enum::kCount);
+
+  void inc(Enum e, std::uint64_t by = 1) noexcept { v_[index(e)] += by; }
+  std::uint64_t get(Enum e) const noexcept { return v_[index(e)]; }
+  void reset() noexcept { v_.fill(0); }
+  static constexpr std::size_t size() noexcept { return kSize; }
+
+ private:
+  static constexpr std::size_t index(Enum e) noexcept {
+    return static_cast<std::size_t>(e);
+  }
+  std::array<std::uint64_t, kSize> v_{};
+};
 
 class CounterSet {
  public:

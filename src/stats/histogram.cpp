@@ -56,6 +56,27 @@ void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+void LatencyHistogram::subtract(const LatencyHistogram& earlier) noexcept {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    std::uint64_t take = std::min(buckets_[i], earlier.buckets_[i]);
+    buckets_[i] -= take;
+  }
+  count_ = count_ >= earlier.count_ ? count_ - earlier.count_ : 0;
+  sum_ = sum_ >= earlier.sum_ ? sum_ - earlier.sum_ : 0;
+  // Re-derive extrema from bucket edges (quantized).
+  min_ = UINT64_MAX;
+  max_ = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (min_ == UINT64_MAX) min_ = i < kSub ? i : bucket_upper(i);
+    max_ = bucket_upper(i);
+  }
+  if (count_ == 0) {
+    min_ = UINT64_MAX;
+    max_ = 0;
+  }
+}
+
 void LatencyHistogram::reset() noexcept {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;

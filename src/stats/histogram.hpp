@@ -25,9 +25,18 @@ class LatencyHistogram {
   /// Merge another histogram into this one (bucket-wise add).
   void merge(const LatencyHistogram& other) noexcept;
 
+  /// Bucket-wise subtract an *earlier snapshot of this histogram* — the
+  /// interval view used by StatsRegistry::diff. `earlier` must be a prefix
+  /// of this histogram's recording history (every bucket <=). count/sum are
+  /// exact; min/max are re-derived from the surviving buckets, so they
+  /// carry the usual bucket quantization error.
+  void subtract(const LatencyHistogram& earlier) noexcept;
+
   void reset() noexcept;
 
   std::uint64_t count() const noexcept { return count_; }
+  /// Exact sum of all recorded values (ns).
+  std::uint64_t sum() const noexcept { return sum_; }
   std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
   std::uint64_t max() const noexcept { return max_; }
   double mean() const noexcept {

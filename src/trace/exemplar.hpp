@@ -1,0 +1,105 @@
+// ExemplarReservoir: retains the complete stage breakdown of (a) the
+// slowest N packets seen and (b) a uniform random sample of K packets.
+//
+// Aggregate histograms tell you *that* p99.9 is high; exemplars tell you
+// *why* — each one carries the full SpanRecord, so any tail number can be
+// decomposed into queue wait vs. service vs. reorder dwell. The uniform
+// sample provides the "typical packet" baseline the slow set is compared
+// against.
+//
+// Determinism: the uniform sample uses Vitter's algorithm R driven by a
+// seeded splitmix64 stream, so a seeded simulation run reproduces the
+// exact same exemplar set.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "trace/span.hpp"
+
+namespace mdp::trace {
+
+struct Exemplar {
+  SpanRecord span;
+  std::uint64_t e2e_ns = 0;
+  std::uint64_t ordinal = 0;  ///< 0-based index among traced egresses
+};
+
+struct ReservoirConfig {
+  std::size_t slowest_capacity = 32;
+  std::size_t sample_capacity = 32;
+  std::uint64_t seed = 1;
+};
+
+class ExemplarReservoir {
+ public:
+  explicit ExemplarReservoir(ReservoirConfig cfg = {})
+      : cfg_(cfg), state_(cfg.seed ? cfg.seed : 0x9e3779b97f4a7c15ull) {}
+
+  void offer(const SpanRecord& span) {
+    Exemplar ex{span, span.e2e_ns(), seen_};
+    ++seen_;
+    if (cfg_.slowest_capacity > 0) {
+      // Min-heap on (e2e, ordinal): front is the cheapest-to-evict entry.
+      if (slowest_.size() < cfg_.slowest_capacity) {
+        slowest_.push_back(ex);
+        std::push_heap(slowest_.begin(), slowest_.end(), slower_first);
+      } else if (slower_first(ex, slowest_.front())) {
+        std::pop_heap(slowest_.begin(), slowest_.end(), slower_first);
+        slowest_.back() = ex;
+        std::push_heap(slowest_.begin(), slowest_.end(), slower_first);
+      }
+    }
+    if (cfg_.sample_capacity > 0) {
+      if (sample_.size() < cfg_.sample_capacity) {
+        sample_.push_back(ex);
+      } else {
+        std::uint64_t j = next_u64() % seen_;
+        if (j < sample_.size()) sample_[j] = ex;
+      }
+    }
+  }
+
+  std::uint64_t seen() const noexcept { return seen_; }
+
+  /// Slowest exemplars, slowest first (ties broken by arrival order).
+  std::vector<Exemplar> slowest() const {
+    std::vector<Exemplar> out = slowest_;
+    std::sort(out.begin(), out.end(), slower_first);
+    return out;
+  }
+
+  /// Uniform sample, in reservoir order (not sorted).
+  const std::vector<Exemplar>& sample() const noexcept { return sample_; }
+
+  void reset() {
+    slowest_.clear();
+    sample_.clear();
+    seen_ = 0;
+    state_ = cfg_.seed ? cfg_.seed : 0x9e3779b97f4a7c15ull;
+  }
+
+ private:
+  /// Strict weak ordering putting the slower exemplar *earlier*: used both
+  /// as the min-heap comparator and to sort slowest-first output.
+  static bool slower_first(const Exemplar& a, const Exemplar& b) noexcept {
+    if (a.e2e_ns != b.e2e_ns) return a.e2e_ns > b.e2e_ns;
+    return a.ordinal < b.ordinal;
+  }
+
+  std::uint64_t next_u64() noexcept {  // splitmix64
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  ReservoirConfig cfg_;
+  std::uint64_t state_;
+  std::uint64_t seen_ = 0;
+  std::vector<Exemplar> slowest_;  // min-heap wrt slower_first
+  std::vector<Exemplar> sample_;
+};
+
+}  // namespace mdp::trace

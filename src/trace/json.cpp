@@ -1,0 +1,310 @@
+#include "trace/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mdp::trace {
+
+// --- JsonWriter ---------------------------------------------------------------
+
+void JsonWriter::comma_for_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_elem_.empty()) {
+    if (has_elem_.back()) out_ += ',';
+    has_elem_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_for_value();
+  out_ += '{';
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  has_elem_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_for_value();
+  out_ += '[';
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  has_elem_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (!has_elem_.empty()) {
+    if (has_elem_.back()) out_ += ',';
+    has_elem_.back() = true;
+  }
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma_for_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_for_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_for_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_for_value();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view fragment) {
+  comma_for_value();
+  out_ += fragment;
+  return *this;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// --- JsonValue ----------------------------------------------------------------
+
+struct JsonValue::Parser {
+  std::string_view s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() &&
+           (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r'))
+      ++i;
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (s.substr(i, word.size()) != word) return false;
+    i += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (i < s.size()) {
+      char c = s[i++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (i >= s.size()) return false;
+        char e = s[i++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (i + 4 > s.size()) return false;
+            unsigned cp = 0;
+            for (int k = 0; k < 4; ++k) {
+              char h = s[i++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return false;
+            }
+            // Metric payloads only ever escape control chars; emit the
+            // code point as UTF-8 (no surrogate-pair handling).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xc0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (cp & 0x3f));
+            }
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_value(JsonValue& v) {
+    skip_ws();
+    if (i >= s.size()) return false;
+    char c = s[i];
+    if (c == '{') {
+      ++i;
+      v.type_ = Type::kObject;
+      skip_ws();
+      if (eat('}')) return true;
+      while (true) {
+        std::string k;
+        if (!parse_string(k)) return false;
+        if (!eat(':')) return false;
+        JsonValue member;
+        if (!parse_value(member)) return false;
+        v.members_.emplace_back(std::move(k), std::move(member));
+        if (eat(',')) continue;
+        return eat('}');
+      }
+    }
+    if (c == '[') {
+      ++i;
+      v.type_ = Type::kArray;
+      skip_ws();
+      if (eat(']')) return true;
+      while (true) {
+        JsonValue item;
+        if (!parse_value(item)) return false;
+        v.items_.push_back(std::move(item));
+        if (eat(',')) continue;
+        return eat(']');
+      }
+    }
+    if (c == '"') {
+      v.type_ = Type::kString;
+      return parse_string(v.str_);
+    }
+    if (c == 't') {
+      v.type_ = Type::kBool;
+      v.bool_ = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      v.type_ = Type::kBool;
+      v.bool_ = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      v.type_ = Type::kNull;
+      return literal("null");
+    }
+    // Number.
+    std::size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.' ||
+            s[i] == 'e' || s[i] == 'E' || s[i] == '+' || s[i] == '-'))
+      ++i;
+    if (i == start) return false;
+    char* end = nullptr;
+    std::string num(s.substr(start, i - start));
+    v.type_ = Type::kNumber;
+    v.num_ = std::strtod(num.c_str(), &end);
+    return end == num.c_str() + num.size();
+  }
+};
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+  Parser p{text};
+  JsonValue v;
+  if (!p.parse_value(v)) return std::nullopt;
+  p.skip_ws();
+  if (p.i != text.size()) return std::nullopt;
+  return v;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue* JsonValue::find_path(
+    std::initializer_list<std::string_view> keys) const noexcept {
+  const JsonValue* cur = this;
+  for (std::string_view k : keys) {
+    if (!cur) return nullptr;
+    cur = cur->find(k);
+  }
+  return cur;
+}
+
+}  // namespace mdp::trace

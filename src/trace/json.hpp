@@ -1,0 +1,99 @@
+// Minimal JSON emit/parse for machine-readable metrics export.
+//
+// JsonWriter is a streaming emitter (comma/nesting handled internally);
+// JsonValue is a small recursive-descent parser used by the round-trip
+// tests and by tooling that consumes run reports. Deliberately tiny: no
+// external dependency, no allocation tricks, just enough JSON for metric
+// payloads (UTF-8 passthrough, \uXXXX emitted for control characters).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mdp::trace {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object; must be followed by a value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+  /// Splice a pre-rendered JSON fragment as the next value (trusted input).
+  JsonWriter& raw(std::string_view fragment);
+
+  const std::string& str() const noexcept { return out_; }
+  std::string take() { return std::move(out_); }
+
+  static std::string escape(std::string_view s);
+
+ private:
+  void comma_for_value();
+
+  std::string out_;
+  // One flag per open container: true once it has at least one element.
+  std::vector<bool> has_elem_;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON document node.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parse a complete document; nullopt on syntax error / trailing junk.
+  static std::optional<JsonValue> parse(std::string_view text);
+
+  Type type() const noexcept { return type_; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+
+  bool as_bool() const noexcept { return bool_; }
+  double as_double() const noexcept { return num_; }
+  std::uint64_t as_u64() const noexcept {
+    return num_ < 0 ? 0 : static_cast<std::uint64_t>(num_ + 0.5);
+  }
+  const std::string& as_string() const noexcept { return str_; }
+  const std::vector<JsonValue>& items() const noexcept { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members()
+      const noexcept {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const noexcept;
+  /// Nested lookup: find("a")->find("b") without null checks.
+  const JsonValue* find_path(
+      std::initializer_list<std::string_view> keys) const noexcept;
+
+ private:
+  struct Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace mdp::trace

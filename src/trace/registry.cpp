@@ -1,0 +1,134 @@
+#include "trace/registry.hpp"
+
+#include <cstdio>
+
+#include "trace/json.hpp"
+
+namespace mdp::trace {
+
+Snapshot StatsRegistry::snapshot() const {
+  Snapshot s;
+  for (const auto& [name, fn] : counter_fns_) s.counters[name] = fn();
+  for (const auto& [prefix, set] : counter_sets_)
+    for (const auto& [k, v] : set->all())
+      s.counters[prefix.empty() ? k : prefix + "." + k] += v;
+  for (const auto& [name, fn] : gauge_fns_) s.gauges[name] = fn();
+  for (const auto& [name, h] : hists_) s.histograms.emplace(name, *h);
+  for (const stats::TimeSeries* ts : series_)
+    s.series.push_back({ts->name(), ts->interval_ns(), ts->samples()});
+  return s;
+}
+
+Snapshot Snapshot::diff_since(const Snapshot& earlier) const {
+  Snapshot out = *this;
+  for (auto& [name, v] : out.counters) {
+    auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) v = v >= it->second ? v - it->second : 0;
+  }
+  for (auto& [name, h] : out.histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it != earlier.histograms.end()) h.subtract(it->second);
+  }
+  return out;
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges.emplace(name, v);
+  for (const auto& [name, h] : other.histograms) {
+    auto [it, inserted] = histograms.emplace(name, h);
+    if (!inserted) it->second.merge(h);
+  }
+  for (const auto& sr : other.series) series.push_back(sr);
+}
+
+namespace {
+
+void write_histogram(JsonWriter& w, const stats::LatencyHistogram& h) {
+  w.begin_object();
+  w.key("count").value(h.count());
+  w.key("sum_ns").value(h.sum());
+  w.key("mean_ns").value(h.mean());
+  w.key("min_ns").value(h.min());
+  w.key("max_ns").value(h.max());
+  w.key("p50_ns").value(h.p50());
+  w.key("p90_ns").value(h.p90());
+  w.key("p99_ns").value(h.p99());
+  w.key("p999_ns").value(h.p999());
+  w.key("p9999_ns").value(h.p9999());
+  w.end_object();
+}
+
+}  // namespace
+
+std::string Snapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : counters) w.key(name).value(v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : gauges) w.key(name).value(v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms) {
+    w.key(name);
+    write_histogram(w, h);
+  }
+  w.end_object();
+  w.key("series").begin_array();
+  for (const auto& sr : series) {
+    w.begin_object();
+    w.key("name").value(sr.name);
+    w.key("interval_ns").value(sr.interval_ns);
+    w.key("samples").begin_array();
+    for (const auto& smp : sr.samples) {
+      w.begin_array();
+      w.value(smp.t_ns).value(smp.value).value(smp.count);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string Snapshot::to_csv() const {
+  // Fixed column set so one file parses uniformly: counter/gauge rows use
+  // `value`, histogram rows use the summary columns. Time series are a
+  // JSON-only export (variable length does not fit this shape).
+  std::string out =
+      "type,name,value,count,sum_ns,mean_ns,min_ns,max_ns,"
+      "p50_ns,p90_ns,p99_ns,p999_ns,p9999_ns\n";
+  char buf[512];
+  for (const auto& [name, v] : counters) {
+    std::snprintf(buf, sizeof(buf), "counter,%s,%llu,,,,,,,,,,\n",
+                  name.c_str(), static_cast<unsigned long long>(v));
+    out += buf;
+  }
+  for (const auto& [name, v] : gauges) {
+    std::snprintf(buf, sizeof(buf), "gauge,%s,%.12g,,,,,,,,,,\n",
+                  name.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "hist,%s,,%llu,%llu,%.12g,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+        name.c_str(), static_cast<unsigned long long>(h.count()),
+        static_cast<unsigned long long>(h.sum()), h.mean(),
+        static_cast<unsigned long long>(h.min()),
+        static_cast<unsigned long long>(h.max()),
+        static_cast<unsigned long long>(h.p50()),
+        static_cast<unsigned long long>(h.p90()),
+        static_cast<unsigned long long>(h.p99()),
+        static_cast<unsigned long long>(h.p999()),
+        static_cast<unsigned long long>(h.p9999()));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace mdp::trace

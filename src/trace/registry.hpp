@@ -1,0 +1,92 @@
+// StatsRegistry: one snapshot/diff/merge interface over every metric the
+// data plane produces — monotonic counters (CounterSet or enum-indexed),
+// gauges, LatencyHistograms, per-stage trace histograms, and TimeSeries.
+//
+// Sources register once (cheap: a name plus a pointer/closure); snapshot()
+// materializes a point-in-time Snapshot that can be diffed against an
+// earlier one (interval metrics), merged across shards, and exported as
+// JSON or CSV. The registry holds *references* to live sources — snapshot
+// while the owning objects are alive.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/counters.hpp"
+#include "stats/histogram.hpp"
+#include "stats/time_series.hpp"
+
+namespace mdp::trace {
+
+/// Point-in-time view of every registered metric.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, stats::LatencyHistogram> histograms;
+
+  struct Series {
+    std::string name;
+    std::uint64_t interval_ns = 0;
+    std::vector<stats::TimeSeries::Sample> samples;
+  };
+  std::vector<Series> series;
+
+  /// Interval view: this snapshot minus an `earlier` one taken from the
+  /// same registry. Counters/histogram buckets subtract; gauges keep the
+  /// later (current) value; series keep the later samples.
+  Snapshot diff_since(const Snapshot& earlier) const;
+
+  /// Shard union: counters add, histograms bucket-merge, gauges and
+  /// series from `other` are inserted (existing names keep this side's
+  /// gauge value).
+  void merge(const Snapshot& other);
+
+  /// Machine-readable exports. JSON carries full percentile summaries per
+  /// histogram; CSV is one metric per row with a fixed column set.
+  std::string to_json() const;
+  std::string to_csv() const;
+};
+
+class StatsRegistry {
+ public:
+  using CounterFn = std::function<std::uint64_t()>;
+  using GaugeFn = std::function<double()>;
+
+  void add_counter(std::string name, CounterFn fn) {
+    counter_fns_.emplace_back(std::move(name), std::move(fn));
+  }
+  void add_gauge(std::string name, GaugeFn fn) {
+    gauge_fns_.emplace_back(std::move(name), std::move(fn));
+  }
+  void add_histogram(std::string name, const stats::LatencyHistogram* h) {
+    hists_.emplace_back(std::move(name), h);
+  }
+  /// Every key in `set` appears in snapshots as "<prefix>.<key>". Keys
+  /// added to the set after registration are picked up automatically.
+  void add_counter_set(std::string prefix, const stats::CounterSet* set) {
+    counter_sets_.emplace_back(std::move(prefix), set);
+  }
+  void add_time_series(const stats::TimeSeries* ts) {
+    series_.push_back(ts);
+  }
+
+  Snapshot snapshot() const;
+
+  std::size_t num_sources() const noexcept {
+    return counter_fns_.size() + gauge_fns_.size() + hists_.size() +
+           counter_sets_.size() + series_.size();
+  }
+
+ private:
+  std::vector<std::pair<std::string, CounterFn>> counter_fns_;
+  std::vector<std::pair<std::string, GaugeFn>> gauge_fns_;
+  std::vector<std::pair<std::string, const stats::LatencyHistogram*>> hists_;
+  std::vector<std::pair<std::string, const stats::CounterSet*>>
+      counter_sets_;
+  std::vector<const stats::TimeSeries*> series_;
+};
+
+}  // namespace mdp::trace

@@ -1,0 +1,124 @@
+// SpanRecord: per-packet stage-level latency attribution.
+//
+// Every traced packet carries one span in its annotation area. The data
+// plane stamps a boundary timestamp as the packet crosses each pipeline
+// stage; a stage's latency is the difference between consecutive
+// boundaries, so the per-stage durations telescope *exactly* to the
+// end-to-end latency — no double counting, no gaps. This is what lets a
+// p99.9 sample be decomposed into its cause: queue wait vs. service vs.
+// chain work vs. merge vs. reorder dwell.
+//
+// Boundaries (in pipeline order):
+//   ingress -> dispatch -> service_start -> service_end -> chain_done
+//           -> merge -> egress
+//
+// Stages (boundary deltas):
+//   kSchedule   ingress..dispatch        policy decision + hedge park time
+//   kQueueWait  dispatch..service_start  wait in the path core's queue
+//   kService    service_start..service_end  core service (incl. jitter)
+//   kChain      service_end..chain_done  functional chain traversal
+//                                        (zero in discrete-event sim mode)
+//   kMerge      chain_done..merge        dedup / first-copy-wins decision
+//                                        (zero in sim mode)
+//   kReorder    merge..egress            resequencer dwell
+//
+// Cost model: the span lives in the annotation block (compile-time gated
+// by MDP_TRACE_ENABLED), and stamping is runtime-gated by the Tracer —
+// with tracing off the hot path pays one pointer test per stage.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+// Compile-time gate: build with -DMDP_TRACE_ENABLED=0 to strip the span
+// from the packet annotation area and all stamping code.
+#ifndef MDP_TRACE_ENABLED
+#define MDP_TRACE_ENABLED 1
+#endif
+
+namespace mdp::trace {
+
+enum class Stage : std::uint8_t {
+  kSchedule = 0,
+  kQueueWait,
+  kService,
+  kChain,
+  kMerge,
+  kReorder,
+  kCount,
+};
+
+inline constexpr std::size_t kNumStages =
+    static_cast<std::size_t>(Stage::kCount);
+
+inline const char* stage_name(Stage s) noexcept {
+  switch (s) {
+    case Stage::kSchedule: return "schedule";
+    case Stage::kQueueWait: return "queue_wait";
+    case Stage::kService: return "service";
+    case Stage::kChain: return "chain";
+    case Stage::kMerge: return "merge";
+    case Stage::kReorder: return "reorder";
+    case Stage::kCount: break;
+  }
+  return "?";
+}
+
+inline Stage stage_at(std::size_t i) noexcept {
+  return static_cast<Stage>(i);
+}
+
+struct SpanRecord {
+  // Boundary timestamps, ns (virtual sim time or wall clock). 0 = the
+  // boundary was never crossed (stage reported as zero-width).
+  std::uint64_t ingress_ns = 0;
+  std::uint64_t dispatch_ns = 0;
+  std::uint64_t service_start_ns = 0;
+  std::uint64_t service_end_ns = 0;
+  std::uint64_t chain_done_ns = 0;
+  std::uint64_t merge_ns = 0;
+  std::uint64_t egress_ns = 0;
+
+  // Decision metadata captured at scheduling time.
+  std::uint64_t seq = 0;           ///< per-flow multipath sequence number
+  std::uint32_t flow_id = 0;
+  std::uint16_t path_id = 0;       ///< path the egressed copy traversed
+  std::uint8_t num_copies = 0;     ///< copies the policy chose at ingress
+  std::uint8_t traffic_class = 0;  ///< net::TrafficClass value
+  bool hedged = false;             ///< a hedge copy was involved
+  bool active = false;             ///< span is being stamped by a Tracer
+
+  /// Effective (monotonic, hole-filled) boundary sequence. A zero (never
+  /// stamped) or backwards boundary inherits its predecessor, so a
+  /// truncated span still yields non-negative stages that telescope to
+  /// the end-to-end latency.
+  std::array<std::uint64_t, kNumStages + 1> boundaries() const noexcept {
+    std::array<std::uint64_t, kNumStages + 1> b{
+        ingress_ns,       dispatch_ns, service_start_ns, service_end_ns,
+        chain_done_ns, merge_ns,    egress_ns};
+    for (std::size_t i = 1; i < b.size(); ++i)
+      if (b[i] < b[i - 1]) b[i] = b[i - 1];
+    return b;
+  }
+
+  /// Per-stage durations; stages()[i] corresponds to stage_at(i).
+  std::array<std::uint64_t, kNumStages> stages() const noexcept {
+    auto b = boundaries();
+    std::array<std::uint64_t, kNumStages> d{};
+    for (std::size_t i = 0; i < kNumStages; ++i) d[i] = b[i + 1] - b[i];
+    return d;
+  }
+
+  std::uint64_t stage_ns(Stage s) const noexcept {
+    return stages()[static_cast<std::size_t>(s)];
+  }
+
+  /// End-to-end latency: equals the sum of all stage durations exactly.
+  std::uint64_t e2e_ns() const noexcept {
+    auto b = boundaries();
+    return b[kNumStages] - b[0];
+  }
+};
+
+}  // namespace mdp::trace

@@ -1,0 +1,76 @@
+#include "trace/tracer.hpp"
+
+namespace mdp::trace {
+
+void write_exemplar_json(JsonWriter& w, const Exemplar& ex) {
+  const SpanRecord& sp = ex.span;
+  w.begin_object();
+  w.key("e2e_ns").value(ex.e2e_ns);
+  w.key("ordinal").value(ex.ordinal);
+  w.key("flow_id").value(static_cast<std::uint64_t>(sp.flow_id));
+  w.key("seq").value(sp.seq);
+  w.key("path").value(static_cast<std::uint64_t>(sp.path_id));
+  w.key("copies").value(static_cast<std::uint64_t>(sp.num_copies));
+  w.key("traffic_class").value(static_cast<std::uint64_t>(sp.traffic_class));
+  w.key("hedged").value(sp.hedged);
+  w.key("stages_ns").begin_object();
+  auto stages = sp.stages();
+  for (std::size_t i = 0; i < kNumStages; ++i)
+    w.key(stage_name(stage_at(i))).value(stages[i]);
+  w.end_object();
+  w.key("timestamps_ns").begin_object();
+  w.key("ingress").value(sp.ingress_ns);
+  w.key("dispatch").value(sp.dispatch_ns);
+  w.key("service_start").value(sp.service_start_ns);
+  w.key("service_end").value(sp.service_end_ns);
+  w.key("chain_done").value(sp.chain_done_ns);
+  w.key("merge").value(sp.merge_ns);
+  w.key("egress").value(sp.egress_ns);
+  w.end_object();
+  w.end_object();
+}
+
+namespace {
+
+void write_hist(JsonWriter& w, const stats::LatencyHistogram& h) {
+  w.begin_object();
+  w.key("count").value(h.count());
+  w.key("sum_ns").value(h.sum());
+  w.key("mean_ns").value(h.mean());
+  w.key("min_ns").value(h.min());
+  w.key("max_ns").value(h.max());
+  w.key("p50_ns").value(h.p50());
+  w.key("p90_ns").value(h.p90());
+  w.key("p99_ns").value(h.p99());
+  w.key("p999_ns").value(h.p999());
+  w.key("p9999_ns").value(h.p9999());
+  w.end_object();
+}
+
+}  // namespace
+
+std::string TraceReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traced").value(traced);
+  w.key("stages").begin_object();
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    w.key(stage_name(stage_at(i)));
+    write_hist(w, stage_hist[i]);
+  }
+  w.end_object();
+  w.key("e2e");
+  write_hist(w, e2e);
+  w.key("exemplars").begin_object();
+  w.key("slowest").begin_array();
+  for (const Exemplar& ex : slowest) write_exemplar_json(w, ex);
+  w.end_array();
+  w.key("sampled").begin_array();
+  for (const Exemplar& ex : sampled) write_exemplar_json(w, ex);
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace mdp::trace

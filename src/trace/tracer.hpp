@@ -1,0 +1,107 @@
+// Tracer: the runtime side of per-packet stage attribution.
+//
+// The data plane stamps SpanRecords (see span.hpp) only while a Tracer is
+// attached *and* enabled — the disabled hot-path cost is one pointer/bool
+// test per stage. At egress the tracer folds the finished span into
+// per-stage latency histograms and offers it to the exemplar reservoir,
+// so any aggregate tail number can be decomposed into stage
+// contributions and illustrated with concrete worst-case packets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "stats/histogram.hpp"
+#include "trace/exemplar.hpp"
+#include "trace/json.hpp"
+#include "trace/registry.hpp"
+#include "trace/span.hpp"
+
+namespace mdp::trace {
+
+struct TracerConfig {
+  bool enabled = true;
+  ReservoirConfig reservoir{};
+};
+
+/// Extracted, self-contained results of a traced run (copyable; safe to
+/// keep after the Tracer and data plane are gone).
+struct TraceReport {
+  std::array<stats::LatencyHistogram, kNumStages> stage_hist;
+  stats::LatencyHistogram e2e;
+  std::vector<Exemplar> slowest;  ///< slowest first
+  std::vector<Exemplar> sampled;  ///< uniform sample
+  std::uint64_t traced = 0;
+
+  /// Serialize stage histograms + exemplars (schema documented in
+  /// docs/OBSERVABILITY.md).
+  std::string to_json() const;
+};
+
+/// Append one exemplar (timestamps, stage durations, metadata) to `w`.
+void write_exemplar_json(JsonWriter& w, const Exemplar& ex);
+
+class Tracer {
+ public:
+  explicit Tracer(TracerConfig cfg = {})
+      : cfg_(cfg), enabled_(cfg.enabled), reservoir_(cfg.reservoir) {}
+
+  bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+
+  /// Fold a finished span: called by the data plane at packet egress.
+  /// Ignores spans that were never activated (ingressed while disabled).
+  void on_egress(const SpanRecord& span) {
+    if (!enabled_ || !span.active) return;
+    auto stages = span.stages();
+    for (std::size_t i = 0; i < kNumStages; ++i)
+      stage_hist_[i].record(stages[i]);
+    e2e_.record(span.e2e_ns());
+    reservoir_.offer(span);
+    ++traced_;
+  }
+
+  std::uint64_t traced() const noexcept { return traced_; }
+  const stats::LatencyHistogram& stage_histogram(Stage s) const noexcept {
+    return stage_hist_[static_cast<std::size_t>(s)];
+  }
+  const stats::LatencyHistogram& e2e() const noexcept { return e2e_; }
+  const ExemplarReservoir& exemplars() const noexcept { return reservoir_; }
+
+  TraceReport report() const {
+    TraceReport r;
+    r.stage_hist = stage_hist_;
+    r.e2e = e2e_;
+    r.slowest = reservoir_.slowest();
+    r.sampled = reservoir_.sample();
+    r.traced = traced_;
+    return r;
+  }
+
+  /// Expose stage histograms + trace counters under "<prefix>." names.
+  void register_with(StatsRegistry& reg, const std::string& prefix) {
+    for (std::size_t i = 0; i < kNumStages; ++i)
+      reg.add_histogram(prefix + ".stage." + stage_name(stage_at(i)),
+                        &stage_hist_[i]);
+    reg.add_histogram(prefix + ".e2e", &e2e_);
+    reg.add_counter(prefix + ".traced", [this] { return traced_; });
+  }
+
+  void reset() {
+    for (auto& h : stage_hist_) h.reset();
+    e2e_.reset();
+    reservoir_.reset();
+    traced_ = 0;
+  }
+
+ private:
+  TracerConfig cfg_;
+  bool enabled_;
+  ExemplarReservoir reservoir_;
+  std::array<stats::LatencyHistogram, kNumStages> stage_hist_;
+  stats::LatencyHistogram e2e_;
+  std::uint64_t traced_ = 0;
+};
+
+}  // namespace mdp::trace

@@ -42,6 +42,23 @@ TEST_F(HealthFixture, HealthyPathsStayUp) {
   EXPECT_EQ(hm->probes_missed(), 0u);
 }
 
+TEST_F(HealthFixture, RegistryExposesProbeCounters) {
+  trace::StatsRegistry reg;
+  hm->register_stats(reg);
+  hm->start();
+  stall_path(1, 2 * sim::kMillisecond);
+  eq.run_until(5 * sim::kMillisecond);
+
+  trace::Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.counters.at("health.probes_sent"), hm->probes_sent());
+  EXPECT_EQ(s.counters.at("health.probes_missed"), hm->probes_missed());
+  EXPECT_EQ(s.counters.at("health.down_transitions"),
+            hm->down_transitions());
+  EXPECT_EQ(s.counters.at("health.up_transitions"), hm->up_transitions());
+  EXPECT_GT(s.counters.at("health.probes_missed"), 0u);
+  EXPECT_DOUBLE_EQ(s.gauges.at("health.paths_healthy"), 3.0);  // recovered
+}
+
 TEST_F(HealthFixture, StalledPathGoesDownThenRecovers) {
   hm->start();
   std::vector<std::pair<std::size_t, bool>> transitions;

@@ -36,6 +36,40 @@ TEST(ThreadedDataPlane, AllSubmittedPacketsComplete) {
   EXPECT_EQ(per_path_sum, kPackets);
 }
 
+TEST(ThreadedDataPlane, StageHistogramsRecordWhenEnabled) {
+  ThreadedConfig cfg;
+  cfg.num_paths = 2;
+  cfg.record_stage_hist = true;
+  ThreadedDataPlane dp(cfg, [](std::uint64_t, std::uint16_t) {});
+  dp.start();
+  constexpr std::uint64_t kPackets = 5'000;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    while (!dp.ingress(i * 0x9e3779b97f4a7c15ULL)) {
+    }
+  }
+  dp.stop();
+  // Every completed packet contributes one sample per stage histogram.
+  EXPECT_EQ(dp.queue_wait_hist().count(), kPackets);
+  EXPECT_EQ(dp.service_hist().count(), kPackets);
+  EXPECT_EQ(dp.merge_wait_hist().count(), kPackets);
+  EXPECT_GT(dp.service_hist().sum(), 0u);
+}
+
+TEST(ThreadedDataPlane, StageHistogramsOffByDefault) {
+  ThreadedConfig cfg;
+  cfg.num_paths = 2;
+  ThreadedDataPlane dp(cfg, [](std::uint64_t, std::uint16_t) {});
+  dp.start();
+  for (std::uint64_t i = 0; i < 1'000; ++i) {
+    while (!dp.ingress(i)) {
+    }
+  }
+  dp.stop();
+  EXPECT_EQ(dp.queue_wait_hist().count(), 0u);
+  EXPECT_EQ(dp.service_hist().count(), 0u);
+  EXPECT_EQ(dp.merge_wait_hist().count(), 0u);
+}
+
 TEST(ThreadedDataPlane, HashPolicySteersFlowConsistently) {
   ThreadedConfig cfg;
   cfg.num_paths = 4;

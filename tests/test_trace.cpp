@@ -1,0 +1,527 @@
+// Trace tests: span lifecycle and telescoping invariant, exemplar
+// reservoir correctness + determinism, StatsRegistry snapshot/diff/merge,
+// JSON and CSV exports, and the end-to-end integration property — every
+// traced packet's stage durations sum exactly to its e2e latency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "sim/rng.hpp"
+#include "stats/counters.hpp"
+#include "trace/exemplar.hpp"
+#include "trace/json.hpp"
+#include "trace/registry.hpp"
+#include "trace/span.hpp"
+#include "trace/tracer.hpp"
+
+namespace mdp::trace {
+namespace {
+
+// ---------------------------------------------------------------- spans ---
+
+SpanRecord make_full_span() {
+  SpanRecord s;
+  s.active = true;
+  s.ingress_ns = 1'000;
+  s.dispatch_ns = 1'050;
+  s.service_start_ns = 2'000;
+  s.service_end_ns = 2'700;
+  s.chain_done_ns = 2'700;
+  s.merge_ns = 2'700;
+  s.egress_ns = 3'100;
+  return s;
+}
+
+TEST(Span, StagesTelescopeToE2e) {
+  SpanRecord s = make_full_span();
+  auto stages = s.stages();
+  std::uint64_t sum = std::accumulate(stages.begin(), stages.end(), 0ull);
+  EXPECT_EQ(sum, s.e2e_ns());
+  EXPECT_EQ(s.e2e_ns(), 2'100u);
+  EXPECT_EQ(s.stage_ns(Stage::kSchedule), 50u);
+  EXPECT_EQ(s.stage_ns(Stage::kQueueWait), 950u);
+  EXPECT_EQ(s.stage_ns(Stage::kService), 700u);
+  EXPECT_EQ(s.stage_ns(Stage::kChain), 0u);
+  EXPECT_EQ(s.stage_ns(Stage::kMerge), 0u);
+  EXPECT_EQ(s.stage_ns(Stage::kReorder), 400u);
+}
+
+TEST(Span, TruncatedSpanStillTelescopes) {
+  // A packet dropped mid-pipeline (or a stage never stamped) leaves later
+  // boundaries at 0; hole-filling must keep stages non-negative and the
+  // telescoping sum exact.
+  SpanRecord s;
+  s.active = true;
+  s.ingress_ns = 500;
+  s.dispatch_ns = 600;
+  // service/chain/merge never stamped; egress stamped directly.
+  s.egress_ns = 900;
+  auto stages = s.stages();
+  std::uint64_t sum = std::accumulate(stages.begin(), stages.end(), 0ull);
+  EXPECT_EQ(sum, s.e2e_ns());
+  EXPECT_EQ(s.e2e_ns(), 400u);
+  EXPECT_EQ(s.stage_ns(Stage::kSchedule), 100u);
+  EXPECT_EQ(s.stage_ns(Stage::kReorder), 300u);
+}
+
+TEST(Span, BackwardsBoundaryIsClamped) {
+  SpanRecord s = make_full_span();
+  s.merge_ns = 100;  // bogus: before chain_done
+  auto b = s.boundaries();
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_GE(b[i], b[i - 1]);
+  auto stages = s.stages();
+  std::uint64_t sum = std::accumulate(stages.begin(), stages.end(), 0ull);
+  EXPECT_EQ(sum, s.e2e_ns());
+}
+
+TEST(Span, DefaultSpanIsInactiveAndZero) {
+  SpanRecord s;
+  EXPECT_FALSE(s.active);
+  EXPECT_EQ(s.e2e_ns(), 0u);
+  for (auto d : s.stages()) EXPECT_EQ(d, 0u);
+}
+
+TEST(Tracer, IgnoresInactiveSpansAndRespectsEnable) {
+  Tracer tr;
+  SpanRecord inactive = make_full_span();
+  inactive.active = false;
+  tr.on_egress(inactive);
+  EXPECT_EQ(tr.traced(), 0u);
+
+  tr.set_enabled(false);
+  tr.on_egress(make_full_span());
+  EXPECT_EQ(tr.traced(), 0u);
+
+  tr.set_enabled(true);
+  tr.on_egress(make_full_span());
+  EXPECT_EQ(tr.traced(), 1u);
+  EXPECT_EQ(tr.e2e().count(), 1u);
+  EXPECT_EQ(tr.stage_histogram(Stage::kQueueWait).count(), 1u);
+}
+
+// ------------------------------------------------------------- counters ---
+
+enum class TestCtr : std::uint8_t { kA, kB, kCount };
+
+TEST(EnumCounters, IncGetReset) {
+  stats::EnumCounters<TestCtr> c;
+  EXPECT_EQ(c.get(TestCtr::kA), 0u);
+  c.inc(TestCtr::kA);
+  c.inc(TestCtr::kA, 4);
+  c.inc(TestCtr::kB);
+  EXPECT_EQ(c.get(TestCtr::kA), 5u);
+  EXPECT_EQ(c.get(TestCtr::kB), 1u);
+  c.reset();
+  EXPECT_EQ(c.get(TestCtr::kA), 0u);
+  EXPECT_EQ(stats::EnumCounters<TestCtr>::size(), 2u);
+}
+
+// ------------------------------------------------------------ reservoir ---
+
+SpanRecord span_with_latency(std::uint64_t e2e) {
+  SpanRecord s;
+  s.active = true;
+  s.ingress_ns = 1'000;
+  s.egress_ns = 1'000 + e2e;
+  return s;
+}
+
+TEST(Reservoir, SlowestMatchesSortReference) {
+  ReservoirConfig cfg;
+  cfg.slowest_capacity = 8;
+  cfg.sample_capacity = 0;
+  cfg.seed = 7;
+  ExemplarReservoir r(cfg);
+  sim::Rng rng(42);
+  std::vector<std::uint64_t> lat;
+  for (int i = 0; i < 5'000; ++i) {
+    std::uint64_t v = rng.uniform_u64(10'000'000);
+    lat.push_back(v);
+    r.offer(span_with_latency(v));
+  }
+  std::sort(lat.rbegin(), lat.rend());
+  auto slowest = r.slowest();
+  ASSERT_EQ(slowest.size(), 8u);
+  for (std::size_t i = 0; i < slowest.size(); ++i) {
+    EXPECT_EQ(slowest[i].e2e_ns, lat[i]) << "rank " << i;
+    if (i) {
+      EXPECT_GE(slowest[i - 1].e2e_ns, slowest[i].e2e_ns);
+    }
+  }
+  EXPECT_EQ(r.seen(), 5'000u);
+}
+
+TEST(Reservoir, UniformSampleIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    ReservoirConfig cfg;
+    cfg.slowest_capacity = 0;
+    cfg.sample_capacity = 16;
+    cfg.seed = seed;
+    ExemplarReservoir r(cfg);
+    for (int i = 0; i < 20'000; ++i)
+      r.offer(span_with_latency(static_cast<std::uint64_t>(i)));
+    std::vector<std::uint64_t> ords;
+    for (const auto& e : r.sample()) ords.push_back(e.ordinal);
+    return ords;
+  };
+  auto a = run(3), b = run(3), c = run(4);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // astronomically unlikely to collide
+  ASSERT_EQ(a.size(), 16u);
+  // Algorithm R keeps distinct ordinals by construction.
+  std::sort(a.begin(), a.end());
+  EXPECT_EQ(std::adjacent_find(a.begin(), a.end()), a.end());
+}
+
+TEST(Reservoir, ResetRestoresDeterminism) {
+  ReservoirConfig cfg;
+  cfg.sample_capacity = 8;
+  cfg.seed = 11;
+  ExemplarReservoir r(cfg);
+  auto feed = [&] {
+    for (int i = 0; i < 1'000; ++i)
+      r.offer(span_with_latency(static_cast<std::uint64_t>(i * 3)));
+    std::vector<std::uint64_t> ords;
+    for (const auto& e : r.sample()) ords.push_back(e.ordinal);
+    return ords;
+  };
+  auto first = feed();
+  r.reset();
+  EXPECT_EQ(r.seen(), 0u);
+  EXPECT_EQ(feed(), first);
+}
+
+// ------------------------------------------------------------- registry ---
+
+TEST(Registry, SnapshotCollectsEverySourceKind) {
+  std::uint64_t ctr = 7;
+  stats::CounterSet set;
+  set.inc("x", 3);
+  set.inc("y");
+  stats::LatencyHistogram h;
+  h.record(100);
+  h.record(300);
+  stats::TimeSeries ts(1000, "depth");
+  ts.observe(100, 4);
+
+  StatsRegistry reg;
+  reg.add_counter("plain", [&] { return ctr; });
+  reg.add_gauge("g", [] { return 2.5; });
+  reg.add_counter_set("pre", &set);
+  reg.add_histogram("lat", &h);
+  reg.add_time_series(&ts);
+  EXPECT_EQ(reg.num_sources(), 5u);
+
+  Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.counters.at("plain"), 7u);
+  EXPECT_EQ(s.counters.at("pre.x"), 3u);
+  EXPECT_EQ(s.counters.at("pre.y"), 1u);
+  EXPECT_DOUBLE_EQ(s.gauges.at("g"), 2.5);
+  EXPECT_EQ(s.histograms.at("lat").count(), 2u);
+  ASSERT_EQ(s.series.size(), 1u);
+  EXPECT_EQ(s.series[0].name, "depth");
+
+  // Live sources: a later snapshot sees subsequent increments.
+  ctr = 9;
+  set.inc("x");
+  EXPECT_EQ(reg.snapshot().counters.at("plain"), 9u);
+  EXPECT_EQ(reg.snapshot().counters.at("pre.x"), 4u);
+}
+
+TEST(Registry, DiffSinceGivesIntervalView) {
+  std::uint64_t ctr = 0;
+  stats::LatencyHistogram h;
+  StatsRegistry reg;
+  reg.add_counter("c", [&] { return ctr; });
+  reg.add_gauge("g", [&] { return static_cast<double>(ctr); });
+  reg.add_histogram("h", &h);
+
+  ctr = 5;
+  h.record(100);
+  Snapshot t0 = reg.snapshot();
+  ctr = 12;
+  h.record(100);
+  h.record(900);
+  Snapshot t1 = reg.snapshot();
+
+  Snapshot d = t1.diff_since(t0);
+  EXPECT_EQ(d.counters.at("c"), 7u);
+  EXPECT_DOUBLE_EQ(d.gauges.at("g"), 12.0);  // gauges keep current value
+  EXPECT_EQ(d.histograms.at("h").count(), 2u);
+  EXPECT_EQ(d.histograms.at("h").sum(), h.sum() - 100);
+}
+
+TEST(Registry, MergeCombinesShards) {
+  stats::LatencyHistogram ha, hb;
+  ha.record(100);
+  hb.record(200);
+  hb.record(300);
+  std::uint64_t ca = 2, cb = 5;
+
+  StatsRegistry ra, rb;
+  ra.add_counter("c", [&] { return ca; });
+  ra.add_histogram("h", &ha);
+  ra.add_gauge("only_a", [] { return 1.0; });
+  rb.add_counter("c", [&] { return cb; });
+  rb.add_histogram("h", &hb);
+  rb.add_gauge("only_b", [] { return 2.0; });
+
+  Snapshot s = ra.snapshot();
+  s.merge(rb.snapshot());
+  EXPECT_EQ(s.counters.at("c"), 7u);
+  EXPECT_EQ(s.histograms.at("h").count(), 3u);
+  EXPECT_EQ(s.histograms.at("h").sum(), 600u);
+  EXPECT_DOUBLE_EQ(s.gauges.at("only_a"), 1.0);
+  EXPECT_DOUBLE_EQ(s.gauges.at("only_b"), 2.0);
+}
+
+// ----------------------------------------------------------- histograms ---
+
+TEST(HistogramExt, SumTracksRecordedTotal) {
+  stats::LatencyHistogram h;
+  h.record(100);
+  h.record_n(50, 3);
+  EXPECT_EQ(h.sum(), 250u);
+}
+
+TEST(HistogramExt, SubtractIsIntervalOfPrefix) {
+  sim::Rng rng(9);
+  stats::LatencyHistogram h, later_only;
+  std::vector<std::uint64_t> vals;
+  for (int i = 0; i < 20'000; ++i)
+    vals.push_back(rng.uniform_u64(5'000'000) + 1);
+  for (int i = 0; i < 8'000; ++i) h.record(vals[i]);
+  stats::LatencyHistogram earlier = h;  // prefix snapshot
+  for (int i = 8'000; i < 20'000; ++i) {
+    h.record(vals[i]);
+    later_only.record(vals[i]);
+  }
+  stats::LatencyHistogram d = h;
+  d.subtract(earlier);
+  EXPECT_EQ(d.count(), later_only.count());
+  EXPECT_EQ(d.sum(), later_only.sum());
+  for (double q : {0.5, 0.9, 0.99})
+    EXPECT_EQ(d.quantile(q), later_only.quantile(q)) << q;
+}
+
+// ----------------------------------------------------------------- json ---
+
+TEST(Json, WriterParserRoundTrip) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("hello \"world\"\n\t\x01");
+  w.key("num").value(std::uint64_t{18'000'000'000'000'000'000ull});
+  w.key("neg").value(std::int64_t{-42});
+  w.key("pi").value(3.25);
+  w.key("yes").value(true);
+  w.key("no").value(false);
+  w.key("nothing").null();
+  w.key("arr").begin_array();
+  w.value(1).value(2).value(3);
+  w.begin_object();
+  w.key("nested").value("x");
+  w.end_object();
+  w.end_array();
+  w.key("spliced").raw("{\"a\":1}");
+  w.end_object();
+
+  auto v = JsonValue::parse(w.str());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("name")->as_string(), "hello \"world\"\n\t\x01");
+  EXPECT_EQ(v->find("neg")->as_double(), -42.0);
+  EXPECT_DOUBLE_EQ(v->find("pi")->as_double(), 3.25);
+  EXPECT_TRUE(v->find("yes")->as_bool());
+  EXPECT_FALSE(v->find("no")->as_bool());
+  EXPECT_EQ(v->find("nothing")->type(), JsonValue::Type::kNull);
+  ASSERT_TRUE(v->find("arr")->is_array());
+  EXPECT_EQ(v->find("arr")->items().size(), 4u);
+  EXPECT_EQ(v->find("arr")->items()[2].as_u64(), 3u);
+  EXPECT_EQ(v->find_path({"spliced", "a"})->as_u64(), 1u);
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(Json, ParserRejectsMalformed) {
+  EXPECT_FALSE(JsonValue::parse("{").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1,2,]").has_value());
+  EXPECT_FALSE(JsonValue::parse("{} trailing").has_value());
+  EXPECT_TRUE(JsonValue::parse(" {\"a\": [1, 2]} ").has_value());
+}
+
+TEST(Json, UnicodeEscapeDecodes) {
+  auto v = JsonValue::parse("\"a\\u00e9b\"");  // é
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "a\xc3\xa9" "b");
+}
+
+// -------------------------------------------------------------- exports ---
+
+Snapshot sample_snapshot() {
+  static std::uint64_t ctr = 41;
+  static stats::LatencyHistogram h;
+  if (h.count() == 0) {
+    h.record(1'000);
+    h.record(3'000);
+  }
+  StatsRegistry reg;
+  reg.add_counter("reqs", [] { return ctr; });
+  reg.add_gauge("depth", [] { return 1.5; });
+  reg.add_histogram("lat", &h);
+  return reg.snapshot();
+}
+
+TEST(Exports, SnapshotJsonParsesAndRoundTrips) {
+  Snapshot s = sample_snapshot();
+  auto v = JsonValue::parse(s.to_json());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find_path({"counters", "reqs"})->as_u64(), 41u);
+  EXPECT_DOUBLE_EQ(v->find_path({"gauges", "depth"})->as_double(), 1.5);
+  const JsonValue* lat = v->find_path({"histograms", "lat"});
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->find("count")->as_u64(), 2u);
+  EXPECT_EQ(lat->find("sum_ns")->as_u64(), 4'000u);
+}
+
+TEST(Exports, SnapshotCsvHasHeaderAndRows) {
+  Snapshot s = sample_snapshot();
+  std::string csv = s.to_csv();
+  EXPECT_EQ(csv.rfind("type,name,value,count,sum_ns", 0), 0u)
+      << "header must be the first line";
+  EXPECT_NE(csv.find("counter,reqs,41"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,depth,1.5"), std::string::npos);
+  EXPECT_NE(csv.find("hist,lat,"), std::string::npos);
+  // One header + one line per metric.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+// ---------------------------------------------------------- integration ---
+
+TEST(Integration, StageLatenciesSumToEndToEnd) {
+  harness::ScenarioConfig cfg;
+  cfg.policy = "adaptive";
+  cfg.num_paths = 3;
+  cfg.load = 0.6;
+  cfg.packets = 30'000;
+  cfg.warmup_packets = 0;  // trace everything: traced must equal egressed
+  cfg.interference = true;
+  cfg.interference_cfg.duty_cycle = 0.1;
+  cfg.seed = 5;
+  cfg.trace = true;
+  auto res = harness::run_scenario(cfg);
+  ASSERT_TRUE(res.trace.has_value());
+  const TraceReport& tr = *res.trace;
+
+  EXPECT_EQ(tr.traced, res.egressed);
+  EXPECT_GT(tr.traced, 0u);
+
+  // The telescoping invariant, exemplar by exemplar: stage durations sum
+  // EXACTLY (0 ns error) to the end-to-end latency.
+  ASSERT_GE(tr.slowest.size(), 16u);
+  ASSERT_GE(tr.sampled.size(), 16u);
+  auto check = [](const Exemplar& ex) {
+    auto stages = ex.span.stages();
+    std::uint64_t sum =
+        std::accumulate(stages.begin(), stages.end(), 0ull);
+    EXPECT_EQ(sum, ex.e2e_ns);
+    EXPECT_EQ(ex.span.e2e_ns(), ex.e2e_ns);
+  };
+  for (const auto& ex : tr.slowest) check(ex);
+  for (const auto& ex : tr.sampled) check(ex);
+
+  // Aggregate form of the same invariant: per-stage histogram sums add up
+  // to the e2e histogram sum, and counts line up.
+  std::uint64_t stage_total = 0;
+  for (const auto& h : tr.stage_hist) {
+    EXPECT_EQ(h.count(), tr.traced);
+    stage_total += h.sum();
+  }
+  EXPECT_EQ(stage_total, tr.e2e.sum());
+  EXPECT_EQ(tr.e2e.count(), tr.traced);
+
+  // PathMonitor inflight accounting must never have gone negative.
+  EXPECT_EQ(res.stats.counters.at("paths.inflight_underflows"), 0u);
+  // Registry view agrees with the report.
+  EXPECT_EQ(res.stats.counters.at("trace.traced"), tr.traced);
+  EXPECT_EQ(res.stats.counters.at("dp.egress"), res.egressed);
+}
+
+TEST(Integration, ExemplarsAreDeterministicAcrossRuns) {
+  auto run = [] {
+    harness::ScenarioConfig cfg;
+    cfg.policy = "jsq";
+    cfg.num_paths = 2;
+    cfg.load = 0.5;
+    cfg.packets = 15'000;
+    cfg.warmup_packets = 0;
+    cfg.seed = 12;
+    cfg.trace = true;
+    return harness::run_scenario(cfg);
+  };
+  auto a = run(), b = run();
+  ASSERT_TRUE(a.trace && b.trace);
+  ASSERT_EQ(a.trace->slowest.size(), b.trace->slowest.size());
+  for (std::size_t i = 0; i < a.trace->slowest.size(); ++i) {
+    EXPECT_EQ(a.trace->slowest[i].ordinal, b.trace->slowest[i].ordinal);
+    EXPECT_EQ(a.trace->slowest[i].e2e_ns, b.trace->slowest[i].e2e_ns);
+  }
+  ASSERT_EQ(a.trace->sampled.size(), b.trace->sampled.size());
+  for (std::size_t i = 0; i < a.trace->sampled.size(); ++i)
+    EXPECT_EQ(a.trace->sampled[i].ordinal, b.trace->sampled[i].ordinal);
+}
+
+TEST(Integration, TracingDisabledLeavesNoTrace) {
+  harness::ScenarioConfig cfg;
+  cfg.packets = 10'000;
+  cfg.warmup_packets = 1'000;
+  cfg.seed = 3;
+  cfg.trace = false;
+  auto res = harness::run_scenario(cfg);
+  EXPECT_FALSE(res.trace.has_value());
+  EXPECT_EQ(res.stats.counters.count("trace.traced"), 0u);
+  // The rest of the snapshot is still populated.
+  EXPECT_GT(res.stats.counters.at("dp.ingress"), 0u);
+  EXPECT_EQ(res.stats.counters.at("paths.inflight_underflows"), 0u);
+}
+
+TEST(Integration, RunReportJsonIsWellFormed) {
+  harness::ScenarioConfig cfg;
+  cfg.policy = "red2";
+  cfg.num_paths = 2;
+  cfg.load = 0.4;
+  cfg.packets = 12'000;
+  cfg.warmup_packets = 1'000;
+  cfg.seed = 8;
+  cfg.trace = true;
+  auto res = harness::run_scenario(cfg);
+  std::string doc = harness::scenario_report_json(cfg, res);
+
+  auto v = JsonValue::parse(doc);
+  ASSERT_TRUE(v.has_value()) << doc.substr(0, 200);
+  EXPECT_EQ(v->find("schema")->as_string(), "mdp.run_report.v1");
+  EXPECT_EQ(v->find_path({"config", "policy"})->as_string(), "red2");
+  EXPECT_EQ(v->find_path({"metrics", "egressed"})->as_u64(), res.egressed);
+  // Per-stage histograms present in the snapshot section.
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    std::string key = std::string("trace.stage.") + stage_name(stage_at(i));
+    EXPECT_NE(v->find_path({"stats", "histograms", key}), nullptr) << key;
+  }
+  // >= 16 tail exemplars, each with a full stage breakdown.
+  const JsonValue* slowest = v->find_path({"trace", "exemplars", "slowest"});
+  ASSERT_NE(slowest, nullptr);
+  ASSERT_TRUE(slowest->is_array());
+  EXPECT_GE(slowest->items().size(), 16u);
+  for (const auto& ex : slowest->items()) {
+    const JsonValue* stages = ex.find("stages_ns");
+    ASSERT_NE(stages, nullptr);
+    std::uint64_t sum = 0;
+    for (const auto& [name, val] : stages->members()) sum += val.as_u64();
+    EXPECT_EQ(sum, ex.find("e2e_ns")->as_u64());
+  }
+}
+
+}  // namespace
+}  // namespace mdp::trace
