@@ -62,6 +62,13 @@ class JsonReportSink {
     runs_.emplace_back(label, harness::scenario_report_json(cfg, res));
   }
 
+  /// Add a run whose report is a pre-built JSON value (for benches whose
+  /// rows aren't harness ScenarioResults, e.g. the fastpath burst sweep).
+  void add_raw(const std::string& label, std::string report_json) {
+    if (!active()) return;
+    runs_.emplace_back(label, std::move(report_json));
+  }
+
   /// Write the combined document. Returns true on success (or inactive).
   bool flush() {
     if (!active()) return true;

@@ -47,6 +47,36 @@ static void BM_SpscBulk32(benchmark::State& state) {
 }
 BENCHMARK(BM_SpscBulk32);
 
+// Burst sweep: the amortization the threaded data plane's hot path rides
+// on. ns/item should drop steeply from burst 1 to 32 and flatten after.
+static void BM_SpscBurst(benchmark::State& state) {
+  const auto burst = static_cast<std::size_t>(state.range(0));
+  ring::SpscRing<std::uint64_t> r(1024);
+  std::vector<std::uint64_t> in(burst, 7), out(burst);
+  for (auto _ : state) {
+    r.try_push_burst(std::span<std::uint64_t>(in.data(), burst));
+    r.try_pop_burst(std::span<std::uint64_t>(out.data(), burst));
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(burst));
+}
+BENCHMARK(BM_SpscBurst)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+static void BM_MpmcBurst(benchmark::State& state) {
+  const auto burst = static_cast<std::size_t>(state.range(0));
+  ring::MpmcRing<std::uint64_t> r(1024);
+  std::vector<std::uint64_t> in(burst, 7), out(burst);
+  for (auto _ : state) {
+    r.try_push_burst(std::span<std::uint64_t>(in.data(), burst));
+    r.try_pop_burst(std::span<std::uint64_t>(out.data(), burst));
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(burst));
+}
+BENCHMARK(BM_MpmcBurst)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
 static void BM_MpmcPushPop(benchmark::State& state) {
   ring::MpmcRing<std::uint64_t> r(1024);
   std::uint64_t v = 0;
@@ -207,5 +237,69 @@ static void BM_ChecksumFrame(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ChecksumFrame)->Arg(64)->Arg(1500);
+
+// Whole-chain batch path: one virtual call per element per burst through
+// CheckIPHeader -> Firewall -> Nat -> LoadBalancer. Arg = burst size;
+// packet construction is inside the loop for every variant, so only the
+// chain traversal cost varies across rows.
+static void BM_ChainBatch(benchmark::State& state) {
+  const auto burst = static_cast<std::size_t>(state.range(0));
+  sim::EventQueue eq;
+  net::PacketPool pool(512, 2048);
+  click::Router router(click::Router::Context{&eq, &pool});
+  std::string err;
+  auto built = nf::build_chain(router, "c",
+                               nf::ChainSpec::preset("fw-nat-lb"), &err);
+  auto* sink = router.add_element("sink", "Discard", {}, &err);
+  if (!built || !sink ||
+      !router.connect(built->tail, 0, sink, 0, &err) ||
+      !router.initialize(&err)) {
+    state.SkipWithError(err.c_str());
+    return;
+  }
+  net::BuildSpec spec;
+  spec.flow = {0x0a000001, 0x0a006401, 1000, 80, 17};
+  spec.payload_len = 64;
+  for (auto _ : state) {
+    click::PacketBatch batch;
+    batch.reserve(burst);
+    for (std::size_t i = 0; i < burst; ++i) {
+      batch.push_back(net::build_udp(pool, spec));
+      spec.flow.src_port =
+          static_cast<std::uint16_t>(1000 + (spec.flow.src_port + 1) % 64);
+    }
+    nf::process_batch(*built, std::move(batch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(burst));
+}
+BENCHMARK(BM_ChainBatch)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+// Per-packet push through the same chain, as the batch rows' baseline.
+static void BM_ChainPerPacket(benchmark::State& state) {
+  sim::EventQueue eq;
+  net::PacketPool pool(512, 2048);
+  click::Router router(click::Router::Context{&eq, &pool});
+  std::string err;
+  auto built = nf::build_chain(router, "c",
+                               nf::ChainSpec::preset("fw-nat-lb"), &err);
+  auto* sink = router.add_element("sink", "Discard", {}, &err);
+  if (!built || !sink ||
+      !router.connect(built->tail, 0, sink, 0, &err) ||
+      !router.initialize(&err)) {
+    state.SkipWithError(err.c_str());
+    return;
+  }
+  net::BuildSpec spec;
+  spec.flow = {0x0a000001, 0x0a006401, 1000, 80, 17};
+  spec.payload_len = 64;
+  for (auto _ : state) {
+    built->head->push(0, net::build_udp(pool, spec));
+    spec.flow.src_port =
+        static_cast<std::uint16_t>(1000 + (spec.flow.src_port + 1) % 64);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChainPerPacket);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Docs gate: verify that every intra-repo markdown link resolves.
+
+Scans all *.md files in the repository (skipping build trees) for inline
+links and checks that relative targets exist on disk. External links
+(http/https/mailto) and pure anchors (#...) are ignored; a `path#anchor`
+link is checked for the file only.
+
+Usage: check_md_links.py [repo_root]
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {".git", "build", "build-notrace", ".github"}
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    bad = []
+    checked = 0
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in SKIP_DIRS and not d.startswith("build")]
+        for name in filenames:
+            if not name.endswith(".md"):
+                continue
+            md = os.path.join(dirpath, name)
+            with open(md, encoding="utf-8") as f:
+                text = f.read()
+            for m in LINK_RE.finditer(text):
+                target = m.group(1)
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                resolved = os.path.normpath(os.path.join(dirpath, target))
+                checked += 1
+                if not os.path.exists(resolved):
+                    bad.append((os.path.relpath(md, root), target))
+    for md, target in bad:
+        print(f"BROKEN: {md} -> {target}")
+    print(f"{checked} intra-repo links checked, {len(bad)} broken")
+    sys.exit(1 if bad else 0)
+
+
+if __name__ == "__main__":
+    main()

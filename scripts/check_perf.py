@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a fresh ext2_fastpath burst sweep against the
+committed baseline (BENCH_fastpath.json).
+
+Usage:
+    check_perf.py <fresh.json> [<baseline.json>] [--max-regression 2.0]
+
+Fails (exit 1) when any burst row's ns/packet regressed by more than
+--max-regression (default 2x — deliberately generous: CI runners are
+shared and noisy; this catches "someone made the hot path 5x slower",
+not 10% drift).
+
+The burst-32-vs-burst-1 speedup (the PR's headline claim, >= 1.3x) is
+checked as a WARNING only: on an oversubscribed runner the burst-1 row
+can be arbitrarily distorted by scheduling, so it does not gate merges.
+Regenerate the baseline by running, from a Release build:
+
+    ./build/bench/ext2_fastpath --json BENCH_fastpath.json
+"""
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Return {burst: ns_per_packet} from an ext2_fastpath --json file."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "ext2_fastpath":
+        sys.exit(f"{path}: not an ext2_fastpath report")
+    rows = {}
+    for run in doc["runs"]:
+        rep = run["report"]
+        if rep.get("schema") != "mdp.bench_fastpath.v1":
+            continue
+        rows[rep["burst"]] = rep["ns_per_packet"]
+    if not rows:
+        sys.exit(f"{path}: no mdp.bench_fastpath.v1 rows")
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("fresh", help="just-generated ext2_fastpath --json file")
+    ap.add_argument("baseline", nargs="?", default="BENCH_fastpath.json")
+    ap.add_argument("--max-regression", type=float, default=2.0)
+    args = ap.parse_args()
+
+    fresh = load_rows(args.fresh)
+    base = load_rows(args.baseline)
+
+    failed = False
+    for burst in sorted(base):
+        if burst not in fresh:
+            print(f"FAIL: burst {burst} present in baseline but missing "
+                  f"from fresh run")
+            failed = True
+            continue
+        ratio = fresh[burst] / base[burst]
+        verdict = "ok"
+        if ratio > args.max_regression:
+            verdict = f"FAIL (> {args.max_regression}x regression)"
+            failed = True
+        print(f"burst {burst:>4}: baseline {base[burst]:8.1f} ns/pkt, "
+              f"fresh {fresh[burst]:8.1f} ns/pkt, ratio {ratio:.2f}x "
+              f"[{verdict}]")
+
+    if 1 in fresh and 32 in fresh:
+        speedup = fresh[1] / fresh[32]
+        tag = "ok" if speedup >= 1.3 else "WARNING (headline claim not " \
+              "reproduced on this runner)"
+        print(f"burst 32 vs 1 speedup: {speedup:.2f}x [{tag}]")
+
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,7 @@
 #include "click/element.hpp"
 
+#include <algorithm>
+
 namespace mdp::click {
 
 void Element::push(int port, net::PacketPtr pkt) {
@@ -13,6 +15,30 @@ net::PacketPtr Element::pull(int port) {
   net::PacketPtr pkt = input_pull(0);
   if (!pkt) return pkt;
   return simple_action(std::move(pkt));
+}
+
+void Element::push_batch(int port, PacketBatch&& batch) {
+  // Per-packet fallback: exact push() semantics for elements that have
+  // not opted into an amortized batch path.
+  for (auto& pkt : batch)
+    if (pkt) push(port, std::move(pkt));
+  batch.clear();
+}
+
+void Element::simple_action_batch(PacketBatch& batch) {
+  for (auto& pkt : batch)
+    if (pkt) pkt = simple_action(std::move(pkt));
+}
+
+void Element::output_push_batch(int port, PacketBatch&& batch) {
+  std::erase_if(batch, [](const net::PacketPtr& p) { return !p; });
+  if (batch.empty()) return;
+  if (!output_connected(port)) {
+    batch.clear();  // drop: handles recycle
+    return;
+  }
+  auto& ref = outputs_[port];
+  ref.element->push_batch(ref.port, std::move(batch));
 }
 
 void Element::connect_output(int out_port, Element* dst, int dst_port) {

@@ -30,6 +30,11 @@ namespace mdp::click {
 
 class Router;
 
+/// A burst of packets moving through the batch path. Entries may be null
+/// transiently (an element nulls dropped packets); output_push_batch()
+/// compacts nulls away before forwarding.
+using PacketBatch = std::vector<net::PacketPtr>;
+
 class Element {
  public:
   virtual ~Element() = default;
@@ -68,6 +73,25 @@ class Element {
     return pkt;
   }
 
+  // --- batch movement (the burst fast path) --------------------------------
+  // Linear chains move whole bursts between elements: one virtual call per
+  // element per burst and better i-cache/d-cache behavior than ping-ponging
+  // a single packet down the chain. Semantics are defined to be IDENTICAL
+  // to pushing each batch entry through push() in order — the base
+  // push_batch() literally does that, so every element (including ones
+  // with custom multi-port push() logic) is batch-correct by default, and
+  // elements opt into amortization by overriding push_batch() (1:1 filters
+  // usually just call act_batch_and_forward()).
+
+  /// Process a whole burst entering `port`. Overriders must consume the
+  /// batch (forward, divert, or drop every entry).
+  virtual void push_batch(int port, PacketBatch&& batch);
+  /// Apply simple_action() to every packet, nulling dropped entries.
+  virtual void simple_action_batch(PacketBatch& batch);
+  /// Forward a burst out of `port` (nulls compacted first). Unconnected
+  /// port => burst dropped (handles recycle the packets).
+  void output_push_batch(int port, PacketBatch&& batch);
+
   // --- graph wiring (managed by Router) ------------------------------------
   void connect_output(int out_port, Element* dst, int dst_port);
   bool output_connected(int port) const noexcept {
@@ -100,6 +124,14 @@ class Element {
   void set_name(std::string n) { name_ = std::move(n); }
   Router* router() const noexcept { return router_; }
   void set_router(Router* r) noexcept { router_ = r; }
+
+ protected:
+  /// Canonical push_batch() body for 1:1 elements: run the batch action,
+  /// forward survivors on output 0 as one burst.
+  void act_batch_and_forward(PacketBatch&& batch) {
+    simple_action_batch(batch);
+    output_push_batch(0, std::move(batch));
+  }
 
  private:
   struct PortRef {

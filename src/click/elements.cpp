@@ -49,6 +49,20 @@ void Queue::push(int, net::PacketPtr pkt) {
   if (q_.size() > highwater_) highwater_ = q_.size();
 }
 
+void Queue::push_batch(int, PacketBatch&& batch) {
+  for (auto& pkt : batch) {
+    if (!pkt) continue;
+    if (q_.size() >= capacity_) {
+      ++drops_;
+      pkt.reset();  // tail drop
+      continue;
+    }
+    q_.push_back(std::move(pkt));
+  }
+  if (q_.size() > highwater_) highwater_ = q_.size();
+  batch.clear();
+}
+
 net::PacketPtr Queue::pull(int) {
   if (q_.empty()) return net::PacketPtr{nullptr};
   net::PacketPtr pkt = std::move(q_.front());
@@ -303,6 +317,24 @@ void CheckIPHeader::push(int, net::PacketPtr pkt) {
   } else {
     ++drops_;
   }
+}
+
+void CheckIPHeader::push_batch(int, PacketBatch&& batch) {
+  // Valid packets ride the burst to output 0; invalid ones divert
+  // per-packet to output 1 (or drop) without breaking the burst.
+  for (auto& pkt : batch) {
+    if (!pkt) continue;
+    auto parsed = net::parse(*pkt);
+    if (parsed.has_value() && net::validate_ipv4_csum(*pkt, *parsed))
+      continue;
+    if (output_connected(1)) {
+      output_push(1, std::move(pkt));
+    } else {
+      ++drops_;
+      pkt.reset();
+    }
+  }
+  output_push_batch(0, std::move(batch));
 }
 
 void DecIPTTL::push(int, net::PacketPtr pkt) {

@@ -26,6 +26,7 @@ class Queue final : public Element {
   sim::TimeNs cost_ns() const override { return 25; }
 
   void push(int port, net::PacketPtr pkt) override;
+  void push_batch(int port, PacketBatch&& batch) override;
   net::PacketPtr pull(int port) override;
 
   std::size_t size() const noexcept { return q_.size(); }
@@ -63,6 +64,9 @@ class Null final : public Element {
  public:
   std::string class_name() const override { return "Null"; }
   sim::TimeNs cost_ns() const override { return 0; }
+  void push_batch(int, PacketBatch&& batch) override {
+    output_push_batch(0, std::move(batch));
+  }
 };
 
 /// Counter: transparent packet/byte counter.
@@ -74,6 +78,14 @@ class Counter final : public Element {
     ++packets_;
     bytes_ += pkt->length();
     return pkt;
+  }
+  void push_batch(int, PacketBatch&& batch) override {
+    for (const auto& pkt : batch) {
+      if (!pkt) continue;
+      ++packets_;
+      bytes_ += pkt->length();
+    }
+    output_push_batch(0, std::move(batch));
   }
   std::uint64_t packets() const noexcept { return packets_; }
   std::uint64_t bytes() const noexcept { return bytes_; }
@@ -93,6 +105,11 @@ class Discard final : public Element {
   void push(int, net::PacketPtr pkt) override {
     ++count_;
     pkt.reset();
+  }
+  void push_batch(int, PacketBatch&& batch) override {
+    for (const auto& pkt : batch)
+      if (pkt) ++count_;
+    batch.clear();
   }
   std::uint64_t count() const noexcept { return count_; }
 
@@ -197,6 +214,9 @@ class Paint final : public Element {
     pkt->anno().paint = color_;
     return pkt;
   }
+  void push_batch(int, PacketBatch&& batch) override {
+    act_batch_and_forward(std::move(batch));
+  }
 
  private:
   std::uint8_t color_ = 0;
@@ -219,6 +239,7 @@ class CheckIPHeader final : public Element {
   int n_outputs() const override { return -1; }
   sim::TimeNs cost_ns() const override { return 70; }
   void push(int port, net::PacketPtr pkt) override;
+  void push_batch(int port, PacketBatch&& batch) override;
 
   std::uint64_t drops() const noexcept { return drops_; }
 
@@ -252,6 +273,9 @@ class Strip final : public Element {
     if (pkt->pull(n_) == nullptr) return net::PacketPtr{nullptr};
     return pkt;
   }
+  void push_batch(int, PacketBatch&& batch) override {
+    act_batch_and_forward(std::move(batch));
+  }
 
  private:
   std::size_t n_ = 14;
@@ -268,6 +292,9 @@ class Unstrip final : public Element {
     if (pkt->push(n_) == nullptr) return net::PacketPtr{nullptr};
     return pkt;
   }
+  void push_batch(int, PacketBatch&& batch) override {
+    act_batch_and_forward(std::move(batch));
+  }
 
  private:
   std::size_t n_ = 14;
@@ -279,6 +306,9 @@ class EtherMirror final : public Element {
   std::string class_name() const override { return "EtherMirror"; }
   sim::TimeNs cost_ns() const override { return 30; }
   net::PacketPtr simple_action(net::PacketPtr pkt) override;
+  void push_batch(int, PacketBatch&& batch) override {
+    act_batch_and_forward(std::move(batch));
+  }
 };
 
 /// SetTrafficClass(BE|LS|LC): marks the multipath traffic class annotation.
@@ -291,6 +321,9 @@ class SetTrafficClass final : public Element {
   net::PacketPtr simple_action(net::PacketPtr pkt) override {
     pkt->anno().traffic_class = cls_;
     return pkt;
+  }
+  void push_batch(int, PacketBatch&& batch) override {
+    act_batch_and_forward(std::move(batch));
   }
 
  private:

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 
 #include "sim/time.hpp"
@@ -44,6 +45,20 @@ class Deduplicator {
     if (!first) ++dup_drops_;
     if (e.seen >= e.expected) entries_.erase(it);
     return first;
+  }
+
+  /// Batch drain: accept() each key in arrival order, recording per-key
+  /// first-copy verdicts in `out_first` (same length as `keys`). Returns
+  /// the number of firsts. Semantically identical to calling accept() in
+  /// a loop — burst callers get one call per drained burst.
+  std::size_t accept_batch(std::span<const std::uint64_t> keys,
+                           std::span<bool> out_first) {
+    std::size_t firsts = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      out_first[i] = accept(keys[i]);
+      if (out_first[i]) ++firsts;
+    }
+    return firsts;
   }
 
   /// A copy was filtered in-chain and will never arrive.

@@ -93,4 +93,9 @@ void ReorderBuffer::submit(net::PacketPtr pkt) {
   arm_timer(a.flow_id, st);
 }
 
+void ReorderBuffer::submit_batch(std::span<net::PacketPtr> pkts) {
+  for (auto& pkt : pkts)
+    if (pkt) submit(std::move(pkt));
+}
+
 }  // namespace mdp::core

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <span>
 #include <unordered_map>
 
 #include "net/packet.hpp"
@@ -36,6 +37,11 @@ class ReorderBuffer {
 
   /// Hand over a deduplicated packet (anno.flow_id / anno.seq valid).
   void submit(net::PacketPtr pkt);
+
+  /// Burst drain: submit each non-null packet in order (null entries —
+  /// dedup-dropped burst slots — are skipped). Identical semantics to a
+  /// per-packet submit loop.
+  void submit_batch(std::span<net::PacketPtr> pkts);
 
   // --- stats --------------------------------------------------------------
   std::uint64_t in_order() const noexcept { return in_order_; }

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +40,55 @@ class PathContext {
 
 using PathVec = std::vector<std::uint16_t>;
 
+/// Snapshot of a PathContext taken once at burst start, with local deltas
+/// for the burst's own dispatches. Batch policies read path state through
+/// this instead of re-querying the live context per packet — one state
+/// sample per burst — and call note_dispatch() after each placement so the
+/// burst still spreads instead of dog-piling the momentary best path.
+/// With a single-packet burst the snapshot equals the live context, so
+/// batch selection degenerates to per-packet selection exactly.
+class BatchPathContext final : public PathContext {
+ public:
+  explicit BatchPathContext(const PathContext& live);
+
+  /// Account a dispatch of estimated cost `est_cost_ns` onto `path`.
+  void note_dispatch(std::uint16_t path, sim::TimeNs est_cost_ns) {
+    backlog_[path] += est_cost_ns;
+    ++depth_[path];
+    ++inflight_[path];
+  }
+
+  /// Per-dispatch backlog estimate derived from the snapshot (mean
+  /// backlog per queued item; 1 µs nominal when queues are empty).
+  sim::TimeNs est_dispatch_cost_ns() const noexcept { return est_cost_ns_; }
+
+  // --- PathContext (snapshot + local deltas) -------------------------------
+  std::size_t num_paths() const override { return up_.size(); }
+  bool up(std::size_t path) const override { return up_[path] != 0; }
+  sim::TimeNs backlog_ns(std::size_t path) const override {
+    return backlog_[path];
+  }
+  std::size_t queue_depth(std::size_t path) const override {
+    return depth_[path];
+  }
+  std::uint64_t inflight(std::size_t path) const override {
+    return inflight_[path];
+  }
+  double ewma_latency_ns(std::size_t path) const override {
+    return ewma_[path];
+  }
+  sim::TimeNs now() const override { return now_; }
+
+ private:
+  std::vector<std::uint8_t> up_;
+  std::vector<sim::TimeNs> backlog_;
+  std::vector<std::size_t> depth_;
+  std::vector<std::uint64_t> inflight_;
+  std::vector<double> ewma_;
+  sim::TimeNs now_;
+  sim::TimeNs est_cost_ns_;
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -49,6 +99,16 @@ class Scheduler {
   /// path exists.
   virtual void select(const net::Packet& pkt, const PathContext& ctx,
                       sim::Rng& rng, PathVec& out) = 0;
+
+  /// Batch entry point: choose paths for a whole burst in one call.
+  /// `out` is resized to pkts.size(); out[i] receives packet i's paths.
+  /// The default loops select() per packet — bit-identical to the scalar
+  /// path. Load-aware policies (JSQ, adaptive) override it to sample path
+  /// state once per burst and track their own dispatches locally via
+  /// BatchPathContext, amortizing the state query across the burst.
+  virtual void select_batch(std::span<const net::Packet* const> pkts,
+                            const PathContext& ctx, sim::Rng& rng,
+                            std::vector<PathVec>& out);
 
   /// Hedge budget for a packet dispatched as a single copy; 0 disables.
   virtual sim::TimeNs hedge_timeout_ns(const net::Packet& pkt,
@@ -116,6 +176,11 @@ class JsqScheduler final : public Scheduler {
   std::string name() const override { return "jsq"; }
   void select(const net::Packet&, const PathContext& ctx, sim::Rng&,
               PathVec& out) override;
+  /// One backlog sample per burst; each pick charges an estimated
+  /// dispatch cost onto its path so the burst spreads across queues.
+  void select_batch(std::span<const net::Packet* const> pkts,
+                    const PathContext& ctx, sim::Rng& rng,
+                    std::vector<PathVec>& out) override;
 };
 
 /// Least-EWMA-latency with epsilon-greedy probing (latency-aware; learns
@@ -196,6 +261,12 @@ class AdaptiveMdpScheduler final : public Scheduler {
   std::string name() const override { return "adaptive"; }
   void select(const net::Packet& pkt, const PathContext& ctx, sim::Rng& rng,
               PathVec& out) override;
+  /// Samples path state once per burst (BatchPathContext snapshot) and
+  /// runs the full per-packet policy — replication gate, flowlet table,
+  /// hedging metadata — against the snapshot plus local dispatch deltas.
+  void select_batch(std::span<const net::Packet* const> pkts,
+                    const PathContext& ctx, sim::Rng& rng,
+                    std::vector<PathVec>& out) override;
   sim::TimeNs hedge_timeout_ns(const net::Packet& pkt,
                                const PathContext& ctx) const override;
 

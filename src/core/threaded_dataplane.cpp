@@ -15,10 +15,16 @@ ThreadedDataPlane::ThreadedDataPlane(ThreadedConfig cfg,
       free_ring_(std::make_unique<ring::MpmcRing<Slot*>>(cfg.pool_size)),
       slots_(cfg.pool_size),
       work_buf_(cfg.payload_bytes, 0xa5),
-      path_counts_(cfg.num_paths, 0) {
-  for (std::size_t p = 0; p < cfg_.num_paths; ++p)
+      path_counts_(cfg.num_paths, 0),
+      stage_(cfg.num_paths),
+      jsq_depths_(cfg.num_paths, 0) {
+  if (cfg_.burst_size == 0) cfg_.burst_size = 1;
+  if (cfg_.burst_size > kMaxBurst) cfg_.burst_size = kMaxBurst;
+  for (std::size_t p = 0; p < cfg_.num_paths; ++p) {
     path_rings_.push_back(
         std::make_unique<ring::SpscRing<Slot*>>(cfg.ring_capacity));
+    stage_[p].reserve(kMaxBurst);
+  }
   for (auto& s : slots_) free_ring_->try_push(&s);
 }
 
@@ -81,61 +87,149 @@ bool ThreadedDataPlane::ingress(std::uint64_t flow_hash) {
   return true;
 }
 
+std::size_t ThreadedDataPlane::ingress_burst(
+    std::span<const std::uint64_t> flow_hashes) {
+  const std::size_t want =
+      flow_hashes.size() < kMaxBurst ? flow_hashes.size() : kMaxBurst;
+  if (want == 0) return 0;
+
+  Slot* acquired[kMaxBurst];
+  const std::size_t got =
+      free_ring_->try_pop_burst(std::span<Slot*>(acquired, want));
+  rejected_ += want - got;
+  if (got == 0) return 0;
+
+  // Per-burst bookkeeping amortization: one admission stamp and (for JSQ)
+  // one ring-occupancy sample for the whole burst. Intra-burst placements
+  // are accounted locally so the burst still spreads.
+  const std::uint64_t admit_ns = now_ns();
+  const bool jsq = cfg_.policy != "hash" && cfg_.policy != "rr";
+  if (jsq)
+    for (std::size_t p = 0; p < cfg_.num_paths; ++p)
+      jsq_depths_[p] = path_rings_[p]->size();
+
+  for (auto& staged : stage_) staged.clear();
+  for (std::size_t i = 0; i < got; ++i) {
+    const std::uint64_t hash = flow_hashes[i];
+    std::uint16_t path;
+    if (jsq) {
+      std::size_t best = 0;
+      for (std::size_t p = 1; p < cfg_.num_paths; ++p)
+        if (jsq_depths_[p] < jsq_depths_[best]) best = p;
+      ++jsq_depths_[best];
+      path = static_cast<std::uint16_t>(best);
+    } else {
+      path = pick_path(hash);
+    }
+    Slot* slot = acquired[i];
+    slot->enqueue_ns = admit_ns;
+    slot->path = path;
+    slot->payload_seed = static_cast<std::uint32_t>(hash);
+    stage_[path].push_back(slot);
+  }
+
+  std::size_t accepted = 0;
+  for (std::size_t p = 0; p < cfg_.num_paths; ++p) {
+    auto& staged = stage_[p];
+    if (staged.empty()) continue;
+    const std::size_t pushed = path_rings_[p]->try_push_burst(
+        std::span<Slot*>(staged.data(), staged.size()));
+    path_counts_[p] += pushed;
+    accepted += pushed;
+    // Ring full mid-burst: recycle the tail and count it rejected.
+    const std::size_t leftover = staged.size() - pushed;
+    if (leftover > 0) {
+      std::size_t back = 0;
+      while (back < leftover)
+        back += free_ring_->try_push_burst(
+            std::span<Slot*>(staged.data() + pushed + back, leftover - back));
+      rejected_ += leftover;
+    }
+  }
+  submitted_ += accepted;
+  return accepted;
+}
+
 void ThreadedDataPlane::worker_loop(std::size_t path) {
   // Each worker owns a private scratch copy so the checksum work doesn't
   // false-share.
   std::vector<std::uint8_t> buf = work_buf_;
   auto& ring = *path_rings_[path];
+  Slot* burst[kMaxBurst];
+  const std::size_t burst_cap = cfg_.burst_size;
   while (true) {
-    Slot* slot = nullptr;
-    if (!ring.try_pop(slot)) {
+    const std::size_t n =
+        ring.try_pop_burst(std::span<Slot*>(burst, burst_cap));
+    if (n == 0) {
       if (stopping_.load(std::memory_order_acquire) && ring.empty()) break;
       std::this_thread::yield();
       continue;
     }
-    if (cfg_.record_stage_hist) slot->dequeue_ns = now_ns();
-    // Real per-packet work: seed-perturbed checksum passes over the
-    // payload region (memory traffic + ALU, like header parsing would).
-    buf[0] = static_cast<std::uint8_t>(slot->payload_seed);
-    volatile std::uint16_t sink = 0;
-    for (std::size_t i = 0; i < cfg_.work_iterations; ++i) {
-      sink = net::checksum(
-          reinterpret_cast<const std::byte*>(buf.data()), buf.size());
-      buf[1] = static_cast<std::uint8_t>(sink);
+    if (cfg_.record_stage_hist) {
+      const std::uint64_t t = now_ns();
+      for (std::size_t i = 0; i < n; ++i) burst[i]->dequeue_ns = t;
     }
-    if (cfg_.record_stage_hist) slot->done_ns = now_ns();
-    while (!done_ring_->try_push(slot)) std::this_thread::yield();
+    for (std::size_t i = 0; i < n; ++i) {
+      // Real per-packet work: seed-perturbed checksum passes over the
+      // payload region (memory traffic + ALU, like header parsing would).
+      buf[0] = static_cast<std::uint8_t>(burst[i]->payload_seed);
+      volatile std::uint16_t sink = 0;
+      for (std::size_t k = 0; k < cfg_.work_iterations; ++k) {
+        sink = net::checksum(
+            reinterpret_cast<const std::byte*>(buf.data()), buf.size());
+        buf[1] = static_cast<std::uint8_t>(sink);
+      }
+    }
+    if (cfg_.record_stage_hist) {
+      const std::uint64_t t = now_ns();
+      for (std::size_t i = 0; i < n; ++i) burst[i]->done_ns = t;
+    }
+    std::size_t pushed = 0;
+    while (pushed < n) {
+      pushed += done_ring_->try_push_burst(
+          std::span<Slot*>(burst + pushed, n - pushed));
+      if (pushed < n) std::this_thread::yield();
+    }
   }
 }
 
 void ThreadedDataPlane::collector_loop() {
+  Slot* burst[kMaxBurst];
+  const std::size_t burst_cap = cfg_.burst_size;
   while (true) {
-    Slot* slot = nullptr;
-    if (!done_ring_->try_pop(slot)) {
+    const std::size_t n =
+        done_ring_->try_pop_burst(std::span<Slot*>(burst, burst_cap));
+    if (n == 0) {
       // Only exit once every worker has been joined (workers_done_), so no
       // completion can still be in flight between a path ring and done_ring_.
       if (workers_done_.load(std::memory_order_acquire)) break;
       std::this_thread::yield();
       continue;
     }
-    std::uint64_t now = now_ns();
-    std::uint64_t latency = now - slot->enqueue_ns;
-    std::uint16_t path = slot->path;
-    if (cfg_.record_stage_hist) {
-      // Slot stamps were written by the worker before the done_ring_
-      // push (release) and read after the pop (acquire) — no race.
-      queue_wait_hist_.record(slot->dequeue_ns >= slot->enqueue_ns
-                                  ? slot->dequeue_ns - slot->enqueue_ns
-                                  : 0);
-      service_hist_.record(slot->done_ns >= slot->dequeue_ns
-                               ? slot->done_ns - slot->dequeue_ns
-                               : 0);
-      merge_wait_hist_.record(now >= slot->done_ns ? now - slot->done_ns
-                                                   : 0);
+    // One clock read per drained burst; slot stamps were written by the
+    // worker before the done_ring_ push (release) and read after the pop
+    // (acquire) — no race.
+    const std::uint64_t now = now_ns();
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot* slot = burst[i];
+      const std::uint64_t latency = now - slot->enqueue_ns;
+      if (cfg_.record_stage_hist) {
+        queue_wait_hist_.record(slot->dequeue_ns >= slot->enqueue_ns
+                                    ? slot->dequeue_ns - slot->enqueue_ns
+                                    : 0);
+        service_hist_.record(slot->done_ns >= slot->dequeue_ns
+                                 ? slot->done_ns - slot->dequeue_ns
+                                 : 0);
+        merge_wait_hist_.record(now >= slot->done_ns ? now - slot->done_ns
+                                                     : 0);
+      }
+      if (on_complete_) on_complete_(latency, slot->path);
     }
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    free_ring_->try_push(slot);
-    if (on_complete_) on_complete_(latency, path);
+    completed_.fetch_add(n, std::memory_order_relaxed);
+    std::size_t back = 0;
+    while (back < n)
+      back += free_ring_->try_push_burst(
+          std::span<Slot*>(burst + back, n - back));
   }
 }
 

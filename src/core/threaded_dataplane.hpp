@@ -7,16 +7,25 @@
 // thread merges (first-copy-wins is trivial here: single-copy policies) and
 // reports per-packet latency via callback.
 //
+// The hot path is burst-oriented end-to-end, DPDK style: ingress_burst()
+// admits up to a burst of packets with the dispatch policy and timestamp
+// bookkeeping amortized to once per burst, workers pop their ring in bursts
+// of cfg.burst_size and push completions in bursts, and the collector
+// drains/recycles in bursts. burst_size = 1 degenerates to the per-packet
+// behavior; the per-packet ingress() entry point is kept for callers that
+// arrive one packet at a time.
+//
 // This is NOT the experiment vehicle (the discrete-event model is, see
 // MdpDataPlane) — it validates that the data-path building blocks (rings,
-// dispatch, merge) are genuinely lock-free and fast on real hardware, and
-// feeds Tab 4.
+// dispatch, merge, bursting) are genuinely lock-free and fast on real
+// hardware, and feeds Tab 4 / the Ext 2 fastpath burst sweep.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,14 +43,21 @@ struct ThreadedConfig {
   std::size_t payload_bytes = 256;   ///< bytes the worker actually touches
   std::size_t work_iterations = 4;   ///< checksum passes per packet
   std::string policy = "jsq";        ///< "jsq" | "rr" | "hash"
-  /// Attribute each packet's latency to ring wait / service / collection
-  /// (two extra clock reads per packet on the worker; off for pure
-  /// throughput benchmarking).
+  /// Ring-drain burst for workers and the collector, and the admission
+  /// unit of ingress_burst (clamped to [1, kMaxBurst]). 1 = per-packet.
+  std::size_t burst_size = 32;
+  /// Attribute each packet's latency to ring wait / service / collection.
+  /// Stage boundaries are stamped once per burst (two extra clock reads
+  /// per *burst* on the worker), so at burst_size > 1 a packet's service
+  /// span covers its whole burst; off for pure throughput benchmarking.
   bool record_stage_hist = false;
 };
 
 class ThreadedDataPlane {
  public:
+  /// Hard cap on a single burst (ingress, worker pop, collector drain).
+  static constexpr std::size_t kMaxBurst = 256;
+
   /// Called on the collector thread for every completed packet.
   using Completion =
       std::function<void(std::uint64_t latency_ns, std::uint16_t path)>;
@@ -59,6 +75,14 @@ class ThreadedDataPlane {
   /// buffer pool or the chosen path ring is momentarily full.
   bool ingress(std::uint64_t flow_hash);
 
+  /// Submit up to kMaxBurst packets from the caller thread in one burst:
+  /// one admission timestamp, one policy state sample (JSQ samples ring
+  /// occupancy once and accounts for its own intra-burst placements), and
+  /// per-path bulk ring pushes. Returns the number accepted; packets that
+  /// found the pool or their path ring full are rejected (counted in
+  /// rejected()), not retried.
+  std::size_t ingress_burst(std::span<const std::uint64_t> flow_hashes);
+
   /// Wait until everything in flight has drained, then stop all threads.
   void stop();
 
@@ -67,21 +91,28 @@ class ThreadedDataPlane {
   }
   std::uint64_t submitted() const noexcept { return submitted_; }
   std::uint64_t rejected() const noexcept { return rejected_; }
+  /// Packets accepted but not yet egressed. Exact once quiesced (after
+  /// stop()); approximate while threads run. Zero at quiesce is the
+  /// counter-equivalence invariant the burst path is validated against.
+  std::uint64_t inflight() const noexcept {
+    return submitted_ - completed_.load(std::memory_order_relaxed);
+  }
+  std::size_t burst_size() const noexcept { return cfg_.burst_size; }
   std::uint64_t per_path_count(std::size_t p) const noexcept {
     return path_counts_[p];
   }
 
   // Stage attribution (valid when cfg.record_stage_hist; read after
   // stop() — the histograms are written by the collector thread).
-  /// Ingress enqueue -> worker pop (path ring wait).
+  /// Ingress enqueue -> worker burst pop (path ring wait).
   const stats::LatencyHistogram& queue_wait_hist() const noexcept {
     return queue_wait_hist_;
   }
-  /// Worker pop -> work done (per-packet service).
+  /// Worker burst pop -> burst work done (per-burst service window).
   const stats::LatencyHistogram& service_hist() const noexcept {
     return service_hist_;
   }
-  /// Work done -> collector pop (completion ring + merge wait).
+  /// Burst work done -> collector burst pop (completion ring + merge wait).
   const stats::LatencyHistogram& merge_wait_hist() const noexcept {
     return merge_wait_hist_;
   }
@@ -89,8 +120,8 @@ class ThreadedDataPlane {
  private:
   struct Slot {
     std::uint64_t enqueue_ns = 0;
-    std::uint64_t dequeue_ns = 0;  ///< worker pop (stage attribution)
-    std::uint64_t done_ns = 0;     ///< work complete (stage attribution)
+    std::uint64_t dequeue_ns = 0;  ///< worker burst pop (stage attribution)
+    std::uint64_t done_ns = 0;     ///< burst work complete (stage attribution)
     std::uint16_t path = 0;
     std::uint32_t payload_seed = 0;
   };
@@ -116,6 +147,10 @@ class ThreadedDataPlane {
   std::uint64_t rejected_ = 0;
   std::size_t rr_next_ = 0;
   std::vector<std::uint64_t> path_counts_;
+  // ingress_burst scratch (caller thread only): per-path staging and the
+  // JSQ occupancy snapshot, allocated once.
+  std::vector<std::vector<Slot*>> stage_;
+  std::vector<std::size_t> jsq_depths_;
   stats::LatencyHistogram queue_wait_hist_;
   stats::LatencyHistogram service_hist_;
   stats::LatencyHistogram merge_wait_hist_;

@@ -102,4 +102,12 @@ std::optional<BuiltChain> build_chain(click::Router& router,
   return out;
 }
 
+void process_batch(const BuiltChain& chain, click::PacketBatch&& batch) {
+  if (chain.head == nullptr) {
+    batch.clear();
+    return;
+  }
+  chain.head->push_batch(0, std::move(batch));
+}
+
 }  // namespace mdp::nf

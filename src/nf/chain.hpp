@@ -57,4 +57,11 @@ std::optional<BuiltChain> build_chain(click::Router& router,
                                       const ChainSpec& spec,
                                       std::string* err);
 
+/// Run a whole burst through the chain via the Click batch path
+/// (head->push_batch): each element processes the full burst before the
+/// next — one virtual call per element per burst, same per-packet results
+/// as pushing each batch entry through head->push() in order. Survivors
+/// flow to whatever is wired downstream of the chain tail.
+void process_batch(const BuiltChain& chain, click::PacketBatch&& batch);
+
 }  // namespace mdp::nf

@@ -243,6 +243,26 @@ void Firewall::push(int, net::PacketPtr pkt) {
   }
 }
 
+void Firewall::push_batch(int, click::PacketBatch&& batch) {
+  // Allowed packets ride the burst to output 0; denials divert per-packet
+  // to output 1 (or drop) without breaking the burst.
+  for (auto& pkt : batch) {
+    if (!pkt) continue;
+    auto parsed = net::parse(*pkt);
+    if (parsed && table_.decide(parsed->flow) == FwAction::kAllow) {
+      ++allowed_;
+      continue;
+    }
+    ++denied_;
+    if (output_connected(1)) {
+      output_push(1, std::move(pkt));
+    } else {
+      pkt.reset();
+    }
+  }
+  output_push_batch(0, std::move(batch));
+}
+
 MDP_REGISTER_ELEMENT(Firewall, "Firewall");
 
 }  // namespace mdp::nf

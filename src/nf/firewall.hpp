@@ -113,6 +113,7 @@ class Firewall final : public click::Element {
     return 90 + 8 * static_cast<sim::TimeNs>(table_.num_rules());
   }
   void push(int port, net::PacketPtr pkt) override;
+  void push_batch(int port, click::PacketBatch&& batch) override;
 
   FirewallTable& table() noexcept { return table_; }
   std::uint64_t allowed() const noexcept { return allowed_; }

@@ -77,6 +77,9 @@ class FlowMonitor final : public click::Element {
                  std::string* err) override;
   sim::TimeNs cost_ns() const override { return 60; }
   net::PacketPtr simple_action(net::PacketPtr pkt) override;
+  void push_batch(int, click::PacketBatch&& batch) override {
+    act_batch_and_forward(std::move(batch));
+  }
 
   FlowMonitorCore& core() noexcept { return core_; }
 

@@ -78,6 +78,9 @@ class LoadBalancer final : public click::Element {
                  std::string* err) override;
   sim::TimeNs cost_ns() const override { return 120; }
   net::PacketPtr simple_action(net::PacketPtr pkt) override;
+  void push_batch(int, click::PacketBatch&& batch) override {
+    act_batch_and_forward(std::move(batch));
+  }
 
   LoadBalancerCore& core() noexcept { return core_; }
   std::uint64_t rewritten() const noexcept { return rewritten_; }

@@ -101,18 +101,18 @@ bool Nat::configure(const std::vector<std::string>& args, std::string* err) {
   return true;
 }
 
-void Nat::push(int, net::PacketPtr pkt) {
+net::PacketPtr Nat::translate_one(net::PacketPtr pkt) {
   auto parsed = net::parse(*pkt);
   if (!parsed || !parsed->has_l4) {
     ++failed_;
     if (output_connected(1)) output_push(1, std::move(pkt));
-    return;
+    return net::PacketPtr{nullptr};
   }
   auto port = table_->translate(parsed->flow, pkt->anno().ingress_ns);
   if (!port) {
     ++failed_;
     if (output_connected(1)) output_push(1, std::move(pkt));
-    return;
+    return net::PacketPtr{nullptr};
   }
 
   net::Ipv4View ip(pkt->data() + parsed->l3_offset);
@@ -150,7 +150,18 @@ void Nat::push(int, net::PacketPtr pkt) {
   pkt->anno().flow_hash = net::hash_flow(new_flow);
 
   ++translated_;
-  output_push(0, std::move(pkt));
+  return pkt;
+}
+
+void Nat::push(int, net::PacketPtr pkt) {
+  net::PacketPtr out = translate_one(std::move(pkt));
+  if (out) output_push(0, std::move(out));
+}
+
+void Nat::push_batch(int, click::PacketBatch&& batch) {
+  for (auto& pkt : batch)
+    if (pkt) pkt = translate_one(std::move(pkt));
+  output_push_batch(0, std::move(batch));
 }
 
 MDP_REGISTER_ELEMENT(Nat, "Nat");

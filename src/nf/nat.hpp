@@ -81,12 +81,16 @@ class Nat final : public click::Element {
                  std::string* err) override;
   sim::TimeNs cost_ns() const override { return 180; }
   void push(int port, net::PacketPtr pkt) override;
+  void push_batch(int port, click::PacketBatch&& batch) override;
 
   NatTable& table() noexcept { return *table_; }
   std::uint64_t translated() const noexcept { return translated_; }
   std::uint64_t failed() const noexcept { return failed_; }
 
  private:
+  /// Translate + rewrite one packet. Returns the packet for output 0, or
+  /// null after diverting it to port 1 / dropping it.
+  net::PacketPtr translate_one(net::PacketPtr pkt);
   std::unique_ptr<NatTable> table_ = std::make_unique<NatTable>();
   NatConfig cfg_{};
   std::uint64_t translated_ = 0;

@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <thread>
 
 #include "ring/spsc_ring.hpp"  // for kCacheLine
 
@@ -82,6 +84,61 @@ class MpmcRing {
     out = std::move(slot->value);
     slot->sequence.store(pos + mask_ + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Bulk enqueue of up to `items.size()` items (DPDK rte_ring MP "burst"
+  /// semantics): one CAS claims min(free, n) consecutive positions, then
+  /// each claimed slot is filled. Returns the number enqueued. A claimed
+  /// slot whose previous-cycle consumer is still mid-copy is waited on
+  /// briefly — the same progress guarantee as rte_ring's MP mode, bounded
+  /// by one in-flight pop per slot.
+  std::size_t try_push_burst(std::span<T> items) noexcept {
+    std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    std::size_t n;
+    for (;;) {
+      const std::uint64_t tail = dequeue_pos_.load(std::memory_order_acquire);
+      const std::size_t free =
+          capacity() - static_cast<std::size_t>(pos - tail);
+      n = items.size() < free ? items.size() : free;
+      if (n == 0) return 0;
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + n,
+                                             std::memory_order_relaxed))
+        break;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot& slot = slots_[(pos + i) & mask_];
+      while (slot.sequence.load(std::memory_order_acquire) != pos + i)
+        std::this_thread::yield();
+      slot.value = std::move(items[i]);
+      slot.sequence.store(pos + i + 1, std::memory_order_release);
+    }
+    return n;
+  }
+
+  /// Bulk dequeue of up to `out.size()` items (MC "burst" semantics): one
+  /// CAS claims min(available, n) consecutive positions, then each claimed
+  /// slot is drained. Returns the number dequeued. Mirrors try_push_burst's
+  /// bounded wait for a producer mid-copy on a claimed slot.
+  std::size_t try_pop_burst(std::span<T> out) noexcept {
+    std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    std::size_t n;
+    for (;;) {
+      const std::uint64_t head = enqueue_pos_.load(std::memory_order_acquire);
+      const std::size_t avail = static_cast<std::size_t>(head - pos);
+      n = out.size() < avail ? out.size() : avail;
+      if (n == 0) return 0;
+      if (dequeue_pos_.compare_exchange_weak(pos, pos + n,
+                                             std::memory_order_relaxed))
+        break;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot& slot = slots_[(pos + i) & mask_];
+      while (slot.sequence.load(std::memory_order_acquire) != pos + i + 1)
+        std::this_thread::yield();
+      out[i] = std::move(slot.value);
+      slot.sequence.store(pos + i + mask_ + 1, std::memory_order_release);
+    }
+    return n;
   }
 
  private:

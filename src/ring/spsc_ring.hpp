@@ -74,6 +74,22 @@ class SpscRing {
     return items.size();
   }
 
+  /// Bulk enqueue of up to `items.size()` items (DPDK "burst" semantics:
+  /// enqueue as many as fit, in order). Returns the number enqueued.
+  /// Complements try_push_bulk's all-or-nothing contract; the threaded
+  /// data plane's ingress uses this so a nearly-full path ring absorbs
+  /// the front of a burst instead of rejecting it whole.
+  std::size_t try_push_burst(std::span<T> items) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t free = capacity() - static_cast<std::size_t>(head - tail);
+    const std::size_t n = free < items.size() ? free : items.size();
+    for (std::size_t i = 0; i < n; ++i)
+      slots_[(head + i) & mask_] = std::move(items[i]);
+    if (n > 0) head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
   /// Dequeue one item. Returns false when empty.
   bool try_pop(T& out) noexcept {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);

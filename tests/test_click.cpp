@@ -8,6 +8,10 @@
 #include "click/router.hpp"
 #include "click/task.hpp"
 #include "net/packet_builder.hpp"
+#include "nf/chain.hpp"
+
+#include <cstring>
+#include <vector>
 
 namespace mdp::click {
 namespace {
@@ -438,6 +442,100 @@ TEST(StrideScheduler, ProportionalToTickets) {
   sched.run(4000);
   double ratio = static_cast<double>(a_count) / b_count;
   EXPECT_NEAR(ratio, 3.0, 0.2);
+}
+
+// --- batch path ----------------------------------------------------------------
+
+// The element batch path must be observationally identical to per-packet
+// push: same survivors, same bytes, same order, same element state — here
+// across the default evaluation chain (CheckIPHeader -> Firewall -> Nat ->
+// LoadBalancer), which exercises drops, header rewrites, and per-flow
+// state allocated in arrival order.
+TEST_F(ClickFixture, ChainBatchMatchesPerPacket) {
+  const auto spec = nf::ChainSpec::preset("fw-nat-lb");
+  std::string err;
+
+  Router r_scalar{Router::Context{&eq, &pool}};
+  Router r_batch{Router::Context{&eq, &pool}};
+  auto scalar = nf::build_chain(r_scalar, "s", spec, &err);
+  ASSERT_TRUE(scalar) << err;
+  auto batch = nf::build_chain(r_batch, "b", spec, &err);
+  ASSERT_TRUE(batch) << err;
+  Element* q_scalar = r_scalar.add_element("sink", "Queue", {"256"}, &err);
+  ASSERT_NE(q_scalar, nullptr) << err;
+  Element* q_batch = r_batch.add_element("sink", "Queue", {"256"}, &err);
+  ASSERT_NE(q_batch, nullptr) << err;
+  ASSERT_TRUE(r_scalar.connect(scalar->tail, 0, q_scalar, 0, &err)) << err;
+  ASSERT_TRUE(r_batch.connect(batch->tail, 0, q_batch, 0, &err)) << err;
+  ASSERT_TRUE(r_scalar.initialize(&err)) << err;
+  ASSERT_TRUE(r_batch.initialize(&err)) << err;
+
+  // Mixed stream: mostly allowed flows, some hitting the firewall's deny
+  // prefixes (127/8), several packets per flow so NAT bindings get reused.
+  auto make_stream = [&] {
+    std::vector<net::PacketPtr> pkts;
+    for (int i = 0; i < 96; ++i) {
+      net::BuildSpec s;
+      std::uint32_t src = (i % 7 == 3)
+                              ? 0x7f000001u + static_cast<std::uint32_t>(i)
+                              : 0x0a000001u + static_cast<std::uint32_t>(i % 9);
+      s.flow = {src, 0x0a640001,
+                static_cast<std::uint16_t>(1000 + i % 9), 80, 17};
+      s.payload_len = 32 + static_cast<std::size_t>(i % 48);
+      auto pkt = net::build_udp(pool, s);
+      EXPECT_TRUE(pkt);
+      pkts.push_back(std::move(pkt));
+    }
+    return pkts;
+  };
+
+  auto in_scalar = make_stream();
+  for (auto& pkt : in_scalar) scalar->head->push(0, std::move(pkt));
+
+  auto in_batch = make_stream();
+  constexpr std::size_t kBurst = 32;
+  for (std::size_t off = 0; off < in_batch.size(); off += kBurst) {
+    PacketBatch burst;
+    for (std::size_t i = off; i < off + kBurst && i < in_batch.size(); ++i)
+      burst.push_back(std::move(in_batch[i]));
+    nf::process_batch(*batch, std::move(burst));
+  }
+
+  auto* qs = static_cast<Queue*>(q_scalar);
+  auto* qb = static_cast<Queue*>(q_batch);
+  ASSERT_EQ(qs->size(), qb->size()) << "same survivor count";
+  EXPECT_GT(qs->size(), 0u);
+  EXPECT_LT(qs->size(), 96u) << "some packets must have been denied";
+  while (true) {
+    auto a = qs->pull(0);
+    auto b = qb->pull(0);
+    ASSERT_EQ(static_cast<bool>(a), static_cast<bool>(b));
+    if (!a) break;
+    ASSERT_EQ(a->length(), b->length());
+    EXPECT_EQ(std::memcmp(a->data(), b->data(), a->length()), 0)
+        << "batch path must produce identical bytes";
+    EXPECT_EQ(a->anno().paint, b->anno().paint);
+  }
+}
+
+// Default push_batch on an element with a custom multi-port push() must
+// fall back to per-packet push (no silent misrouting).
+TEST_F(ClickFixture, DefaultPushBatchFallsBackToPush) {
+  std::string err;
+  ASSERT_TRUE(router.configure(R"(
+    cl :: Classifier(23/11, -);
+    udp :: Counter; other :: Counter;
+    cl [0] -> udp -> Discard;
+    cl [1] -> other -> Discard;
+  )",
+                               &err))
+      << err;
+  ASSERT_TRUE(router.initialize(&err)) << err;
+  PacketBatch batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(make_udp());
+  router.find("cl")->push_batch(0, std::move(batch));
+  EXPECT_EQ(router.find_as<Counter>("udp")->packets(), 8u);
+  EXPECT_EQ(router.find_as<Counter>("other")->packets(), 0u);
 }
 
 TEST(StrideScheduler, StopsWhenAllTasksIdle) {

@@ -5,6 +5,9 @@
 #include "core/dedup.hpp"
 #include "sim/rng.hpp"
 
+#include <iterator>
+#include <vector>
+
 namespace mdp::core {
 namespace {
 
@@ -116,6 +119,42 @@ TEST(Dedup, RandomizedExactlyOnceProperty) {
   }
   EXPECT_EQ(accepted, static_cast<std::uint64_t>(kPackets));
   EXPECT_EQ(d.pending(), 0u);
+}
+
+
+TEST(Dedup, AcceptBatchMatchesScalarAccept) {
+  // Burst drain is a straight loop over accept(): same verdicts, same
+  // counters, one call per burst.
+  Deduplicator scalar, batch;
+  std::vector<std::uint64_t> keys;
+  for (std::uint32_t f = 0; f < 4; ++f) {
+    auto k = Deduplicator::key(f, 7);
+    scalar.expect(k, 2, 0);
+    batch.expect(k, 2, 0);
+    keys.push_back(k);  // first copy
+    keys.push_back(k);  // duplicate copy
+  }
+  keys.push_back(Deduplicator::key(99, 99));  // never registered: late
+
+  std::vector<bool> expected;
+  std::size_t scalar_firsts = 0;
+  for (auto k : keys) {
+    bool first = scalar.accept(k);
+    expected.push_back(first);
+    if (first) ++scalar_firsts;
+  }
+
+  // std::vector<bool> has no .data(); use a plain bool array as the span.
+  bool storage[16];
+  ASSERT_LE(keys.size(), std::size(storage));
+  std::size_t firsts = batch.accept_batch(keys, {storage, keys.size()});
+
+  EXPECT_EQ(firsts, scalar_firsts);
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    EXPECT_EQ(storage[i], expected[i]) << "verdict " << i;
+  EXPECT_EQ(batch.dup_drops(), scalar.dup_drops());
+  EXPECT_EQ(batch.late_drops(), scalar.late_drops());
+  EXPECT_EQ(batch.pending(), scalar.pending());
 }
 
 }  // namespace

@@ -233,6 +233,110 @@ TEST_F(PolicyFixture, AdaptiveHedgeDisabledReturnsZero) {
   EXPECT_EQ(s.hedge_timeout_ns(*p, ctx), 0u);
 }
 
+// --- select_batch ---------------------------------------------------------------
+
+TEST_F(PolicyFixture, SelectBatchDefaultMatchesPerPacketLoop) {
+  // Stateful policy (flowlet), two fresh instances fed the same stream:
+  // the default batch path loops select(), so results must be identical.
+  FakeContext ctx(4);
+  ctx.backlog = {300, 100, 200, 400};
+  FlowletScheduler scalar, batch;
+  std::vector<net::PacketPtr> pkts;
+  std::vector<const net::Packet*> ptrs;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    pkts.push_back(pkt(1 + i % 3));
+    ptrs.push_back(pkts.back().get());
+  }
+  std::vector<PathVec> expected;
+  sim::Rng rng2{1};
+  for (const auto* p : ptrs) {
+    PathVec out;
+    scalar.select(*p, ctx, rng2, out);
+    expected.push_back(out);
+  }
+  std::vector<PathVec> got;
+  sim::Rng rng3{1};
+  batch.select_batch(ptrs, ctx, rng3, got);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(PolicyFixture, JsqSelectBatchSizeOneMatchesSelect) {
+  FakeContext ctx(4);
+  ctx.backlog = {500, 100, 300, 200};
+  JsqScheduler s;
+  auto p = pkt();
+  const net::Packet* ptr = p.get();
+  std::vector<PathVec> got;
+  s.select_batch({&ptr, 1}, ctx, rng, got);
+  ASSERT_EQ(got.size(), 1u);
+  ASSERT_EQ(got[0].size(), 1u);
+  EXPECT_EQ(got[0][0], 1) << "size-1 batch must equal scalar JSQ";
+}
+
+TEST_F(PolicyFixture, JsqSelectBatchSpreadsAcrossIdlePaths) {
+  // One backlog sample per burst plus local accounting: an idle 4-path
+  // system must receive a 8-packet burst evenly, not all on path 0.
+  FakeContext ctx(4);
+  JsqScheduler s;
+  std::vector<net::PacketPtr> pkts;
+  std::vector<const net::Packet*> ptrs;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    pkts.push_back(pkt(i));
+    ptrs.push_back(pkts.back().get());
+  }
+  std::vector<PathVec> got;
+  s.select_batch(ptrs, ctx, rng, got);
+  std::vector<int> per_path(4, 0);
+  for (const auto& v : got) {
+    ASSERT_EQ(v.size(), 1u);
+    ++per_path[v[0]];
+  }
+  for (int p = 0; p < 4; ++p) EXPECT_EQ(per_path[p], 2) << "path " << p;
+}
+
+TEST_F(PolicyFixture, JsqSelectBatchNeverPicksDownPath) {
+  FakeContext ctx(4);
+  ctx.up_v[0] = false;
+  ctx.up_v[2] = false;
+  JsqScheduler s;
+  std::vector<net::PacketPtr> pkts;
+  std::vector<const net::Packet*> ptrs;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    pkts.push_back(pkt(i));
+    ptrs.push_back(pkts.back().get());
+  }
+  std::vector<PathVec> got;
+  s.select_batch(ptrs, ctx, rng, got);
+  for (const auto& v : got) {
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_TRUE(v[0] == 1 || v[0] == 3);
+  }
+}
+
+TEST_F(PolicyFixture, AdaptiveSelectBatchReplicatesCriticalOnly) {
+  FakeContext ctx(4);
+  AdaptiveMdpScheduler s;
+  std::vector<net::PacketPtr> pkts;
+  std::vector<const net::Packet*> ptrs;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    pkts.push_back(pkt(i, i % 2 == 0 ? net::TrafficClass::kLatencyCritical
+                                     : net::TrafficClass::kBestEffort));
+    ptrs.push_back(pkts.back().get());
+  }
+  std::vector<PathVec> got;
+  s.select_batch(ptrs, ctx, rng, got);
+  ASSERT_EQ(got.size(), 8u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(got[i].size(), 2u) << "critical packet " << i;
+      EXPECT_NE(got[i][0], got[i][1]);
+    } else {
+      EXPECT_EQ(got[i].size(), 1u) << "best-effort packet " << i;
+    }
+  }
+  EXPECT_EQ(s.replicated(), 4u);
+}
+
 TEST(SchedulerFactory, KnownNamesConstruct) {
   for (const auto& name : evaluation_policy_names()) {
     auto s = make_scheduler(name);

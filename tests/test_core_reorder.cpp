@@ -174,5 +174,24 @@ TEST_P(ReorderPermutationProperty, PermutedWindowEgressesInOrder) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ReorderPermutationProperty,
                          ::testing::Range(1, 9));
 
+
+TEST_F(ReorderFixture, SubmitBatchSkipsNullsAndResequences) {
+  // A dedup-compacted burst: some slots null, survivors out of order.
+  // submit_batch must behave exactly like a per-packet submit loop —
+  // nulls skipped, holes buffered, drains on arrival of predecessors.
+  auto rb = make();
+  std::vector<net::PacketPtr> burst;
+  burst.push_back(pkt(1, 2));       // early: buffered
+  burst.push_back(net::PacketPtr{});  // dedup-dropped slot
+  burst.push_back(pkt(1, 0));       // in order: released
+  burst.push_back(pkt(1, 1));       // fills the hole: 1 then 2 drain
+  burst.push_back(net::PacketPtr{});
+  rb->submit_batch(burst);
+  ASSERT_EQ(egressed.size(), 3u);
+  for (std::uint64_t s = 0; s < 3; ++s) EXPECT_EQ(egressed[s].second, s);
+  EXPECT_EQ(rb->buffered(), 0u);
+  EXPECT_EQ(rb->out_of_order(), 1u);
+}
+
 }  // namespace
 }  // namespace mdp::core

@@ -2,7 +2,9 @@
 // multi-threaded loss/duplication checks for both SPSC and MPMC rings.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -172,6 +174,118 @@ INSTANTIATE_TEST_SUITE_P(Topologies, MpmcStress,
                                            std::make_pair(2, 1),
                                            std::make_pair(1, 2),
                                            std::make_pair(2, 2)));
+
+TEST(SpscRing, BurstPushPartialWhenNearlyFull) {
+  SpscRing<int> r(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(r.try_push(i));
+  std::vector<int> items{5, 6, 7, 8, 9};
+  EXPECT_EQ(r.try_push_burst(items), 3u) << "only 3 slots free";
+  int v;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(r.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(MpmcRing, BurstPushPopSingleThread) {
+  MpmcRing<int> r(16);
+  std::vector<int> in{0, 1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(r.try_push_burst(in), 7u);
+  std::vector<int> out(16, -1);
+  EXPECT_EQ(r.try_pop_burst(out), 7u);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(r.try_pop_burst(out), 0u) << "empty ring pops nothing";
+}
+
+TEST(MpmcRing, BurstPartialOnNearlyFullAndNearlyEmpty) {
+  MpmcRing<int> r(8);
+  std::vector<int> first{0, 1, 2, 3, 4, 5};
+  ASSERT_EQ(r.try_push_burst(first), 6u);
+  std::vector<int> more{6, 7, 8, 9};
+  EXPECT_EQ(r.try_push_burst(more), 2u) << "only 2 slots free";
+  std::vector<int> none{99};
+  EXPECT_EQ(r.try_push_burst(none), 0u) << "full ring pushes nothing";
+  std::vector<int> out(20, -1);
+  EXPECT_EQ(r.try_pop_burst(out), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(MpmcRing, BurstWrapAroundManyTimes) {
+  MpmcRing<int> r(8);
+  int next_in = 0, next_out = 0;
+  std::vector<int> in(5), out(5, -1);
+  for (int round = 0; round < 500; ++round) {
+    for (int i = 0; i < 5; ++i) in[i] = next_in + i;
+    std::size_t pushed = r.try_push_burst(in);
+    next_in += static_cast<int>(pushed);
+    std::size_t popped = r.try_pop_burst(out);
+    for (std::size_t i = 0; i < popped; ++i)
+      ASSERT_EQ(out[i], next_out++) << "order broken in round " << round;
+  }
+  while (r.try_pop_burst(out) > 0) {
+  }
+  EXPECT_GT(next_out, 1000) << "wrap coverage: many generations crossed";
+}
+
+// Burst variant of the exactly-once property: concurrent producers and
+// consumers moving items in bursts of mixed sizes must neither lose nor
+// duplicate a token even while bursts straddle the wrap point.
+TEST(MpmcRing, BurstConcurrentProducersExactlyOnce) {
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  constexpr int kPerProducer = 24'000;
+  const int total = kProducers * kPerProducer;
+  MpmcRing<std::uint64_t> r(256);
+  std::atomic<int> consumed{0};
+  std::vector<std::atomic<std::uint8_t>> seen(total);
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<std::uint64_t> out(32);
+      while (consumed.load(std::memory_order_relaxed) < total) {
+        std::size_t n = r.try_pop_burst(out);
+        if (n == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        for (std::size_t i = 0; i < n; ++i) seen[out[i]].fetch_add(1);
+        consumed.fetch_add(static_cast<int>(n));
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<std::uint64_t> batch;
+      int sent = 0;
+      while (sent < kPerProducer) {
+        // Vary burst size 1..24 so partial-burst paths get exercised.
+        int want = 1 + (sent % 24);
+        if (sent + want > kPerProducer) want = kPerProducer - sent;
+        batch.resize(static_cast<std::size_t>(want));
+        for (int i = 0; i < want; ++i)
+          batch[static_cast<std::size_t>(i)] =
+              static_cast<std::uint64_t>(p) * kPerProducer + sent + i;
+        std::size_t pushed = 0;
+        while (pushed < batch.size()) {
+          std::span<std::uint64_t> rest{batch.data() + pushed,
+                                        batch.size() - pushed};
+          std::size_t n = r.try_push_burst(rest);
+          if (n == 0) std::this_thread::yield();
+          pushed += n;
+        }
+        sent += want;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+
+  for (int i = 0; i < total; ++i)
+    ASSERT_EQ(seen[i].load(), 1) << "token " << i
+                                 << " not delivered exactly once";
+}
 
 TEST(MpmcRing, MoveOnlyTypes) {
   MpmcRing<std::unique_ptr<int>> r(8);

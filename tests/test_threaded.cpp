@@ -2,8 +2,10 @@
 // policy steering, backpressure, and restartability.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <vector>
 
 #include "core/threaded_dataplane.hpp"
 
@@ -133,6 +135,87 @@ TEST(ThreadedDataPlane, JsqAvoidsBuriedPath) {
   EXPECT_NEAR(static_cast<double>(a), static_cast<double>(b), 2.0);
   dp.start();
   dp.stop();
+}
+
+// Counter-equivalence under end-to-end bursting: every accepted packet
+// completes exactly once (in == out + rejected) and the plane quiesces
+// with zero inflight, at both burst extremes.
+class ThreadedBurst : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThreadedBurst, CounterEquivalenceAndZeroInflightQuiesce) {
+  ThreadedConfig cfg;
+  cfg.num_paths = 2;
+  cfg.burst_size = GetParam();
+  std::atomic<std::uint64_t> completions{0};
+  ThreadedDataPlane dp(cfg, [&](std::uint64_t latency, std::uint16_t) {
+    EXPECT_GT(latency, 0u);
+    completions.fetch_add(1);
+  });
+  EXPECT_EQ(dp.burst_size(), GetParam());
+  dp.start();
+  constexpr std::uint64_t kPackets = 20'000;
+  std::vector<std::uint64_t> hashes(64);
+  std::uint64_t accepted = 0, offered = 0;
+  while (offered < kPackets) {
+    std::size_t n = std::min<std::uint64_t>(hashes.size(),
+                                            kPackets - offered);
+    for (std::size_t i = 0; i < n; ++i)
+      hashes[i] = (offered + i) * 0x9e3779b97f4a7c15ULL;
+    accepted += dp.ingress_burst({hashes.data(), n});
+    offered += n;
+  }
+  dp.stop();
+  EXPECT_EQ(accepted + dp.rejected(), offered)
+      << "every offered packet is either accepted or rejected";
+  EXPECT_EQ(dp.completed(), accepted);
+  EXPECT_EQ(completions.load(), accepted);
+  EXPECT_EQ(dp.inflight(), 0u) << "quiesced plane must hold no packets";
+  std::uint64_t per_path_sum = 0;
+  for (std::size_t p = 0; p < cfg.num_paths; ++p)
+    per_path_sum += dp.per_path_count(p);
+  EXPECT_EQ(per_path_sum, accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(BurstSizes, ThreadedBurst,
+                         ::testing::Values(std::size_t{1},
+                                           std::size_t{32}));
+
+TEST(ThreadedDataPlane, IngressBurstRejectsOnBackpressure) {
+  ThreadedConfig cfg;
+  cfg.num_paths = 1;
+  cfg.pool_size = 8;
+  cfg.ring_capacity = 4;
+  ThreadedDataPlane dp(cfg, nullptr);
+  // Workers not started: the slot pool caps acceptance and the remainder
+  // must be rejected, not blocked on.
+  std::vector<std::uint64_t> hashes(100);
+  for (std::size_t i = 0; i < hashes.size(); ++i) hashes[i] = i;
+  std::size_t accepted = dp.ingress_burst(hashes);
+  EXPECT_LE(accepted, 8u);
+  EXPECT_EQ(dp.rejected(), hashes.size() - accepted);
+  dp.start();  // drain what was queued
+  dp.stop();
+  EXPECT_EQ(dp.completed(), accepted);
+  EXPECT_EQ(dp.inflight(), 0u);
+}
+
+TEST(ThreadedDataPlane, IngressBurstJsqSpreadsAcrossPaths) {
+  ThreadedConfig cfg;
+  cfg.num_paths = 2;
+  cfg.ring_capacity = 64;
+  cfg.pool_size = 64;
+  ThreadedDataPlane dp(cfg, nullptr);
+  // Workers stopped: JSQ sees ring occupancy; a burst must still spread
+  // (depths are sampled once then tracked locally per dispatch).
+  std::vector<std::uint64_t> hashes(60);
+  for (std::size_t i = 0; i < hashes.size(); ++i) hashes[i] = i;
+  EXPECT_EQ(dp.ingress_burst(hashes), 60u);
+  auto a = dp.per_path_count(0);
+  auto b = dp.per_path_count(1);
+  EXPECT_NEAR(static_cast<double>(a), static_cast<double>(b), 2.0);
+  dp.start();
+  dp.stop();
+  EXPECT_EQ(dp.completed(), 60u);
 }
 
 }  // namespace
