@@ -23,7 +23,9 @@ import sys
 
 
 def load_rows(path):
-    """Return {burst: ns_per_packet} from an ext2_fastpath --json file."""
+    """Return {(backend, burst): ns_per_packet} from an ext2_fastpath
+    --json file. Rows predating the pluggable-backend sweep carry no
+    "backend" field and are treated as synthetic."""
     with open(path) as f:
         doc = json.load(f)
     if doc.get("bench") != "ext2_fastpath":
@@ -33,7 +35,8 @@ def load_rows(path):
         rep = run["report"]
         if rep.get("schema") != "mdp.bench_fastpath.v1":
             continue
-        rows[rep["burst"]] = rep["ns_per_packet"]
+        rows[(rep.get("backend", "synthetic"), rep["burst"])] = \
+            rep["ns_per_packet"]
     if not rows:
         sys.exit(f"{path}: no mdp.bench_fastpath.v1 rows")
     return rows
@@ -50,23 +53,25 @@ def main():
     base = load_rows(args.baseline)
 
     failed = False
-    for burst in sorted(base):
-        if burst not in fresh:
-            print(f"FAIL: burst {burst} present in baseline but missing "
-                  f"from fresh run")
+    for key in sorted(base):
+        backend, burst = key
+        if key not in fresh:
+            print(f"FAIL: {backend} burst {burst} present in baseline but "
+                  f"missing from fresh run")
             failed = True
             continue
-        ratio = fresh[burst] / base[burst]
+        ratio = fresh[key] / base[key]
         verdict = "ok"
         if ratio > args.max_regression:
             verdict = f"FAIL (> {args.max_regression}x regression)"
             failed = True
-        print(f"burst {burst:>4}: baseline {base[burst]:8.1f} ns/pkt, "
-              f"fresh {fresh[burst]:8.1f} ns/pkt, ratio {ratio:.2f}x "
+        print(f"{backend:>9} burst {burst:>4}: "
+              f"baseline {base[key]:8.1f} ns/pkt, "
+              f"fresh {fresh[key]:8.1f} ns/pkt, ratio {ratio:.2f}x "
               f"[{verdict}]")
 
-    if 1 in fresh and 32 in fresh:
-        speedup = fresh[1] / fresh[32]
+    if ("synthetic", 1) in fresh and ("synthetic", 32) in fresh:
+        speedup = fresh[("synthetic", 1)] / fresh[("synthetic", 32)]
         tag = "ok" if speedup >= 1.3 else "WARNING (headline claim not " \
               "reproduced on this runner)"
         print(f"burst 32 vs 1 speedup: {speedup:.2f}x [{tag}]")

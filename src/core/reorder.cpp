@@ -98,4 +98,25 @@ void ReorderBuffer::submit_batch(std::span<net::PacketPtr> pkts) {
     if (pkt) submit(std::move(pkt));
 }
 
+std::size_t ReorderBuffer::flush_all() {
+  std::size_t released = 0;
+  for (auto& [flow_id, st] : flows_) {
+    // pending is seq-ordered (std::map), so releasing front-to-back keeps
+    // per-flow order while hopping the holes.
+    while (!st.pending.empty()) {
+      auto it = st.pending.begin();
+      net::PacketPtr pkt = std::move(it->second);
+      sim::TimeNs arrived = st.arrival_ns[it->first];
+      st.arrival_ns.erase(it->first);
+      st.pending.erase(it);
+      --buffered_count_;
+      ++released;
+      release(st, std::move(pkt), arrived);
+    }
+    // Any armed timer now finds pending empty and disarms itself.
+  }
+  flushed_ += released;
+  return released;
+}
+
 }  // namespace mdp::core

@@ -43,6 +43,16 @@ class ReorderBuffer {
   /// per-packet submit loop.
   void submit_batch(std::span<net::PacketPtr> pkts);
 
+  /// Path-down / teardown flush: release every buffered packet NOW, in
+  /// per-flow seq order, advancing each flow's window past its holes
+  /// (predecessors stranded on a dead path will never arrive, so waiting
+  /// out the timeout only adds tail latency). Ownership moves through
+  /// emit_ — the consumer's drop recycles each PacketPtr into its pool —
+  /// and all dwell/arrival bookkeeping is cleared, so a pool-leak audit
+  /// (PacketPool::in_use() == 0 at quiesce) passes without manual
+  /// inspection. Returns the number of packets released.
+  std::size_t flush_all();
+
   // --- stats --------------------------------------------------------------
   std::uint64_t in_order() const noexcept { return in_order_; }
   std::uint64_t out_of_order() const noexcept { return out_of_order_; }
@@ -50,6 +60,7 @@ class ReorderBuffer {
     return timeout_releases_;
   }
   std::uint64_t late_after_skip() const noexcept { return late_after_skip_; }
+  std::uint64_t flushed() const noexcept { return flushed_; }
   std::size_t buffered() const noexcept { return buffered_count_; }
   const stats::LatencyHistogram& dwell() const noexcept { return dwell_; }
   double ooo_fraction() const noexcept {
@@ -80,6 +91,7 @@ class ReorderBuffer {
   std::uint64_t out_of_order_ = 0;
   std::uint64_t timeout_releases_ = 0;
   std::uint64_t late_after_skip_ = 0;
+  std::uint64_t flushed_ = 0;
   std::size_t buffered_count_ = 0;
   stats::LatencyHistogram dwell_;
 };

@@ -1,6 +1,7 @@
 #include "core/threaded_dataplane.hpp"
 
 #include <chrono>
+#include <cstdio>
 
 #include "net/checksum.hpp"
 
@@ -26,6 +27,12 @@ ThreadedDataPlane::ThreadedDataPlane(ThreadedConfig cfg,
     stage_[p].reserve(kMaxBurst);
   }
   for (auto& s : slots_) free_ring_->try_push(&s);
+  if (cfg_.backend) {
+    // Sized to the slot population: a collector push can never fail.
+    egress_ring_ =
+        std::make_unique<ring::SpscRing<Slot*>>(cfg_.pool_size);
+    tx_pending_.reserve(kMaxBurst);
+  }
 }
 
 ThreadedDataPlane::~ThreadedDataPlane() {
@@ -40,6 +47,14 @@ std::uint64_t ThreadedDataPlane::now_ns() {
 }
 
 void ThreadedDataPlane::start() {
+  if (cfg_.backend) {
+    std::string err;
+    if (!cfg_.backend->start(&err)) {
+      std::fprintf(stderr, "ThreadedDataPlane: backend '%s' failed: %s\n",
+                   cfg_.backend->caps().name.c_str(), err.c_str());
+      return;
+    }
+  }
   stopping_.store(false);
   workers_done_.store(false);
   for (std::size_t p = 0; p < cfg_.num_paths; ++p)
@@ -77,6 +92,9 @@ bool ThreadedDataPlane::ingress(std::uint64_t flow_hash) {
   slot->enqueue_ns = now_ns();
   slot->path = pick_path(flow_hash);
   slot->payload_seed = static_cast<std::uint32_t>(flow_hash);
+  slot->flow_id = slot->payload_seed;
+  slot->seq = 0;
+  slot->pkt = nullptr;
   if (!path_rings_[slot->path]->try_push(slot)) {
     free_ring_->try_push(slot);
     ++rejected_;
@@ -85,6 +103,59 @@ bool ThreadedDataPlane::ingress(std::uint64_t flow_hash) {
   ++path_counts_[slot->path];
   ++submitted_;
   return true;
+}
+
+void ThreadedDataPlane::reject_slot(Slot* slot) {
+  if (slot->pkt) {
+    net::PacketPtr(slot->pkt).reset();  // back to its packet pool
+    slot->pkt = nullptr;
+  }
+  while (!free_ring_->try_push(slot)) {
+  }
+  ++rejected_;
+}
+
+std::size_t ThreadedDataPlane::dispatch_slots(Slot* const* slots,
+                                              const std::uint64_t* hashes,
+                                              std::size_t n) {
+  // Per-burst bookkeeping amortization: one policy state sample (for JSQ:
+  // one ring-occupancy snapshot) for the whole burst. Intra-burst
+  // placements are accounted locally so the burst still spreads.
+  const bool jsq = cfg_.policy != "hash" && cfg_.policy != "rr";
+  if (jsq)
+    for (std::size_t p = 0; p < cfg_.num_paths; ++p)
+      jsq_depths_[p] = path_rings_[p]->size();
+
+  for (auto& staged : stage_) staged.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint16_t path;
+    if (jsq) {
+      std::size_t best = 0;
+      for (std::size_t p = 1; p < cfg_.num_paths; ++p)
+        if (jsq_depths_[p] < jsq_depths_[best]) best = p;
+      ++jsq_depths_[best];
+      path = static_cast<std::uint16_t>(best);
+    } else {
+      path = pick_path(hashes[i]);
+    }
+    slots[i]->path = path;
+    stage_[path].push_back(slots[i]);
+  }
+
+  std::size_t accepted = 0;
+  for (std::size_t p = 0; p < cfg_.num_paths; ++p) {
+    auto& staged = stage_[p];
+    if (staged.empty()) continue;
+    const std::size_t pushed = path_rings_[p]->try_push_burst(
+        std::span<Slot*>(staged.data(), staged.size()));
+    path_counts_[p] += pushed;
+    accepted += pushed;
+    // Ring full mid-burst: recycle the tail and count it rejected.
+    for (std::size_t i = pushed; i < staged.size(); ++i)
+      reject_slot(staged[i]);
+  }
+  submitted_ += accepted;
+  return accepted;
 }
 
 std::size_t ThreadedDataPlane::ingress_burst(
@@ -99,55 +170,76 @@ std::size_t ThreadedDataPlane::ingress_burst(
   rejected_ += want - got;
   if (got == 0) return 0;
 
-  // Per-burst bookkeeping amortization: one admission stamp and (for JSQ)
-  // one ring-occupancy sample for the whole burst. Intra-burst placements
-  // are accounted locally so the burst still spreads.
+  // One admission stamp for the whole burst.
   const std::uint64_t admit_ns = now_ns();
-  const bool jsq = cfg_.policy != "hash" && cfg_.policy != "rr";
-  if (jsq)
-    for (std::size_t p = 0; p < cfg_.num_paths; ++p)
-      jsq_depths_[p] = path_rings_[p]->size();
-
-  for (auto& staged : stage_) staged.clear();
   for (std::size_t i = 0; i < got; ++i) {
-    const std::uint64_t hash = flow_hashes[i];
-    std::uint16_t path;
-    if (jsq) {
-      std::size_t best = 0;
-      for (std::size_t p = 1; p < cfg_.num_paths; ++p)
-        if (jsq_depths_[p] < jsq_depths_[best]) best = p;
-      ++jsq_depths_[best];
-      path = static_cast<std::uint16_t>(best);
-    } else {
-      path = pick_path(hash);
-    }
     Slot* slot = acquired[i];
     slot->enqueue_ns = admit_ns;
-    slot->path = path;
-    slot->payload_seed = static_cast<std::uint32_t>(hash);
-    stage_[path].push_back(slot);
+    slot->payload_seed = static_cast<std::uint32_t>(flow_hashes[i]);
+    slot->flow_id = slot->payload_seed;
+    slot->seq = 0;
+    slot->pkt = nullptr;
+  }
+  return dispatch_slots(acquired, flow_hashes.data(), got);
+}
+
+std::size_t ThreadedDataPlane::pump() {
+  io::PacketBackend* backend = cfg_.backend;
+  if (!backend) return 0;
+
+  // 1. Collector -> backend egress: detach completed frames from their
+  //    slots (slots go straight back to the free ring), then hand as many
+  //    as the backend will take. Unconsumed frames wait in tx_pending_.
+  Slot* done[kMaxBurst];
+  std::size_t drained;
+  while ((drained = egress_ring_->try_pop_burst(
+              std::span<Slot*>(done, kMaxBurst))) > 0) {
+    for (std::size_t i = 0; i < drained; ++i) {
+      tx_pending_.emplace_back(done[i]->pkt);
+      done[i]->pkt = nullptr;
+    }
+    std::size_t back = 0;
+    while (back < drained)
+      back += free_ring_->try_push_burst(
+          std::span<Slot*>(done + back, drained - back));
+  }
+  if (!tx_pending_.empty()) {
+    const std::size_t sent = backend->tx_burst(
+        std::span<net::PacketPtr>(tx_pending_.data(), tx_pending_.size()));
+    tx_pending_.erase(tx_pending_.begin(),
+                      tx_pending_.begin() + static_cast<long>(sent));
   }
 
-  std::size_t accepted = 0;
-  for (std::size_t p = 0; p < cfg_.num_paths; ++p) {
-    auto& staged = stage_[p];
-    if (staged.empty()) continue;
-    const std::size_t pushed = path_rings_[p]->try_push_burst(
-        std::span<Slot*>(staged.data(), staged.size()));
-    path_counts_[p] += pushed;
-    accepted += pushed;
-    // Ring full mid-burst: recycle the tail and count it rejected.
-    const std::size_t leftover = staged.size() - pushed;
-    if (leftover > 0) {
-      std::size_t back = 0;
-      while (back < leftover)
-        back += free_ring_->try_push_burst(
-            std::span<Slot*>(staged.data() + pushed + back, leftover - back));
-      rejected_ += leftover;
-    }
+  // 2. Backend -> dispatch ingress: one rx burst, one admission stamp.
+  net::PacketPtr rx_buf[kMaxBurst];
+  const std::size_t want = cfg_.burst_size;
+  const std::size_t got =
+      backend->rx_burst(std::span<net::PacketPtr>(rx_buf, want));
+  if (got == 0) return 0;
+
+  Slot* acquired[kMaxBurst];
+  const std::size_t slots =
+      free_ring_->try_pop_burst(std::span<Slot*>(acquired, got));
+  // Frames the slot pool cannot absorb right now go back to their pool.
+  for (std::size_t i = slots; i < got; ++i) {
+    rx_buf[i].reset();
+    ++rejected_;
   }
-  submitted_ += accepted;
-  return accepted;
+  if (slots == 0) return 0;
+
+  const std::uint64_t admit_ns = now_ns();
+  std::uint64_t hashes[kMaxBurst];
+  for (std::size_t i = 0; i < slots; ++i) {
+    Slot* slot = acquired[i];
+    const auto& a = rx_buf[i]->anno();
+    hashes[i] = a.flow_hash;
+    slot->enqueue_ns = admit_ns;
+    slot->payload_seed = static_cast<std::uint32_t>(a.flow_hash);
+    slot->flow_id = a.flow_id;
+    slot->seq = a.seq;
+    slot->pkt = rx_buf[i].release();
+  }
+  return dispatch_slots(acquired, hashes, slots);
 }
 
 void ThreadedDataPlane::worker_loop(std::size_t path) {
@@ -167,17 +259,30 @@ void ThreadedDataPlane::worker_loop(std::size_t path) {
     }
     if (cfg_.record_stage_hist) {
       const std::uint64_t t = now_ns();
-      for (std::size_t i = 0; i < n; ++i) burst[i]->dequeue_ns = t;
+      for (std::size_t i = 0; i < n; ++i) {
+        burst[i]->dequeue_ns = t;
+        burst[i]->burst_n = static_cast<std::uint16_t>(n);
+        burst[i]->burst_pos = static_cast<std::uint16_t>(i);
+      }
     }
     for (std::size_t i = 0; i < n; ++i) {
-      // Real per-packet work: seed-perturbed checksum passes over the
-      // payload region (memory traffic + ALU, like header parsing would).
-      buf[0] = static_cast<std::uint8_t>(burst[i]->payload_seed);
       volatile std::uint16_t sink = 0;
-      for (std::size_t k = 0; k < cfg_.work_iterations; ++k) {
-        sink = net::checksum(
-            reinterpret_cast<const std::byte*>(buf.data()), buf.size());
-        buf[1] = static_cast<std::uint8_t>(sink);
+      if (burst[i]->pkt) {
+        // Real frame: checksum passes over the actual frame bytes,
+        // read-only so the payload round-trips bit-exact.
+        const auto payload = burst[i]->pkt->payload();
+        for (std::size_t k = 0; k < cfg_.work_iterations; ++k)
+          sink = static_cast<std::uint16_t>(
+              net::checksum(payload.data(), payload.size()) + sink);
+      } else {
+        // Synthetic mode: seed-perturbed checksum passes over the scratch
+        // payload region (memory traffic + ALU, like header parsing).
+        buf[0] = static_cast<std::uint8_t>(burst[i]->payload_seed);
+        for (std::size_t k = 0; k < cfg_.work_iterations; ++k) {
+          sink = net::checksum(
+              reinterpret_cast<const std::byte*>(buf.data()), buf.size());
+          buf[1] = static_cast<std::uint8_t>(sink);
+        }
       }
     }
     if (cfg_.record_stage_hist) {
@@ -195,6 +300,7 @@ void ThreadedDataPlane::worker_loop(std::size_t path) {
 
 void ThreadedDataPlane::collector_loop() {
   Slot* burst[kMaxBurst];
+  Slot* recycle[kMaxBurst];
   const std::size_t burst_cap = cfg_.burst_size;
   while (true) {
     const std::size_t n =
@@ -210,26 +316,55 @@ void ThreadedDataPlane::collector_loop() {
     // worker before the done_ring_ push (release) and read after the pop
     // (acquire) — no race.
     const std::uint64_t now = now_ns();
+    std::size_t num_recycle = 0;
     for (std::size_t i = 0; i < n; ++i) {
       Slot* slot = burst[i];
       const std::uint64_t latency = now - slot->enqueue_ns;
       if (cfg_.record_stage_hist) {
+        const std::uint64_t service_span = slot->done_ns >= slot->dequeue_ns
+                                               ? slot->done_ns - slot->dequeue_ns
+                                               : 0;
+        const std::uint16_t burst_n = slot->burst_n ? slot->burst_n : 1;
         queue_wait_hist_.record(slot->dequeue_ns >= slot->enqueue_ns
                                     ? slot->dequeue_ns - slot->enqueue_ns
                                     : 0);
-        service_hist_.record(slot->done_ns >= slot->dequeue_ns
-                                 ? slot->done_ns - slot->dequeue_ns
-                                 : 0);
+        // Attributed share: the burst's span divided over its members,
+        // not the whole span per member (batch-aware attribution).
+        service_hist_.record(service_span / burst_n);
         merge_wait_hist_.record(now >= slot->done_ns ? now - slot->done_ns
                                                      : 0);
+        trace::SpanRecord sp;
+        sp.ingress_ns = slot->enqueue_ns;
+        sp.dispatch_ns = slot->enqueue_ns;
+        sp.service_start_ns = slot->dequeue_ns;
+        sp.service_end_ns = slot->done_ns;
+        sp.chain_done_ns = slot->done_ns;
+        sp.merge_ns = now;
+        sp.egress_ns = now;
+        sp.flow_id = slot->flow_id;
+        sp.seq = slot->seq;
+        sp.path_id = slot->path;
+        sp.burst_size = burst_n;
+        sp.burst_pos = slot->burst_pos;
+        sp.active = true;
+        exemplars_.offer(sp);
       }
       if (on_complete_) on_complete_(latency, slot->path);
+      if (slot->pkt) {
+        // Frame completions travel to the caller thread, which owns all
+        // backend/pool interaction; egress_ring_ is slot-pool sized so
+        // this push cannot fail.
+        while (!egress_ring_->try_push(slot)) {
+        }
+      } else {
+        recycle[num_recycle++] = slot;
+      }
     }
     completed_.fetch_add(n, std::memory_order_relaxed);
     std::size_t back = 0;
-    while (back < n)
+    while (back < num_recycle)
       back += free_ring_->try_push_burst(
-          std::span<Slot*>(burst + back, n - back));
+          std::span<Slot*>(recycle + back, num_recycle - back));
   }
 }
 
@@ -240,6 +375,23 @@ void ThreadedDataPlane::stop() {
   workers_done_.store(true, std::memory_order_release);
   if (collector_.joinable()) collector_.join();
   workers_.clear();
+  if (cfg_.backend && egress_ring_) {
+    // Final egress pass on the caller thread: offer what remains to the
+    // backend once, then return anything it refuses to its packet pool.
+    // The backend itself stays up — the caller owns its lifetime.
+    Slot* done = nullptr;
+    while (egress_ring_->try_pop(done)) {
+      tx_pending_.emplace_back(done->pkt);
+      done->pkt = nullptr;
+      while (!free_ring_->try_push(done)) {
+      }
+    }
+    if (!tx_pending_.empty()) {
+      cfg_.backend->tx_burst(std::span<net::PacketPtr>(
+          tx_pending_.data(), tx_pending_.size()));
+      tx_pending_.clear();  // unconsumed handles recycle on destruction
+    }
+  }
 }
 
 }  // namespace mdp::core

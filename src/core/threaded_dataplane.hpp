@@ -15,10 +15,20 @@
 // behavior; the per-packet ingress() entry point is kept for callers that
 // arrive one packet at a time.
 //
+// Packet sources. Two ways to feed the plane:
+//   - ingress()/ingress_burst(flow_hashes): the legacy synthetic mode —
+//     no frames, per-packet work runs over a scratch payload buffer.
+//   - cfg.backend + pump(): real frames. pump(), called repeatedly from
+//     the caller thread, rx_bursts frames from the io::PacketBackend,
+//     dispatches them by anno().flow_hash, and tx_bursts completed frames
+//     back out. All backend and pool interaction stays on the caller
+//     thread (pools are single-threaded); workers only read frame bytes,
+//     the collector only routes slots. See docs/IO_BACKENDS.md.
+//
 // This is NOT the experiment vehicle (the discrete-event model is, see
 // MdpDataPlane) — it validates that the data-path building blocks (rings,
-// dispatch, merge, bursting) are genuinely lock-free and fast on real
-// hardware, and feeds Tab 4 / the Ext 2 fastpath burst sweep.
+// dispatch, merge, bursting, backend I/O) are genuinely lock-free and fast
+// on real hardware, and feeds Tab 4 / the Ext 2 fastpath burst sweep.
 #pragma once
 
 #include <atomic>
@@ -30,9 +40,11 @@
 #include <thread>
 #include <vector>
 
+#include "io/packet_backend.hpp"
 #include "ring/mpmc_ring.hpp"
 #include "ring/spsc_ring.hpp"
 #include "stats/histogram.hpp"
+#include "trace/exemplar.hpp"
 
 namespace mdp::core {
 
@@ -48,9 +60,16 @@ struct ThreadedConfig {
   std::size_t burst_size = 32;
   /// Attribute each packet's latency to ring wait / service / collection.
   /// Stage boundaries are stamped once per burst (two extra clock reads
-  /// per *burst* on the worker), so at burst_size > 1 a packet's service
-  /// span covers its whole burst; off for pure throughput benchmarking.
+  /// per *burst* on the worker); each packet's service sample is its
+  /// attributed share (burst span / burst population), and the collector
+  /// captures burst-aware exemplars (see exemplars()). Off for pure
+  /// throughput benchmarking.
   bool record_stage_hist = false;
+  /// Packet source/sink. Non-owning; when set, drive the plane with
+  /// pump() from the caller thread. The plane start()s the backend but
+  /// never stop()s it (the caller owns its lifetime, and with loopback
+  /// pairs the peer endpoint usually outlives the plane).
+  io::PacketBackend* backend = nullptr;
 };
 
 class ThreadedDataPlane {
@@ -68,7 +87,7 @@ class ThreadedDataPlane {
   ThreadedDataPlane(const ThreadedDataPlane&) = delete;
   ThreadedDataPlane& operator=(const ThreadedDataPlane&) = delete;
 
-  /// Launch worker + collector threads.
+  /// Launch worker + collector threads (and start the backend, if any).
   void start();
 
   /// Submit one packet from the caller thread. Returns false if the
@@ -82,6 +101,19 @@ class ThreadedDataPlane {
   /// found the pool or their path ring full are rejected (counted in
   /// rejected()), not retried.
   std::size_t ingress_burst(std::span<const std::uint64_t> flow_hashes);
+
+  /// Backend mode, caller thread only: egress completed frames back
+  /// through the backend, then rx/admit up to cfg.burst_size new frames.
+  /// Returns the number admitted this call. Frames the slot pool or a
+  /// path ring could not absorb are returned to their packet pool and
+  /// counted in rejected().
+  std::size_t pump();
+
+  /// Completed frames not yet handed back to the backend (backend mode).
+  /// Zero once pump() has been called after quiesce.
+  std::size_t egress_backlog() const noexcept {
+    return tx_pending_.size() + (egress_ring_ ? egress_ring_->size() : 0);
+  }
 
   /// Wait until everything in flight has drained, then stop all threads.
   void stop();
@@ -103,18 +135,27 @@ class ThreadedDataPlane {
   }
 
   // Stage attribution (valid when cfg.record_stage_hist; read after
-  // stop() — the histograms are written by the collector thread).
+  // stop() — histograms and exemplars are written by the collector
+  // thread).
   /// Ingress enqueue -> worker burst pop (path ring wait).
   const stats::LatencyHistogram& queue_wait_hist() const noexcept {
     return queue_wait_hist_;
   }
-  /// Worker burst pop -> burst work done (per-burst service window).
+  /// Attributed per-packet service: the burst's service span divided by
+  /// the burst population, so a tail packet no longer claims its whole
+  /// burst's span (ROADMAP "batch-aware exemplars").
   const stats::LatencyHistogram& service_hist() const noexcept {
     return service_hist_;
   }
   /// Burst work done -> collector burst pop (completion ring + merge wait).
   const stats::LatencyHistogram& merge_wait_hist() const noexcept {
     return merge_wait_hist_;
+  }
+  /// Burst-aware tail exemplars: each carries burst_size, burst_pos and
+  /// the raw (whole-burst) service span, so attributed_service_ns() stays
+  /// honest at burst_size > 1.
+  const trace::ExemplarReservoir& exemplars() const noexcept {
+    return exemplars_;
   }
 
  private:
@@ -124,9 +165,20 @@ class ThreadedDataPlane {
     std::uint64_t done_ns = 0;     ///< burst work complete (stage attribution)
     std::uint16_t path = 0;
     std::uint32_t payload_seed = 0;
+    net::Packet* pkt = nullptr;    ///< backend mode: the frame in flight
+    std::uint64_t seq = 0;         ///< frame anno (exemplar metadata)
+    std::uint32_t flow_id = 0;
+    std::uint16_t burst_n = 1;     ///< service-burst population
+    std::uint16_t burst_pos = 0;   ///< this packet's position in it
   };
 
   std::uint16_t pick_path(std::uint64_t flow_hash);
+  /// Shared dispatch tail: place `n` slots (enqueue_ns/payload/pkt already
+  /// filled) by policy, bulk-push per path, recycle what didn't fit
+  /// (frames back to their pool, slots to the free ring). Returns accepted.
+  std::size_t dispatch_slots(Slot* const* slots, const std::uint64_t* hashes,
+                             std::size_t n);
+  void reject_slot(Slot* slot);
   void worker_loop(std::size_t path);
   void collector_loop();
   static std::uint64_t now_ns();
@@ -136,6 +188,10 @@ class ThreadedDataPlane {
   std::vector<std::unique_ptr<ring::SpscRing<Slot*>>> path_rings_;
   std::unique_ptr<ring::MpmcRing<Slot*>> done_ring_;
   std::unique_ptr<ring::MpmcRing<Slot*>> free_ring_;
+  /// Backend mode: collector -> caller handoff of completed frames
+  /// (capacity pool_size, so a push can never fail).
+  std::unique_ptr<ring::SpscRing<Slot*>> egress_ring_;
+  std::vector<net::PacketPtr> tx_pending_;  ///< frames awaiting backend tx
   std::vector<Slot> slots_;
   std::vector<std::uint8_t> work_buf_;
   std::vector<std::thread> workers_;
@@ -147,13 +203,14 @@ class ThreadedDataPlane {
   std::uint64_t rejected_ = 0;
   std::size_t rr_next_ = 0;
   std::vector<std::uint64_t> path_counts_;
-  // ingress_burst scratch (caller thread only): per-path staging and the
-  // JSQ occupancy snapshot, allocated once.
+  // ingress_burst/pump scratch (caller thread only): per-path staging and
+  // the JSQ occupancy snapshot, allocated once.
   std::vector<std::vector<Slot*>> stage_;
   std::vector<std::size_t> jsq_depths_;
   stats::LatencyHistogram queue_wait_hist_;
   stats::LatencyHistogram service_hist_;
   stats::LatencyHistogram merge_wait_hist_;
+  trace::ExemplarReservoir exemplars_;  ///< collector thread only
 };
 
 }  // namespace mdp::core

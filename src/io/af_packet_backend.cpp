@@ -1,0 +1,202 @@
+#include "io/af_packet_backend.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+
+#include <linux/if_packet.h>
+#include <net/ethernet.h>
+#include <net/if.h>
+#include <sys/ioctl.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/flow_key.hpp"
+#include "net/packet_builder.hpp"
+
+namespace mdp::io {
+
+// One mmap'd TPACKET_V2 ring (RX or TX): a contiguous block of
+// `frame_count` fixed-size slots, each starting with a tpacket2_hdr whose
+// tp_status field is the kernel/user handshake.
+struct AfPacketBackend::Ring {
+  std::byte* map = nullptr;
+  std::size_t map_len = 0;
+  std::size_t frame_size = 0;
+  std::size_t frame_count = 0;
+  std::size_t next = 0;  ///< next slot to inspect (rings are in-order)
+
+  tpacket2_hdr* slot(std::size_t i) const noexcept {
+    return reinterpret_cast<tpacket2_hdr*>(map + i * frame_size);
+  }
+};
+
+namespace {
+
+bool set_errstr(std::string* err, const std::string& what) {
+  if (err) *err = what + ": " + std::strerror(errno);
+  return false;
+}
+
+}  // namespace
+
+AfPacketBackend::AfPacketBackend(AfPacketConfig cfg)
+    : cfg_(cfg),
+      pool_(std::make_unique<net::PacketPool>(cfg.pool_size, cfg.frame_size,
+                                              /*allow_growth=*/false)) {
+  caps_.name = "af_packet";
+  caps_.max_burst = 256;
+  caps_.queue_depth = cfg_.frames_per_ring;
+  caps_.numa_node = cfg_.numa_node;
+  caps_.split_rx_tx = true;
+  caps_.needs_peer_frames = true;
+}
+
+AfPacketBackend::~AfPacketBackend() { stop(); }
+
+bool AfPacketBackend::start(std::string* err) {
+  if (fd_ >= 0) return true;
+  fd_ = ::socket(AF_PACKET, SOCK_RAW, htons(ETH_P_ALL));
+  if (fd_ < 0) return set_errstr(err, "socket(AF_PACKET)");
+
+  const int ifindex = static_cast<int>(if_nametoindex(cfg_.interface.c_str()));
+  if (ifindex == 0) {
+    stop();
+    return set_errstr(err, "if_nametoindex(" + cfg_.interface + ")");
+  }
+
+  const int version = TPACKET_V2;
+  if (::setsockopt(fd_, SOL_PACKET, PACKET_VERSION, &version,
+                   sizeof(version)) < 0) {
+    stop();
+    return set_errstr(err, "setsockopt(PACKET_VERSION)");
+  }
+
+  tpacket_req req{};
+  req.tp_frame_size = static_cast<unsigned>(cfg_.frame_size);
+  req.tp_frame_nr = static_cast<unsigned>(cfg_.frames_per_ring);
+  // One ring block keeps the layout trivial: block = whole ring.
+  req.tp_block_size =
+      static_cast<unsigned>(cfg_.frame_size * cfg_.frames_per_ring);
+  req.tp_block_nr = 1;
+  if (::setsockopt(fd_, SOL_PACKET, PACKET_RX_RING, &req, sizeof(req)) < 0 ||
+      ::setsockopt(fd_, SOL_PACKET, PACKET_TX_RING, &req, sizeof(req)) < 0) {
+    stop();
+    return set_errstr(err, "setsockopt(PACKET_*_RING)");
+  }
+
+  const std::size_t ring_len = req.tp_block_size;
+  void* map = ::mmap(nullptr, ring_len * 2, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_LOCKED, fd_, 0);
+  if (map == MAP_FAILED) {
+    // MAP_LOCKED can exceed RLIMIT_MEMLOCK; retry unlocked.
+    map = ::mmap(nullptr, ring_len * 2, PROT_READ | PROT_WRITE, MAP_SHARED,
+                 fd_, 0);
+  }
+  if (map == MAP_FAILED) {
+    stop();
+    return set_errstr(err, "mmap(rx+tx rings)");
+  }
+  rx_ = std::make_unique<Ring>();
+  tx_ = std::make_unique<Ring>();
+  rx_->map = static_cast<std::byte*>(map);
+  rx_->map_len = ring_len * 2;
+  rx_->frame_size = cfg_.frame_size;
+  rx_->frame_count = cfg_.frames_per_ring;
+  tx_->map = rx_->map + ring_len;  // TX ring follows RX in the mapping
+  tx_->frame_size = cfg_.frame_size;
+  tx_->frame_count = cfg_.frames_per_ring;
+
+  sockaddr_ll addr{};
+  addr.sll_family = AF_PACKET;
+  addr.sll_protocol = htons(ETH_P_ALL);
+  addr.sll_ifindex = ifindex;
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    stop();
+    return set_errstr(err, "bind(" + cfg_.interface + ")");
+  }
+
+  if (cfg_.promiscuous) {
+    packet_mreq mreq{};
+    mreq.mr_ifindex = ifindex;
+    mreq.mr_type = PACKET_MR_PROMISC;
+    ::setsockopt(fd_, SOL_PACKET, PACKET_ADD_MEMBERSHIP, &mreq,
+                 sizeof(mreq));  // best-effort
+  }
+  return true;
+}
+
+void AfPacketBackend::stop() {
+  if (rx_ && rx_->map) ::munmap(rx_->map, rx_->map_len);
+  rx_.reset();
+  tx_.reset();
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+std::size_t AfPacketBackend::rx_burst(std::span<net::PacketPtr> out) {
+  if (!rx_) return 0;
+  std::size_t n = 0;
+  const std::size_t want = std::min(out.size(), caps_.max_burst);
+  while (n < want) {
+    tpacket2_hdr* hdr = rx_->slot(rx_->next);
+    if (!(hdr->tp_status & TP_STATUS_USER)) break;  // kernel still owns it
+    net::PacketPtr pkt = pool_->alloc();
+    if (!pkt) break;  // leave the slot for the next call
+    const std::byte* frame =
+        reinterpret_cast<const std::byte*>(hdr) + hdr->tp_mac;
+    if (pkt->assign({frame, hdr->tp_snaplen})) {
+      auto parsed = net::parse(*pkt);
+      if (parsed) {
+        pkt->anno().flow_hash = net::hash_flow(parsed->flow);
+        pkt->anno().flow_id =
+            static_cast<std::uint32_t>(pkt->anno().flow_hash);
+      }
+      out[n++] = std::move(pkt);
+    }
+    // Truncated-assign packets fall out of scope here -> recycled.
+    hdr->tp_status = TP_STATUS_KERNEL;
+    rx_->next = (rx_->next + 1) % rx_->frame_count;
+  }
+  rx_packets_ += n;
+  return n;
+}
+
+std::size_t AfPacketBackend::tx_burst(std::span<net::PacketPtr> pkts) {
+  if (!tx_) return 0;
+  std::size_t n = 0;
+  const std::size_t want = std::min(pkts.size(), caps_.max_burst);
+  while (n < want) {
+    if (!pkts[n]) {  // null slots are consumed and ignored
+      ++n;
+      continue;
+    }
+    tpacket2_hdr* hdr = tx_->slot(tx_->next);
+    if (hdr->tp_status != TP_STATUS_AVAILABLE) break;  // ring full
+    net::Packet& pkt = *pkts[n];
+    const std::size_t max_payload =
+        tx_->frame_size - TPACKET2_HDRLEN + sizeof(sockaddr_ll);
+    if (pkt.length() > max_payload) {  // cannot ever fit: drop, count
+      ++tx_rejected_;
+      pkts[n].reset();
+      ++n;
+      continue;
+    }
+    std::byte* dst = reinterpret_cast<std::byte*>(hdr) + TPACKET2_HDRLEN -
+                     sizeof(sockaddr_ll);
+    std::memcpy(dst, pkt.data(), pkt.length());
+    hdr->tp_len = static_cast<unsigned>(pkt.length());
+    hdr->tp_status = TP_STATUS_SEND_REQUEST;
+    tx_->next = (tx_->next + 1) % tx_->frame_count;
+    pkts[n].reset();  // ownership consumed
+    ++n;
+    ++tx_packets_;
+  }
+  if (n > 0) ::sendto(fd_, nullptr, 0, MSG_DONTWAIT, nullptr, 0);
+  return n;
+}
+
+}  // namespace mdp::io

@@ -1,0 +1,61 @@
+// AfPacketBackend: real frames from a Linux interface via AF_PACKET with
+// PACKET_MMAP (TPACKET_V2) RX/TX rings — the first hardware-facing
+// implementation of PacketBackend.
+//
+// Built only when -DMDP_WITH_AF_PACKET=ON (not in CI: it needs CAP_NET_RAW
+// and a real interface, neither of which a shared runner has). The
+// conformance suite registers it when compiled in but skips execution
+// unless MDP_AF_PACKET_IFACE names an interface the runner may open.
+//
+// Frames are copied between the kernel ring and pool packets (no
+// zero-copy yet): rx_burst walks user-owned ring slots, copies each frame
+// into a pool packet, parses it to populate anno().flow_hash, and returns
+// the slot to the kernel; tx_burst copies payloads into free TX slots,
+// marks them send-requested, and kicks the socket with a non-blocking
+// sendto. Single caller per direction (caps().split_rx_tx = true: the two
+// rings are independent).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/packet_backend.hpp"
+#include "net/packet_pool.hpp"
+
+namespace mdp::io {
+
+struct AfPacketConfig {
+  std::string interface = "lo";
+  std::size_t frame_size = 2048;   ///< TPACKET_V2 frame slot size
+  std::size_t frames_per_ring = 512;
+  std::size_t pool_size = 4096;
+  int numa_node = -1;
+  bool promiscuous = false;
+};
+
+class AfPacketBackend final : public PacketBackend {
+ public:
+  explicit AfPacketBackend(AfPacketConfig cfg = {});
+  ~AfPacketBackend() override;
+
+  const BackendCaps& caps() const noexcept override { return caps_; }
+  bool start(std::string* err = nullptr) override;
+  void stop() override;
+  std::size_t rx_burst(std::span<net::PacketPtr> out) override;
+  std::size_t tx_burst(std::span<net::PacketPtr> pkts) override;
+
+  net::PacketPool& pool() noexcept { return *pool_; }
+
+ private:
+  struct Ring;  // mmap'd TPACKET_V2 ring (defined in the .cpp)
+
+  AfPacketConfig cfg_;
+  BackendCaps caps_;
+  std::unique_ptr<net::PacketPool> pool_;
+  int fd_ = -1;
+  std::unique_ptr<Ring> rx_;
+  std::unique_ptr<Ring> tx_;
+};
+
+}  // namespace mdp::io

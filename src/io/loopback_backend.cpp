@@ -1,0 +1,172 @@
+#include "io/loopback_backend.hpp"
+
+#include <algorithm>
+
+namespace mdp::io {
+
+namespace {
+
+void recycle_raw(net::Packet* p) noexcept {
+  if (p && p->pool()) p->pool()->recycle(p);
+}
+
+}  // namespace
+
+LoopbackBackend::LoopbackBackend(LoopbackConfig cfg) : cfg_(cfg) {
+  if (cfg_.queue_depth < 2) cfg_.queue_depth = 2;
+  caps_.name = "loopback";
+  caps_.max_burst = cfg_.max_burst;
+  caps_.queue_depth = cfg_.queue_depth;
+  caps_.numa_node = cfg_.numa_node;
+  caps_.split_rx_tx = true;
+  caps_.needs_peer_frames = true;
+  // Self-connected by default; make_pair() rewires rx to the peer's tx.
+  tx_ring_ = std::make_shared<Ring>(cfg_.queue_depth);
+  rx_ring_ = tx_ring_;
+}
+
+std::pair<std::unique_ptr<LoopbackBackend>, std::unique_ptr<LoopbackBackend>>
+LoopbackBackend::make_pair(LoopbackConfig cfg) {
+  auto a = std::make_unique<LoopbackBackend>(cfg);
+  auto b = std::make_unique<LoopbackBackend>(cfg);
+  // Cross-connect: a's outbound wire is b's inbound and vice versa.
+  a->rx_ring_ = b->tx_ring_;
+  b->rx_ring_ = a->tx_ring_;
+  return {std::move(a), std::move(b)};
+}
+
+LoopbackBackend::~LoopbackBackend() {
+  // Recycle whatever this endpoint still owns: its staged frames and its
+  // inbound wire (the peer's destructor handles the other direction; for a
+  // self-loop both are the same ring, drained once here).
+  while (!staged_.empty()) {
+    recycle_raw(staged_.top().pkt);
+    staged_.pop();
+  }
+  net::Packet* p = nullptr;
+  while (rx_ring_ && rx_ring_->try_pop(p)) recycle_raw(p);
+}
+
+std::uint64_t LoopbackBackend::next_u64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);  // splitmix64
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double LoopbackBackend::next_unit(std::uint64_t& state) noexcept {
+  return static_cast<double>(next_u64(state) >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t& LoopbackBackend::rng_for_path(std::uint16_t path) {
+  if (path >= rng_state_.size()) {
+    const std::size_t old = rng_state_.size();
+    rng_state_.resize(path + 1);
+    for (std::size_t p = old; p < rng_state_.size(); ++p)
+      rng_state_[p] = cfg_.seed * 0x9e3779b97f4a7c15ull + p + 1;
+  }
+  return rng_state_[path];
+}
+
+void LoopbackBackend::set_path_faults(std::uint16_t path,
+                                      const LoopbackFaults& faults) {
+  if (path >= faults_.size()) faults_.resize(path + 1);
+  faults_[path] = faults;
+  rng_for_path(path);  // materialize the stream eagerly
+  if (faults.drop_rate > 0 || faults.dup_rate > 0 ||
+      faults.reorder_rate > 0 || faults.delay_ticks > 0)
+    caps_.injects_faults = true;
+}
+
+std::size_t LoopbackBackend::in_flight() const noexcept {
+  return staged_.size() + tx_ring_->size();
+}
+
+void LoopbackBackend::release_due() {
+  while (!staged_.empty() && staged_.top().due_tick <= tick_) {
+    if (!tx_ring_->try_push(staged_.top().pkt)) break;  // wire full: later
+    staged_.pop();
+  }
+}
+
+std::size_t LoopbackBackend::tx_burst(std::span<net::PacketPtr> pkts) {
+  ++tick_;
+  static const LoopbackFaults kClean{};
+  std::size_t n = 0;
+  for (auto& handle : pkts) {
+    if (n >= caps_.max_burst) break;
+    if (!handle) {  // null slots are consumed and ignored
+      ++n;
+      continue;
+    }
+    if (in_flight() >= cfg_.queue_depth) break;  // partial-burst rule
+    const std::uint16_t path = handle->anno().path_id;
+    const LoopbackFaults& lane =
+        path < faults_.size() ? faults_[path] : kClean;
+
+    if (lane.drop_rate > 0 &&
+        next_unit(rng_for_path(path)) < lane.drop_rate) {
+      handle.reset();  // the wire ate it: recycled to its pool
+      ++dropped_;
+      ++n;
+      ++tx_packets_;
+      continue;
+    }
+
+    std::uint64_t due = tick_ + lane.delay_ticks;
+    if (lane.reorder_rate > 0 &&
+        next_unit(rng_for_path(path)) < lane.reorder_rate) {
+      due += lane.reorder_extra_ticks;
+      ++reordered_;
+    }
+
+    net::PacketPtr dup;
+    if (lane.dup_rate > 0 &&
+        next_unit(rng_for_path(path)) < lane.dup_rate &&
+        in_flight() + 1 < cfg_.queue_depth) {
+      dup = handle->pool()->clone(*handle);
+      if (dup) {
+        dup->anno().is_replica = true;
+        dup->anno().copy_index =
+            static_cast<std::uint8_t>(handle->anno().copy_index + 1);
+      }
+    }
+
+    staged_.push(Staged{due, tx_order_++, handle.release()});
+    if (dup) {
+      staged_.push(Staged{due, tx_order_++, dup.release()});
+      ++duplicated_;
+    }
+    ++n;
+    ++tx_packets_;
+  }
+  release_due();
+  tx_rejected_ += pkts.size() > n ? pkts.size() - n : 0;
+  return n;
+}
+
+void LoopbackBackend::advance(std::uint32_t ticks) {
+  tick_ += ticks;
+  release_due();
+}
+
+std::size_t LoopbackBackend::flush() {
+  std::size_t released = 0;
+  while (!staged_.empty()) {
+    if (!tx_ring_->try_push(staged_.top().pkt)) break;
+    staged_.pop();
+    ++released;
+  }
+  return released;
+}
+
+std::size_t LoopbackBackend::rx_burst(std::span<net::PacketPtr> out) {
+  std::size_t n = 0;
+  const std::size_t want = std::min(out.size(), caps_.max_burst);
+  net::Packet* p = nullptr;
+  while (n < want && rx_ring_->try_pop(p)) out[n++] = net::PacketPtr(p);
+  rx_packets_ += n;
+  return n;
+}
+
+}  // namespace mdp::io

@@ -1,0 +1,125 @@
+// LoopbackBackend: an in-memory wire made of SPSC rings, byte-for-byte
+// lossless by default, with injectable per-path faults — the deterministic
+// harness every backend-facing contract is tested against.
+//
+// Two endpoints (make_pair) are cross-connected: what A transmits, B
+// receives, same net::Packet object, payload and annotations untouched.
+// A standalone LoopbackBackend is self-connected (tx feeds its own rx),
+// which is enough for single-port round-trip tests.
+//
+// Faults model the last mile the paper cares about. Each endpoint's TX
+// direction has an independent fault lane per multipath path id (selected
+// by anno().path_id at tx time):
+//   - drop_rate      frame vanishes (recycled to its pool)
+//   - dup_rate       a deep clone follows the original (is_replica set)
+//   - delay_ticks    fixed extra delivery delay, in wire ticks
+//   - reorder_rate / reorder_extra_ticks
+//                    hit frames are held back so later frames overtake
+// One wire tick elapses per tx_burst() (or advance()) call, so a given
+// seed + offered stream yields the exact same delivery order every run —
+// CI can assert on it. Frames whose delivery time hasn't come sit in a
+// staging heap; flush() force-releases them (used at quiesce).
+//
+// Threading: the TX direction (tx_burst/advance/flush and all fault state,
+// including pool recycle on drop and pool clone on dup) belongs to the
+// producer thread; rx_burst to the consumer thread (caps().split_rx_tx).
+// The frame pool must outlive both endpoints and is only ever touched from
+// the TX side plus whoever owns the rx'd handles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "io/packet_backend.hpp"
+#include "ring/spsc_ring.hpp"
+
+namespace mdp::io {
+
+struct LoopbackFaults {
+  double drop_rate = 0.0;
+  double dup_rate = 0.0;
+  double reorder_rate = 0.0;
+  std::uint32_t reorder_extra_ticks = 4;  ///< hold-back applied on a hit
+  std::uint32_t delay_ticks = 0;          ///< fixed per-path delay
+};
+
+struct LoopbackConfig {
+  std::size_t queue_depth = 4096;  ///< per-direction bound (staged + ring)
+  std::size_t max_burst = 256;
+  std::uint64_t seed = 1;          ///< fault RNG seed (per-path streams)
+  int numa_node = -1;
+};
+
+class LoopbackBackend final : public PacketBackend {
+ public:
+  /// Self-connected endpoint: tx_burst feeds this endpoint's own rx_burst.
+  explicit LoopbackBackend(LoopbackConfig cfg = {});
+
+  /// Cross-connected pair: first.tx -> second.rx and vice versa.
+  static std::pair<std::unique_ptr<LoopbackBackend>,
+                   std::unique_ptr<LoopbackBackend>>
+  make_pair(LoopbackConfig cfg = {});
+
+  ~LoopbackBackend() override;
+
+  const BackendCaps& caps() const noexcept override { return caps_; }
+  std::size_t rx_burst(std::span<net::PacketPtr> out) override;
+  std::size_t tx_burst(std::span<net::PacketPtr> pkts) override;
+
+  /// Install a fault lane on this endpoint's TX direction for `path`.
+  void set_path_faults(std::uint16_t path, const LoopbackFaults& faults);
+
+  /// Advance the wire clock without transmitting: releases staged frames
+  /// whose delivery tick has come.
+  void advance(std::uint32_t ticks = 1);
+
+  /// Force-release staged frames regardless of delivery tick (quiesce
+  /// helper; delivery order stays (due_tick, tx order)). Releases at most
+  /// what the wire ring can hold — interleave with rx_burst and repeat
+  /// until in_flight() is 0. Returns the number released.
+  std::size_t flush();
+
+  // Fault observability (TX-thread counters, read at quiesce).
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t duplicated() const noexcept { return duplicated_; }
+  std::uint64_t reordered() const noexcept { return reordered_; }
+  std::uint64_t tick() const noexcept { return tick_; }
+  /// Frames accepted by tx but not yet rx'd (staged + in-ring).
+  std::size_t in_flight() const noexcept;
+
+ private:
+  using Ring = ring::SpscRing<net::Packet*>;
+
+  struct Staged {
+    std::uint64_t due_tick;
+    std::uint64_t order;
+    net::Packet* pkt;
+    bool operator<(const Staged& o) const noexcept {  // min-heap via >
+      return due_tick != o.due_tick ? due_tick > o.due_tick
+                                    : order > o.order;
+    }
+  };
+
+  void release_due();
+  std::uint64_t next_u64(std::uint64_t& state) noexcept;
+  double next_unit(std::uint64_t& state) noexcept;
+  std::uint64_t& rng_for_path(std::uint16_t path);
+
+  LoopbackConfig cfg_;
+  BackendCaps caps_;
+  std::shared_ptr<Ring> tx_ring_;  ///< this endpoint's outbound wire
+  std::shared_ptr<Ring> rx_ring_;  ///< this endpoint's inbound wire
+  std::vector<LoopbackFaults> faults_;     // indexed by path id
+  std::vector<std::uint64_t> rng_state_;   // one stream per path id
+  std::priority_queue<Staged> staged_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t tx_order_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
+};
+
+}  // namespace mdp::io

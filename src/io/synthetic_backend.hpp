@@ -1,0 +1,54 @@
+// SyntheticBackend: the default CI packet source — the hash-synthesizing
+// generator the threaded plane grew up on, repackaged behind PacketBackend.
+//
+// rx_burst allocates pool packets and stamps them with a deterministic
+// golden-ratio flow-hash stream (round-robin over cfg.num_flows flows,
+// per-flow sequence numbers), optionally building a real UDP frame for the
+// bytes; tx_burst counts the packet out and recycles it. No wire, no
+// faults: what the plane accepts is exactly what it egresses, which is
+// what makes this the counter-equivalence baseline the conformance suite
+// compares fault-injecting backends against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "io/packet_backend.hpp"
+#include "net/packet_pool.hpp"
+
+namespace mdp::io {
+
+struct SyntheticConfig {
+  std::size_t pool_size = 8192;
+  std::size_t buf_capacity = 2048;
+  std::size_t payload_bytes = 64;  ///< payload length stamped on rx packets
+  std::size_t num_flows = 64;      ///< distinct flow ids in the stream
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  /// Build a full Ethernet/IPv4/UDP frame per packet instead of a raw
+  /// payload region. Slower; on only when frame parsing is under test.
+  bool build_frames = false;
+  /// Stop generating after this many packets (0 = endless). Lets a test
+  /// drive an exact population through the plane.
+  std::uint64_t rx_limit = 0;
+};
+
+class SyntheticBackend final : public PacketBackend {
+ public:
+  explicit SyntheticBackend(SyntheticConfig cfg = {});
+
+  const BackendCaps& caps() const noexcept override { return caps_; }
+  std::size_t rx_burst(std::span<net::PacketPtr> out) override;
+  std::size_t tx_burst(std::span<net::PacketPtr> pkts) override;
+
+  net::PacketPool& pool() noexcept { return *pool_; }
+
+ private:
+  SyntheticConfig cfg_;
+  BackendCaps caps_;
+  std::unique_ptr<net::PacketPool> pool_;
+  std::uint64_t next_ = 0;                 ///< generator ordinal
+  std::vector<std::uint64_t> flow_seq_;    ///< per-flow sequence numbers
+};
+
+}  // namespace mdp::io

@@ -89,6 +89,14 @@ struct SpanRecord {
   bool hedged = false;             ///< a hedge copy was involved
   bool active = false;             ///< span is being stamped by a Tracer
 
+  // Batch-aware attribution. Burst-mode data planes stamp service
+  // boundaries once per burst, so the raw kService span of any member
+  // covers the whole burst. These record the burst this packet rode in;
+  // attributed_service_ns() divides the span over the population so a
+  // tail exemplar no longer claims its neighbors' service time.
+  std::uint16_t burst_size = 1;    ///< packets in this service burst
+  std::uint16_t burst_pos = 0;     ///< this packet's position in the burst
+
   /// Effective (monotonic, hole-filled) boundary sequence. A zero (never
   /// stamped) or backwards boundary inherits its predecessor, so a
   /// truncated span still yields non-negative stages that telescope to
@@ -118,6 +126,14 @@ struct SpanRecord {
   std::uint64_t e2e_ns() const noexcept {
     auto b = boundaries();
     return b[kNumStages] - b[0];
+  }
+
+  /// Service time this packet may honestly claim: the per-burst service
+  /// span amortized over the burst population. Equal to the raw kService
+  /// stage at burst_size 1.
+  std::uint64_t attributed_service_ns() const noexcept {
+    return stage_ns(Stage::kService) /
+           (burst_size ? std::uint64_t{burst_size} : 1);
   }
 };
 

@@ -13,6 +13,9 @@ void write_exemplar_json(JsonWriter& w, const Exemplar& ex) {
   w.key("copies").value(static_cast<std::uint64_t>(sp.num_copies));
   w.key("traffic_class").value(static_cast<std::uint64_t>(sp.traffic_class));
   w.key("hedged").value(sp.hedged);
+  w.key("burst_size").value(static_cast<std::uint64_t>(sp.burst_size));
+  w.key("burst_pos").value(static_cast<std::uint64_t>(sp.burst_pos));
+  w.key("attributed_service_ns").value(sp.attributed_service_ns());
   w.key("stages_ns").begin_object();
   auto stages = sp.stages();
   for (std::size_t i = 0; i < kNumStages; ++i)
