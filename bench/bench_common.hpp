@@ -97,7 +97,9 @@ class JsonReportSink {
   std::vector<std::pair<std::string, std::string>> runs_;
 };
 
-/// Human label for a policy name used in tables.
+/// Human label for a policy name used in tables. Parameterized names
+/// ("redundant:3", "flowlet:20000" — see core::make_scheduler) are
+/// labelled from the base policy with the parameter carried along.
 inline std::string policy_label(const std::string& p) {
   if (p == "single") return "SinglePath";
   if (p == "rss") return "RSS-Hash";
@@ -109,6 +111,16 @@ inline std::string policy_label(const std::string& p) {
   if (p == "red3") return "Redundant-3";
   if (p == "red4") return "Redundant-4";
   if (p == "adaptive") return "AdaptiveMDP";
+  const std::size_t colon = p.find(':');
+  if (colon != std::string::npos) {
+    const std::string base = p.substr(0, colon);
+    const std::string param = p.substr(colon + 1);
+    if (base == "redundant" || base == "red") return "Redundant-" + param;
+    if (base == "single") return "SinglePath(" + param + ")";
+    if (base == "lla") return "LeastLatency(eps=" + param + ")";
+    if (base == "flowlet") return "Flowlet(gap=" + param + "ns)";
+    if (base == "adaptive") return "AdaptiveMDP(k=" + param + ")";
+  }
   return p;
 }
 

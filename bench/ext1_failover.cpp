@@ -1,13 +1,24 @@
 // Extension experiment 1: closed-loop path failure handling.
 //
-// A path silently blackholes (hypervisor wedges its core) mid-run. Without
-// health probing, every packet JSQ sends there is stuck until the stall
-// ends (the path looks IDLE — theft is invisible); with the
-// PathHealthMonitor, the path is marked down after ~3 missed probes and
-// traffic fails over, then returns after recovery.
+// A path silently blackholes (hypervisor wedges its core) mid-run. Three
+// variants of the same run:
+//   none    — no detection: every packet RSS hashes onto path 2 is stuck
+//             until the stall ends (the path looks IDLE — theft is
+//             invisible to backlog-blind dispatch).
+//   health  — PathHealthMonitor: the path is marked down after ~3 missed
+//             probes and traffic fails over, then returns on recovery.
+//   ctrl    — mdp::ctrl Controller: the blackhole produces NO completions,
+//             so the SLO windows are empty; detection comes from the
+//             backlog_limit arm (work that never comes back), then the
+//             full quarantine -> drain -> probation -> reinstate loop runs
+//             against the stall.
+//
+// With --json, emits one mdp.bench_failover.v1 row per variant (plus the
+// ctrl variant's decision log) so the recovery numbers are scriptable.
 #include "bench_common.hpp"
 #include "core/dataplane.hpp"
 #include "core/health.hpp"
+#include "ctrl/controller.hpp"
 #include "net/packet_builder.hpp"
 #include "workload/traffic_gen.hpp"
 
@@ -15,16 +26,22 @@ using namespace mdp;
 
 namespace {
 
+enum class Variant { kNone, kHealth, kCtrl };
+
+constexpr sim::TimeNs kFailAt = 20 * sim::kMillisecond;
+constexpr sim::TimeNs kFailFor = 30 * sim::kMillisecond;
+
 struct Result {
   stats::LatencyHistogram latency;
   std::uint64_t egressed = 0;
   std::uint64_t emitted = 0;
   std::uint64_t stuck_on_failed_path = 0;
-  sim::TimeNs detect_ns = 0;   // blackhole start -> marked down
-  sim::TimeNs recover_ns = 0;  // blackhole end -> marked up
+  sim::TimeNs detect_ns = 0;   // blackhole start -> masked
+  sim::TimeNs recover_ns = 0;  // blackhole end -> serving again
+  std::string ctrl_report;     // ctrl variant only
 };
 
-Result run(bool with_health) {
+Result run(Variant variant) {
   sim::EventQueue eq;
   net::PacketPool pool(8192, 2048);
   core::DataPlaneConfig cfg;
@@ -33,19 +50,12 @@ Result run(bool with_health) {
   core::MdpDataPlane dp(eq, pool, cfg, core::make_scheduler("rss"));
 
   Result res;
-  dp.set_egress([&](net::PacketPtr p) {
-    res.latency.record(p->anno().egress_ns - p->anno().ingress_ns);
-    ++res.egressed;
-  });
 
   core::HealthConfig hcfg;
   hcfg.probe_interval_ns = 200'000;
   hcfg.probe_deadline_ns = 100'000;
   core::PathHealthMonitor hm(eq, dp, hcfg);
-
-  constexpr sim::TimeNs kFailAt = 20 * sim::kMillisecond;
-  constexpr sim::TimeNs kFailFor = 30 * sim::kMillisecond;
-  if (with_health) {
+  if (variant == Variant::kHealth) {
     hm.set_on_transition([&](std::size_t p, bool up) {
       if (p != 2) return;
       if (!up && res.detect_ns == 0) res.detect_ns = eq.now() - kFailAt;
@@ -53,6 +63,55 @@ Result run(bool with_health) {
     });
     hm.start();
   }
+
+  // The controller variant: no completions arrive from a blackholed path,
+  // so the SLO arm is blind — backlog_limit (stuck work) is the detector.
+  // Probation probes ride the stalled core, so reinstatement happens only
+  // once the core genuinely serves again.
+  std::unique_ptr<ctrl::SloMonitor> slo_mon;
+  std::unique_ptr<ctrl::SimPlaneActuator> actuator;
+  std::unique_ptr<ctrl::Controller> controller;
+  if (variant == Variant::kCtrl) {
+    ctrl::Config ccfg;
+    ccfg.slo_target_ns = 500'000;
+    ccfg.violation_threshold = 0.25;
+    ccfg.min_samples = 8;
+    ccfg.backlog_limit = 16;
+    ccfg.path.quarantine_after = 2;
+    ccfg.path.probation_probes = 8;
+    ccfg.probe_grant_per_tick = 8;
+    ccfg.min_serving_paths = 2;
+    slo_mon = std::make_unique<ctrl::SloMonitor>(cfg.num_paths,
+                                                 ccfg.slo_target_ns);
+    actuator = std::make_unique<ctrl::SimPlaneActuator>(eq, dp, *slo_mon);
+    controller = std::make_unique<ctrl::Controller>(ccfg, *actuator,
+                                                    *slo_mon);
+    struct Ticker {
+      static void arm(sim::EventQueue& eq, ctrl::Controller& c,
+                      Result& res) {
+        eq.schedule_in(500'000, [&eq, &c, &res] {
+          const std::uint64_t q = c.quarantines();
+          const std::uint64_t r = c.reinstatements();
+          c.tick(static_cast<std::uint64_t>(eq.now()));
+          if (c.quarantines() > q && res.detect_ns == 0)
+            res.detect_ns = eq.now() - kFailAt;
+          if (c.reinstatements() > r && res.recover_ns == 0 &&
+              eq.now() > kFailAt + kFailFor)
+            res.recover_ns = eq.now() - (kFailAt + kFailFor);
+          arm(eq, c, res);
+        });
+      }
+    };
+    Ticker::arm(eq, *controller, res);
+  }
+
+  dp.set_egress([&](net::PacketPtr p) {
+    if (slo_mon)
+      slo_mon->observe(p->anno().path_id,
+                       p->anno().egress_ns - p->anno().ingress_ns);
+    res.latency.record(p->anno().egress_ns - p->anno().ingress_ns);
+    ++res.egressed;
+  });
 
   // The blackhole: invisible theft pinning path 2 for 30ms.
   eq.schedule_at(kFailAt, [&] {
@@ -72,31 +131,64 @@ Result run(bool with_health) {
   res.stuck_on_failed_path =
       dp.monitor().dispatched(2) - dp.monitor().completed(2) +
       0;  // residual inflight at horizon
+  if (controller) res.ctrl_report = controller->report_json();
   return res;
+}
+
+std::string row_json(const char* variant, const Result& r) {
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("mdp.bench_failover.v1");
+  w.key("variant").value(variant);
+  w.key("fail_at_ns").value(static_cast<std::uint64_t>(kFailAt));
+  w.key("fail_for_ns").value(static_cast<std::uint64_t>(kFailFor));
+  w.key("detect_ns").value(static_cast<std::uint64_t>(r.detect_ns));
+  w.key("recover_ns").value(static_cast<std::uint64_t>(r.recover_ns));
+  w.key("p99_ns").value(r.latency.p99());
+  w.key("p999_ns").value(r.latency.p999());
+  w.key("max_ns").value(r.latency.max());
+  w.key("emitted").value(r.emitted);
+  w.key("egressed").value(r.egressed);
+  w.key("stuck_on_failed_path").value(r.stuck_on_failed_path);
+  if (!r.ctrl_report.empty()) w.key("ctrl").raw(r.ctrl_report);
+  w.end_object();
+  return w.take();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Ext 1", "Silent path blackhole (30ms on path 2 of 4): "
-                         "health probing vs none (RSS static hashing, ~1.7 Mpps)");
+                         "no detection vs health probes vs mdp::ctrl "
+                         "(RSS static hashing, ~1.7 Mpps)");
+  bench::JsonReportSink sink("ext1", argc, argv);
 
-  auto off = run(false);
-  auto on = run(true);
+  auto off = run(Variant::kNone);
+  auto health = run(Variant::kHealth);
+  auto ctrl = run(Variant::kCtrl);
+  sink.add_raw("none", row_json("none", off));
+  sink.add_raw("health", row_json("health", health));
+  sink.add_raw("ctrl", row_json("ctrl", ctrl));
 
-  stats::Table t({"metric", "no health monitor", "with health monitor"});
+  stats::Table t({"metric", "no detection", "health monitor", "mdp::ctrl"});
   t.add_row({"p99", bench::us(off.latency.p99()),
-             bench::us(on.latency.p99())});
+             bench::us(health.latency.p99()), bench::us(ctrl.latency.p99())});
   t.add_row({"p99.9", bench::us(off.latency.p999()),
-             bench::us(on.latency.p999())});
+             bench::us(health.latency.p999()),
+             bench::us(ctrl.latency.p999())});
   t.add_row({"max latency", bench::us(off.latency.max()),
-             bench::us(on.latency.max())});
+             bench::us(health.latency.max()), bench::us(ctrl.latency.max())});
   t.add_row({"egressed", stats::fmt_u64(off.egressed),
-             stats::fmt_u64(on.egressed)});
-  t.add_row({"failure detection", "-", bench::us(on.detect_ns)});
-  t.add_row({"recovery detection", "-", bench::us(on.recover_ns)});
+             stats::fmt_u64(health.egressed), stats::fmt_u64(ctrl.egressed)});
+  t.add_row({"failure detection", "-", bench::us(health.detect_ns),
+             bench::us(ctrl.detect_ns)});
+  t.add_row({"recovery detection", "-", bench::us(health.recover_ns),
+             bench::us(ctrl.recover_ns)});
   bench::print_table(t);
-  bench::note("detection = probe_interval x down_after + deadline; only "
-              "the packets dispatched inside that window eat the stall");
-  return 0;
+  bench::note("health detection = probe_interval x down_after + deadline; "
+              "ctrl detection = ticks until backlog_limit breaches twice "
+              "(a blackhole makes no completions, so the SLO arm is "
+              "blind). ctrl recovery includes drain + probation, so it "
+              "trails the health monitor's up-edge by design");
+  return sink.flush() ? 0 : 1;
 }

@@ -1,0 +1,196 @@
+// Extension experiment 3: the online control plane closing the loop.
+//
+// A noisy neighbor steals path 2's core in long bursts (~2ms at 60% duty)
+// mid-run. Which controller arm helps depends on what the dispatch policy
+// can see, so the experiment tells two stories over the same interference:
+//
+//   quarantine story (policy = rss): static hashing keeps feeding the
+//     stolen path its full share through the whole burst, so the evidence
+//     is loud — queue backlog past the limit during the theft, then a
+//     flood of blown deadlines as the core returns. The controller
+//     quarantines/drains path 2, probes it through the gaps, and
+//     reinstates it when the core comes back; re-quarantines on the next
+//     burst.
+//
+//   hedging story (policy = redundant:1, least-backlog): backlog-aware
+//     dispatch self-limits its exposure — only the couple of packets that
+//     were in flight when the theft began get stuck, too few for per-path
+//     SLO evidence. But those stragglers ARE the tail, and the hedger sees
+//     the serving-tail inflation and raises the replication factor so
+//     every packet's second copy completes elsewhere.
+//
+// The decision timelines (parsed back out of the run reports' "ctrl"
+// section) show when and why each action fired.
+#include "bench_common.hpp"
+#include "harness/experiment.hpp"
+
+using namespace mdp;
+
+namespace {
+
+harness::ScenarioConfig base_cfg(const std::string& policy) {
+  harness::ScenarioConfig cfg;
+  cfg.policy = policy;
+  cfg.num_paths = 4;
+  cfg.load = 0.3;
+  cfg.packets = 150'000;
+  cfg.warmup_packets = 15'000;
+  cfg.seed = 31;
+  return cfg;
+}
+
+void add_interference(harness::ScenarioConfig& cfg) {
+  // Long theft bursts on one path: each burst spans a full controller
+  // window, so the per-path evidence is unambiguous while it lasts.
+  cfg.interference = true;
+  cfg.interference_cfg.duty_cycle = 0.6;
+  cfg.interference_cfg.mean_burst_ns = 2'000'000;
+  cfg.interference_paths = {2};
+}
+
+void add_ctrl(harness::ScenarioConfig& cfg, std::uint64_t slo_ns) {
+  cfg.ctrl_enabled = true;
+  // The window matches the burst cadence (bursts ~2ms, gaps ~1.3ms): a
+  // stolen core produces no completions *during* the theft, so half the
+  // evidence is the post-burst flood of blown deadlines — a 2ms window
+  // catches one flood per window, making breaches consecutive. The other
+  // half is backlog: a stolen-but-still-fed path blows past backlog_limit
+  // mid-burst, which needs no completions at all.
+  cfg.ctrl_tick_interval_ns = 2'000'000;
+  cfg.ctrl.slo_target_ns = slo_ns;
+  cfg.ctrl.violation_threshold = 0.05;
+  cfg.ctrl.min_samples = 8;
+  cfg.ctrl.backlog_limit = 256;
+  cfg.ctrl.path.quarantine_after = 2;
+  cfg.ctrl.path.probation_probes = 16;
+  cfg.ctrl.probe_grant_per_tick = 16;
+  cfg.ctrl.min_serving_paths = 2;
+}
+
+void enable_hedger(harness::ScenarioConfig& cfg) {
+  cfg.ctrl.hedger.enabled = true;
+  cfg.ctrl.hedger.max_replicas = 2;
+  cfg.ctrl.hedger.raise_threshold = 1.0;
+  cfg.ctrl.hedger.lower_threshold = 0.3;
+  cfg.ctrl.hedger.sustain_ticks = 2;
+  cfg.ctrl.hedger.cooldown_ticks = 10;
+  cfg.ctrl.hedger.min_samples = 32;
+}
+
+void print_decision_timeline(const std::string& ctrl_report) {
+  auto doc = trace::JsonValue::parse(ctrl_report);
+  if (!doc) {
+    bench::note("ctrl report did not parse");
+    return;
+  }
+  const trace::JsonValue* decisions = doc->find("decisions");
+  if (!decisions || decisions->items().empty()) {
+    bench::note("controller made no decisions");
+    return;
+  }
+  stats::Table t({"t(ms)", "target", "action", "reason", "evidence p99",
+                  "backlog", "replicas"});
+  for (const auto& d : decisions->items()) {
+    const trace::JsonValue* path = d.find("path");
+    const std::string target =
+        path ? "path " + std::to_string(path->as_u64()) : "hedger";
+    const std::string action =
+        path ? d.find("from")->as_string() + " -> " + d.find("to")->as_string()
+             : (d.find("reason")->as_string() == "hedge_raise" ? "+1 replica"
+                                                               : "-1 replica");
+    char tbuf[32];
+    std::snprintf(tbuf, sizeof(tbuf), "%.2f",
+                  d.find("now_ns")->as_double() / 1e6);
+    t.add_row({tbuf, target, action, d.find("reason")->as_string(),
+               bench::us(d.find("p99_ns")->as_u64()),
+               stats::fmt_u64(d.find("backlog")->as_u64()),
+               stats::fmt_u64(d.find("replicas")->as_u64())});
+  }
+  bench::print_table(t);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Ext 3", "Online control plane: SLO-driven quarantine + "
+                         "adaptive hedging vs a noisy neighbor on path 2");
+  bench::JsonReportSink sink("ext3", argc, argv);
+
+  // Quiet calibration — the SLO target is 4x the clean p99 (probes share
+  // the data path, so they see real queue wait; 4x keeps healthy paths
+  // from flapping on probe jitter).
+  auto quiet_cfg = base_cfg("rss");
+  auto quiet = harness::run_scenario(quiet_cfg);
+  sink.add("quiet", quiet_cfg, quiet);
+  const std::uint64_t slo_ns = 4 * quiet.latency.p99();
+  bench::note("quiet p99 = " + bench::us(quiet.latency.p99()) +
+              "; SLO target set to 4x = " + bench::us(slo_ns));
+
+  // --- quarantine story: static hashing can't dodge the thief -------------
+  auto rss_off_cfg = base_cfg("rss");
+  add_interference(rss_off_cfg);
+  auto rss_off = harness::run_scenario(rss_off_cfg);
+  sink.add("rss-ctrl-off", rss_off_cfg, rss_off);
+
+  auto rss_on_cfg = base_cfg("rss");
+  add_interference(rss_on_cfg);
+  add_ctrl(rss_on_cfg, slo_ns);
+  // rss has no replication knob (set_replication is a no-op for static
+  // hashing), so the hedger stays off; the redundant run below covers it.
+  auto rss_on = harness::run_scenario(rss_on_cfg);
+  sink.add("rss-ctrl-on", rss_on_cfg, rss_on);
+
+  // --- hedging story: least-backlog self-limits, stragglers remain --------
+  auto red_off_cfg = base_cfg("redundant:1");
+  add_interference(red_off_cfg);
+  auto red_off = harness::run_scenario(red_off_cfg);
+  sink.add("red1-ctrl-off", red_off_cfg, red_off);
+
+  auto red_on_cfg = base_cfg("redundant:1");
+  add_interference(red_on_cfg);
+  add_ctrl(red_on_cfg, slo_ns);
+  enable_hedger(red_on_cfg);
+  auto red_on = harness::run_scenario(red_on_cfg);
+  sink.add("red1-ctrl-on", red_on_cfg, red_on);
+
+  stats::Table t({"metric", "quiet", "rss off", "rss+ctrl", "red:1 off",
+                  "red:1+ctrl"});
+  auto row = [&](const char* name, auto get) {
+    t.add_row({name, get(quiet), get(rss_off), get(rss_on), get(red_off),
+               get(red_on)});
+  };
+  row("p50", [](const harness::ScenarioResult& r) {
+    return bench::us(r.latency.p50());
+  });
+  row("p99", [](const harness::ScenarioResult& r) {
+    return bench::us(r.latency.p99());
+  });
+  row("p99.9", [](const harness::ScenarioResult& r) {
+    return bench::us(r.latency.p999());
+  });
+  row("max", [](const harness::ScenarioResult& r) {
+    return bench::us(r.latency.max());
+  });
+  row("egressed", [](const harness::ScenarioResult& r) {
+    return stats::fmt_u64(r.egressed);
+  });
+  row("quarantines", [](const harness::ScenarioResult& r) {
+    return r.ctrl_report.empty() ? std::string("-")
+                                 : stats::fmt_u64(r.ctrl_quarantines);
+  });
+  row("reinstatements", [](const harness::ScenarioResult& r) {
+    return r.ctrl_report.empty() ? std::string("-")
+                                 : stats::fmt_u64(r.ctrl_reinstatements);
+  });
+  bench::print_table(t);
+
+  std::printf("\nDecision timeline — quarantine story (rss + ctrl):\n");
+  print_decision_timeline(rss_on.ctrl_report);
+  std::printf("\nDecision timeline — hedging story (redundant:1 + ctrl):\n");
+  print_decision_timeline(red_on.ctrl_report);
+
+  bench::note("the controller trades a little path capacity (quarantined "
+              "windows) or bandwidth (replicas) for the interference tail; "
+              "compare p99.9 ctrl on/off against the quiet baseline");
+  return sink.flush() ? 0 : 1;
+}

@@ -26,15 +26,24 @@ def load_rows(path):
     """Return {(backend, burst): ns_per_packet} from an ext2_fastpath
     --json file. Rows predating the pluggable-backend sweep carry no
     "backend" field and are treated as synthetic."""
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"{path}: cannot read ({e.strerror}); regenerate with "
+                 f"./build/bench/ext2_fastpath --json {path}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: not valid JSON ({e})")
     if doc.get("bench") != "ext2_fastpath":
         sys.exit(f"{path}: not an ext2_fastpath report")
     rows = {}
-    for run in doc["runs"]:
-        rep = run["report"]
+    for run in doc.get("runs", []):
+        rep = run.get("report", {})
         if rep.get("schema") != "mdp.bench_fastpath.v1":
             continue
+        if "burst" not in rep or "ns_per_packet" not in rep:
+            sys.exit(f"{path}: mdp.bench_fastpath.v1 row missing "
+                     f"burst/ns_per_packet: {sorted(rep)}")
         rows[(rep.get("backend", "synthetic"), rep["burst"])] = \
             rep["ns_per_packet"]
     if not rows:
@@ -53,12 +62,18 @@ def main():
     base = load_rows(args.baseline)
 
     failed = False
+    missing = sorted(set(base) - set(fresh))
+    if missing:
+        keys = ", ".join(f"{b}/burst{n}" for b, n in missing)
+        print(f"FAIL: baseline rows missing from fresh run: {keys} "
+              f"(did the sweep change? regenerate the baseline)")
+        failed = True
+    for backend, burst in sorted(set(fresh) - set(base)):
+        print(f"note: {backend} burst {burst} is new in the fresh run "
+              f"(no baseline row; not gated)")
     for key in sorted(base):
         backend, burst = key
         if key not in fresh:
-            print(f"FAIL: {backend} burst {burst} present in baseline but "
-                  f"missing from fresh run")
-            failed = True
             continue
         ratio = fresh[key] / base[key]
         verdict = "ok"

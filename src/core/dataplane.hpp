@@ -130,6 +130,9 @@ class MdpDataPlane final : public PathContext {
   const PathMonitor& monitor() const noexcept { return monitor_; }
   const Deduplicator& dedup() const noexcept { return dedup_; }
   const ReorderBuffer& reorder() const noexcept { return *reorder_; }
+  /// Mutable access for control-plane actuation (ReorderBuffer::flush_all
+  /// when draining a quarantined path; see ctrl::SimPlaneActuator).
+  ReorderBuffer& reorder_mut() noexcept { return *reorder_; }
   Scheduler& scheduler() noexcept { return *scheduler_; }
   /// Materialized view of hot-path (enum) + ad-hoc (string) counters.
   stats::CounterSet counters() const;

@@ -1,6 +1,7 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
+#include <optional>
 
 namespace mdp::core {
 
@@ -274,7 +275,38 @@ sim::TimeNs AdaptiveMdpScheduler::hedge_timeout_ns(
 
 // --- factory ---------------------------------------------------------------------
 
+namespace {
+
+/// Parse the text after "name:" as a non-negative integer; nullopt on
+/// empty/garbage/overflow (the factory then rejects the whole name).
+std::optional<std::uint64_t> parse_param_u64(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    if (v > (UINT64_MAX - 9) / 10) return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+std::optional<double> parse_param_double(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t used = 0;
+  double v = 0;
+  try {
+    v = std::stod(text, &used);
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (used != text.size() || v < 0) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
 SchedulerPtr make_scheduler(const std::string& name) {
+  // Bare names: the defaults every sweep and doc references.
   if (name == "single") return std::make_unique<SinglePathScheduler>();
   if (name == "rss") return std::make_unique<RssHashScheduler>();
   if (name == "rr") return std::make_unique<RoundRobinScheduler>();
@@ -285,6 +317,48 @@ SchedulerPtr make_scheduler(const std::string& name) {
   if (name == "red3") return std::make_unique<RedundantScheduler>(3);
   if (name == "red4") return std::make_unique<RedundantScheduler>(4);
   if (name == "adaptive") return std::make_unique<AdaptiveMdpScheduler>();
+
+  // Parameterized names, "<policy>:<param>". Benches and the control
+  // plane construct tuned instances without bespoke factory code:
+  //   redundant:<r> / red:<r>   r replicas (>= 1)
+  //   flowlet:<gap_ns>          flowlet idle gap in ns (> 0)
+  //   single:<path>             pin to a specific path
+  //   lla:<epsilon>             probe rate in [0, 1]
+  //   adaptive:<k>              replicate_k copies for latency-critical
+  const std::size_t colon = name.find(':');
+  if (colon == std::string::npos) return nullptr;
+  const std::string base = name.substr(0, colon);
+  const std::string param = name.substr(colon + 1);
+
+  if (base == "redundant" || base == "red") {
+    auto r = parse_param_u64(param);
+    if (!r || *r == 0 || *r > 64) return nullptr;
+    return std::make_unique<RedundantScheduler>(
+        static_cast<std::size_t>(*r));
+  }
+  if (base == "flowlet") {
+    auto gap = parse_param_u64(param);
+    if (!gap || *gap == 0) return nullptr;
+    return std::make_unique<FlowletScheduler>(*gap);
+  }
+  if (base == "single") {
+    auto pin = parse_param_u64(param);
+    if (!pin || *pin > UINT16_MAX) return nullptr;
+    return std::make_unique<SinglePathScheduler>(
+        static_cast<std::uint16_t>(*pin));
+  }
+  if (base == "lla") {
+    auto eps = parse_param_double(param);
+    if (!eps || *eps > 1.0) return nullptr;
+    return std::make_unique<LeastLatencyScheduler>(*eps);
+  }
+  if (base == "adaptive") {
+    auto k = parse_param_u64(param);
+    if (!k || *k == 0 || *k > 64) return nullptr;
+    AdaptiveMdpConfig cfg;
+    cfg.replicate_k = static_cast<std::size_t>(*k);
+    return std::make_unique<AdaptiveMdpScheduler>(cfg);
+  }
   return nullptr;
 }
 

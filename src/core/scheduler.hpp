@@ -123,6 +123,14 @@ class Scheduler {
     (void)path;
     (void)latency_ns;
   }
+
+  /// Control-plane actuation: set the replication factor at runtime
+  /// (ctrl::AdaptiveHedger). Returns false when the policy does not
+  /// replicate (the default); replicating policies clamp and apply.
+  virtual bool set_replication(std::size_t replicas) {
+    (void)replicas;
+    return false;
+  }
 };
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;
@@ -230,6 +238,12 @@ class RedundantScheduler final : public Scheduler {
   }
   void select(const net::Packet&, const PathContext& ctx, sim::Rng&,
               PathVec& out) override;
+  /// Runtime knob (ctrl::AdaptiveHedger); clamped to >= 1.
+  bool set_replication(std::size_t replicas) override {
+    r_ = replicas ? replicas : 1;
+    return true;
+  }
+  std::size_t replicas() const noexcept { return r_; }
 
  private:
   std::size_t r_;
@@ -269,6 +283,12 @@ class AdaptiveMdpScheduler final : public Scheduler {
                     std::vector<PathVec>& out) override;
   sim::TimeNs hedge_timeout_ns(const net::Packet& pkt,
                                const PathContext& ctx) const override;
+  /// Runtime knob (ctrl::AdaptiveHedger): copies for latency-critical
+  /// packets; 1 degrades to flowlet-JSQ for everything.
+  bool set_replication(std::size_t replicas) override {
+    cfg_.replicate_k = replicas ? replicas : 1;
+    return true;
+  }
 
   const AdaptiveMdpConfig& config() const noexcept { return cfg_; }
   std::uint64_t replicated() const noexcept { return replicated_; }
@@ -281,7 +301,11 @@ class AdaptiveMdpScheduler final : public Scheduler {
 };
 
 /// Factory: "single" | "rss" | "rr" | "jsq" | "lla" | "flowlet" |
-/// "red2" | "red3" | "red4" | "adaptive". nullptr for unknown names.
+/// "red2" | "red3" | "red4" | "adaptive", plus parameterized forms
+/// "<policy>:<param>" — "redundant:3" / "red:3" (replicas),
+/// "flowlet:20000" (gap ns), "single:1" (pinned path), "lla:0.1"
+/// (epsilon), "adaptive:3" (replicate_k). nullptr for unknown names or
+/// invalid parameters.
 SchedulerPtr make_scheduler(const std::string& name);
 
 /// Canonical policy list for evaluation sweeps.

@@ -17,8 +17,13 @@ ThreadedDataPlane::ThreadedDataPlane(ThreadedConfig cfg,
       slots_(cfg.pool_size),
       work_buf_(cfg.payload_bytes, 0xa5),
       path_counts_(cfg.num_paths, 0),
+      admission_(cfg.num_paths, PathAdmission::kEnabled),
+      probe_credits_(cfg.num_paths, 0),
+      path_completed_(new std::atomic<std::uint64_t>[cfg.num_paths]),
       stage_(cfg.num_paths),
       jsq_depths_(cfg.num_paths, 0) {
+  for (std::size_t p = 0; p < cfg.num_paths; ++p)
+    path_completed_[p].store(0, std::memory_order_relaxed);
   if (cfg_.burst_size == 0) cfg_.burst_size = 1;
   if (cfg_.burst_size > kMaxBurst) cfg_.burst_size = kMaxBurst;
   for (std::size_t p = 0; p < cfg_.num_paths; ++p) {
@@ -62,25 +67,65 @@ void ThreadedDataPlane::start() {
   collector_ = std::thread([this] { collector_loop(); });
 }
 
-std::uint16_t ThreadedDataPlane::pick_path(std::uint64_t flow_hash) {
-  if (cfg_.policy == "hash")
-    return static_cast<std::uint16_t>(flow_hash % cfg_.num_paths);
-  if (cfg_.policy == "rr") {
-    auto p = static_cast<std::uint16_t>(rr_next_);
-    rr_next_ = (rr_next_ + 1) % cfg_.num_paths;
-    return p;
+bool ThreadedDataPlane::path_candidate(std::size_t p) const noexcept {
+  switch (admission_[p]) {
+    case PathAdmission::kEnabled: return true;
+    case PathAdmission::kProbeOnly: return probe_credits_[p] > 0;
+    case PathAdmission::kDisabled: return false;
   }
-  // jsq on ring occupancy.
-  std::size_t best = 0;
-  std::size_t best_size = path_rings_[0]->size();
-  for (std::size_t p = 1; p < cfg_.num_paths; ++p) {
-    std::size_t s = path_rings_[p]->size();
-    if (s < best_size) {
+  return false;
+}
+
+bool ThreadedDataPlane::any_candidate() const noexcept {
+  for (std::size_t p = 0; p < cfg_.num_paths; ++p)
+    if (path_candidate(p)) return true;
+  return false;
+}
+
+void ThreadedDataPlane::note_placement(std::uint16_t path) noexcept {
+  if (admission_[path] == PathAdmission::kProbeOnly &&
+      probe_credits_[path] > 0)
+    --probe_credits_[path];
+}
+
+std::uint16_t ThreadedDataPlane::pick_path(std::uint64_t flow_hash) {
+  // If the control plane masked everything, serve from the full set
+  // rather than blackholing traffic (the controller's capacity guard
+  // should prevent this; belt and braces).
+  const bool have_candidates = any_candidate();
+  const auto ok = [&](std::size_t p) {
+    return !have_candidates || path_candidate(p);
+  };
+  if (cfg_.policy == "hash") {
+    const auto start = static_cast<std::size_t>(flow_hash % cfg_.num_paths);
+    for (std::size_t i = 0; i < cfg_.num_paths; ++i) {
+      const std::size_t p = (start + i) % cfg_.num_paths;
+      if (ok(p)) return static_cast<std::uint16_t>(p);
+    }
+    return static_cast<std::uint16_t>(start);
+  }
+  if (cfg_.policy == "rr") {
+    for (std::size_t i = 0; i < cfg_.num_paths; ++i) {
+      const std::size_t p = (rr_next_ + i) % cfg_.num_paths;
+      if (ok(p)) {
+        rr_next_ = (p + 1) % cfg_.num_paths;
+        return static_cast<std::uint16_t>(p);
+      }
+    }
+    return static_cast<std::uint16_t>(rr_next_);
+  }
+  // jsq on ring occupancy, over the admissible set.
+  std::size_t best = cfg_.num_paths;
+  std::size_t best_size = 0;
+  for (std::size_t p = 0; p < cfg_.num_paths; ++p) {
+    if (!ok(p)) continue;
+    const std::size_t s = path_rings_[p]->size();
+    if (best == cfg_.num_paths || s < best_size) {
       best_size = s;
       best = p;
     }
   }
-  return static_cast<std::uint16_t>(best);
+  return static_cast<std::uint16_t>(best == cfg_.num_paths ? 0 : best);
 }
 
 bool ThreadedDataPlane::ingress(std::uint64_t flow_hash) {
@@ -91,6 +136,7 @@ bool ThreadedDataPlane::ingress(std::uint64_t flow_hash) {
   }
   slot->enqueue_ns = now_ns();
   slot->path = pick_path(flow_hash);
+  note_placement(slot->path);
   slot->payload_seed = static_cast<std::uint32_t>(flow_hash);
   slot->flow_id = slot->payload_seed;
   slot->seq = 0;
@@ -130,14 +176,22 @@ std::size_t ThreadedDataPlane::dispatch_slots(Slot* const* slots,
   for (std::size_t i = 0; i < n; ++i) {
     std::uint16_t path;
     if (jsq) {
-      std::size_t best = 0;
-      for (std::size_t p = 1; p < cfg_.num_paths; ++p)
-        if (jsq_depths_[p] < jsq_depths_[best]) best = p;
+      // Admission is re-checked per packet: a probe-only path drops out
+      // of the candidate set the moment its credits drain mid-burst.
+      const bool have_candidates = any_candidate();
+      std::size_t best = cfg_.num_paths;
+      for (std::size_t p = 0; p < cfg_.num_paths; ++p) {
+        if (have_candidates && !path_candidate(p)) continue;
+        if (best == cfg_.num_paths || jsq_depths_[p] < jsq_depths_[best])
+          best = p;
+      }
+      if (best == cfg_.num_paths) best = 0;
       ++jsq_depths_[best];
       path = static_cast<std::uint16_t>(best);
     } else {
       path = pick_path(hashes[i]);
     }
+    note_placement(path);
     slots[i]->path = path;
     stage_[path].push_back(slots[i]);
   }
@@ -195,6 +249,10 @@ std::size_t ThreadedDataPlane::pump() {
   while ((drained = egress_ring_->try_pop_burst(
               std::span<Slot*>(done, kMaxBurst))) > 0) {
     for (std::size_t i = 0; i < drained; ++i) {
+      // Stamp the internal path that served the frame: downstream fault
+      // lanes and per-path telemetry key on anno().path_id, which is how
+      // the controller's observations attribute back to our paths.
+      done[i]->pkt->anno().path_id = done[i]->path;
       tx_pending_.emplace_back(done[i]->pkt);
       done[i]->pkt = nullptr;
     }
@@ -350,6 +408,7 @@ void ThreadedDataPlane::collector_loop() {
         exemplars_.offer(sp);
       }
       if (on_complete_) on_complete_(latency, slot->path);
+      path_completed_[slot->path].fetch_add(1, std::memory_order_release);
       if (slot->pkt) {
         // Frame completions travel to the caller thread, which owns all
         // backend/pool interaction; egress_ring_ is slot-pool sized so
@@ -381,6 +440,7 @@ void ThreadedDataPlane::stop() {
     // The backend itself stays up — the caller owns its lifetime.
     Slot* done = nullptr;
     while (egress_ring_->try_pop(done)) {
+      done->pkt->anno().path_id = done->path;
       tx_pending_.emplace_back(done->pkt);
       done->pkt = nullptr;
       while (!free_ring_->try_push(done)) {

@@ -48,6 +48,15 @@
 
 namespace mdp::core {
 
+/// Per-path admission level, set by a control plane (mdp::ctrl) from the
+/// caller thread. kProbeOnly admits only packets covered by probe credits
+/// (grant_probe_credits); kDisabled masks the path out of dispatch.
+enum class PathAdmission : std::uint8_t {
+  kEnabled = 0,
+  kProbeOnly,
+  kDisabled,
+};
+
 struct ThreadedConfig {
   std::size_t num_paths = 2;
   std::size_t ring_capacity = 4096;
@@ -130,8 +139,40 @@ class ThreadedDataPlane {
     return submitted_ - completed_.load(std::memory_order_relaxed);
   }
   std::size_t burst_size() const noexcept { return cfg_.burst_size; }
+  std::size_t num_paths() const noexcept { return cfg_.num_paths; }
   std::uint64_t per_path_count(std::size_t p) const noexcept {
     return path_counts_[p];
+  }
+
+  // --- control-plane actuation hooks (caller thread, like pump()) ----------
+  /// Mask/unmask path `p` in the dispatch candidate set. Takes effect on
+  /// the next dispatch; packets already on the path's ring complete
+  /// normally. If every path ends up inadmissible, dispatch falls back to
+  /// the full path set rather than blackholing traffic.
+  void set_path_admission(std::size_t p, PathAdmission a) {
+    admission_[p] = a;
+  }
+  PathAdmission path_admission(std::size_t p) const noexcept {
+    return admission_[p];
+  }
+  /// Allow `n` more packets onto a kProbeOnly path (probation probes).
+  /// Credits are consumed one per dispatched packet; no-op effect while
+  /// the path is kEnabled.
+  void grant_probe_credits(std::size_t p, std::uint64_t n) {
+    probe_credits_[p] += n;
+  }
+  std::uint64_t probe_credits(std::size_t p) const noexcept {
+    return probe_credits_[p];
+  }
+  /// Packets dispatched to `p` and not yet collected. Caller-thread
+  /// dispatch count minus the collector's atomic completion count: exact
+  /// at quiesce, a live estimate (never negative-wrapped below 0 in
+  /// practice: completions only trail dispatches) while running.
+  std::uint64_t path_inflight(std::size_t p) const noexcept {
+    const std::uint64_t done =
+        path_completed_[p].load(std::memory_order_acquire);
+    const std::uint64_t sent = path_counts_[p];
+    return sent > done ? sent - done : 0;
   }
 
   // Stage attribution (valid when cfg.record_stage_hist; read after
@@ -172,6 +213,9 @@ class ThreadedDataPlane {
     std::uint16_t burst_pos = 0;   ///< this packet's position in it
   };
 
+  bool path_candidate(std::size_t p) const noexcept;
+  bool any_candidate() const noexcept;
+  void note_placement(std::uint16_t path) noexcept;
   std::uint16_t pick_path(std::uint64_t flow_hash);
   /// Shared dispatch tail: place `n` slots (enqueue_ns/payload/pkt already
   /// filled) by policy, bulk-push per path, recycle what didn't fit
@@ -203,6 +247,12 @@ class ThreadedDataPlane {
   std::uint64_t rejected_ = 0;
   std::size_t rr_next_ = 0;
   std::vector<std::uint64_t> path_counts_;
+  // Control-plane state (caller thread only, mutated between bursts like
+  // every other dispatch input) + the collector's per-path completion
+  // counters that path_inflight() diffs against.
+  std::vector<PathAdmission> admission_;
+  std::vector<std::uint64_t> probe_credits_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> path_completed_;
   // ingress_burst/pump scratch (caller thread only): per-path staging and
   // the JSQ occupancy snapshot, allocated once.
   std::vector<std::vector<Slot*>> stage_;

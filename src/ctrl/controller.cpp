@@ -1,0 +1,223 @@
+#include "ctrl/controller.hpp"
+
+#include "trace/json.hpp"
+
+namespace mdp::ctrl {
+
+Controller::Controller(Config cfg, Actuator& actuator, SloMonitor& monitor)
+    : cfg_(cfg), act_(actuator), mon_(monitor), hedger_(cfg.hedger) {
+  mon_.set_slo_target_ns(cfg_.slo_target_ns);
+  paths_.resize(act_.num_paths());
+  for (auto& p : paths_) p.fsm = PathStateMachine(cfg_.path);
+  if (cfg_.decision_log_capacity == 0) cfg_.decision_log_capacity = 1;
+}
+
+void Controller::set_slo_target_ns(std::uint64_t t) {
+  cfg_.slo_target_ns = t;
+  mon_.set_slo_target_ns(t);
+}
+
+std::size_t Controller::active_count() const {
+  std::size_t n = 0;
+  for (const auto& p : paths_)
+    if (p.fsm.state() == PathState::kActive) ++n;
+  return n;
+}
+
+void Controller::log_decision(Decision d) {
+  if (decisions_.size() >= cfg_.decision_log_capacity) {
+    decisions_.erase(decisions_.begin());
+    ++decisions_evicted_;
+  }
+  decisions_.push_back(d);
+}
+
+void Controller::tick(std::uint64_t now_ns) {
+  ++tick_;
+  std::uint64_t worst_serving_p99 = 0;
+  std::uint64_t serving_samples = 0;
+
+  for (std::size_t p = 0; p < paths_.size(); ++p) {
+    PathCtl& pc = paths_[p];
+    const PathState before = pc.fsm.state();
+    const WindowStats w = mon_.harvest(p);
+    const std::uint64_t backlog = act_.path_backlog(p);
+
+    TickInput in;
+    in.has_signal = w.samples >= cfg_.min_samples;
+    const bool slo_breach =
+        in.has_signal && w.violation_fraction() > cfg_.violation_threshold;
+    const bool backlog_breach =
+        cfg_.backlog_limit > 0 && backlog > cfg_.backlog_limit;
+    in.breach = slo_breach || backlog_breach;
+    if (in.breach) {
+      // Backlog evidence needs no sample minimum — a silent blackhole's
+      // whole signature is completions that never arrive.
+      in.has_signal = true;
+      pc.last_breach_reason = slo_breach ? "slo_breach" : "backlog_breach";
+    }
+
+    switch (before) {
+      case PathState::kActive:
+        // Capacity guard: losing this path would leave fewer than
+        // min_serving_paths serving. A contained tail beats a masked
+        // fleet; the breach is suppressed (and counted), not queued.
+        if (in.breach && active_count() <= cfg_.min_serving_paths) {
+          in.breach = false;
+          ++suppressed_quarantines_;
+        }
+        break;
+      case PathState::kDraining:
+        act_.flush_path(p);
+        in.drained = act_.path_backlog(p) == 0;
+        break;
+      case PathState::kReinstated:
+        // Every probation observation is a verdict: in-SLO counts toward
+        // graduation, out-of-SLO re-quarantines (handled by the FSM).
+        in.clean_probes = w.samples - w.violations;
+        in.violated_probes = w.violations;
+        break;
+      case PathState::kQuarantined:
+        break;
+    }
+
+    const bool changed = pc.fsm.on_tick(in);
+    const PathState after = pc.fsm.state();
+
+    if (changed) {
+      const char* reason = "";
+      switch (after) {
+        case PathState::kQuarantined:
+          reason = before == PathState::kReinstated ? "probe_breach"
+                                                    : pc.last_breach_reason;
+          act_.set_admission(p, Admission::kDisabled);
+          break;
+        case PathState::kDraining:
+          reason = "drain_start";
+          act_.flush_path(p);
+          break;
+        case PathState::kReinstated:
+          reason = "drained";
+          act_.set_admission(p, Admission::kProbeOnly);
+          break;
+        case PathState::kActive:
+          reason = "probation_passed";
+          act_.set_admission(p, Admission::kEnabled);
+          break;
+      }
+      Decision d;
+      d.tick = tick_;
+      d.now_ns = now_ns;
+      d.path = static_cast<std::uint16_t>(p);
+      d.from = before;
+      d.to = after;
+      d.reason = reason;
+      d.p99_ns = w.p99_ns;
+      d.samples = w.samples;
+      d.violations = w.violations;
+      d.backlog = backlog;
+      d.replicas = hedger_.replicas();
+      log_decision(d);
+    }
+
+    if (pc.fsm.state() == PathState::kReinstated)
+      act_.grant_probes(p, cfg_.probe_grant_per_tick);
+
+    if (pc.fsm.state() == PathState::kActive) {
+      if (w.p99_ns > worst_serving_p99) worst_serving_p99 = w.p99_ns;
+      serving_samples += w.samples;
+    }
+  }
+
+  const std::size_t before_r = hedger_.replicas();
+  const std::size_t after_r =
+      hedger_.update(worst_serving_p99, serving_samples, cfg_.slo_target_ns);
+  if (after_r != before_r) {
+    act_.set_replicas(after_r);
+    Decision d;
+    d.tick = tick_;
+    d.now_ns = now_ns;
+    d.path = Decision::kHedge;
+    d.reason = after_r > before_r ? "hedge_raise" : "hedge_lower";
+    d.p99_ns = worst_serving_p99;
+    d.samples = serving_samples;
+    d.replicas = after_r;
+    log_decision(d);
+  }
+}
+
+std::uint64_t Controller::quarantines() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& p : paths_) n += p.fsm.quarantines();
+  return n;
+}
+
+std::uint64_t Controller::reinstatements() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& p : paths_) n += p.fsm.reinstatements();
+  return n;
+}
+
+std::string Controller::report_json() const {
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("slo_target_ns").value(cfg_.slo_target_ns);
+  w.key("violation_threshold").value(cfg_.violation_threshold);
+  w.key("backlog_limit").value(cfg_.backlog_limit);
+  w.key("quarantine_after").value(cfg_.path.quarantine_after);
+  w.key("probation_probes").value(cfg_.path.probation_probes);
+  w.key("ticks").value(tick_);
+  w.key("quarantines").value(quarantines());
+  w.key("reinstatements").value(reinstatements());
+  w.key("suppressed_quarantines").value(suppressed_quarantines_);
+  w.key("hedge_raises").value(hedger_.raises());
+  w.key("hedge_lowers").value(hedger_.lowers());
+  w.key("replicas").value(static_cast<std::uint64_t>(hedger_.replicas()));
+  w.key("path_states").begin_array();
+  for (const auto& p : paths_) w.value(path_state_name(p.fsm.state()));
+  w.end_array();
+  w.key("decisions_evicted").value(decisions_evicted_);
+  w.key("decisions").begin_array();
+  for (const auto& d : decisions_) {
+    w.begin_object();
+    w.key("tick").value(d.tick);
+    w.key("now_ns").value(d.now_ns);
+    if (d.path == Decision::kHedge)
+      w.key("target").value("hedger");
+    else
+      w.key("path").value(static_cast<std::uint64_t>(d.path));
+    if (d.path != Decision::kHedge) {
+      w.key("from").value(path_state_name(d.from));
+      w.key("to").value(path_state_name(d.to));
+    }
+    w.key("reason").value(d.reason);
+    w.key("p99_ns").value(d.p99_ns);
+    w.key("samples").value(d.samples);
+    w.key("violations").value(d.violations);
+    w.key("backlog").value(d.backlog);
+    w.key("replicas").value(static_cast<std::uint64_t>(d.replicas));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+void Controller::register_stats(trace::StatsRegistry& reg) const {
+  reg.add_counter("ctrl.ticks", [this] { return tick_; });
+  reg.add_counter("ctrl.quarantines", [this] { return quarantines(); });
+  reg.add_counter("ctrl.reinstatements",
+                  [this] { return reinstatements(); });
+  reg.add_counter("ctrl.suppressed_quarantines",
+                  [this] { return suppressed_quarantines_; });
+  reg.add_counter("ctrl.hedge_raises", [this] { return hedger_.raises(); });
+  reg.add_counter("ctrl.hedge_lowers", [this] { return hedger_.lowers(); });
+  reg.add_gauge("ctrl.replicas", [this] {
+    return static_cast<double>(hedger_.replicas());
+  });
+  reg.add_gauge("ctrl.paths_active", [this] {
+    return static_cast<double>(active_count());
+  });
+}
+
+}  // namespace mdp::ctrl

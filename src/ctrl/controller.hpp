@@ -1,0 +1,135 @@
+// Controller: the control plane's decision stage — observation in,
+// actuation out, one tick at a time.
+//
+// Threading model is the same as ThreadedDataPlane::pump(): tick() runs on
+// the caller thread, interleaved with pump()/ingress at whatever cadence
+// the caller chooses. All controller state is caller-thread-only; the only
+// cross-thread traffic is the SloMonitor's atomic windows (written by
+// whoever observes completions — the threaded plane's collector, the sim
+// plane's egress callback) and the plane's own atomic counters. That is
+// what makes test_ctrl's end-to-end case TSan-clean with workers running.
+//
+// Per tick, for every path:
+//   1. harvest the SloMonitor window,
+//   2. judge it (violation fraction vs threshold, and — for silent
+//      blackholes that produce NO completions — backlog vs backlog_limit),
+//   3. feed the PathStateMachine and actuate its transitions
+//      (mask / flush+drain / probe-only probation / re-enable),
+//   4. run the AdaptiveHedger on the worst serving-path p99.
+// Every transition and every hedge change is appended to a bounded
+// decision log, exported as the "ctrl" section of mdp.run_report.v1
+// (docs/OBSERVABILITY.md) so benches can show *when* and *why* the
+// controller acted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ctrl/actuator.hpp"
+#include "ctrl/hedger.hpp"
+#include "ctrl/path_state.hpp"
+#include "ctrl/slo_monitor.hpp"
+#include "trace/registry.hpp"
+
+namespace mdp::ctrl {
+
+struct Config {
+  /// The latency objective, in whatever unit the monitor is fed.
+  std::uint64_t slo_target_ns = 1'000'000;
+  /// Breach when the window's violation fraction exceeds this.
+  double violation_threshold = 0.01;
+  /// Windows with fewer samples than this carry no SLO signal.
+  std::uint64_t min_samples = 32;
+  /// Backlog breach when path_backlog() exceeds this (detects silent
+  /// blackholes, which produce no completions to judge). 0 disables.
+  std::uint64_t backlog_limit = 0;
+  /// Hysteresis knobs (quarantine_after, probation_probes).
+  PathStateConfig path{};
+  /// Probe packets granted onto a probation path per tick.
+  std::uint64_t probe_grant_per_tick = 8;
+  /// Never quarantine below this many ACTIVE paths.
+  std::size_t min_serving_paths = 1;
+  HedgerConfig hedger{};
+  /// Oldest decisions are evicted past this bound.
+  std::size_t decision_log_capacity = 256;
+};
+
+/// One logged control action (state transition or hedge change).
+struct Decision {
+  static constexpr std::uint16_t kHedge = 0xffff;  ///< `path` for hedges
+
+  std::uint64_t tick = 0;
+  std::uint64_t now_ns = 0;
+  std::uint16_t path = 0;
+  PathState from = PathState::kActive;
+  PathState to = PathState::kActive;
+  const char* reason = "";
+  // Evidence the decision was made on.
+  std::uint64_t p99_ns = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t backlog = 0;
+  std::size_t replicas = 1;
+};
+
+class Controller {
+ public:
+  /// `actuator` and `monitor` must outlive the controller. The monitor's
+  /// SLO target is aligned to cfg.slo_target_ns on construction.
+  Controller(Config cfg, Actuator& actuator, SloMonitor& monitor);
+
+  /// Advance the control loop. Caller thread only, same as pump().
+  void tick(std::uint64_t now_ns);
+
+  PathState path_state(std::size_t p) const { return paths_[p].fsm.state(); }
+  std::size_t replicas() const noexcept { return hedger_.replicas(); }
+  std::uint64_t ticks() const noexcept { return tick_; }
+
+  std::uint64_t quarantines() const noexcept;
+  std::uint64_t reinstatements() const noexcept;
+  std::uint64_t hedge_raises() const noexcept { return hedger_.raises(); }
+  std::uint64_t hedge_lowers() const noexcept { return hedger_.lowers(); }
+  std::uint64_t suppressed_quarantines() const noexcept {
+    return suppressed_quarantines_;
+  }
+
+  const std::vector<Decision>& decisions() const noexcept {
+    return decisions_;
+  }
+
+  // Runtime-adjustable knobs (caller thread; apply from the next tick).
+  void set_slo_target_ns(std::uint64_t t);
+  void set_violation_threshold(double f) { cfg_.violation_threshold = f; }
+  void set_backlog_limit(std::uint64_t n) { cfg_.backlog_limit = n; }
+  const Config& config() const noexcept { return cfg_; }
+
+  /// The "ctrl" section of mdp.run_report.v1: config echo, lifetime
+  /// counters, and the decision log (see docs/OBSERVABILITY.md).
+  std::string report_json() const;
+
+  /// Expose lifetime counters as `ctrl.*`. The controller must outlive
+  /// any snapshot taken from `reg`.
+  void register_stats(trace::StatsRegistry& reg) const;
+
+ private:
+  struct PathCtl {
+    PathStateMachine fsm;
+    const char* last_breach_reason = "slo_breach";
+  };
+
+  void log_decision(Decision d);
+  std::size_t active_count() const;
+
+  Config cfg_;
+  Actuator& act_;
+  SloMonitor& mon_;
+  AdaptiveHedger hedger_;
+  std::vector<PathCtl> paths_;
+  std::vector<Decision> decisions_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t suppressed_quarantines_ = 0;
+  std::uint64_t decisions_evicted_ = 0;
+};
+
+}  // namespace mdp::ctrl

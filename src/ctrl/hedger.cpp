@@ -1,0 +1,52 @@
+#include "ctrl/hedger.hpp"
+
+namespace mdp::ctrl {
+
+AdaptiveHedger::AdaptiveHedger(HedgerConfig cfg) : cfg_(cfg) {
+  if (cfg_.min_replicas == 0) cfg_.min_replicas = 1;
+  if (cfg_.max_replicas < cfg_.min_replicas)
+    cfg_.max_replicas = cfg_.min_replicas;
+  if (cfg_.sustain_ticks < 1) cfg_.sustain_ticks = 1;
+  replicas_ = cfg_.min_replicas;
+}
+
+std::size_t AdaptiveHedger::update(std::uint64_t worst_p99_ns,
+                                   std::uint64_t samples,
+                                   std::uint64_t slo_target_ns) {
+  if (!cfg_.enabled || slo_target_ns == 0) return replicas_;
+  if (cooldown_ > 0) --cooldown_;
+  if (samples < cfg_.min_samples) {
+    // No signal: hold streaks, don't let silence accumulate toward a
+    // change (mirrors the state machine's has_signal rule).
+    raise_streak_ = 0;
+    lower_streak_ = 0;
+    return replicas_;
+  }
+  const double inflation = static_cast<double>(worst_p99_ns) /
+                           static_cast<double>(slo_target_ns);
+  if (inflation > cfg_.raise_threshold) {
+    lower_streak_ = 0;
+    if (++raise_streak_ >= cfg_.sustain_ticks && cooldown_ == 0 &&
+        replicas_ < cfg_.max_replicas) {
+      ++replicas_;
+      ++raises_;
+      raise_streak_ = 0;
+      cooldown_ = cfg_.cooldown_ticks;
+    }
+  } else if (inflation < cfg_.lower_threshold) {
+    raise_streak_ = 0;
+    if (++lower_streak_ >= cfg_.sustain_ticks && cooldown_ == 0 &&
+        replicas_ > cfg_.min_replicas) {
+      --replicas_;
+      ++lowers_;
+      lower_streak_ = 0;
+      cooldown_ = cfg_.cooldown_ticks;
+    }
+  } else {
+    raise_streak_ = 0;
+    lower_streak_ = 0;
+  }
+  return replicas_;
+}
+
+}  // namespace mdp::ctrl

@@ -1,0 +1,65 @@
+// AdaptiveHedger: closes the loop on the replication factor.
+//
+// RepNet's lesson (see PAPERS.md) is that replication must be selective —
+// at low load an extra copy erases the tail for free, at high load the
+// copies ARE the load and the whole curve collapses. The static choice
+// (RedundantScheduler r=2/3, AdaptiveMdpConfig::replicate_k) bakes that
+// trade-off in at startup; the hedger moves it at runtime from observed
+// tail inflation vs the SLO target:
+//
+//   inflation = serving-path worst p99 / slo_target
+//   inflation > raise_threshold  (sustained)  -> replicas + 1
+//   inflation < lower_threshold  (sustained)  -> replicas - 1
+//
+// Both edges require `sustain_ticks` consecutive out-of-band windows and
+// respect a cooldown after every change, so the factor ratchets instead of
+// oscillating with one noisy window — the same hysteresis discipline as
+// the PathStateMachine. Pure decision logic; the Controller actuates the
+// returned factor through Actuator::set_replicas().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mdp::ctrl {
+
+struct HedgerConfig {
+  bool enabled = true;
+  std::size_t min_replicas = 1;
+  std::size_t max_replicas = 3;
+  /// Raise when p99 exceeds raise_threshold x SLO target.
+  double raise_threshold = 1.0;
+  /// Lower when p99 falls below lower_threshold x SLO target.
+  double lower_threshold = 0.5;
+  /// Consecutive qualifying windows before a change.
+  int sustain_ticks = 2;
+  /// Ticks after a change during which no further change happens.
+  int cooldown_ticks = 4;
+  /// Windows smaller than this carry no signal.
+  std::uint64_t min_samples = 32;
+};
+
+class AdaptiveHedger {
+ public:
+  explicit AdaptiveHedger(HedgerConfig cfg = {});
+
+  /// One controller tick: feed the worst serving-path p99 and the window's
+  /// sample count; returns the (possibly updated) replication factor.
+  std::size_t update(std::uint64_t worst_p99_ns, std::uint64_t samples,
+                     std::uint64_t slo_target_ns);
+
+  std::size_t replicas() const noexcept { return replicas_; }
+  std::uint64_t raises() const noexcept { return raises_; }
+  std::uint64_t lowers() const noexcept { return lowers_; }
+
+ private:
+  HedgerConfig cfg_;
+  std::size_t replicas_;
+  int raise_streak_ = 0;
+  int lower_streak_ = 0;
+  int cooldown_ = 0;
+  std::uint64_t raises_ = 0;
+  std::uint64_t lowers_ = 0;
+};
+
+}  // namespace mdp::ctrl

@@ -1,0 +1,104 @@
+#include "ctrl/slo_monitor.hpp"
+
+#include <bit>
+
+namespace mdp::ctrl {
+
+SloMonitor::SloMonitor(std::size_t num_paths, std::uint64_t slo_target_ns)
+    : slo_target_ns_(slo_target_ns) {
+  paths_.reserve(num_paths);
+  for (std::size_t p = 0; p < num_paths; ++p) {
+    auto w = std::make_unique<PathWindow>();
+    for (auto& b : w->buckets) b.store(0, std::memory_order_relaxed);
+    paths_.push_back(std::move(w));
+  }
+}
+
+std::size_t SloMonitor::bucket_index(std::uint64_t v) noexcept {
+  // Same shape as stats::LatencyHistogram: values below 2^kSubBits map
+  // linearly, everything else by (octave, top kSubBits mantissa bits).
+  if (v < (1u << kSubBits)) return static_cast<std::size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const std::size_t sub =
+      static_cast<std::size_t>(v >> (msb - static_cast<int>(kSubBits))) &
+      ((1u << kSubBits) - 1);
+  const std::size_t idx =
+      (static_cast<std::size_t>(msb) << kSubBits) + sub;
+  return idx < kBuckets ? idx : kBuckets - 1;
+}
+
+std::uint64_t SloMonitor::bucket_upper_edge(std::size_t idx) noexcept {
+  if (idx < (1u << kSubBits)) return idx;
+  const std::size_t msb = idx >> kSubBits;
+  const std::size_t sub = idx & ((1u << kSubBits) - 1);
+  // Upper edge of (msb, sub): (1 + (sub+1)/4) * 2^msb - 1, saturating.
+  if (msb >= 62) return UINT64_MAX;
+  const std::uint64_t base = 1ull << msb;
+  return base + ((base >> kSubBits) * (sub + 1)) - 1;
+}
+
+void SloMonitor::observe(std::uint16_t path,
+                         std::uint64_t latency_ns) noexcept {
+  if (path >= paths_.size()) return;
+  PathWindow& w = *paths_[path];
+  w.buckets[bucket_index(latency_ns)].fetch_add(1,
+                                                std::memory_order_relaxed);
+  w.sum.fetch_add(latency_ns, std::memory_order_relaxed);
+  w.lifetime_samples.fetch_add(1, std::memory_order_relaxed);
+  if (latency_ns > slo_target_ns_.load(std::memory_order_relaxed)) {
+    w.violations.fetch_add(1, std::memory_order_relaxed);
+    w.lifetime_violations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+WindowStats SloMonitor::harvest(std::size_t path) noexcept {
+  WindowStats out;
+  if (path >= paths_.size()) return out;
+  PathWindow& w = *paths_[path];
+  std::uint64_t counts[kBuckets];
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = w.buckets[i].exchange(0, std::memory_order_relaxed);
+    out.samples += counts[i];
+    if (counts[i]) out.max_ns = bucket_upper_edge(i);
+  }
+  out.sum_ns = w.sum.exchange(0, std::memory_order_relaxed);
+  out.violations = w.violations.exchange(0, std::memory_order_relaxed);
+  if (out.samples == 0) return out;
+  // p99 = upper edge of the bucket where the CDF crosses 0.99. The +99
+  // rounding keeps tiny windows sane (rank is at least 1, at most n).
+  const std::uint64_t rank = (out.samples * 99 + 99) / 100;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      out.p99_ns = bucket_upper_edge(i);
+      break;
+    }
+  }
+  return out;
+}
+
+std::uint64_t SloMonitor::total_observed() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& w : paths_)
+    n += w->lifetime_samples.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t SloMonitor::total_violations() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& w : paths_)
+    n += w->lifetime_violations.load(std::memory_order_relaxed);
+  return n;
+}
+
+void SloMonitor::register_stats(trace::StatsRegistry& reg) const {
+  reg.add_counter("slo.observed", [this] { return total_observed(); });
+  reg.add_counter("slo.violations", [this] { return total_violations(); });
+  reg.add_gauge("slo.target_ns", [this] {
+    return static_cast<double>(slo_target_ns_.load(
+        std::memory_order_relaxed));
+  });
+}
+
+}  // namespace mdp::ctrl

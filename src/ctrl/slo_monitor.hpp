@@ -1,0 +1,100 @@
+// SloMonitor: the control plane's observation stage — per-path latency
+// windows the Controller harvests once per tick.
+//
+// Design constraints, in order:
+//   1. observe() must be callable from ANY thread (the threaded plane's
+//      collector calls it from its Completion callback while the caller
+//      thread ticks the controller), so ingestion is lock-free: per-path
+//      arrays of relaxed atomic counters plus a log2 sub-bucketed window
+//      histogram. No shared non-atomic state, no locks — TSan-clean by
+//      construction.
+//   2. harvest() drains a path's window (exchange-to-zero per bucket) and
+//      returns the interval summary: sample count, SLO violations, p99
+//      derived from the bucket CDF. The window between two ticks IS the
+//      controller's evidence; nothing accumulates across ticks except the
+//      lifetime counters exposed via register_stats().
+//   3. Units are caller-defined. The simulated plane feeds virtual
+//      nanoseconds; the loopback test rig feeds wire-tick lag scaled to a
+//      pseudo-ns unit. The monitor only compares against slo_target_ns in
+//      the same unit, which is what keeps the end-to-end controller test
+//      deterministic (no wall-clock in the loop).
+//
+// Bucketing: value -> (exponent, 2 sub-bits) like stats::LatencyHistogram
+// but with atomic slots and a fixed footprint (kBuckets * 8 bytes per
+// path). p99 resolution is ~25% of the value, plenty to decide "tail is
+// 8x the SLO" vs "tail is fine".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/registry.hpp"
+
+namespace mdp::ctrl {
+
+/// One harvested observation window for one path.
+struct WindowStats {
+  std::uint64_t samples = 0;
+  std::uint64_t violations = 0;  ///< observations above the SLO target
+  std::uint64_t sum_ns = 0;
+  std::uint64_t p99_ns = 0;      ///< bucket-quantized window p99
+  std::uint64_t max_ns = 0;      ///< upper edge of the top non-empty bucket
+
+  double violation_fraction() const noexcept {
+    return samples ? static_cast<double>(violations) /
+                         static_cast<double>(samples)
+                   : 0.0;
+  }
+};
+
+class SloMonitor {
+ public:
+  static constexpr std::size_t kSubBits = 2;          // 4 sub-buckets/octave
+  static constexpr std::size_t kBuckets = 64 << kSubBits;
+
+  SloMonitor(std::size_t num_paths, std::uint64_t slo_target_ns);
+
+  /// Record one completed-packet latency on `path`. Thread-safe, lock-free,
+  /// relaxed atomics only; safe to call concurrently with harvest().
+  void observe(std::uint16_t path, std::uint64_t latency_ns) noexcept;
+
+  /// Drain `path`'s window and return its summary. Controller thread only
+  /// (one harvester); concurrent observe() calls land in this window or
+  /// the next, never lost.
+  WindowStats harvest(std::size_t path) noexcept;
+
+  std::uint64_t slo_target_ns() const noexcept { return slo_target_ns_; }
+  /// Runtime-adjustable knob: applies to observations from now on.
+  void set_slo_target_ns(std::uint64_t t) noexcept {
+    slo_target_ns_.store(t, std::memory_order_relaxed);
+  }
+
+  std::size_t num_paths() const noexcept { return paths_.size(); }
+
+  // Lifetime totals (monotonic, across all harvested windows).
+  std::uint64_t total_observed() const noexcept;
+  std::uint64_t total_violations() const noexcept;
+
+  /// Expose lifetime totals as `slo.*`. The monitor must outlive any
+  /// snapshot taken from `reg`.
+  void register_stats(trace::StatsRegistry& reg) const;
+
+ private:
+  struct alignas(64) PathWindow {
+    std::atomic<std::uint64_t> buckets[kBuckets];
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> violations{0};
+    std::atomic<std::uint64_t> lifetime_samples{0};
+    std::atomic<std::uint64_t> lifetime_violations{0};
+  };
+
+  static std::size_t bucket_index(std::uint64_t v) noexcept;
+  static std::uint64_t bucket_upper_edge(std::size_t idx) noexcept;
+
+  std::atomic<std::uint64_t> slo_target_ns_;
+  std::vector<std::unique_ptr<PathWindow>> paths_;
+};
+
+}  // namespace mdp::ctrl

@@ -103,11 +103,43 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     a.dp->set_tracer(tracer.get());
   }
 
+  // --- control plane -------------------------------------------------------
+  // Observation: every egress latency feeds the SloMonitor under the path
+  // that served the packet. Decision/actuation: the Controller ticks on
+  // the event queue (the sim-plane analog of the caller-thread tick) and
+  // actuates through a SimPlaneActuator — masking via set_path_up, drains
+  // via ReorderBuffer::flush_all, probation probes onto the path cores.
+  std::unique_ptr<ctrl::SloMonitor> slo_mon;
+  std::unique_ptr<ctrl::SimPlaneActuator> actuator;
+  std::unique_ptr<ctrl::Controller> controller;
+  if (cfg.ctrl_enabled) {
+    slo_mon = std::make_unique<ctrl::SloMonitor>(cfg.num_paths,
+                                                 cfg.ctrl.slo_target_ns);
+    actuator =
+        std::make_unique<ctrl::SimPlaneActuator>(a.eq, *a.dp, *slo_mon);
+    controller =
+        std::make_unique<ctrl::Controller>(cfg.ctrl, *actuator, *slo_mon);
+    struct CtrlTicker {
+      static void arm(sim::EventQueue& eq, ctrl::Controller& c,
+                      sim::TimeNs period) {
+        eq.schedule_in(period, [&eq, &c, period] {
+          c.tick(static_cast<std::uint64_t>(eq.now()));
+          arm(eq, c, period);
+        });
+      }
+    };
+    CtrlTicker::arm(a.eq, *controller,
+                    cfg.ctrl_tick_interval_ns > 0 ? cfg.ctrl_tick_interval_ns
+                                                  : sim::kMillisecond);
+  }
+
   // --- egress instrumentation ---------------------------------------------
   std::uint64_t measured_first_ns = 0;
   std::uint64_t measured_last_ns = 0;
   a.dp->set_egress([&](net::PacketPtr pkt) {
     const auto& an = pkt->anno();
+    if (slo_mon)
+      slo_mon->observe(an.path_id, an.egress_ns - an.ingress_ns);
     if (a.dp->egress_count() <= cfg.warmup_packets) return;
     if (tracer && !tracer->enabled()) tracer->set_enabled(true);
     sim::TimeNs lat = an.egress_ns - an.ingress_ns;
@@ -217,6 +249,13 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   trace::StatsRegistry reg;
   a.dp->register_stats(reg);
   if (tracer) tracer->register_with(reg, "trace");
+  if (controller) {
+    controller->register_stats(reg);
+    slo_mon->register_stats(reg);
+    res.ctrl_report = controller->report_json();
+    res.ctrl_quarantines = controller->quarantines();
+    res.ctrl_reinstatements = controller->reinstatements();
+  }
   for (const auto& ts : res.queue_depth_series) reg.add_time_series(&ts);
   res.stats = reg.snapshot();
   if (tracer) res.trace = tracer->report();

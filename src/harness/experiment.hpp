@@ -16,6 +16,7 @@
 
 #include "core/dataplane.hpp"
 #include "core/scheduler.hpp"
+#include "ctrl/controller.hpp"
 #include "sim/interference.hpp"
 #include "stats/histogram.hpp"
 #include "stats/time_series.hpp"
@@ -61,6 +62,15 @@ struct ScenarioConfig {
   trace::ReservoirConfig reservoir{.slowest_capacity = 32,
                                    .sample_capacity = 32,
                                    .seed = 0};
+
+  /// Online control plane (mdp::ctrl): attach a Controller fed by egress
+  /// latency observations, ticking on the event queue. Quarantine /
+  /// drain / reinstate decisions and hedging actuate on the data plane
+  /// mid-run; the decision log lands in ScenarioResult::ctrl_report and
+  /// the "ctrl" section of mdp.run_report.v1.
+  bool ctrl_enabled = false;
+  ctrl::Config ctrl{};
+  sim::TimeNs ctrl_tick_interval_ns = 1 * sim::kMillisecond;
 };
 
 struct ScenarioResult {
@@ -90,6 +100,12 @@ struct ScenarioResult {
   trace::Snapshot stats;
   /// Stage-level trace results; engaged iff ScenarioConfig::trace.
   std::optional<trace::TraceReport> trace;
+  /// Controller report JSON (config echo + counters + decision log);
+  /// empty unless ScenarioConfig::ctrl_enabled. Spliced into run reports
+  /// as the "ctrl" section.
+  std::string ctrl_report;
+  std::uint64_t ctrl_quarantines = 0;
+  std::uint64_t ctrl_reinstatements = 0;
 };
 
 /// Run a packet-level scenario (Figs 1, 6-10, 12; Tab 2).

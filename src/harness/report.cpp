@@ -53,6 +53,7 @@ std::string scenario_report_json(const ScenarioConfig& cfg,
   w.key("reorder_enabled").value(cfg.dp.reorder.enabled);
   w.key("seed").value(cfg.seed);
   w.key("trace").value(cfg.trace);
+  w.key("ctrl_enabled").value(cfg.ctrl_enabled);
   w.end_object();
 
   w.key("metrics").begin_object();
@@ -91,6 +92,10 @@ std::string scenario_report_json(const ScenarioConfig& cfg,
   }
   w.end_array();
   w.end_object();
+
+  // Controller decision log + lifetime counters (present iff the run had
+  // ctrl_enabled; fields documented in docs/OBSERVABILITY.md).
+  if (!res.ctrl_report.empty()) w.key("ctrl").raw(res.ctrl_report);
 
   // Full registry snapshot (per-stage histograms live here too, under
   // "trace.stage.*", alongside per-path counters and dedup/reorder stats).

@@ -89,6 +89,51 @@ TEST_F(HealthFixture, ShortBlipDoesNotFlap) {
   EXPECT_EQ(hm->down_transitions(), 0u);
 }
 
+TEST_F(HealthFixture, AlternatingProbeResultsNeverOscillate) {
+  // Hysteresis in both directions: down needs down_after(3) CONSECUTIVE
+  // misses, up needs up_after(2) CONSECUTIVE passes. A path that misses
+  // every other probe satisfies neither, so it must hold its current
+  // state — no flapping on a 50% lossy path.
+  hm->start();
+
+  // Phase 1 (up, alternating): stall 60us around every second probe
+  // (probes fire at 100us, 200us, ...; a 60us stall starting 5us before
+  // a probe blows its 50us deadline). Misses at 100, 300, ..., 1900us
+  // interleave with passes, so the miss streak never reaches 3.
+  for (int k = 0; k < 10; ++k) {
+    eq.schedule_at(95'000 + k * 200'000,
+                   [this] { stall_path(1, 60'000); });
+  }
+  eq.run_until(2'500'000);
+  EXPECT_TRUE(hm->path_healthy(1)) << "alternating misses must not down";
+  EXPECT_EQ(hm->down_transitions(), 0u);
+  EXPECT_GE(hm->probes_missed(), 8u);
+
+  // Drive the path down for real: one long stall covers 3 consecutive
+  // probe deadlines.
+  eq.schedule_at(2'600'000, [this] { stall_path(1, 350'000); });
+  eq.run_until(3'000'000);
+  ASSERT_FALSE(hm->path_healthy(1));
+  EXPECT_EQ(hm->down_transitions(), 1u);
+
+  // Phase 2 (down, alternating): same every-other-probe pattern. Each
+  // lone pass resets to a streak of 1; the next miss clears it, so the
+  // pass streak never reaches 2 and the path must stay down.
+  for (int k = 0; k < 8; ++k) {
+    eq.schedule_at(3'095'000 + k * 200'000,
+                   [this] { stall_path(1, 60'000); });
+  }
+  eq.run_until(4'450'000);  // last alternating stall covers the 4500us probe
+  EXPECT_FALSE(hm->path_healthy(1)) << "alternating passes must not up";
+  EXPECT_EQ(hm->up_transitions(), 0u);
+
+  // Heal: two clean consecutive probes recover the path exactly once.
+  eq.run_until(5'500'000);
+  EXPECT_TRUE(hm->path_healthy(1));
+  EXPECT_EQ(hm->up_transitions(), 1u);
+  EXPECT_EQ(hm->down_transitions(), 1u);
+}
+
 TEST_F(HealthFixture, TrafficFailsOverWhileDown) {
   hm->start();
   std::uint64_t egressed = 0;

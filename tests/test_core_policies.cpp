@@ -348,6 +348,48 @@ TEST(SchedulerFactory, KnownNamesConstruct) {
   EXPECT_EQ(make_scheduler("bogus"), nullptr);
 }
 
+TEST(SchedulerFactory, ParameterizedNamesConstructWithTheParameter) {
+  // "<policy>:<param>" names build tuned instances; the parameter must
+  // actually land in the scheduler, not just parse.
+  auto red = make_scheduler("redundant:3");
+  ASSERT_NE(red, nullptr);
+  EXPECT_EQ(red->name(), "red3");
+  EXPECT_EQ(dynamic_cast<RedundantScheduler*>(red.get())->replicas(), 3u);
+  EXPECT_EQ(make_scheduler("red:2")->name(), "red2");
+
+  auto fl = make_scheduler("flowlet:20000");
+  ASSERT_NE(fl, nullptr);
+  EXPECT_EQ(dynamic_cast<FlowletScheduler*>(fl.get())->gap_ns(), 20'000);
+
+  // single:<path> pins to the requested path.
+  auto single = make_scheduler("single:1");
+  ASSERT_NE(single, nullptr);
+  net::PacketPool pool(4, 2048);
+  sim::Rng rng(7);
+  FakeContext ctx(4);
+  auto pkt = pool.alloc();
+  pkt->set_length(64);
+  PathVec out;
+  single->select(*pkt, ctx, rng, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1u);
+
+  EXPECT_NE(make_scheduler("lla:0.1"), nullptr);
+  EXPECT_NE(make_scheduler("adaptive:3"), nullptr);
+}
+
+TEST(SchedulerFactory, MalformedParameterizedNamesAreRejected) {
+  EXPECT_EQ(make_scheduler("red:"), nullptr);       // empty param
+  EXPECT_EQ(make_scheduler("red:0"), nullptr);      // zero replicas
+  EXPECT_EQ(make_scheduler("red:65"), nullptr);     // over the cap
+  EXPECT_EQ(make_scheduler("flowlet:abc"), nullptr);
+  EXPECT_EQ(make_scheduler("flowlet:0"), nullptr);
+  EXPECT_EQ(make_scheduler("lla:1.5"), nullptr);    // epsilon > 1
+  EXPECT_EQ(make_scheduler("lla:-0.1"), nullptr);
+  EXPECT_EQ(make_scheduler("bogus:1"), nullptr);    // unknown base
+  EXPECT_EQ(make_scheduler("single:70000"), nullptr);  // > uint16 max
+}
+
 // Property: no policy ever selects a down path (while any path is up),
 // never returns duplicates, and always returns at least one path.
 class DownPathProperty : public ::testing::TestWithParam<std::string> {};
@@ -392,7 +434,9 @@ TEST_P(DownPathProperty, NeverSelectsDownPath) {
 INSTANTIATE_TEST_SUITE_P(AllPolicies, DownPathProperty,
                          ::testing::Values("single", "rss", "rr", "jsq",
                                            "lla", "flowlet", "red2", "red3",
-                                           "adaptive"));
+                                           "adaptive", "redundant:4",
+                                           "flowlet:20000", "lla:0.3",
+                                           "adaptive:3"));
 
 }  // namespace
 }  // namespace mdp::core

@@ -1,0 +1,752 @@
+// mdp::ctrl tests: the control plane from decision kernel to closed loop.
+//
+// Unit layer: PathStateMachine hysteresis edges, SloMonitor windows (incl.
+// a two-writer concurrency smoke — the monitor is the only cross-thread
+// surface), AdaptiveHedger sustain/cooldown discipline, and the Controller
+// against a scripted FakeActuator (lifecycle, capacity guard, backlog
+// breach, probe breach, decision log + report JSON).
+//
+// End-to-end layer: ThreadedDataPlane over a LoopbackBackend pair with a
+// per-path delay fault lane. The driver measures delivery lag in *driver
+// loop iterations* (a logical unit — no wall clock in the control loop),
+// feeds the SloMonitor, and ticks the Controller once per round. The
+// expected state trajectory is exact: quarantine on the second breaching
+// window, drain to zero backlog, probe-only probation after the lane
+// heals, then ACTIVE again — with exactly-once in-order per-flow delivery
+// and a zero-leak pool audit at quiesce. Workers run for real throughout,
+// which is what makes this binary meaningful under TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/reorder.hpp"
+#include "core/threaded_dataplane.hpp"
+#include "ctrl/controller.hpp"
+#include "io/loopback_backend.hpp"
+#include "net/packet_builder.hpp"
+#include "net/vxlan.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/json.hpp"
+
+namespace mdp {
+namespace {
+
+using ctrl::Admission;
+using ctrl::PathState;
+
+// ---------------------------------------------------------------------------
+// PathStateMachine: hysteresis edges.
+
+ctrl::TickInput breach_tick() {
+  ctrl::TickInput in;
+  in.breach = true;
+  in.has_signal = true;
+  return in;
+}
+
+ctrl::TickInput clean_tick() {
+  ctrl::TickInput in;
+  in.has_signal = true;
+  return in;
+}
+
+TEST(PathStateMachine, SingleBreachNeverQuarantines) {
+  ctrl::PathStateMachine fsm({.quarantine_after = 2});
+  EXPECT_FALSE(fsm.on_tick(breach_tick()));
+  EXPECT_EQ(fsm.state(), PathState::kActive);
+  EXPECT_EQ(fsm.breach_streak(), 1);
+  // The spike passes; the streak resets.
+  EXPECT_FALSE(fsm.on_tick(clean_tick()));
+  EXPECT_EQ(fsm.breach_streak(), 0);
+  EXPECT_FALSE(fsm.on_tick(breach_tick()));
+  EXPECT_EQ(fsm.state(), PathState::kActive);
+}
+
+TEST(PathStateMachine, SilenceBreaksTheStreak) {
+  ctrl::PathStateMachine fsm({.quarantine_after = 2});
+  fsm.on_tick(breach_tick());
+  // A window with too few samples is not evidence either way.
+  fsm.on_tick(ctrl::TickInput{});
+  fsm.on_tick(breach_tick());
+  EXPECT_EQ(fsm.state(), PathState::kActive);
+  EXPECT_EQ(fsm.breach_streak(), 1);
+}
+
+TEST(PathStateMachine, QuarantineAfterClampsToTwo) {
+  ctrl::PathStateMachine fsm({.quarantine_after = 0});
+  fsm.on_tick(breach_tick());
+  EXPECT_EQ(fsm.state(), PathState::kActive);
+  fsm.on_tick(breach_tick());
+  EXPECT_EQ(fsm.state(), PathState::kQuarantined);
+}
+
+TEST(PathStateMachine, FullLifecycle) {
+  ctrl::PathStateMachine fsm({.quarantine_after = 2, .probation_probes = 4});
+  fsm.on_tick(breach_tick());
+  EXPECT_TRUE(fsm.on_tick(breach_tick()));
+  EXPECT_EQ(fsm.state(), PathState::kQuarantined);
+  EXPECT_EQ(fsm.quarantines(), 1u);
+
+  // One masked tick, then draining until backlog hits zero.
+  EXPECT_TRUE(fsm.on_tick(ctrl::TickInput{}));
+  EXPECT_EQ(fsm.state(), PathState::kDraining);
+  EXPECT_FALSE(fsm.on_tick(ctrl::TickInput{}));  // not drained yet
+  ctrl::TickInput drained;
+  drained.drained = true;
+  EXPECT_TRUE(fsm.on_tick(drained));
+  EXPECT_EQ(fsm.state(), PathState::kReinstated);
+
+  // Probation: clean probes accumulate across ticks.
+  ctrl::TickInput probes;
+  probes.clean_probes = 2;
+  EXPECT_FALSE(fsm.on_tick(probes));
+  EXPECT_EQ(fsm.probation_progress(), 2u);
+  EXPECT_TRUE(fsm.on_tick(probes));
+  EXPECT_EQ(fsm.state(), PathState::kActive);
+  EXPECT_EQ(fsm.reinstatements(), 1u);
+}
+
+TEST(PathStateMachine, ProbeBreachRequarantines) {
+  ctrl::PathStateMachine fsm({.quarantine_after = 2, .probation_probes = 4});
+  fsm.on_tick(breach_tick());
+  fsm.on_tick(breach_tick());
+  fsm.on_tick(ctrl::TickInput{});
+  ctrl::TickInput drained;
+  drained.drained = true;
+  fsm.on_tick(drained);
+  ASSERT_EQ(fsm.state(), PathState::kReinstated);
+
+  // A single out-of-SLO probe sends it straight back — it can never
+  // rejoin ACTIVE while still sick, so it cannot flap.
+  ctrl::TickInput bad;
+  bad.clean_probes = 3;
+  bad.violated_probes = 1;
+  EXPECT_TRUE(fsm.on_tick(bad));
+  EXPECT_EQ(fsm.state(), PathState::kQuarantined);
+  EXPECT_EQ(fsm.quarantines(), 2u);
+  EXPECT_EQ(fsm.reinstatements(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SloMonitor: window harvest semantics and thread safety.
+
+TEST(SloMonitor, HarvestSummarizesAndDrainsTheWindow) {
+  ctrl::SloMonitor mon(2, /*slo_target_ns=*/1000);
+  for (int i = 0; i < 98; ++i) mon.observe(0, 500);
+  mon.observe(0, 8000);
+  mon.observe(0, 8000);
+
+  ctrl::WindowStats w = mon.harvest(0);
+  EXPECT_EQ(w.samples, 100u);
+  EXPECT_EQ(w.violations, 2u);
+  EXPECT_EQ(w.sum_ns, 98u * 500 + 2u * 8000);
+  // The CDF crosses 0.99 inside the 8000 bucket; the reported edge is
+  // bucket-quantized, within one sub-bucket (~25%) above the true value.
+  EXPECT_GE(w.p99_ns, 8000u);
+  EXPECT_LE(w.p99_ns, 12000u);
+  EXPECT_GE(w.max_ns, 8000u);
+  EXPECT_NEAR(w.violation_fraction(), 0.02, 1e-9);
+
+  // The window is an interval: a second harvest is empty.
+  ctrl::WindowStats again = mon.harvest(0);
+  EXPECT_EQ(again.samples, 0u);
+  EXPECT_EQ(again.violation_fraction(), 0.0);
+
+  // The other path's window is untouched.
+  EXPECT_EQ(mon.harvest(1).samples, 0u);
+
+  // Lifetime totals survive the harvest.
+  EXPECT_EQ(mon.total_observed(), 100u);
+  EXPECT_EQ(mon.total_violations(), 2u);
+}
+
+TEST(SloMonitor, RuntimeTargetAppliesToNewObservations) {
+  ctrl::SloMonitor mon(1, 1000);
+  mon.observe(0, 500);
+  mon.set_slo_target_ns(100);
+  mon.observe(0, 500);
+  ctrl::WindowStats w = mon.harvest(0);
+  EXPECT_EQ(w.samples, 2u);
+  EXPECT_EQ(w.violations, 1u);
+}
+
+TEST(SloMonitor, ConcurrentObserveWhileHarvesting) {
+  // Two writer threads hammer one path while the controller thread
+  // harvests mid-stream: nothing may be lost or double-counted. This is
+  // the TSan witness for the monitor's lock-free ingestion.
+  ctrl::SloMonitor mon(1, /*slo_target_ns=*/100);
+  constexpr int kPerThread = 50'000;
+  std::uint64_t samples = 0, violations = 0;
+
+  std::thread fast([&] {
+    for (int i = 0; i < kPerThread; ++i) mon.observe(0, 50);
+  });
+  std::thread slow([&] {
+    for (int i = 0; i < kPerThread; ++i) mon.observe(0, 200);
+  });
+  for (int i = 0; i < 100; ++i) {
+    ctrl::WindowStats w = mon.harvest(0);
+    samples += w.samples;
+    violations += w.violations;
+    std::this_thread::yield();
+  }
+  fast.join();
+  slow.join();
+  ctrl::WindowStats w = mon.harvest(0);
+  samples += w.samples;
+  violations += w.violations;
+
+  EXPECT_EQ(samples, 2u * kPerThread);
+  EXPECT_EQ(violations, static_cast<std::uint64_t>(kPerThread));
+  EXPECT_EQ(mon.total_observed(), 2u * kPerThread);
+  EXPECT_EQ(mon.total_violations(), static_cast<std::uint64_t>(kPerThread));
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveHedger: sustain + cooldown discipline.
+
+ctrl::HedgerConfig hedger_cfg() {
+  ctrl::HedgerConfig cfg;
+  cfg.min_replicas = 1;
+  cfg.max_replicas = 3;
+  cfg.raise_threshold = 1.0;
+  cfg.lower_threshold = 0.5;
+  cfg.sustain_ticks = 2;
+  cfg.cooldown_ticks = 3;
+  cfg.min_samples = 10;
+  return cfg;
+}
+
+TEST(AdaptiveHedger, RaisesOnlyWhenSustainedAndRespectsCooldown) {
+  ctrl::AdaptiveHedger h(hedger_cfg());
+  EXPECT_EQ(h.update(2000, 100, 1000), 1u);  // one hot window: no change
+  EXPECT_EQ(h.update(2000, 100, 1000), 2u);  // sustained: raise
+  EXPECT_EQ(h.raises(), 1u);
+  // Cooldown holds the factor even though windows stay hot.
+  EXPECT_EQ(h.update(2000, 100, 1000), 2u);
+  EXPECT_EQ(h.update(2000, 100, 1000), 2u);
+  // Cooldown expired and the breach sustained again: next step.
+  EXPECT_EQ(h.update(2000, 100, 1000), 3u);
+  // Clamped at max_replicas no matter how hot it stays.
+  for (int i = 0; i < 10; ++i) h.update(4000, 100, 1000);
+  EXPECT_EQ(h.replicas(), 3u);
+}
+
+TEST(AdaptiveHedger, LowersAfterSustainedCalm) {
+  ctrl::AdaptiveHedger h(hedger_cfg());
+  h.update(2000, 100, 1000);
+  h.update(2000, 100, 1000);
+  ASSERT_EQ(h.replicas(), 2u);
+  for (int i = 0; i < 4; ++i) h.update(100, 100, 1000);  // burn cooldown
+  EXPECT_EQ(h.update(100, 100, 1000), 1u);
+  EXPECT_EQ(h.lowers(), 1u);
+  // Floor: never below min_replicas.
+  for (int i = 0; i < 10; ++i) h.update(100, 100, 1000);
+  EXPECT_EQ(h.replicas(), 1u);
+}
+
+TEST(AdaptiveHedger, ThinWindowsCarryNoSignal) {
+  ctrl::AdaptiveHedger h(hedger_cfg());
+  h.update(2000, 100, 1000);
+  // Below min_samples: not only no change, the streak resets.
+  h.update(2000, 5, 1000);
+  EXPECT_EQ(h.update(2000, 100, 1000), 1u);
+  EXPECT_EQ(h.update(2000, 100, 1000), 2u);
+}
+
+TEST(AdaptiveHedger, DisabledHoldsTheFloor) {
+  ctrl::HedgerConfig cfg = hedger_cfg();
+  cfg.enabled = false;
+  ctrl::AdaptiveHedger h(cfg);
+  for (int i = 0; i < 10; ++i) h.update(5000, 100, 1000);
+  EXPECT_EQ(h.replicas(), 1u);
+  EXPECT_EQ(h.raises(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Controller against a scripted actuator.
+
+struct FakeActuator : ctrl::Actuator {
+  explicit FakeActuator(std::size_t paths)
+      : admission(paths, Admission::kEnabled),
+        probes(paths, 0),
+        backlog(paths, 0),
+        flushes(paths, 0) {}
+
+  std::size_t num_paths() const override { return admission.size(); }
+  void set_admission(std::size_t p, Admission a) override {
+    admission[p] = a;
+  }
+  void grant_probes(std::size_t p, std::uint64_t n) override {
+    probes[p] += n;
+  }
+  std::uint64_t path_backlog(std::size_t p) const override {
+    return backlog[p];
+  }
+  void flush_path(std::size_t p) override { ++flushes[p]; }
+  void set_replicas(std::size_t r) override { replicas = r; }
+
+  std::vector<Admission> admission;
+  std::vector<std::uint64_t> probes;
+  std::vector<std::uint64_t> backlog;
+  std::vector<std::uint64_t> flushes;
+  std::size_t replicas = 1;
+};
+
+ctrl::Config controller_cfg() {
+  ctrl::Config cfg;
+  cfg.slo_target_ns = 1000;
+  cfg.violation_threshold = 0.25;
+  cfg.min_samples = 4;
+  cfg.path.quarantine_after = 2;
+  cfg.path.probation_probes = 4;
+  cfg.probe_grant_per_tick = 8;
+  cfg.min_serving_paths = 1;
+  cfg.hedger.enabled = false;
+  return cfg;
+}
+
+void feed(ctrl::SloMonitor& mon, std::uint16_t path, int n,
+          std::uint64_t latency) {
+  for (int i = 0; i < n; ++i) mon.observe(path, latency);
+}
+
+TEST(Controller, QuarantineDrainProbationLifecycle) {
+  ctrl::SloMonitor mon(2, 1000);
+  FakeActuator act(2);
+  ctrl::Controller ctl(controller_cfg(), act, mon);
+
+  // Two consecutive breaching windows on path 1.
+  feed(mon, 1, 8, 5000);
+  ctl.tick(1);
+  EXPECT_EQ(ctl.path_state(1), PathState::kActive);
+  EXPECT_TRUE(ctl.decisions().empty());
+
+  feed(mon, 1, 8, 5000);
+  ctl.tick(2);
+  EXPECT_EQ(ctl.path_state(1), PathState::kQuarantined);
+  EXPECT_EQ(act.admission[1], Admission::kDisabled);
+  EXPECT_EQ(ctl.quarantines(), 1u);
+  ASSERT_EQ(ctl.decisions().size(), 1u);
+  EXPECT_STREQ(ctl.decisions()[0].reason, "slo_breach");
+  EXPECT_EQ(ctl.decisions()[0].path, 1u);
+  EXPECT_EQ(ctl.decisions()[0].samples, 8u);
+  EXPECT_EQ(ctl.decisions()[0].violations, 8u);
+
+  // One masked tick starts the drain (flush fires on the transition).
+  ctl.tick(3);
+  EXPECT_EQ(ctl.path_state(1), PathState::kDraining);
+  EXPECT_EQ(act.flushes[1], 1u);
+
+  // Still work in flight: keep draining, keep flushing.
+  act.backlog[1] = 5;
+  ctl.tick(4);
+  EXPECT_EQ(ctl.path_state(1), PathState::kDraining);
+  EXPECT_EQ(act.flushes[1], 2u);
+
+  // Backlog reaches zero: probation begins, probes are granted.
+  act.backlog[1] = 0;
+  ctl.tick(5);
+  EXPECT_EQ(ctl.path_state(1), PathState::kReinstated);
+  EXPECT_EQ(act.admission[1], Admission::kProbeOnly);
+  EXPECT_EQ(act.probes[1], 8u);
+
+  // Probation observations have no sample minimum: every probe counts.
+  feed(mon, 1, 2, 100);
+  ctl.tick(6);
+  EXPECT_EQ(ctl.path_state(1), PathState::kReinstated);
+  feed(mon, 1, 2, 100);
+  ctl.tick(7);
+  EXPECT_EQ(ctl.path_state(1), PathState::kActive);
+  EXPECT_EQ(act.admission[1], Admission::kEnabled);
+  EXPECT_EQ(ctl.reinstatements(), 1u);
+  EXPECT_STREQ(ctl.decisions().back().reason, "probation_passed");
+
+  // Path 0 was never touched.
+  EXPECT_EQ(act.admission[0], Admission::kEnabled);
+  EXPECT_EQ(act.flushes[0], 0u);
+}
+
+TEST(Controller, ProbeBreachGoesStraightBackToQuarantine) {
+  ctrl::SloMonitor mon(2, 1000);
+  FakeActuator act(2);
+  ctrl::Controller ctl(controller_cfg(), act, mon);
+
+  feed(mon, 1, 8, 5000);
+  ctl.tick(1);
+  feed(mon, 1, 8, 5000);
+  ctl.tick(2);
+  ctl.tick(3);
+  ctl.tick(4);
+  ASSERT_EQ(ctl.path_state(1), PathState::kReinstated);
+
+  // One violating probe during probation: re-quarantined, no flap.
+  mon.observe(1, 9000);
+  ctl.tick(5);
+  EXPECT_EQ(ctl.path_state(1), PathState::kQuarantined);
+  EXPECT_EQ(act.admission[1], Admission::kDisabled);
+  EXPECT_STREQ(ctl.decisions().back().reason, "probe_breach");
+  EXPECT_EQ(ctl.quarantines(), 2u);
+  EXPECT_EQ(ctl.reinstatements(), 0u);
+}
+
+TEST(Controller, CapacityGuardSuppressesLastPathQuarantine) {
+  // Both paths breach; min_serving_paths=1 lets the first quarantine
+  // through and suppresses the second — a contained tail beats a masked
+  // fleet.
+  ctrl::SloMonitor mon(2, 1000);
+  FakeActuator act(2);
+  ctrl::Config cfg = controller_cfg();
+  ctrl::Controller ctl(cfg, act, mon);
+
+  for (int t = 1; t <= 4; ++t) {
+    feed(mon, 0, 8, 5000);
+    feed(mon, 1, 8, 5000);
+    ctl.tick(t);
+  }
+  const bool p0_quarantined = ctl.path_state(0) != PathState::kActive;
+  const bool p1_quarantined = ctl.path_state(1) != PathState::kActive;
+  EXPECT_NE(p0_quarantined, p1_quarantined);  // exactly one masked
+  EXPECT_GT(ctl.suppressed_quarantines(), 0u);
+  EXPECT_EQ(ctl.quarantines(), 1u);
+}
+
+TEST(Controller, BacklogBreachCatchesSilentBlackholes) {
+  // A blackholed path produces no completions, so there is no SLO window
+  // to judge — backlog evidence must be enough on its own.
+  ctrl::SloMonitor mon(2, 1000);
+  FakeActuator act(2);
+  ctrl::Config cfg = controller_cfg();
+  cfg.backlog_limit = 10;
+  ctrl::Controller ctl(cfg, act, mon);
+
+  act.backlog[0] = 50;
+  ctl.tick(1);
+  EXPECT_EQ(ctl.path_state(0), PathState::kActive);
+  ctl.tick(2);
+  EXPECT_EQ(ctl.path_state(0), PathState::kQuarantined);
+  EXPECT_STREQ(ctl.decisions().back().reason, "backlog_breach");
+  EXPECT_EQ(ctl.decisions().back().backlog, 50u);
+}
+
+TEST(Controller, HedgerActuatesReplicasFromServingTail) {
+  ctrl::SloMonitor mon(2, 1000);
+  FakeActuator act(2);
+  ctrl::Config cfg = controller_cfg();
+  cfg.violation_threshold = 1.5;  // never quarantine in this test
+  cfg.hedger.enabled = true;
+  cfg.hedger.sustain_ticks = 2;
+  cfg.hedger.cooldown_ticks = 0;
+  cfg.hedger.min_samples = 4;
+  ctrl::Controller ctl(cfg, act, mon);
+
+  feed(mon, 0, 8, 5000);
+  ctl.tick(1);
+  EXPECT_EQ(act.replicas, 1u);
+  feed(mon, 0, 8, 5000);
+  ctl.tick(2);
+  EXPECT_EQ(act.replicas, 2u);
+  EXPECT_EQ(ctl.hedge_raises(), 1u);
+  EXPECT_EQ(ctl.decisions().back().path, ctrl::Decision::kHedge);
+  EXPECT_STREQ(ctl.decisions().back().reason, "hedge_raise");
+}
+
+TEST(Controller, RuntimeKnobsSyncTheMonitor) {
+  ctrl::SloMonitor mon(1, 999);
+  FakeActuator act(1);
+  ctrl::Controller ctl(controller_cfg(), act, mon);
+  EXPECT_EQ(mon.slo_target_ns(), 1000u);  // aligned at construction
+  ctl.set_slo_target_ns(5000);
+  EXPECT_EQ(mon.slo_target_ns(), 5000u);
+  EXPECT_EQ(ctl.config().slo_target_ns, 5000u);
+}
+
+TEST(Controller, DecisionLogIsBoundedWithEvictionCount) {
+  ctrl::SloMonitor mon(2, 1000);
+  FakeActuator act(2);
+  ctrl::Config cfg = controller_cfg();
+  cfg.decision_log_capacity = 2;
+  ctrl::Controller ctl(cfg, act, mon);
+
+  // Full lifecycle = 4 transitions; capacity 2 keeps the newest two.
+  feed(mon, 1, 8, 5000);
+  ctl.tick(1);
+  feed(mon, 1, 8, 5000);
+  ctl.tick(2);
+  ctl.tick(3);
+  ctl.tick(4);
+  feed(mon, 1, 4, 100);
+  ctl.tick(5);
+  ASSERT_EQ(ctl.decisions().size(), 2u);
+  EXPECT_STREQ(ctl.decisions().back().reason, "probation_passed");
+
+  auto doc = trace::JsonValue::parse(ctl.report_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("decisions_evicted")->as_u64(), 2u);
+}
+
+TEST(Controller, ReportJsonIsParseableAndComplete) {
+  ctrl::SloMonitor mon(2, 1000);
+  FakeActuator act(2);
+  ctrl::Controller ctl(controller_cfg(), act, mon);
+
+  feed(mon, 1, 8, 5000);
+  ctl.tick(1);
+  feed(mon, 1, 8, 5000);
+  ctl.tick(2);
+
+  auto doc = trace::JsonValue::parse(ctl.report_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("slo_target_ns")->as_u64(), 1000u);
+  EXPECT_EQ(doc->find("ticks")->as_u64(), 2u);
+  EXPECT_EQ(doc->find("quarantines")->as_u64(), 1u);
+  ASSERT_NE(doc->find("path_states"), nullptr);
+  ASSERT_EQ(doc->find("path_states")->items().size(), 2u);
+  EXPECT_EQ(doc->find("path_states")->items()[1].as_string(), "quarantined");
+
+  const trace::JsonValue* decisions = doc->find("decisions");
+  ASSERT_NE(decisions, nullptr);
+  ASSERT_EQ(decisions->items().size(), 1u);
+  const trace::JsonValue& d = decisions->items()[0];
+  EXPECT_EQ(d.find("path")->as_u64(), 1u);
+  EXPECT_EQ(d.find("from")->as_string(), "active");
+  EXPECT_EQ(d.find("to")->as_string(), "quarantined");
+  EXPECT_EQ(d.find("reason")->as_string(), "slo_breach");
+  EXPECT_EQ(d.find("samples")->as_u64(), 8u);
+}
+
+TEST(Controller, StatsRegistryExportsCtrlCounters) {
+  ctrl::SloMonitor mon(2, 1000);
+  FakeActuator act(2);
+  ctrl::Controller ctl(controller_cfg(), act, mon);
+  feed(mon, 1, 8, 5000);
+  ctl.tick(1);
+  feed(mon, 1, 8, 5000);
+  ctl.tick(2);
+
+  trace::StatsRegistry reg;
+  ctl.register_stats(reg);
+  mon.register_stats(reg);
+  trace::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("ctrl.ticks"), 2u);
+  EXPECT_EQ(snap.counters.at("ctrl.quarantines"), 1u);
+  EXPECT_EQ(snap.counters.at("slo.observed"), 16u);
+  EXPECT_EQ(snap.counters.at("slo.violations"), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: ThreadedDataPlane + LoopbackBackend fault lane + Controller.
+
+/// Driver-side frame (mirrors the conformance suite's builder).
+net::PacketPtr make_frame(net::PacketPool& pool, std::uint32_t flow_id,
+                          std::uint64_t seq) {
+  net::BuildSpec spec;
+  spec.flow = {0x0a000001 + flow_id, 0x0a000002,
+               static_cast<std::uint16_t>(1024 + flow_id), 4789, 0};
+  spec.payload_len = 64;
+  spec.payload_fill = static_cast<std::uint8_t>(seq);
+  net::PacketPtr pkt = net::build_udp(pool, spec);
+  if (!pkt) return pkt;
+  auto& a = pkt->anno();
+  a.flow_id = flow_id;
+  a.seq = seq;
+  a.path_id = 0;
+  a.flow_hash = net::hash_flow(spec.flow);
+  return pkt;
+}
+
+/// ThreadedPlaneActuator with the loopback wire behind the plane: a drain
+/// flush must also release frames staged on the wire's fault lanes.
+class RigActuator : public ctrl::ThreadedPlaneActuator {
+ public:
+  RigActuator(core::ThreadedDataPlane& dp, io::LoopbackBackend& plane_end,
+              io::LoopbackBackend& driver_end)
+      : ThreadedPlaneActuator(dp),
+        plane_end_(plane_end),
+        driver_end_(driver_end) {}
+
+  void flush_path(std::size_t) override {
+    plane_end_.flush();
+    driver_end_.flush();
+  }
+
+ private:
+  io::LoopbackBackend& plane_end_;
+  io::LoopbackBackend& driver_end_;
+};
+
+TEST(ControllerEndToEnd, QuarantineDrainReinstateOverLoopback) {
+  constexpr std::size_t kPaths = 2;
+  constexpr std::uint32_t kFlows = 4;
+  constexpr int kSeqsPerRound = 4;  // 16 frames per round
+  constexpr std::uint32_t kDelayTicks = 400;
+  // Lag is measured in driver loop iterations scaled by 1000 — a logical
+  // unit, so the quarantine trajectory is deterministic under any thread
+  // scheduling. Healthy echoes come back within a handful of iterations;
+  // delayed ones need >= kDelayTicks/2 wire releases (the wire also ticks
+  // on pump's tx_burst), putting them far above the target either way.
+  constexpr std::uint64_t kSloUnits = 100'000;
+
+  net::PacketPool pool(512, 2048, /*allow_growth=*/false);
+  io::LoopbackConfig lcfg;
+  lcfg.queue_depth = 1024;
+  auto [driver_end, plane_end] = io::LoopbackBackend::make_pair(lcfg);
+
+  core::ThreadedConfig tcfg;
+  tcfg.num_paths = kPaths;
+  tcfg.policy = "rr";  // deterministic 8/8 split of each round
+  tcfg.ring_capacity = 256;
+  tcfg.pool_size = 256;
+  tcfg.payload_bytes = 64;
+  tcfg.work_iterations = 1;
+  tcfg.burst_size = 16;
+  tcfg.backend = plane_end.get();
+
+  core::ThreadedDataPlane dp(tcfg, [](std::uint64_t, std::uint16_t) {});
+
+  ctrl::SloMonitor mon(kPaths, kSloUnits);
+  RigActuator act(dp, *plane_end, *driver_end);
+  ctrl::Config ccfg;
+  ccfg.slo_target_ns = kSloUnits;
+  ccfg.violation_threshold = 0.25;
+  ccfg.min_samples = 2;
+  ccfg.path.quarantine_after = 2;
+  ccfg.path.probation_probes = 4;
+  ccfg.probe_grant_per_tick = 8;
+  ccfg.min_serving_paths = 1;
+  ccfg.hedger.enabled = false;
+  ctrl::Controller ctl(ccfg, act, mon);
+
+  // The fault: every frame the plane serves on path 1 is held back on the
+  // wire for kDelayTicks — the classic last-mile laggard.
+  plane_end->set_path_faults(1, {.delay_ticks = kDelayTicks});
+
+  dp.start();
+
+  // Driver-side exactly-once / in-order audit behind a ReorderBuffer.
+  sim::EventQueue eq;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, int> delivered;
+  std::vector<std::uint64_t> next_emit(kFlows, 0);
+  bool in_order = true;
+  core::ReorderBuffer reorder(
+      eq, {.enabled = true, .timeout_ns = 1'000'000'000},
+      [&](net::PacketPtr pkt) {
+        const auto& a = pkt->anno();
+        ++delivered[{a.flow_id, a.seq}];
+        if (a.seq != next_emit[a.flow_id]) in_order = false;
+        next_emit[a.flow_id] = a.seq + 1;
+      });
+
+  std::vector<std::uint64_t> next_seq(kFlows, 0);
+  std::uint64_t total_sent = 0;
+
+  // One round = send a fixed burst, run the loop until every echo of the
+  // round is back (so windows never carry stale cross-round samples),
+  // then tick the controller once.
+  auto run_round = [&](std::uint64_t round) {
+    std::vector<net::PacketPtr> burst;
+    for (std::uint32_t f = 0; f < kFlows; ++f)
+      for (int s = 0; s < kSeqsPerRound; ++s) {
+        net::PacketPtr pkt = make_frame(pool, f, next_seq[f]++);
+        ASSERT_TRUE(static_cast<bool>(pkt));
+        burst.push_back(std::move(pkt));
+      }
+    const std::size_t sent =
+        driver_end->tx_burst({burst.data(), burst.size()});
+    ASSERT_EQ(sent, burst.size());
+    total_sent += sent;
+    burst.clear();
+
+    std::size_t outstanding = sent;
+    int iters = 0;
+    while (outstanding > 0) {
+      ++iters;
+      ASSERT_LT(iters, 20000) << "round " << round << " never drained";
+      dp.pump();
+      plane_end->advance();
+      driver_end->advance();
+      net::PacketPtr rx[64];
+      std::size_t got;
+      while ((got = driver_end->rx_burst({rx, 64})) > 0) {
+        for (std::size_t i = 0; i < got; ++i) {
+          mon.observe(rx[i]->anno().path_id,
+                      static_cast<std::uint64_t>(iters) * 1000);
+          reorder.submit(std::move(rx[i]));
+          --outstanding;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(10));
+    }
+    ctl.tick(round);
+  };
+
+  // Rounds 1-2: path 1 serves half of each round with delayed echoes —
+  // two consecutive breaching windows.
+  run_round(1);
+  EXPECT_EQ(ctl.path_state(1), PathState::kActive);
+  run_round(2);
+  ASSERT_EQ(ctl.path_state(1), PathState::kQuarantined);
+  EXPECT_EQ(dp.path_admission(1), core::PathAdmission::kDisabled);
+  EXPECT_EQ(ctl.quarantines(), 1u);
+  const std::uint64_t served_at_quarantine = dp.per_path_count(1);
+
+  // The lane heals while the path is masked (no traffic will touch it
+  // until probation probes are granted).
+  plane_end->set_path_faults(1, {});
+
+  // Round 3: masked tick -> drain starts.
+  run_round(3);
+  ASSERT_EQ(ctl.path_state(1), PathState::kDraining);
+
+  // Round 4: backlog is zero (the round loop drains everything) ->
+  // probation begins with probe-only admission.
+  run_round(4);
+  ASSERT_EQ(ctl.path_state(1), PathState::kReinstated);
+  EXPECT_EQ(dp.path_inflight(1), 0u);
+  EXPECT_EQ(dp.path_admission(1), core::PathAdmission::kProbeOnly);
+
+  // Round 5: rr spends the 8 probe credits on path 1; the healed lane
+  // answers in-SLO, probation passes.
+  run_round(5);
+  ASSERT_EQ(ctl.path_state(1), PathState::kActive);
+  EXPECT_EQ(dp.path_admission(1), core::PathAdmission::kEnabled);
+  EXPECT_EQ(ctl.reinstatements(), 1u);
+
+  // Round 6: path 1 is serving real traffic again.
+  run_round(6);
+  EXPECT_GT(dp.per_path_count(1), served_at_quarantine);
+
+  // The delayed rounds genuinely reordered flows (fast path overtakes),
+  // and the ReorderBuffer restored per-flow order.
+  EXPECT_GT(reorder.out_of_order(), 0u);
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(reorder.buffered(), 0u);
+
+  // Exactly-once: every (flow, seq) delivered once, none missing.
+  EXPECT_EQ(delivered.size(), total_sent);
+  for (const auto& [key, count] : delivered) EXPECT_EQ(count, 1);
+
+  // Quiesce: nothing in flight anywhere, then a zero-leak pool audit.
+  EXPECT_EQ(dp.inflight(), 0u);
+  for (int i = 0; i < 100 && dp.egress_backlog() > 0; ++i) dp.pump();
+  dp.stop();
+  EXPECT_EQ(plane_end->in_flight(), 0u);
+  EXPECT_EQ(driver_end->in_flight(), 0u);
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.total_allocs(), pool.total_recycles());
+
+  // The whole story is in the decision log.
+  auto doc = trace::JsonValue::parse(ctl.report_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("quarantines")->as_u64(), 1u);
+  EXPECT_EQ(doc->find("reinstatements")->as_u64(), 1u);
+  EXPECT_EQ(doc->find("path_states")->items()[1].as_string(), "active");
+}
+
+}  // namespace
+}  // namespace mdp
