@@ -19,6 +19,15 @@
 //     the serving-tail inflation and raises the replication factor so
 //     every packet's second copy completes elsewhere.
 //
+//   hedge-timeout story (policy = redundant:1 + PID deadline vs a fixed
+//     redundant:3): brute-force replication buys its tail with bandwidth —
+//     every packet pays 2 extra copies whether the thief is active or not,
+//     and at the margin the copies ARE the load. The PID loop instead
+//     moves the hedge-fire deadline from measured p50-vs-SLO headroom, so
+//     only actual stragglers spawn a second copy. The comparison rows
+//     (schema mdp.bench_controller.v1) put p99.9 next to the
+//     duplicate-send fraction for both arms.
+//
 // The decision timelines (parsed back out of the run reports' "ctrl"
 // section) show when and why each action fired.
 #include "bench_common.hpp"
@@ -36,6 +45,9 @@ harness::ScenarioConfig base_cfg(const std::string& policy) {
   cfg.packets = 150'000;
   cfg.warmup_packets = 15'000;
   cfg.seed = 31;
+  // Spans feed the SloMonitor stage-attributed evidence, so quarantine
+  // decisions carry a dominant-stage verdict in the timelines below.
+  cfg.trace = true;
   return cfg;
 }
 
@@ -77,6 +89,37 @@ void enable_hedger(harness::ScenarioConfig& cfg) {
   cfg.ctrl.hedger.min_samples = 32;
 }
 
+void enable_hedge_timeout(harness::ScenarioConfig& cfg) {
+  // The fine lever: leave the replica count at 1 and let the PID move the
+  // hedge-fire deadline inside [max(p50, 5us), SLO] from tail error.
+  cfg.ctrl.hedge_timeout.enabled = true;
+  cfg.ctrl.hedge_timeout.min_timeout_ns = 5'000;
+  cfg.ctrl.hedge_timeout.min_samples = 32;
+}
+
+/// One mdp.bench_controller.v1 row: the hedge-timeout story's comparison
+/// unit — tail percentiles next to the duplicate-send fraction they cost.
+std::string controller_row(const std::string& arm, const std::string& policy,
+                           std::uint64_t slo_ns,
+                           const harness::ScenarioResult& r) {
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("mdp.bench_controller.v1");
+  w.key("arm").value(arm);
+  w.key("policy").value(policy);
+  w.key("slo_target_ns").value(slo_ns);
+  w.key("p50_ns").value(r.latency.p50());
+  w.key("p99_ns").value(r.latency.p99());
+  w.key("p999_ns").value(r.latency.p999());
+  w.key("max_ns").value(r.latency.max());
+  w.key("egressed").value(r.egressed);
+  w.key("hedges").value(r.hedges);
+  w.key("duplicate_send_fraction").value(r.replica_fraction);
+  w.key("quarantines").value(r.ctrl_quarantines);
+  w.end_object();
+  return w.take();
+}
+
 void print_decision_timeline(const std::string& ctrl_report) {
   auto doc = trace::JsonValue::parse(ctrl_report);
   if (!doc) {
@@ -94,14 +137,30 @@ void print_decision_timeline(const std::string& ctrl_report) {
     const trace::JsonValue* path = d.find("path");
     const std::string target =
         path ? "path " + std::to_string(path->as_u64()) : "hedger";
-    const std::string action =
-        path ? d.find("from")->as_string() + " -> " + d.find("to")->as_string()
-             : (d.find("reason")->as_string() == "hedge_raise" ? "+1 replica"
-                                                               : "-1 replica");
+    const std::string reason = d.find("reason")->as_string();
+    std::string action;
+    if (path) {
+      action =
+          d.find("from")->as_string() + " -> " + d.find("to")->as_string();
+    } else if (reason == "hedge_raise") {
+      action = "+1 replica";
+    } else if (reason == "hedge_lower") {
+      action = "-1 replica";
+    } else if (reason == "hedge_timeout") {
+      action =
+          "deadline -> " + bench::us(d.find("hedge_timeout_ns")->as_u64());
+    } else {
+      action = reason;
+    }
+    // The stage verdict (tentpole evidence) rides along with the reason:
+    // "slo_breach [service]" says not just THAT but WHERE.
+    std::string reason_col = reason;
+    if (const trace::JsonValue* ds = d.find("dominant_stage"))
+      reason_col += " [" + ds->as_string() + "]";
     char tbuf[32];
     std::snprintf(tbuf, sizeof(tbuf), "%.2f",
                   d.find("now_ns")->as_double() / 1e6);
-    t.add_row({tbuf, target, action, d.find("reason")->as_string(),
+    t.add_row({tbuf, target, action, reason_col,
                bench::us(d.find("p99_ns")->as_u64()),
                stats::fmt_u64(d.find("backlog")->as_u64()),
                stats::fmt_u64(d.find("replicas")->as_u64())});
@@ -153,6 +212,25 @@ int main(int argc, char** argv) {
   auto red_on = harness::run_scenario(red_on_cfg);
   sink.add("red1-ctrl-on", red_on_cfg, red_on);
 
+  // --- hedge-timeout story: PID deadline vs brute-force replication -------
+  auto red3_cfg = base_cfg("redundant:3");
+  add_interference(red3_cfg);
+  auto red3 = harness::run_scenario(red3_cfg);
+  sink.add("red3-fixed", red3_cfg, red3);
+
+  auto pid_cfg = base_cfg("redundant:1");
+  add_interference(pid_cfg);
+  add_ctrl(pid_cfg, slo_ns);
+  enable_hedge_timeout(pid_cfg);
+  auto pid = harness::run_scenario(pid_cfg);
+  sink.add("red1-pid-timeout", pid_cfg, pid);
+
+  sink.add_raw("controller-row:red3-fixed",
+               controller_row("red3-fixed", "redundant:3", slo_ns, red3));
+  sink.add_raw("controller-row:red1-pid-timeout",
+               controller_row("red1-pid-timeout", "redundant:1+pid", slo_ns,
+                              pid));
+
   stats::Table t({"metric", "quiet", "rss off", "rss+ctrl", "red:1 off",
                   "red:1+ctrl"});
   auto row = [&](const char* name, auto get) {
@@ -184,13 +262,45 @@ int main(int argc, char** argv) {
   });
   bench::print_table(t);
 
+  // The hedge-timeout story head-to-head: same interference, same SLO —
+  // what does each arm's tail cost in duplicate sends?
+  std::printf("\nHedge-timeout story — PID deadline vs fixed redundant:3:\n");
+  stats::Table ht({"metric", "red:3 fixed", "red:1 + PID deadline"});
+  auto ht_row = [&](const char* name, auto get) {
+    ht.add_row({name, get(red3), get(pid)});
+  };
+  ht_row("p50", [](const harness::ScenarioResult& r) {
+    return bench::us(r.latency.p50());
+  });
+  ht_row("p99", [](const harness::ScenarioResult& r) {
+    return bench::us(r.latency.p99());
+  });
+  ht_row("p99.9", [](const harness::ScenarioResult& r) {
+    return bench::us(r.latency.p999());
+  });
+  ht_row("dup-send fraction", [](const harness::ScenarioResult& r) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", r.replica_fraction);
+    return std::string(buf);
+  });
+  ht_row("hedges", [](const harness::ScenarioResult& r) {
+    return stats::fmt_u64(r.hedges);
+  });
+  bench::print_table(ht);
+
   std::printf("\nDecision timeline — quarantine story (rss + ctrl):\n");
   print_decision_timeline(rss_on.ctrl_report);
   std::printf("\nDecision timeline — hedging story (redundant:1 + ctrl):\n");
   print_decision_timeline(red_on.ctrl_report);
+  std::printf(
+      "\nDecision timeline — hedge-timeout story (redundant:1 + PID):\n");
+  print_decision_timeline(pid.ctrl_report);
 
   bench::note("the controller trades a little path capacity (quarantined "
               "windows) or bandwidth (replicas) for the interference tail; "
               "compare p99.9 ctrl on/off against the quiet baseline");
+  bench::note("hedge-timeout story: the PID deadline pays for its tail "
+              "with hedges fired only at actual stragglers, where fixed "
+              "redundant:3 pays 2 extra copies on every packet");
   return sink.flush() ? 0 : 1;
 }

@@ -4,6 +4,7 @@ committed baseline (BENCH_fastpath.json).
 
 Usage:
     check_perf.py <fresh.json> [<baseline.json>] [--max-regression 2.0]
+    check_perf.py --self-test
 
 Fails (exit 1) when any burst row's ns/packet regressed by more than
 --max-regression (default 2x — deliberately generous: CI runners are
@@ -16,6 +17,12 @@ can be arbitrarily distorted by scheduling, so it does not gate merges.
 Regenerate the baseline by running, from a Release build:
 
     ./build/bench/ext2_fastpath --json BENCH_fastpath.json
+
+--self-test exercises the gate's own failure branches (regression FAIL,
+missing baseline row, new ungated row, unreadable / corrupt / foreign
+input files) against synthetic tempfile reports and exits 0 iff every
+branch behaves. CI runs it before trusting the real comparison: a gate
+that cannot fail is worse than no gate.
 """
 import argparse
 import json
@@ -51,12 +58,122 @@ def load_rows(path):
     return rows
 
 
-def main():
+def self_test():
+    """Drive the gate against synthetic reports covering every verdict
+    branch. Returns 0 when all checks pass, 1 otherwise."""
+    import contextlib
+    import io
+    import os
+    import tempfile
+
+    def report(rows):
+        return {"bench": "ext2_fastpath",
+                "runs": [{"report": {"schema": "mdp.bench_fastpath.v1",
+                                     "backend": b, "burst": n,
+                                     "ns_per_packet": v}}
+                         for (b, n), v in rows.items()]}
+
+    def run_gate(argv):
+        """Run main() in-process; return (exit_code, captured_output)."""
+        out = io.StringIO()
+        code = 0
+        with contextlib.redirect_stdout(out):
+            try:
+                main(argv)
+            except SystemExit as e:
+                if isinstance(e.code, str):   # sys.exit("message")
+                    print(e.code)
+                    code = 1
+                else:
+                    code = e.code or 0
+        return code, out.getvalue()
+
+    failures = []
+
+    def check(name, cond, output):
+        if not cond:
+            failures.append(name)
+            print(f"self-test FAIL: {name}\n--- gate output ---\n{output}")
+
+    base_rows = {("synthetic", 1): 100.0, ("synthetic", 32): 50.0}
+    with tempfile.TemporaryDirectory() as d:
+        def write(name, obj, raw=None):
+            path = os.path.join(d, name)
+            with open(path, "w") as f:
+                if raw is not None:
+                    f.write(raw)
+                else:
+                    json.dump(obj, f)
+            return path
+
+        base = write("base.json", report(base_rows))
+
+        # Clean pass: identical rows gate green.
+        code, out = run_gate([write("same.json", report(base_rows)), base])
+        check("identical rows pass", code == 0 and "FAIL" not in out, out)
+
+        # Regression: a 3x slower row must fail a 2x gate.
+        slow = {**base_rows, ("synthetic", 32): 150.0}
+        code, out = run_gate([write("slow.json", report(slow)), base])
+        check("3x regression fails",
+              code == 1 and "FAIL (> 2.0x regression)" in out, out)
+
+        # Missing row: the fresh sweep silently dropping a baselined
+        # configuration must fail, not pass by omission.
+        only1 = {("synthetic", 1): 100.0}
+        code, out = run_gate([write("narrow.json", report(only1)), base])
+        check("missing baseline row fails",
+              code == 1 and "baseline rows missing" in out, out)
+
+        # New row: an extra fresh configuration is noted but not gated.
+        wide = {**base_rows, ("loopback", 32): 80.0}
+        code, out = run_gate([write("wide.json", report(wide)), base])
+        check("new row noted, not gated",
+              code == 0 and "not gated" in out, out)
+
+        # Unreadable file.
+        code, out = run_gate([os.path.join(d, "absent.json"), base])
+        check("unreadable file fails",
+              code == 1 and "cannot read" in out, out)
+
+        # Corrupt JSON.
+        code, out = run_gate([write("corrupt.json", None, raw="{nope"), base])
+        check("corrupt JSON fails",
+              code == 1 and "not valid JSON" in out, out)
+
+        # A foreign report (valid JSON, wrong bench).
+        code, out = run_gate(
+            [write("foreign.json", {"bench": "other", "runs": []}), base])
+        check("foreign report fails",
+              code == 1 and "not an ext2_fastpath report" in out, out)
+
+        # An ext2 report with no usable rows.
+        code, out = run_gate(
+            [write("empty.json", {"bench": "ext2_fastpath", "runs": []}),
+             base])
+        check("row-less report fails",
+              code == 1 and "no mdp.bench_fastpath.v1 rows" in out, out)
+
+    total = 8
+    passed = total - len(failures)
+    print(f"self-test: {passed}/{total} checks passed")
+    return 1 if failures else 0
+
+
+def main(argv=None):
     ap = argparse.ArgumentParser()
-    ap.add_argument("fresh", help="just-generated ext2_fastpath --json file")
+    ap.add_argument("fresh", nargs="?",
+                    help="just-generated ext2_fastpath --json file")
     ap.add_argument("baseline", nargs="?", default="BENCH_fastpath.json")
     ap.add_argument("--max-regression", type=float, default=2.0)
-    args = ap.parse_args()
+    ap.add_argument("--self-test", action="store_true",
+                    help="exercise the gate's own failure branches and exit")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.fresh:
+        ap.error("fresh report path required (or --self-test)")
 
     fresh = load_rows(args.fresh)
     base = load_rows(args.baseline)

@@ -131,6 +131,16 @@ class Scheduler {
     (void)replicas;
     return false;
   }
+
+  /// Control-plane actuation: pin the hedge-fire deadline at runtime
+  /// (ctrl::HedgeTimeoutController). Returns false when the policy does
+  /// not hedge (the default); hedging policies apply it as a fixed
+  /// override of whatever budget they would otherwise compute. 0 restores
+  /// the policy's own behavior.
+  virtual bool set_hedge_timeout_ns(sim::TimeNs timeout_ns) {
+    (void)timeout_ns;
+    return false;
+  }
 };
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;
@@ -245,8 +255,21 @@ class RedundantScheduler final : public Scheduler {
   }
   std::size_t replicas() const noexcept { return r_; }
 
+  /// Hedge budget for single-copy dispatches (only reachable at r == 1 —
+  /// the data plane never hedges replicated packets). Lets the control
+  /// plane run redundant:1 as "hedge instead of replicate".
+  bool set_hedge_timeout_ns(sim::TimeNs timeout_ns) override {
+    hedge_timeout_ns_ = timeout_ns;
+    return true;
+  }
+  sim::TimeNs hedge_timeout_ns(const net::Packet&,
+                               const PathContext&) const override {
+    return hedge_timeout_ns_;
+  }
+
  private:
   std::size_t r_;
+  sim::TimeNs hedge_timeout_ns_ = 0;
 };
 
 /// The headline policy (see file comment).
@@ -287,6 +310,12 @@ class AdaptiveMdpScheduler final : public Scheduler {
   /// packets; 1 degrades to flowlet-JSQ for everything.
   bool set_replication(std::size_t replicas) override {
     cfg_.replicate_k = replicas ? replicas : 1;
+    return true;
+  }
+  /// Runtime knob (ctrl::HedgeTimeoutController): a non-zero value pins
+  /// the hedge deadline, overriding the auto EWMA budget; 0 restores it.
+  bool set_hedge_timeout_ns(sim::TimeNs timeout_ns) override {
+    cfg_.hedge_timeout_ns = timeout_ns;
     return true;
   }
 

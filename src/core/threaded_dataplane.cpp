@@ -406,6 +406,7 @@ void ThreadedDataPlane::collector_loop() {
         sp.burst_pos = slot->burst_pos;
         sp.active = true;
         exemplars_.offer(sp);
+        if (span_observer_) span_observer_(sp);
       }
       if (on_complete_) on_complete_(latency, slot->path);
       path_completed_[slot->path].fetch_add(1, std::memory_order_release);

@@ -90,6 +90,13 @@ class ThreadedDataPlane {
   using Completion =
       std::function<void(std::uint64_t latency_ns, std::uint16_t path)>;
 
+  /// Called on the collector thread with every completed packet's full
+  /// stage-attributed span (requires cfg.record_stage_hist). The hook for
+  /// control planes that want stage evidence, not just scalars — feed
+  /// ctrl::SloMonitor::observe_span here. The observer must be safe to
+  /// call from the collector thread (SloMonitor's windows are).
+  using SpanObserver = std::function<void(const trace::SpanRecord&)>;
+
   explicit ThreadedDataPlane(ThreadedConfig cfg, Completion on_complete);
   ~ThreadedDataPlane();
 
@@ -98,6 +105,10 @@ class ThreadedDataPlane {
 
   /// Launch worker + collector threads (and start the backend, if any).
   void start();
+
+  /// Install the span observer. Must be called before start() — the
+  /// collector thread reads it unsynchronized.
+  void set_span_observer(SpanObserver obs) { span_observer_ = std::move(obs); }
 
   /// Submit one packet from the caller thread. Returns false if the
   /// buffer pool or the chosen path ring is momentarily full.
@@ -261,6 +272,7 @@ class ThreadedDataPlane {
   stats::LatencyHistogram service_hist_;
   stats::LatencyHistogram merge_wait_hist_;
   trace::ExemplarReservoir exemplars_;  ///< collector thread only
+  SpanObserver span_observer_;          ///< set before start(); collector calls
 };
 
 }  // namespace mdp::core

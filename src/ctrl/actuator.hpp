@@ -59,6 +59,13 @@ class Actuator {
   /// Hedging: desired replication factor for latency-critical copies.
   /// Default no-op — not every plane replicates.
   virtual void set_replicas(std::size_t r) { (void)r; }
+
+  /// Hedging: pin the hedge-fire deadline (ctrl::HedgeTimeoutController);
+  /// 0 restores the policy's own budget. Default no-op — not every plane
+  /// hedges.
+  virtual void set_hedge_timeout(std::uint64_t timeout_ns) {
+    (void)timeout_ns;
+  }
 };
 
 /// Adapter for the threaded plane. Caller-thread only, like pump().
@@ -98,6 +105,10 @@ class SimPlaneActuator : public Actuator {
   void flush_path(std::size_t path) override;
   void set_replicas(std::size_t r) override {
     dp_.scheduler().set_replication(r);
+  }
+  void set_hedge_timeout(std::uint64_t timeout_ns) override {
+    dp_.scheduler().set_hedge_timeout_ns(
+        static_cast<sim::TimeNs>(timeout_ns));
   }
 
   std::uint64_t probes_sent() const noexcept { return probes_sent_; }

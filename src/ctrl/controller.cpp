@@ -5,7 +5,11 @@
 namespace mdp::ctrl {
 
 Controller::Controller(Config cfg, Actuator& actuator, SloMonitor& monitor)
-    : cfg_(cfg), act_(actuator), mon_(monitor), hedger_(cfg.hedger) {
+    : cfg_(cfg),
+      act_(actuator),
+      mon_(monitor),
+      hedger_(cfg.hedger),
+      hedge_timeout_(cfg.hedge_timeout) {
   mon_.set_slo_target_ns(cfg_.slo_target_ns);
   paths_.resize(act_.num_paths());
   for (auto& p : paths_) p.fsm = PathStateMachine(cfg_.path);
@@ -35,13 +39,25 @@ void Controller::log_decision(Decision d) {
 void Controller::tick(std::uint64_t now_ns) {
   ++tick_;
   std::uint64_t worst_serving_p99 = 0;
+  std::uint64_t worst_serving_p50 = 0;
   std::uint64_t serving_samples = 0;
+  const char* worst_dominant_stage = "";
+  std::uint64_t worst_dominant_ns = 0;
 
   for (std::size_t p = 0; p < paths_.size(); ++p) {
     PathCtl& pc = paths_[p];
     const PathState before = pc.fsm.state();
     const WindowStats w = mon_.harvest(p);
     const std::uint64_t backlog = act_.path_backlog(p);
+
+    // Stage verdict: WHERE this window's latency went, when the feeder
+    // supplied spans (observe_span) rather than bare scalars.
+    const char* dominant_stage = "";
+    std::uint64_t dominant_ns = 0;
+    if (w.has_stage_evidence()) {
+      dominant_stage = trace::stage_name(w.dominant_stage());
+      dominant_ns = w.dominant_stage_ns();
+    }
 
     TickInput in;
     in.has_signal = w.samples >= cfg_.min_samples;
@@ -52,13 +68,37 @@ void Controller::tick(std::uint64_t now_ns) {
     in.breach = slo_breach || backlog_breach;
     if (in.breach) {
       // Backlog evidence needs no sample minimum — a silent blackhole's
-      // whole signature is completions that never arrive.
+      // whole signature is completions that never arrive. When both
+      // causes fired in the same window the label says so; a backlog-only
+      // quarantine is never mislabeled "slo_breach".
       in.has_signal = true;
-      pc.last_breach_reason = slo_breach ? "slo_breach" : "backlog_breach";
+      pc.last_breach_reason = slo_breach && backlog_breach
+                                  ? "slo+backlog_breach"
+                                  : slo_breach ? "slo_breach"
+                                               : "backlog_breach";
+      pc.last_dominant_stage = dominant_stage;
+      pc.last_dominant_ns = dominant_ns;
+    } else if (in.has_signal) {
+      // First clean window ends the breach episode: refresh the deferral
+      // budget for the next one.
+      pc.service_defers_used = 0;
     }
 
     switch (before) {
       case PathState::kActive:
+        // Stage-aware actuation: a service-dominated SLO breach means the
+        // path's core is slow, not its queue deep — masking just moves
+        // the load while the hedger can rescue the stragglers. Defer the
+        // quarantine for a bounded budget of ticks (counted) and let the
+        // hedge act; backlog evidence always counts immediately.
+        if (in.breach && slo_breach && !backlog_breach &&
+            cfg_.service_defer_ticks > 0 && w.has_stage_evidence() &&
+            w.dominant_stage() == trace::Stage::kService &&
+            pc.service_defers_used < cfg_.service_defer_ticks) {
+          in.breach = false;
+          ++pc.service_defers_used;
+          ++service_deferrals_;
+        }
         // Capacity guard: losing this path would leave fewer than
         // min_serving_paths serving. A contained tail beats a masked
         // fleet; the breach is suppressed (and counted), not queued.
@@ -117,6 +157,17 @@ void Controller::tick(std::uint64_t now_ns) {
       d.violations = w.violations;
       d.backlog = backlog;
       d.replicas = hedger_.replicas();
+      // A quarantine's stage verdict is the breaching window's — which may
+      // be a tick or two old by the time the FSM trips (hysteresis); the
+      // transition window itself can even be empty (masked tick).
+      if (after == PathState::kQuarantined) {
+        d.dominant_stage = pc.last_dominant_stage;
+        d.dominant_stage_ns = pc.last_dominant_ns;
+      } else {
+        d.dominant_stage = dominant_stage;
+        d.dominant_stage_ns = dominant_ns;
+      }
+      d.hedge_timeout_ns = hedge_timeout_.timeout_ns();
       log_decision(d);
     }
 
@@ -124,7 +175,12 @@ void Controller::tick(std::uint64_t now_ns) {
       act_.grant_probes(p, cfg_.probe_grant_per_tick);
 
     if (pc.fsm.state() == PathState::kActive) {
-      if (w.p99_ns > worst_serving_p99) worst_serving_p99 = w.p99_ns;
+      if (w.p99_ns > worst_serving_p99) {
+        worst_serving_p99 = w.p99_ns;
+        worst_serving_p50 = w.p50_ns;
+        worst_dominant_stage = dominant_stage;
+        worst_dominant_ns = dominant_ns;
+      }
       serving_samples += w.samples;
     }
   }
@@ -142,6 +198,32 @@ void Controller::tick(std::uint64_t now_ns) {
     d.p99_ns = worst_serving_p99;
     d.samples = serving_samples;
     d.replicas = after_r;
+    d.dominant_stage = worst_dominant_stage;
+    d.dominant_stage_ns = worst_dominant_ns;
+    d.hedge_timeout_ns = hedge_timeout_.timeout_ns();
+    log_decision(d);
+  }
+
+  // The fine lever: move the hedge-fire deadline from measured p50-vs-SLO
+  // headroom on the worst serving path. Actuated (and logged) only when
+  // the PID output survives the deadband.
+  const std::uint64_t t_before = hedge_timeout_.timeout_ns();
+  const std::uint64_t t_after =
+      hedge_timeout_.update(worst_serving_p50, worst_serving_p99,
+                            serving_samples, cfg_.slo_target_ns);
+  if (t_after != t_before && t_after != 0) {
+    act_.set_hedge_timeout(t_after);
+    Decision d;
+    d.tick = tick_;
+    d.now_ns = now_ns;
+    d.path = Decision::kHedge;
+    d.reason = "hedge_timeout";
+    d.p99_ns = worst_serving_p99;
+    d.samples = serving_samples;
+    d.replicas = hedger_.replicas();
+    d.dominant_stage = worst_dominant_stage;
+    d.dominant_stage_ns = worst_dominant_ns;
+    d.hedge_timeout_ns = t_after;
     log_decision(d);
   }
 }
@@ -173,6 +255,9 @@ std::string Controller::report_json() const {
   w.key("hedge_raises").value(hedger_.raises());
   w.key("hedge_lowers").value(hedger_.lowers());
   w.key("replicas").value(static_cast<std::uint64_t>(hedger_.replicas()));
+  w.key("hedge_timeout_ns").value(hedge_timeout_.timeout_ns());
+  w.key("hedge_timeout_adjustments").value(hedge_timeout_.adjustments());
+  w.key("service_deferrals").value(service_deferrals_);
   w.key("path_states").begin_array();
   for (const auto& p : paths_) w.value(path_state_name(p.fsm.state()));
   w.end_array();
@@ -196,6 +281,12 @@ std::string Controller::report_json() const {
     w.key("violations").value(d.violations);
     w.key("backlog").value(d.backlog);
     w.key("replicas").value(static_cast<std::uint64_t>(d.replicas));
+    if (d.dominant_stage[0] != '\0') {
+      w.key("dominant_stage").value(d.dominant_stage);
+      w.key("dominant_stage_ns").value(d.dominant_stage_ns);
+    }
+    if (d.hedge_timeout_ns != 0)
+      w.key("hedge_timeout_ns").value(d.hedge_timeout_ns);
     w.end_object();
   }
   w.end_array();
@@ -212,6 +303,13 @@ void Controller::register_stats(trace::StatsRegistry& reg) const {
                   [this] { return suppressed_quarantines_; });
   reg.add_counter("ctrl.hedge_raises", [this] { return hedger_.raises(); });
   reg.add_counter("ctrl.hedge_lowers", [this] { return hedger_.lowers(); });
+  reg.add_counter("ctrl.hedge_timeout_changes",
+                  [this] { return hedge_timeout_.adjustments(); });
+  reg.add_counter("ctrl.service_deferrals",
+                  [this] { return service_deferrals_; });
+  reg.add_gauge("ctrl.hedge_timeout_ns", [this] {
+    return static_cast<double>(hedge_timeout_.timeout_ns());
+  });
   reg.add_gauge("ctrl.replicas", [this] {
     return static_cast<double>(hedger_.replicas());
   });

@@ -51,6 +51,15 @@ struct Config {
   /// Never quarantine below this many ACTIVE paths.
   std::size_t min_serving_paths = 1;
   HedgerConfig hedger{};
+  HedgeTimeoutConfig hedge_timeout{};
+  /// Stage-aware actuation: when a breaching ACTIVE window's dominant
+  /// stage is `service` (the path's core is slow, not its queue deep),
+  /// masking the path doesn't fix anything hedging can't fix better —
+  /// defer the quarantine up to this many ticks per episode and let the
+  /// hedger act. 0 disables (every breach counts immediately). Requires
+  /// stage evidence (observe_span feeders); scalar-only windows are
+  /// never deferred.
+  std::uint64_t service_defer_ticks = 0;
   /// Oldest decisions are evicted past this bound.
   std::size_t decision_log_capacity = 256;
 };
@@ -71,6 +80,14 @@ struct Decision {
   std::uint64_t violations = 0;
   std::uint64_t backlog = 0;
   std::size_t replicas = 1;
+  /// Stage verdict: WHERE the window's latency went ("queue_wait",
+  /// "service", "reorder", ...) — empty when the feeder supplied no stage
+  /// evidence (plain observe()), and the latency mass it carried.
+  const char* dominant_stage = "";
+  std::uint64_t dominant_stage_ns = 0;
+  /// Hedge deadline in force when the decision was logged (0 = the
+  /// scheduler's own budget).
+  std::uint64_t hedge_timeout_ns = 0;
 };
 
 class Controller {
@@ -92,6 +109,18 @@ class Controller {
   std::uint64_t hedge_lowers() const noexcept { return hedger_.lowers(); }
   std::uint64_t suppressed_quarantines() const noexcept {
     return suppressed_quarantines_;
+  }
+  /// Hedge deadline currently actuated (0 = scheduler's own budget).
+  std::uint64_t hedge_timeout_ns() const noexcept {
+    return hedge_timeout_.timeout_ns();
+  }
+  std::uint64_t hedge_timeout_adjustments() const noexcept {
+    return hedge_timeout_.adjustments();
+  }
+  /// Breaches whose quarantine was deferred because the evidence said
+  /// `service` (stage-aware actuation; see Config::service_defer_ticks).
+  std::uint64_t service_deferrals() const noexcept {
+    return service_deferrals_;
   }
 
   const std::vector<Decision>& decisions() const noexcept {
@@ -115,7 +144,17 @@ class Controller {
  private:
   struct PathCtl {
     PathStateMachine fsm;
+    /// Why the path last breached: "slo_breach", "backlog_breach", or
+    /// "slo+backlog_breach" when both trigger conditions held in the same
+    /// window — the quarantine decision reports the cause that actually
+    /// fired, not a blanket label.
     const char* last_breach_reason = "slo_breach";
+    /// Stage verdict of the last breaching window (empty = no evidence).
+    const char* last_dominant_stage = "";
+    std::uint64_t last_dominant_ns = 0;
+    /// service_defer_ticks budget consumed in the current breach episode
+    /// (reset by the first clean window).
+    std::uint64_t service_defers_used = 0;
   };
 
   void log_decision(Decision d);
@@ -125,10 +164,12 @@ class Controller {
   Actuator& act_;
   SloMonitor& mon_;
   AdaptiveHedger hedger_;
+  HedgeTimeoutController hedge_timeout_;
   std::vector<PathCtl> paths_;
   std::vector<Decision> decisions_;
   std::uint64_t tick_ = 0;
   std::uint64_t suppressed_quarantines_ = 0;
+  std::uint64_t service_deferrals_ = 0;
   std::uint64_t decisions_evicted_ = 0;
 };
 

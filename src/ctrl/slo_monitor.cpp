@@ -10,6 +10,7 @@ SloMonitor::SloMonitor(std::size_t num_paths, std::uint64_t slo_target_ns)
   for (std::size_t p = 0; p < num_paths; ++p) {
     auto w = std::make_unique<PathWindow>();
     for (auto& b : w->buckets) b.store(0, std::memory_order_relaxed);
+    for (auto& s : w->stage_sum) s.store(0, std::memory_order_relaxed);
     paths_.push_back(std::move(w));
   }
 }
@@ -51,6 +52,17 @@ void SloMonitor::observe(std::uint16_t path,
   }
 }
 
+void SloMonitor::observe_span(std::uint16_t path,
+                              const trace::SpanRecord& span) noexcept {
+  if (path >= paths_.size()) return;
+  observe(path, span.e2e_ns());
+  const auto stages = span.stages();
+  PathWindow& w = *paths_[path];
+  for (std::size_t i = 0; i < trace::kNumStages; ++i)
+    if (stages[i])
+      w.stage_sum[i].fetch_add(stages[i], std::memory_order_relaxed);
+}
+
 WindowStats SloMonitor::harvest(std::size_t path) noexcept {
   WindowStats out;
   if (path >= paths_.size()) return out;
@@ -63,14 +75,24 @@ WindowStats SloMonitor::harvest(std::size_t path) noexcept {
   }
   out.sum_ns = w.sum.exchange(0, std::memory_order_relaxed);
   out.violations = w.violations.exchange(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < trace::kNumStages; ++i)
+    out.stage_sum_ns[i] = w.stage_sum[i].exchange(0,
+                                                  std::memory_order_relaxed);
   if (out.samples == 0) return out;
-  // p99 = upper edge of the bucket where the CDF crosses 0.99. The +99
-  // rounding keeps tiny windows sane (rank is at least 1, at most n).
-  const std::uint64_t rank = (out.samples * 99 + 99) / 100;
+  // Quantiles = upper edge of the bucket where the CDF crosses the rank.
+  // The p99 rank's +99 rounding keeps tiny windows sane (rank is at least
+  // 1, at most n); the median uses the upper-middle rank.
+  const std::uint64_t rank50 = (out.samples + 1) / 2;
+  const std::uint64_t rank99 = (out.samples * 99 + 99) / 100;
   std::uint64_t seen = 0;
+  bool have_p50 = false;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += counts[i];
-    if (seen >= rank) {
+    if (!have_p50 && seen >= rank50) {
+      out.p50_ns = bucket_upper_edge(i);
+      have_p50 = true;
+    }
+    if (seen >= rank99) {
       out.p99_ns = bucket_upper_edge(i);
       break;
     }

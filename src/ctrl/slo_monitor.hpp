@@ -25,12 +25,14 @@
 // 8x the SLO" vs "tail is fine".
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "trace/registry.hpp"
+#include "trace/span.hpp"
 
 namespace mdp::ctrl {
 
@@ -39,13 +41,47 @@ struct WindowStats {
   std::uint64_t samples = 0;
   std::uint64_t violations = 0;  ///< observations above the SLO target
   std::uint64_t sum_ns = 0;
+  std::uint64_t p50_ns = 0;      ///< bucket-quantized window median
   std::uint64_t p99_ns = 0;      ///< bucket-quantized window p99
   std::uint64_t max_ns = 0;      ///< upper edge of the top non-empty bucket
+  /// Per-stage latency mass observed this window (observe_span feeders
+  /// only; all-zero when the plane feeds plain scalar latencies). Indexed
+  /// by trace::stage_at(i).
+  std::array<std::uint64_t, trace::kNumStages> stage_sum_ns{};
 
   double violation_fraction() const noexcept {
     return samples ? static_cast<double>(violations) /
                          static_cast<double>(samples)
                    : 0.0;
+  }
+
+  /// True when this window carries stage-attributed evidence.
+  bool has_stage_evidence() const noexcept {
+    for (std::uint64_t s : stage_sum_ns)
+      if (s) return true;
+    return false;
+  }
+
+  /// The stage carrying the most latency mass this window (ties break to
+  /// the earliest pipeline stage). Only meaningful with stage evidence.
+  trace::Stage dominant_stage() const noexcept {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < trace::kNumStages; ++i)
+      if (stage_sum_ns[i] > stage_sum_ns[best]) best = i;
+    return trace::stage_at(best);
+  }
+
+  std::uint64_t dominant_stage_ns() const noexcept {
+    return stage_sum_ns[static_cast<std::size_t>(dominant_stage())];
+  }
+
+  /// Fraction of the window's total stage mass in the dominant stage.
+  double dominant_share() const noexcept {
+    std::uint64_t total = 0;
+    for (std::uint64_t s : stage_sum_ns) total += s;
+    return total ? static_cast<double>(dominant_stage_ns()) /
+                       static_cast<double>(total)
+                 : 0.0;
   }
 };
 
@@ -59,6 +95,15 @@ class SloMonitor {
   /// Record one completed-packet latency on `path`. Thread-safe, lock-free,
   /// relaxed atomics only; safe to call concurrently with harvest().
   void observe(std::uint16_t path, std::uint64_t latency_ns) noexcept;
+
+  /// Record one completed packet WITH stage attribution: the span's e2e
+  /// latency lands in the scalar window (exactly like observe()) and each
+  /// stage's duration is added to the path's per-stage sums, so harvest()
+  /// can say not just THAT the window breached but WHERE the time went
+  /// (queue wait vs service vs reorder). Same thread-safety contract as
+  /// observe(): relaxed atomics only, safe against a concurrent harvest().
+  void observe_span(std::uint16_t path,
+                    const trace::SpanRecord& span) noexcept;
 
   /// Drain `path`'s window and return its summary. Controller thread only
   /// (one harvester); concurrent observe() calls land in this window or
@@ -86,6 +131,7 @@ class SloMonitor {
     std::atomic<std::uint64_t> buckets[kBuckets];
     std::atomic<std::uint64_t> sum{0};
     std::atomic<std::uint64_t> violations{0};
+    std::atomic<std::uint64_t> stage_sum[trace::kNumStages];
     std::atomic<std::uint64_t> lifetime_samples{0};
     std::atomic<std::uint64_t> lifetime_violations{0};
   };

@@ -138,8 +138,17 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   std::uint64_t measured_last_ns = 0;
   a.dp->set_egress([&](net::PacketPtr pkt) {
     const auto& an = pkt->anno();
-    if (slo_mon)
-      slo_mon->observe(an.path_id, an.egress_ns - an.ingress_ns);
+    if (slo_mon) {
+      // Prefer stage evidence when the tracer stamped a span (post-warmup
+      // with cfg.trace): the controller's decisions then carry a
+      // dominant-stage verdict, not just a scalar.
+#if MDP_TRACE_ENABLED
+      if (an.span.active)
+        slo_mon->observe_span(an.path_id, an.span);
+      else
+#endif
+        slo_mon->observe(an.path_id, an.egress_ns - an.ingress_ns);
+    }
     if (a.dp->egress_count() <= cfg.warmup_packets) return;
     if (tracer && !tracer->enabled()) tracer->set_enabled(true);
     sim::TimeNs lat = an.egress_ns - an.ingress_ns;

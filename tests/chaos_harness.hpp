@@ -1,0 +1,466 @@
+// Chaos harness: a seeded, single-threaded soak rig that closes the whole
+// loop the library exists for — generation -> per-path queues -> loopback
+// wire with fault lanes (drop / dup / delay / reorder) -> dedup ->
+// reorder -> egress — with a live mdp::ctrl::Controller observing every
+// egress span (SloMonitor::observe_span) and actuating admission masks,
+// drains, probe grants, replication, and the PID hedge deadline back onto
+// the rig.
+//
+// Everything is driven by one logical clock (1 iteration == 1 wire tick ==
+// 1000 ns of sim time) and one splitmix64 stream, so a given
+// ChaosScenarioConfig yields the exact same packet stream, fault pattern,
+// controller decision log, and egress order every run — the determinism
+// test diffs two runs byte for byte. Bottlenecks are injectable per stage:
+//   - a fault phase with delay_ticks makes the WIRE slow -> the egress
+//     spans show `service` as the dominant stage;
+//   - a drain_per_iter below the offered per-path rate makes the rig QUEUE
+//     deep -> the spans show `queue_wait`;
+// which is what lets test_chaos_soak assert that the controller's
+// dominant-stage verdict matches the bottleneck that was actually injected.
+//
+// Hedging: packets dispatched as a single copy are tracked; once the
+// controller actuates a hedge deadline (set_hedge_timeout), any tracked
+// packet older than the deadline whose first copy has not egressed gets
+// one clone on the next admissible path (Deduplicator::add_expected keeps
+// exactly-once intact).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dedup.hpp"
+#include "core/reorder.hpp"
+#include "ctrl/controller.hpp"
+#include "io/loopback_backend.hpp"
+#include "net/packet_builder.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/span.hpp"
+
+namespace mdp::chaos {
+
+/// A fault lane applied to `path` for iterations [from_iter, to_iter).
+/// Outside its window the path reverts to a clean wire, so scenarios can
+/// script fault storms that come and go (and the admission flips they
+/// provoke from the controller).
+struct FaultPhase {
+  std::uint64_t from_iter = 0;
+  std::uint64_t to_iter = 0;
+  std::uint16_t path = 0;
+  io::LoopbackFaults faults{};
+};
+
+struct ChaosScenarioConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t iterations = 100'000;
+  std::uint32_t flows = 4;
+  std::size_t num_paths = 2;
+  /// Packets generated per iteration (each picks its flow from the RNG).
+  std::uint64_t packets_per_iter = 1;
+  /// Dispatch mode. false (default): round-robin spraying across
+  /// admissible paths — the multipath data plane's normal mode, where a
+  /// slow path surfaces as REORDER dwell on its siblings (head-of-line
+  /// blocking at the resequencer). true: flow % num_paths affinity, which
+  /// keeps each path's trouble in its own spans — what the attribution
+  /// scenarios need to pin a bottleneck on the path that caused it.
+  bool flow_affinity = false;
+  /// Per-path rig-queue drain budget per iteration; sized per num_paths
+  /// (missing entries default to 4). Below the path's offered rate this
+  /// is the queue_wait bottleneck injector.
+  std::vector<std::size_t> drain_per_iter{};
+  std::vector<FaultPhase> phases{};
+  ctrl::Config ctrl{};
+  std::uint64_t ctrl_tick_every = 64;  ///< iterations between ticks
+  std::uint64_t reorder_timeout_ns = 200'000;
+  std::size_t pool_size = 16384;
+  std::size_t wire_depth = 8192;
+};
+
+struct ChaosResult {
+  std::uint64_t generated = 0;       ///< (flow, seq) pairs offered
+  std::uint64_t copies_sent = 0;     ///< frames handed to rig queues
+  std::uint64_t hedges_sent = 0;
+  std::uint64_t arrived_unique = 0;  ///< (flow, seq) with >= 1 survivor
+  std::uint64_t egressed = 0;
+  std::uint64_t duplicate_egress = 0;
+  std::uint64_t order_violations = 0;
+  // Pool audit at quiesce.
+  std::uint64_t pool_in_use = 0;
+  std::uint64_t pool_allocs = 0;
+  std::uint64_t pool_recycles = 0;
+  // Wire fault counters.
+  std::uint64_t wire_dropped = 0;
+  std::uint64_t wire_duplicated = 0;
+  std::uint64_t wire_reordered = 0;
+  // Controller outcome.
+  std::uint64_t quarantines = 0;
+  std::uint64_t reinstatements = 0;
+  std::uint64_t hedge_timeout_ns = 0;
+  std::uint64_t hedge_timeout_adjustments = 0;
+  std::uint64_t service_deferrals = 0;
+  std::vector<ctrl::Decision> decisions;
+  std::string ctrl_report;  ///< report_json(): the byte-identity artifact
+  /// Egress order as (flow << 32 | seq), for run-to-run identity checks.
+  std::vector<std::uint64_t> delivered_log;
+};
+
+class ChaosRig {
+ public:
+  explicit ChaosRig(ChaosScenarioConfig cfg) : cfg_(std::move(cfg)) {
+    if (cfg_.num_paths == 0) cfg_.num_paths = 1;
+    cfg_.drain_per_iter.resize(cfg_.num_paths, 4);
+    if (cfg_.ctrl.slo_target_ns == 0) cfg_.ctrl.slo_target_ns = 10'000;
+  }
+
+  ChaosResult run() {
+    net::PacketPool pool(cfg_.pool_size, 1024, /*allow_growth=*/false);
+    sim::EventQueue eq;
+    io::LoopbackConfig wire_cfg;
+    wire_cfg.queue_depth = cfg_.wire_depth;
+    wire_cfg.seed = cfg_.seed;
+    auto [tx, rx] = io::LoopbackBackend::make_pair(wire_cfg);
+
+    core::Deduplicator dedup;
+    ChaosResult res;
+    std::map<std::pair<std::uint32_t, std::uint64_t>, int> egress_count;
+    std::vector<std::uint64_t> last_seq(cfg_.flows, 0);
+    std::vector<bool> any_seq(cfg_.flows, false);
+    core::ReorderBuffer reorder(
+        eq, {true, sim::TimeNs(cfg_.reorder_timeout_ns)},
+        [&](net::PacketPtr pkt) {
+          const auto& a = pkt->anno();
+          const int n = ++egress_count[{a.flow_id, a.seq}];
+          if (n > 1) ++res.duplicate_egress;
+          if (any_seq[a.flow_id] && a.seq <= last_seq[a.flow_id])
+            ++res.order_violations;
+          last_seq[a.flow_id] = a.seq;
+          any_seq[a.flow_id] = true;
+          ++res.egressed;
+          res.delivered_log.push_back((std::uint64_t{a.flow_id} << 32) |
+                                      a.seq);
+          // Stage-attributed span from the rig's stamps: generation ->
+          // queue (ingress/dispatch), tx onto the wire (service start),
+          // rx off the wire (service end / merge), reorder emit (egress).
+          trace::SpanRecord sp;
+          sp.ingress_ns = a.ingress_ns;
+          sp.dispatch_ns = a.ingress_ns;
+          sp.service_start_ns = a.dispatch_ns;
+          sp.service_end_ns = a.egress_ns;
+          sp.chain_done_ns = a.egress_ns;
+          sp.merge_ns = a.egress_ns;
+          sp.egress_ns = static_cast<std::uint64_t>(eq.now());
+          sp.flow_id = a.flow_id;
+          sp.seq = a.seq;
+          sp.path_id = a.path_id;
+          sp.active = true;
+          mon_->observe_span(a.path_id, sp);
+        });
+
+    mon_ = std::make_unique<ctrl::SloMonitor>(cfg_.num_paths,
+                                              cfg_.ctrl.slo_target_ns);
+    RigActuator act(*this, *tx);
+    ctrl::Controller controller(cfg_.ctrl, act, *mon_);
+
+    queues_.clear();
+    queues_.resize(cfg_.num_paths);
+    admission_.assign(cfg_.num_paths, ctrl::Admission::kEnabled);
+    probe_credits_.assign(cfg_.num_paths, 0);
+    replicas_ = 1;
+    hedge_timeout_ns_ = 0;
+    rr_ = 0;
+    rng_ = cfg_.seed ? cfg_.seed : 0x9e3779b97f4a7c15ULL;
+
+    std::vector<std::uint64_t> next_seq(cfg_.flows, 0);
+    std::deque<Outstanding> outstanding;
+    std::vector<net::PacketPtr> txvec;
+    txvec.reserve(64);
+
+    auto drain_rx = [&] {
+      net::PacketPtr got[64];
+      std::size_t n;
+      while ((n = rx->rx_burst(std::span<net::PacketPtr>(got, 64))) > 0) {
+        std::uint64_t keys[64];
+        bool first[64];
+        for (std::size_t i = 0; i < n; ++i) {
+          auto& a = got[i]->anno();
+          a.egress_ns = static_cast<std::uint64_t>(eq.now());
+          keys[i] = core::Deduplicator::key(a.flow_id, a.seq);
+        }
+        dedup.accept_batch({keys, n}, {first, n});
+        for (std::size_t i = 0; i < n; ++i)
+          if (!first[i]) got[i].reset();
+        reorder.submit_batch({got, n});
+        for (std::size_t i = 0; i < n; ++i) got[i].reset();
+      }
+    };
+
+    const std::uint64_t total_iters = cfg_.iterations;
+    // Quiesce bound: generously past anything a staged wire + deep queue
+    // + reorder timeout can strand.
+    const std::uint64_t hard_stop =
+        total_iters + cfg_.pool_size + cfg_.reorder_timeout_ns / 1000 + 256;
+    for (std::uint64_t iter = 0; iter < hard_stop; ++iter) {
+      const std::uint64_t now = iter * 1'000;
+      eq.run_until(sim::TimeNs(now));
+
+      for (const auto& ph : cfg_.phases) {
+        if (iter == ph.from_iter) tx->set_path_faults(ph.path, ph.faults);
+        if (iter == ph.to_iter) tx->set_path_faults(ph.path, {});
+      }
+
+      const bool generating = iter < total_iters;
+      if (generating) {
+        for (std::uint64_t g = 0; g < cfg_.packets_per_iter; ++g) {
+          const std::uint32_t flow =
+              static_cast<std::uint32_t>(next_u64() % cfg_.flows);
+          const std::uint64_t seq = next_seq[flow]++;
+          const std::uint64_t key = core::Deduplicator::key(flow, seq);
+          const std::size_t copies =
+              std::min<std::size_t>(replicas_, cfg_.num_paths);
+          dedup.expect(key, static_cast<std::uint8_t>(copies), eq.now());
+          ++res.generated;
+          std::uint16_t first_path = 0;
+          for (std::size_t c = 0; c < copies; ++c) {
+            const std::uint16_t path = pick_path(flow);
+            if (c == 0) first_path = path;
+            net::PacketPtr pkt = make_frame(
+                pool, flow, seq, path, static_cast<std::uint8_t>(c));
+            if (!pkt) {
+              // Pool exhausted: account the missing copy so dedup can
+              // still retire the key. Scenarios size the pool to make
+              // this unreachable; the counter keeps it honest.
+              dedup.cancel_one(key);
+              ++pool_exhausted_;
+              continue;
+            }
+            pkt->anno().ingress_ns = now;
+            queues_[path].push_back(std::move(pkt));
+            ++res.copies_sent;
+          }
+          if (copies == 1)
+            outstanding.push_back({key, flow, seq, now, first_path, false});
+        }
+      }
+
+      // Hedge sweep: rescue tracked single-copy packets older than the
+      // actuated deadline whose first copy has not egressed.
+      while (!outstanding.empty() &&
+             (dedup.completed(outstanding.front().key) ||
+              now - outstanding.front().gen_ns > 2 * cfg_.reorder_timeout_ns))
+        outstanding.pop_front();
+      if (hedge_timeout_ns_ > 0) {
+        for (auto& o : outstanding) {
+          if (now - o.gen_ns <= hedge_timeout_ns_) break;  // gen order
+          if (o.hedged || dedup.completed(o.key)) continue;
+          const std::uint16_t alt =
+              cfg_.num_paths > 1
+                  ? static_cast<std::uint16_t>((o.path + 1) % cfg_.num_paths)
+                  : o.path;
+          net::PacketPtr copy = make_frame(pool, o.flow, o.seq, alt, 1);
+          if (!copy) {
+            ++pool_exhausted_;
+            break;
+          }
+          copy->anno().ingress_ns = o.gen_ns;
+          dedup.add_expected(o.key);
+          queues_[alt].push_back(std::move(copy));
+          o.hedged = true;
+          ++res.hedges_sent;
+          ++res.copies_sent;
+        }
+      }
+
+      // One wire tick per iteration: a single tx_burst carrying every
+      // path's drain budget (fault lanes select on anno().path_id), or a
+      // bare advance when there is nothing to send.
+      txvec.clear();
+      for (std::size_t p = 0; p < cfg_.num_paths; ++p) {
+        for (std::size_t k = 0;
+             k < cfg_.drain_per_iter[p] && !queues_[p].empty(); ++k) {
+          queues_[p].front()->anno().dispatch_ns = now;
+          txvec.push_back(std::move(queues_[p].front()));
+          queues_[p].pop_front();
+        }
+      }
+      if (txvec.empty()) {
+        if (!generating && tx->in_flight() > 0) tx->flush();
+        tx->advance(1);
+      } else {
+        const std::size_t sent = tx->tx_burst(
+            std::span<net::PacketPtr>(txvec.data(), txvec.size()));
+        // Wire full: unconsumed frames go back to the front of their
+        // queues, preserving per-path order.
+        for (std::size_t i = txvec.size(); i > sent; --i) {
+          net::PacketPtr& p = txvec[i - 1];
+          queues_[p->anno().path_id].push_front(std::move(p));
+        }
+      }
+      drain_rx();
+
+      if ((iter + 1) % cfg_.ctrl_tick_every == 0) controller.tick(now);
+      if ((iter + 1) % 4096 == 0)
+        dedup.sweep(eq.now(), sim::TimeNs(4 * cfg_.reorder_timeout_ns));
+
+      if (!generating && tx->in_flight() == 0 && queues_empty() &&
+          reorder.buffered() == 0)
+        break;
+    }
+
+    eq.run();  // outstanding reorder timers fire
+    drain_rx();
+    reorder.flush_all();
+
+    res.arrived_unique = egress_count.size();
+    res.pool_in_use = pool.in_use();
+    res.pool_allocs = pool.total_allocs();
+    res.pool_recycles = pool.total_recycles();
+    res.wire_dropped = tx->dropped();
+    res.wire_duplicated = tx->duplicated();
+    res.wire_reordered = tx->reordered();
+    res.quarantines = controller.quarantines();
+    res.reinstatements = controller.reinstatements();
+    res.hedge_timeout_ns = controller.hedge_timeout_ns();
+    res.hedge_timeout_adjustments = controller.hedge_timeout_adjustments();
+    res.service_deferrals = controller.service_deferrals();
+    res.decisions = controller.decisions();
+    res.ctrl_report = controller.report_json();
+    mon_.reset();
+    return res;
+  }
+
+  std::uint64_t pool_exhaustions() const noexcept { return pool_exhausted_; }
+
+ private:
+  struct Outstanding {
+    std::uint64_t key;
+    std::uint32_t flow;
+    std::uint64_t seq;
+    std::uint64_t gen_ns;
+    std::uint16_t path;
+    bool hedged;
+  };
+
+  /// The controller's write interface onto the rig: admission + probe
+  /// credits gate pick_path(), backlog is rig queue depth, flush pushes
+  /// the staged wire, replication and the hedge deadline feed generation.
+  class RigActuator final : public ctrl::Actuator {
+   public:
+    RigActuator(ChaosRig& rig, io::LoopbackBackend& wire)
+        : rig_(rig), wire_(wire) {}
+    std::size_t num_paths() const override { return rig_.cfg_.num_paths; }
+    void set_admission(std::size_t path, ctrl::Admission a) override {
+      rig_.admission_[path] = a;
+    }
+    void grant_probes(std::size_t path, std::uint64_t n) override {
+      rig_.probe_credits_[path] += n;
+    }
+    std::uint64_t path_backlog(std::size_t path) const override {
+      return rig_.queues_[path].size();
+    }
+    void flush_path(std::size_t) override { wire_.flush(); }
+    void set_replicas(std::size_t r) override { rig_.replicas_ = r; }
+    void set_hedge_timeout(std::uint64_t t) override {
+      rig_.hedge_timeout_ns_ = t;
+    }
+
+   private:
+    ChaosRig& rig_;
+    io::LoopbackBackend& wire_;
+  };
+
+  static net::PacketPtr make_frame(net::PacketPool& pool,
+                                   std::uint32_t flow_id, std::uint64_t seq,
+                                   std::uint16_t path,
+                                   std::uint8_t copy_index) {
+    net::BuildSpec spec;
+    spec.flow = {0x0a000001 + flow_id, 0x0a000002,
+                 static_cast<std::uint16_t>(1024 + flow_id), 4789, 0};
+    spec.payload_len = 64;
+    spec.payload_fill = static_cast<std::uint8_t>(seq);
+    net::PacketPtr pkt = net::build_udp(pool, spec);
+    if (!pkt) return pkt;
+    auto& a = pkt->anno();
+    a.flow_id = flow_id;
+    a.seq = seq;
+    a.path_id = path;
+    a.copy_index = copy_index;
+    a.is_replica = copy_index > 0;
+    a.flow_hash = net::hash_flow(spec.flow);
+    return pkt;
+  }
+
+  bool admissible(std::size_t p) const {
+    switch (admission_[p]) {
+      case ctrl::Admission::kEnabled: return true;
+      case ctrl::Admission::kProbeOnly: return probe_credits_[p] > 0;
+      case ctrl::Admission::kDisabled: return false;
+    }
+    return false;
+  }
+
+  void consume_credit(std::size_t p) {
+    if (admission_[p] == ctrl::Admission::kProbeOnly &&
+        probe_credits_[p] > 0)
+      --probe_credits_[p];
+  }
+
+  /// Path selection; probe credits are consumed one per placement. Falls
+  /// back to the full set if everything is masked (same belt-and-braces
+  /// rule as ThreadedDataPlane::pick_path).
+  std::uint16_t pick_path(std::uint32_t flow) {
+    if (cfg_.flow_affinity) {
+      const std::size_t home = flow % cfg_.num_paths;
+      for (std::size_t off = 0; off < cfg_.num_paths; ++off) {
+        const std::size_t p = (home + off) % cfg_.num_paths;
+        if (admissible(p)) {
+          consume_credit(p);
+          return static_cast<std::uint16_t>(p);
+        }
+      }
+      return static_cast<std::uint16_t>(home);  // all masked: serve anyway
+    }
+    bool any = false;
+    for (std::size_t p = 0; p < cfg_.num_paths; ++p)
+      if (admissible(p)) { any = true; break; }
+    for (std::size_t tries = 0; tries < cfg_.num_paths; ++tries) {
+      const std::size_t p = rr_++ % cfg_.num_paths;
+      if (!any || admissible(p)) {
+        consume_credit(p);
+        return static_cast<std::uint16_t>(p);
+      }
+    }
+    return static_cast<std::uint16_t>(rr_++ % cfg_.num_paths);
+  }
+
+  bool queues_empty() const {
+    for (const auto& q : queues_)
+      if (!q.empty()) return false;
+    return true;
+  }
+
+  std::uint64_t next_u64() {  // splitmix64
+    std::uint64_t z = (rng_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  ChaosScenarioConfig cfg_;
+  std::unique_ptr<ctrl::SloMonitor> mon_;
+  std::vector<std::deque<net::PacketPtr>> queues_;
+  std::vector<ctrl::Admission> admission_;
+  std::vector<std::uint64_t> probe_credits_;
+  std::size_t replicas_ = 1;
+  std::uint64_t hedge_timeout_ns_ = 0;
+  std::size_t rr_ = 0;
+  std::uint64_t rng_ = 1;
+  std::uint64_t pool_exhausted_ = 0;
+};
+
+}  // namespace mdp::chaos

@@ -210,6 +210,56 @@ TEST_P(BackendConformance, TxBurstConsumesPrefixOnly) {
   EXPECT_EQ(h->audit_pool().in_use(), 0u) << "zero-leak quiesce";
 }
 
+TEST_P(BackendConformance, ZeroCapacityAndIdleWireEdgeCases) {
+  // The degenerate calls a driver loop makes constantly — empty tx
+  // bursts, zero-capacity rx bursts, flush/advance on an idle wire — must
+  // all be well-defined no-ops: no frames produced, no ownership taken,
+  // no pool movement. A backend that misbehaves here corrupts the first
+  // quiet pump() after quiesce.
+  auto h = GetParam().second();
+  ASSERT_TRUE(h->dut->start());
+
+  // tx_burst over an empty span: nothing consumed, nothing counted.
+  const std::uint64_t tx_before = h->dut->tx_packets();
+  EXPECT_EQ(h->dut->tx_burst(std::span<net::PacketPtr>()), 0u);
+  EXPECT_EQ(h->dut->tx_packets(), tx_before);
+
+  // rx_burst with capacity 0 on an IDLE backend: no frames, even from a
+  // generator backend that could always produce one.
+  net::PacketPtr none[1];
+  EXPECT_EQ(h->dut->rx_burst(std::span<net::PacketPtr>(none, 0)), 0u);
+  EXPECT_EQ(h->dut->rx_burst(std::span<net::PacketPtr>(none, 0)), 0u)
+      << "zero-capacity rx must stay a no-op on repeat";
+
+  // Idle-wire maintenance calls: flush and advance with nothing staged.
+  if (h->dut_loop) {
+    EXPECT_EQ(h->dut_loop->flush(), 0u);
+    h->dut_loop->advance(16);
+    EXPECT_EQ(h->dut_loop->in_flight(), 0u);
+  }
+  if (h->peer_loop) EXPECT_EQ(h->peer_loop->flush(), 0u);
+
+  // Now prime one frame and confirm zero-capacity rx STILL returns
+  // nothing (capacity, not availability, is the bound) and doesn't
+  // disturb the frame, which a real burst then picks up intact.
+  if (h->injectable()) {
+    std::vector<net::PacketPtr> frames;
+    frames.push_back(make_frame(h->audit_pool(), 5, 99, 0));
+    ASSERT_EQ(h->inject(frames), 1u);
+    h->settle();
+    EXPECT_EQ(h->dut->rx_burst(std::span<net::PacketPtr>(none, 0)), 0u);
+    net::PacketPtr got[4];
+    const std::size_t n =
+        h->dut->rx_burst(std::span<net::PacketPtr>(got, 4));
+    ASSERT_EQ(n, 1u);
+    ASSERT_TRUE(got[0]);
+    EXPECT_EQ(got[0]->anno().flow_id, 5u);
+    EXPECT_EQ(got[0]->anno().seq, 99u);
+    got[0].reset();
+  }
+  EXPECT_EQ(h->audit_pool().in_use(), 0u) << "zero-leak quiesce";
+}
+
 TEST_P(BackendConformance, RoundTripConservesPacketsAndPool) {
   auto h = GetParam().second();
   ASSERT_TRUE(h->dut->start());

@@ -1,0 +1,229 @@
+// Chaos/soak suite: the whole stack — queues, faulty wire, dedup, reorder,
+// SLO monitor, controller, hedging — run for 100k+ packets per seed under
+// scripted fault storms, with the global invariants asserted at quiesce:
+//
+//   exactly-once   every (flow, seq) egresses at most once
+//   in-order       per-flow egress seqs strictly increase
+//   zero leaks     pool in_use == 0 and total_allocs == total_recycles
+//   sane log       every controller decision uses a known reason, a legal
+//                  FSM edge, and a known stage name
+//   attribution    the dominant-stage verdict on the first quarantine
+//                  matches the bottleneck the scenario injected
+//   determinism    same seed -> byte-identical decision log and egress
+//                  order
+//
+// See tests/chaos_harness.hpp for the rig itself.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "chaos_harness.hpp"
+
+namespace mdp {
+namespace {
+
+using chaos::ChaosResult;
+using chaos::ChaosRig;
+using chaos::ChaosScenarioConfig;
+
+// ---------------------------------------------------------------------------
+// Shared invariant checks.
+
+void expect_core_invariants(const ChaosResult& r, const char* label) {
+  EXPECT_EQ(r.duplicate_egress, 0u) << label << ": double egress";
+  EXPECT_EQ(r.order_violations, 0u) << label << ": per-flow order broken";
+  EXPECT_EQ(r.pool_in_use, 0u) << label << ": leaked frames at quiesce";
+  EXPECT_EQ(r.pool_allocs, r.pool_recycles)
+      << label << ": alloc/recycle imbalance";
+  EXPECT_LE(r.egressed, r.copies_sent) << label;
+  EXPECT_GT(r.egressed, 0u) << label << ": nothing made it through";
+}
+
+void expect_decision_log_sane(const ChaosResult& r, const char* label) {
+  static const std::set<std::string> kReasons = {
+      "slo_breach",     "backlog_breach", "slo+backlog_breach",
+      "probe_breach",   "drain_start",    "drained",
+      "probation_passed", "hedge_raise",  "hedge_lower",
+      "hedge_timeout"};
+  static const std::set<std::string> kStages = {
+      "", "schedule", "queue_wait", "service", "chain", "merge", "reorder"};
+  for (const auto& d : r.decisions) {
+    EXPECT_TRUE(kReasons.count(d.reason))
+        << label << ": unknown reason '" << d.reason << "'";
+    EXPECT_TRUE(kStages.count(d.dominant_stage))
+        << label << ": unknown stage '" << d.dominant_stage << "'";
+    if (d.path == ctrl::Decision::kHedge) continue;
+    // Legal FSM edges, and the reason vocabulary glued to each edge.
+    using S = ctrl::PathState;
+    const bool legal =
+        (d.from == S::kActive && d.to == S::kQuarantined) ||
+        (d.from == S::kReinstated && d.to == S::kQuarantined) ||
+        (d.from == S::kQuarantined && d.to == S::kDraining) ||
+        (d.from == S::kDraining && d.to == S::kReinstated) ||
+        (d.from == S::kReinstated && d.to == S::kActive);
+    EXPECT_TRUE(legal) << label << ": illegal edge "
+                       << ctrl::path_state_name(d.from) << " -> "
+                       << ctrl::path_state_name(d.to);
+  }
+}
+
+/// First quarantine decision in the log, or nullptr.
+const ctrl::Decision* first_quarantine(const ChaosResult& r) {
+  for (const auto& d : r.decisions)
+    if (d.path != ctrl::Decision::kHedge &&
+        d.to == ctrl::PathState::kQuarantined)
+      return &d;
+  return nullptr;
+}
+
+ctrl::Config soak_ctrl() {
+  ctrl::Config c;
+  c.slo_target_ns = 10'000;  // 10 logical iterations
+  c.violation_threshold = 0.25;
+  c.min_samples = 16;
+  c.path.quarantine_after = 2;
+  c.path.probation_probes = 8;
+  c.probe_grant_per_tick = 8;
+  c.min_serving_paths = 1;
+  c.hedger.enabled = false;
+  c.hedge_timeout.enabled = false;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Attribution: the dominant-stage verdict matches the injected bottleneck.
+
+TEST(ChaosAttribution, WireDelayYieldsServiceDominatedQuarantine) {
+  ChaosScenarioConfig cfg;
+  cfg.seed = 7;
+  cfg.iterations = 20'000;
+  cfg.packets_per_iter = 1;
+  cfg.drain_per_iter = {8, 8};  // queues never build: wire is the bottleneck
+  cfg.flow_affinity = true;     // keep the slow path's pain in its own spans
+  cfg.ctrl = soak_ctrl();
+  // Path 1's last mile turns slow mid-run: 40 wire ticks = 40k ns >> SLO.
+  cfg.phases.push_back({2'000, 18'000, 1, {.delay_ticks = 40}});
+
+  ChaosResult r = ChaosRig(cfg).run();
+  expect_core_invariants(r, "service");
+  expect_decision_log_sane(r, "service");
+  ASSERT_GT(r.quarantines, 0u) << "the slow path must get caught";
+  const ctrl::Decision* q = first_quarantine(r);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->path, 1u) << "the delayed path is the one quarantined";
+  EXPECT_STREQ(q->reason, "slo_breach");
+  EXPECT_STREQ(q->dominant_stage, "service")
+      << "wire delay must be attributed to the service stage";
+  EXPECT_GT(q->dominant_stage_ns, 0u);
+}
+
+TEST(ChaosAttribution, DrainStarvationYieldsQueueWaitDominatedQuarantine) {
+  ChaosScenarioConfig cfg;
+  cfg.seed = 11;
+  cfg.iterations = 20'000;
+  cfg.packets_per_iter = 3;      // ~1.5 pkts/iter per path
+  cfg.drain_per_iter = {8, 1};   // path 1 drains slower than it fills
+  cfg.reorder_timeout_ns = 1'000'000;  // outlast the deepest queue dwell
+  cfg.flow_affinity = true;      // keep the starved queue in its own spans
+  cfg.ctrl = soak_ctrl();
+
+  ChaosResult r = ChaosRig(cfg).run();
+  expect_core_invariants(r, "queue");
+  expect_decision_log_sane(r, "queue");
+  ASSERT_GT(r.quarantines, 0u) << "the starved path must get caught";
+  const ctrl::Decision* q = first_quarantine(r);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->path, 1u) << "the starved path is the one quarantined";
+  EXPECT_STREQ(q->dominant_stage, "queue_wait")
+      << "drain starvation must be attributed to queue wait";
+  EXPECT_GT(q->dominant_stage_ns, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The soak sweep: >= 8 seeds x 100k packets through composed fault storms
+// with hedging live. Every seed must satisfy every invariant.
+
+ChaosScenarioConfig soak_cfg(std::uint64_t seed) {
+  ChaosScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.iterations = 100'000;
+  cfg.flows = 4;
+  cfg.packets_per_iter = 1;
+  cfg.drain_per_iter = {4, 4};
+  cfg.ctrl = soak_ctrl();
+  cfg.ctrl.slo_target_ns = 6'000;
+  cfg.ctrl.backlog_limit = 4'096;
+  cfg.ctrl.hedge_timeout.enabled = true;
+  cfg.ctrl.hedge_timeout.min_timeout_ns = 1'000;
+  cfg.ctrl.hedge_timeout.min_samples = 16;
+  // Two overlapping fault storms plus a clean tail so quarantined paths
+  // can drain, pass probation, and serve again before quiesce.
+  io::LoopbackFaults storm0;
+  storm0.drop_rate = 0.05;
+  storm0.dup_rate = 0.03;
+  storm0.reorder_rate = 0.10;
+  storm0.reorder_extra_ticks = 4;
+  io::LoopbackFaults storm1;
+  storm1.drop_rate = 0.02;
+  storm1.reorder_rate = 0.15;
+  storm1.reorder_extra_ticks = 8;
+  storm1.delay_ticks = 6;
+  cfg.phases.push_back({5'000, 60'000, 0, storm0});
+  cfg.phases.push_back({20'000, 80'000, 1, storm1});
+  return cfg;
+}
+
+TEST(ChaosSoak, EightSeedSweepHoldsAllInvariants) {
+  std::uint64_t total_hedges = 0;
+  std::uint64_t total_decisions = 0;
+  for (std::uint64_t seed : {3u, 17u, 29u, 43u, 59u, 71u, 83u, 97u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ChaosRig rig(soak_cfg(seed));
+    ChaosResult r = rig.run();
+    const std::string label = "seed " + std::to_string(seed);
+    EXPECT_EQ(r.generated, 100'000u);
+    expect_core_invariants(r, label.c_str());
+    expect_decision_log_sane(r, label.c_str());
+    EXPECT_EQ(rig.pool_exhaustions(), 0u)
+        << label << ": pool must be sized for the sweep";
+    EXPECT_EQ(r.egressed, r.arrived_unique)
+        << label << ": every surviving (flow, seq) egressed exactly once";
+    EXPECT_GT(r.wire_dropped + r.wire_duplicated + r.wire_reordered, 0u)
+        << label << ": the storms must actually fire";
+    total_hedges += r.hedges_sent;
+    total_decisions += r.decisions.size();
+  }
+  EXPECT_GT(total_hedges, 0u)
+      << "the PID hedge deadline must rescue stragglers somewhere in the "
+         "sweep";
+  EXPECT_GT(total_decisions, 0u) << "the controller must visibly act";
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the decision log is a reproducible artifact. Same seed ->
+// byte-identical report JSON and identical egress order.
+
+TEST(ChaosSoak, SameSeedIsByteIdentical) {
+  ChaosScenarioConfig cfg = soak_cfg(42);
+  cfg.iterations = 30'000;  // plenty of decisions, quick enough to run twice
+  ChaosResult a = ChaosRig(cfg).run();
+  ChaosResult b = ChaosRig(cfg).run();
+  EXPECT_FALSE(a.decisions.empty())
+      << "a run with no decisions proves nothing";
+  EXPECT_EQ(a.ctrl_report, b.ctrl_report)
+      << "same seed must reproduce the decision log byte for byte";
+  EXPECT_EQ(a.delivered_log, b.delivered_log)
+      << "same seed must reproduce the egress order exactly";
+  EXPECT_EQ(a.hedges_sent, b.hedges_sent);
+  EXPECT_EQ(a.egressed, b.egressed);
+
+  ChaosScenarioConfig other = cfg;
+  other.seed = 43;
+  ChaosResult c = ChaosRig(other).run();
+  EXPECT_NE(a.delivered_log, c.delivered_log)
+      << "a different seed must visibly change the run";
+}
+
+}  // namespace
+}  // namespace mdp

@@ -17,6 +17,7 @@
 // which is what makes this binary meaningful under TSan.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <map>
@@ -207,6 +208,104 @@ TEST(SloMonitor, ConcurrentObserveWhileHarvesting) {
   EXPECT_EQ(mon.total_violations(), static_cast<std::uint64_t>(kPerThread));
 }
 
+/// A span with the given stage durations (everything else zero-width);
+/// e2e telescopes to queue_wait + service + reorder exactly.
+trace::SpanRecord make_span(std::uint64_t queue_wait, std::uint64_t service,
+                            std::uint64_t reorder) {
+  trace::SpanRecord sp;
+  sp.ingress_ns = 1;
+  sp.dispatch_ns = sp.ingress_ns;
+  sp.service_start_ns = sp.dispatch_ns + queue_wait;
+  sp.service_end_ns = sp.service_start_ns + service;
+  sp.chain_done_ns = sp.service_end_ns;
+  sp.merge_ns = sp.chain_done_ns;
+  sp.egress_ns = sp.merge_ns + reorder;
+  sp.active = true;
+  return sp;
+}
+
+TEST(SloMonitor, ObserveSpanAttributesStagesAndReportsP50) {
+  ctrl::SloMonitor mon(2, /*slo_target_ns=*/1000);
+  for (int i = 0; i < 9; ++i)
+    mon.observe_span(0, make_span(/*queue_wait=*/100, /*service=*/300, 0));
+  mon.observe_span(0, make_span(200, 7000, 800));  // e2e 8000: the tail
+
+  ctrl::WindowStats w = mon.harvest(0);
+  EXPECT_EQ(w.samples, 10u);
+  EXPECT_EQ(w.violations, 1u);
+  ASSERT_TRUE(w.has_stage_evidence());
+  // Stage mass is conserved exactly — no quantization on the sums.
+  using trace::Stage;
+  EXPECT_EQ(w.stage_sum_ns[static_cast<std::size_t>(Stage::kQueueWait)],
+            9u * 100 + 200);
+  EXPECT_EQ(w.stage_sum_ns[static_cast<std::size_t>(Stage::kService)],
+            9u * 300 + 7000);
+  EXPECT_EQ(w.stage_sum_ns[static_cast<std::size_t>(Stage::kReorder)], 800u);
+  EXPECT_EQ(w.stage_sum_ns[static_cast<std::size_t>(Stage::kSchedule)], 0u);
+  EXPECT_EQ(w.dominant_stage(), Stage::kService);
+  EXPECT_EQ(w.dominant_stage_ns(), 9u * 300 + 7000);
+  EXPECT_GT(w.dominant_share(), 0.5);
+  // The median sits in the 400ns cohort; the reported edge is
+  // bucket-quantized within ~25% above the true value.
+  EXPECT_GE(w.p50_ns, 400u);
+  EXPECT_LE(w.p50_ns, 500u);
+
+  // Harvest drains the stage evidence with the window.
+  ctrl::WindowStats again = mon.harvest(0);
+  EXPECT_EQ(again.samples, 0u);
+  EXPECT_FALSE(again.has_stage_evidence());
+  EXPECT_EQ(again.p50_ns, 0u);
+}
+
+TEST(SloMonitor, DominantStageTiesBreakToTheEarliestStage) {
+  ctrl::SloMonitor mon(1, 1000);
+  mon.observe_span(0, make_span(/*queue_wait=*/500, /*service=*/500, 0));
+  ctrl::WindowStats w = mon.harvest(0);
+  EXPECT_EQ(w.dominant_stage(), trace::Stage::kQueueWait);
+}
+
+TEST(SloMonitor, ConcurrentObserveSpanWhileHarvesting) {
+  // Companion to ConcurrentObserveWhileHarvesting: two writers feed spans
+  // with disjoint stage shapes while the controller harvests mid-stream.
+  // Stage mass must be conserved exactly across all harvests — the TSan
+  // witness for the per-stage atomic sums.
+  ctrl::SloMonitor mon(1, /*slo_target_ns=*/100);
+  constexpr int kPerThread = 50'000;
+  std::uint64_t samples = 0;
+  std::array<std::uint64_t, trace::kNumStages> stage_sums{};
+  auto absorb = [&](const ctrl::WindowStats& w) {
+    samples += w.samples;
+    for (std::size_t s = 0; s < trace::kNumStages; ++s)
+      stage_sums[s] += w.stage_sum_ns[s];
+  };
+
+  std::thread queuey([&] {
+    for (int i = 0; i < kPerThread; ++i)
+      mon.observe_span(0, make_span(/*queue_wait=*/40, /*service=*/10, 0));
+  });
+  std::thread servicey([&] {
+    for (int i = 0; i < kPerThread; ++i)
+      mon.observe_span(0, make_span(0, /*service=*/200, /*reorder=*/50));
+  });
+  for (int i = 0; i < 100; ++i) {
+    absorb(mon.harvest(0));
+    std::this_thread::yield();
+  }
+  queuey.join();
+  servicey.join();
+  absorb(mon.harvest(0));
+
+  using trace::Stage;
+  EXPECT_EQ(samples, 2u * kPerThread);
+  EXPECT_EQ(stage_sums[static_cast<std::size_t>(Stage::kQueueWait)],
+            40u * kPerThread);
+  EXPECT_EQ(stage_sums[static_cast<std::size_t>(Stage::kService)],
+            210u * kPerThread);
+  EXPECT_EQ(stage_sums[static_cast<std::size_t>(Stage::kReorder)],
+            50u * kPerThread);
+  EXPECT_EQ(stage_sums[static_cast<std::size_t>(Stage::kSchedule)], 0u);
+}
+
 // ---------------------------------------------------------------------------
 // AdaptiveHedger: sustain + cooldown discipline.
 
@@ -269,6 +368,89 @@ TEST(AdaptiveHedger, DisabledHoldsTheFloor) {
 }
 
 // ---------------------------------------------------------------------------
+// HedgeTimeoutController: the PID loop on the hedge-fire deadline.
+
+ctrl::HedgeTimeoutConfig hedge_timeout_cfg() {
+  ctrl::HedgeTimeoutConfig cfg;
+  cfg.enabled = true;
+  cfg.min_timeout_ns = 100;
+  cfg.max_timeout_ns = 0;  // ceiling = SLO target
+  cfg.kp = 0.5;
+  cfg.ki = 0.1;
+  cfg.kd = 0.0;
+  cfg.min_samples = 4;
+  cfg.deadband = 0.0;
+  return cfg;
+}
+
+TEST(HedgeTimeoutController, DisabledNeverActuates) {
+  ctrl::HedgeTimeoutController c;  // default config: disabled
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(c.update(/*p50=*/200, /*p99=*/9000, 1000, 1000), 0u);
+  EXPECT_EQ(c.timeout_ns(), 0u);
+  EXPECT_EQ(c.adjustments(), 0u);
+  EXPECT_FALSE(c.enabled());
+}
+
+TEST(HedgeTimeoutController, ThinWindowsCarryNoSignal) {
+  ctrl::HedgeTimeoutController c(hedge_timeout_cfg());
+  // Before any adequate window there is nothing to actuate: 0 means
+  // "leave the scheduler's own budget in place".
+  EXPECT_EQ(c.update(200, 5000, /*samples=*/2, 1000), 0u);
+  EXPECT_EQ(c.adjustments(), 0u);
+  // One adequate hot window sets a deadline...
+  const std::uint64_t t = c.update(200, 5000, 100, 1000);
+  EXPECT_GT(t, 0u);
+  EXPECT_EQ(c.adjustments(), 1u);
+  // ...which a thin window holds untouched.
+  EXPECT_EQ(c.update(200, 50, 2, 1000), t);
+  EXPECT_EQ(c.adjustments(), 1u);
+}
+
+TEST(HedgeTimeoutController, TailErrorDrivesDeadlineBetweenFloorAndCeiling) {
+  ctrl::HedgeTimeoutController c(hedge_timeout_cfg());
+  // Sustained hot tail: the deadline slams to the floor (= p50 here, above
+  // min_timeout_ns) so stragglers are rescued at the earliest sane moment.
+  std::uint64_t t = 0;
+  for (int i = 0; i < 4; ++i) t = c.update(200, 3000, 100, 1000);
+  EXPECT_EQ(t, 200u);
+  // Sustained calm: the integral bleeds off and the deadline relaxes all
+  // the way back to the ceiling (= the SLO target), shedding hedge load.
+  for (int i = 0; i < 50; ++i) t = c.update(200, 100, 100, 1000);
+  EXPECT_EQ(t, 1000u);
+  EXPECT_GT(c.adjustments(), 1u);
+}
+
+TEST(HedgeTimeoutController, FloorTracksTheMedianAndMinTimeout) {
+  ctrl::HedgeTimeoutConfig cfg = hedge_timeout_cfg();
+  cfg.min_timeout_ns = 500;
+  ctrl::HedgeTimeoutController c(cfg);
+  // Hot enough that the position slams to the floor immediately.
+  EXPECT_EQ(c.update(/*p50=*/200, 9000, 100, 1000), 500u)
+      << "min_timeout_ns backstops a tiny median";
+  EXPECT_EQ(c.update(/*p50=*/800, 9000, 100, 1000), 800u)
+      << "the median moves the floor: never hedge before p50";
+}
+
+TEST(HedgeTimeoutController, DeadbandSuppressesSubNoiseActuation) {
+  ctrl::HedgeTimeoutConfig cfg = hedge_timeout_cfg();
+  cfg.ki = 0.0;  // pure proportional: moves are easy to predict
+  cfg.deadband = 0.25;
+  ctrl::HedgeTimeoutController c(cfg);
+  // Pin the deadline to the floor with a hot window.
+  EXPECT_EQ(c.update(200, 9000, 100, 1000), 200u);
+  EXPECT_EQ(c.adjustments(), 1u);
+  // A mildly calm window wants a small relaxation (candidate ~240, a 20%
+  // move): under the deadband, so the scheduler knob is not twitched.
+  EXPECT_EQ(c.update(200, 900, 100, 1000), 200u);
+  EXPECT_EQ(c.adjustments(), 1u);
+  // A strongly calm window's move clears the deadband and actuates.
+  const std::uint64_t t = c.update(200, 100, 100, 1000);
+  EXPECT_GT(t, 200u);
+  EXPECT_EQ(c.adjustments(), 2u);
+}
+
+// ---------------------------------------------------------------------------
 // Controller against a scripted actuator.
 
 struct FakeActuator : ctrl::Actuator {
@@ -290,11 +472,15 @@ struct FakeActuator : ctrl::Actuator {
   }
   void flush_path(std::size_t p) override { ++flushes[p]; }
   void set_replicas(std::size_t r) override { replicas = r; }
+  void set_hedge_timeout(std::uint64_t t) override {
+    hedge_timeouts.push_back(t);
+  }
 
   std::vector<Admission> admission;
   std::vector<std::uint64_t> probes;
   std::vector<std::uint64_t> backlog;
   std::vector<std::uint64_t> flushes;
+  std::vector<std::uint64_t> hedge_timeouts;
   std::size_t replicas = 1;
 };
 
@@ -314,6 +500,14 @@ ctrl::Config controller_cfg() {
 void feed(ctrl::SloMonitor& mon, std::uint16_t path, int n,
           std::uint64_t latency) {
   for (int i = 0; i < n; ++i) mon.observe(path, latency);
+}
+
+/// Stage-attributed feeder: n identical spans with the given stage shape.
+void feed_spans(ctrl::SloMonitor& mon, std::uint16_t path, int n,
+                std::uint64_t queue_wait, std::uint64_t service,
+                std::uint64_t reorder) {
+  for (int i = 0; i < n; ++i)
+    mon.observe_span(path, make_span(queue_wait, service, reorder));
 }
 
 TEST(Controller, QuarantineDrainProbationLifecycle) {
@@ -432,6 +626,172 @@ TEST(Controller, BacklogBreachCatchesSilentBlackholes) {
   EXPECT_EQ(ctl.path_state(0), PathState::kQuarantined);
   EXPECT_STREQ(ctl.decisions().back().reason, "backlog_breach");
   EXPECT_EQ(ctl.decisions().back().backlog, 50u);
+}
+
+TEST(Controller, CombinedBreachReasonNamesBothSignals) {
+  // The reason vocabulary is three-valued: "slo_breach" (see
+  // ReportJsonIsParseableAndComplete), "backlog_breach" (see
+  // BacklogBreachCatchesSilentBlackholes), and — when both causes fire in
+  // the same window — the combined label, so neither signal masks the
+  // other in the postmortem.
+  ctrl::SloMonitor mon(2, 1000);
+  FakeActuator act(2);
+  ctrl::Config cfg = controller_cfg();
+  cfg.backlog_limit = 10;
+  ctrl::Controller ctl(cfg, act, mon);
+
+  act.backlog[1] = 50;
+  feed(mon, 1, 8, 5000);
+  ctl.tick(1);
+  feed(mon, 1, 8, 5000);
+  ctl.tick(2);
+  ASSERT_EQ(ctl.path_state(1), PathState::kQuarantined);
+  EXPECT_STREQ(ctl.decisions().back().reason, "slo+backlog_breach");
+  EXPECT_EQ(ctl.decisions().back().backlog, 50u);
+}
+
+TEST(Controller, QuarantineDecisionCarriesTheDominantStage) {
+  // When the monitor is fed spans, the quarantine decision says WHERE the
+  // breaching window's latency went — the stage verdict that makes the
+  // decision log debuggable.
+  ctrl::SloMonitor mon(2, 1000);
+  FakeActuator act(2);
+  ctrl::Controller ctl(controller_cfg(), act, mon);
+
+  feed_spans(mon, 1, 8, /*queue_wait=*/4000, /*service=*/600,
+             /*reorder=*/200);
+  ctl.tick(1);
+  feed_spans(mon, 1, 8, 4000, 600, 200);
+  ctl.tick(2);
+  ASSERT_EQ(ctl.path_state(1), PathState::kQuarantined);
+  const ctrl::Decision& d = ctl.decisions().back();
+  EXPECT_STREQ(d.reason, "slo_breach");
+  EXPECT_STREQ(d.dominant_stage, "queue_wait");
+  EXPECT_EQ(d.dominant_stage_ns, 8u * 4000);
+
+  // The per-decision stage fields surface in the report JSON.
+  auto doc = trace::JsonValue::parse(ctl.report_json());
+  ASSERT_TRUE(doc.has_value());
+  const trace::JsonValue& jd = doc->find("decisions")->items().back();
+  EXPECT_EQ(jd.find("dominant_stage")->as_string(), "queue_wait");
+  EXPECT_EQ(jd.find("dominant_stage_ns")->as_u64(), 8u * 4000);
+}
+
+TEST(Controller, ServiceDominatedBreachDefersQuarantine) {
+  // Stage-aware actuation: a service-dominated breach means the path's
+  // core is slow, not its queue deep — masking just moves the load while
+  // hedging can rescue the stragglers. The quarantine is deferred for a
+  // bounded budget of ticks, then a persistent breach is caught anyway.
+  ctrl::SloMonitor mon(2, 1000);
+  FakeActuator act(2);
+  ctrl::Config cfg = controller_cfg();
+  cfg.service_defer_ticks = 2;
+  ctrl::Controller ctl(cfg, act, mon);
+
+  for (int t = 1; t <= 3; ++t) {
+    feed_spans(mon, 1, 8, /*queue_wait=*/100, /*service=*/4800,
+               /*reorder=*/100);
+    ctl.tick(t);
+    EXPECT_EQ(ctl.path_state(1), PathState::kActive) << "tick " << t;
+  }
+  EXPECT_EQ(ctl.service_deferrals(), 2u);
+  feed_spans(mon, 1, 8, 100, 4800, 100);
+  ctl.tick(4);
+  EXPECT_EQ(ctl.path_state(1), PathState::kQuarantined);
+  EXPECT_STREQ(ctl.decisions().back().dominant_stage, "service");
+}
+
+TEST(Controller, QueueDominatedBreachIsNotDeferred) {
+  // The deferral is stage-gated: a queue-dominated breach means the path
+  // itself is backed up — masking IS the right actuator, immediately.
+  ctrl::SloMonitor mon(2, 1000);
+  FakeActuator act(2);
+  ctrl::Config cfg = controller_cfg();
+  cfg.service_defer_ticks = 2;
+  ctrl::Controller ctl(cfg, act, mon);
+
+  feed_spans(mon, 1, 8, /*queue_wait=*/4800, /*service=*/100,
+             /*reorder=*/100);
+  ctl.tick(1);
+  feed_spans(mon, 1, 8, 4800, 100, 100);
+  ctl.tick(2);
+  EXPECT_EQ(ctl.path_state(1), PathState::kQuarantined);
+  EXPECT_EQ(ctl.service_deferrals(), 0u);
+}
+
+TEST(Controller, CleanWindowRefillsTheServiceDeferralBudget) {
+  // The budget is per-episode: one clean window ends the episode, so the
+  // next service-dominated breach gets a fresh deferral allowance.
+  ctrl::SloMonitor mon(2, 1000);
+  FakeActuator act(2);
+  ctrl::Config cfg = controller_cfg();
+  cfg.service_defer_ticks = 1;
+  ctrl::Controller ctl(cfg, act, mon);
+
+  feed_spans(mon, 1, 8, 100, 4800, 100);
+  ctl.tick(1);  // deferred: budget spent
+  EXPECT_EQ(ctl.service_deferrals(), 1u);
+  feed(mon, 1, 8, 100);
+  ctl.tick(2);  // clean window: episode over, budget refilled
+  feed_spans(mon, 1, 8, 100, 4800, 100);
+  ctl.tick(3);  // deferred again from the fresh budget
+  EXPECT_EQ(ctl.service_deferrals(), 2u);
+  EXPECT_EQ(ctl.path_state(1), PathState::kActive);
+}
+
+TEST(Controller, HedgeTimeoutLoopActuatesTheScheduler) {
+  ctrl::SloMonitor mon(2, 1000);
+  FakeActuator act(2);
+  ctrl::Config cfg = controller_cfg();
+  cfg.violation_threshold = 1.5;  // never quarantine in this test
+  cfg.hedge_timeout.enabled = true;
+  cfg.hedge_timeout.min_timeout_ns = 100;
+  cfg.hedge_timeout.min_samples = 4;
+  ctrl::Controller ctl(cfg, act, mon);
+
+  // A hot serving window: the PID sets a deadline and actuates it.
+  feed_spans(mon, 0, 8, /*queue_wait=*/100, /*service=*/4500,
+             /*reorder=*/400);
+  ctl.tick(1);
+  ASSERT_EQ(act.hedge_timeouts.size(), 1u);
+  const std::uint64_t first = act.hedge_timeouts[0];
+  EXPECT_GT(first, 0u);
+  EXPECT_EQ(ctl.hedge_timeout_ns(), first);
+  EXPECT_EQ(ctl.hedge_timeout_adjustments(), 1u);
+  {
+    const ctrl::Decision& d = ctl.decisions().back();
+    EXPECT_EQ(d.path, ctrl::Decision::kHedge);
+    EXPECT_STREQ(d.reason, "hedge_timeout");
+    EXPECT_EQ(d.hedge_timeout_ns, first);
+    EXPECT_STREQ(d.dominant_stage, "service");
+    EXPECT_EQ(d.dominant_stage_ns, 8u * 4500);
+  }
+
+  // A calm window relaxes the deadline downward from the p50-pinned floor
+  // toward the SLO-bounded band — a second, different actuation.
+  feed_spans(mon, 0, 8, 10, 100, 10);
+  ctl.tick(2);
+  ASSERT_EQ(act.hedge_timeouts.size(), 2u);
+  EXPECT_NE(act.hedge_timeouts[1], first);
+
+  // The loop's state surfaces in the report and the stats registry.
+  auto doc = trace::JsonValue::parse(ctl.report_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("hedge_timeout_ns")->as_u64(), ctl.hedge_timeout_ns());
+  EXPECT_EQ(doc->find("hedge_timeout_adjustments")->as_u64(), 2u);
+  EXPECT_EQ(doc->find("service_deferrals")->as_u64(), 0u);
+  const trace::JsonValue& jd = doc->find("decisions")->items().back();
+  EXPECT_EQ(jd.find("reason")->as_string(), "hedge_timeout");
+  EXPECT_EQ(jd.find("target")->as_string(), "hedger");
+  EXPECT_EQ(jd.find("hedge_timeout_ns")->as_u64(), ctl.hedge_timeout_ns());
+
+  trace::StatsRegistry reg;
+  ctl.register_stats(reg);
+  trace::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("ctrl.hedge_timeout_changes"), 2u);
+  EXPECT_EQ(snap.counters.at("ctrl.service_deferrals"), 0u);
+  EXPECT_EQ(snap.gauges.at("ctrl.hedge_timeout_ns"),
+            static_cast<double>(ctl.hedge_timeout_ns()));
 }
 
 TEST(Controller, HedgerActuatesReplicasFromServingTail) {

@@ -78,6 +78,41 @@ TEST(Span, BackwardsBoundaryIsClamped) {
   EXPECT_EQ(sum, s.e2e_ns());
 }
 
+TEST(Span, PropertyRandomBoundariesAlwaysTelescope) {
+  // Seeded fuzz over every shape a span can arrive in: random boundary
+  // values (including 0 = never stamped and out-of-order garbage) and
+  // random truncation points. The invariant under test is the contract
+  // every consumer (Tracer folding, ctrl stage evidence) leans on:
+  // monotone effective boundaries, non-negative stages, and the stage sum
+  // telescoping EXACTLY to e2e — for any input whatsoever.
+  sim::Rng rng(0xface5eedULL);
+  for (int trial = 0; trial < 10'000; ++trial) {
+    SpanRecord s;
+    s.active = true;
+    std::uint64_t* fields[] = {&s.ingress_ns,     &s.dispatch_ns,
+                               &s.service_start_ns, &s.service_end_ns,
+                               &s.chain_done_ns,  &s.merge_ns,
+                               &s.egress_ns};
+    const std::size_t truncate_at = rng.next_u64() % 8;  // 7 = no truncation
+    for (std::size_t i = 0; i < 7; ++i) {
+      switch (rng.next_u64() % 4) {
+        case 0: *fields[i] = 0; break;                       // never stamped
+        case 1: *fields[i] = rng.next_u64() % 100; break;        // tiny / early
+        case 2: *fields[i] = rng.next_u64() % 1'000'000; break;  // plausible
+        default: *fields[i] = rng.next_u64(); break;             // garbage
+      }
+      if (i >= truncate_at) *fields[i] = 0;  // dropped mid-pipeline
+    }
+    auto b = s.boundaries();
+    for (std::size_t i = 1; i < b.size(); ++i)
+      ASSERT_GE(b[i], b[i - 1]) << "trial " << trial;
+    auto stages = s.stages();
+    const std::uint64_t sum =
+        std::accumulate(stages.begin(), stages.end(), 0ull);
+    ASSERT_EQ(sum, s.e2e_ns()) << "trial " << trial;
+  }
+}
+
 TEST(Span, DefaultSpanIsInactiveAndZero) {
   SpanRecord s;
   EXPECT_FALSE(s.active);
