@@ -18,6 +18,7 @@
 #include "nf/chain.hpp"
 #include "nf/flow_cache.hpp"
 #include "sim/rng.hpp"
+#include "telem/flight_recorder.hpp"
 
 using namespace mdp;
 
@@ -51,8 +52,15 @@ core::ThreadedConfig sweep_config(std::size_t burst) {
   return cfg;
 }
 
-BurstRow run_burst(std::size_t burst, std::uint64_t target_packets) {
-  core::ThreadedDataPlane dp(sweep_config(burst), nullptr);
+// `telem` attaches a FlightRecorder to the plane (one ingress_burst /
+// egress_burst event per burst on the hot path) — the observability
+// overhead the "synthetic_telem" gate row locks in.
+BurstRow run_burst(std::size_t burst, std::uint64_t target_packets,
+                   bool telem = false) {
+  telem::FlightRecorder rec;
+  core::ThreadedConfig cfg = sweep_config(burst);
+  if (telem) cfg.recorder = &rec;
+  core::ThreadedDataPlane dp(cfg, nullptr);
   const auto t0 = std::chrono::steady_clock::now();
   dp.start();
   if (burst == 1) {
@@ -78,6 +86,7 @@ BurstRow run_burst(std::size_t burst, std::uint64_t target_packets) {
   BurstRow row;
   row.burst = burst;
   row.packets = dp.completed();
+  if (telem) row.backend = "synthetic_telem";
   row.elapsed_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
           .count());
@@ -251,9 +260,14 @@ int main(int argc, char** argv) {
                           "ns/packet end-to-end vs burst size");
   constexpr std::uint64_t kSweepPackets = 200'000;
   std::vector<BurstRow> rows;
-  if (run_synthetic)
+  if (run_synthetic) {
     for (std::size_t burst : {1u, 8u, 32u, 128u})
       rows.push_back(run_burst(burst, kSweepPackets));
+    // Telemetry-on twin of the burst-32 row: same plane, flight recorder
+    // attached. Gated against its own committed baseline, so a regression
+    // in emit() cost fails CI even when the telem-off rows hold.
+    rows.push_back(run_burst(32, kSweepPackets, /*telem=*/true));
+  }
   if (run_loopback)
     rows.push_back(run_burst_loopback(32, kSweepPackets));
 
@@ -278,6 +292,21 @@ int main(int argc, char** argv) {
                  burst_row_json(row, speedup));
   }
   bench::print_table(bt);
+  double telem_off = 0, telem_on = 0;
+  for (const auto& row : rows) {
+    if (row.burst != 32) continue;
+    if (std::string(row.backend) == "synthetic")
+      telem_off = row.ns_per_packet();
+    else if (std::string(row.backend) == "synthetic_telem")
+      telem_on = row.ns_per_packet();
+  }
+  if (telem_off > 0 && telem_on > 0)
+    bench::note("always-on flight recorder costs " +
+                stats::fmt_double(telem_on - telem_off, 1) +
+                " ns/packet at burst 32 (" +
+                stats::fmt_double(telem_on / telem_off, 2) +
+                "x the telem-off row) - the observability budget the "
+                "synthetic_telem gate row holds");
   bench::note("burst 32 amortizes the per-packet framework overhead "
               "(clock reads, JSQ sampling, ring ops, completion "
               "bookkeeping) to once per burst; expect >= 1.3x over "

@@ -62,6 +62,10 @@ void add_interference(harness::ScenarioConfig& cfg) {
 
 void add_ctrl(harness::ScenarioConfig& cfg, std::uint64_t slo_ns) {
   cfg.ctrl_enabled = true;
+  // Telemetry plane on: every tick's harvested per-path windows land in
+  // the "telem" section of the run report, which is what the p99.9
+  // trajectory timelines below (and scripts/report_timeline.py) render.
+  cfg.telem_enabled = true;
   // The window matches the burst cadence (bursts ~2ms, gaps ~1.3ms): a
   // stolen core produces no completions *during* the theft, so half the
   // evidence is the post-burst flood of blown deadlines — a 2ms window
@@ -164,6 +168,76 @@ void print_decision_timeline(const std::string& ctrl_report) {
                bench::us(d.find("p99_ns")->as_u64()),
                stats::fmt_u64(d.find("backlog")->as_u64()),
                stats::fmt_u64(d.find("replicas")->as_u64())});
+  }
+  bench::print_table(t);
+}
+
+/// Render the telem time series as a per-path p99.9 trajectory with the
+/// controller's decisions overlaid on the tick where they fired — the
+/// same view `scripts/report_timeline.py` renders offline from the run
+/// report JSON. Rows are strided down to ~max_rows, but any tick whose
+/// interval carried a decision is always shown.
+void print_telem_timeline(const std::string& telem_report,
+                          const std::string& ctrl_report,
+                          std::size_t max_rows = 16) {
+  auto doc = trace::JsonValue::parse(telem_report);
+  if (!doc) {
+    bench::note("telem report did not parse");
+    return;
+  }
+  const trace::JsonValue* ticks = doc->find("ticks");
+  if (!ticks || ticks->items().empty()) {
+    bench::note("telem series is empty");
+    return;
+  }
+  std::vector<std::pair<std::uint64_t, std::string>> marks;
+  if (auto cdoc = trace::JsonValue::parse(ctrl_report)) {
+    if (const trace::JsonValue* ds = cdoc->find("decisions"))
+      for (const auto& d : ds->items()) {
+        std::string m = d.find("reason")->as_string();
+        if (const trace::JsonValue* p = d.find("path"))
+          m += "@" + std::to_string(p->as_u64());
+        marks.emplace_back(d.find("now_ns")->as_u64(), std::move(m));
+      }
+  }
+  const auto& rows = ticks->items();
+  const std::size_t npaths = rows.front().find("paths")->items().size();
+  std::vector<std::string> hdr = {"tick", "t(ms)"};
+  for (std::size_t p = 0; p < npaths; ++p)
+    hdr.push_back("p99.9 path" + std::to_string(p));
+  hdr.push_back("decisions");
+  stats::Table t(hdr);
+  const std::size_t stride = rows.size() > max_rows
+                                 ? (rows.size() + max_rows - 1) / max_rows
+                                 : 1;
+  std::size_t mi = 0;
+  std::string pending;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const trace::JsonValue& row = rows[i];
+    const std::uint64_t now = row.find("now_ns")->as_u64();
+    for (; mi < marks.size() && marks[mi].first <= now; ++mi) {
+      if (!pending.empty()) pending += ", ";
+      pending += marks[mi].second;
+    }
+    if (i % stride != 0 && pending.empty() && i + 1 != rows.size())
+      continue;
+    std::vector<std::string> cols;
+    char tbuf[32];
+    std::snprintf(tbuf, sizeof(tbuf), "%.2f",
+                  static_cast<double>(now) / 1e6);
+    cols.push_back(stats::fmt_u64(row.find("tick")->as_u64()));
+    cols.push_back(tbuf);
+    for (std::size_t p = 0; p < npaths; ++p) {
+      const trace::JsonValue* ps = nullptr;
+      for (const auto& e : row.find("paths")->items())
+        if (e.find("path")->as_u64() == p) ps = &e;
+      cols.push_back(ps && ps->find("samples")->as_u64() > 0
+                         ? bench::us(ps->find("p999_ns")->as_u64())
+                         : "-");
+    }
+    cols.push_back(pending.empty() ? "" : pending);
+    pending.clear();
+    t.add_row(cols);
   }
   bench::print_table(t);
 }
@@ -295,6 +369,14 @@ int main(int argc, char** argv) {
   std::printf(
       "\nDecision timeline — hedge-timeout story (redundant:1 + PID):\n");
   print_decision_timeline(pid.ctrl_report);
+
+  std::printf("\np99.9 trajectory (telem series) — quarantine story:\n");
+  print_telem_timeline(rss_on.telem_report, rss_on.ctrl_report);
+  std::printf("\np99.9 trajectory (telem series) — hedge-timeout story:\n");
+  print_telem_timeline(pid.telem_report, pid.ctrl_report);
+  bench::note("the trajectories above are rendered from the \"telem\" "
+              "section of the run report; scripts/report_timeline.py "
+              "produces the same view (plus CSV) from the JSON offline");
 
   bench::note("the controller trades a little path capacity (quarantined "
               "windows) or bandwidth (replicas) for the interference tail; "

@@ -3,6 +3,9 @@
 // plane are in the nanosecond class a DPDK-grade last mile requires.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <atomic>
+
 #include "core/dedup.hpp"
 #include "core/reorder.hpp"
 #include "net/checksum.hpp"
@@ -16,7 +19,9 @@
 #include "ring/mpmc_ring.hpp"
 #include "ring/spsc_ring.hpp"
 #include "sim/event_queue.hpp"
+#include "stats/cacheline.hpp"
 #include "stats/histogram.hpp"
+#include "telem/flight_recorder.hpp"
 
 using namespace mdp;
 
@@ -90,6 +95,45 @@ static void BM_MpmcPushPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MpmcPushPop);
+
+// Packed-vs-padded per-path counters, the before/after for padding the
+// plane's hot atomics (ThreadedDataPlane::path_completed_, SloMonitor's
+// per-path windows) to std::hardware_destructive_interference_size. Each
+// thread hammers its own logical counter; in the packed layout adjacent
+// counters share a cache line, so every increment fights its neighbors'
+// cores for the line (false sharing). The padded row gives each counter
+// a line of its own — same code, several times cheaper per increment.
+static void BM_CounterPackedMT(benchmark::State& state) {
+  static std::array<std::atomic<std::uint64_t>, 8> counters;
+  auto& c = counters[static_cast<std::size_t>(state.thread_index()) % 8];
+  for (auto _ : state) c.fetch_add(1, std::memory_order_relaxed);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterPackedMT)->Threads(4)->UseRealTime();
+
+static void BM_CounterPaddedMT(benchmark::State& state) {
+  static std::array<stats::PaddedAtomicU64, 8> counters;
+  auto& c = counters[static_cast<std::size_t>(state.thread_index()) % 8].v;
+  for (auto _ : state) c.fetch_add(1, std::memory_order_relaxed);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterPaddedMT)->Threads(4)->UseRealTime();
+
+// The flight recorder's hot-path cost: one enabled check + epoch
+// fetch_add + five atomic stores into a preallocated seqlock slot. This
+// is the per-event price the ext2 synthetic_telem gate row pays per
+// burst (not per packet).
+static void BM_FlightRecorderEmit(benchmark::State& state) {
+  telem::FlightRecorder rec({.events_per_channel = 4096});
+  auto* ch = rec.channel("bench");
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    ++t;
+    ch->emit(t, telem::EventType::kIngressBurst, 0, 32, t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderEmit);
 
 static void BM_HistogramRecord(benchmark::State& state) {
   stats::LatencyHistogram h;

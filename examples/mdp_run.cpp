@@ -11,7 +11,11 @@
 //   duty=F (interference duty; 0 disables)  burst=NS  bursty=0|1 (MMPP)
 //   reorder=0|1  lc_priority=0|1  seed=N  csv=0|1
 //   trace=0|1 (stage-level tracing)
-//   json=FILE (write an mdp.run_report.v1 document; "-" = stdout;
+//   ctrl=0|1 (SLO-driven control plane)
+//   telem=0|1 (per-tick telemetry time series; implies ctrl=1)
+//   prom=FILE (write the newest telemetry tick as Prometheus text;
+//              implies telem=1)
+//   json=FILE (write an mdp.run_report.v2 document; "-" = stdout;
 //              implies trace=1 unless trace=0 given explicitly;
 //              --json FILE / --json=FILE also accepted)
 #include <cstdio>
@@ -82,6 +86,10 @@ int main(int argc, char** argv) {
   }
   std::string json_path = gets("json", "");
   cfg.trace = getu("trace", json_path.empty() ? 0 : 1) != 0;
+  cfg.telem_prometheus_path = gets("prom", "");
+  cfg.telem_enabled =
+      getu("telem", cfg.telem_prometheus_path.empty() ? 0 : 1) != 0;
+  cfg.ctrl_enabled = getu("ctrl", cfg.telem_enabled ? 1 : 0) != 0;
 
   harness::ScenarioResult res;
   try {

@@ -95,7 +95,8 @@ def self_test():
             failures.append(name)
             print(f"self-test FAIL: {name}\n--- gate output ---\n{output}")
 
-    base_rows = {("synthetic", 1): 100.0, ("synthetic", 32): 50.0}
+    base_rows = {("synthetic", 1): 100.0, ("synthetic", 32): 50.0,
+                 ("synthetic_telem", 32): 55.0}
     with tempfile.TemporaryDirectory() as d:
         def write(name, obj, raw=None):
             path = os.path.join(d, name)
@@ -108,9 +109,12 @@ def self_test():
 
         base = write("base.json", report(base_rows))
 
-        # Clean pass: identical rows gate green.
+        # Clean pass: identical rows gate green, and the telem on/off
+        # twin rows produce the observability-budget line.
         code, out = run_gate([write("same.json", report(base_rows)), base])
         check("identical rows pass", code == 0 and "FAIL" not in out, out)
+        check("telem on/off ratio reported",
+              "telem on/off at burst 32: 1.10x [ok]" in out, out)
 
         # Regression: a 3x slower row must fail a 2x gate.
         slow = {**base_rows, ("synthetic", 32): 150.0}
@@ -154,7 +158,7 @@ def self_test():
         check("row-less report fails",
               code == 1 and "no mdp.bench_fastpath.v1 rows" in out, out)
 
-    total = 8
+    total = 9
     passed = total - len(failures)
     print(f"self-test: {passed}/{total} checks passed")
     return 1 if failures else 0
@@ -207,6 +211,16 @@ def main(argv=None):
         tag = "ok" if speedup >= 1.3 else "WARNING (headline claim not " \
               "reproduced on this runner)"
         print(f"burst 32 vs 1 speedup: {speedup:.2f}x [{tag}]")
+
+    # Observability budget: the telem-on twin of the synthetic burst-32
+    # row is gated against its own baseline above (the standard 2x rule);
+    # this line reports the on-vs-off ratio from the SAME fresh run, which
+    # is immune to runner-speed drift between baseline and fresh.
+    if ("synthetic", 32) in fresh and ("synthetic_telem", 32) in fresh:
+        overhead = fresh[("synthetic_telem", 32)] / fresh[("synthetic", 32)]
+        tag = "ok" if overhead <= 2.0 else \
+            "WARNING (flight recorder is dominating the hot path)"
+        print(f"telem on/off at burst 32: {overhead:.2f}x [{tag}]")
 
     sys.exit(1 if failed else 0)
 

@@ -1,0 +1,348 @@
+#!/usr/bin/env python3
+"""Render mdp telemetry as a timeline, offline, from the JSON artifacts.
+
+Accepts any of:
+  - an mdp.run_report.v2 document (renders its "telem" section, with the
+    "ctrl" decision log overlaid on the tick where each decision fired),
+  - a bare mdp.telem.v1 time series (as embedded in run reports or
+    returned by SnapshotExporter::to_json),
+  - an mdp.flight_recorder.v1 dump (the event timeline a chaos-soak
+    failure or quarantine auto-dump attaches),
+  - a bench sink document ({"bench": ..., "runs": [...]}): every run
+    whose report carries a "telem" section is rendered (--run NAME
+    narrows to one).
+
+Usage:
+    report_timeline.py FILE [--csv] [--run NAME] [--max-rows N]
+    report_timeline.py --self-test
+
+ASCII mode (default) prints one row per controller tick: per-path p99.9
+with a bar scaled to the worst window in the series, plus the decisions
+that fired since the previous tick. Rows are strided down to --max-rows,
+but a tick whose interval carried a decision is always kept. --csv emits
+the full series in long form (one row per tick x path), fit for plotting.
+
+--self-test drives every accepted input shape plus the failure branches
+(unreadable file, corrupt JSON, unrecognized schema) against synthetic
+documents and exits 0 iff all checks behave. CI runs it next to
+check_perf.py --self-test.
+"""
+import argparse
+import json
+import sys
+
+BAR_WIDTH = 20
+
+
+def fmt_us(ns):
+    return f"{ns / 1000:.1f}us"
+
+
+def load_doc(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        sys.exit(f"{path}: cannot read ({e.strerror})")
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: not valid JSON ({e})")
+
+
+def decisions_from_ctrl(ctrl):
+    """[(now_ns, label)] in log order from a run report's ctrl section."""
+    marks = []
+    for d in ctrl.get("decisions", []):
+        label = d.get("reason", "?")
+        if "path" in d:
+            label += f"@{d['path']}"
+        marks.append((d.get("now_ns", 0), label))
+    return marks
+
+
+def render_telem_ascii(telem, marks, max_rows, out):
+    ticks = telem.get("ticks", [])
+    if not ticks:
+        print("telem series is empty", file=out)
+        return
+    paths = sorted({p["path"] for t in ticks for p in t.get("paths", [])})
+    peak = max((p.get("p999_ns", 0) for t in ticks
+                for p in t.get("paths", [])), default=0)
+    print(f"telem series: {len(ticks)} ticks retained "
+          f"({telem.get('ticks_recorded', len(ticks))} recorded, "
+          f"{telem.get('ticks_evicted', 0)} evicted), "
+          f"paths {paths}, peak p99.9 {fmt_us(peak)}", file=out)
+    header = ["tick", "t(ms)"]
+    header += [f"p99.9 path{p}" for p in paths]
+    header += ["worst", "decisions"]
+    print("  ".join(header), file=out)
+
+    stride = max(1, (len(ticks) + max_rows - 1) // max_rows)
+    mi, pending = 0, []
+    for i, row in enumerate(ticks):
+        now = row.get("now_ns", 0)
+        while mi < len(marks) and marks[mi][0] <= now:
+            pending.append(marks[mi][1])
+            mi += 1
+        if i % stride != 0 and not pending and i != len(ticks) - 1:
+            continue
+        by_path = {p["path"]: p for p in row.get("paths", [])}
+        cols = [str(row.get("tick", i)), f"{now / 1e6:.2f}"]
+        worst = 0
+        for p in paths:
+            ps = by_path.get(p)
+            if ps and ps.get("samples", 0) > 0:
+                cols.append(fmt_us(ps.get("p999_ns", 0)))
+                worst = max(worst, ps.get("p999_ns", 0))
+            else:
+                cols.append("-")
+        bar = "#" * (round(BAR_WIDTH * worst / peak) if peak else 0)
+        cols.append(f"|{bar:<{BAR_WIDTH}}|")
+        cols.append(", ".join(pending))
+        pending = []
+        print("  ".join(cols), file=out)
+
+
+def render_telem_csv(telem, marks, out):
+    print("tick,now_ns,path,samples,violations,p50_ns,p99_ns,p999_ns,"
+          "max_ns,decisions", file=out)
+    mi = 0
+    for i, row in enumerate(telem.get("ticks", [])):
+        now = row.get("now_ns", 0)
+        labels = []
+        while mi < len(marks) and marks[mi][0] <= now:
+            labels.append(marks[mi][1])
+            mi += 1
+        dec = ";".join(labels)
+        for p in row.get("paths", []):
+            print(",".join(str(v) for v in (
+                row.get("tick", i), now, p["path"], p.get("samples", 0),
+                p.get("violations", 0), p.get("p50_ns", 0),
+                p.get("p99_ns", 0), p.get("p999_ns", 0),
+                p.get("max_ns", 0), dec)), file=out)
+            dec = ""  # decisions annotate the tick once, on its first row
+
+
+def render_recorder_ascii(dump, max_rows, out):
+    events = dump.get("events", [])
+    print(f"flight recorder: {dump.get('emitted', 0)} emitted, "
+          f"{dump.get('retained', len(events))} retained, "
+          f"channels {dump.get('channels', [])}", file=out)
+    if not events:
+        print("no retained events", file=out)
+        return
+    shown = events[-max_rows:] if len(events) > max_rows else events
+    if len(shown) < len(events):
+        print(f"... {len(events) - len(shown)} older events elided "
+              f"(--max-rows)", file=out)
+    print("t(ms)  chan  type  path  n  data", file=out)
+    for e in shown:
+        path = "*" if e.get("path") == 0xffff else str(e.get("path", 0))
+        print(f"{e.get('t', 0) / 1e6:.3f}  {e.get('chan', '?')}  "
+              f"{e.get('type', '?')}  {path}  {e.get('n', 0)}  "
+              f"{e.get('data', 0)}", file=out)
+
+
+def render_recorder_csv(dump, out):
+    print("t_ns,seq,chan,type,path,n,data", file=out)
+    for e in dump.get("events", []):
+        print(",".join(str(v) for v in (
+            e.get("t", 0), e.get("seq", 0), e.get("chan", "?"),
+            e.get("type", "?"), e.get("path", 0), e.get("n", 0),
+            e.get("data", 0))), file=out)
+
+
+def render_doc(doc, args, out, name=None):
+    """Dispatch one document by schema. Returns True if it rendered."""
+    schema = doc.get("schema", "")
+    if name:
+        print(f"== {name} ==", file=out)
+    if schema == "mdp.flight_recorder.v1":
+        if args.csv:
+            render_recorder_csv(doc, out)
+        else:
+            render_recorder_ascii(doc, args.max_rows, out)
+        return True
+    if schema == "mdp.telem.v1":
+        telem, marks = doc, []
+    elif schema.startswith("mdp.run_report."):
+        telem = doc.get("telem")
+        if telem is None:
+            print("run report has no telem section "
+                  "(telem_enabled was off)", file=out)
+            return False
+        marks = decisions_from_ctrl(doc.get("ctrl", {}))
+    else:
+        return False
+    if args.csv:
+        render_telem_csv(telem, marks, out)
+    else:
+        render_telem_ascii(telem, marks, args.max_rows, out)
+    return True
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser()
+    ap.add_argument("file", nargs="?",
+                    help="run report / telem series / recorder dump / "
+                         "bench sink JSON")
+    ap.add_argument("--csv", action="store_true",
+                    help="emit the full series as CSV instead of ASCII")
+    ap.add_argument("--run", help="bench sink documents: render only the "
+                                  "run with this name")
+    ap.add_argument("--max-rows", type=int, default=24,
+                    help="ASCII mode: stride the series down to ~N rows")
+    ap.add_argument("--self-test", action="store_true",
+                    help="exercise every input shape and failure branch")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.file:
+        ap.error("input file required (or --self-test)")
+
+    doc = load_doc(args.file)
+    if "bench" in doc and "runs" in doc:
+        rendered = 0
+        for run in doc["runs"]:
+            rname = run.get("label") or run.get("name") or "?"
+            if args.run and rname != args.run:
+                continue
+            rep = run.get("report", {})
+            if isinstance(rep, dict) and \
+                    render_doc(rep, args, sys.stdout, name=rname):
+                rendered += 1
+        if rendered == 0:
+            sys.exit(f"{args.file}: no runs with a telem section"
+                     + (f" matching --run {args.run}" if args.run else ""))
+        return
+    if not render_doc(doc, args, sys.stdout):
+        if doc.get("schema", "").startswith("mdp.run_report."):
+            sys.exit(1)  # render_doc already said the telem section is absent
+        sys.exit(f"{args.file}: unrecognized schema "
+                 f"'{doc.get('schema', '')}' (want mdp.run_report.v2, "
+                 f"mdp.telem.v1, mdp.flight_recorder.v1, or a bench sink)")
+
+
+def self_test():
+    """Render synthetic documents of every accepted shape and hit the
+    failure branches. Returns 0 when all checks pass."""
+    import contextlib
+    import io
+    import os
+    import tempfile
+
+    telem = {
+        "schema": "mdp.telem.v1", "capacity_ticks": 16,
+        "ticks_recorded": 3, "ticks_evicted": 0,
+        "ticks": [
+            {"tick": t, "now_ns": t * 1_000_000,
+             "paths": [{"path": p, "samples": 10, "violations": p,
+                        "p50_ns": 1000, "p99_ns": 4000,
+                        "p999_ns": 8000 * (t + 1), "max_ns": 20000,
+                        "stage_sum_ns": {"service": 5000}}
+                       for p in (0, 1)]}
+            for t in range(3)],
+    }
+    ctrl = {"decisions": [{"now_ns": 1_000_000, "path": 1,
+                           "reason": "slo_breach"}]}
+    report = {"schema": "mdp.run_report.v2", "telem": telem, "ctrl": ctrl}
+    dump = {"schema": "mdp.flight_recorder.v1", "emitted": 2, "retained": 2,
+            "window_ns": 0, "channels": ["rig"],
+            "events": [{"t": 1000, "seq": 0, "chan": "rig",
+                        "type": "ingress_burst", "path": 0xffff,
+                        "n": 32, "data": 1},
+                       {"t": 2000, "seq": 1, "chan": "rig",
+                        "type": "hedge_fire", "path": 1, "n": 1,
+                        "data": 99}]}
+    sink = {"bench": "ext3", "runs": [
+        {"label": "ctrl-on", "report": report},
+        {"name": "ctrl-off", "report": {"schema": "mdp.run_report.v2"}}]}
+
+    def run(argv):
+        out = io.StringIO()
+        code = 0
+        with contextlib.redirect_stdout(out):
+            try:
+                main(argv)
+            except SystemExit as e:
+                if isinstance(e.code, str):
+                    print(e.code)
+                    code = 1
+                else:
+                    code = e.code or 0
+        return code, out.getvalue()
+
+    failures = []
+
+    def check(name, cond, output):
+        if not cond:
+            failures.append(name)
+            print(f"self-test FAIL: {name}\n--- output ---\n{output}")
+
+    with tempfile.TemporaryDirectory() as d:
+        def write(name, obj, raw=None):
+            path = os.path.join(d, name)
+            with open(path, "w") as f:
+                if raw is not None:
+                    f.write(raw)
+                else:
+                    json.dump(obj, f)
+            return path
+
+        # Run report: trajectory + overlaid decision on its tick.
+        code, out = run([write("report.json", report)])
+        check("run report renders trajectory",
+              code == 0 and "p99.9 path1" in out and "slo_breach@1" in out,
+              out)
+
+        # Bare telem series, ASCII and CSV.
+        code, out = run([write("telem.json", telem)])
+        check("bare telem renders", code == 0 and "3 ticks retained" in out,
+              out)
+        code, out = run([write("telem.json", telem), "--csv"])
+        check("telem CSV has long-form rows",
+              code == 0 and "tick,now_ns,path" in out
+              and out.count("\n") == 1 + 3 * 2, out)
+
+        # Recorder dump, ASCII and CSV; kAllPaths renders as '*'.
+        code, out = run([write("dump.json", dump)])
+        check("recorder dump renders",
+              code == 0 and "ingress_burst" in out and "  *  32  " in out,
+              out)
+        code, out = run([write("dump.json", dump), "--csv"])
+        check("recorder CSV row count",
+              code == 0 and out.count("\n") == 1 + 2, out)
+
+        # Bench sink: telem-bearing run renders, --run narrows, and a
+        # sink with no matching telem run fails.
+        code, out = run([write("sink.json", sink)])
+        check("bench sink renders the telem run",
+              code == 0 and "== ctrl-on ==" in out, out)
+        code, out = run([write("sink.json", sink), "--run", "ctrl-off"])
+        check("sink with only telem-less runs fails",
+              code == 1 and "no runs with a telem section" in out, out)
+
+        # Failure branches.
+        code, out = run([os.path.join(d, "absent.json")])
+        check("unreadable file fails", code == 1 and "cannot read" in out,
+              out)
+        code, out = run([write("corrupt.json", None, raw="{nope")])
+        check("corrupt JSON fails", code == 1 and "not valid JSON" in out,
+              out)
+        code, out = run([write("foreign.json", {"schema": "other.v9"})])
+        check("unrecognized schema fails",
+              code == 1 and "unrecognized schema" in out, out)
+        code, out = run([write("notelem.json",
+                               {"schema": "mdp.run_report.v2"})])
+        check("telem-less run report fails with the no-telem message",
+              code == 1 and "no telem section" in out
+              and "unrecognized" not in out, out)
+
+    total = 11
+    passed = total - len(failures)
+    print(f"self-test: {passed}/{total} checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    main()

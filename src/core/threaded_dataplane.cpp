@@ -19,11 +19,15 @@ ThreadedDataPlane::ThreadedDataPlane(ThreadedConfig cfg,
       path_counts_(cfg.num_paths, 0),
       admission_(cfg.num_paths, PathAdmission::kEnabled),
       probe_credits_(cfg.num_paths, 0),
-      path_completed_(new std::atomic<std::uint64_t>[cfg.num_paths]),
+      path_completed_(new stats::PaddedAtomicU64[cfg.num_paths]),
       stage_(cfg.num_paths),
       jsq_depths_(cfg.num_paths, 0) {
   for (std::size_t p = 0; p < cfg.num_paths; ++p)
-    path_completed_[p].store(0, std::memory_order_relaxed);
+    path_completed_[p].v.store(0, std::memory_order_relaxed);
+  if (cfg_.recorder) {
+    ingress_chan_ = cfg_.recorder->channel("dp.ingress");
+    egress_chan_ = cfg_.recorder->channel("dp.collector");
+  }
   if (cfg_.burst_size == 0) cfg_.burst_size = 1;
   if (cfg_.burst_size > kMaxBurst) cfg_.burst_size = kMaxBurst;
   for (std::size_t p = 0; p < cfg_.num_paths; ++p) {
@@ -234,7 +238,14 @@ std::size_t ThreadedDataPlane::ingress_burst(
     slot->seq = 0;
     slot->pkt = nullptr;
   }
-  return dispatch_slots(acquired, flow_hashes.data(), got);
+  const std::size_t accepted = dispatch_slots(acquired, flow_hashes.data(), got);
+  // One recorder event per burst (not per packet): the admission stamp,
+  // the accepted count, and the running submit total.
+  if (ingress_chan_ && accepted)
+    ingress_chan_->emit(admit_ns, telem::EventType::kIngressBurst,
+                        telem::kAllPaths,
+                        static_cast<std::uint32_t>(accepted), submitted_);
+  return accepted;
 }
 
 std::size_t ThreadedDataPlane::pump() {
@@ -297,7 +308,12 @@ std::size_t ThreadedDataPlane::pump() {
     slot->seq = a.seq;
     slot->pkt = rx_buf[i].release();
   }
-  return dispatch_slots(acquired, hashes, slots);
+  const std::size_t accepted = dispatch_slots(acquired, hashes, slots);
+  if (ingress_chan_ && accepted)
+    ingress_chan_->emit(admit_ns, telem::EventType::kIngressBurst,
+                        telem::kAllPaths,
+                        static_cast<std::uint32_t>(accepted), submitted_);
+  return accepted;
 }
 
 void ThreadedDataPlane::worker_loop(std::size_t path) {
@@ -409,7 +425,7 @@ void ThreadedDataPlane::collector_loop() {
         if (span_observer_) span_observer_(sp);
       }
       if (on_complete_) on_complete_(latency, slot->path);
-      path_completed_[slot->path].fetch_add(1, std::memory_order_release);
+      path_completed_[slot->path].v.fetch_add(1, std::memory_order_release);
       if (slot->pkt) {
         // Frame completions travel to the caller thread, which owns all
         // backend/pool interaction; egress_ring_ is slot-pool sized so
@@ -421,6 +437,10 @@ void ThreadedDataPlane::collector_loop() {
       }
     }
     completed_.fetch_add(n, std::memory_order_relaxed);
+    if (egress_chan_)
+      egress_chan_->emit(now, telem::EventType::kEgressBurst,
+                         telem::kAllPaths, static_cast<std::uint32_t>(n),
+                         completed_.load(std::memory_order_relaxed));
     std::size_t back = 0;
     while (back < num_recycle)
       back += free_ring_->try_push_burst(

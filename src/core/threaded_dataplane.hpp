@@ -43,7 +43,9 @@
 #include "io/packet_backend.hpp"
 #include "ring/mpmc_ring.hpp"
 #include "ring/spsc_ring.hpp"
+#include "stats/cacheline.hpp"
 #include "stats/histogram.hpp"
+#include "telem/flight_recorder.hpp"
 #include "trace/exemplar.hpp"
 
 namespace mdp::core {
@@ -79,6 +81,13 @@ struct ThreadedConfig {
   /// never stop()s it (the caller owns its lifetime, and with loopback
   /// pairs the peer endpoint usually outlives the plane).
   io::PacketBackend* backend = nullptr;
+  /// Flight recorder (non-owning; must outlive the plane). When set,
+  /// the plane emits one kIngressBurst event per admitted burst on the
+  /// caller thread ("dp.ingress"), one kEgressBurst per drained burst
+  /// on the collector thread ("dp.collector"), and kAdmissionFlip on
+  /// every set_path_admission — the ext2 telem-on rows bound what this
+  /// costs (~one emit per burst, amortized sub-ns/packet).
+  telem::FlightRecorder* recorder = nullptr;
 };
 
 class ThreadedDataPlane {
@@ -162,6 +171,10 @@ class ThreadedDataPlane {
   /// the full path set rather than blackholing traffic.
   void set_path_admission(std::size_t p, PathAdmission a) {
     admission_[p] = a;
+    if (ingress_chan_)
+      ingress_chan_->emit(now_ns(), telem::EventType::kAdmissionFlip,
+                          static_cast<std::uint16_t>(p),
+                          static_cast<std::uint32_t>(a), 0);
   }
   PathAdmission path_admission(std::size_t p) const noexcept {
     return admission_[p];
@@ -181,7 +194,7 @@ class ThreadedDataPlane {
   /// practice: completions only trail dispatches) while running.
   std::uint64_t path_inflight(std::size_t p) const noexcept {
     const std::uint64_t done =
-        path_completed_[p].load(std::memory_order_acquire);
+        path_completed_[p].v.load(std::memory_order_acquire);
     const std::uint64_t sent = path_counts_[p];
     return sent > done ? sent - done : 0;
   }
@@ -260,10 +273,19 @@ class ThreadedDataPlane {
   std::vector<std::uint64_t> path_counts_;
   // Control-plane state (caller thread only, mutated between bursts like
   // every other dispatch input) + the collector's per-path completion
-  // counters that path_inflight() diffs against.
+  // counters that path_inflight() diffs against. The completion counters
+  // are padded one-per-line: the collector bumps neighboring paths'
+  // counters back to back, and unpadded they'd share a line with each
+  // other (and the caller's reads) — the tab4 padded-vs-packed rows
+  // measure exactly this layout.
   std::vector<PathAdmission> admission_;
   std::vector<std::uint64_t> probe_credits_;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> path_completed_;
+  std::unique_ptr<stats::PaddedAtomicU64[]> path_completed_;
+  // Flight-recorder channels (nullptr when cfg.recorder is unset):
+  // ingress_chan_ is caller-thread only, egress_chan_ collector only —
+  // one writer per channel, as the recorder requires.
+  telem::FlightRecorder::Channel* ingress_chan_ = nullptr;
+  telem::FlightRecorder::Channel* egress_chan_ = nullptr;
   // ingress_burst/pump scratch (caller thread only): per-path staging and
   // the JSQ occupancy snapshot, allocated once.
   std::vector<std::vector<Slot*>> stage_;

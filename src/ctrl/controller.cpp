@@ -1,8 +1,22 @@
 #include "ctrl/controller.hpp"
 
+#include <cstring>
+#include <iterator>
+
 #include "trace/json.hpp"
 
 namespace mdp::ctrl {
+
+std::uint32_t decision_reason_code(const char* reason) noexcept {
+  static constexpr const char* kReasons[] = {
+      "slo_breach",       "backlog_breach", "slo+backlog_breach",
+      "probe_breach",     "drain_start",    "drained",
+      "probation_passed", "hedge_raise",    "hedge_lower",
+      "hedge_timeout"};
+  for (std::uint32_t i = 0; i < std::size(kReasons); ++i)
+    if (std::strcmp(reason, kReasons[i]) == 0) return i + 1;
+  return 0;
+}
 
 Controller::Controller(Config cfg, Actuator& actuator, SloMonitor& monitor)
     : cfg_(cfg),
@@ -28,16 +42,36 @@ std::size_t Controller::active_count() const {
   return n;
 }
 
+void Controller::attach_recorder(telem::FlightRecorder* rec,
+                                 std::uint64_t dump_window_ns) {
+  recorder_ = rec;
+  rec_chan_ = rec ? rec->channel("ctrl") : nullptr;
+  dump_window_ns_ = dump_window_ns;
+}
+
 void Controller::log_decision(Decision d) {
   if (decisions_.size() >= cfg_.decision_log_capacity) {
     decisions_.erase(decisions_.begin());
     ++decisions_evicted_;
   }
   decisions_.push_back(d);
+  if (rec_chan_)
+    rec_chan_->emit(d.now_ns, telem::EventType::kCtrlDecision,
+                    d.path == Decision::kHedge ? telem::kAllPaths : d.path,
+                    decision_reason_code(d.reason), d.p99_ns);
+  // Quarantine post-mortem: snapshot the merged event timeline as it
+  // stood at the moment the path was cut. The dump INCLUDES the
+  // kCtrlDecision event just emitted, so the artifact is self-dating.
+  if (recorder_ && d.path != Decision::kHedge &&
+      d.to == PathState::kQuarantined) {
+    last_quarantine_dump_ = recorder_->dump_json(dump_window_ns_);
+    ++auto_dumps_;
+  }
 }
 
 void Controller::tick(std::uint64_t now_ns) {
   ++tick_;
+  if (exporter_) exporter_->begin_tick(tick_, now_ns);
   std::uint64_t worst_serving_p99 = 0;
   std::uint64_t worst_serving_p50 = 0;
   std::uint64_t serving_samples = 0;
@@ -49,6 +83,20 @@ void Controller::tick(std::uint64_t now_ns) {
     const PathState before = pc.fsm.state();
     const WindowStats w = mon_.harvest(p);
     const std::uint64_t backlog = act_.path_backlog(p);
+
+    if (exporter_) {
+      telem::PathTickStats ts;
+      ts.path = static_cast<std::uint16_t>(p);
+      ts.samples = w.samples;
+      ts.violations = w.violations;
+      ts.sum_ns = w.sum_ns;
+      ts.p50_ns = w.p50_ns;
+      ts.p99_ns = w.p99_ns;
+      ts.p999_ns = w.p999_ns;
+      ts.max_ns = w.max_ns;
+      ts.stage_sum_ns = w.stage_sum_ns;
+      exporter_->add_path(ts);
+    }
 
     // Stage verdict: WHERE this window's latency went, when the feeder
     // supplied spans (observe_span) rather than bare scalars.
@@ -226,6 +274,8 @@ void Controller::tick(std::uint64_t now_ns) {
     d.hedge_timeout_ns = t_after;
     log_decision(d);
   }
+
+  if (exporter_) exporter_->end_tick();
 }
 
 std::uint64_t Controller::quarantines() const noexcept {

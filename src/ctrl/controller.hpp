@@ -17,7 +17,7 @@
 //      (mask / flush+drain / probe-only probation / re-enable),
 //   4. run the AdaptiveHedger on the worst serving-path p99.
 // Every transition and every hedge change is appended to a bounded
-// decision log, exported as the "ctrl" section of mdp.run_report.v1
+// decision log, exported as the "ctrl" section of mdp.run_report.v2
 // (docs/OBSERVABILITY.md) so benches can show *when* and *why* the
 // controller acted.
 #pragma once
@@ -30,9 +30,20 @@
 #include "ctrl/hedger.hpp"
 #include "ctrl/path_state.hpp"
 #include "ctrl/slo_monitor.hpp"
+#include "telem/flight_recorder.hpp"
+#include "telem/snapshot_exporter.hpp"
 #include "trace/registry.hpp"
 
 namespace mdp::ctrl {
+
+/// Stable numeric code for a decision reason string, stamped into
+/// telem::EventType::kCtrlDecision events (field `n`). 0 = unknown.
+/// Codes are part of the flight-recorder schema (docs/OBSERVABILITY.md):
+///   1 slo_breach          2 backlog_breach     3 slo+backlog_breach
+///   4 probe_breach        5 drain_start        6 drained
+///   7 probation_passed    8 hedge_raise        9 hedge_lower
+///  10 hedge_timeout
+std::uint32_t decision_reason_code(const char* reason) noexcept;
 
 struct Config {
   /// The latency objective, in whatever unit the monitor is fed.
@@ -133,7 +144,32 @@ class Controller {
   void set_backlog_limit(std::uint64_t n) { cfg_.backlog_limit = n; }
   const Config& config() const noexcept { return cfg_; }
 
-  /// The "ctrl" section of mdp.run_report.v1: config echo, lifetime
+  // --- telemetry plane (optional; see docs/OBSERVABILITY.md) ---------------
+  /// Forward every harvested window to `exporter` (one begin_tick /
+  /// add_path* / end_tick cycle per tick): the per-tick per-path
+  /// histogram time series behind the "telem" run-report section. The
+  /// exporter must outlive the controller's last tick. nullptr detaches.
+  void set_telem_exporter(telem::SnapshotExporter* exporter) {
+    exporter_ = exporter;
+  }
+
+  /// Attach a flight recorder: every logged decision also lands on the
+  /// recorder's "ctrl" channel (kCtrlDecision, n = reason code), and a
+  /// transition INTO kQuarantined auto-dumps the recorder's last
+  /// `dump_window_ns` of events (0 = everything retained) into
+  /// last_quarantine_dump() — the post-mortem for "what was the plane
+  /// doing in the ticks before this path was cut". nullptr detaches.
+  void attach_recorder(telem::FlightRecorder* rec,
+                       std::uint64_t dump_window_ns = 0);
+
+  /// Timeline captured at the most recent quarantine decision (empty
+  /// until the first one). mdp.flight_recorder.v1 JSON.
+  const std::string& last_quarantine_dump() const noexcept {
+    return last_quarantine_dump_;
+  }
+  std::uint64_t auto_dumps() const noexcept { return auto_dumps_; }
+
+  /// The "ctrl" section of mdp.run_report.v2: config echo, lifetime
   /// counters, and the decision log (see docs/OBSERVABILITY.md).
   std::string report_json() const;
 
@@ -165,6 +201,12 @@ class Controller {
   SloMonitor& mon_;
   AdaptiveHedger hedger_;
   HedgeTimeoutController hedge_timeout_;
+  telem::SnapshotExporter* exporter_ = nullptr;
+  telem::FlightRecorder* recorder_ = nullptr;
+  telem::FlightRecorder::Channel* rec_chan_ = nullptr;
+  std::uint64_t dump_window_ns_ = 0;
+  std::string last_quarantine_dump_;
+  std::uint64_t auto_dumps_ = 0;
   std::vector<PathCtl> paths_;
   std::vector<Decision> decisions_;
   std::uint64_t tick_ = 0;

@@ -84,16 +84,22 @@ WindowStats SloMonitor::harvest(std::size_t path) noexcept {
   // 1, at most n); the median uses the upper-middle rank.
   const std::uint64_t rank50 = (out.samples + 1) / 2;
   const std::uint64_t rank99 = (out.samples * 99 + 99) / 100;
+  const std::uint64_t rank999 = (out.samples * 999 + 999) / 1000;
   std::uint64_t seen = 0;
   bool have_p50 = false;
+  bool have_p99 = false;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += counts[i];
     if (!have_p50 && seen >= rank50) {
       out.p50_ns = bucket_upper_edge(i);
       have_p50 = true;
     }
-    if (seen >= rank99) {
+    if (!have_p99 && seen >= rank99) {
       out.p99_ns = bucket_upper_edge(i);
+      have_p99 = true;
+    }
+    if (seen >= rank999) {
+      out.p999_ns = bucket_upper_edge(i);
       break;
     }
   }

@@ -31,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "stats/cacheline.hpp"
 #include "trace/registry.hpp"
 #include "trace/span.hpp"
 
@@ -43,6 +44,7 @@ struct WindowStats {
   std::uint64_t sum_ns = 0;
   std::uint64_t p50_ns = 0;      ///< bucket-quantized window median
   std::uint64_t p99_ns = 0;      ///< bucket-quantized window p99
+  std::uint64_t p999_ns = 0;     ///< bucket-quantized window p99.9
   std::uint64_t max_ns = 0;      ///< upper edge of the top non-empty bucket
   /// Per-stage latency mass observed this window (observe_span feeders
   /// only; all-zero when the plane feeds plain scalar latencies). Indexed
@@ -127,12 +129,23 @@ class SloMonitor {
   void register_stats(trace::StatsRegistry& reg) const;
 
  private:
-  struct alignas(64) PathWindow {
+  // Hot-write layout (stats::kCacheLineSize =
+  // std::hardware_destructive_interference_size): the scalar window
+  // accumulators the observer thread hits on EVERY observation (sum /
+  // violations), the per-stage sums (every observe_span), and the
+  // lifetime counters each get their own interference line, so the
+  // harvester's exchange-to-zero on one group never steals the line the
+  // observer is pounding in another — and adjacent heap-allocated
+  // PathWindows can't share a boundary line either. tab4's
+  // padded-vs-packed rows quantify what this buys.
+  struct alignas(stats::kCacheLineSize) PathWindow {
     std::atomic<std::uint64_t> buckets[kBuckets];
-    std::atomic<std::uint64_t> sum{0};
+    alignas(stats::kCacheLineSize) std::atomic<std::uint64_t> sum{0};
     std::atomic<std::uint64_t> violations{0};
-    std::atomic<std::uint64_t> stage_sum[trace::kNumStages];
-    std::atomic<std::uint64_t> lifetime_samples{0};
+    alignas(stats::kCacheLineSize)
+        std::atomic<std::uint64_t> stage_sum[trace::kNumStages];
+    alignas(stats::kCacheLineSize)
+        std::atomic<std::uint64_t> lifetime_samples{0};
     std::atomic<std::uint64_t> lifetime_violations{0};
   };
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "harness/report.hpp"
 #include "net/headers.hpp"
+#include "telem/snapshot_exporter.hpp"
 #include "workload/flow_size.hpp"
 
 namespace mdp::harness {
@@ -89,6 +91,11 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   res.chain_cost_ns = a.dp->chain_cost_ns();
   res.offered_load = cfg.load;
 
+  // Registry lives for the whole run (not just the end-of-run snapshot)
+  // so the telemetry exporter can harvest per-tick counter deltas.
+  trace::StatsRegistry reg;
+  a.dp->register_stats(reg);
+
   // --- stage tracing -------------------------------------------------------
   std::unique_ptr<trace::Tracer> tracer;
   if (cfg.trace) {
@@ -101,6 +108,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     tc.enabled = cfg.warmup_packets == 0;
     tracer = std::make_unique<trace::Tracer>(tc);
     a.dp->set_tracer(tracer.get());
+    tracer->register_with(reg, "trace");
   }
 
   // --- control plane -------------------------------------------------------
@@ -112,6 +120,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   std::unique_ptr<ctrl::SloMonitor> slo_mon;
   std::unique_ptr<ctrl::SimPlaneActuator> actuator;
   std::unique_ptr<ctrl::Controller> controller;
+  std::unique_ptr<telem::SnapshotExporter> telem_exporter;
   if (cfg.ctrl_enabled) {
     slo_mon = std::make_unique<ctrl::SloMonitor>(cfg.num_paths,
                                                  cfg.ctrl.slo_target_ns);
@@ -119,6 +128,15 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
         std::make_unique<ctrl::SimPlaneActuator>(a.eq, *a.dp, *slo_mon);
     controller =
         std::make_unique<ctrl::Controller>(cfg.ctrl, *actuator, *slo_mon);
+    controller->register_stats(reg);
+    slo_mon->register_stats(reg);
+    if (cfg.telem_enabled) {
+      telem::SnapshotExporter::Config tec;
+      tec.capacity_ticks = cfg.telem_capacity_ticks;
+      tec.registry = &reg;
+      telem_exporter = std::make_unique<telem::SnapshotExporter>(tec);
+      controller->set_telem_exporter(telem_exporter.get());
+    }
     struct CtrlTicker {
       static void arm(sim::EventQueue& eq, ctrl::Controller& c,
                       sim::TimeNs period) {
@@ -255,15 +273,16 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
                                             measured_first_ns);
 
   // --- metric snapshot ------------------------------------------------------
-  trace::StatsRegistry reg;
-  a.dp->register_stats(reg);
-  if (tracer) tracer->register_with(reg, "trace");
   if (controller) {
-    controller->register_stats(reg);
-    slo_mon->register_stats(reg);
     res.ctrl_report = controller->report_json();
     res.ctrl_quarantines = controller->quarantines();
     res.ctrl_reinstatements = controller->reinstatements();
+  }
+  if (telem_exporter) {
+    res.telem_report = telem_exporter->to_json();
+    if (!cfg.telem_prometheus_path.empty())
+      write_text_file(cfg.telem_prometheus_path,
+                      telem_exporter->to_prometheus());
   }
   for (const auto& ts : res.queue_depth_series) reg.add_time_series(&ts);
   res.stats = reg.snapshot();

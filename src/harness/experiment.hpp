@@ -67,10 +67,21 @@ struct ScenarioConfig {
   /// latency observations, ticking on the event queue. Quarantine /
   /// drain / reinstate decisions and hedging actuate on the data plane
   /// mid-run; the decision log lands in ScenarioResult::ctrl_report and
-  /// the "ctrl" section of mdp.run_report.v1.
+  /// the "ctrl" section of mdp.run_report.v2.
   bool ctrl_enabled = false;
   ctrl::Config ctrl{};
   sim::TimeNs ctrl_tick_interval_ns = 1 * sim::kMillisecond;
+
+  /// Telemetry plane (requires ctrl_enabled: the exporter rides the
+  /// controller's tick). On every tick the harvested per-path windows
+  /// (p50/p99/p99.9 + stage sums) and registry counter deltas land in a
+  /// bounded in-memory time series, exported as the "telem" section of
+  /// mdp.run_report.v2 (ScenarioResult::telem_report).
+  bool telem_enabled = false;
+  std::size_t telem_capacity_ticks = 4096;
+  /// When non-empty, the final Prometheus text exposition (newest tick +
+  /// cumulative counters) is written here at end of run ("-" = stdout).
+  std::string telem_prometheus_path;
 };
 
 struct ScenarioResult {
@@ -106,6 +117,10 @@ struct ScenarioResult {
   std::string ctrl_report;
   std::uint64_t ctrl_quarantines = 0;
   std::uint64_t ctrl_reinstatements = 0;
+  /// Telemetry time series JSON (mdp.telem.v1); empty unless
+  /// ScenarioConfig::telem_enabled. Spliced into run reports as the
+  /// "telem" section of mdp.run_report.v2.
+  std::string telem_report;
 };
 
 /// Run a packet-level scenario (Figs 1, 6-10, 12; Tab 2).

@@ -30,7 +30,7 @@ std::string scenario_report_json(const ScenarioConfig& cfg,
                                  const ScenarioResult& res) {
   trace::JsonWriter w;
   w.begin_object();
-  w.key("schema").value("mdp.run_report.v1");
+  w.key("schema").value("mdp.run_report.v2");
 
   w.key("config").begin_object();
   w.key("policy").value(cfg.policy);
@@ -54,6 +54,7 @@ std::string scenario_report_json(const ScenarioConfig& cfg,
   w.key("seed").value(cfg.seed);
   w.key("trace").value(cfg.trace);
   w.key("ctrl_enabled").value(cfg.ctrl_enabled);
+  w.key("telem_enabled").value(cfg.telem_enabled);
   w.end_object();
 
   w.key("metrics").begin_object();
@@ -96,6 +97,11 @@ std::string scenario_report_json(const ScenarioConfig& cfg,
   // Controller decision log + lifetime counters (present iff the run had
   // ctrl_enabled; fields documented in docs/OBSERVABILITY.md).
   if (!res.ctrl_report.empty()) w.key("ctrl").raw(res.ctrl_report);
+
+  // Telemetry time series: per-tick per-path window quantiles + stage
+  // sums + counter deltas (present iff telem_enabled; the v1 -> v2
+  // schema addition, documented in docs/OBSERVABILITY.md).
+  if (!res.telem_report.empty()) w.key("telem").raw(res.telem_report);
 
   // Full registry snapshot (per-stage histograms live here too, under
   // "trace.stage.*", alongside per-path counters and dedup/reorder stats).

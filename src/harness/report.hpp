@@ -4,7 +4,7 @@
 // every figure in EXPERIMENTS.md can be regenerated from, and the format
 // the bench binaries' --json flag emits.
 //
-// Schema: "mdp.run_report.v1" — documented in docs/OBSERVABILITY.md.
+// Schema: "mdp.run_report.v2" — documented in docs/OBSERVABILITY.md.
 #pragma once
 
 #include <string>

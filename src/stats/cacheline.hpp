@@ -1,0 +1,38 @@
+// Cache-line geometry for hot-path data layout.
+//
+// kCacheLineSize is std::hardware_destructive_interference_size when the
+// toolchain provides it (the span two threads must not share without
+// paying coherence traffic), else the x86-64/ARM64 conventional 64.
+// PaddedAtomicU64 places one counter per line so adjacent per-path
+// counters written by different threads (the collector's completion
+// counts, the monitor's window accumulators) never false-share — the
+// ROADMAP false-sharing item, quantified by tab4's padded-vs-packed rows.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace mdp::stats {
+
+#ifdef __cpp_lib_hardware_interference_size
+inline constexpr std::size_t kCacheLineSize =
+    std::hardware_destructive_interference_size;
+#else
+inline constexpr std::size_t kCacheLineSize = 64;
+#endif
+
+/// One 64-bit atomic counter alone on its destructive-interference line.
+/// Drop-in for arrays of adjacent hot counters written from different
+/// threads; costs kCacheLineSize bytes per counter instead of 8.
+struct alignas(kCacheLineSize) PaddedAtomicU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+static_assert(sizeof(PaddedAtomicU64) >= kCacheLineSize,
+              "padding must cover a full interference line");
+static_assert(alignof(PaddedAtomicU64) == kCacheLineSize,
+              "each counter must start on its own line");
+
+}  // namespace mdp::stats

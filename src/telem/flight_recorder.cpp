@@ -1,0 +1,121 @@
+#include "telem/flight_recorder.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "trace/json.hpp"
+
+namespace mdp::telem {
+
+FlightRecorder::FlightRecorder(Config cfg) : cfg_(cfg), enabled_(cfg.enabled) {
+  if (cfg_.events_per_channel == 0) cfg_.events_per_channel = 1;
+  cfg_.events_per_channel = std::bit_ceil(cfg_.events_per_channel);
+  if (cfg_.max_channels == 0) cfg_.max_channels = 1;
+}
+
+FlightRecorder::Channel* FlightRecorder::channel(std::string_view name) {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  for (const auto& c : channels_)
+    if (c->name() == name) return c.get();
+  if (channels_.size() >= cfg_.max_channels) return nullptr;
+  channels_.emplace_back(std::unique_ptr<Channel>(
+      new Channel(this, std::string(name), cfg_.events_per_channel)));
+  return channels_.back().get();
+}
+
+std::vector<std::string> FlightRecorder::channel_names() const {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  std::vector<std::string> out;
+  out.reserve(channels_.size());
+  for (const auto& c : channels_) out.push_back(c->name());
+  return out;
+}
+
+std::size_t FlightRecorder::memory_bytes() const {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  std::size_t n = 0;
+  for (const auto& c : channels_)
+    n += c->capacity() * sizeof(Channel::Slot);
+  return n;
+}
+
+std::vector<Event> FlightRecorder::collect(std::uint64_t window_ns) const {
+  std::vector<Event> out;
+  {
+    std::lock_guard<std::mutex> lk(reg_mu_);
+    for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
+      const Channel& ch = *channels_[ci];
+      const std::uint64_t head = ch.head_.load(std::memory_order_acquire);
+      const std::uint64_t cap = ch.mask_ + 1;
+      const std::uint64_t lo = head > cap ? head - cap : 0;
+      for (std::uint64_t j = lo; j < head; ++j) {
+        const Channel::Slot& s = ch.slots_[j & ch.mask_];
+        // Seqlock reader: accept only a stable, even version matching
+        // event j exactly — anything else is mid-write or already
+        // overwritten by a newer event and will be picked up (or not)
+        // under its own index.
+        const std::uint64_t v1 = s.ver.load(std::memory_order_acquire);
+        if (v1 != 2 * j + 2) continue;
+        // Fence-free reader half of the seqlock (see emit()): the word
+        // loads are acquire, so the v2 re-check cannot be hoisted above
+        // any of them, and none of them can be hoisted above v1.
+        Event e;
+        e.ts_ns = s.ts.load(std::memory_order_acquire);
+        e.seq = s.seq.load(std::memory_order_acquire);
+        const std::uint64_t meta = s.meta.load(std::memory_order_acquire);
+        e.b = s.b.load(std::memory_order_acquire);
+        const std::uint64_t v2 = s.ver.load(std::memory_order_relaxed);
+        if (v1 != v2) continue;
+        e.type = static_cast<EventType>(meta & 0xff);
+        e.path = static_cast<std::uint16_t>((meta >> 8) & 0xffff);
+        e.a = static_cast<std::uint32_t>(meta >> 32);
+        e.channel = static_cast<std::uint32_t>(ci);
+        out.push_back(e);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Event& x, const Event& y) {
+    return x.ts_ns != y.ts_ns ? x.ts_ns < y.ts_ns : x.seq < y.seq;
+  });
+  if (window_ns > 0 && !out.empty()) {
+    const std::uint64_t newest = out.back().ts_ns;
+    const std::uint64_t cutoff = newest > window_ns ? newest - window_ns : 0;
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [cutoff](const Event& e) {
+                               return e.ts_ns < cutoff;
+                             }),
+              out.end());
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump_json(std::uint64_t window_ns) const {
+  const std::vector<Event> events = collect(window_ns);
+  const std::vector<std::string> names = channel_names();
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("mdp.flight_recorder.v1");
+  w.key("emitted").value(total_emitted());
+  w.key("retained").value(static_cast<std::uint64_t>(events.size()));
+  w.key("window_ns").value(window_ns);
+  w.key("channels").begin_array();
+  for (const auto& n : names) w.value(n);
+  w.end_array();
+  w.key("events").begin_array();
+  for (const Event& e : events) {
+    w.begin_object();
+    w.key("t").value(e.ts_ns);
+    w.key("seq").value(e.seq);
+    w.key("chan").value(e.channel < names.size() ? names[e.channel] : "?");
+    w.key("type").value(event_type_name(e.type));
+    w.key("path").value(static_cast<std::uint64_t>(e.path));
+    w.key("n").value(static_cast<std::uint64_t>(e.a));
+    w.key("data").value(e.b);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace mdp::telem

@@ -1,0 +1,160 @@
+#include "telem/snapshot_exporter.hpp"
+
+#include <cctype>
+#include <string_view>
+
+#include "trace/json.hpp"
+
+namespace mdp::telem {
+
+SnapshotExporter::SnapshotExporter(Config cfg) : cfg_(cfg) {
+  if (cfg_.capacity_ticks == 0) cfg_.capacity_ticks = 1;
+}
+
+void SnapshotExporter::begin_tick(std::uint64_t tick, std::uint64_t now_ns) {
+  if (open_) end_tick();  // tolerate a missed end_tick
+  open_row_ = TickRow{};
+  open_row_.tick = tick;
+  open_row_.now_ns = now_ns;
+  open_ = true;
+}
+
+void SnapshotExporter::add_path(const PathTickStats& s) {
+  if (!open_) return;
+  open_row_.paths.push_back(s);
+}
+
+void SnapshotExporter::end_tick() {
+  if (!open_) return;
+  if (cfg_.registry) {
+    trace::Snapshot snap = cfg_.registry->snapshot();
+    for (const auto& [name, value] : snap.counters) {
+      const auto it = last_counters_.find(name);
+      const std::uint64_t prev = it == last_counters_.end() ? 0 : it->second;
+      if (value > prev)
+        open_row_.counter_deltas.emplace_back(name, value - prev);
+    }
+    last_counters_ = std::move(snap.counters);
+  }
+  rows_.push_back(std::move(open_row_));
+  ++recorded_;
+  while (rows_.size() > cfg_.capacity_ticks) {
+    rows_.pop_front();
+    ++evicted_;
+  }
+  open_ = false;
+}
+
+std::string SnapshotExporter::to_json() const {
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("mdp.telem.v1");
+  w.key("capacity_ticks")
+      .value(static_cast<std::uint64_t>(cfg_.capacity_ticks));
+  w.key("ticks_recorded").value(recorded_);
+  w.key("ticks_evicted").value(evicted_);
+  w.key("ticks").begin_array();
+  for (const TickRow& row : rows_) {
+    w.begin_object();
+    w.key("tick").value(row.tick);
+    w.key("now_ns").value(row.now_ns);
+    w.key("paths").begin_array();
+    for (const PathTickStats& p : row.paths) {
+      w.begin_object();
+      w.key("path").value(static_cast<std::uint64_t>(p.path));
+      w.key("samples").value(p.samples);
+      w.key("violations").value(p.violations);
+      w.key("sum_ns").value(p.sum_ns);
+      w.key("p50_ns").value(p.p50_ns);
+      w.key("p99_ns").value(p.p99_ns);
+      w.key("p999_ns").value(p.p999_ns);
+      w.key("max_ns").value(p.max_ns);
+      w.key("stage_sum_ns").begin_object();
+      for (std::size_t i = 0; i < trace::kNumStages; ++i)
+        if (p.stage_sum_ns[i])
+          w.key(trace::stage_name(trace::stage_at(i)))
+              .value(p.stage_sum_ns[i]);
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+    if (!row.counter_deltas.empty()) {
+      w.key("counter_deltas").begin_object();
+      for (const auto& [name, delta] : row.counter_deltas)
+        w.key(name).value(delta);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our registry keys use
+/// dots ("ctrl.quarantines") — map them to underscores.
+std::string prom_name(std::string_view key) {
+  std::string out = "mdp_";
+  for (char c : key)
+    out.push_back((std::isalnum(static_cast<unsigned char>(c)) != 0)
+                      ? c
+                      : '_');
+  return out;
+}
+
+}  // namespace
+
+std::string SnapshotExporter::to_prometheus() const {
+  std::string out;
+  auto line = [&out](const std::string& name, const std::string& labels,
+                     std::uint64_t v) {
+    out += name;
+    out += labels;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  };
+  if (!rows_.empty()) {
+    const TickRow& row = rows_.back();
+    out += "# TYPE mdp_telem_tick gauge\n";
+    line("mdp_telem_tick", "", row.tick);
+    const struct {
+      const char* metric;
+      std::uint64_t PathTickStats::*field;
+    } kWindow[] = {
+        {"mdp_telem_window_samples", &PathTickStats::samples},
+        {"mdp_telem_window_violations", &PathTickStats::violations},
+        {"mdp_telem_window_p50_ns", &PathTickStats::p50_ns},
+        {"mdp_telem_window_p99_ns", &PathTickStats::p99_ns},
+        {"mdp_telem_window_p999_ns", &PathTickStats::p999_ns},
+        {"mdp_telem_window_max_ns", &PathTickStats::max_ns},
+    };
+    for (const auto& m : kWindow) {
+      out += "# TYPE ";
+      out += m.metric;
+      out += " gauge\n";
+      for (const PathTickStats& p : row.paths)
+        line(m.metric, "{path=\"" + std::to_string(p.path) + "\"}",
+             p.*(m.field));
+    }
+    out += "# TYPE mdp_telem_window_stage_sum_ns gauge\n";
+    for (const PathTickStats& p : row.paths)
+      for (std::size_t i = 0; i < trace::kNumStages; ++i)
+        line("mdp_telem_window_stage_sum_ns",
+             "{path=\"" + std::to_string(p.path) + "\",stage=\"" +
+                 trace::stage_name(trace::stage_at(i)) + "\"}",
+             p.stage_sum_ns[i]);
+  }
+  if (!last_counters_.empty()) {
+    for (const auto& [name, value] : last_counters_) {
+      const std::string pn = prom_name(name);
+      out += "# TYPE " + pn + " counter\n";
+      line(pn, "", value);
+    }
+  }
+  return out;
+}
+
+}  // namespace mdp::telem

@@ -1,0 +1,102 @@
+// SnapshotExporter: the periodic half of the telemetry plane. The
+// Controller forwards every per-path window it harvests (one call per
+// path per tick) plus an optional StatsRegistry, and the exporter keeps
+// a bounded in-memory time series of per-tick rows:
+//
+//   tick, now_ns,
+//   per path: samples, violations, p50/p99/p99.9/max, per-stage sums,
+//   per tick: counter deltas since the previous tick (registry feeders).
+//
+// Capacity is bounded (overwrite-oldest, evictions counted), so the
+// exporter can run for the whole soak without growing. to_json() is the
+// "telem" section of mdp.run_report.v2 (docs/OBSERVABILITY.md);
+// to_prometheus() renders the newest tick plus cumulative counters in
+// the Prometheus text exposition format for external scraping (write it
+// to a file/fd with harness::write_text_file or from the caller's own
+// sink on whatever cadence scraping needs).
+//
+// Threading: caller-thread only, same contract as Controller::tick()
+// (which is the only writer). Readers (to_json/to_prometheus) run after
+// the run or between ticks on the same thread.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/registry.hpp"
+#include "trace/span.hpp"
+
+namespace mdp::telem {
+
+/// One path's harvested window, flattened (mirror of ctrl::WindowStats —
+/// telem sits below mdp::ctrl in the link order, so the controller
+/// converts rather than the exporter including ctrl headers).
+struct PathTickStats {
+  std::uint16_t path = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::array<std::uint64_t, trace::kNumStages> stage_sum_ns{};
+};
+
+class SnapshotExporter {
+ public:
+  struct Config {
+    /// Ticks retained; the oldest rows are evicted past this bound.
+    std::size_t capacity_ticks = 4096;
+    /// When set, end_tick() snapshots the registry's counters and the
+    /// tick row carries their deltas since the previous tick. The
+    /// registry (and everything registered in it) must outlive the
+    /// exporter's last end_tick().
+    const trace::StatsRegistry* registry = nullptr;
+  };
+
+  SnapshotExporter() : SnapshotExporter(Config{}) {}
+  explicit SnapshotExporter(Config cfg);
+
+  /// Open the row for `tick`. Controller calls this at the top of its
+  /// tick, then add_path() per harvested path, then end_tick().
+  void begin_tick(std::uint64_t tick, std::uint64_t now_ns);
+  void add_path(const PathTickStats& s);
+  void end_tick();
+
+  std::uint64_t ticks_recorded() const noexcept { return recorded_; }
+  std::uint64_t ticks_evicted() const noexcept { return evicted_; }
+
+  /// The "telem" section of mdp.run_report.v2: schema tag, bounds, and
+  /// the retained tick rows (per-path quantiles + stage sums, counter
+  /// deltas). Deterministic for deterministic inputs.
+  std::string to_json() const;
+
+  /// Prometheus text exposition: newest tick's per-path window gauges
+  /// (mdp_telem_window_*) and cumulative registry counters/gauges.
+  std::string to_prometheus() const;
+
+ private:
+  struct TickRow {
+    std::uint64_t tick = 0;
+    std::uint64_t now_ns = 0;
+    std::vector<PathTickStats> paths;
+    /// Non-zero counter deltas over this tick, sorted by name.
+    std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
+  };
+
+  Config cfg_;
+  std::deque<TickRow> rows_;
+  TickRow open_row_;
+  bool open_ = false;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::map<std::string, std::uint64_t> last_counters_;
+};
+
+}  // namespace mdp::telem

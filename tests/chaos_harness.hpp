@@ -41,6 +41,8 @@
 #include "io/loopback_backend.hpp"
 #include "net/packet_builder.hpp"
 #include "sim/event_queue.hpp"
+#include "telem/flight_recorder.hpp"
+#include "telem/snapshot_exporter.hpp"
 #include "trace/span.hpp"
 
 namespace mdp::chaos {
@@ -80,6 +82,11 @@ struct ChaosScenarioConfig {
   std::uint64_t reorder_timeout_ns = 200'000;
   std::size_t pool_size = 16384;
   std::size_t wire_depth = 8192;
+  /// Flight-recorder ring size per channel (rounded to a power of two).
+  std::size_t recorder_events_per_channel = 8192;
+  /// Span of timeline a quarantine auto-dump captures (0 = everything
+  /// the rings retain). 100 us = the last ~100 rig iterations.
+  std::uint64_t quarantine_dump_window_ns = 100'000;
 };
 
 struct ChaosResult {
@@ -108,6 +115,15 @@ struct ChaosResult {
   std::string ctrl_report;  ///< report_json(): the byte-identity artifact
   /// Egress order as (flow << 32 | seq), for run-to-run identity checks.
   std::vector<std::uint64_t> delivered_log;
+  // Telemetry plane artifacts. The rig runs on one logical clock and one
+  // RNG stream, so all three are byte-identical across same-seed reruns.
+  std::uint64_t telem_events = 0;   ///< events emitted across all channels
+  std::uint64_t auto_dumps = 0;     ///< quarantine-triggered dumps taken
+  std::string telem_dump;           ///< final mdp.flight_recorder.v1 timeline
+  std::string telem_report;         ///< mdp.telem.v1 per-tick time series
+  /// Timeline captured at the moment of the most recent quarantine
+  /// (Controller::last_quarantine_dump); empty when nothing was cut.
+  std::string quarantine_dump;
 };
 
 class ChaosRig {
@@ -128,6 +144,14 @@ class ChaosRig {
 
     core::Deduplicator dedup;
     ChaosResult res;
+
+    // Flight recorder: one channel for the whole rig (single-threaded, so
+    // one writer suffices). Every stage of the loop emits into it; the
+    // controller gets its own "ctrl" channel via attach_recorder below.
+    telem::FlightRecorder rec(
+        {.events_per_channel = cfg_.recorder_events_per_channel});
+    rig_chan_ = rec.channel("rig");
+
     std::map<std::pair<std::uint32_t, std::uint64_t>, int> egress_count;
     std::vector<std::uint64_t> last_seq(cfg_.flows, 0);
     std::vector<bool> any_seq(cfg_.flows, false);
@@ -160,12 +184,18 @@ class ChaosRig {
           sp.path_id = a.path_id;
           sp.active = true;
           mon_->observe_span(a.path_id, sp);
+          rig_chan_->emit(sp.egress_ns, telem::EventType::kReorderRelease,
+                          a.path_id, 1,
+                          (std::uint64_t{a.flow_id} << 32) | a.seq);
         });
 
     mon_ = std::make_unique<ctrl::SloMonitor>(cfg_.num_paths,
                                               cfg_.ctrl.slo_target_ns);
     RigActuator act(*this, *tx);
     ctrl::Controller controller(cfg_.ctrl, act, *mon_);
+    telem::SnapshotExporter exporter({.capacity_ticks = 4096});
+    controller.set_telem_exporter(&exporter);
+    controller.attach_recorder(&rec, cfg_.quarantine_dump_window_ns);
 
     queues_.clear();
     queues_.resize(cfg_.num_paths);
@@ -194,7 +224,13 @@ class ChaosRig {
         }
         dedup.accept_batch({keys, n}, {first, n});
         for (std::size_t i = 0; i < n; ++i)
-          if (!first[i]) got[i].reset();
+          if (!first[i]) {
+            const auto& a = got[i]->anno();
+            rig_chan_->emit(static_cast<std::uint64_t>(eq.now()),
+                            telem::EventType::kDedupDrop, a.path_id, 1,
+                            keys[i]);
+            got[i].reset();
+          }
         reorder.submit_batch({got, n});
         for (std::size_t i = 0; i < n; ++i) got[i].reset();
       }
@@ -207,11 +243,20 @@ class ChaosRig {
         total_iters + cfg_.pool_size + cfg_.reorder_timeout_ns / 1000 + 256;
     for (std::uint64_t iter = 0; iter < hard_stop; ++iter) {
       const std::uint64_t now = iter * 1'000;
+      now_ns_ = now;
       eq.run_until(sim::TimeNs(now));
 
       for (const auto& ph : cfg_.phases) {
-        if (iter == ph.from_iter) tx->set_path_faults(ph.path, ph.faults);
-        if (iter == ph.to_iter) tx->set_path_faults(ph.path, {});
+        if (iter == ph.from_iter) {
+          tx->set_path_faults(ph.path, ph.faults);
+          rig_chan_->emit(now, telem::EventType::kFaultInject, ph.path, 1,
+                          iter);
+        }
+        if (iter == ph.to_iter) {
+          tx->set_path_faults(ph.path, {});
+          rig_chan_->emit(now, telem::EventType::kFaultInject, ph.path, 0,
+                          iter);
+        }
       }
 
       const bool generating = iter < total_iters;
@@ -246,6 +291,11 @@ class ChaosRig {
           if (copies == 1)
             outstanding.push_back({key, flow, seq, now, first_path, false});
         }
+        if (cfg_.packets_per_iter > 0)
+          rig_chan_->emit(now, telem::EventType::kIngressBurst,
+                          telem::kAllPaths,
+                          static_cast<std::uint32_t>(cfg_.packets_per_iter),
+                          res.generated);
       }
 
       // Hedge sweep: rescue tracked single-copy packets older than the
@@ -273,6 +323,7 @@ class ChaosRig {
           o.hedged = true;
           ++res.hedges_sent;
           ++res.copies_sent;
+          rig_chan_->emit(now, telem::EventType::kHedgeFire, alt, 1, o.key);
         }
       }
 
@@ -330,6 +381,12 @@ class ChaosRig {
     res.service_deferrals = controller.service_deferrals();
     res.decisions = controller.decisions();
     res.ctrl_report = controller.report_json();
+    res.telem_events = rec.total_emitted();
+    res.auto_dumps = controller.auto_dumps();
+    res.quarantine_dump = controller.last_quarantine_dump();
+    res.telem_report = exporter.to_json();
+    res.telem_dump = rec.dump_json();
+    rig_chan_ = nullptr;
     mon_.reset();
     return res;
   }
@@ -356,6 +413,9 @@ class ChaosRig {
     std::size_t num_paths() const override { return rig_.cfg_.num_paths; }
     void set_admission(std::size_t path, ctrl::Admission a) override {
       rig_.admission_[path] = a;
+      rig_.rig_chan_->emit(rig_.now_ns_, telem::EventType::kAdmissionFlip,
+                           static_cast<std::uint16_t>(path),
+                           static_cast<std::uint32_t>(a), 0);
     }
     void grant_probes(std::size_t path, std::uint64_t n) override {
       rig_.probe_credits_[path] += n;
@@ -461,6 +521,10 @@ class ChaosRig {
   std::size_t rr_ = 0;
   std::uint64_t rng_ = 1;
   std::uint64_t pool_exhausted_ = 0;
+  /// Live only during run(): the rig's flight-recorder channel and the
+  /// current logical time, so the actuator can stamp admission flips.
+  telem::FlightRecorder::Channel* rig_chan_ = nullptr;
+  std::uint64_t now_ns_ = 0;
 };
 
 }  // namespace mdp::chaos

@@ -9,9 +9,11 @@
 //                  FSM edge, and a known stage name
 //   attribution    the dominant-stage verdict on the first quarantine
 //                  matches the bottleneck the scenario injected
-//   determinism    same seed -> byte-identical decision log and egress
-//                  order
+//   determinism    same seed -> byte-identical decision log, egress
+//                  order, flight-recorder dump, and telem time series
 //
+// Any invariant failure attaches the tail of the flight-recorder dump to
+// the failure message, so a red soak run carries its own timeline.
 // See tests/chaos_harness.hpp for the rig itself.
 #include <gtest/gtest.h>
 
@@ -68,6 +70,31 @@ void expect_decision_log_sane(const ChaosResult& r, const char* label) {
   }
 }
 
+/// Attach the tail of the rig's flight-recorder dump to the current
+/// failure, so the log of a red run shows what the plane was doing in its
+/// final retained window (the full dump can run to hundreds of KB; the
+/// tail holds the newest — most relevant — events).
+void attach_recorder_tail(const ChaosResult& r, const char* label) {
+  constexpr std::size_t kTailBytes = 4096;
+  const std::string& d = r.telem_dump;
+  const std::size_t from = d.size() > kTailBytes ? d.size() - kTailBytes : 0;
+  ADD_FAILURE() << label << ": flight-recorder tail (" << r.telem_events
+                << " events emitted; last " << (d.size() - from) << " of "
+                << d.size() << " dump bytes):\n"
+                << d.substr(from);
+}
+
+/// The standard invariant bundle, with the flight-recorder tail attached
+/// iff a check inside this call failed (not on pre-existing failures).
+void expect_invariants_with_timeline(const ChaosResult& r,
+                                     const char* label) {
+  const bool failed_before = ::testing::Test::HasFailure();
+  expect_core_invariants(r, label);
+  expect_decision_log_sane(r, label);
+  if (!failed_before && ::testing::Test::HasFailure())
+    attach_recorder_tail(r, label);
+}
+
 /// First quarantine decision in the log, or nullptr.
 const ctrl::Decision* first_quarantine(const ChaosResult& r) {
   for (const auto& d : r.decisions)
@@ -106,8 +133,7 @@ TEST(ChaosAttribution, WireDelayYieldsServiceDominatedQuarantine) {
   cfg.phases.push_back({2'000, 18'000, 1, {.delay_ticks = 40}});
 
   ChaosResult r = ChaosRig(cfg).run();
-  expect_core_invariants(r, "service");
-  expect_decision_log_sane(r, "service");
+  expect_invariants_with_timeline(r, "service");
   ASSERT_GT(r.quarantines, 0u) << "the slow path must get caught";
   const ctrl::Decision* q = first_quarantine(r);
   ASSERT_NE(q, nullptr);
@@ -116,6 +142,14 @@ TEST(ChaosAttribution, WireDelayYieldsServiceDominatedQuarantine) {
   EXPECT_STREQ(q->dominant_stage, "service")
       << "wire delay must be attributed to the service stage";
   EXPECT_GT(q->dominant_stage_ns, 0u);
+  // The quarantine must have auto-captured a timeline at decision time,
+  // and that dump must show the decision event that triggered it.
+  EXPECT_GT(r.auto_dumps, 0u);
+  ASSERT_FALSE(r.quarantine_dump.empty());
+  EXPECT_NE(r.quarantine_dump.find("\"ctrl_decision\""), std::string::npos)
+      << "the dump is taken after the decision event, so it must show it";
+  EXPECT_NE(r.quarantine_dump.find("\"ingress_burst\""), std::string::npos)
+      << "the dump window must cover the traffic leading up to the cut";
 }
 
 TEST(ChaosAttribution, DrainStarvationYieldsQueueWaitDominatedQuarantine) {
@@ -129,8 +163,7 @@ TEST(ChaosAttribution, DrainStarvationYieldsQueueWaitDominatedQuarantine) {
   cfg.ctrl = soak_ctrl();
 
   ChaosResult r = ChaosRig(cfg).run();
-  expect_core_invariants(r, "queue");
-  expect_decision_log_sane(r, "queue");
+  expect_invariants_with_timeline(r, "queue");
   ASSERT_GT(r.quarantines, 0u) << "the starved path must get caught";
   const ctrl::Decision* q = first_quarantine(r);
   ASSERT_NE(q, nullptr);
@@ -183,8 +216,9 @@ TEST(ChaosSoak, EightSeedSweepHoldsAllInvariants) {
     ChaosResult r = rig.run();
     const std::string label = "seed " + std::to_string(seed);
     EXPECT_EQ(r.generated, 100'000u);
-    expect_core_invariants(r, label.c_str());
-    expect_decision_log_sane(r, label.c_str());
+    expect_invariants_with_timeline(r, label.c_str());
+    EXPECT_GT(r.telem_events, 0u)
+        << label << ": the flight recorder must see the run";
     EXPECT_EQ(rig.pool_exhaustions(), 0u)
         << label << ": pool must be sized for the sweep";
     EXPECT_EQ(r.egressed, r.arrived_unique)
@@ -217,6 +251,19 @@ TEST(ChaosSoak, SameSeedIsByteIdentical) {
       << "same seed must reproduce the egress order exactly";
   EXPECT_EQ(a.hedges_sent, b.hedges_sent);
   EXPECT_EQ(a.egressed, b.egressed);
+  // The telemetry plane is part of the deterministic artifact set: the
+  // merged flight-recorder timeline, the per-tick telem series, and any
+  // quarantine auto-dump must all be byte-identical across reruns.
+  EXPECT_GT(a.telem_events, 0u);
+  ASSERT_FALSE(a.telem_dump.empty());
+  EXPECT_EQ(a.telem_dump, b.telem_dump)
+      << "same seed must reproduce the flight-recorder dump byte for byte";
+  ASSERT_FALSE(a.telem_report.empty());
+  EXPECT_EQ(a.telem_report, b.telem_report)
+      << "same seed must reproduce the telem time series byte for byte";
+  EXPECT_EQ(a.quarantine_dump, b.quarantine_dump);
+  EXPECT_EQ(a.telem_events, b.telem_events);
+  EXPECT_EQ(a.auto_dumps, b.auto_dumps);
 
   ChaosScenarioConfig other = cfg;
   other.seed = 43;

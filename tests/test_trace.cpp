@@ -536,7 +536,7 @@ TEST(Integration, RunReportJsonIsWellFormed) {
 
   auto v = JsonValue::parse(doc);
   ASSERT_TRUE(v.has_value()) << doc.substr(0, 200);
-  EXPECT_EQ(v->find("schema")->as_string(), "mdp.run_report.v1");
+  EXPECT_EQ(v->find("schema")->as_string(), "mdp.run_report.v2");
   EXPECT_EQ(v->find_path({"config", "policy"})->as_string(), "red2");
   EXPECT_EQ(v->find_path({"metrics", "egressed"})->as_u64(), res.egressed);
   // Per-stage histograms present in the snapshot section.
