@@ -1,48 +1,66 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate: compare a fresh ext2_fastpath burst sweep against the
-committed baseline (BENCH_fastpath.json).
+"""Perf-smoke gate: compare a fresh bench --json sweep against its
+committed baseline. Dispatches on the report's "bench" id:
+
+    ext2_fastpath  vs BENCH_fastpath.json  (threaded-plane burst sweep)
+    ext4_tenants   vs BENCH_tenants.json   (million-flow tenancy tier)
 
 Usage:
     check_perf.py <fresh.json> [<baseline.json>] [--max-regression 2.0]
     check_perf.py --self-test
 
-Fails (exit 1) when any burst row's ns/packet regressed by more than
---max-regression (default 2x — deliberately generous: CI runners are
-shared and noisy; this catches "someone made the hot path 5x slower",
-not 10% drift).
+Fails (exit 1) when any gated row regressed by more than --max-regression
+(default 2x — deliberately generous: CI runners are shared and noisy;
+this catches "someone made the hot path 5x slower", not 10% drift).
 
-The burst-32-vs-burst-1 speedup (the PR's headline claim, >= 1.3x) is
-checked as a WARNING only: on an oversubscribed runner the burst-1 row
-can be arbitrarily distorted by scheduling, so it does not gate merges.
-Regenerate the baseline by running, from a Release build:
+ext2_fastpath extras: the burst-32-vs-burst-1 speedup (>= 1.3x) and the
+telem on/off overhead are reported as WARNING-only lines — an
+oversubscribed runner can distort them arbitrarily, so they do not gate.
+
+ext4_tenants extras: rows marked wall_clock=false run on the rig's
+LOGICAL clock (deterministic: same seed, same numbers, any machine), so
+on top of the ratio rule the gate enforces the tenancy contract hard —
+the victim tenant's p99.9 under a storm WITH admission must sit inside
+the SLO target the row carries (docs/TENANCY.md). Regenerate baselines
+from a Release build:
 
     ./build/bench/ext2_fastpath --json BENCH_fastpath.json
+    ./build/bench/ext4_tenants  --json BENCH_tenants.json
 
 --self-test exercises the gate's own failure branches (regression FAIL,
-missing baseline row, new ungated row, unreadable / corrupt / foreign
-input files) against synthetic tempfile reports and exits 0 iff every
-branch behaves. CI runs it before trusting the real comparison: a gate
-that cannot fail is worse than no gate.
+missing baseline row, new ungated row, SLO-breach FAIL, bench mismatch,
+unreadable / corrupt / foreign input files) against synthetic tempfile
+reports and exits 0 iff every branch behaves. CI runs it before trusting
+the real comparison: a gate that cannot fail is worse than no gate.
 """
 import argparse
 import json
 import sys
 
+SUPPORTED = ("ext2_fastpath", "ext4_tenants")
+DEFAULT_BASELINE = {"ext2_fastpath": "BENCH_fastpath.json",
+                    "ext4_tenants": "BENCH_tenants.json"}
 
-def load_rows(path):
-    """Return {(backend, burst): ns_per_packet} from an ext2_fastpath
-    --json file. Rows predating the pluggable-backend sweep carry no
-    "backend" field and are treated as synthetic."""
+
+def load_doc(path):
     try:
         with open(path) as f:
             doc = json.load(f)
     except OSError as e:
         sys.exit(f"{path}: cannot read ({e.strerror}); regenerate with "
-                 f"./build/bench/ext2_fastpath --json {path}")
+                 f"./build/bench/<bench> --json {path}")
     except json.JSONDecodeError as e:
         sys.exit(f"{path}: not valid JSON ({e})")
-    if doc.get("bench") != "ext2_fastpath":
-        sys.exit(f"{path}: not an ext2_fastpath report")
+    if doc.get("bench") not in SUPPORTED:
+        sys.exit(f"{path}: not a supported bench report "
+                 f"(bench={doc.get('bench')!r}, want one of "
+                 f"{', '.join(SUPPORTED)})")
+    return doc
+
+
+def fastpath_rows(doc, path):
+    """{(backend, burst): ns_per_packet}. Rows predating the
+    pluggable-backend sweep carry no "backend" field -> synthetic."""
     rows = {}
     for run in doc.get("runs", []):
         rep = run.get("report", {})
@@ -58,6 +76,101 @@ def load_rows(path):
     return rows
 
 
+def tenant_rows(doc, path):
+    """{row_name: full row dict} from an ext4_tenants report."""
+    rows = {}
+    for run in doc.get("runs", []):
+        rep = run.get("report", {})
+        if rep.get("schema") != "mdp.bench_tenants.v1":
+            continue
+        if "row" not in rep or "value" not in rep:
+            sys.exit(f"{path}: mdp.bench_tenants.v1 row missing "
+                     f"row/value: {sorted(rep)}")
+        rows[rep["row"]] = rep
+    if not rows:
+        sys.exit(f"{path}: no mdp.bench_tenants.v1 rows")
+    return rows
+
+
+def gate_ratios(fresh, base, value_of, key_label, max_regression):
+    """The shared rule: every baselined row must be present and within
+    max_regression of its baseline. Returns True when anything failed."""
+    failed = False
+    missing = sorted(set(base) - set(fresh))
+    if missing:
+        keys = ", ".join(key_label(k) for k in missing)
+        print(f"FAIL: baseline rows missing from fresh run: {keys} "
+              f"(did the sweep change? regenerate the baseline)")
+        failed = True
+    for key in sorted(set(fresh) - set(base)):
+        print(f"note: {key_label(key)} is new in the fresh run "
+              f"(no baseline row; not gated)")
+    for key in sorted(base):
+        if key not in fresh:
+            continue
+        fv, bv = value_of(fresh[key]), value_of(base[key])
+        ratio = fv / bv if bv else float("inf") if fv else 1.0
+        verdict = "ok"
+        if ratio > max_regression:
+            verdict = f"FAIL (> {max_regression}x regression)"
+            failed = True
+        print(f"{key_label(key):>34}: baseline {bv:10.1f}, "
+              f"fresh {fv:10.1f}, ratio {ratio:.2f}x [{verdict}]")
+    return failed
+
+
+def check_fastpath(fresh, base, max_regression):
+    failed = gate_ratios(fresh, base, lambda v: v,
+                         lambda k: f"{k[0]}/burst{k[1]}", max_regression)
+
+    if ("synthetic", 1) in fresh and ("synthetic", 32) in fresh:
+        speedup = fresh[("synthetic", 1)] / fresh[("synthetic", 32)]
+        tag = "ok" if speedup >= 1.3 else "WARNING (headline claim not " \
+              "reproduced on this runner)"
+        print(f"burst 32 vs 1 speedup: {speedup:.2f}x [{tag}]")
+
+    # Observability budget: the telem-on twin of the synthetic burst-32
+    # row is gated against its own baseline above (the standard 2x rule);
+    # this line reports the on-vs-off ratio from the SAME fresh run, which
+    # is immune to runner-speed drift between baseline and fresh.
+    if ("synthetic", 32) in fresh and ("synthetic_telem", 32) in fresh:
+        overhead = fresh[("synthetic_telem", 32)] / fresh[("synthetic", 32)]
+        tag = "ok" if overhead <= 2.0 else \
+            "WARNING (flight recorder is dominating the hot path)"
+        print(f"telem on/off at burst 32: {overhead:.2f}x [{tag}]")
+    return failed
+
+
+def check_tenants(fresh, base, max_regression):
+    failed = gate_ratios(fresh, base, lambda r: float(r["value"]),
+                         lambda k: k, max_regression)
+
+    # Hard contract checks on the deterministic (logical-clock) rows: the
+    # victim's p99.9 must hold its SLO whenever admission is live. These
+    # rows cannot be excused by runner noise — they replay a seeded rig.
+    for name in ("victim_p999_storm_off", "victim_p999_storm_on_admission"):
+        row = fresh.get(name)
+        if not row or "slo_target_ns" not in row:
+            continue
+        value, slo = float(row["value"]), float(row["slo_target_ns"])
+        if value > slo:
+            print(f"FAIL: {name} = {value:.0f} logical ns breaches the "
+                  f"victim SLO target {slo:.0f} (tenancy contract broken)")
+            failed = True
+        else:
+            print(f"{name}: {value:.0f} <= SLO {slo:.0f} logical ns [ok]")
+
+    on = fresh.get("victim_p999_storm_on_admission")
+    off = fresh.get("victim_p999_storm_on_no_admission")
+    if on and off and float(on["value"]) > 0:
+        contagion = float(off["value"]) / float(on["value"])
+        tag = "ok" if contagion >= 2.0 else \
+            "WARNING (storm too weak to demonstrate contagion)"
+        print(f"contagion factor (no admission / admission): "
+              f"{contagion:.1f}x [{tag}]")
+    return failed
+
+
 def self_test():
     """Drive the gate against synthetic reports covering every verdict
     branch. Returns 0 when all checks pass, 1 otherwise."""
@@ -66,12 +179,18 @@ def self_test():
     import os
     import tempfile
 
-    def report(rows):
+    def fp_report(rows):
         return {"bench": "ext2_fastpath",
                 "runs": [{"report": {"schema": "mdp.bench_fastpath.v1",
                                      "backend": b, "burst": n,
                                      "ns_per_packet": v}}
                          for (b, n), v in rows.items()]}
+
+    def tn_report(rows):
+        return {"bench": "ext4_tenants",
+                "runs": [{"report": {"schema": "mdp.bench_tenants.v1",
+                                     **row}}
+                         for row in rows.values()]}
 
     def run_gate(argv):
         """Run main() in-process; return (exit_code, captured_output)."""
@@ -97,6 +216,16 @@ def self_test():
 
     base_rows = {("synthetic", 1): 100.0, ("synthetic", 32): 50.0,
                  ("synthetic_telem", 32): 55.0}
+    tn_base = {
+        "flowtable_insert_1m": {"row": "flowtable_insert_1m",
+                                "value": 100.0, "wall_clock": True},
+        "victim_p999_storm_on_admission": {
+            "row": "victim_p999_storm_on_admission", "value": 2000,
+            "slo_target_ns": 50000, "wall_clock": False},
+        "victim_p999_storm_on_no_admission": {
+            "row": "victim_p999_storm_on_no_admission", "value": 4000000,
+            "slo_target_ns": 50000, "wall_clock": False},
+    }
     with tempfile.TemporaryDirectory() as d:
         def write(name, obj, raw=None):
             path = os.path.join(d, name)
@@ -107,31 +236,33 @@ def self_test():
                     json.dump(obj, f)
             return path
 
-        base = write("base.json", report(base_rows))
+        base = write("base.json", fp_report(base_rows))
+        tbase = write("tbase.json", tn_report(tn_base))
 
         # Clean pass: identical rows gate green, and the telem on/off
         # twin rows produce the observability-budget line.
-        code, out = run_gate([write("same.json", report(base_rows)), base])
+        code, out = run_gate([write("same.json", fp_report(base_rows)),
+                              base])
         check("identical rows pass", code == 0 and "FAIL" not in out, out)
         check("telem on/off ratio reported",
               "telem on/off at burst 32: 1.10x [ok]" in out, out)
 
         # Regression: a 3x slower row must fail a 2x gate.
         slow = {**base_rows, ("synthetic", 32): 150.0}
-        code, out = run_gate([write("slow.json", report(slow)), base])
+        code, out = run_gate([write("slow.json", fp_report(slow)), base])
         check("3x regression fails",
               code == 1 and "FAIL (> 2.0x regression)" in out, out)
 
         # Missing row: the fresh sweep silently dropping a baselined
         # configuration must fail, not pass by omission.
         only1 = {("synthetic", 1): 100.0}
-        code, out = run_gate([write("narrow.json", report(only1)), base])
+        code, out = run_gate([write("narrow.json", fp_report(only1)), base])
         check("missing baseline row fails",
               code == 1 and "baseline rows missing" in out, out)
 
         # New row: an extra fresh configuration is noted but not gated.
         wide = {**base_rows, ("loopback", 32): 80.0}
-        code, out = run_gate([write("wide.json", report(wide)), base])
+        code, out = run_gate([write("wide.json", fp_report(wide)), base])
         check("new row noted, not gated",
               code == 0 and "not gated" in out, out)
 
@@ -141,15 +272,16 @@ def self_test():
               code == 1 and "cannot read" in out, out)
 
         # Corrupt JSON.
-        code, out = run_gate([write("corrupt.json", None, raw="{nope"), base])
+        code, out = run_gate([write("corrupt.json", None, raw="{nope"),
+                              base])
         check("corrupt JSON fails",
               code == 1 and "not valid JSON" in out, out)
 
-        # A foreign report (valid JSON, wrong bench).
+        # A foreign report (valid JSON, unknown bench).
         code, out = run_gate(
             [write("foreign.json", {"bench": "other", "runs": []}), base])
         check("foreign report fails",
-              code == 1 and "not an ext2_fastpath report" in out, out)
+              code == 1 and "not a supported bench report" in out, out)
 
         # An ext2 report with no usable rows.
         code, out = run_gate(
@@ -158,7 +290,41 @@ def self_test():
         check("row-less report fails",
               code == 1 and "no mdp.bench_fastpath.v1 rows" in out, out)
 
-    total = 9
+        # --- ext4_tenants branches ---------------------------------------
+        # Clean tenants pass: contract line + contagion factor reported.
+        code, out = run_gate([write("tsame.json", tn_report(tn_base)),
+                              tbase])
+        check("tenant rows pass",
+              code == 0 and "<= SLO 50000 logical ns [ok]" in out
+              and "contagion factor" in out, out)
+
+        # Tenant regression: flowtable row 3x slower fails.
+        tslow = {**tn_base,
+                 "flowtable_insert_1m": {"row": "flowtable_insert_1m",
+                                         "value": 300.0,
+                                         "wall_clock": True}}
+        code, out = run_gate([write("tslow.json", tn_report(tslow)), tbase])
+        check("tenant regression fails",
+              code == 1 and "FAIL (> 2.0x regression)" in out, out)
+
+        # SLO breach on the deterministic admission row: hard FAIL even
+        # though the ratio rule alone would let a loud baseline pass it.
+        tbreach = dict(tn_base)
+        tbreach["victim_p999_storm_on_admission"] = {
+            "row": "victim_p999_storm_on_admission", "value": 80000,
+            "slo_target_ns": 50000, "wall_clock": False}
+        loud_base = write("loudbase.json", tn_report(tbreach))
+        code, out = run_gate([write("tbreach.json", tn_report(tbreach)),
+                              loud_base])
+        check("tenant SLO breach fails",
+              code == 1 and "breaches the victim SLO target" in out, out)
+
+        # Mismatched bench ids between fresh and baseline must fail.
+        code, out = run_gate([write("tok.json", tn_report(tn_base)), base])
+        check("bench mismatch fails",
+              code == 1 and "bench mismatch" in out, out)
+
+    total = 13
     passed = total - len(failures)
     print(f"self-test: {passed}/{total} checks passed")
     return 1 if failures else 0
@@ -167,8 +333,9 @@ def self_test():
 def main(argv=None):
     ap = argparse.ArgumentParser()
     ap.add_argument("fresh", nargs="?",
-                    help="just-generated ext2_fastpath --json file")
-    ap.add_argument("baseline", nargs="?", default="BENCH_fastpath.json")
+                    help="just-generated bench --json file")
+    ap.add_argument("baseline", nargs="?", default=None,
+                    help="committed baseline (default: per-bench)")
     ap.add_argument("--max-regression", type=float, default=2.0)
     ap.add_argument("--self-test", action="store_true",
                     help="exercise the gate's own failure branches and exit")
@@ -179,48 +346,22 @@ def main(argv=None):
     if not args.fresh:
         ap.error("fresh report path required (or --self-test)")
 
-    fresh = load_rows(args.fresh)
-    base = load_rows(args.baseline)
+    fresh_doc = load_doc(args.fresh)
+    bench = fresh_doc["bench"]
+    baseline_path = args.baseline or DEFAULT_BASELINE[bench]
+    base_doc = load_doc(baseline_path)
+    if base_doc["bench"] != bench:
+        sys.exit(f"bench mismatch: fresh is {bench}, baseline "
+                 f"{baseline_path} is {base_doc['bench']}")
 
-    failed = False
-    missing = sorted(set(base) - set(fresh))
-    if missing:
-        keys = ", ".join(f"{b}/burst{n}" for b, n in missing)
-        print(f"FAIL: baseline rows missing from fresh run: {keys} "
-              f"(did the sweep change? regenerate the baseline)")
-        failed = True
-    for backend, burst in sorted(set(fresh) - set(base)):
-        print(f"note: {backend} burst {burst} is new in the fresh run "
-              f"(no baseline row; not gated)")
-    for key in sorted(base):
-        backend, burst = key
-        if key not in fresh:
-            continue
-        ratio = fresh[key] / base[key]
-        verdict = "ok"
-        if ratio > args.max_regression:
-            verdict = f"FAIL (> {args.max_regression}x regression)"
-            failed = True
-        print(f"{backend:>9} burst {burst:>4}: "
-              f"baseline {base[key]:8.1f} ns/pkt, "
-              f"fresh {fresh[key]:8.1f} ns/pkt, ratio {ratio:.2f}x "
-              f"[{verdict}]")
-
-    if ("synthetic", 1) in fresh and ("synthetic", 32) in fresh:
-        speedup = fresh[("synthetic", 1)] / fresh[("synthetic", 32)]
-        tag = "ok" if speedup >= 1.3 else "WARNING (headline claim not " \
-              "reproduced on this runner)"
-        print(f"burst 32 vs 1 speedup: {speedup:.2f}x [{tag}]")
-
-    # Observability budget: the telem-on twin of the synthetic burst-32
-    # row is gated against its own baseline above (the standard 2x rule);
-    # this line reports the on-vs-off ratio from the SAME fresh run, which
-    # is immune to runner-speed drift between baseline and fresh.
-    if ("synthetic", 32) in fresh and ("synthetic_telem", 32) in fresh:
-        overhead = fresh[("synthetic_telem", 32)] / fresh[("synthetic", 32)]
-        tag = "ok" if overhead <= 2.0 else \
-            "WARNING (flight recorder is dominating the hot path)"
-        print(f"telem on/off at burst 32: {overhead:.2f}x [{tag}]")
+    if bench == "ext2_fastpath":
+        failed = check_fastpath(fastpath_rows(fresh_doc, args.fresh),
+                                fastpath_rows(base_doc, baseline_path),
+                                args.max_regression)
+    else:
+        failed = check_tenants(tenant_rows(fresh_doc, args.fresh),
+                               tenant_rows(base_doc, baseline_path),
+                               args.max_regression)
 
     sys.exit(1 if failed else 0)
 

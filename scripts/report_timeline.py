@@ -14,6 +14,7 @@ Accepts any of:
 
 Usage:
     report_timeline.py FILE [--csv] [--run NAME] [--max-rows N]
+    report_timeline.py FILE --tenant {all|ID} [--csv]
     report_timeline.py --self-test
 
 ASCII mode (default) prints one row per controller tick: per-path p99.9
@@ -21,6 +22,13 @@ with a bar scaled to the worst window in the series, plus the decisions
 that fired since the previous tick. Rows are strided down to --max-rows,
 but a tick whose interval carried a decision is always kept. --csv emits
 the full series in long form (one row per tick x path), fit for plotting.
+
+--tenant switches to the per-tenant view (docs/TENANCY.md): one column
+group per tenant showing admission state and p99.9 per tick, with
+tenant_throttle/tenant_shed/... decisions overlaid on the tick where they
+fired. '--tenant all' renders every tenant in the series; '--tenant 1'
+narrows to one. With --csv the long form is one row per tick x tenant
+carrying the full TenantTickStats record.
 
 --self-test drives every accepted input shape plus the failure branches
 (unreadable file, corrupt JSON, unrecognized schema) against synthetic
@@ -55,6 +63,8 @@ def decisions_from_ctrl(ctrl):
         label = d.get("reason", "?")
         if "path" in d:
             label += f"@{d['path']}"
+        elif "tenant" in d:
+            label += f"@t{d['tenant']}"
         marks.append((d.get("now_ns", 0), label))
     return marks
 
@@ -100,6 +110,63 @@ def render_telem_ascii(telem, marks, max_rows, out):
         cols.append(", ".join(pending))
         pending = []
         print("  ".join(cols), file=out)
+    n_tenants = len({t.get("tenant") for row in ticks
+                     for t in row.get("tenants", [])})
+    if n_tenants:
+        print(f"per-tenant series present ({n_tenants} tenants): "
+              f"rerun with --tenant all", file=out)
+
+
+def tenant_ids(telem, only):
+    """Sorted tenant ids carried by the series, narrowed by --tenant."""
+    return sorted({t.get("tenant") for row in telem.get("ticks", [])
+                   for t in row.get("tenants", [])
+                   if only == "all" or t.get("tenant") == only})
+
+
+def render_tenants_ascii(telem, marks, max_rows, out, only):
+    ticks = telem.get("ticks", [])
+    ids = tenant_ids(telem, only)
+    peak = max((t.get("p999_ns", 0) for row in ticks
+                for t in row.get("tenants", [])
+                if t.get("tenant") in ids), default=0)
+    print(f"tenant series: {len(ticks)} ticks retained, "
+          f"tenants {ids}, peak p99.9 {fmt_us(peak)}", file=out)
+    header = ["tick", "t(ms)"]
+    for t in ids:
+        header += [f"t{t} state", f"t{t} p99.9", f"t{t} drop"]
+    header += ["worst", "decisions"]
+    print("  ".join(header), file=out)
+
+    stride = max(1, (len(ticks) + max_rows - 1) // max_rows)
+    mi, pending = 0, []
+    for i, row in enumerate(ticks):
+        now = row.get("now_ns", 0)
+        while mi < len(marks) and marks[mi][0] <= now:
+            pending.append(marks[mi][1])
+            mi += 1
+        if i % stride != 0 and not pending and i != len(ticks) - 1:
+            continue
+        by_id = {t.get("tenant"): t for t in row.get("tenants", [])}
+        cols = [str(row.get("tick", i)), f"{now / 1e6:.2f}"]
+        worst = 0
+        for t in ids:
+            ts = by_id.get(t)
+            if ts is None:
+                cols += ["-", "-", "-"]
+                continue
+            cols.append(ts.get("state", "?"))
+            if ts.get("samples", 0) > 0:
+                cols.append(fmt_us(ts.get("p999_ns", 0)))
+                worst = max(worst, ts.get("p999_ns", 0))
+            else:
+                cols.append("-")
+            cols.append(str(ts.get("dropped", 0)))
+        bar = "#" * (round(BAR_WIDTH * worst / peak) if peak else 0)
+        cols.append(f"|{bar:<{BAR_WIDTH}}|")
+        cols.append(", ".join(pending))
+        pending = []
+        print("  ".join(cols), file=out)
 
 
 def render_telem_csv(telem, marks, out):
@@ -119,6 +186,33 @@ def render_telem_csv(telem, marks, out):
                 p.get("violations", 0), p.get("p50_ns", 0),
                 p.get("p99_ns", 0), p.get("p999_ns", 0),
                 p.get("max_ns", 0), dec)), file=out)
+            dec = ""  # decisions annotate the tick once, on its first row
+
+
+def render_tenants_csv(telem, marks, out, only):
+    ids = set(tenant_ids(telem, only))
+    print("tick,now_ns,tenant,state,arrivals,admitted,dropped,"
+          "flow_arrivals,samples,violations,p50_ns,p99_ns,p999_ns,max_ns,"
+          "decisions", file=out)
+    mi = 0
+    for i, row in enumerate(telem.get("ticks", [])):
+        now = row.get("now_ns", 0)
+        labels = []
+        while mi < len(marks) and marks[mi][0] <= now:
+            labels.append(marks[mi][1])
+            mi += 1
+        dec = ";".join(labels)
+        for t in row.get("tenants", []):
+            if t.get("tenant") not in ids:
+                continue
+            print(",".join(str(v) for v in (
+                row.get("tick", i), now, t.get("tenant"),
+                t.get("state", "?"), t.get("arrivals", 0),
+                t.get("admitted", 0), t.get("dropped", 0),
+                t.get("flow_arrivals", 0), t.get("samples", 0),
+                t.get("violations", 0), t.get("p50_ns", 0),
+                t.get("p99_ns", 0), t.get("p999_ns", 0),
+                t.get("max_ns", 0), dec)), file=out)
             dec = ""  # decisions annotate the tick once, on its first row
 
 
@@ -173,6 +267,18 @@ def render_doc(doc, args, out, name=None):
         marks = decisions_from_ctrl(doc.get("ctrl", {}))
     else:
         return False
+    if args.tenant is not None:
+        if not tenant_ids(telem, args.tenant):
+            print(f"telem series carries no rows for tenant "
+                  f"'{args.tenant}' (run had no tenant tier, or the id "
+                  f"is not in the series)", file=out)
+            sys.exit(1)
+        if args.csv:
+            render_tenants_csv(telem, marks, out, args.tenant)
+        else:
+            render_tenants_ascii(telem, marks, args.max_rows, out,
+                                 args.tenant)
+        return True
     if args.csv:
         render_telem_csv(telem, marks, out)
     else:
@@ -189,6 +295,9 @@ def main(argv=None):
                     help="emit the full series as CSV instead of ASCII")
     ap.add_argument("--run", help="bench sink documents: render only the "
                                   "run with this name")
+    ap.add_argument("--tenant",
+                    help="render per-tenant trajectories instead of "
+                         "per-path ones: 'all' or a tenant id")
     ap.add_argument("--max-rows", type=int, default=24,
                     help="ASCII mode: stride the series down to ~N rows")
     ap.add_argument("--self-test", action="store_true",
@@ -199,6 +308,11 @@ def main(argv=None):
         sys.exit(self_test())
     if not args.file:
         ap.error("input file required (or --self-test)")
+    if args.tenant is not None and args.tenant != "all":
+        try:
+            args.tenant = int(args.tenant)
+        except ValueError:
+            ap.error("--tenant wants a tenant id or 'all'")
 
     doc = load_doc(args.file)
     if "bench" in doc and "runs" in doc:
@@ -257,6 +371,22 @@ def self_test():
     sink = {"bench": "ext3", "runs": [
         {"label": "ctrl-on", "report": report},
         {"name": "ctrl-off", "report": {"schema": "mdp.run_report.v2"}}]}
+
+    # A tenant-tier run: two tenants, tenant 0 shed on the second tick.
+    telem_t = json.loads(json.dumps(telem))
+    for t, row in enumerate(telem_t["ticks"]):
+        row["tenants"] = [
+            {"tenant": n,
+             "state": "SHED" if n == 0 and t >= 1 else "ADMITTED",
+             "arrivals": 100, "admitted": 80, "dropped": 20 * n,
+             "flow_arrivals": 5, "samples": 50, "violations": 0,
+             "p50_ns": 1000, "p99_ns": 4000, "p999_ns": 6000 * (t + 1),
+             "max_ns": 9000}
+            for n in (0, 1)]
+    ctrl_t = {"decisions": [{"now_ns": 1_000_000, "target": "tenant",
+                             "tenant": 0, "reason": "tenant_shed"}]}
+    report_t = {"schema": "mdp.run_report.v2", "telem": telem_t,
+                "ctrl": ctrl_t}
 
     def run(argv):
         out = io.StringIO()
@@ -322,6 +452,29 @@ def self_test():
         check("sink with only telem-less runs fails",
               code == 1 and "no runs with a telem section" in out, out)
 
+        # Tenant view: trajectories, the decision overlay, the --tenant
+        # narrowing, CSV long form, and the tenant-less failure branch.
+        tpath = write("report_t.json", report_t)
+        code, out = run([tpath, "--tenant", "all"])
+        check("tenant view renders both trajectories with the shed overlay",
+              code == 0 and "t0 state" in out and "t1 p99.9" in out
+              and "SHED" in out and "tenant_shed@t0" in out, out)
+        code, out = run([tpath, "--tenant", "1"])
+        check("--tenant narrows to one tenant",
+              code == 0 and "tenants [1]" in out and "t0 state" not in out,
+              out)
+        code, out = run([tpath, "--tenant", "all", "--csv"])
+        check("tenant CSV has one row per tick x tenant",
+              code == 0 and "tick,now_ns,tenant,state" in out
+              and out.count("\n") == 1 + 3 * 2, out)
+        code, out = run([write("report2.json", report), "--tenant", "all"])
+        check("--tenant on a tenant-less series fails",
+              code == 1 and "no rows for tenant" in out, out)
+        code, out = run([tpath])
+        check("default view hints at the tenant series",
+              code == 0 and "per-tenant series present (2 tenants)" in out,
+              out)
+
         # Failure branches.
         code, out = run([os.path.join(d, "absent.json")])
         check("unreadable file fails", code == 1 and "cannot read" in out,
@@ -338,7 +491,7 @@ def self_test():
               code == 1 and "no telem section" in out
               and "unrecognized" not in out, out)
 
-    total = 11
+    total = 16
     passed = total - len(failures)
     print(f"self-test: {passed}/{total} checks passed")
     return 1 if failures else 0

@@ -30,6 +30,8 @@
 
 namespace mdp::ctrl {
 
+enum class TenantState : std::uint8_t;  // ctrl/tenant.hpp
+
 /// Per-path admission level the controller can set.
 enum class Admission : std::uint8_t {
   kEnabled = 0,   ///< normal candidate for the dispatch policy
@@ -65,6 +67,15 @@ class Actuator {
   /// hedges.
   virtual void set_hedge_timeout(std::uint64_t timeout_ns) {
     (void)timeout_ns;
+  }
+
+  /// Tenancy: mirror a tenant's admission state into the plane's ingress
+  /// gate (ctrl::TenantAdmission drives this from Controller::tick).
+  /// Default no-op — planes without a tenant gate ignore it; the
+  /// TenantAdmission object itself already answers admit() queries.
+  virtual void set_tenant_admission(std::uint16_t tenant, TenantState s) {
+    (void)tenant;
+    (void)s;
   }
 };
 

@@ -9,10 +9,11 @@ namespace mdp::ctrl {
 
 std::uint32_t decision_reason_code(const char* reason) noexcept {
   static constexpr const char* kReasons[] = {
-      "slo_breach",       "backlog_breach", "slo+backlog_breach",
-      "probe_breach",     "drain_start",    "drained",
-      "probation_passed", "hedge_raise",    "hedge_lower",
-      "hedge_timeout"};
+      "slo_breach",       "backlog_breach",  "slo+backlog_breach",
+      "probe_breach",     "drain_start",     "drained",
+      "probation_passed", "hedge_raise",     "hedge_lower",
+      "hedge_timeout",    "tenant_throttle", "tenant_shed",
+      "tenant_probation", "tenant_reinstate"};
   for (std::uint32_t i = 0; i < std::size(kReasons); ++i)
     if (std::strcmp(reason, kReasons[i]) == 0) return i + 1;
   return 0;
@@ -57,13 +58,18 @@ void Controller::log_decision(Decision d) {
   decisions_.push_back(d);
   if (rec_chan_)
     rec_chan_->emit(d.now_ns, telem::EventType::kCtrlDecision,
-                    d.path == Decision::kHedge ? telem::kAllPaths : d.path,
+                    d.path < Decision::kTenant ? d.path : telem::kAllPaths,
                     decision_reason_code(d.reason), d.p99_ns);
   // Quarantine post-mortem: snapshot the merged event timeline as it
   // stood at the moment the path was cut. The dump INCLUDES the
   // kCtrlDecision event just emitted, so the artifact is self-dating.
-  if (recorder_ && d.path != Decision::kHedge &&
-      d.to == PathState::kQuarantined) {
+  // Cutting a TENANT (kShed) is the same severity of action and gets the
+  // same artifact.
+  const bool cut_path = d.path < Decision::kTenant &&
+                        d.to == PathState::kQuarantined;
+  const bool cut_tenant = d.path == Decision::kTenant &&
+                          d.tenant_to == TenantState::kShed;
+  if (recorder_ && (cut_path || cut_tenant)) {
     last_quarantine_dump_ = recorder_->dump_json(dump_window_ns_);
     ++auto_dumps_;
   }
@@ -275,6 +281,50 @@ void Controller::tick(std::uint64_t now_ns) {
     log_decision(d);
   }
 
+  // Tenant admission stage: harvest each tenant's window, advance its
+  // state machine, and mirror transitions into the plane. The judgment is
+  // the ARRIVAL contract, not the tenant's latency — under a storm every
+  // tenant's tail degrades, so latency evidence points at victims while
+  // the arrival budget points at the perpetrator (docs/TENANCY.md).
+  if (tenants_) {
+    for (std::size_t t = 0; t < tenants_->num_tenants(); ++t) {
+      const TenantAdmission::TickResult r = tenants_->tick_tenant(t);
+      if (exporter_) {
+        telem::TenantTickStats ts;
+        ts.tenant = static_cast<std::uint16_t>(t);
+        ts.state = tenant_state_name(r.after);
+        ts.arrivals = r.arrivals;
+        ts.admitted = r.admitted;
+        ts.dropped = r.dropped;
+        ts.flow_arrivals = r.flow_arrivals;
+        ts.samples = r.slo.samples;
+        ts.violations = r.slo.violations;
+        ts.p50_ns = r.slo.p50_ns;
+        ts.p99_ns = r.slo.p99_ns;
+        ts.p999_ns = r.slo.p999_ns;
+        ts.max_ns = r.slo.max_ns;
+        exporter_->add_tenant(ts);
+      }
+      if (!r.changed) continue;
+      act_.set_tenant_admission(static_cast<std::uint16_t>(t), r.after);
+      Decision d;
+      d.tick = tick_;
+      d.now_ns = now_ns;
+      d.path = Decision::kTenant;
+      d.tenant = static_cast<std::uint16_t>(t);
+      d.tenant_from = r.before;
+      d.tenant_to = r.after;
+      d.reason = r.reason;
+      d.arrivals = r.arrivals;
+      d.p99_ns = r.slo.p99_ns;
+      d.samples = r.slo.samples;
+      d.violations = r.slo.violations;
+      d.replicas = hedger_.replicas();
+      d.hedge_timeout_ns = hedge_timeout_.timeout_ns();
+      log_decision(d);
+    }
+  }
+
   if (exporter_) exporter_->end_tick();
 }
 
@@ -311,17 +361,43 @@ std::string Controller::report_json() const {
   w.key("path_states").begin_array();
   for (const auto& p : paths_) w.value(path_state_name(p.fsm.state()));
   w.end_array();
+  if (tenants_) {
+    w.key("tenant_throttles").value(tenants_->throttles());
+    w.key("tenant_sheds").value(tenants_->sheds());
+    w.key("tenant_reinstates").value(tenants_->reinstates());
+    w.key("tenant_dropped").value(tenants_->total_dropped());
+    w.key("tenants").begin_array();
+    for (std::size_t t = 0; t < tenants_->num_tenants(); ++t) {
+      const TenantSpec& spec = tenants_->spec(t);
+      w.begin_object();
+      w.key("tenant").value(static_cast<std::uint64_t>(t));
+      w.key("name").value(spec.name);
+      w.key("state").value(tenant_state_name(
+          tenants_->state(static_cast<std::uint16_t>(t))));
+      w.key("slo_target_ns").value(tenants_->monitor().slot_target_ns(t));
+      w.key("arrival_budget_per_tick").value(spec.arrival_budget_per_tick);
+      w.key("hedge_budget_per_tick").value(spec.hedge_budget_per_tick);
+      w.key("dropped").value(tenants_->dropped(t));
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.key("decisions_evicted").value(decisions_evicted_);
   w.key("decisions").begin_array();
   for (const auto& d : decisions_) {
     w.begin_object();
     w.key("tick").value(d.tick);
     w.key("now_ns").value(d.now_ns);
-    if (d.path == Decision::kHedge)
+    if (d.path == Decision::kHedge) {
       w.key("target").value("hedger");
-    else
+    } else if (d.path == Decision::kTenant) {
+      w.key("target").value("tenant");
+      w.key("tenant").value(static_cast<std::uint64_t>(d.tenant));
+      w.key("from").value(tenant_state_name(d.tenant_from));
+      w.key("to").value(tenant_state_name(d.tenant_to));
+      w.key("arrivals").value(d.arrivals);
+    } else {
       w.key("path").value(static_cast<std::uint64_t>(d.path));
-    if (d.path != Decision::kHedge) {
       w.key("from").value(path_state_name(d.from));
       w.key("to").value(path_state_name(d.to));
     }
@@ -365,6 +441,16 @@ void Controller::register_stats(trace::StatsRegistry& reg) const {
   });
   reg.add_gauge("ctrl.paths_active", [this] {
     return static_cast<double>(active_count());
+  });
+  reg.add_counter("ctrl.tenant_throttles",
+                  [this] { return tenant_throttles(); });
+  reg.add_counter("ctrl.tenant_sheds", [this] { return tenant_sheds(); });
+  reg.add_counter("ctrl.tenant_reinstates",
+                  [this] { return tenant_reinstates(); });
+  reg.add_counter("ctrl.tenant_dropped",
+                  [this] { return tenant_dropped(); });
+  reg.add_gauge("ctrl.tenants_shed", [this] {
+    return tenants_ ? static_cast<double>(tenants_->shed_count()) : 0.0;
   });
 }
 

@@ -30,6 +30,7 @@
 #include "ctrl/hedger.hpp"
 #include "ctrl/path_state.hpp"
 #include "ctrl/slo_monitor.hpp"
+#include "ctrl/tenant.hpp"
 #include "telem/flight_recorder.hpp"
 #include "telem/snapshot_exporter.hpp"
 #include "trace/registry.hpp"
@@ -42,7 +43,8 @@ namespace mdp::ctrl {
 ///   1 slo_breach          2 backlog_breach     3 slo+backlog_breach
 ///   4 probe_breach        5 drain_start        6 drained
 ///   7 probation_passed    8 hedge_raise        9 hedge_lower
-///  10 hedge_timeout
+///  10 hedge_timeout      11 tenant_throttle   12 tenant_shed
+///  13 tenant_probation   14 tenant_reinstate
 std::uint32_t decision_reason_code(const char* reason) noexcept;
 
 struct Config {
@@ -75,9 +77,11 @@ struct Config {
   std::size_t decision_log_capacity = 256;
 };
 
-/// One logged control action (state transition or hedge change).
+/// One logged control action (state transition, hedge change, or tenant
+/// admission change).
 struct Decision {
-  static constexpr std::uint16_t kHedge = 0xffff;  ///< `path` for hedges
+  static constexpr std::uint16_t kHedge = 0xffff;   ///< `path` for hedges
+  static constexpr std::uint16_t kTenant = 0xfffe;  ///< `path` for tenants
 
   std::uint64_t tick = 0;
   std::uint64_t now_ns = 0;
@@ -99,6 +103,12 @@ struct Decision {
   /// Hedge deadline in force when the decision was logged (0 = the
   /// scheduler's own budget).
   std::uint64_t hedge_timeout_ns = 0;
+  /// Tenant decisions only (path == kTenant): which tenant moved, where,
+  /// and the window's offered arrivals the judgment was made on.
+  std::uint16_t tenant = 0;
+  TenantState tenant_from = TenantState::kAdmitted;
+  TenantState tenant_to = TenantState::kAdmitted;
+  std::uint64_t arrivals = 0;
 };
 
 class Controller {
@@ -143,6 +153,30 @@ class Controller {
   void set_violation_threshold(double f) { cfg_.violation_threshold = f; }
   void set_backlog_limit(std::uint64_t n) { cfg_.backlog_limit = n; }
   const Config& config() const noexcept { return cfg_; }
+
+  // --- tenancy (optional; see docs/TENANCY.md) -----------------------------
+  /// Attach the per-tenant admission stage: every tick() harvests each
+  /// tenant's window, advances its state machine, actuates transitions
+  /// via Actuator::set_tenant_admission, and logs them with the same
+  /// decision machinery as path quarantine (reasons tenant_throttle /
+  /// tenant_shed / tenant_probation / tenant_reinstate). A transition
+  /// INTO kShed auto-dumps the attached flight recorder exactly like a
+  /// quarantine does. `ta` must outlive the controller; nullptr detaches.
+  void attach_tenants(TenantAdmission* ta) { tenants_ = ta; }
+  TenantAdmission* tenants() const noexcept { return tenants_; }
+
+  std::uint64_t tenant_throttles() const noexcept {
+    return tenants_ ? tenants_->throttles() : 0;
+  }
+  std::uint64_t tenant_sheds() const noexcept {
+    return tenants_ ? tenants_->sheds() : 0;
+  }
+  std::uint64_t tenant_reinstates() const noexcept {
+    return tenants_ ? tenants_->reinstates() : 0;
+  }
+  std::uint64_t tenant_dropped() const noexcept {
+    return tenants_ ? tenants_->total_dropped() : 0;
+  }
 
   // --- telemetry plane (optional; see docs/OBSERVABILITY.md) ---------------
   /// Forward every harvested window to `exporter` (one begin_tick /
@@ -199,6 +233,7 @@ class Controller {
   Config cfg_;
   Actuator& act_;
   SloMonitor& mon_;
+  TenantAdmission* tenants_ = nullptr;
   AdaptiveHedger hedger_;
   HedgeTimeoutController hedge_timeout_;
   telem::SnapshotExporter* exporter_ = nullptr;

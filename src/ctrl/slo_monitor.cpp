@@ -46,7 +46,10 @@ void SloMonitor::observe(std::uint16_t path,
                                                 std::memory_order_relaxed);
   w.sum.fetch_add(latency_ns, std::memory_order_relaxed);
   w.lifetime_samples.fetch_add(1, std::memory_order_relaxed);
-  if (latency_ns > slo_target_ns_.load(std::memory_order_relaxed)) {
+  const std::uint64_t slot_t =
+      w.slot_target.load(std::memory_order_relaxed);
+  if (latency_ns >
+      (slot_t ? slot_t : slo_target_ns_.load(std::memory_order_relaxed))) {
     w.violations.fetch_add(1, std::memory_order_relaxed);
     w.lifetime_violations.fetch_add(1, std::memory_order_relaxed);
   }

@@ -118,6 +118,21 @@ class SloMonitor {
     slo_target_ns_.store(t, std::memory_order_relaxed);
   }
 
+  /// Per-slot SLO target override (0 = use the global target). This is
+  /// how one monitor carries heterogeneous objectives — per-tenant SLO
+  /// classes share one monitor with one slot per tenant
+  /// (docs/TENANCY.md). Relaxed atomic; applies from the next observation.
+  void set_slot_target_ns(std::size_t slot, std::uint64_t t) noexcept {
+    if (slot < paths_.size())
+      paths_[slot]->slot_target.store(t, std::memory_order_relaxed);
+  }
+  std::uint64_t slot_target_ns(std::size_t slot) const noexcept {
+    if (slot >= paths_.size()) return 0;
+    const std::uint64_t t =
+        paths_[slot]->slot_target.load(std::memory_order_relaxed);
+    return t ? t : slo_target_ns_.load(std::memory_order_relaxed);
+  }
+
   std::size_t num_paths() const noexcept { return paths_.size(); }
 
   // Lifetime totals (monotonic, across all harvested windows).
@@ -147,6 +162,8 @@ class SloMonitor {
     alignas(stats::kCacheLineSize)
         std::atomic<std::uint64_t> lifetime_samples{0};
     std::atomic<std::uint64_t> lifetime_violations{0};
+    /// Per-slot SLO override; 0 = inherit the monitor-wide target.
+    std::atomic<std::uint64_t> slot_target{0};
   };
 
   static std::size_t bucket_index(std::uint64_t v) noexcept;

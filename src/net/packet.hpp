@@ -38,6 +38,8 @@ struct Annotations {
   std::uint32_t flow_id = 0;       ///< dense flow identifier
   std::uint32_t flow_bytes = 0;    ///< total flow size, if known (FCT exps)
   std::uint16_t path_id = 0;       ///< last-mile path this copy traversed
+  std::uint16_t tenant_id = 0;     ///< owning tenant (docs/TENANCY.md); 0 =
+                                   ///< the implicit default tenant
   std::uint8_t copy_index = 0;     ///< 0 = original, >0 = redundant copy
   std::uint8_t paint = 0;          ///< Click-style paint annotation
   TrafficClass traffic_class = TrafficClass::kBestEffort;

@@ -1,0 +1,75 @@
+// Tenant identity: who a packet belongs to (docs/TENANCY.md).
+//
+// A TenantId is carried in the packet annotation area
+// (net::Annotations::tenant_id) and derived from the 5-tuple by the
+// TenantClassifier — longest-prefix match on the source address, the same
+// way a provider edge maps customer address blocks to accounts. Tenant 0
+// is the implicit default every packet belongs to until classified, which
+// is what keeps single-tenant planes (every PR before tenancy landed)
+// byte-for-byte unchanged: an empty classifier maps everything to 0.
+//
+// Ids are expected to be small and dense (they index per-tenant window
+// groups in ctrl::TenantAdmission and occupancy counters in
+// nf::FlowTable), not sparse cookies.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "net/flow_key.hpp"
+
+namespace mdp::net {
+
+using TenantId = std::uint16_t;
+
+/// The implicit tenant of unclassified traffic.
+inline constexpr TenantId kDefaultTenant = 0;
+
+/// Source-prefix -> tenant mapping, longest prefix wins. Rule count is
+/// expected to stay small (one or a few blocks per tenant class), so
+/// classification is a linear scan over rules sorted most-specific first.
+class TenantClassifier {
+ public:
+  struct Rule {
+    std::uint32_t src_ip = 0;    // host order, pre-masked
+    std::uint32_t mask = 0;      // host order
+    TenantId tenant = kDefaultTenant;
+  };
+
+  /// Map src addresses matching `src_ip/mask` to `tenant`. Among rules
+  /// matching the same address the longest mask wins; ties go to the rule
+  /// added first.
+  void add_rule(std::uint32_t src_ip, std::uint32_t mask, TenantId tenant) {
+    Rule r{src_ip & mask, mask, tenant};
+    auto it = rules_.begin();
+    while (it != rules_.end() &&
+           std::popcount(it->mask) >= std::popcount(mask))
+      ++it;
+    rules_.insert(it, r);
+  }
+
+  /// Convenience: /prefix_len form.
+  void add_prefix(std::uint32_t src_ip, int prefix_len, TenantId tenant) {
+    const std::uint32_t mask =
+        prefix_len <= 0 ? 0u
+                        : (prefix_len >= 32
+                               ? 0xffffffffu
+                               : ~((1u << (32 - prefix_len)) - 1u));
+    add_rule(src_ip, mask, tenant);
+  }
+
+  TenantId classify(const FlowKey& k) const noexcept {
+    for (const Rule& r : rules_)
+      if ((k.src_ip & r.mask) == r.src_ip) return r.tenant;
+    return kDefaultTenant;
+  }
+
+  std::size_t num_rules() const noexcept { return rules_.size(); }
+  bool empty() const noexcept { return rules_.empty(); }
+
+ private:
+  std::vector<Rule> rules_;  // sorted most-specific first
+};
+
+}  // namespace mdp::net

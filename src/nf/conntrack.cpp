@@ -19,24 +19,24 @@ const char* to_string(ConnState s) {
 
 ConnState ConnTracker::observe(const net::FlowKey& flow,
                                std::uint8_t tcp_flags,
-                               std::uint64_t now_ns) {
+                               std::uint64_t now_ns,
+                               std::uint16_t tenant) {
   net::FlowKey canon = flow.canonical();
   bool is_forward = (flow == canon);
 
-  auto it = table_.find(canon);
-  if (it == table_.end()) {
-    if (table_.size() >= cfg_.max_entries) evict_lru();
-    Keyed k;
-    k.forward_is_initiator = is_forward;
-    k.entry.state = ConnState::kNew;
-    it = table_.emplace(canon, k).first;
+  Keyed* k = table_.find(canon);
+  if (!k) {
+    Keyed fresh;
+    fresh.forward_is_initiator = is_forward;
+    fresh.entry.state = ConnState::kNew;
+    k = table_.insert(canon, tenant, fresh);
+    if (!k) return ConnState::kClosed;  // tenant cap refused the entry
   }
-  Keyed& k = it->second;
-  ConnEntry& e = k.entry;
+  ConnEntry& e = k->entry;
   ++e.packets;
   e.last_seen_ns = now_ns;
 
-  bool from_initiator = (is_forward == k.forward_is_initiator);
+  bool from_initiator = (is_forward == k->forward_is_initiator);
 
   if (flow.protocol != net::kIpProtoTcp) {
     // UDP pseudo-states: NEW until the responder speaks, then ESTABLISHED.
@@ -80,41 +80,22 @@ ConnState ConnTracker::observe(const net::FlowKey& flow,
 }
 
 ConnState ConnTracker::lookup(const net::FlowKey& flow) const {
-  auto it = table_.find(flow.canonical());
-  return it == table_.end() ? ConnState::kClosed : it->second.entry.state;
+  const Keyed* k = table_.peek(flow.canonical());
+  return k ? k->entry.state : ConnState::kClosed;
 }
 
 std::size_t ConnTracker::expire(std::uint64_t now_ns) {
-  std::size_t n = 0;
-  for (auto it = table_.begin(); it != table_.end();) {
-    const ConnEntry& e = it->second.entry;
-    std::uint64_t timeout =
-        e.state == ConnState::kClosed
-            ? cfg_.closed_linger_ns
-            : (it->first.protocol == net::kIpProtoTcp
-                   ? cfg_.tcp_idle_timeout_ns
-                   : cfg_.udp_idle_timeout_ns);
-    if (now_ns - e.last_seen_ns >= timeout) {
-      it = table_.erase(it);
-      ++n;
-    } else {
-      ++it;
-    }
-  }
-  return n;
-}
-
-void ConnTracker::evict_lru() {
-  // O(n) scan is fine at eviction frequency; a true LRU list would add a
-  // pointer per entry for an event that should be rare when sized right.
-  auto oldest = table_.begin();
-  for (auto it = table_.begin(); it != table_.end(); ++it)
-    if (it->second.entry.last_seen_ns < oldest->second.entry.last_seen_ns)
-      oldest = it;
-  if (oldest != table_.end()) {
-    table_.erase(oldest);
-    ++evictions_;
-  }
+  return table_.erase_if(
+      [&](const net::FlowKey& key, const Keyed& k, std::uint16_t) {
+        const ConnEntry& e = k.entry;
+        std::uint64_t timeout =
+            e.state == ConnState::kClosed
+                ? cfg_.closed_linger_ns
+                : (key.protocol == net::kIpProtoTcp
+                       ? cfg_.tcp_idle_timeout_ns
+                       : cfg_.udp_idle_timeout_ns);
+        return now_ns - e.last_seen_ns >= timeout;
+      });
 }
 
 // --- StatefulFirewall ----------------------------------------------------------
@@ -174,7 +155,8 @@ void StatefulFirewall::push(int, net::PacketPtr pkt) {
     return;
   }
 
-  tracker_.observe(parsed->flow, flags, pkt->anno().ingress_ns);
+  tracker_.observe(parsed->flow, flags, pkt->anno().ingress_ns,
+                   pkt->anno().tenant_id);
   ++accepted_;
   output_push(0, std::move(pkt));
 }

@@ -8,13 +8,12 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <string>
-#include <unordered_map>
 
 #include "click/element.hpp"
 #include "net/flow_key.hpp"
 #include "nf/firewall.hpp"
+#include "nf/flow_table.hpp"
 
 namespace mdp::nf {
 
@@ -43,16 +42,25 @@ struct ConnTrackerConfig {
   std::uint64_t closed_linger_ns = 1'000'000'000;
 };
 
+/// Connection table over a bounded second-chance nf::FlowTable: memory is
+/// fixed at max_entries, active connections are protected by their
+/// reference bit, and per-tenant occupancy caps bound how many tracked
+/// connections one tenant's storm can hold (docs/TENANCY.md). In-flight
+/// connections (mid-handshake under owner protection) can be pinned so
+/// capacity pressure defers their eviction instead of cutting them.
 class ConnTracker {
  public:
-  explicit ConnTracker(ConnTrackerConfig cfg = {}) : cfg_(cfg) {}
+  explicit ConnTracker(ConnTrackerConfig cfg = {})
+      : cfg_(cfg), table_(cfg.max_entries) {}
 
   /// Advance the connection for one observed packet.
   /// @param flow       packet 5-tuple in packet direction
   /// @param tcp_flags  TCP flags byte, 0 for non-TCP
-  /// @returns the state AFTER this packet.
+  /// @param tenant     tenant charged for the entry's occupancy
+  /// @returns the state AFTER this packet (kClosed if the tenant's cap
+  ///          refused the entry).
   ConnState observe(const net::FlowKey& flow, std::uint8_t tcp_flags,
-                    std::uint64_t now_ns);
+                    std::uint64_t now_ns, std::uint16_t tenant = 0);
 
   /// Current state (kClosed for unknown connections).
   ConnState lookup(const net::FlowKey& flow) const;
@@ -60,19 +68,37 @@ class ConnTracker {
   /// Expire idle/closed entries. Returns count removed.
   std::size_t expire(std::uint64_t now_ns);
 
+  /// Defer/permit eviction of an in-flight connection (docs/TENANCY.md).
+  bool pin(const net::FlowKey& flow) { return table_.pin(flow.canonical()); }
+  bool unpin(const net::FlowKey& flow) {
+    return table_.unpin(flow.canonical());
+  }
+
+  /// Per-tenant tracked-connection cap (0 = uncapped).
+  void set_tenant_cap(std::uint16_t tenant, std::size_t cap) {
+    table_.set_tenant_cap(tenant, cap);
+  }
+  std::size_t tenant_occupancy(std::uint16_t tenant) const noexcept {
+    return table_.tenant_occupancy(tenant);
+  }
+
   std::size_t size() const noexcept { return table_.size(); }
-  std::uint64_t evictions() const noexcept { return evictions_; }
+  std::uint64_t evictions() const noexcept { return table_.evictions(); }
+  std::uint64_t cap_rejections() const noexcept {
+    return table_.cap_rejections();
+  }
+  std::uint64_t pinned_deferrals() const noexcept {
+    return table_.pinned_deferrals();
+  }
 
  private:
   struct Keyed {
     ConnEntry entry;
-    bool forward_is_initiator;  // canonical-src initiated the connection
+    bool forward_is_initiator = false;  // canonical-src opened the conn
   };
-  void evict_lru();
 
   ConnTrackerConfig cfg_;
-  std::unordered_map<net::FlowKey, Keyed, net::FlowKeyHash> table_;
-  std::uint64_t evictions_ = 0;
+  FlowTable<Keyed> table_;
 };
 
 /// Click element: StatefulFirewall(RULES...). Rules use FwRule syntax and

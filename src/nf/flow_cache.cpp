@@ -9,46 +9,25 @@
 namespace mdp::nf {
 
 const CachedAction* FlowCacheCore::lookup(const net::FlowKey& flow) {
-  auto it = map_.find(flow);
-  if (it == map_.end()) {
+  const CachedAction* a = table_.find(flow);
+  if (!a) {
     ++misses_;
     return nullptr;
   }
   ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-  return &it->second.action;
+  return a;
 }
 
-void FlowCacheCore::install(const net::FlowKey& flow, CachedAction action) {
-  auto it = map_.find(flow);
-  if (it != map_.end()) {
-    it->second.action = action;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    return;
-  }
-  if (map_.size() >= capacity_) evict_lru();
-  lru_.push_front(flow);
-  map_.emplace(flow, Entry{action, lru_.begin()});
+void FlowCacheCore::install(const net::FlowKey& flow, CachedAction action,
+                            std::uint16_t tenant) {
+  table_.insert(flow, tenant, action);
 }
 
 void FlowCacheCore::invalidate(const net::FlowKey& flow) {
-  auto it = map_.find(flow);
-  if (it == map_.end()) return;
-  lru_.erase(it->second.lru_it);
-  map_.erase(it);
+  table_.erase(flow);
 }
 
-void FlowCacheCore::clear() {
-  map_.clear();
-  lru_.clear();
-}
-
-void FlowCacheCore::evict_lru() {
-  if (lru_.empty()) return;
-  map_.erase(lru_.back());
-  lru_.pop_back();
-  ++evictions_;
-}
+void FlowCacheCore::clear() { table_.clear(); }
 
 // --- FlowCache element ------------------------------------------------------
 
@@ -102,7 +81,7 @@ void FlowCache::push(int port, net::PacketPtr pkt) {
       a.new_dst_ip = parsed->flow.dst_ip;
       a.new_src_port = parsed->flow.src_port;
       a.new_dst_port = parsed->flow.dst_port;
-      cache_.install(it->second, a);
+      cache_.install(it->second, a, pkt->anno().tenant_id);
       pending_.erase(it);
     }
     pkt->anno().cache_cookie = 0;

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -18,6 +17,7 @@
 #include "click/element.hpp"
 #include "net/flow_key.hpp"
 #include "net/packet_builder.hpp"
+#include "nf/flow_table.hpp"
 
 namespace mdp::nf {
 
@@ -32,20 +32,38 @@ struct CachedAction {
   std::uint16_t new_dst_port = 0;
 };
 
+/// Exact-match cache over a bounded second-chance nf::FlowTable: memory is
+/// fixed at construction, a cache hit refreshes the entry's reference bit,
+/// and a full cache displaces the coldest entry. Per-tenant occupancy caps
+/// (set_tenant_cap) keep one tenant's flow churn from flushing another's
+/// working set — see docs/TENANCY.md for the eviction guarantees.
 class FlowCacheCore {
  public:
   explicit FlowCacheCore(std::size_t capacity = 1 << 15)
-      : capacity_(capacity) {}
+      : table_(capacity) {}
 
   const CachedAction* lookup(const net::FlowKey& flow);
-  void install(const net::FlowKey& flow, CachedAction action);
+  void install(const net::FlowKey& flow, CachedAction action,
+               std::uint16_t tenant = 0);
   void invalidate(const net::FlowKey& flow);
   void clear();
 
-  std::size_t size() const noexcept { return map_.size(); }
+  /// Per-tenant occupancy cap (0 = uncapped); docs/TENANCY.md.
+  void set_tenant_cap(std::uint16_t tenant, std::size_t cap) {
+    table_.set_tenant_cap(tenant, cap);
+  }
+  std::size_t tenant_occupancy(std::uint16_t tenant) const noexcept {
+    return table_.tenant_occupancy(tenant);
+  }
+
+  std::size_t size() const noexcept { return table_.size(); }
+  std::size_t capacity() const noexcept { return table_.capacity(); }
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
-  std::uint64_t evictions() const noexcept { return evictions_; }
+  std::uint64_t evictions() const noexcept { return table_.evictions(); }
+  std::uint64_t cap_rejections() const noexcept {
+    return table_.cap_rejections();
+  }
   double hit_rate() const noexcept {
     std::uint64_t total = hits_ + misses_;
     return total ? static_cast<double>(hits_) / static_cast<double>(total)
@@ -53,18 +71,9 @@ class FlowCacheCore {
   }
 
  private:
-  struct Entry {
-    CachedAction action;
-    std::list<net::FlowKey>::iterator lru_it;
-  };
-  void evict_lru();
-
-  std::size_t capacity_;
-  std::unordered_map<net::FlowKey, Entry, net::FlowKeyHash> map_;
-  std::list<net::FlowKey> lru_;  // front = most recent
+  FlowTable<CachedAction> table_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
 };
 
 /// Click element: FlowCache(CAPACITY=32768).

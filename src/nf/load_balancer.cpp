@@ -64,17 +64,20 @@ std::uint32_t LoadBalancerCore::pick_wrr() {
   return backends_[best].dip;
 }
 
-std::uint32_t LoadBalancerCore::select(const net::FlowKey& flow) {
-  auto it = affinity_.find(flow);
-  if (it != affinity_.end() && is_healthy(it->second)) {
-    ++hits_[it->second];
-    return it->second;
+std::uint32_t LoadBalancerCore::select(const net::FlowKey& flow,
+                                       std::uint16_t tenant) {
+  if (std::uint32_t* dip = affinity_.find(flow)) {
+    if (is_healthy(*dip)) {
+      ++hits_[*dip];
+      return *dip;
+    }
+    affinity_.erase(flow);  // stale affinity to a dead backend
   }
   std::uint32_t dip = (policy_ == Policy::kConsistentHash)
                           ? pick_consistent(net::hash_flow(flow))
                           : pick_wrr();
   if (dip != 0) {
-    affinity_[flow] = dip;
+    affinity_.insert(flow, tenant, dip);  // cap-refused: re-resolve later
     ++hits_[dip];
   }
   return dip;
@@ -134,7 +137,7 @@ net::PacketPtr LoadBalancer::simple_action(net::PacketPtr pkt) {
   auto parsed = net::parse(*pkt);
   if (!parsed || parsed->flow.dst_ip != vip_) return pkt;
 
-  std::uint32_t dip = core_.select(parsed->flow);
+  std::uint32_t dip = core_.select(parsed->flow, pkt->anno().tenant_id);
   if (dip == 0) return net::PacketPtr{nullptr};  // no healthy backend: drop
 
   net::Ipv4View ip(pkt->data() + parsed->l3_offset);

@@ -18,6 +18,7 @@
 
 #include "click/element.hpp"
 #include "net/flow_key.hpp"
+#include "nf/flow_table.hpp"
 
 namespace mdp::nf {
 
@@ -27,23 +28,46 @@ struct Backend {
   bool healthy = true;
 };
 
+/// Affinity state lives in a bounded second-chance nf::FlowTable: a
+/// million-flow affinity footprint is fixed at construction, cold flows
+/// are displaced instead of growing memory, and per-tenant caps keep one
+/// tenant's connection storm from flushing another tenant's affinity
+/// (docs/TENANCY.md). Losing an affinity entry is safe — the flow simply
+/// re-resolves through the (stable) consistent-hash ring.
 class LoadBalancerCore {
  public:
   enum class Policy { kConsistentHash, kWeightedRR };
 
-  explicit LoadBalancerCore(Policy p = Policy::kConsistentHash)
-      : policy_(p) {}
+  explicit LoadBalancerCore(Policy p = Policy::kConsistentHash,
+                            std::size_t affinity_capacity = 1 << 20)
+      : policy_(p), affinity_(affinity_capacity) {}
 
   void add_backend(Backend b);
   /// Mark a backend (by DIP) unhealthy; its flows re-resolve on next packet.
   void set_healthy(std::uint32_t dip, bool healthy);
 
   /// Pick the backend for a flow (affinity table first). Returns 0 if no
-  /// healthy backend exists.
-  std::uint32_t select(const net::FlowKey& flow);
+  /// healthy backend exists. `tenant` charges the affinity entry to a
+  /// tenant's occupancy cap; a cap-refused entry still load-balances, it
+  /// just re-resolves per packet.
+  std::uint32_t select(const net::FlowKey& flow, std::uint16_t tenant = 0);
+
+  /// Per-tenant affinity-entry cap (0 = uncapped); docs/TENANCY.md.
+  void set_tenant_cap(std::uint16_t tenant, std::size_t cap) {
+    affinity_.set_tenant_cap(tenant, cap);
+  }
+  std::size_t tenant_occupancy(std::uint16_t tenant) const noexcept {
+    return affinity_.tenant_occupancy(tenant);
+  }
 
   std::size_t num_backends() const noexcept { return backends_.size(); }
   std::size_t affinity_entries() const noexcept { return affinity_.size(); }
+  std::size_t affinity_capacity() const noexcept {
+    return affinity_.capacity();
+  }
+  std::uint64_t affinity_evictions() const noexcept {
+    return affinity_.evictions();
+  }
   Policy policy() const noexcept { return policy_; }
 
   /// Per-backend packet counts (for balance tests).
@@ -62,8 +86,7 @@ class LoadBalancerCore {
   Policy policy_;
   std::vector<Backend> backends_;
   std::map<std::uint64_t, std::uint32_t> ring_;  // vnode hash -> dip
-  std::unordered_map<net::FlowKey, std::uint32_t, net::FlowKeyHash>
-      affinity_;
+  FlowTable<std::uint32_t> affinity_;            // flow -> dip
   std::unordered_map<std::uint32_t, std::uint64_t> hits_;
   // Smooth WRR state.
   std::vector<std::int64_t> wrr_current_;

@@ -7,70 +7,94 @@
 
 namespace mdp::nf {
 
-NatTable::NatTable(NatConfig cfg) : cfg_(cfg) {
-  free_ports_.reserve(cfg_.port_hi - cfg_.port_lo + 1);
-  // Populate descending so allocation starts at port_lo (pop_back).
-  for (std::uint32_t p = cfg_.port_hi; p >= cfg_.port_lo; --p) {
-    free_ports_.push_back(static_cast<std::uint16_t>(p));
-    if (p == 0) break;  // uint wrap guard
+NatTable::NatTable(NatConfig cfg)
+    : cfg_(cfg),
+      bindings_(cfg.max_entries) {
+  if (cfg_.num_external_ips == 0) cfg_.num_external_ips = 1;
+  const std::size_t ports_per_ip =
+      static_cast<std::size_t>(cfg_.port_hi) - cfg_.port_lo + 1;
+  free_addrs_.reserve(ports_per_ip * cfg_.num_external_ips);
+  // Populate descending (ip index, then port) so allocation starts at
+  // (external_ip, port_lo) and walks ports before spilling to the next
+  // pool address (pop_back).
+  for (std::uint32_t ip = cfg_.num_external_ips; ip-- > 0;) {
+    for (std::uint32_t p = cfg_.port_hi; p >= cfg_.port_lo; --p) {
+      free_addrs_.push_back((ip << 16) | p);
+      if (p == 0) break;  // uint wrap guard
+    }
   }
+  // Displaced bindings hand their pool slot back before the entry goes.
+  bindings_.set_evict_callback(
+      [this](const net::FlowKey&, const Binding& b, std::uint16_t) {
+        release_addr(b);
+      });
+}
+
+std::uint32_t NatTable::addr_code(std::uint32_t ip,
+                                  std::uint16_t port) const {
+  return ((ip - cfg_.external_ip) << 16) | port;
+}
+
+void NatTable::release_addr(const Binding& b) {
+  free_addrs_.push_back(addr_code(b.external_ip, b.external_port));
+  by_addr_.erase(addr_code(b.external_ip, b.external_port));
+}
+
+std::optional<NatTable::Binding> NatTable::translate_binding(
+    const net::FlowKey& flow, std::uint64_t now_ns, std::uint16_t tenant) {
+  if (Binding* b = bindings_.find(flow)) {
+    b->last_used_ns = now_ns;
+    return *b;
+  }
+  if (free_addrs_.empty()) {
+    // Pool exhausted: displace a cold binding the same way capacity
+    // pressure would (its callback returns the slot to the pool).
+    if (!bindings_.evict_one() || free_addrs_.empty()) return std::nullopt;
+  }
+  // Claim the slot BEFORE inserting: the insert itself may displace a
+  // cold binding, whose callback pushes a freed code onto free_addrs_.
+  const std::uint32_t code = free_addrs_.back();
+  free_addrs_.pop_back();
+  Binding b;
+  b.external_ip = cfg_.external_ip + (code >> 16);
+  b.external_port = static_cast<std::uint16_t>(code & 0xffff);
+  b.last_used_ns = now_ns;
+  if (!bindings_.insert(flow, tenant, b)) {
+    free_addrs_.push_back(code);  // tenant at cap with nothing evictable
+    return std::nullopt;
+  }
+  by_addr_.emplace(code, flow);
+  return b;
 }
 
 std::optional<std::uint16_t> NatTable::translate(const net::FlowKey& flow,
-                                                 std::uint64_t now_ns) {
-  auto it = bindings_.find(flow);
-  if (it != bindings_.end()) {
-    it->second.binding.last_used_ns = now_ns;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    return it->second.binding.external_port;
-  }
-  if (bindings_.size() >= cfg_.max_entries) evict_lru();
-  if (free_ports_.empty()) {
-    evict_lru();
-    if (free_ports_.empty()) return std::nullopt;
-  }
-  std::uint16_t port = free_ports_.back();
-  free_ports_.pop_back();
-  lru_.push_front(flow);
-  bindings_.emplace(flow, Entry{Binding{port, now_ns}, lru_.begin()});
-  by_port_.emplace(port, flow);
-  return port;
+                                                 std::uint64_t now_ns,
+                                                 std::uint16_t tenant) {
+  auto b = translate_binding(flow, now_ns, tenant);
+  if (!b) return std::nullopt;
+  return b->external_port;
 }
 
 std::optional<net::FlowKey> NatTable::reverse(
     std::uint16_t external_port) const {
-  auto it = by_port_.find(external_port);
-  if (it == by_port_.end()) return std::nullopt;
+  return reverse(cfg_.external_ip, external_port);
+}
+
+std::optional<net::FlowKey> NatTable::reverse(
+    std::uint32_t external_ip, std::uint16_t external_port) const {
+  auto it = by_addr_.find(addr_code(external_ip, external_port));
+  if (it == by_addr_.end()) return std::nullopt;
   return it->second;
 }
 
-void NatTable::erase_binding(const net::FlowKey& flow) {
-  auto it = bindings_.find(flow);
-  if (it == bindings_.end()) return;
-  free_ports_.push_back(it->second.binding.external_port);
-  by_port_.erase(it->second.binding.external_port);
-  lru_.erase(it->second.lru_it);
-  bindings_.erase(it);
-  ++evictions_;
-}
-
-void NatTable::evict_lru() {
-  if (lru_.empty()) return;
-  erase_binding(lru_.back());
-}
-
 std::size_t NatTable::expire(std::uint64_t now_ns) {
-  std::size_t n = 0;
-  while (!lru_.empty()) {
-    const net::FlowKey& oldest = lru_.back();
-    auto it = bindings_.find(oldest);
-    if (it == bindings_.end()) break;
-    if (now_ns - it->second.binding.last_used_ns < cfg_.idle_timeout_ns)
-      break;
-    erase_binding(oldest);
-    ++n;
-  }
-  return n;
+  return bindings_.erase_if(
+      [&](const net::FlowKey&, const Binding& b, std::uint16_t) {
+        const bool stale =
+            now_ns - b.last_used_ns >= cfg_.idle_timeout_ns;
+        if (stale) release_addr(b);
+        return stale;
+      });
 }
 
 // --- Nat element ----------------------------------------------------------------
@@ -108,8 +132,9 @@ net::PacketPtr Nat::translate_one(net::PacketPtr pkt) {
     if (output_connected(1)) output_push(1, std::move(pkt));
     return net::PacketPtr{nullptr};
   }
-  auto port = table_->translate(parsed->flow, pkt->anno().ingress_ns);
-  if (!port) {
+  auto binding = table_->translate_binding(parsed->flow, pkt->anno().ingress_ns,
+                                           pkt->anno().tenant_id);
+  if (!binding) {
     ++failed_;
     if (output_connected(1)) output_push(1, std::move(pkt));
     return net::PacketPtr{nullptr};
@@ -118,8 +143,8 @@ net::PacketPtr Nat::translate_one(net::PacketPtr pkt) {
   net::Ipv4View ip(pkt->data() + parsed->l3_offset);
   std::uint32_t old_ip = ip.src();
   std::uint16_t old_port = parsed->flow.src_port;
-  std::uint32_t new_ip = table_->config().external_ip;
-  std::uint16_t new_port = *port;
+  std::uint32_t new_ip = binding->external_ip;
+  std::uint16_t new_port = binding->external_port;
 
   ip.set_src(new_ip);
   ip.set_checksum(net::checksum_update32(ip.checksum(), old_ip, new_ip));

@@ -24,6 +24,11 @@ void SnapshotExporter::add_path(const PathTickStats& s) {
   open_row_.paths.push_back(s);
 }
 
+void SnapshotExporter::add_tenant(const TenantTickStats& s) {
+  if (!open_) return;
+  open_row_.tenants.push_back(s);
+}
+
 void SnapshotExporter::end_tick() {
   if (!open_) return;
   if (cfg_.registry) {
@@ -78,6 +83,26 @@ std::string SnapshotExporter::to_json() const {
       w.end_object();
     }
     w.end_array();
+    if (!row.tenants.empty()) {
+      w.key("tenants").begin_array();
+      for (const TenantTickStats& t : row.tenants) {
+        w.begin_object();
+        w.key("tenant").value(static_cast<std::uint64_t>(t.tenant));
+        w.key("state").value(t.state);
+        w.key("arrivals").value(t.arrivals);
+        w.key("admitted").value(t.admitted);
+        w.key("dropped").value(t.dropped);
+        w.key("flow_arrivals").value(t.flow_arrivals);
+        w.key("samples").value(t.samples);
+        w.key("violations").value(t.violations);
+        w.key("p50_ns").value(t.p50_ns);
+        w.key("p99_ns").value(t.p99_ns);
+        w.key("p999_ns").value(t.p999_ns);
+        w.key("max_ns").value(t.max_ns);
+        w.end_object();
+      }
+      w.end_array();
+    }
     if (!row.counter_deltas.empty()) {
       w.key("counter_deltas").begin_object();
       for (const auto& [name, delta] : row.counter_deltas)
@@ -146,6 +171,30 @@ std::string SnapshotExporter::to_prometheus() const {
              "{path=\"" + std::to_string(p.path) + "\",stage=\"" +
                  trace::stage_name(trace::stage_at(i)) + "\"}",
              p.stage_sum_ns[i]);
+    if (!row.tenants.empty()) {
+      const struct {
+        const char* metric;
+        std::uint64_t TenantTickStats::*field;
+      } kTenant[] = {
+          {"mdp_telem_tenant_arrivals", &TenantTickStats::arrivals},
+          {"mdp_telem_tenant_admitted", &TenantTickStats::admitted},
+          {"mdp_telem_tenant_dropped", &TenantTickStats::dropped},
+          {"mdp_telem_tenant_flow_arrivals",
+           &TenantTickStats::flow_arrivals},
+          {"mdp_telem_tenant_p99_ns", &TenantTickStats::p99_ns},
+          {"mdp_telem_tenant_p999_ns", &TenantTickStats::p999_ns},
+      };
+      for (const auto& m : kTenant) {
+        out += "# TYPE ";
+        out += m.metric;
+        out += " gauge\n";
+        for (const TenantTickStats& t : row.tenants)
+          line(m.metric,
+               "{tenant=\"" + std::to_string(t.tenant) + "\",state=\"" +
+                   t.state + "\"}",
+               t.*(m.field));
+      }
+    }
   }
   if (!last_counters_.empty()) {
     for (const auto& [name, value] : last_counters_) {

@@ -48,6 +48,26 @@ struct PathTickStats {
   std::array<std::uint64_t, trace::kNumStages> stage_sum_ns{};
 };
 
+/// One tenant's harvested window (ctrl::TenantAdmission::tick_tenant,
+/// flattened for the same layering reason as PathTickStats). Rows appear
+/// in the export only for ticks where the controller had tenants
+/// attached, so the mdp.telem.v1 schema stays back-compatible
+/// (docs/TENANCY.md).
+struct TenantTickStats {
+  std::uint16_t tenant = 0;
+  const char* state = "";  ///< ctrl::tenant_state_name at harvest time
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t flow_arrivals = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
 class SnapshotExporter {
  public:
   struct Config {
@@ -67,6 +87,7 @@ class SnapshotExporter {
   /// tick, then add_path() per harvested path, then end_tick().
   void begin_tick(std::uint64_t tick, std::uint64_t now_ns);
   void add_path(const PathTickStats& s);
+  void add_tenant(const TenantTickStats& s);
   void end_tick();
 
   std::uint64_t ticks_recorded() const noexcept { return recorded_; }
@@ -86,6 +107,7 @@ class SnapshotExporter {
     std::uint64_t tick = 0;
     std::uint64_t now_ns = 0;
     std::vector<PathTickStats> paths;
+    std::vector<TenantTickStats> tenants;
     /// Non-zero counter deltas over this tick, sorted by name.
     std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
   };

@@ -1,0 +1,78 @@
+#include "workload/conn_storm.hpp"
+
+namespace mdp::workload {
+
+ConnStorm::ConnStorm(std::vector<ConnStormTenant> tenants,
+                     std::uint64_t seed)
+    : tenants_(std::move(tenants)),
+      state_(tenants_.size()),
+      per_tenant_arrivals_(tenants_.size(), 0),
+      rng_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+std::uint64_t ConnStorm::next_u64() noexcept {
+  // splitmix64: tiny, seedable, and identical everywhere.
+  std::uint64_t z = (rng_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double ConnStorm::scheduled_rate(std::size_t tenant_idx,
+                                 std::uint64_t tick) const noexcept {
+  const ConnStormTenant& t = tenants_[tenant_idx];
+  if (tick < t.storm_from || tick >= t.storm_to ||
+      t.storm_to <= t.storm_from)
+    return t.base_arrivals_per_tick;
+  // Triangle ramp: base -> peak at the phase midpoint -> base.
+  const double span = static_cast<double>(t.storm_to - t.storm_from);
+  const double pos = static_cast<double>(tick - t.storm_from) / span;
+  const double shape = pos < 0.5 ? pos * 2.0 : (1.0 - pos) * 2.0;
+  return t.base_arrivals_per_tick +
+         (t.storm_peak_arrivals_per_tick - t.base_arrivals_per_tick) *
+             shape;
+}
+
+std::vector<ConnEvent> ConnStorm::tick() {
+  std::vector<ConnEvent> out;
+  const std::uint64_t now = tick_;
+
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const ConnStormTenant& t = tenants_[i];
+    PerTenant& st = state_[i];
+
+    // Scheduled rate plus +/-25% multiplicative jitter, carried through a
+    // fractional accumulator so the long-run rate matches the schedule.
+    const double rate = scheduled_rate(i, now);
+    const double jitter =
+        0.75 + 0.5 * (static_cast<double>(next_u64() >> 11) *
+                      (1.0 / 9007199254740992.0));  // [0.75, 1.25)
+    st.accum += rate * jitter;
+    auto n = static_cast<std::uint64_t>(st.accum);
+    st.accum -= static_cast<double>(n);
+
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const std::uint64_t id = next_conn_id_++;
+      st.live.emplace_back(now + t.conn_lifetime_ticks, id);
+      out.push_back({ConnEvent::Type::kArrival, t.tenant, id});
+      ++total_arrivals_;
+      ++per_tenant_arrivals_[i];
+      ++live_;
+    }
+  }
+
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    PerTenant& st = state_[i];
+    while (!st.live.empty() && st.live.front().first <= now) {
+      out.push_back({ConnEvent::Type::kTeardown, tenants_[i].tenant,
+                     st.live.front().second});
+      st.live.pop_front();
+      ++total_teardowns_;
+      --live_;
+    }
+  }
+
+  ++tick_;
+  return out;
+}
+
+}  // namespace mdp::workload

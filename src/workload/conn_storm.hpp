@@ -1,0 +1,97 @@
+// ConnStorm: a seeded connection-storm workload — per-tenant flow
+// arrival/teardown schedules with a triangle-ramp storm phase.
+//
+// The tenancy tier's adversarial workload (docs/TENANCY.md): each tenant
+// opens new flows at a base rate; a storming tenant ramps its arrival
+// rate linearly to a peak and back across [storm_from, storm_to) —
+// the SYN-flood / thundering-herd shape that fills NF flow tables and
+// admission budgets. Flows live a fixed number of ticks, then tear down.
+//
+// Determinism contract (same as workload::TrafficGen): identical
+// (config, seed, tick sequence) produce the identical event sequence —
+// flow ids, arrival order, teardown order. Fractional per-tick rates are
+// carried in an accumulator, so e.g. 0.5 flows/tick arrives every second
+// tick, with no randomness lost to truncation. Chaos-soak byte-identity
+// replays depend on this.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace mdp::workload {
+
+/// One tenant's storm schedule. Rates are flows per tick.
+struct ConnStormTenant {
+  std::uint16_t tenant = 0;
+  double base_arrivals_per_tick = 1.0;
+  /// Each flow tears down this many ticks after it arrives.
+  std::uint64_t conn_lifetime_ticks = 64;
+  /// Storm phase [storm_from, storm_to): the arrival rate ramps
+  /// base -> peak -> base as a triangle over the phase. Equal bounds
+  /// disable the storm (a well-behaved tenant).
+  std::uint64_t storm_from = 0;
+  std::uint64_t storm_to = 0;
+  double storm_peak_arrivals_per_tick = 0.0;
+};
+
+struct ConnEvent {
+  enum class Type : std::uint8_t { kArrival, kTeardown };
+  Type type = Type::kArrival;
+  std::uint16_t tenant = 0;
+  /// Dense id, unique across all tenants for the generator's lifetime.
+  std::uint64_t conn_id = 0;
+};
+
+class ConnStorm {
+ public:
+  ConnStorm(std::vector<ConnStormTenant> tenants, std::uint64_t seed);
+
+  /// Advance one tick: emits this tick's arrivals (jittered around the
+  /// scheduled rate) and the teardowns of flows whose lifetime expired.
+  /// Arrival events precede teardown events within a tick.
+  std::vector<ConnEvent> tick();
+
+  /// The scheduled (pre-jitter) arrival rate for `tenant` at `tick` —
+  /// the triangle ramp, exposed for tests and plots.
+  double scheduled_rate(std::size_t tenant_idx,
+                        std::uint64_t tick) const noexcept;
+
+  std::uint64_t ticks() const noexcept { return tick_; }
+  std::uint64_t total_arrivals() const noexcept { return total_arrivals_; }
+  std::uint64_t total_teardowns() const noexcept {
+    return total_teardowns_;
+  }
+  std::uint64_t arrivals(std::size_t tenant_idx) const noexcept {
+    return per_tenant_arrivals_[tenant_idx];
+  }
+  /// Flows opened but not yet torn down, across all tenants.
+  std::size_t live_flows() const noexcept { return live_; }
+  std::size_t num_tenants() const noexcept { return tenants_.size(); }
+  const ConnStormTenant& tenant(std::size_t i) const {
+    return tenants_[i];
+  }
+
+ private:
+  struct PerTenant {
+    double accum = 0.0;  ///< fractional arrivals carried across ticks
+    /// Live flows in arrival order; front tears down first (FIFO —
+    /// lifetimes are constant per tenant).
+    std::deque<std::pair<std::uint64_t, std::uint64_t>>
+        live;  ///< (teardown_tick, conn_id)
+  };
+
+  std::uint64_t next_u64() noexcept;  // splitmix64
+
+  std::vector<ConnStormTenant> tenants_;
+  std::vector<PerTenant> state_;
+  std::vector<std::uint64_t> per_tenant_arrivals_;
+  std::uint64_t rng_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t next_conn_id_ = 0;
+  std::uint64_t total_arrivals_ = 0;
+  std::uint64_t total_teardowns_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace mdp::workload

@@ -35,15 +35,20 @@
 #include <utility>
 #include <vector>
 
+#include <atomic>
+
 #include "core/dedup.hpp"
 #include "core/reorder.hpp"
 #include "ctrl/controller.hpp"
+#include "ctrl/tenant.hpp"
 #include "io/loopback_backend.hpp"
 #include "net/packet_builder.hpp"
+#include "net/tenant.hpp"
 #include "sim/event_queue.hpp"
 #include "telem/flight_recorder.hpp"
 #include "telem/snapshot_exporter.hpp"
 #include "trace/span.hpp"
+#include "workload/conn_storm.hpp"
 
 namespace mdp::chaos {
 
@@ -87,6 +92,28 @@ struct ChaosScenarioConfig {
   /// Span of timeline a quarantine auto-dump captures (0 = everything
   /// the rings retain). 100 us = the last ~100 rig iterations.
   std::uint64_t quarantine_dump_window_ns = 100'000;
+
+  /// One tenant's traffic shape in tenant mode: a ConnStorm schedule
+  /// (flow arrivals / teardowns; each arrival also emits one packet),
+  /// a steady per-iteration packet rate round-robined over the tenant's
+  /// live flows, and the contract handed to ctrl::TenantAdmission.
+  struct TenantTraffic {
+    workload::ConnStormTenant storm{};
+    ctrl::TenantSpec spec{};
+    std::uint64_t packets_per_iter = 1;
+  };
+  /// Non-empty switches the rig into tenant mode (docs/TENANCY.md):
+  /// generation is driven per tenant (flows = storm connections, ids
+  /// dense across tenants), every packet passes TenantAdmission::admit()
+  /// BEFORE entering the plane, src addresses live in per-tenant /12
+  /// subnets classified back through net::TenantClassifier, and the
+  /// controller runs the tenant admission stage each tick. Empty keeps
+  /// the legacy tenantless rig byte-for-byte.
+  std::vector<TenantTraffic> tenants{};
+  /// Hysteresis thresholds for the tenant state machines (the `tenants`
+  /// vector inside is overwritten from TenantTraffic::spec; tenants with
+  /// slo_target_ns == 0 inherit ctrl.slo_target_ns).
+  ctrl::TenantAdmissionConfig tenant_ctrl{};
 };
 
 struct ChaosResult {
@@ -124,6 +151,18 @@ struct ChaosResult {
   /// Timeline captured at the moment of the most recent quarantine
   /// (Controller::last_quarantine_dump); empty when nothing was cut.
   std::string quarantine_dump;
+  // Tenancy outcome (all empty/zero for tenantless scenarios).
+  std::uint64_t tenant_throttles = 0;
+  std::uint64_t tenant_sheds = 0;
+  std::uint64_t tenant_reinstates = 0;
+  std::uint64_t tenant_dropped = 0;  ///< packets refused at the door
+  std::vector<const char*> tenant_final_states;
+  std::vector<std::uint64_t> tenant_offered;        ///< packets per tenant
+  std::vector<std::uint64_t> tenant_flow_arrivals;  ///< storm arrivals
+  /// Exact e2e latency of every egressed packet, per tenant, in egress
+  /// order — the evidence behind the non-contagion assertion (tests sort
+  /// a copy for exact p99.9, no histogram quantization).
+  std::vector<std::vector<std::uint64_t>> tenant_latencies;
 };
 
 class ChaosRig {
@@ -144,6 +183,40 @@ class ChaosRig {
 
     core::Deduplicator dedup;
     ChaosResult res;
+
+    // Tenant mode: admission stage + storm generator + per-tenant /12
+    // subnets wired through the classifier. `ta` stays null in legacy
+    // (tenantless) scenarios and every tenant branch below is skipped.
+    const std::size_t num_tenants = cfg_.tenants.size();
+    std::unique_ptr<ctrl::TenantAdmission> ta_own;
+    ctrl::TenantAdmission* ta = nullptr;
+    std::unique_ptr<workload::ConnStorm> storm;
+    std::vector<std::deque<std::uint32_t>> tenant_live(num_tenants);
+    std::vector<std::size_t> tenant_rr(num_tenants, 0);
+    tenants_live_.store(nullptr, std::memory_order_release);
+    tenants_owner_.reset();
+    classifier_ = net::TenantClassifier{};
+    if (num_tenants > 0) {
+      ctrl::TenantAdmissionConfig tc = cfg_.tenant_ctrl;
+      tc.tenants.clear();
+      std::vector<workload::ConnStormTenant> storms;
+      for (std::size_t i = 0; i < num_tenants; ++i) {
+        tc.tenants.push_back(cfg_.tenants[i].spec);
+        workload::ConnStormTenant s = cfg_.tenants[i].storm;
+        s.tenant = static_cast<std::uint16_t>(i);
+        storms.push_back(s);
+        classifier_.add_prefix(tenant_subnet(static_cast<std::uint16_t>(i)),
+                               12, static_cast<std::uint16_t>(i));
+      }
+      tc.default_slo_target_ns = cfg_.ctrl.slo_target_ns;
+      ta_own = std::make_unique<ctrl::TenantAdmission>(tc);
+      ta = ta_own.get();
+      storm = std::make_unique<workload::ConnStorm>(std::move(storms),
+                                                    cfg_.seed);
+      res.tenant_offered.assign(num_tenants, 0);
+      res.tenant_flow_arrivals.assign(num_tenants, 0);
+      res.tenant_latencies.assign(num_tenants, {});
+    }
 
     // Flight recorder: one channel for the whole rig (single-threaded, so
     // one writer suffices). Every stage of the loop emits into it; the
@@ -184,6 +257,14 @@ class ChaosRig {
           sp.path_id = a.path_id;
           sp.active = true;
           mon_->observe_span(a.path_id, sp);
+          if (ta) {
+            // Per-tenant evidence: the exact e2e latency feeds both the
+            // tenant's SLO window and the test-side latency log.
+            const std::uint64_t lat = sp.egress_ns - a.ingress_ns;
+            ta->observe(a.tenant_id, lat);
+            if (a.tenant_id < res.tenant_latencies.size())
+              res.tenant_latencies[a.tenant_id].push_back(lat);
+          }
           rig_chan_->emit(sp.egress_ns, telem::EventType::kReorderRelease,
                           a.path_id, 1,
                           (std::uint64_t{a.flow_id} << 32) | a.seq);
@@ -196,6 +277,15 @@ class ChaosRig {
     telem::SnapshotExporter exporter({.capacity_ticks = 4096});
     controller.set_telem_exporter(&exporter);
     controller.attach_recorder(&rec, cfg_.quarantine_dump_window_ns);
+    if (ta) {
+      controller.attach_tenants(ta);
+      // Publish the live admission stage for concurrent prodding (the
+      // flap-from-a-second-thread soak). The object stays valid after
+      // run() returns (owned by the rig), but the pointer drops to null
+      // once the run's results are final.
+      tenants_owner_ = std::move(ta_own);
+      tenants_live_.store(ta, std::memory_order_release);
+    }
 
     queues_.clear();
     queues_.resize(cfg_.num_paths);
@@ -260,7 +350,81 @@ class ChaosRig {
       }
 
       const bool generating = iter < total_iters;
-      if (generating) {
+      if (generating && num_tenants > 0) {
+        // Tenant mode. One packet into the plane, gated at the door:
+        // admission refusal happens BEFORE dedup.expect, so a shed
+        // tenant's packets never become expected keys and the
+        // exactly-once / zero-leak invariants hold under any flap.
+        auto emit_tenant = [&](std::uint16_t t, std::uint32_t flow) {
+          ++res.tenant_offered[t];
+          if (!ta->admit(t)) return;
+          if (flow >= next_seq.size()) {
+            next_seq.resize(flow + 1, 0);
+            last_seq.resize(flow + 1, 0);
+            any_seq.resize(flow + 1, false);
+          }
+          const std::uint64_t seq = next_seq[flow]++;
+          const std::uint64_t key = core::Deduplicator::key(flow, seq);
+          const std::size_t copies =
+              std::min<std::size_t>(replicas_, cfg_.num_paths);
+          dedup.expect(key, static_cast<std::uint8_t>(copies), eq.now());
+          ++res.generated;
+          std::uint16_t first_path = 0;
+          for (std::size_t c = 0; c < copies; ++c) {
+            const std::uint16_t path = pick_path(flow);
+            if (c == 0) first_path = path;
+            net::PacketPtr pkt = make_frame(
+                pool, flow, seq, path, static_cast<std::uint8_t>(c), t);
+            if (!pkt) {
+              dedup.cancel_one(key);
+              ++pool_exhausted_;
+              continue;
+            }
+            pkt->anno().ingress_ns = now;
+            queues_[path].push_back(std::move(pkt));
+            ++res.copies_sent;
+          }
+          if (copies == 1)
+            outstanding.push_back({key, flow, seq, now, first_path, false, t});
+        };
+        // Storm events: each arrival opens a flow (and emits its first
+        // packet); teardowns retire flows FIFO per tenant.
+        for (const auto& ev : storm->tick()) {
+          const std::uint16_t t = ev.tenant;
+          const auto conn = static_cast<std::uint32_t>(ev.conn_id);
+          if (ev.type == workload::ConnEvent::Type::kArrival) {
+            ta->on_flow_arrival(t);
+            ++res.tenant_flow_arrivals[t];
+            tenant_live[t].push_back(conn);
+            emit_tenant(t, conn);
+          } else {
+            auto& dq = tenant_live[t];
+            if (!dq.empty() && dq.front() == conn) {
+              dq.pop_front();
+            } else {
+              auto it = std::find(dq.begin(), dq.end(), conn);
+              if (it != dq.end()) dq.erase(it);
+            }
+          }
+        }
+        // Steady per-tenant rate, round-robined over the tenant's live
+        // flows so every open connection keeps its sequence advancing.
+        std::uint64_t burst = 0;
+        for (std::size_t t = 0; t < num_tenants; ++t) {
+          auto& dq = tenant_live[t];
+          if (dq.empty()) continue;
+          for (std::uint64_t g = 0; g < cfg_.tenants[t].packets_per_iter;
+               ++g) {
+            const std::uint32_t flow = dq[tenant_rr[t]++ % dq.size()];
+            emit_tenant(static_cast<std::uint16_t>(t), flow);
+            ++burst;
+          }
+        }
+        if (burst > 0)
+          rig_chan_->emit(now, telem::EventType::kIngressBurst,
+                          telem::kAllPaths,
+                          static_cast<std::uint32_t>(burst), res.generated);
+      } else if (generating) {
         for (std::uint64_t g = 0; g < cfg_.packets_per_iter; ++g) {
           const std::uint32_t flow =
               static_cast<std::uint32_t>(next_u64() % cfg_.flows);
@@ -308,11 +472,14 @@ class ChaosRig {
         for (auto& o : outstanding) {
           if (now - o.gen_ns <= hedge_timeout_ns_) break;  // gen order
           if (o.hedged || dedup.completed(o.key)) continue;
+          // Hedges spend the owning tenant's per-window budget.
+          if (ta && !ta->try_consume_hedge_token(o.tenant)) continue;
           const std::uint16_t alt =
               cfg_.num_paths > 1
                   ? static_cast<std::uint16_t>((o.path + 1) % cfg_.num_paths)
                   : o.path;
-          net::PacketPtr copy = make_frame(pool, o.flow, o.seq, alt, 1);
+          net::PacketPtr copy = make_frame(pool, o.flow, o.seq, alt, 1,
+                                           ta ? o.tenant : kNoTenant);
           if (!copy) {
             ++pool_exhausted_;
             break;
@@ -386,12 +553,31 @@ class ChaosRig {
     res.quarantine_dump = controller.last_quarantine_dump();
     res.telem_report = exporter.to_json();
     res.telem_dump = rec.dump_json();
+    if (ta) {
+      res.tenant_throttles = ta->throttles();
+      res.tenant_sheds = ta->sheds();
+      res.tenant_reinstates = ta->reinstates();
+      res.tenant_dropped = ta->total_dropped();
+      for (std::size_t t = 0; t < num_tenants; ++t)
+        res.tenant_final_states.push_back(ctrl::tenant_state_name(
+            ta->state(static_cast<std::uint16_t>(t))));
+      tenants_live_.store(nullptr, std::memory_order_release);
+    }
     rig_chan_ = nullptr;
     mon_.reset();
     return res;
   }
 
   std::uint64_t pool_exhaustions() const noexcept { return pool_exhausted_; }
+
+  /// Non-null only while a tenant-mode run() is in flight: the live
+  /// admission stage, for tests that hammer admit()/state()/observe()
+  /// from a second thread while the rig runs (everything on that surface
+  /// is lock-free). The object outlives the run (rig-owned), so a racing
+  /// reader that loaded the pointer just before it dropped stays safe.
+  ctrl::TenantAdmission* tenants_live() const noexcept {
+    return tenants_live_.load(std::memory_order_acquire);
+  }
 
  private:
   struct Outstanding {
@@ -401,6 +587,7 @@ class ChaosRig {
     std::uint64_t gen_ns;
     std::uint16_t path;
     bool hedged;
+    std::uint16_t tenant = 0;
   };
 
   /// The controller's write interface onto the rig: admission + probe
@@ -434,13 +621,32 @@ class ChaosRig {
     io::LoopbackBackend& wire_;
   };
 
-  static net::PacketPtr make_frame(net::PacketPool& pool,
-                                   std::uint32_t flow_id, std::uint64_t seq,
-                                   std::uint16_t path,
-                                   std::uint8_t copy_index) {
+  /// Sentinel for legacy (tenantless) frames; keeps the pre-tenancy
+  /// address formula byte-for-byte.
+  static constexpr std::uint16_t kNoTenant = 0xffff;
+
+  /// The /12 block tenant `t` sources from: 10.(16*(t+1)).0.0/12. The
+  /// rig's classifier rules and frame builder must agree on this.
+  static constexpr std::uint32_t tenant_subnet(std::uint16_t t) noexcept {
+    return 0x0a000000u | (static_cast<std::uint32_t>(t + 1) << 20);
+  }
+
+  net::PacketPtr make_frame(net::PacketPool& pool, std::uint32_t flow_id,
+                            std::uint64_t seq, std::uint16_t path,
+                            std::uint8_t copy_index,
+                            std::uint16_t tenant = kNoTenant) {
     net::BuildSpec spec;
-    spec.flow = {0x0a000001 + flow_id, 0x0a000002,
-                 static_cast<std::uint16_t>(1024 + flow_id), 4789, 0};
+    if (tenant == kNoTenant) {
+      spec.flow = {0x0a000001 + flow_id, 0x0a000002,
+                   static_cast<std::uint16_t>(1024 + flow_id), 4789, 0};
+    } else {
+      // Tenant-mode source addresses live in the tenant's /12, so the
+      // annotation below is the classifier's verdict, not a copy of the
+      // generator's intent — the same derivation the NF path uses.
+      spec.flow = {tenant_subnet(tenant) | (flow_id & 0xfffff), 0x0a000002,
+                   static_cast<std::uint16_t>(1024 + (flow_id & 0x7fff)),
+                   4789, 0};
+    }
     spec.payload_len = 64;
     spec.payload_fill = static_cast<std::uint8_t>(seq);
     net::PacketPtr pkt = net::build_udp(pool, spec);
@@ -452,6 +658,7 @@ class ChaosRig {
     a.copy_index = copy_index;
     a.is_replica = copy_index > 0;
     a.flow_hash = net::hash_flow(spec.flow);
+    if (tenant != kNoTenant) a.tenant_id = classifier_.classify(spec.flow);
     return pkt;
   }
 
@@ -525,6 +732,12 @@ class ChaosRig {
   /// current logical time, so the actuator can stamp admission flips.
   telem::FlightRecorder::Channel* rig_chan_ = nullptr;
   std::uint64_t now_ns_ = 0;
+  // Tenant mode state. The owner keeps the admission stage alive past
+  // run() so a second thread that raced the final pointer-clear never
+  // touches a destroyed object; the classifier is rebuilt per run.
+  net::TenantClassifier classifier_;
+  std::unique_ptr<ctrl::TenantAdmission> tenants_owner_;
+  std::atomic<ctrl::TenantAdmission*> tenants_live_{nullptr};
 };
 
 }  // namespace mdp::chaos

@@ -17,8 +17,12 @@
 // See tests/chaos_harness.hpp for the rig itself.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "chaos_harness.hpp"
 
@@ -47,7 +51,8 @@ void expect_decision_log_sane(const ChaosResult& r, const char* label) {
       "slo_breach",     "backlog_breach", "slo+backlog_breach",
       "probe_breach",   "drain_start",    "drained",
       "probation_passed", "hedge_raise",  "hedge_lower",
-      "hedge_timeout"};
+      "hedge_timeout",  "tenant_throttle", "tenant_shed",
+      "tenant_probation", "tenant_reinstate"};
   static const std::set<std::string> kStages = {
       "", "schedule", "queue_wait", "service", "chain", "merge", "reorder"};
   for (const auto& d : r.decisions) {
@@ -56,6 +61,21 @@ void expect_decision_log_sane(const ChaosResult& r, const char* label) {
     EXPECT_TRUE(kStages.count(d.dominant_stage))
         << label << ": unknown stage '" << d.dominant_stage << "'";
     if (d.path == ctrl::Decision::kHedge) continue;
+    if (d.path == ctrl::Decision::kTenant) {
+      using T = ctrl::TenantState;
+      const bool legal_t =
+          (d.tenant_from == T::kAdmitted && d.tenant_to == T::kThrottled) ||
+          (d.tenant_from == T::kThrottled && d.tenant_to == T::kShed) ||
+          (d.tenant_from == T::kProbation && d.tenant_to == T::kShed) ||
+          (d.tenant_from == T::kShed && d.tenant_to == T::kProbation) ||
+          (d.tenant_from == T::kThrottled && d.tenant_to == T::kAdmitted) ||
+          (d.tenant_from == T::kProbation && d.tenant_to == T::kAdmitted);
+      EXPECT_TRUE(legal_t)
+          << label << ": illegal tenant edge "
+          << ctrl::tenant_state_name(d.tenant_from) << " -> "
+          << ctrl::tenant_state_name(d.tenant_to);
+      continue;
+    }
     // Legal FSM edges, and the reason vocabulary glued to each edge.
     using S = ctrl::PathState;
     const bool legal =
@@ -270,6 +290,176 @@ TEST(ChaosSoak, SameSeedIsByteIdentical) {
   ChaosResult c = ChaosRig(other).run();
   EXPECT_NE(a.delivered_log, c.delivered_log)
       << "a different seed must visibly change the run";
+}
+
+// ---------------------------------------------------------------------------
+// Tenancy (docs/TENANCY.md): a storming tenant must not poison its
+// neighbor's tail. Tenant A rides a connection-storm ramp that breaks its
+// arrival contract; tenant B keeps a steady in-budget load. The invariant
+// is NON-CONTAGION: with tenant admission live, B's exact p99.9 stays
+// inside its SLO while A gets throttled/shed — and the global soak
+// invariants (exactly-once, in-order, zero-leak) hold throughout,
+// including while the admission state flaps under a second thread.
+
+ChaosScenarioConfig tenant_storm_cfg(std::uint64_t seed) {
+  ChaosScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.iterations = 40'000;
+  cfg.num_paths = 2;
+  cfg.drain_per_iter = {4, 4};
+  cfg.packets_per_iter = 0;  // tenant mode generates all traffic
+  cfg.ctrl = soak_ctrl();
+  cfg.ctrl.slo_target_ns = 50'000;  // B's contract: p99.9 <= 50 us logical
+  cfg.pool_size = 32'768;
+  // Constant 2-tick wire delay on both paths: the victim's latencies are
+  // real nonzero numbers, so the p99.9 assertion below has teeth.
+  io::LoopbackFaults base_wire;
+  base_wire.delay_ticks = 2;
+  cfg.phases.push_back({0, 1'000'000, 0, base_wire});
+  cfg.phases.push_back({0, 1'000'000, 1, base_wire});
+
+  // Tenant A ("storm"): a connection storm ramping to ~20 new flows per
+  // iteration — far past its contracted 320 packet arrivals per 64-iter
+  // controller window. Offered load at peak (~24 pkts/iter) is 3x the
+  // plane's drain budget (8/iter): without admission this drowns everyone.
+  ChaosScenarioConfig::TenantTraffic a;
+  a.storm.base_arrivals_per_tick = 0.05;
+  a.storm.conn_lifetime_ticks = 32;
+  a.storm.storm_from = 5'000;
+  a.storm.storm_to = 35'000;
+  a.storm.storm_peak_arrivals_per_tick = 20.0;
+  a.spec.name = "storm";
+  a.spec.arrival_budget_per_tick = 320;
+  a.spec.throttle_keep_one_in = 8;
+  a.packets_per_iter = 2;
+
+  // Tenant B ("steady"): in budget the whole run.
+  ChaosScenarioConfig::TenantTraffic b;
+  b.storm.base_arrivals_per_tick = 0.2;
+  b.storm.conn_lifetime_ticks = 2'000;
+  b.spec.name = "steady";
+  b.spec.arrival_budget_per_tick = 1'000;
+  b.packets_per_iter = 2;
+
+  cfg.tenants = {a, b};
+  cfg.tenant_ctrl.throttle_after = 2;
+  cfg.tenant_ctrl.shed_after = 2;
+  cfg.tenant_ctrl.cooldown_windows = 4;
+  cfg.tenant_ctrl.probation_windows = 4;
+  return cfg;
+}
+
+/// Exact quantile over a tenant's full latency log (no histogram buckets).
+std::uint64_t exact_quantile(std::vector<std::uint64_t> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+TEST(ChaosTenants, StormNonContagionInvariant) {
+  ChaosResult r = ChaosRig(tenant_storm_cfg(5)).run();
+  expect_invariants_with_timeline(r, "tenant storm");
+
+  // The storm must be real: >= 100k new-flow arrivals offered by tenant A.
+  ASSERT_EQ(r.tenant_flow_arrivals.size(), 2u);
+  EXPECT_GE(r.tenant_flow_arrivals[0], 100'000u)
+      << "the connection storm must offer at least 100k flow arrivals";
+
+  // The admission stage must catch the contract breach...
+  EXPECT_GE(r.tenant_throttles, 1u);
+  EXPECT_GE(r.tenant_sheds, 1u) << "a 3x-overload tenant must get shed";
+  EXPECT_GT(r.tenant_dropped, 0u);
+  // ...and reinstate once the storm passes (the ramp ends well before
+  // quiesce, leaving room for cooldown + probation).
+  EXPECT_GE(r.tenant_reinstates, 1u);
+  ASSERT_EQ(r.tenant_final_states.size(), 2u);
+  EXPECT_STREQ(r.tenant_final_states[1], "ADMITTED")
+      << "the well-behaved tenant must never leave admitted";
+
+  // Non-contagion: B's EXACT p99.9 stays inside its SLO target while A
+  // storms at 3x the plane's capacity.
+  ASSERT_EQ(r.tenant_latencies.size(), 2u);
+  ASSERT_GT(r.tenant_latencies[1].size(), 10'000u)
+      << "tenant B must actually have run traffic through the storm";
+  const std::uint64_t b_p999 = exact_quantile(r.tenant_latencies[1], 0.999);
+  EXPECT_GT(b_p999, 0u) << "the base wire delay must make latency nonzero";
+  EXPECT_LE(b_p999, 50'000u)
+      << "tenant B's p99.9 breached its SLO: the storm leaked across "
+         "tenants (contagion)";
+  // A's own tail is allowed to be terrible — that's the deal it signed.
+
+  // The shed must be visible in the artifacts: a tenant decision in the
+  // log and a "tenants" section in the report.
+  bool saw_shed = false;
+  for (const auto& d : r.decisions)
+    if (d.path == ctrl::Decision::kTenant &&
+        std::string(d.reason) == "tenant_shed")
+      saw_shed = true;
+  EXPECT_TRUE(saw_shed) << "the shed must be a logged, evidenced decision";
+  EXPECT_NE(r.ctrl_report.find("\"tenants\""), std::string::npos);
+  EXPECT_NE(r.ctrl_report.find("\"storm\""), std::string::npos);
+  EXPECT_NE(r.telem_report.find("\"tenants\""), std::string::npos)
+      << "telem per-tick rows must carry the tenant columns";
+}
+
+TEST(ChaosTenants, SameSeedIsByteIdentical) {
+  ChaosScenarioConfig cfg = tenant_storm_cfg(9);
+  cfg.iterations = 15'000;
+  cfg.tenants[0].storm.storm_from = 2'000;
+  cfg.tenants[0].storm.storm_to = 12'000;
+  ChaosResult a = ChaosRig(cfg).run();
+  ChaosResult b = ChaosRig(cfg).run();
+  EXPECT_GT(a.tenant_sheds + a.tenant_throttles, 0u)
+      << "a run where admission never acts proves nothing";
+  EXPECT_EQ(a.ctrl_report, b.ctrl_report)
+      << "tenant decisions must be as reproducible as path decisions";
+  EXPECT_EQ(a.delivered_log, b.delivered_log);
+  EXPECT_EQ(a.telem_report, b.telem_report);
+  EXPECT_EQ(a.telem_dump, b.telem_dump);
+  EXPECT_EQ(a.tenant_dropped, b.tenant_dropped);
+  EXPECT_EQ(a.tenant_latencies, b.tenant_latencies);
+  EXPECT_EQ(a.tenant_offered, b.tenant_offered);
+}
+
+TEST(ChaosTenants, AdmissionFlapFromSecondThreadKeepsInvariants) {
+  // A second thread hammers the admission stage's lock-free surface —
+  // admit / state / observe / hedge tokens — while the rig runs. The
+  // outcome is intentionally nondeterministic (the flap changes which
+  // packets enter); what must survive ANY interleaving is the invariant
+  // set: exactly-once, per-flow order, zero leaks. Under TSan this is
+  // also the data-race proof for the admit-path atomics.
+  ChaosScenarioConfig cfg = tenant_storm_cfg(13);
+  cfg.iterations = 12'000;
+  cfg.tenants[0].storm.storm_from = 1'000;
+  cfg.tenants[0].storm.storm_to = 9'000;
+  ChaosRig rig(cfg);
+
+  std::atomic<bool> done{false};
+  ChaosResult r;
+  std::thread runner([&] {
+    r = rig.run();
+    done.store(true, std::memory_order_release);
+  });
+  std::uint64_t prods = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    if (ctrl::TenantAdmission* ta = rig.tenants_live()) {
+      for (int t = 0; t < 2; ++t) {
+        ta->admit(static_cast<std::uint16_t>(t));
+        (void)ta->state(static_cast<std::uint16_t>(t));
+        ta->observe(static_cast<std::uint16_t>(t), 1'000 + prods % 100'000);
+        ta->try_consume_hedge_token(static_cast<std::uint16_t>(t));
+        ta->on_flow_arrival(static_cast<std::uint16_t>(t));
+      }
+      ++prods;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  runner.join();
+  EXPECT_GT(prods, 0u) << "the prodding thread must have overlapped the run";
+  expect_invariants_with_timeline(r, "tenant flap");
+  EXPECT_GT(r.egressed, 0u);
 }
 
 }  // namespace
