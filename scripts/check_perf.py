@@ -4,6 +4,7 @@ committed baseline. Dispatches on the report's "bench" id:
 
     ext2_fastpath  vs BENCH_fastpath.json  (threaded-plane burst sweep)
     ext4_tenants   vs BENCH_tenants.json   (million-flow tenancy tier)
+    fig11_fct      vs BENCH_fct.json       (flow-granularity FCT bench)
 
 Usage:
     check_perf.py <fresh.json> [<baseline.json>] [--max-regression 2.0]
@@ -24,8 +25,18 @@ the victim tenant's p99.9 under a storm WITH admission must sit inside
 the SLO target the row carries (docs/TENANCY.md). Regenerate baselines
 from a Release build:
 
+fig11_fct extras: every row is logical-clock (wall_clock=false), so the
+whole report gates hard: each row's duplicate_byte_fraction must stay
+<= 0.25 (replication must not degenerate into flooding), and on the
+websearch workload the better of flow_replica/combined must beat
+single_path short-flow p99 FCT by >= 2x — the PR's headline claim,
+replayed from a seeded rig on every CI run.
+
+Regenerate baselines from a Release build:
+
     ./build/bench/ext2_fastpath --json BENCH_fastpath.json
     ./build/bench/ext4_tenants  --json BENCH_tenants.json
+    ./build/bench/fig11_fct     --json BENCH_fct.json
 
 --self-test exercises the gate's own failure branches (regression FAIL,
 missing baseline row, new ungated row, SLO-breach FAIL, bench mismatch,
@@ -37,9 +48,14 @@ import argparse
 import json
 import sys
 
-SUPPORTED = ("ext2_fastpath", "ext4_tenants")
+SUPPORTED = ("ext2_fastpath", "ext4_tenants", "fig11_fct")
 DEFAULT_BASELINE = {"ext2_fastpath": "BENCH_fastpath.json",
-                    "ext4_tenants": "BENCH_tenants.json"}
+                    "ext4_tenants": "BENCH_tenants.json",
+                    "fig11_fct": "BENCH_fct.json"}
+
+# fig11_fct hard limits (deterministic rows; no runner-noise excuse).
+FCT_MAX_DUP_BYTE_FRACTION = 0.25
+FCT_MIN_WEBSEARCH_SPEEDUP = 2.0
 
 
 def load_doc(path):
@@ -89,6 +105,24 @@ def tenant_rows(doc, path):
         rows[rep["row"]] = rep
     if not rows:
         sys.exit(f"{path}: no mdp.bench_tenants.v1 rows")
+    return rows
+
+
+def fct_rows(doc, path):
+    """{(workload, mode): full row dict} from a fig11_fct report."""
+    rows = {}
+    for run in doc.get("runs", []):
+        rep = run.get("report", {})
+        if rep.get("schema") != "mdp.bench_fct.v1":
+            continue
+        for field in ("workload", "mode", "short_p99_fct_ns",
+                      "duplicate_byte_fraction"):
+            if field not in rep:
+                sys.exit(f"{path}: mdp.bench_fct.v1 row missing "
+                         f"{field}: {sorted(rep)}")
+        rows[(rep["workload"], rep["mode"])] = rep
+    if not rows:
+        sys.exit(f"{path}: no mdp.bench_fct.v1 rows")
     return rows
 
 
@@ -171,6 +205,49 @@ def check_tenants(fresh, base, max_regression):
     return failed
 
 
+def check_fct(fresh, base, max_regression):
+    failed = gate_ratios(fresh, base,
+                         lambda r: float(r["short_p99_fct_ns"]),
+                         lambda k: f"{k[0]}/{k[1]}", max_regression)
+
+    # Hard checks. fig11 runs on the event queue's logical clock, so
+    # these replay bit-identically on any machine — a breach is a real
+    # behavior change, never runner noise.
+    for key in sorted(fresh):
+        dup = float(fresh[key]["duplicate_byte_fraction"])
+        if dup > FCT_MAX_DUP_BYTE_FRACTION:
+            print(f"FAIL: {key[0]}/{key[1]} duplicate_byte_fraction "
+                  f"{dup:.3f} > {FCT_MAX_DUP_BYTE_FRACTION} "
+                  f"(replication degenerated into flooding)")
+            failed = True
+        else:
+            print(f"{key[0]}/{key[1]}: duplicate_byte_fraction {dup:.3f} "
+                  f"<= {FCT_MAX_DUP_BYTE_FRACTION} [ok]")
+
+    # Headline claim: flow-granularity replication (or the combined
+    # lever) cuts websearch short-flow p99 FCT by >= 2x vs single-path.
+    single = fresh.get(("websearch", "single_path"))
+    repl = [fresh[k] for k in (("websearch", "flow_replica"),
+                               ("websearch", "combined")) if k in fresh]
+    if single and repl:
+        best = min(float(r["short_p99_fct_ns"]) for r in repl)
+        speedup = float(single["short_p99_fct_ns"]) / best if best \
+            else float("inf")
+        if speedup < FCT_MIN_WEBSEARCH_SPEEDUP:
+            print(f"FAIL: websearch short-flow p99 speedup {speedup:.2f}x "
+                  f"< {FCT_MIN_WEBSEARCH_SPEEDUP}x (flow replication no "
+                  f"longer beats single-path)")
+            failed = True
+        else:
+            print(f"websearch short-flow p99 speedup (best replica mode "
+                  f"vs single_path): {speedup:.2f}x [ok]")
+    elif single:
+        print("FAIL: websearch flow_replica/combined rows missing "
+              "(cannot check the headline speedup)")
+        failed = True
+    return failed
+
+
 def self_test():
     """Drive the gate against synthetic reports covering every verdict
     branch. Returns 0 when all checks pass, 1 otherwise."""
@@ -191,6 +268,13 @@ def self_test():
                 "runs": [{"report": {"schema": "mdp.bench_tenants.v1",
                                      **row}}
                          for row in rows.values()]}
+
+    def fct_report(rows):
+        return {"bench": "fig11_fct",
+                "runs": [{"report": {"schema": "mdp.bench_fct.v1",
+                                     "workload": w, "mode": m,
+                                     "wall_clock": False, **row}}
+                         for (w, m), row in rows.items()]}
 
     def run_gate(argv):
         """Run main() in-process; return (exit_code, captured_output)."""
@@ -324,7 +408,57 @@ def self_test():
         check("bench mismatch fails",
               code == 1 and "bench mismatch" in out, out)
 
-    total = 13
+        # --- fig11_fct branches ------------------------------------------
+        fct_base = {
+            ("websearch", "single_path"):
+                {"short_p99_fct_ns": 1000000.0,
+                 "duplicate_byte_fraction": 0.0},
+            ("websearch", "flow_replica"):
+                {"short_p99_fct_ns": 100000.0,
+                 "duplicate_byte_fraction": 0.05},
+            ("websearch", "combined"):
+                {"short_p99_fct_ns": 400000.0,
+                 "duplicate_byte_fraction": 0.20},
+        }
+        fbase = write("fbase.json", fct_report(fct_base))
+
+        # Clean pass: dup-byte lines + the headline speedup line.
+        code, out = run_gate([write("fsame.json", fct_report(fct_base)),
+                              fbase])
+        check("fct rows pass",
+              code == 0 and "speedup (best replica mode" in out
+              and "10.00x [ok]" in out, out)
+
+        # Duplicate-byte flood: a row past the ceiling is a hard FAIL
+        # even when its p99 ratio is fine.
+        fflood = {k: dict(v) for k, v in fct_base.items()}
+        fflood[("websearch", "combined")]["duplicate_byte_fraction"] = 0.60
+        code, out = run_gate([write("fflood.json", fct_report(fflood)),
+                              fbase])
+        check("fct duplicate-byte flood fails",
+              code == 1 and "degenerated into flooding" in out, out)
+
+        # Lost headline: replica modes regressing to < 2x vs single-path
+        # must fail even against an equally-bad baseline.
+        fslow = {k: dict(v) for k, v in fct_base.items()}
+        fslow[("websearch", "flow_replica")]["short_p99_fct_ns"] = 900000.0
+        fslow[("websearch", "combined")]["short_p99_fct_ns"] = 900000.0
+        bad_base = write("fbadbase.json", fct_report(fslow))
+        code, out = run_gate([write("fslow.json", fct_report(fslow)),
+                              bad_base])
+        check("fct lost speedup fails",
+              code == 1 and "no longer beats single-path" in out, out)
+
+        # Missing replica rows: the claim must be checkable at all.
+        fonly = {("websearch", "single_path"):
+                 fct_base[("websearch", "single_path")]}
+        thin_base = write("fthinbase.json", fct_report(fonly))
+        code, out = run_gate([write("fonly.json", fct_report(fonly)),
+                              thin_base])
+        check("fct missing replica rows fails",
+              code == 1 and "cannot check the headline speedup" in out, out)
+
+    total = 17
     passed = total - len(failures)
     print(f"self-test: {passed}/{total} checks passed")
     return 1 if failures else 0
@@ -358,6 +492,10 @@ def main(argv=None):
         failed = check_fastpath(fastpath_rows(fresh_doc, args.fresh),
                                 fastpath_rows(base_doc, baseline_path),
                                 args.max_regression)
+    elif bench == "fig11_fct":
+        failed = check_fct(fct_rows(fresh_doc, args.fresh),
+                           fct_rows(base_doc, baseline_path),
+                           args.max_regression)
     else:
         failed = check_tenants(tenant_rows(fresh_doc, args.fresh),
                                tenant_rows(base_doc, baseline_path),

@@ -13,6 +13,7 @@ const char* dp_counter_name(DpCounter c) noexcept {
     case DpCounter::kEgress: return "egress";
     case DpCounter::kDispatched: return "dispatched";
     case DpCounter::kReplicas: return "replicas";
+    case DpCounter::kFlowReplicas: return "flow_replicas";
     case DpCounter::kHedges: return "hedges";
     case DpCounter::kDupDropped: return "dup_dropped";
     case DpCounter::kQueueDrops: return "queue_drops";
@@ -36,6 +37,15 @@ MdpDataPlane::MdpDataPlane(sim::EventQueue& eq, net::PacketPool& pool,
               cfg.service_jitter_sigma) {
   if (cfg_.num_paths == 0) throw std::invalid_argument("num_paths == 0");
   if (!scheduler_) throw std::invalid_argument("null scheduler");
+
+  if (cfg_.flow_repl.enabled) {
+    replicator_ = std::make_unique<FlowReplicator>(cfg_.flow_repl);
+    // A flow dropped from the decision table no longer has a fixed copy
+    // count — its later sequences fall back to per-packet accounting.
+    replicator_->set_drop_callback(
+        [this](std::uint32_t flow_id) { dedup_.deregister_flow(flow_id); });
+    granularity_ = Granularity::kBoth;
+  }
 
   reorder_ = std::make_unique<ReorderBuffer>(
       eq_, cfg_.reorder, [this](net::PacketPtr pkt) {
@@ -104,10 +114,23 @@ void MdpDataPlane::ingress(net::PacketPtr pkt) {
   auto& a = pkt->anno();
   if (a.ingress_ns == 0) a.ingress_ns = eq_.now();
   a.seq = next_seq_[a.flow_id]++;
+  ingress_bytes_ += pkt->length();
 
+  // Flow-granularity replication first: a replicated flow's packets go
+  // to its stable disjoint path set and never consult the scheduler.
+  bool flow_replicated = false;
   select_buf_.clear();
-  scheduler_->select(*pkt, *this, rng_, select_buf_);
-  if (select_buf_.empty()) select_buf_.push_back(first_up_path(*this));
+  if (replicator_ && granularity_allows_flow_replica(granularity_))
+    flow_replicated = replicator_->route(*pkt, *this, select_buf_);
+  if (!flow_replicated) {
+    select_buf_.clear();
+    scheduler_->select(*pkt, *this, rng_, select_buf_);
+    if (select_buf_.empty()) select_buf_.push_back(first_up_path(*this));
+    // kNone means no duplication of any kind: scheduler-driven packet
+    // replication is truncated to the primary copy.
+    if (granularity_ == Granularity::kNone && select_buf_.size() > 1)
+      select_buf_.resize(1);
+  }
 
 #if MDP_TRACE_ENABLED
   // Activate the span before cloning so every copy inherits the ingress
@@ -124,14 +147,31 @@ void MdpDataPlane::ingress(net::PacketPtr pkt) {
 #endif
 
   const std::uint64_t k = Deduplicator::key(a.flow_id, a.seq);
-  dedup_.expect(k, static_cast<std::uint8_t>(select_buf_.size()), eq_.now());
-  if (select_buf_.size() > 1)
-    fast_counters_.inc(DpCounter::kReplicas, select_buf_.size() - 1);
+  if (flow_replicated) {
+    // Register the flow's copy count once (flow-copy dedup semantics);
+    // expect_flow() uses the registry as the single source of truth as
+    // long as it matches what is actually in flight this packet.
+    if (select_buf_.size() > 1 && dedup_.flow_copies(a.flow_id) == 1)
+      dedup_.register_flow(a.flow_id,
+                           static_cast<std::uint8_t>(select_buf_.size()));
+    if (dedup_.flow_copies(a.flow_id) == select_buf_.size())
+      dedup_.expect_flow(a.flow_id, a.seq, eq_.now());
+    else
+      dedup_.expect(k, static_cast<std::uint8_t>(select_buf_.size()),
+                    eq_.now());
+    if (select_buf_.size() > 1)
+      fast_counters_.inc(DpCounter::kFlowReplicas, select_buf_.size() - 1);
+  } else {
+    dedup_.expect(k, static_cast<std::uint8_t>(select_buf_.size()),
+                  eq_.now());
+    if (select_buf_.size() > 1)
+      fast_counters_.inc(DpCounter::kReplicas, select_buf_.size() - 1);
+  }
 
   // Hedging: single-copy packets may get a late second copy. The clone is
   // parked now (the original moves into the path job and becomes
   // inaccessible) and dispatched only if the timeout fires first.
-  if (select_buf_.size() == 1) {
+  if (select_buf_.size() == 1 && granularity_allows_hedge(granularity_)) {
     sim::TimeNs timeout = scheduler_->hedge_timeout_ns(*pkt, *this);
     if (timeout > 0) {
       net::PacketPtr clone = pool_.clone(*pkt);
@@ -149,6 +189,7 @@ void MdpDataPlane::ingress(net::PacketPtr pkt) {
     }
     copy->anno().copy_index = static_cast<std::uint8_t>(i);
     copy->anno().is_replica = true;
+    extra_copy_bytes_ += copy->length();
     dispatch(select_buf_[i], std::move(copy));
   }
   pkt->anno().copy_index = 0;
@@ -268,6 +309,7 @@ void MdpDataPlane::arm_hedge(std::uint64_t key, std::uint16_t original_path,
     }
     dedup_.add_expected(key);
     fast_counters_.inc(DpCounter::kHedges);
+    extra_copy_bytes_ += copy->length();
     dispatch(alt, std::move(copy));
   });
 }
@@ -316,6 +358,31 @@ void MdpDataPlane::register_stats(trace::StatsRegistry& reg) const {
   }
   reg.add_counter("paths.inflight_underflows",
                   [this] { return monitor_.inflight_underflows(); });
+
+  reg.add_counter("dp.ingress_bytes", [this] { return ingress_bytes_; });
+  reg.add_counter("dp.extra_copy_bytes",
+                  [this] { return extra_copy_bytes_; });
+  reg.add_gauge("dp.granularity", [this] {
+    return static_cast<double>(static_cast<std::uint8_t>(granularity_));
+  });
+  if (replicator_) {
+    reg.add_counter("repl.flows_seen",
+                    [this] { return replicator_->flows_seen(); });
+    reg.add_counter("repl.flows_replicated",
+                    [this] { return replicator_->flows_replicated(); });
+    reg.add_counter("repl.size_gated",
+                    [this] { return replicator_->size_gated(); });
+    reg.add_counter("repl.token_denied",
+                    [this] { return replicator_->token_denied(); });
+    reg.add_counter("repl.path_starved",
+                    [this] { return replicator_->path_starved(); });
+    reg.add_gauge("repl.tracked", [this] {
+      return static_cast<double>(replicator_->tracked());
+    });
+    reg.add_gauge("dedup.registered_flows", [this] {
+      return static_cast<double>(dedup_.registered_flows());
+    });
+  }
 
   reg.add_counter("dedup.dup_drops", [this] { return dedup_.dup_drops(); });
   reg.add_counter("dedup.late_drops",

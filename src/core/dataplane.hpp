@@ -26,6 +26,8 @@
 
 #include "click/router.hpp"
 #include "core/dedup.hpp"
+#include "core/flow_replicator.hpp"
+#include "core/granularity.hpp"
 #include "core/path_monitor.hpp"
 #include "core/reorder.hpp"
 #include "core/scheduler.hpp"
@@ -46,6 +48,7 @@ enum class DpCounter : std::uint8_t {
   kEgress,
   kDispatched,
   kReplicas,
+  kFlowReplicas,
   kHedges,
   kDupDropped,
   kQueueDrops,
@@ -75,6 +78,11 @@ struct DataPlaneConfig {
   /// up as drops instead of unbounded delay.
   std::size_t path_queue_capacity = 0;
   ReorderConfig reorder{};
+  /// Flow-granularity replication (RepNet). Disabled by default: the
+  /// plane then behaves exactly as before this stage existed. When
+  /// enabled, the plane starts at Granularity::kBoth and the control
+  /// plane's granularity lever (ctrl::Controller) can move it.
+  FlowReplicatorConfig flow_repl{};
   sim::TimeNs dedup_sweep_interval_ns = 10 * sim::kMillisecond;
   sim::TimeNs dedup_max_age_ns = 50 * sim::kMillisecond;
   std::uint64_t seed = 42;
@@ -98,6 +106,26 @@ class MdpDataPlane final : public PathContext {
   sim::SimCore& core(std::size_t path) { return *paths_[path].core; }
   /// Mark a path administratively up/down (failure injection).
   void set_path_up(std::size_t path, bool up) { paths_[path].up = up; }
+
+  /// Control-plane lever: what unit the plane duplicates. Gates both the
+  /// FlowReplicator (flow replicas) and arm_hedge (packet hedges); kNone
+  /// additionally truncates scheduler-driven replication to one copy.
+  /// Turning flow replication off drops every cached flow decision.
+  void set_granularity(Granularity g) {
+    if (g == granularity_) return;
+    granularity_ = g;
+    if (replicator_ && !granularity_allows_flow_replica(g))
+      replicator_->clear();
+  }
+  Granularity granularity() const noexcept { return granularity_; }
+
+  /// Flow completed (workload signal): forget its replication decision
+  /// and retire its pending dedup entries. Copies still in flight become
+  /// late drops — released, never double-delivered.
+  void end_flow(std::uint32_t flow_id) {
+    if (replicator_) replicator_->erase(flow_id);
+    dedup_.release_flow(flow_id);
+  }
 
   // --- PathContext (the scheduler's view) -----------------------------------
   std::size_t num_paths() const override { return paths_.size(); }
@@ -134,6 +162,12 @@ class MdpDataPlane final : public PathContext {
   /// when draining a quarantined path; see ctrl::SimPlaneActuator).
   ReorderBuffer& reorder_mut() noexcept { return *reorder_; }
   Scheduler& scheduler() noexcept { return *scheduler_; }
+  /// nullptr unless cfg.flow_repl.enabled. Mutable so owners can wire
+  /// the per-tenant token hook (ctrl::TenantAdmission).
+  FlowReplicator* flow_replicator() noexcept { return replicator_.get(); }
+  const FlowReplicator* flow_replicator() const noexcept {
+    return replicator_.get();
+  }
   /// Materialized view of hot-path (enum) + ad-hoc (string) counters.
   stats::CounterSet counters() const;
   const stats::EnumCounters<DpCounter>& fast_counters() const noexcept {
@@ -149,6 +183,20 @@ class MdpDataPlane final : public PathContext {
 
   std::uint64_t ingress_count() const noexcept { return ingress_count_; }
   std::uint64_t egress_count() const noexcept { return egress_count_; }
+
+  // --- duplicate-byte accounting (FCT benchmarks) -----------------------------
+  /// Payload bytes that entered at ingress (one count per packet).
+  std::uint64_t ingress_bytes() const noexcept { return ingress_bytes_; }
+  /// Payload bytes spent on redundant copies (scheduler replicas, flow
+  /// replicas, and fired hedges).
+  std::uint64_t extra_copy_bytes() const noexcept { return extra_copy_bytes_; }
+  /// Fraction of all transmitted bytes that were duplicates.
+  double duplicate_byte_fraction() const noexcept {
+    const std::uint64_t total = ingress_bytes_ + extra_copy_bytes_;
+    return total ? static_cast<double>(extra_copy_bytes_) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
 
  private:
   struct Path {
@@ -172,6 +220,8 @@ class MdpDataPlane final : public PathContext {
   std::vector<Path> paths_;
   PathMonitor monitor_;
   Deduplicator dedup_;
+  std::unique_ptr<FlowReplicator> replicator_;
+  Granularity granularity_ = Granularity::kPacketHedge;
   std::unique_ptr<ReorderBuffer> reorder_;
   Egress egress_;
   sim::Rng rng_;
@@ -185,6 +235,8 @@ class MdpDataPlane final : public PathContext {
   std::unordered_map<std::uint64_t, net::PacketPtr> hedge_parked_;
   std::uint64_t ingress_count_ = 0;
   std::uint64_t egress_count_ = 0;
+  std::uint64_t ingress_bytes_ = 0;
+  std::uint64_t extra_copy_bytes_ = 0;
   bool egress_consumed_ = false;  // set by PathEgress during a chain push
   PathVec select_buf_;
 };

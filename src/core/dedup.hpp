@@ -92,6 +92,56 @@ class Deduplicator {
     return n;
   }
 
+  // --- flow-copy registry (flow-granularity replication) -----------------
+  // A replicated flow sends every sequence as the same number of copies,
+  // decided once at flow arrival. Registering the flow makes that count
+  // the single source of truth: expect_flow() consults it per packet, so
+  // a mid-flow granularity downshift (flow deregistered) automatically
+  // returns later sequences to single-copy accounting.
+
+  /// All subsequent sequences of `flow_id` are expected as `copies`
+  /// copies (clamped to >= 1).
+  void register_flow(std::uint32_t flow_id, std::uint8_t copies) {
+    flow_copies_[flow_id] = copies ? copies : std::uint8_t{1};
+  }
+
+  /// Forget the flow's copy count. Returns true if it was registered.
+  bool deregister_flow(std::uint32_t flow_id) {
+    return flow_copies_.erase(flow_id) > 0;
+  }
+
+  /// Expected copies per sequence for `flow_id`; 1 when unregistered.
+  std::uint8_t flow_copies(std::uint32_t flow_id) const {
+    auto it = flow_copies_.find(flow_id);
+    return it == flow_copies_.end() ? std::uint8_t{1} : it->second;
+  }
+
+  /// expect() keyed by the flow registry's copy count.
+  void expect_flow(std::uint32_t flow_id, std::uint64_t seq,
+                   sim::TimeNs now) {
+    expect(key(flow_id, seq), flow_copies(flow_id), now);
+  }
+
+  /// Flow completed: retire its pending per-sequence entries. Any copy
+  /// still in flight then counts as a late drop on arrival (and is
+  /// released by the caller — never double-delivered, never leaked).
+  /// Valid for seq < 2^40 (the plane's per-flow counters). Returns the
+  /// number of entries released.
+  std::size_t release_flow(std::uint32_t flow_id) {
+    std::size_t n = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (static_cast<std::uint32_t>(it->first >> 40) == flow_id) {
+        it = entries_.erase(it);
+        ++n;
+      } else {
+        ++it;
+      }
+    }
+    return n;
+  }
+
+  std::size_t registered_flows() const noexcept { return flow_copies_.size(); }
+
   std::size_t pending() const noexcept { return entries_.size(); }
   std::uint64_t dup_drops() const noexcept { return dup_drops_; }
   std::uint64_t late_drops() const noexcept { return late_drops_; }
@@ -104,6 +154,7 @@ class Deduplicator {
     sim::TimeNs created_ns;
   };
   std::unordered_map<std::uint64_t, Entry> entries_;
+  std::unordered_map<std::uint32_t, std::uint8_t> flow_copies_;
   std::uint64_t dup_drops_ = 0;
   std::uint64_t late_drops_ = 0;
   std::uint64_t swept_ = 0;

@@ -1,0 +1,47 @@
+// SPDX-License-Identifier: MIT
+#pragma once
+
+#include <cstdint>
+
+namespace mdp::core {
+
+/// Replication granularity: the control plane's third lever (after path
+/// admission and hedge deadline). It decides *what unit* the plane
+/// duplicates when the tail needs help:
+///
+///   - kNone:        single path, no duplication of any kind.
+///   - kPacketHedge: per-packet hedging only (seed behavior) — a straggler
+///                   packet is re-sent after the hedge deadline.
+///   - kFlowReplica: flow-granularity replication only — short
+///                   latency-critical flows are cloned wholesale onto a
+///                   disjoint path set at flow-arrival time (RepNet).
+///   - kBoth:        flow replicas for short flows plus packet hedging for
+///                   whatever still travels single-copy.
+enum class Granularity : std::uint8_t {
+  kNone = 0,
+  kPacketHedge = 1,
+  kFlowReplica = 2,
+  kBoth = 3,
+};
+
+constexpr const char* granularity_name(Granularity g) {
+  switch (g) {
+    case Granularity::kNone: return "none";
+    case Granularity::kPacketHedge: return "packet_hedge";
+    case Granularity::kFlowReplica: return "flow_replica";
+    case Granularity::kBoth: return "both";
+  }
+  return "?";
+}
+
+/// True when per-packet hedging is permitted under `g`.
+constexpr bool granularity_allows_hedge(Granularity g) {
+  return g == Granularity::kPacketHedge || g == Granularity::kBoth;
+}
+
+/// True when flow-granularity replication is permitted under `g`.
+constexpr bool granularity_allows_flow_replica(Granularity g) {
+  return g == Granularity::kFlowReplica || g == Granularity::kBoth;
+}
+
+}  // namespace mdp::core

@@ -325,6 +325,7 @@ SchedulerPtr make_scheduler(const std::string& name) {
   //   single:<path>             pin to a specific path
   //   lla:<epsilon>             probe rate in [0, 1]
   //   adaptive:<k>              replicate_k copies for latency-critical
+  //   rss:<hedge_timeout_ns>    per-flow ECMP + fixed packet-hedge deadline
   const std::size_t colon = name.find(':');
   if (colon == std::string::npos) return nullptr;
   const std::string base = name.substr(0, colon);
@@ -358,6 +359,13 @@ SchedulerPtr make_scheduler(const std::string& name) {
     AdaptiveMdpConfig cfg;
     cfg.replicate_k = static_cast<std::size_t>(*k);
     return std::make_unique<AdaptiveMdpScheduler>(cfg);
+  }
+  if (base == "rss") {
+    auto t = parse_param_u64(param);
+    if (!t) return nullptr;
+    auto s = std::make_unique<RssHashScheduler>();
+    s->set_hedge_timeout_ns(static_cast<sim::TimeNs>(*t));
+    return s;
   }
   return nullptr;
 }

@@ -175,6 +175,21 @@ class RssHashScheduler final : public Scheduler {
   std::string name() const override { return "rss"; }
   void select(const net::Packet& pkt, const PathContext& ctx, sim::Rng&,
               PathVec& out) override;
+
+  /// Per-flow ECMP with a straggler rescue: a fixed hedge deadline makes
+  /// "rss:<timeout_ns>" the canonical packet-hedge baseline for the FCT
+  /// benches (the flow stays pinned; only stragglers get a second copy).
+  bool set_hedge_timeout_ns(sim::TimeNs timeout_ns) override {
+    hedge_timeout_ns_ = timeout_ns;
+    return true;
+  }
+  sim::TimeNs hedge_timeout_ns(const net::Packet&,
+                               const PathContext&) const override {
+    return hedge_timeout_ns_;
+  }
+
+ private:
+  sim::TimeNs hedge_timeout_ns_ = 0;
 };
 
 /// Packet-level round robin (load-oblivious spraying; max reordering).

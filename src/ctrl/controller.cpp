@@ -13,7 +13,7 @@ std::uint32_t decision_reason_code(const char* reason) noexcept {
       "probe_breach",     "drain_start",     "drained",
       "probation_passed", "hedge_raise",     "hedge_lower",
       "hedge_timeout",    "tenant_throttle", "tenant_shed",
-      "tenant_probation", "tenant_reinstate"};
+      "tenant_probation", "tenant_reinstate", "granularity_shift"};
   for (std::uint32_t i = 0; i < std::size(kReasons); ++i)
     if (std::strcmp(reason, kReasons[i]) == 0) return i + 1;
   return 0;
@@ -24,7 +24,8 @@ Controller::Controller(Config cfg, Actuator& actuator, SloMonitor& monitor)
       act_(actuator),
       mon_(monitor),
       hedger_(cfg.hedger),
-      hedge_timeout_(cfg.hedge_timeout) {
+      hedge_timeout_(cfg.hedge_timeout),
+      gran_(cfg.granularity) {
   mon_.set_slo_target_ns(cfg_.slo_target_ns);
   paths_.resize(act_.num_paths());
   for (auto& p : paths_) p.fsm = PathStateMachine(cfg_.path);
@@ -51,21 +52,26 @@ void Controller::attach_recorder(telem::FlightRecorder* rec,
 }
 
 void Controller::log_decision(Decision d) {
+  // Every decision records the granularity in force while the lever is
+  // enabled — the log then shows which regime each action happened in.
+  d.granularity = gran_.granularity();
+  d.granularity_logged = cfg_.granularity.enabled;
   if (decisions_.size() >= cfg_.decision_log_capacity) {
     decisions_.erase(decisions_.begin());
     ++decisions_evicted_;
   }
   decisions_.push_back(d);
   if (rec_chan_)
-    rec_chan_->emit(d.now_ns, telem::EventType::kCtrlDecision,
-                    d.path < Decision::kTenant ? d.path : telem::kAllPaths,
-                    decision_reason_code(d.reason), d.p99_ns);
+    rec_chan_->emit(
+        d.now_ns, telem::EventType::kCtrlDecision,
+        d.path < Decision::kGranularity ? d.path : telem::kAllPaths,
+        decision_reason_code(d.reason), d.p99_ns);
   // Quarantine post-mortem: snapshot the merged event timeline as it
   // stood at the moment the path was cut. The dump INCLUDES the
   // kCtrlDecision event just emitted, so the artifact is self-dating.
   // Cutting a TENANT (kShed) is the same severity of action and gets the
   // same artifact.
-  const bool cut_path = d.path < Decision::kTenant &&
+  const bool cut_path = d.path < Decision::kGranularity &&
                         d.to == PathState::kQuarantined;
   const bool cut_tenant = d.path == Decision::kTenant &&
                           d.tenant_to == TenantState::kShed;
@@ -281,6 +287,38 @@ void Controller::tick(std::uint64_t now_ns) {
     log_decision(d);
   }
 
+  // The third lever: WHAT gets duplicated. Escalates toward flow
+  // replicas when the sustained pain is service-dominant (RepNet: clone
+  // the short flow away from the stolen core), toward packet hedging
+  // when it is queueing, and steps back to baseline once the tail calms.
+  if (cfg_.granularity.enabled) {
+    if (!gran_actuated_) {
+      act_.set_granularity(gran_.granularity());
+      gran_actuated_ = true;
+    }
+    const core::Granularity g_before = gran_.granularity();
+    const core::Granularity g_after =
+        gran_.update(worst_serving_p99, serving_samples, cfg_.slo_target_ns,
+                     worst_dominant_stage);
+    if (g_after != g_before) {
+      act_.set_granularity(g_after);
+      Decision d;
+      d.tick = tick_;
+      d.now_ns = now_ns;
+      d.path = Decision::kGranularity;
+      d.reason = "granularity_shift";
+      d.gran_from = g_before;
+      d.gran_to = g_after;
+      d.p99_ns = worst_serving_p99;
+      d.samples = serving_samples;
+      d.replicas = hedger_.replicas();
+      d.dominant_stage = worst_dominant_stage;
+      d.dominant_stage_ns = worst_dominant_ns;
+      d.hedge_timeout_ns = hedge_timeout_.timeout_ns();
+      log_decision(d);
+    }
+  }
+
   // Tenant admission stage: harvest each tenant's window, advance its
   // state machine, and mirror transitions into the plane. The judgment is
   // the ARRIVAL contract, not the tenant's latency — under a storm every
@@ -358,6 +396,10 @@ std::string Controller::report_json() const {
   w.key("hedge_timeout_ns").value(hedge_timeout_.timeout_ns());
   w.key("hedge_timeout_adjustments").value(hedge_timeout_.adjustments());
   w.key("service_deferrals").value(service_deferrals_);
+  if (cfg_.granularity.enabled) {
+    w.key("granularity").value(core::granularity_name(gran_.granularity()));
+    w.key("granularity_shifts").value(gran_.shifts());
+  }
   w.key("path_states").begin_array();
   for (const auto& p : paths_) w.value(path_state_name(p.fsm.state()));
   w.end_array();
@@ -390,6 +432,11 @@ std::string Controller::report_json() const {
     w.key("now_ns").value(d.now_ns);
     if (d.path == Decision::kHedge) {
       w.key("target").value("hedger");
+    } else if (d.path == Decision::kGranularity) {
+      w.key("target").value("granularity");
+      w.key("from").value(core::granularity_name(d.gran_from));
+      w.key("to").value(core::granularity_name(d.gran_to));
+      w.key("granularity").value(core::granularity_name(d.gran_to));
     } else if (d.path == Decision::kTenant) {
       w.key("target").value("tenant");
       w.key("tenant").value(static_cast<std::uint64_t>(d.tenant));
@@ -413,6 +460,8 @@ std::string Controller::report_json() const {
     }
     if (d.hedge_timeout_ns != 0)
       w.key("hedge_timeout_ns").value(d.hedge_timeout_ns);
+    if (d.granularity_logged && d.path != Decision::kGranularity)
+      w.key("granularity").value(core::granularity_name(d.granularity));
     w.end_object();
   }
   w.end_array();
@@ -433,6 +482,12 @@ void Controller::register_stats(trace::StatsRegistry& reg) const {
                   [this] { return hedge_timeout_.adjustments(); });
   reg.add_counter("ctrl.service_deferrals",
                   [this] { return service_deferrals_; });
+  reg.add_counter("ctrl.granularity_shifts",
+                  [this] { return gran_.shifts(); });
+  reg.add_gauge("ctrl.granularity", [this] {
+    return static_cast<double>(
+        static_cast<std::uint8_t>(gran_.granularity()));
+  });
   reg.add_gauge("ctrl.hedge_timeout_ns", [this] {
     return static_cast<double>(hedge_timeout_.timeout_ns());
   });

@@ -44,7 +44,7 @@ namespace mdp::ctrl {
 ///   4 probe_breach        5 drain_start        6 drained
 ///   7 probation_passed    8 hedge_raise        9 hedge_lower
 ///  10 hedge_timeout      11 tenant_throttle   12 tenant_shed
-///  13 tenant_probation   14 tenant_reinstate
+///  13 tenant_probation   14 tenant_reinstate  15 granularity_shift
 std::uint32_t decision_reason_code(const char* reason) noexcept;
 
 struct Config {
@@ -65,6 +65,11 @@ struct Config {
   std::size_t min_serving_paths = 1;
   HedgerConfig hedger{};
   HedgeTimeoutConfig hedge_timeout{};
+  /// The third lever: replication granularity (none / packet-hedge /
+  /// flow-replica / both), moved from the same worst-serving-path
+  /// evidence as the hedger plus the breach judge's stage attribution.
+  /// Disabled by default.
+  GranularityConfig granularity{};
   /// Stage-aware actuation: when a breaching ACTIVE window's dominant
   /// stage is `service` (the path's core is slow, not its queue deep),
   /// masking the path doesn't fix anything hedging can't fix better —
@@ -82,6 +87,9 @@ struct Config {
 struct Decision {
   static constexpr std::uint16_t kHedge = 0xffff;   ///< `path` for hedges
   static constexpr std::uint16_t kTenant = 0xfffe;  ///< `path` for tenants
+  /// `path` for granularity shifts. Lowest sentinel: `path <
+  /// kGranularity` means "a real path".
+  static constexpr std::uint16_t kGranularity = 0xfffd;
 
   std::uint64_t tick = 0;
   std::uint64_t now_ns = 0;
@@ -109,6 +117,13 @@ struct Decision {
   TenantState tenant_from = TenantState::kAdmitted;
   TenantState tenant_to = TenantState::kAdmitted;
   std::uint64_t arrivals = 0;
+  /// Granularity decisions only (path == kGranularity): the shift.
+  core::Granularity gran_from = core::Granularity::kPacketHedge;
+  core::Granularity gran_to = core::Granularity::kPacketHedge;
+  /// Granularity in force when the decision was logged; serialized as
+  /// the "granularity" field while the lever is enabled.
+  core::Granularity granularity = core::Granularity::kPacketHedge;
+  bool granularity_logged = false;
 };
 
 class Controller {
@@ -142,6 +157,13 @@ class Controller {
   /// `service` (stage-aware actuation; see Config::service_defer_ticks).
   std::uint64_t service_deferrals() const noexcept {
     return service_deferrals_;
+  }
+  /// Replication granularity currently in force (the third lever).
+  core::Granularity granularity() const noexcept {
+    return gran_.granularity();
+  }
+  std::uint64_t granularity_shifts() const noexcept {
+    return gran_.shifts();
   }
 
   const std::vector<Decision>& decisions() const noexcept {
@@ -236,6 +258,10 @@ class Controller {
   TenantAdmission* tenants_ = nullptr;
   AdaptiveHedger hedger_;
   HedgeTimeoutController hedge_timeout_;
+  GranularityController gran_;
+  /// Baseline pushed to the actuator on the first enabled tick, so the
+  /// plane and the lever agree before any shift happens.
+  bool gran_actuated_ = false;
   telem::SnapshotExporter* exporter_ = nullptr;
   telem::FlightRecorder* recorder_ = nullptr;
   telem::FlightRecorder::Channel* rec_chan_ = nullptr;

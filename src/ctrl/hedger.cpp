@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace mdp::ctrl {
 
@@ -103,6 +104,95 @@ std::uint64_t HedgeTimeoutController::update(std::uint64_t p50_ns,
     ++adjustments_;
   }
   return timeout_ns_;
+}
+
+// --- GranularityController ------------------------------------------------------
+
+GranularityController::GranularityController(GranularityConfig cfg)
+    : cfg_(cfg), granularity_(cfg.baseline) {
+  if (cfg_.sustain_ticks < 1) cfg_.sustain_ticks = 1;
+}
+
+core::Granularity GranularityController::escalate(
+    const char* dominant_stage) const {
+  using core::Granularity;
+  const bool service_pain =
+      dominant_stage != nullptr &&
+      std::strcmp(dominant_stage, "service") == 0;
+  switch (granularity_) {
+    case Granularity::kNone:
+      return Granularity::kPacketHedge;
+    case Granularity::kPacketHedge:
+      // Queueing pain re-queues fine with hedges alone; service pain
+      // needs whole-flow copies on a path whose core is not stolen.
+      return service_pain ? Granularity::kFlowReplica : Granularity::kBoth;
+    case Granularity::kFlowReplica:
+      return Granularity::kBoth;
+    case Granularity::kBoth:
+      return Granularity::kBoth;
+  }
+  return granularity_;
+}
+
+core::Granularity GranularityController::deescalate() const {
+  using core::Granularity;
+  if (granularity_ == cfg_.baseline) return granularity_;
+  switch (granularity_) {
+    case Granularity::kBoth:
+      // Step down through whichever single mode the baseline is not, so
+      // the ladder converges on baseline rather than oscillating.
+      return cfg_.baseline == Granularity::kFlowReplica
+                 ? Granularity::kFlowReplica
+                 : Granularity::kPacketHedge;
+    case Granularity::kFlowReplica:
+    case Granularity::kPacketHedge:
+      return cfg_.baseline;
+    case Granularity::kNone:
+      return cfg_.baseline;
+  }
+  return cfg_.baseline;
+}
+
+core::Granularity GranularityController::update(std::uint64_t worst_p99_ns,
+                                                std::uint64_t samples,
+                                                std::uint64_t slo_target_ns,
+                                                const char* dominant_stage) {
+  if (!cfg_.enabled || slo_target_ns == 0) return granularity_;
+  if (cooldown_ > 0) --cooldown_;
+  if (samples < cfg_.min_samples) {
+    raise_streak_ = 0;
+    lower_streak_ = 0;
+    return granularity_;
+  }
+  const double inflation = static_cast<double>(worst_p99_ns) /
+                           static_cast<double>(slo_target_ns);
+  if (inflation > cfg_.raise_threshold) {
+    lower_streak_ = 0;
+    if (++raise_streak_ >= cfg_.sustain_ticks && cooldown_ == 0) {
+      const core::Granularity next = escalate(dominant_stage);
+      raise_streak_ = 0;
+      if (next != granularity_) {
+        granularity_ = next;
+        ++shifts_;
+        cooldown_ = cfg_.cooldown_ticks;
+      }
+    }
+  } else if (inflation < cfg_.lower_threshold) {
+    raise_streak_ = 0;
+    if (++lower_streak_ >= cfg_.sustain_ticks && cooldown_ == 0) {
+      const core::Granularity next = deescalate();
+      lower_streak_ = 0;
+      if (next != granularity_) {
+        granularity_ = next;
+        ++shifts_;
+        cooldown_ = cfg_.cooldown_ticks;
+      }
+    }
+  } else {
+    raise_streak_ = 0;
+    lower_streak_ = 0;
+  }
+  return granularity_;
 }
 
 }  // namespace mdp::ctrl

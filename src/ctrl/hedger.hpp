@@ -21,6 +21,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "core/granularity.hpp"
+
 namespace mdp::ctrl {
 
 struct HedgerConfig {
@@ -126,6 +128,70 @@ class HedgeTimeoutController {
   bool primed_ = false;
   std::uint64_t timeout_ns_ = 0;
   std::uint64_t adjustments_ = 0;
+};
+
+// --- replication granularity -----------------------------------------------------
+//
+// The third lever: not how many copies or when, but WHAT gets duplicated.
+// Packet hedging reacts after a deadline is already blown — right when
+// the pain is queueing (the straggler re-queues elsewhere and wins). But
+// when the pain is the service stage itself (a stolen core slows every
+// packet it serves), each packet of a short flow eats the slowdown and
+// hedges one by one; RepNet's flow-granularity replication — clone the
+// whole short flow onto a disjoint path set up front — is the cheaper
+// fix. The policy reads the same stage-attribution evidence the breach
+// judge produces:
+//
+//   sustained inflation, service-dominant   -> escalate toward flow
+//                                              replicas (kFlowReplica,
+//                                              then kBoth if it persists)
+//   sustained inflation, queueing-dominant  -> escalate toward packet
+//                                              hedging (kBoth covers the
+//                                              single-copy remainder)
+//   sustained calm                          -> step back down toward the
+//                                              configured baseline
+//
+// Same sustain/cooldown hysteresis as the hedger: one noisy window never
+// moves the lever. Pure decision logic; the Controller actuates through
+// Actuator::set_granularity() and logs "granularity_shift" decisions.
+
+struct GranularityConfig {
+  bool enabled = false;
+  /// The resting granularity while the tail is in-band.
+  core::Granularity baseline = core::Granularity::kPacketHedge;
+  /// Escalate when p99 exceeds raise_threshold x SLO target (sustained).
+  double raise_threshold = 1.0;
+  /// De-escalate when p99 falls below lower_threshold x SLO (sustained).
+  double lower_threshold = 0.5;
+  int sustain_ticks = 2;
+  int cooldown_ticks = 4;
+  std::uint64_t min_samples = 32;
+};
+
+class GranularityController {
+ public:
+  explicit GranularityController(GranularityConfig cfg = {});
+
+  /// One controller tick: worst serving-path p99/samples plus the breach
+  /// judge's dominant-stage attribution ("" or nullptr = no stage
+  /// evidence). Returns the (possibly updated) granularity.
+  core::Granularity update(std::uint64_t worst_p99_ns, std::uint64_t samples,
+                           std::uint64_t slo_target_ns,
+                           const char* dominant_stage);
+
+  core::Granularity granularity() const noexcept { return granularity_; }
+  std::uint64_t shifts() const noexcept { return shifts_; }
+
+ private:
+  core::Granularity escalate(const char* dominant_stage) const;
+  core::Granularity deescalate() const;
+
+  GranularityConfig cfg_;
+  core::Granularity granularity_;
+  int raise_streak_ = 0;
+  int lower_streak_ = 0;
+  int cooldown_ = 0;
+  std::uint64_t shifts_ = 0;
 };
 
 }  // namespace mdp::ctrl

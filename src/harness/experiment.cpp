@@ -318,6 +318,10 @@ RpcScenarioResult run_rpc_scenario(const ScenarioConfig& cfg,
       a.eq, a.pool, rc, std::move(sizes),
       [&](net::PacketPtr pkt) { a.dp->ingress(std::move(pkt)); });
   rpc_ptr = &rpc;
+  // Retire per-flow replication/dedup state as soon as a flow completes;
+  // copies still in flight become late drops, never double-deliveries.
+  rpc.set_flow_done(
+      [&](std::uint32_t flow_id) { a.dp->end_flow(flow_id); });
 
   rpc.start(num_rpc_flows);
   std::uint64_t last_done = 0;
@@ -334,6 +338,13 @@ RpcScenarioResult run_rpc_scenario(const ScenarioConfig& cfg,
   out.all_fct.merge(rpc.all_fct());
   out.flows_started = rpc.flows_started();
   out.flows_completed = rpc.flows_completed();
+  out.ingress_bytes = a.dp->ingress_bytes();
+  out.extra_copy_bytes = a.dp->extra_copy_bytes();
+  out.duplicate_byte_fraction = a.dp->duplicate_byte_fraction();
+  if (const core::FlowReplicator* r = a.dp->flow_replicator())
+    out.flows_replicated = r->flows_replicated();
+  out.hedges_fired =
+      a.dp->fast_counters().get(core::DpCounter::kHedges);
   return out;
 }
 

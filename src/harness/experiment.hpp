@@ -132,6 +132,16 @@ struct RpcScenarioResult {
   stats::LatencyHistogram all_fct;
   std::uint64_t flows_started = 0;
   std::uint64_t flows_completed = 0;
+  // Duplicate-byte accounting (the cost axis of the FCT benches): bytes
+  // offered at ingress vs bytes spent on redundant copies (scheduler
+  // replicas, flow replicas, fired hedges).
+  std::uint64_t ingress_bytes = 0;
+  std::uint64_t extra_copy_bytes = 0;
+  /// extra / (ingress + extra); 0 when nothing was duplicated.
+  double duplicate_byte_fraction = 0.0;
+  // Flow-replication stats (0 unless ScenarioConfig::dp.flow_repl.enabled).
+  std::uint64_t flows_replicated = 0;
+  std::uint64_t hedges_fired = 0;
 };
 
 /// Run a flow-level FCT scenario (Fig 11). `workload_name` selects the

@@ -101,6 +101,7 @@ void RpcWorkload::on_packet_egress(std::uint32_t flow_id,
   }
   ++flows_completed_;
   flows_.erase(it);
+  if (flow_done_) flow_done_(flow_id);
 }
 
 }  // namespace mdp::workload

@@ -30,6 +30,7 @@ struct RpcWorkloadConfig {
 class RpcWorkload {
  public:
   using Sink = std::function<void(net::PacketPtr)>;
+  using FlowDone = std::function<void(std::uint32_t flow_id)>;
 
   RpcWorkload(sim::EventQueue& eq, net::PacketPool& pool,
               RpcWorkloadConfig cfg, sim::DistributionPtr flow_sizes,
@@ -40,6 +41,11 @@ class RpcWorkload {
 
   /// Notify that a packet of `flow_id` left the data plane at `now_ns`.
   void on_packet_egress(std::uint32_t flow_id, sim::TimeNs now_ns);
+
+  /// Invoked once per completed flow, after its FCT is recorded — lets
+  /// the plane retire per-flow replication/dedup state promptly
+  /// (MdpDataPlane::end_flow).
+  void set_flow_done(FlowDone fn) { flow_done_ = std::move(fn); }
 
   const stats::LatencyHistogram& short_fct() const noexcept {
     return short_fct_;
@@ -72,6 +78,7 @@ class RpcWorkload {
   RpcWorkloadConfig cfg_;
   sim::DistributionPtr flow_sizes_;
   Sink sink_;
+  FlowDone flow_done_;
   sim::Rng rng_;
   sim::Exponential interarrival_;
   std::unordered_map<std::uint32_t, FlowState> flows_;

@@ -38,6 +38,7 @@
 #include <atomic>
 
 #include "core/dedup.hpp"
+#include "core/granularity.hpp"
 #include "core/reorder.hpp"
 #include "ctrl/controller.hpp"
 #include "ctrl/tenant.hpp"
@@ -82,6 +83,19 @@ struct ChaosScenarioConfig {
   /// is the queue_wait bottleneck injector.
   std::vector<std::size_t> drain_per_iter{};
   std::vector<FaultPhase> phases{};
+  /// Flow-granularity replication (legacy/tenantless generation only):
+  /// when true and the live granularity allows flow replicas, every
+  /// packet of a flow is sent once on each path of the flow's stable
+  /// admissible pair (scan from flow % num_paths), with the dedup stage
+  /// expecting both copies — first copy wins per sequence. Flows for
+  /// which fewer than two admissible paths exist fall back to the legacy
+  /// single-copy dispatch (and so stay hedgeable). false keeps the rig
+  /// byte-for-byte identical to the pre-replication harness.
+  bool flow_replica = false;
+  /// Granularity the rig starts at; RigActuator::set_granularity (the
+  /// controller's third lever) overrides it mid-run. kPacketHedge is the
+  /// legacy behavior: hedge sweep armed, no flow replicas.
+  core::Granularity granularity = core::Granularity::kPacketHedge;
   ctrl::Config ctrl{};
   std::uint64_t ctrl_tick_every = 64;  ///< iterations between ticks
   std::uint64_t reorder_timeout_ns = 200'000;
@@ -138,6 +152,10 @@ struct ChaosResult {
   std::uint64_t hedge_timeout_ns = 0;
   std::uint64_t hedge_timeout_adjustments = 0;
   std::uint64_t service_deferrals = 0;
+  /// Extra copies sent by flow-granularity replication (not hedges).
+  std::uint64_t flow_replicas = 0;
+  std::uint64_t granularity_shifts = 0;
+  core::Granularity final_granularity = core::Granularity::kPacketHedge;
   std::vector<ctrl::Decision> decisions;
   std::string ctrl_report;  ///< report_json(): the byte-identity artifact
   /// Egress order as (flow << 32 | seq), for run-to-run identity checks.
@@ -293,6 +311,7 @@ class ChaosRig {
     probe_credits_.assign(cfg_.num_paths, 0);
     replicas_ = 1;
     hedge_timeout_ns_ = 0;
+    granularity_ = cfg_.granularity;
     rr_ = 0;
     rng_ = cfg_.seed ? cfg_.seed : 0x9e3779b97f4a7c15ULL;
 
@@ -430,6 +449,31 @@ class ChaosRig {
               static_cast<std::uint32_t>(next_u64() % cfg_.flows);
           const std::uint64_t seq = next_seq[flow]++;
           const std::uint64_t key = core::Deduplicator::key(flow, seq);
+          // Flow-granularity replication: the whole flow rides its stable
+          // admissible pair, both copies expected up front (first copy
+          // wins at dedup). Never tracked in `outstanding` — a replicated
+          // flow is already redundant, hedging it would triple-send.
+          std::uint16_t rpaths[2];
+          if (cfg_.flow_replica &&
+              core::granularity_allows_flow_replica(granularity_) &&
+              replica_pair(flow, rpaths)) {
+            dedup.expect(key, 2, eq.now());
+            ++res.generated;
+            for (std::size_t c = 0; c < 2; ++c) {
+              net::PacketPtr pkt = make_frame(
+                  pool, flow, seq, rpaths[c], static_cast<std::uint8_t>(c));
+              if (!pkt) {
+                dedup.cancel_one(key);
+                ++pool_exhausted_;
+                continue;
+              }
+              pkt->anno().ingress_ns = now;
+              queues_[rpaths[c]].push_back(std::move(pkt));
+              ++res.copies_sent;
+              if (c > 0) ++res.flow_replicas;
+            }
+            continue;
+          }
           const std::size_t copies =
               std::min<std::size_t>(replicas_, cfg_.num_paths);
           dedup.expect(key, static_cast<std::uint8_t>(copies), eq.now());
@@ -468,7 +512,8 @@ class ChaosRig {
              (dedup.completed(outstanding.front().key) ||
               now - outstanding.front().gen_ns > 2 * cfg_.reorder_timeout_ns))
         outstanding.pop_front();
-      if (hedge_timeout_ns_ > 0) {
+      if (hedge_timeout_ns_ > 0 &&
+          core::granularity_allows_hedge(granularity_)) {
         for (auto& o : outstanding) {
           if (now - o.gen_ns <= hedge_timeout_ns_) break;  // gen order
           if (o.hedged || dedup.completed(o.key)) continue;
@@ -546,6 +591,8 @@ class ChaosRig {
     res.hedge_timeout_ns = controller.hedge_timeout_ns();
     res.hedge_timeout_adjustments = controller.hedge_timeout_adjustments();
     res.service_deferrals = controller.service_deferrals();
+    res.granularity_shifts = controller.granularity_shifts();
+    res.final_granularity = granularity_;
     res.decisions = controller.decisions();
     res.ctrl_report = controller.report_json();
     res.telem_events = rec.total_emitted();
@@ -615,6 +662,12 @@ class ChaosRig {
     void set_hedge_timeout(std::uint64_t t) override {
       rig_.hedge_timeout_ns_ = t;
     }
+    void set_granularity(core::Granularity g) override {
+      rig_.granularity_ = g;
+      rig_.rig_chan_->emit(rig_.now_ns_, telem::EventType::kUser,
+                           telem::kAllPaths,
+                           static_cast<std::uint32_t>(g), 0);
+    }
 
    private:
     ChaosRig& rig_;
@@ -677,6 +730,25 @@ class ChaosRig {
       --probe_credits_[p];
   }
 
+  /// Stable replica pair for `flow`: the first two admissible paths
+  /// scanning from the flow's home (flow % num_paths). Returns false —
+  /// caller falls back to legacy single-copy dispatch — when fewer than
+  /// two paths are admissible, so a storm that masks paths degrades
+  /// replication gracefully instead of double-sending on one survivor.
+  bool replica_pair(std::uint32_t flow, std::uint16_t out[2]) {
+    if (cfg_.num_paths < 2) return false;
+    std::size_t n = 0;
+    const std::size_t home = flow % cfg_.num_paths;
+    for (std::size_t off = 0; off < cfg_.num_paths && n < 2; ++off) {
+      const std::size_t p = (home + off) % cfg_.num_paths;
+      if (admissible(p)) out[n++] = static_cast<std::uint16_t>(p);
+    }
+    if (n < 2) return false;
+    consume_credit(out[0]);
+    consume_credit(out[1]);
+    return true;
+  }
+
   /// Path selection; probe credits are consumed one per placement. Falls
   /// back to the full set if everything is masked (same belt-and-braces
   /// rule as ThreadedDataPlane::pick_path).
@@ -725,6 +797,7 @@ class ChaosRig {
   std::vector<std::uint64_t> probe_credits_;
   std::size_t replicas_ = 1;
   std::uint64_t hedge_timeout_ns_ = 0;
+  core::Granularity granularity_ = core::Granularity::kPacketHedge;
   std::size_t rr_ = 0;
   std::uint64_t rng_ = 1;
   std::uint64_t pool_exhausted_ = 0;

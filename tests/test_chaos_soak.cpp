@@ -52,7 +52,7 @@ void expect_decision_log_sane(const ChaosResult& r, const char* label) {
       "probe_breach",   "drain_start",    "drained",
       "probation_passed", "hedge_raise",  "hedge_lower",
       "hedge_timeout",  "tenant_throttle", "tenant_shed",
-      "tenant_probation", "tenant_reinstate"};
+      "tenant_probation", "tenant_reinstate", "granularity_shift"};
   static const std::set<std::string> kStages = {
       "", "schedule", "queue_wait", "service", "chain", "merge", "reorder"};
   for (const auto& d : r.decisions) {
@@ -60,7 +60,9 @@ void expect_decision_log_sane(const ChaosResult& r, const char* label) {
         << label << ": unknown reason '" << d.reason << "'";
     EXPECT_TRUE(kStages.count(d.dominant_stage))
         << label << ": unknown stage '" << d.dominant_stage << "'";
-    if (d.path == ctrl::Decision::kHedge) continue;
+    if (d.path == ctrl::Decision::kHedge ||
+        d.path == ctrl::Decision::kGranularity)
+      continue;
     if (d.path == ctrl::Decision::kTenant) {
       using T = ctrl::TenantState;
       const bool legal_t =
@@ -252,6 +254,79 @@ TEST(ChaosSoak, EightSeedSweepHoldsAllInvariants) {
       << "the PID hedge deadline must rescue stragglers somewhere in the "
          "sweep";
   EXPECT_GT(total_decisions, 0u) << "the controller must visibly act";
+}
+
+// ---------------------------------------------------------------------------
+// Flow-granularity replication soak: the same storms, but every flow rides
+// a stable pair of faulty paths with both copies expected at dedup.
+// First-copy-wins must hold exactly-once / in-order / zero-leak across
+// seeds, reruns must be byte-identical, and the lever parked at
+// kPacketHedge must leave the rig byte-for-byte the legacy machine.
+
+ChaosScenarioConfig replica_soak_cfg(std::uint64_t seed) {
+  ChaosScenarioConfig cfg = soak_cfg(seed);
+  cfg.flow_replica = true;
+  cfg.granularity = core::Granularity::kBoth;  // replicas AND hedging live
+  return cfg;
+}
+
+TEST(ChaosFlowReplica, FourSeedSweepHoldsAllInvariants) {
+  std::uint64_t total_replicas = 0;
+  for (std::uint64_t seed : {5u, 19u, 31u, 47u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ChaosRig rig(replica_soak_cfg(seed));
+    ChaosResult r = rig.run();
+    const std::string label = "replica seed " + std::to_string(seed);
+    EXPECT_EQ(r.generated, 100'000u);
+    expect_invariants_with_timeline(r, label.c_str());
+    EXPECT_EQ(rig.pool_exhaustions(), 0u)
+        << label << ": pool must be sized for double-send";
+    EXPECT_EQ(r.egressed, r.arrived_unique)
+        << label << ": every surviving (flow, seq) egressed exactly once";
+    // Replication must be the norm, not a fluke: with both paths serving,
+    // nearly every packet goes out twice.
+    EXPECT_GT(r.flow_replicas, r.generated / 2)
+        << label << ": flow replication barely engaged";
+    EXPECT_GT(r.wire_dropped + r.wire_duplicated + r.wire_reordered, 0u)
+        << label << ": the storms must actually hit the replicated flows";
+    total_replicas += r.flow_replicas;
+  }
+  EXPECT_GT(total_replicas, 0u);
+}
+
+TEST(ChaosFlowReplica, SameSeedIsByteIdentical) {
+  ChaosScenarioConfig cfg = replica_soak_cfg(23);
+  cfg.iterations = 30'000;
+  ChaosResult a = ChaosRig(cfg).run();
+  ChaosResult b = ChaosRig(cfg).run();
+  EXPECT_GT(a.flow_replicas, 0u) << "replication must engage to prove it";
+  EXPECT_EQ(a.flow_replicas, b.flow_replicas);
+  EXPECT_EQ(a.ctrl_report, b.ctrl_report)
+      << "same seed must reproduce the decision log byte for byte";
+  EXPECT_EQ(a.delivered_log, b.delivered_log)
+      << "same seed must reproduce the egress order exactly";
+  EXPECT_EQ(a.telem_dump, b.telem_dump);
+  EXPECT_EQ(a.telem_report, b.telem_report);
+}
+
+TEST(ChaosFlowReplica, LeverOffIsByteIdenticalToLegacyRig) {
+  // flow_replica=true but granularity parked at kPacketHedge: the replica
+  // branch is dead code, and the rig must be indistinguishable from the
+  // pre-replication harness — same RNG draws, same egress order, same
+  // decision log. This is the "disabled means OFF" contract.
+  ChaosScenarioConfig legacy = soak_cfg(42);
+  legacy.iterations = 30'000;
+  ChaosScenarioConfig parked = legacy;
+  parked.flow_replica = true;
+  parked.granularity = core::Granularity::kPacketHedge;
+  ChaosResult a = ChaosRig(legacy).run();
+  ChaosResult b = ChaosRig(parked).run();
+  EXPECT_EQ(b.flow_replicas, 0u);
+  EXPECT_EQ(a.delivered_log, b.delivered_log)
+      << "a parked replication lever must not perturb the packet stream";
+  EXPECT_EQ(a.ctrl_report, b.ctrl_report);
+  EXPECT_EQ(a.telem_dump, b.telem_dump);
+  EXPECT_EQ(a.hedges_sent, b.hedges_sent);
 }
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/dedup.hpp"
+#include "core/reorder.hpp"
 #include "sim/rng.hpp"
 
 #include <iterator>
@@ -121,6 +122,63 @@ TEST(Dedup, RandomizedExactlyOnceProperty) {
   EXPECT_EQ(d.pending(), 0u);
 }
 
+
+TEST(Dedup, LateDuplicateAfterFlushAllIsReleasedNotLeaked) {
+  // Regression: a path-down flush_all() releases a flow's buffered
+  // original, the dedup sweep ages the half-open entry out, and only then
+  // does the straggler copy limp off its slow path. The merge stage must
+  // recycle it as a late drop — not re-egress it, not strand it in the
+  // pool.
+  sim::EventQueue eq;
+  net::PacketPool pool{64, 256};
+  Deduplicator d;
+  std::vector<std::uint64_t> egressed;
+  ReorderBuffer rb(eq, ReorderConfig{}, [&](net::PacketPtr p) {
+    egressed.push_back(p->anno().seq);  // PacketPtr recycles on scope exit
+  });
+
+  auto make = [&](std::uint64_t seq) {
+    auto p = pool.alloc();
+    p->set_length(64);
+    p->anno().flow_id = 7;
+    p->anno().seq = seq;
+    return p;
+  };
+  // Merge-stage contract (MdpDataPlane::on_service_end): dedup verdict
+  // first, and only the accepted copy reaches the reorder buffer.
+  auto merge = [&](net::PacketPtr p) {
+    const auto k = Deduplicator::key(p->anno().flow_id, p->anno().seq);
+    if (!d.accept(k)) return;  // duplicate/late copy recycles right here
+    rb.submit(std::move(p));
+  };
+
+  d.expect(Deduplicator::key(7, 0), 2, /*now=*/0);
+  d.expect(Deduplicator::key(7, 1), 2, /*now=*/0);
+
+  merge(make(1));  // out of order: parks in the buffer waiting for seq 0
+  EXPECT_EQ(rb.buffered(), 1u);
+  EXPECT_EQ(egressed.size(), 0u);
+
+  // Path down: flush everything now; seq 1 egresses past the hole.
+  EXPECT_EQ(rb.flush_all(), 1u);
+  ASSERT_EQ(egressed.size(), 1u);
+  EXPECT_EQ(egressed[0], 1u);
+  EXPECT_EQ(pool.in_use(), 0u) << "flush_all leaked the buffered packet";
+
+  // The age sweep retires both half-open entries (seq 0 never arrived at
+  // all; seq 1 still owes its second copy)...
+  EXPECT_EQ(d.sweep(/*now=*/1'000'000, /*max_age=*/500'000), 2u);
+  EXPECT_EQ(d.pending(), 0u);
+
+  // ...and only now do the stragglers arrive: the duplicate of the
+  // flushed seq-1 original, and the seq-0 copy whose twin died with the
+  // path. Both must be recycled, neither may egress.
+  merge(make(1));
+  merge(make(0));
+  EXPECT_EQ(d.late_drops(), 2u);
+  EXPECT_EQ(egressed.size(), 1u) << "a late copy re-egressed after flush";
+  EXPECT_EQ(pool.in_use(), 0u) << "late duplicates leaked packets";
+}
 
 TEST(Dedup, AcceptBatchMatchesScalarAccept) {
   // Burst drain is a straight loop over accept(): same verdicts, same

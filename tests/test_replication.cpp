@@ -1,0 +1,441 @@
+// Flow-granularity replication tests (RepNet lever, see
+// docs/ARCHITECTURE.md):
+//   - FlowReplicator unit behavior: size-class gating, per-tenant token
+//     budgets (charged once per flow), disjoint path selection from
+//     backlog evidence, starvation fallback, decision caching;
+//   - Deduplicator flow-copy registry: first-copy-wins per sequence,
+//     mid-flow downshift, release_flow retiring in-flight copies;
+//   - MdpDataPlane end to end: replication disabled (or the lever parked
+//     at kPacketHedge) is byte-identical to the seed plane; enabled
+//     replication keeps exactly-once / in-order / zero-leak while
+//     actually double-sending short flows;
+//   - Controller e2e: a delay-lane storm escalates the granularity lever
+//     packet -> flow and back, with every shift a logged decision.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos_harness.hpp"
+#include "core/dataplane.hpp"
+#include "core/flow_replicator.hpp"
+#include "core/granularity.hpp"
+#include "net/packet_builder.hpp"
+
+namespace mdp {
+namespace {
+
+using core::FlowReplicator;
+using core::FlowReplicatorConfig;
+using core::Granularity;
+
+// ---------------------------------------------------------------------------
+// FlowReplicator units.
+
+struct StubCtx final : core::PathContext {
+  std::vector<std::uint8_t> ups;
+  std::vector<sim::TimeNs> backlogs;
+  std::size_t num_paths() const override { return ups.size(); }
+  bool up(std::size_t p) const override { return ups[p] != 0; }
+  sim::TimeNs backlog_ns(std::size_t p) const override {
+    return backlogs[p];
+  }
+  std::size_t queue_depth(std::size_t) const override { return 0; }
+  std::uint64_t inflight(std::size_t) const override { return 0; }
+  double ewma_latency_ns(std::size_t) const override { return 0; }
+  sim::TimeNs now() const override { return 0; }
+};
+
+struct ReplFixture {
+  net::PacketPool pool{256, 512};
+  StubCtx ctx;
+  core::PathVec out;
+
+  ReplFixture() {
+    ctx.ups = {1, 1, 1, 1};
+    ctx.backlogs = {50, 10, 30, 20};
+  }
+
+  net::PacketPtr make(std::uint32_t flow, std::uint32_t flow_bytes,
+                      net::TrafficClass tc = net::TrafficClass::kBestEffort,
+                      std::uint16_t tenant = 0) {
+    net::BuildSpec spec;
+    spec.flow = {0x0a010101 + flow, 0x0a006401,
+                 static_cast<std::uint16_t>(1024 + flow), 80, 0};
+    auto pkt = net::build_udp(pool, spec);
+    auto& a = pkt->anno();
+    a.flow_id = flow;
+    a.flow_bytes = flow_bytes;
+    a.traffic_class = tc;
+    a.tenant_id = tenant;
+    return pkt;
+  }
+};
+
+TEST(FlowReplicator, ShortFlowRidesTheTwoLeastBackloggedPaths) {
+  ReplFixture f;
+  FlowReplicator repl({.enabled = true, .size_cutoff_bytes = 30'000});
+  auto pkt = f.make(7, 2'000);
+  ASSERT_TRUE(repl.route(*pkt, f.ctx, f.out));
+  // Backlogs are {50, 10, 30, 20}: the disjoint pair is {1, 3}.
+  ASSERT_EQ(f.out.size(), 2u);
+  EXPECT_EQ(f.out[0], 1u);
+  EXPECT_EQ(f.out[1], 3u);
+  EXPECT_EQ(repl.flows_replicated(), 1u);
+
+  // The decision is cached: later packets reuse the pair even after the
+  // backlog picture inverts (path stability is the point — reordering
+  // within the flow stays bounded to its two paths).
+  f.ctx.backlogs = {1, 900, 2, 900};
+  auto pkt2 = f.make(7, 2'000);
+  ASSERT_TRUE(repl.route(*pkt2, f.ctx, f.out));
+  ASSERT_EQ(f.out.size(), 2u);
+  EXPECT_EQ(f.out[0], 1u);
+  EXPECT_EQ(f.out[1], 3u);
+  EXPECT_EQ(repl.flows_seen(), 1u) << "decided once, cached thereafter";
+}
+
+TEST(FlowReplicator, SizeClassGateRefusesElephants) {
+  ReplFixture f;
+  FlowReplicator repl({.enabled = true, .size_cutoff_bytes = 30'000});
+  auto big = f.make(1, 1'000'000);
+  EXPECT_FALSE(repl.route(*big, f.ctx, f.out));
+  EXPECT_EQ(repl.size_gated(), 1u);
+  EXPECT_EQ(repl.flows_replicated(), 0u);
+  // The elephant's verdict is cached too: no re-gating per packet.
+  auto big2 = f.make(1, 1'000'000);
+  EXPECT_FALSE(repl.route(*big2, f.ctx, f.out));
+  EXPECT_EQ(repl.flows_seen(), 1u);
+  EXPECT_EQ(repl.size_gated(), 1u);
+
+  // Unknown size (0 bytes) falls back to the traffic-class hint.
+  auto lc = f.make(2, 0, net::TrafficClass::kLatencyCritical);
+  EXPECT_TRUE(repl.route(*lc, f.ctx, f.out));
+  auto be = f.make(3, 0, net::TrafficClass::kBestEffort);
+  EXPECT_FALSE(repl.route(*be, f.ctx, f.out));
+}
+
+TEST(FlowReplicator, TokenExhaustionFallsBackToSinglePath) {
+  ReplFixture f;
+  FlowReplicator repl({.enabled = true});
+  int budget = 1;
+  int charges = 0;
+  repl.set_token_fn([&](std::uint16_t) {
+    ++charges;
+    return budget-- > 0;
+  });
+  // Flow 1 takes the last token and replicates; flow 2 is denied and
+  // must fall back to the caller's normal single-path scheduler.
+  auto p1 = f.make(1, 2'000);
+  EXPECT_TRUE(repl.route(*p1, f.ctx, f.out));
+  auto p2 = f.make(2, 2'000);
+  EXPECT_FALSE(repl.route(*p2, f.ctx, f.out));
+  EXPECT_EQ(repl.token_denied(), 1u);
+  // The budget is charged per FLOW, not per packet: more packets of
+  // flow 1 must not touch the token fn again.
+  for (int i = 0; i < 5; ++i) {
+    auto p = f.make(1, 2'000);
+    EXPECT_TRUE(repl.route(*p, f.ctx, f.out));
+  }
+  EXPECT_EQ(charges, 2) << "one charge per first-packet decision";
+}
+
+TEST(FlowReplicator, PathStarvationAndDownedReplicaSets) {
+  ReplFixture f;
+  FlowReplicator repl({.enabled = true});
+  // Only one path up at decision time: cannot build a pair.
+  f.ctx.ups = {0, 1, 0, 0};
+  auto p = f.make(1, 2'000);
+  EXPECT_FALSE(repl.route(*p, f.ctx, f.out));
+  EXPECT_EQ(repl.path_starved(), 1u);
+
+  // A replicated flow whose paths later go down: filtered by up(), and
+  // when the whole set is dark, one live path keeps the flow moving.
+  f.ctx.ups = {1, 1, 1, 1};
+  auto q = f.make(2, 2'000);
+  ASSERT_TRUE(repl.route(*q, f.ctx, f.out));
+  ASSERT_EQ(f.out.size(), 2u);
+  const auto kept = f.out[0];
+  f.ctx.ups[f.out[1]] = 0;
+  auto q2 = f.make(2, 2'000);
+  ASSERT_TRUE(repl.route(*q2, f.ctx, f.out));
+  ASSERT_EQ(f.out.size(), 1u);
+  EXPECT_EQ(f.out[0], kept);
+  f.ctx.ups = {0, 0, 0, 1};  // entire pair down; path 3 is the survivor
+  auto q3 = f.make(2, 2'000);
+  ASSERT_TRUE(repl.route(*q3, f.ctx, f.out));
+  ASSERT_EQ(f.out.size(), 1u);
+  EXPECT_EQ(f.out[0], 3u);
+}
+
+TEST(FlowReplicator, EraseAndClearFireTheDropCallback) {
+  ReplFixture f;
+  FlowReplicator repl({.enabled = true});
+  std::set<std::uint32_t> dropped;
+  repl.set_drop_callback([&](std::uint32_t flow) { dropped.insert(flow); });
+  for (std::uint32_t flow : {1u, 2u, 3u}) {
+    auto p = f.make(flow, 2'000);
+    repl.route(*p, f.ctx, f.out);
+  }
+  EXPECT_EQ(repl.tracked(), 3u);
+  EXPECT_TRUE(repl.erase(2));
+  EXPECT_EQ(dropped, std::set<std::uint32_t>{2});
+  EXPECT_FALSE(repl.erase(2)) << "double-erase must be a no-op";
+  repl.clear();
+  EXPECT_EQ(dropped, (std::set<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(repl.tracked(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Deduplicator flow-copy registry.
+
+TEST(DedupFlowRegistry, FirstCopyWinsPerSequence) {
+  core::Deduplicator d;
+  d.register_flow(9, 2);
+  EXPECT_EQ(d.flow_copies(9), 2u);
+  EXPECT_EQ(d.flow_copies(8), 1u) << "unregistered flows default to 1";
+  for (std::uint64_t seq = 0; seq < 4; ++seq) {
+    d.expect_flow(9, seq, 0);
+    EXPECT_TRUE(d.accept(core::Deduplicator::key(9, seq)));
+    EXPECT_FALSE(d.accept(core::Deduplicator::key(9, seq)))
+        << "second copy of seq " << seq << " must be dropped";
+  }
+  EXPECT_EQ(d.pending(), 0u) << "both copies seen retires the entry";
+  EXPECT_EQ(d.dup_drops(), 4u);
+}
+
+TEST(DedupFlowRegistry, MidFlowDownshiftReturnsToSingleCopy) {
+  core::Deduplicator d;
+  d.register_flow(5, 2);
+  d.expect_flow(5, 0, 0);
+  EXPECT_TRUE(d.deregister_flow(5));
+  EXPECT_FALSE(d.deregister_flow(5));
+  // Sequences expected after the downshift are single-copy: one accept
+  // retires them immediately.
+  d.expect_flow(5, 1, 0);
+  EXPECT_TRUE(d.accept(core::Deduplicator::key(5, 1)));
+  EXPECT_EQ(d.pending(), 1u) << "only the pre-downshift 2-copy entry left";
+  // The pre-downshift entry still expects both copies.
+  EXPECT_TRUE(d.accept(core::Deduplicator::key(5, 0)));
+  EXPECT_FALSE(d.accept(core::Deduplicator::key(5, 0)));
+  EXPECT_EQ(d.pending(), 0u);
+}
+
+TEST(DedupFlowRegistry, ReleaseFlowRetiresInFlightCopies) {
+  core::Deduplicator d;
+  d.register_flow(3, 2);
+  for (std::uint64_t seq = 0; seq < 3; ++seq) d.expect_flow(3, seq, 0);
+  d.register_flow(4, 2);
+  d.expect_flow(4, 0, 0);
+  EXPECT_EQ(d.pending(), 4u);
+  // Flow 3 completes with copies still in flight: its entries retire;
+  // flow 4's survives.
+  EXPECT_EQ(d.release_flow(3), 3u);
+  EXPECT_EQ(d.pending(), 1u);
+  // The straggler copies arrive after release: late drops, not deliveries.
+  EXPECT_FALSE(d.accept(core::Deduplicator::key(3, 1)));
+  EXPECT_EQ(d.late_drops(), 1u);
+  EXPECT_TRUE(d.accept(core::Deduplicator::key(4, 0)));
+}
+
+// ---------------------------------------------------------------------------
+// MdpDataPlane end to end.
+
+struct DpFixture {
+  sim::EventQueue eq;
+  net::PacketPool pool{4096, 2048};
+  std::unique_ptr<core::MdpDataPlane> dp;
+  /// (flow, seq, egress_ns): the byte-identity artifact.
+  std::vector<std::tuple<std::uint32_t, std::uint64_t, std::uint64_t>> log;
+
+  ~DpFixture() { eq.clear(); }
+
+  explicit DpFixture(core::DataPlaneConfig cfg) {
+    cfg.num_paths = 4;
+    cfg.dedup_sweep_interval_ns = 0;
+    dp = std::make_unique<core::MdpDataPlane>(eq, pool, cfg,
+                                              core::make_scheduler("rss"));
+    dp->set_egress([this](net::PacketPtr p) {
+      log.emplace_back(p->anno().flow_id, p->anno().seq,
+                       p->anno().egress_ns);
+    });
+  }
+
+  void send(std::uint32_t flow, sim::TimeNs at, std::uint32_t flow_bytes) {
+    eq.schedule_at(at, [this, flow, flow_bytes] {
+      net::BuildSpec spec;
+      spec.flow = {0x0a010101 + flow, 0x0a006401,
+                   static_cast<std::uint16_t>(1024 + flow), 80, 0};
+      auto pkt = net::build_udp(pool, spec);
+      ASSERT_TRUE(pkt);
+      auto& a = pkt->anno();
+      a.flow_id = flow;
+      a.flow_hash = net::hash_flow(spec.flow);
+      a.flow_bytes = flow_bytes;
+      a.ingress_ns = eq.now();
+      dp->ingress(std::move(pkt));
+    });
+  }
+
+  void drive(std::uint32_t flows = 6, int per_flow = 60,
+             std::uint32_t flow_bytes = 2'000) {
+    sim::TimeNs t = 0;
+    for (int i = 0; i < per_flow; ++i)
+      for (std::uint32_t fl = 0; fl < flows; ++fl)
+        send(fl, t += 600, flow_bytes);
+    eq.run();
+  }
+};
+
+TEST(DataPlaneReplication, DisabledAndParkedLeverAreByteIdenticalToSeed) {
+  core::DataPlaneConfig off{};  // flow_repl defaulted off: the seed plane
+  DpFixture a(off);
+  a.drive();
+
+  core::DataPlaneConfig parked{};
+  parked.flow_repl.enabled = true;
+  DpFixture b(parked);
+  ASSERT_EQ(b.dp->granularity(), Granularity::kBoth)
+      << "enabling flow replication must arm both levers by default";
+  b.dp->set_granularity(Granularity::kPacketHedge);  // park the new lever
+  b.drive();
+
+  ASSERT_FALSE(a.log.empty());
+  EXPECT_EQ(a.log, b.log)
+      << "a parked granularity lever must not perturb egress order or "
+         "timing by a single event";
+  EXPECT_EQ(
+      b.dp->fast_counters().get(core::DpCounter::kFlowReplicas), 0u);
+
+  // And kNone truncates even scheduler redundancy to one copy: the
+  // whole redundancy machine can be turned off from one knob.
+  core::DataPlaneConfig none{};
+  DpFixture c(none);
+  c.dp->set_granularity(Granularity::kNone);
+  c.drive();
+  EXPECT_EQ(c.dp->fast_counters().get(core::DpCounter::kReplicas), 0u);
+  EXPECT_EQ(c.dp->fast_counters().get(core::DpCounter::kHedges), 0u);
+}
+
+TEST(DataPlaneReplication, ReplicatedFlowsStayExactlyOnceInOrder) {
+  core::DataPlaneConfig cfg{};
+  cfg.flow_repl.enabled = true;
+  cfg.flow_repl.size_cutoff_bytes = 30'000;
+  DpFixture f(cfg);
+  constexpr std::uint32_t kFlows = 6;
+  constexpr int kPerFlow = 60;
+  f.drive(kFlows, kPerFlow, /*flow_bytes=*/2'000);
+
+  EXPECT_EQ(f.log.size(), static_cast<std::size_t>(kFlows * kPerFlow))
+      << "every (flow, seq) must egress exactly once despite double-send";
+  std::map<std::uint32_t, std::uint64_t> next;
+  for (const auto& [flow, seq, ns] : f.log) {
+    EXPECT_EQ(seq, next[flow]) << "flow " << flow;
+    next[flow] = seq + 1;
+  }
+  const auto& fc = f.dp->fast_counters();
+  EXPECT_EQ(fc.get(core::DpCounter::kFlowReplicas),
+            static_cast<std::uint64_t>(kFlows * kPerFlow))
+      << "every packet of every short flow must have sent a second copy";
+  EXPECT_EQ(f.dp->flow_replicator()->flows_replicated(), kFlows);
+  EXPECT_GT(f.dp->dedup().dup_drops(), 0u) << "losing copies must be real";
+  EXPECT_GT(f.dp->extra_copy_bytes(), 0u);
+  EXPECT_EQ(f.pool.in_use(), 0u) << "no leaks";
+
+  // Flow completion retires all per-flow state.
+  for (std::uint32_t fl = 0; fl < kFlows; ++fl) f.dp->end_flow(fl);
+  EXPECT_EQ(f.dp->flow_replicator()->tracked(), 0u);
+  EXPECT_EQ(f.dp->dedup().registered_flows(), 0u);
+  EXPECT_EQ(f.dp->dedup().pending(), 0u);
+}
+
+TEST(DataPlaneReplication, ElephantsAreGatedToSinglePath) {
+  core::DataPlaneConfig cfg{};
+  cfg.flow_repl.enabled = true;
+  cfg.flow_repl.size_cutoff_bytes = 30'000;
+  DpFixture f(cfg);
+  f.drive(/*flows=*/4, /*per_flow=*/40, /*flow_bytes=*/1'000'000);
+  EXPECT_EQ(f.dp->fast_counters().get(core::DpCounter::kFlowReplicas), 0u);
+  EXPECT_EQ(f.dp->flow_replicator()->flows_replicated(), 0u);
+  EXPECT_EQ(f.dp->flow_replicator()->size_gated(), 4u);
+  EXPECT_EQ(f.log.size(), 160u);
+  EXPECT_EQ(f.pool.in_use(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Controller e2e: the granularity lever moves on stage evidence.
+
+TEST(GranularityE2E, DelayStormFlipsPacketToFlowAndBack) {
+  chaos::ChaosScenarioConfig cfg;
+  cfg.seed = 3;
+  cfg.iterations = 40'000;
+  cfg.flows = 4;
+  cfg.num_paths = 2;
+  cfg.packets_per_iter = 1;
+  cfg.drain_per_iter = {8, 8};
+  cfg.flow_affinity = true;  // keep the slow wire's pain in its own spans
+  cfg.flow_replica = true;   // rig capability; the LEVER decides engagement
+  cfg.granularity = Granularity::kPacketHedge;
+  cfg.ctrl.slo_target_ns = 10'000;
+  cfg.ctrl.violation_threshold = 0.25;
+  cfg.ctrl.min_samples = 16;
+  // Suppress quarantine: this scenario isolates the granularity lever
+  // (otherwise the controller would cut the slow path instead).
+  cfg.ctrl.path.quarantine_after = 1'000'000;
+  cfg.ctrl.hedger.enabled = false;
+  cfg.ctrl.hedge_timeout.enabled = false;
+  cfg.ctrl.granularity.enabled = true;
+  cfg.ctrl.granularity.baseline = Granularity::kPacketHedge;
+  cfg.ctrl.granularity.min_samples = 16;
+  cfg.ctrl.granularity.sustain_ticks = 2;
+  cfg.ctrl.granularity.cooldown_ticks = 2;
+  // Path 1's last mile turns slow mid-run: 40 wire ticks >> the SLO, a
+  // service-stage storm by construction.
+  cfg.phases.push_back({4'000, 24'000, 1, {.delay_ticks = 40}});
+
+  chaos::ChaosResult r = chaos::ChaosRig(cfg).run();
+
+  // Core invariants hold across the flip in BOTH directions.
+  EXPECT_EQ(r.duplicate_egress, 0u);
+  EXPECT_EQ(r.order_violations, 0u);
+  EXPECT_EQ(r.pool_in_use, 0u);
+  EXPECT_EQ(r.pool_allocs, r.pool_recycles);
+
+  // The lever must move: service-dominant inflation escalates the
+  // PacketHedge baseline to FlowReplica, and the clean tail brings it
+  // home. Every shift is a logged, evidenced decision.
+  ASSERT_GE(r.granularity_shifts, 2u)
+      << "the storm must flip the lever out AND the calm must flip it back";
+  std::vector<const ctrl::Decision*> shifts;
+  for (const auto& d : r.decisions)
+    if (d.path == ctrl::Decision::kGranularity) shifts.push_back(&d);
+  ASSERT_GE(shifts.size(), 2u);
+  EXPECT_STREQ(shifts.front()->reason, "granularity_shift");
+  EXPECT_EQ(shifts.front()->gran_from, Granularity::kPacketHedge);
+  EXPECT_EQ(shifts.front()->gran_to, Granularity::kFlowReplica)
+      << "a service-dominant storm calls for flow replicas, not more "
+         "packet hedges";
+  EXPECT_STREQ(shifts.front()->dominant_stage, "service");
+  EXPECT_EQ(shifts.back()->gran_to, Granularity::kPacketHedge)
+      << "the lever must come home after the storm";
+  EXPECT_EQ(r.final_granularity, Granularity::kPacketHedge);
+  EXPECT_GT(r.flow_replicas, 0u)
+      << "the flow-replica phase must have actually double-sent flows";
+
+  // The decision log carries the lever: every decision logged while the
+  // lever is enabled has a granularity field, and the report surfaces
+  // the current setting at top level.
+  EXPECT_NE(r.ctrl_report.find("\"granularity\""), std::string::npos);
+  EXPECT_NE(r.ctrl_report.find("\"granularity_shift\""), std::string::npos);
+
+  // Determinism: the flip is part of the reproducible artifact set.
+  chaos::ChaosResult r2 = chaos::ChaosRig(cfg).run();
+  EXPECT_EQ(r.ctrl_report, r2.ctrl_report);
+  EXPECT_EQ(r.delivered_log, r2.delivered_log);
+  EXPECT_EQ(r.granularity_shifts, r2.granularity_shifts);
+}
+
+}  // namespace
+}  // namespace mdp

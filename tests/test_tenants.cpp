@@ -8,15 +8,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ctrl/controller.hpp"
 #include "ctrl/tenant.hpp"
 #include "net/tenant.hpp"
 #include "nf/flow_table.hpp"
+#include "sim/rng.hpp"
 #include "workload/conn_storm.hpp"
 
 namespace mdp {
@@ -137,6 +140,96 @@ TEST(FlowTable, EraseIfExpiresWithoutCountingEvictions) {
   // Occupancy accounting survives the backward-shift erase storm.
   EXPECT_EQ(t.tenant_occupancy(0), 0u);
   EXPECT_EQ(t.tenant_occupancy(1), 16u);
+}
+
+TEST(FlowTable, ChurnPropertyMatchesReferenceModel) {
+  // Property test for backward-shift deletion and erase_if under churn:
+  // 10k randomized insert/erase/find ops per seed, with periodic erase_if
+  // sweeps, checked against a std::unordered_map reference model.
+  // Backward-shift compaction must never lose or duplicate an entry, and
+  // per-tenant occupancy must stay exact through every erase storm.
+  constexpr std::size_t kCapacity = 512;
+  constexpr std::uint32_t kUniverse = 700;  // > capacity: real probe chains
+  constexpr int kTrials = 10'000;
+  constexpr std::uint16_t kTenants = 4;
+  const auto tenant_of = [](std::uint32_t n) {
+    return static_cast<std::uint16_t>(n % kTenants);
+  };
+
+  for (std::uint64_t seed : {1ull, 77ull, 4242ull}) {
+    sim::Rng rng(seed);
+    nf::FlowTable<std::uint64_t> t(kCapacity);
+    std::unordered_map<std::uint32_t, std::uint64_t> model;
+
+    for (int op = 0; op < kTrials; ++op) {
+      const auto n = static_cast<std::uint32_t>(rng.uniform_u64(kUniverse));
+      const std::uint64_t roll = rng.uniform_u64(100);
+      if (roll < 45) {  // insert-or-update
+        // Stay below capacity so the clock hand never fires: the model
+        // tracks explicit ops only (evictions() == 0 asserted below).
+        if (model.size() >= kCapacity && model.count(n) == 0) continue;
+        const std::uint64_t v = rng.uniform_u64(1u << 30);
+        ASSERT_NE(t.insert(flow_n(n), tenant_of(n), v), nullptr)
+            << "seed " << seed << " op " << op;
+        model[n] = v;
+      } else if (roll < 70) {  // erase
+        EXPECT_EQ(t.erase(flow_n(n)), model.erase(n) == 1)
+            << "seed " << seed << " op " << op;
+      } else if (roll < 95) {  // lookup
+        const auto it = model.find(n);
+        const std::uint64_t* got = t.find(flow_n(n));
+        ASSERT_EQ(got != nullptr, it != model.end())
+            << "seed " << seed << " op " << op;
+        if (got != nullptr) EXPECT_EQ(*got, it->second);
+      } else {  // erase_if sweep: idle-expiry of a random value residue
+        const std::uint64_t r = rng.uniform_u64(7);
+        const std::size_t erased = t.erase_if(
+            [&](const net::FlowKey&, const std::uint64_t& v, std::uint16_t) {
+              return v % 7 == r;
+            });
+        std::size_t expected = 0;
+        for (auto it = model.begin(); it != model.end();) {
+          if (it->second % 7 == r) {
+            it = model.erase(it);
+            ++expected;
+          } else {
+            ++it;
+          }
+        }
+        EXPECT_EQ(erased, expected) << "seed " << seed << " op " << op;
+      }
+
+      if (op % 1000 == 999) {
+        ASSERT_EQ(t.size(), model.size()) << "seed " << seed << " op " << op;
+        std::array<std::size_t, kTenants> occ{};
+        for (const auto& [key, value] : model) ++occ[tenant_of(key)];
+        for (std::uint16_t ten = 0; ten < kTenants; ++ten)
+          ASSERT_EQ(t.tenant_occupancy(ten), occ[ten])
+              << "seed " << seed << " op " << op << " tenant " << ten;
+      }
+    }
+
+    // Full cross-check: every table entry appears exactly once and matches
+    // the model; every universe key answers presence correctly.
+    std::size_t visited = 0;
+    std::set<std::uint32_t> seen;
+    t.for_each([&](const net::FlowKey& k, const std::uint64_t& v,
+                   std::uint16_t tenant) {
+      ++visited;
+      const std::uint32_t n = k.src_ip - 0x0b000000;  // flow_n inverse
+      EXPECT_TRUE(seen.insert(n).second) << "duplicated entry " << n;
+      const auto it = model.find(n);
+      ASSERT_NE(it, model.end()) << "ghost entry " << n;
+      EXPECT_EQ(v, it->second);
+      EXPECT_EQ(tenant, tenant_of(n));
+    });
+    EXPECT_EQ(visited, model.size()) << "seed " << seed;
+    for (std::uint32_t n = 0; n < kUniverse; ++n)
+      ASSERT_EQ(t.peek(flow_n(n)) != nullptr, model.count(n) == 1)
+          << "seed " << seed << " flow " << n;
+    EXPECT_EQ(t.evictions(), 0u);
+    EXPECT_EQ(t.cap_rejections(), 0u);
+  }
 }
 
 TEST(FlowTable, MillionFlowsBoundedMemory) {
