@@ -5,6 +5,7 @@ committed baseline. Dispatches on the report's "bench" id:
     ext2_fastpath  vs BENCH_fastpath.json  (threaded-plane burst sweep)
     ext4_tenants   vs BENCH_tenants.json   (million-flow tenancy tier)
     fig11_fct      vs BENCH_fct.json       (flow-granularity FCT bench)
+    ext5_forecast  vs BENCH_forecast.json  (predictive-control A/B bench)
 
 Usage:
     check_perf.py <fresh.json> [<baseline.json>] [--max-regression 2.0]
@@ -32,11 +33,21 @@ websearch workload the better of flow_replica/combined must beat
 single_path short-flow p99 FCT by >= 2x — the PR's headline claim,
 replayed from a seeded rig on every CI run.
 
+ext5_forecast extras: every row is logical-clock, so the predictive
+plane's A/B wins gate hard: client breach windows and storm-onset p99.9
+must be STRICTLY lower with the forecast enabled than reactive-only on
+the same seeded storm, the pre-hedge must land >= 1 controller tick
+before the reactive quarantine, the calm soak must show zero forecast
+actuations (FP <= 0.05), and a majority of storm pre-actuations must be
+confirmed by a reactive breach (FP <= 0.5 — a rescue that works erases
+some of its own confirming evidence; docs/FORECAST.md).
+
 Regenerate baselines from a Release build:
 
     ./build/bench/ext2_fastpath --json BENCH_fastpath.json
     ./build/bench/ext4_tenants  --json BENCH_tenants.json
     ./build/bench/fig11_fct     --json BENCH_fct.json
+    ./build/bench/ext5_forecast --json BENCH_forecast.json
 
 --self-test exercises the gate's own failure branches (regression FAIL,
 missing baseline row, new ungated row, SLO-breach FAIL, bench mismatch,
@@ -48,14 +59,22 @@ import argparse
 import json
 import sys
 
-SUPPORTED = ("ext2_fastpath", "ext4_tenants", "fig11_fct")
+SUPPORTED = ("ext2_fastpath", "ext4_tenants", "fig11_fct",
+             "ext5_forecast")
 DEFAULT_BASELINE = {"ext2_fastpath": "BENCH_fastpath.json",
                     "ext4_tenants": "BENCH_tenants.json",
-                    "fig11_fct": "BENCH_fct.json"}
+                    "fig11_fct": "BENCH_fct.json",
+                    "ext5_forecast": "BENCH_forecast.json"}
 
 # fig11_fct hard limits (deterministic rows; no runner-noise excuse).
 FCT_MAX_DUP_BYTE_FRACTION = 0.25
 FCT_MIN_WEBSEARCH_SPEEDUP = 2.0
+
+# ext5_forecast false-positive ceilings (docs/FORECAST.md): a calm wire
+# must not trip the forecast at all; under a storm a majority of
+# pre-actuations must be confirmed by the reactive judge.
+FORECAST_MAX_CALM_FP = 0.05
+FORECAST_MAX_STORM_FP = 0.5
 
 
 def load_doc(path):
@@ -123,6 +142,22 @@ def fct_rows(doc, path):
         rows[(rep["workload"], rep["mode"])] = rep
     if not rows:
         sys.exit(f"{path}: no mdp.bench_fct.v1 rows")
+    return rows
+
+
+def forecast_rows(doc, path):
+    """{row_name: full row dict} from an ext5_forecast report."""
+    rows = {}
+    for run in doc.get("runs", []):
+        rep = run.get("report", {})
+        if rep.get("schema") != "mdp.bench_forecast.v1":
+            continue
+        if "row" not in rep or "value" not in rep:
+            sys.exit(f"{path}: mdp.bench_forecast.v1 row missing "
+                     f"row/value: {sorted(rep)}")
+        rows[rep["row"]] = rep
+    if not rows:
+        sys.exit(f"{path}: no mdp.bench_forecast.v1 rows")
     return rows
 
 
@@ -248,6 +283,73 @@ def check_fct(fresh, base, max_regression):
     return failed
 
 
+def check_forecast(fresh, base, max_regression):
+    failed = gate_ratios(fresh, base, lambda r: float(r["value"]),
+                         lambda k: k, max_regression)
+
+    def val(name):
+        row = fresh.get(name)
+        return float(row["value"]) if row else None
+
+    # Hard A/B wins. Every ext5 row replays a seeded logical-clock rig,
+    # so the predictive plane must STRICTLY beat reactive-only on both
+    # client-visible currencies — a tie means the forecast's rescue
+    # stopped working, never runner noise.
+    for pred, react, what in (
+            ("breach_windows_predictive", "breach_windows_reactive",
+             "client breach windows"),
+            ("onset_p999_predictive", "onset_p999_reactive",
+             "storm-onset p99.9")):
+        p, r = val(pred), val(react)
+        if p is None or r is None:
+            print(f"FAIL: {pred}/{react} rows missing "
+                  f"(cannot check the A/B {what} win)")
+            failed = True
+        elif p >= r:
+            print(f"FAIL: {pred} = {p:.0f} >= {react} = {r:.0f} "
+                  f"(forecast no longer wins the {what} A/B)")
+            failed = True
+        else:
+            print(f"{what}: predictive {p:.0f} < reactive {r:.0f} [ok]")
+
+    lead = val("prehedge_lead_ticks")
+    if lead is None or lead < 1:
+        print(f"FAIL: prehedge_lead_ticks = {lead} (the pre-hedge must "
+              f"land at least one controller tick before the reactive "
+              f"quarantine)")
+        failed = True
+    else:
+        print(f"prehedge lead: {lead:.0f} ticks before reactive [ok]")
+
+    # False-positive contract (docs/FORECAST.md): calm wire -> no
+    # actuation at all; storm -> a majority of pre-actuations confirmed
+    # by a reactive breach (a rescue that works erases some of its own
+    # confirming evidence, hence 50% there, not 5%).
+    for name, ceiling in (("false_positive_fraction_calm",
+                           FORECAST_MAX_CALM_FP),
+                          ("false_positive_fraction_storm",
+                           FORECAST_MAX_STORM_FP)):
+        fp = val(name)
+        if fp is None:
+            print(f"FAIL: {name} row missing")
+            failed = True
+        elif fp > ceiling:
+            print(f"FAIL: {name} {fp:.3f} > {ceiling} "
+                  f"(forecast is actuating on noise)")
+            failed = True
+        else:
+            print(f"{name}: {fp:.3f} <= {ceiling} [ok]")
+
+    calm = val("calm_forecast_actuations")
+    if calm is None or calm != 0:
+        print(f"FAIL: calm_forecast_actuations = {calm} (a clean wire "
+              f"must never trip the forecast)")
+        failed = True
+    else:
+        print("calm_forecast_actuations: 0 [ok]")
+    return failed
+
+
 def self_test():
     """Drive the gate against synthetic reports covering every verdict
     branch. Returns 0 when all checks pass, 1 otherwise."""
@@ -275,6 +377,12 @@ def self_test():
                                      "workload": w, "mode": m,
                                      "wall_clock": False, **row}}
                          for (w, m), row in rows.items()]}
+
+    def fc_report(rows):
+        return {"bench": "ext5_forecast",
+                "runs": [{"report": {"schema": "mdp.bench_forecast.v1",
+                                     "wall_clock": False, **row}}
+                         for row in rows.values()]}
 
     def run_gate(argv):
         """Run main() in-process; return (exit_code, captured_output)."""
@@ -458,7 +566,56 @@ def self_test():
         check("fct missing replica rows fails",
               code == 1 and "cannot check the headline speedup" in out, out)
 
-    total = 17
+        # --- ext5_forecast branches --------------------------------------
+        fc_base = {name: {"row": name, "value": v} for name, v in (
+            ("breach_windows_reactive", 2),
+            ("breach_windows_predictive", 0),
+            ("onset_p999_reactive", 12000),
+            ("onset_p999_predictive", 2000),
+            ("prehedge_lead_ticks", 30),
+            ("false_positive_fraction_storm", 0.33),
+            ("false_positive_fraction_calm", 0.0),
+            ("calm_forecast_actuations", 0))}
+        fcbase = write("fcbase.json", fc_report(fc_base))
+
+        # Clean pass: both A/B win lines, the lead line, FP lines.
+        code, out = run_gate([write("fcsame.json", fc_report(fc_base)),
+                              fcbase])
+        check("forecast rows pass",
+              code == 0
+              and "client breach windows: predictive 0 < reactive 2" in out
+              and "prehedge lead: 30 ticks" in out, out)
+
+        # Lost A/B win: a predictive tie is a hard FAIL even against an
+        # equally-bad baseline (the ratio rule alone would pass it).
+        fclost = {k: dict(v) for k, v in fc_base.items()}
+        fclost["breach_windows_predictive"]["value"] = 2
+        lost_base = write("fclostbase.json", fc_report(fclost))
+        code, out = run_gate([write("fclost.json", fc_report(fclost)),
+                              lost_base])
+        check("forecast lost A/B win fails",
+              code == 1 and "no longer wins the client breach windows" in out,
+              out)
+
+        # Calm-soak FP past the ceiling: hard FAIL.
+        fcnoise = {k: dict(v) for k, v in fc_base.items()}
+        fcnoise["false_positive_fraction_calm"]["value"] = 0.2
+        noise_base = write("fcnoisebase.json", fc_report(fcnoise))
+        code, out = run_gate([write("fcnoise.json", fc_report(fcnoise)),
+                              noise_base])
+        check("forecast calm FP ceiling fails",
+              code == 1 and "actuating on noise" in out, out)
+
+        # Any calm-soak actuation at all: hard FAIL.
+        fctrip = {k: dict(v) for k, v in fc_base.items()}
+        fctrip["calm_forecast_actuations"]["value"] = 3
+        trip_base = write("fctripbase.json", fc_report(fctrip))
+        code, out = run_gate([write("fctrip.json", fc_report(fctrip)),
+                              trip_base])
+        check("forecast calm actuation fails",
+              code == 1 and "must never trip the forecast" in out, out)
+
+    total = 21
     passed = total - len(failures)
     print(f"self-test: {passed}/{total} checks passed")
     return 1 if failures else 0
@@ -496,6 +653,10 @@ def main(argv=None):
         failed = check_fct(fct_rows(fresh_doc, args.fresh),
                            fct_rows(base_doc, baseline_path),
                            args.max_regression)
+    elif bench == "ext5_forecast":
+        failed = check_forecast(forecast_rows(fresh_doc, args.fresh),
+                                forecast_rows(base_doc, baseline_path),
+                                args.max_regression)
     else:
         failed = check_tenants(tenant_rows(fresh_doc, args.fresh),
                                tenant_rows(base_doc, baseline_path),

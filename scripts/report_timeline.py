@@ -15,6 +15,7 @@ Accepts any of:
 Usage:
     report_timeline.py FILE [--csv] [--run NAME] [--max-rows N]
     report_timeline.py FILE --tenant {all|ID} [--csv]
+    report_timeline.py FILE --forecast [--csv]
     report_timeline.py --self-test
 
 ASCII mode (default) prints one row per controller tick: per-path p99.9
@@ -29,6 +30,14 @@ tenant_throttle/tenant_shed/... decisions overlaid on the tick where they
 fired. '--tenant all' renders every tenant in the series; '--tenant 1'
 narrows to one. With --csv the long form is one row per tick x tenant
 carrying the full TenantTickStats record.
+
+--forecast switches to the predictive view (docs/FORECAST.md): for every
+path whose telemetry carries the forecast sub-object, one column group of
+forecast-vs-actual p99.9 per tick plus the estimator's confidence, with
+only the forecast_* decisions overlaid — the side-by-side trajectories
+show how far ahead of the actual tail the forecast ran and where it
+crossed into actuation. With --csv the long form is one row per tick x
+forecast-bearing path carrying the full forecast record.
 
 --self-test drives every accepted input shape plus the failure branches
 (unreadable file, corrupt JSON, unrecognized schema) against synthetic
@@ -169,6 +178,94 @@ def render_tenants_ascii(telem, marks, max_rows, out, only):
         print("  ".join(cols), file=out)
 
 
+def forecast_paths(telem):
+    """Sorted path ids whose series carries the forecast sub-object."""
+    return sorted({p["path"] for row in telem.get("ticks", [])
+                   for p in row.get("paths", []) if "forecast" in p})
+
+
+def render_forecast_ascii(telem, marks, max_rows, out):
+    ticks = telem.get("ticks", [])
+    ids = forecast_paths(telem)
+    marks = [m for m in marks if m[1].startswith("forecast")]
+    peak = max((max(p.get("p999_ns", 0),
+                    p.get("forecast", {}).get("p999_ns", 0))
+                for row in ticks for p in row.get("paths", [])
+                if p["path"] in ids), default=0)
+    print(f"forecast series: {len(ticks)} ticks retained, "
+          f"forecast-bearing paths {ids}, peak p99.9 {fmt_us(peak)}",
+          file=out)
+    header = ["tick", "t(ms)"]
+    for p in ids:
+        header += [f"p{p} actual", f"p{p} fc p99.9", f"p{p} conf"]
+    header += ["worst", "forecast decisions"]
+    print("  ".join(header), file=out)
+
+    stride = max(1, (len(ticks) + max_rows - 1) // max_rows)
+    mi, pending = 0, []
+    for i, row in enumerate(ticks):
+        now = row.get("now_ns", 0)
+        while mi < len(marks) and marks[mi][0] <= now:
+            pending.append(marks[mi][1])
+            mi += 1
+        if i % stride != 0 and not pending and i != len(ticks) - 1:
+            continue
+        by_path = {p["path"]: p for p in row.get("paths", [])}
+        cols = [str(row.get("tick", i)), f"{now / 1e6:.2f}"]
+        worst = 0
+        for p in ids:
+            ps = by_path.get(p)
+            fc = ps.get("forecast") if ps else None
+            if ps and ps.get("samples", 0) > 0:
+                cols.append(fmt_us(ps.get("p999_ns", 0)))
+                worst = max(worst, ps.get("p999_ns", 0))
+            else:
+                cols.append("-")
+            if fc:
+                cols.append(fmt_us(fc.get("p999_ns", 0)))
+                conf = fc.get("confidence", 0)
+                star = "*" if fc.get("actionable") else ""
+                cols.append(f"{conf:.2f}{star}")
+                worst = max(worst, fc.get("p999_ns", 0))
+            else:
+                cols += ["-", "-"]
+        bar = "#" * (round(BAR_WIDTH * worst / peak) if peak else 0)
+        cols.append(f"|{bar:<{BAR_WIDTH}}|")
+        cols.append(", ".join(pending))
+        pending = []
+        print("  ".join(cols), file=out)
+    print("conf column: estimator confidence, '*' = actionable "
+          "(cleared the cold-start gate)", file=out)
+
+
+def render_forecast_csv(telem, marks, out):
+    ids = set(forecast_paths(telem))
+    marks = [m for m in marks if m[1].startswith("forecast")]
+    print("tick,now_ns,path,samples,p999_ns,forecast_p99_ns,"
+          "forecast_p999_ns,confidence,actionable,horizon_ticks,stage,"
+          "decisions", file=out)
+    mi = 0
+    for i, row in enumerate(telem.get("ticks", [])):
+        now = row.get("now_ns", 0)
+        labels = []
+        while mi < len(marks) and marks[mi][0] <= now:
+            labels.append(marks[mi][1])
+            mi += 1
+        dec = ";".join(labels)
+        for p in row.get("paths", []):
+            if p["path"] not in ids:
+                continue
+            fc = p.get("forecast", {})
+            print(",".join(str(v) for v in (
+                row.get("tick", i), now, p["path"], p.get("samples", 0),
+                p.get("p999_ns", 0), fc.get("p99_ns", 0),
+                fc.get("p999_ns", 0), fc.get("confidence", 0),
+                int(bool(fc.get("actionable"))),
+                fc.get("horizon_ticks", 0), fc.get("stage", ""),
+                dec)), file=out)
+            dec = ""  # decisions annotate the tick once, on its first row
+
+
 def render_telem_csv(telem, marks, out):
     print("tick,now_ns,path,samples,violations,p50_ns,p99_ns,p999_ns,"
           "max_ns,decisions", file=out)
@@ -267,6 +364,17 @@ def render_doc(doc, args, out, name=None):
         marks = decisions_from_ctrl(doc.get("ctrl", {}))
     else:
         return False
+    if args.forecast:
+        if not forecast_paths(telem):
+            print("telem series carries no forecast records (the run had "
+                  "forecast disabled, or its telemetry predates the "
+                  "forecast plane)", file=out)
+            sys.exit(1)
+        if args.csv:
+            render_forecast_csv(telem, marks, out)
+        else:
+            render_forecast_ascii(telem, marks, args.max_rows, out)
+        return True
     if args.tenant is not None:
         if not tenant_ids(telem, args.tenant):
             print(f"telem series carries no rows for tenant "
@@ -298,6 +406,9 @@ def main(argv=None):
     ap.add_argument("--tenant",
                     help="render per-tenant trajectories instead of "
                          "per-path ones: 'all' or a tenant id")
+    ap.add_argument("--forecast", action="store_true",
+                    help="render forecast-vs-actual p99.9 trajectories "
+                         "with the forecast_* decisions overlaid")
     ap.add_argument("--max-rows", type=int, default=24,
                     help="ASCII mode: stride the series down to ~N rows")
     ap.add_argument("--self-test", action="store_true",
@@ -388,6 +499,23 @@ def self_test():
     report_t = {"schema": "mdp.run_report.v2", "telem": telem_t,
                 "ctrl": ctrl_t}
 
+    # A forecast-bearing run: path 1 carries the forecast sub-object
+    # (path 0 deliberately does not — the view must tolerate a mix), with
+    # a forecast_prehedge and an unrelated slo_breach in the decision log.
+    telem_f = json.loads(json.dumps(telem))
+    for t, row in enumerate(telem_f["ticks"]):
+        for p in row["paths"]:
+            if p["path"] == 1:
+                p["forecast"] = {
+                    "horizon_ticks": 1, "p99_ns": 5000,
+                    "p999_ns": 9000 * (t + 2), "confidence": 0.8,
+                    "actionable": True, "stage": "service"}
+    ctrl_f = {"decisions": [
+        {"now_ns": 1_000_000, "path": 1, "reason": "forecast_prehedge"},
+        {"now_ns": 2_000_000, "path": 1, "reason": "slo_breach"}]}
+    report_f = {"schema": "mdp.run_report.v2", "telem": telem_f,
+                "ctrl": ctrl_f}
+
     def run(argv):
         out = io.StringIO()
         code = 0
@@ -475,6 +603,22 @@ def self_test():
               code == 0 and "per-tenant series present (2 tenants)" in out,
               out)
 
+        # Forecast view: fc-vs-actual columns only for the forecast-
+        # bearing path, forecast_* overlay kept, other decisions dropped.
+        fpath = write("report_f.json", report_f)
+        code, out = run([fpath, "--forecast"])
+        check("forecast view renders fc-vs-actual with the overlay",
+              code == 0 and "p1 fc p99.9" in out and "p0 fc" not in out
+              and "forecast_prehedge@1" in out and "slo_breach" not in out
+              and "0.80*" in out, out)
+        code, out = run([fpath, "--forecast", "--csv"])
+        check("forecast CSV has one row per tick x forecast path",
+              code == 0 and "forecast_p999_ns" in out
+              and out.count("\n") == 1 + 3, out)
+        code, out = run([write("report3.json", report), "--forecast"])
+        check("--forecast on a forecast-less series fails",
+              code == 1 and "no forecast records" in out, out)
+
         # Failure branches.
         code, out = run([os.path.join(d, "absent.json")])
         check("unreadable file fails", code == 1 and "cannot read" in out,
@@ -491,7 +635,7 @@ def self_test():
               code == 1 and "no telem section" in out
               and "unrecognized" not in out, out)
 
-    total = 16
+    total = 19
     passed = total - len(failures)
     print(f"self-test: {passed}/{total} checks passed")
     return 1 if failures else 0

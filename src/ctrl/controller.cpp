@@ -9,11 +9,13 @@ namespace mdp::ctrl {
 
 std::uint32_t decision_reason_code(const char* reason) noexcept {
   static constexpr const char* kReasons[] = {
-      "slo_breach",       "backlog_breach",  "slo+backlog_breach",
-      "probe_breach",     "drain_start",     "drained",
-      "probation_passed", "hedge_raise",     "hedge_lower",
-      "hedge_timeout",    "tenant_throttle", "tenant_shed",
-      "tenant_probation", "tenant_reinstate", "granularity_shift"};
+      "slo_breach",       "backlog_breach",   "slo+backlog_breach",
+      "probe_breach",     "drain_start",      "drained",
+      "probation_passed", "hedge_raise",      "hedge_lower",
+      "hedge_timeout",    "tenant_throttle",  "tenant_shed",
+      "tenant_probation", "tenant_reinstate", "granularity_shift",
+      "forecast_prehedge", "forecast_probe",  "forecast_prequarantine",
+      "forecast_restore"};
   for (std::uint32_t i = 0; i < std::size(kReasons); ++i)
     if (std::strcmp(reason, kReasons[i]) == 0) return i + 1;
   return 0;
@@ -30,6 +32,18 @@ Controller::Controller(Config cfg, Actuator& actuator, SloMonitor& monitor)
   paths_.resize(act_.num_paths());
   for (auto& p : paths_) p.fsm = PathStateMachine(cfg_.path);
   if (cfg_.decision_log_capacity == 0) cfg_.decision_log_capacity = 1;
+  if (cfg_.forecast.enabled) {
+    ForecastConfig& fc = cfg_.forecast;
+    if (fc.prehedge_threshold <= 0.0) fc.prehedge_threshold = 0.9;
+    if (fc.prequarantine_threshold <= fc.prehedge_threshold)
+      fc.prequarantine_threshold = fc.prehedge_threshold * 1.5;
+    if (fc.restore_threshold >= fc.prehedge_threshold)
+      fc.restore_threshold = fc.prehedge_threshold * 0.75;
+    if (fc.max_hold_ticks == 0) fc.max_hold_ticks = 1;
+    if (fc.probe_grant == 0) fc.probe_grant = cfg_.probe_grant_per_tick;
+    est_ = std::make_unique<forecast::TailEstimator>(paths_.size(),
+                                                     fc.estimator);
+  }
 }
 
 void Controller::set_slo_target_ns(std::uint64_t t) {
@@ -42,6 +56,20 @@ std::size_t Controller::active_count() const {
   for (const auto& p : paths_)
     if (p.fsm.state() == PathState::kActive) ++n;
   return n;
+}
+
+std::size_t Controller::serving_count() const {
+  std::size_t n = 0;
+  for (const auto& p : paths_)
+    if (p.fsm.state() == PathState::kActive && !p.pre_quarantined) ++n;
+  return n;
+}
+
+void Controller::open_fp_episode(std::size_t p) {
+  PathCtl& pc = paths_[p];
+  if (pc.fp_pending) return;
+  pc.fp_pending = true;
+  pc.fp_since = tick_;
 }
 
 void Controller::attach_recorder(telem::FlightRecorder* rec,
@@ -89,12 +117,34 @@ void Controller::tick(std::uint64_t now_ns) {
   std::uint64_t serving_samples = 0;
   const char* worst_dominant_stage = "";
   std::uint64_t worst_dominant_ns = 0;
+  // Worst actionable forecast across serving paths: drives the global
+  // pre-hedge after the loop.
+  forecast::Forecast fc_worst;
+  std::uint16_t fc_worst_path = 0;
+  bool have_fc_worst = false;
 
   for (std::size_t p = 0; p < paths_.size(); ++p) {
     PathCtl& pc = paths_[p];
     const PathState before = pc.fsm.state();
     const WindowStats w = mon_.harvest(p);
     const std::uint64_t backlog = act_.path_backlog(p);
+
+    // Forecast stage, step 1: absorb the window (interpolated quantiles —
+    // the estimator differentiates the series, and the quantized upper
+    // edges would turn its trend term into staircase noise) and read the
+    // path's forecast before anything else judges the window.
+    forecast::Forecast fc;
+    bool have_fc = false;
+    if (est_) {
+      forecast::WindowSample s;
+      s.samples = w.samples;
+      s.p99_ns = w.quantile_ns(0.99);
+      s.p999_ns = w.quantile_ns(0.999);
+      s.stage_sum_ns = w.stage_sum_ns;
+      est_->observe(p, s);
+      fc = est_->forecast(p);
+      have_fc = est_->windows_seen(p) > 0;
+    }
 
     if (exporter_) {
       telem::PathTickStats ts;
@@ -107,6 +157,16 @@ void Controller::tick(std::uint64_t now_ns) {
       ts.p999_ns = w.p999_ns;
       ts.max_ns = w.max_ns;
       ts.stage_sum_ns = w.stage_sum_ns;
+      if (have_fc) {
+        ts.has_forecast = true;
+        ts.fc_p99_ns = fc.p99_ns;
+        ts.fc_p999_ns = fc.p999_ns;
+        ts.fc_confidence = fc.confidence;
+        ts.fc_horizon_ticks = fc.horizon_ticks;
+        ts.fc_actionable = fc.actionable;
+        if (fc.has_stage && fc.dominant_stage_slope > 0.0)
+          ts.fc_stage = trace::stage_name(fc.dominant_stage);
+      }
       exporter_->add_path(ts);
     }
 
@@ -119,6 +179,117 @@ void Controller::tick(std::uint64_t now_ns) {
       dominant_ns = w.dominant_stage_ns();
     }
 
+    // Forecast stage, step 2: the proactive per-path actions, BEFORE the
+    // reactive judge sees the window. A forecast may soften admission
+    // (kProbeOnly) and schedule probes; it may never hard-quarantine —
+    // that stays the reactive FSM's exclusive call, fed by the probe
+    // evidence this very actuation keeps flowing.
+    if (est_ && before == PathState::kActive) {
+      const double slo = static_cast<double>(cfg_.slo_target_ns);
+      const double fc999 = static_cast<double>(fc.p999_ns);
+      if (pc.pre_quarantined) {
+        const bool calmed =
+            have_fc && fc999 < cfg_.forecast.restore_threshold * slo;
+        const bool expired =
+            tick_ - pc.pre_quarantined_since >= cfg_.forecast.max_hold_ticks;
+        if (calmed || expired) {
+          // Probe-first means release-first too: without reactive
+          // confirmation inside the hold window the path goes back to
+          // full admission (and the episode resolves as a false positive
+          // unless a breach landed meanwhile).
+          act_.set_admission(p, Admission::kEnabled);
+          pc.pre_quarantined = false;
+          ++forecast_restores_;
+          Decision d;
+          d.tick = tick_;
+          d.now_ns = now_ns;
+          d.path = static_cast<std::uint16_t>(p);
+          d.from = before;
+          d.to = before;
+          d.reason = "forecast_restore";
+          d.p99_ns = w.p99_ns;
+          d.samples = w.samples;
+          d.violations = w.violations;
+          d.backlog = backlog;
+          d.replicas = hedger_.replicas();
+          d.hedge_timeout_ns = hedge_timeout_.timeout_ns();
+          d.fc_p99_ns = fc.p99_ns;
+          d.fc_p999_ns = fc.p999_ns;
+          d.fc_confidence = fc.confidence;
+          d.fc_horizon_ticks = fc.horizon_ticks;
+          d.forecast_logged = true;
+          log_decision(d);
+        } else {
+          act_.grant_probes(p, cfg_.forecast.probe_grant);
+        }
+      } else if (fc.actionable) {
+        if (fc999 >= cfg_.forecast.prequarantine_threshold * slo &&
+            serving_count() > cfg_.min_serving_paths) {
+          act_.set_admission(p, Admission::kProbeOnly);
+          act_.grant_probes(p, cfg_.forecast.probe_grant);
+          pc.pre_quarantined = true;
+          pc.pre_quarantined_since = tick_;
+          ++forecast_prequarantines_;
+          open_fp_episode(p);
+          Decision d;
+          d.tick = tick_;
+          d.now_ns = now_ns;
+          d.path = static_cast<std::uint16_t>(p);
+          d.from = before;
+          d.to = before;
+          d.reason = "forecast_prequarantine";
+          d.p99_ns = w.p99_ns;
+          d.samples = w.samples;
+          d.violations = w.violations;
+          d.backlog = backlog;
+          d.replicas = hedger_.replicas();
+          d.dominant_stage = dominant_stage;
+          d.dominant_stage_ns = dominant_ns;
+          d.hedge_timeout_ns = hedge_timeout_.timeout_ns();
+          d.fc_p99_ns = fc.p99_ns;
+          d.fc_p999_ns = fc.p999_ns;
+          d.fc_confidence = fc.confidence;
+          d.fc_horizon_ticks = fc.horizon_ticks;
+          d.forecast_logged = true;
+          log_decision(d);
+        } else if (fc999 >= cfg_.forecast.prehedge_threshold * slo &&
+                   fc.has_stage && fc.dominant_stage_slope > 0.0 &&
+                   (pc.last_forecast_probe_tick == 0 ||
+                    tick_ - pc.last_forecast_probe_tick >=
+                        cfg_.forecast.probe_cooldown_ticks)) {
+          // Stage-aware early evidence: the path whose TRENDING stage is
+          // worsening gets probe credits now, so by the time the tail
+          // arrives the reactive judge has samples to rule on.
+          act_.grant_probes(p, cfg_.forecast.probe_grant);
+          pc.last_forecast_probe_tick = tick_;
+          ++forecast_probes_;
+          open_fp_episode(p);
+          Decision d;
+          d.tick = tick_;
+          d.now_ns = now_ns;
+          d.path = static_cast<std::uint16_t>(p);
+          d.from = before;
+          d.to = before;
+          d.reason = "forecast_probe";
+          d.p99_ns = w.p99_ns;
+          d.samples = w.samples;
+          d.violations = w.violations;
+          d.backlog = backlog;
+          d.replicas = hedger_.replicas();
+          d.dominant_stage = trace::stage_name(fc.dominant_stage);
+          d.dominant_stage_ns =
+              static_cast<std::uint64_t>(fc.dominant_stage_slope);
+          d.hedge_timeout_ns = hedge_timeout_.timeout_ns();
+          d.fc_p99_ns = fc.p99_ns;
+          d.fc_p999_ns = fc.p999_ns;
+          d.fc_confidence = fc.confidence;
+          d.fc_horizon_ticks = fc.horizon_ticks;
+          d.forecast_logged = true;
+          log_decision(d);
+        }
+      }
+    }
+
     TickInput in;
     in.has_signal = w.samples >= cfg_.min_samples;
     const bool slo_breach =
@@ -126,6 +297,19 @@ void Controller::tick(std::uint64_t now_ns) {
     const bool backlog_breach =
         cfg_.backlog_limit > 0 && backlog > cfg_.backlog_limit;
     in.breach = slo_breach || backlog_breach;
+    if (slo_breach) ++breach_windows_;
+    // Forecast stage, step 3: resolve confirmation episodes against the
+    // reactive judge's verdict — a breach inside the window confirms the
+    // earlier actuation, expiry books it as a false positive.
+    if (est_ && pc.fp_pending) {
+      if (slo_breach) {
+        ++forecast_confirmed_;
+        pc.fp_pending = false;
+      } else if (tick_ - pc.fp_since > cfg_.forecast.confirm_window_ticks) {
+        ++forecast_false_positives_;
+        pc.fp_pending = false;
+      }
+    }
     if (in.breach) {
       // Backlog evidence needs no sample minimum — a silent blackhole's
       // whole signature is completions that never arrive. When both
@@ -160,9 +344,10 @@ void Controller::tick(std::uint64_t now_ns) {
           ++service_deferrals_;
         }
         // Capacity guard: losing this path would leave fewer than
-        // min_serving_paths serving. A contained tail beats a masked
-        // fleet; the breach is suppressed (and counted), not queued.
-        if (in.breach && active_count() <= cfg_.min_serving_paths) {
+        // min_serving_paths serving (forecast pre-quarantined paths are
+        // already not serving). A contained tail beats a masked fleet;
+        // the breach is suppressed (and counted), not queued.
+        if (in.breach && serving_count() <= cfg_.min_serving_paths) {
           in.breach = false;
           ++suppressed_quarantines_;
         }
@@ -183,6 +368,11 @@ void Controller::tick(std::uint64_t now_ns) {
 
     const bool changed = pc.fsm.on_tick(in);
     const PathState after = pc.fsm.state();
+
+    // Reactive takeover: once the FSM moves, its transition actuation owns
+    // the path's admission — the forecast hold dissolves without touching
+    // anything.
+    if (changed && pc.pre_quarantined) pc.pre_quarantined = false;
 
     if (changed) {
       const char* reason = "";
@@ -234,7 +424,7 @@ void Controller::tick(std::uint64_t now_ns) {
     if (pc.fsm.state() == PathState::kReinstated)
       act_.grant_probes(p, cfg_.probe_grant_per_tick);
 
-    if (pc.fsm.state() == PathState::kActive) {
+    if (pc.fsm.state() == PathState::kActive && !pc.pre_quarantined) {
       if (w.p99_ns > worst_serving_p99) {
         worst_serving_p99 = w.p99_ns;
         worst_serving_p50 = w.p50_ns;
@@ -242,6 +432,84 @@ void Controller::tick(std::uint64_t now_ns) {
         worst_dominant_ns = dominant_ns;
       }
       serving_samples += w.samples;
+      if (est_ && fc.actionable &&
+          (!have_fc_worst || fc.p999_ns > fc_worst.p999_ns)) {
+        fc_worst = fc;
+        fc_worst_path = static_cast<std::uint16_t>(p);
+        have_fc_worst = true;
+      }
+    }
+  }
+
+  // Forecast stage, step 4: the global pre-hedge, BEFORE the reactive
+  // hedger reads the measured tail. Replication and the hedge deadline
+  // are plane-wide levers, so this is driven by the worst actionable
+  // forecast across serving paths: raise replication one step inside the
+  // budget and bias the PID deadline toward the floor, so the copies are
+  // already flowing when the predicted tail lands.
+  if (est_) {
+    const double slo = static_cast<double>(cfg_.slo_target_ns);
+    const double fc999 =
+        have_fc_worst ? static_cast<double>(fc_worst.p999_ns) : 0.0;
+    if (prehedge_active_) {
+      const bool calmed =
+          !have_fc_worst || fc999 < cfg_.forecast.restore_threshold * slo;
+      // Past max_hold the episode releases unless the forecast still
+      // clears the activation bar — a prediction that stays hot keeps the
+      // pre-hedge armed until reactive evidence resolves it.
+      const bool stale =
+          tick_ - prehedge_since_ >= cfg_.forecast.max_hold_ticks &&
+          fc999 < cfg_.forecast.prehedge_threshold * slo;
+      if (calmed || stale) {
+        prehedge_active_ = false;
+        ++forecast_restores_;
+        Decision d;
+        d.tick = tick_;
+        d.now_ns = now_ns;
+        d.path = Decision::kHedge;
+        d.reason = "forecast_restore";
+        d.p99_ns = worst_serving_p99;
+        d.samples = serving_samples;
+        d.replicas = hedger_.replicas();
+        d.hedge_timeout_ns = hedge_timeout_.timeout_ns();
+        if (have_fc_worst) {
+          d.fc_p99_ns = fc_worst.p99_ns;
+          d.fc_p999_ns = fc_worst.p999_ns;
+          d.fc_confidence = fc_worst.confidence;
+          d.fc_horizon_ticks = fc_worst.horizon_ticks;
+        }
+        d.forecast_logged = true;
+        log_decision(d);
+      }
+    } else if (have_fc_worst &&
+               fc999 >= cfg_.forecast.prehedge_threshold * slo) {
+      prehedge_active_ = true;
+      prehedge_since_ = tick_;
+      ++forecast_prehedges_;
+      const std::size_t r_before = hedger_.replicas();
+      const std::size_t r_after = hedger_.pre_raise();
+      if (r_after != r_before) act_.set_replicas(r_after);
+      hedge_timeout_.pre_tighten(cfg_.forecast.pretighten_frac);
+      open_fp_episode(fc_worst_path);
+      Decision d;
+      d.tick = tick_;
+      d.now_ns = now_ns;
+      d.path = fc_worst_path;
+      d.from = paths_[fc_worst_path].fsm.state();
+      d.to = paths_[fc_worst_path].fsm.state();
+      d.reason = "forecast_prehedge";
+      d.p99_ns = worst_serving_p99;
+      d.samples = serving_samples;
+      d.replicas = r_after;
+      if (fc_worst.has_stage && fc_worst.dominant_stage_slope > 0.0)
+        d.dominant_stage = trace::stage_name(fc_worst.dominant_stage);
+      d.hedge_timeout_ns = hedge_timeout_.timeout_ns();
+      d.fc_p99_ns = fc_worst.p99_ns;
+      d.fc_p999_ns = fc_worst.p999_ns;
+      d.fc_confidence = fc_worst.confidence;
+      d.fc_horizon_ticks = fc_worst.horizon_ticks;
+      d.forecast_logged = true;
+      log_decision(d);
     }
   }
 
@@ -396,6 +664,18 @@ std::string Controller::report_json() const {
   w.key("hedge_timeout_ns").value(hedge_timeout_.timeout_ns());
   w.key("hedge_timeout_adjustments").value(hedge_timeout_.adjustments());
   w.key("service_deferrals").value(service_deferrals_);
+  if (cfg_.forecast.enabled) {
+    w.key("forecast_enabled").value(true);
+    w.key("forecast_prehedges").value(forecast_prehedges_);
+    w.key("forecast_probes").value(forecast_probes_);
+    w.key("forecast_prequarantines").value(forecast_prequarantines_);
+    w.key("forecast_restores").value(forecast_restores_);
+    w.key("forecast_confirmed").value(forecast_confirmed_);
+    w.key("forecast_false_positives").value(forecast_false_positives_);
+    w.key("forecast_false_positive_fraction")
+        .value(forecast_false_positive_fraction());
+    w.key("breach_windows").value(breach_windows_);
+  }
   if (cfg_.granularity.enabled) {
     w.key("granularity").value(core::granularity_name(gran_.granularity()));
     w.key("granularity_shifts").value(gran_.shifts());
@@ -462,6 +742,14 @@ std::string Controller::report_json() const {
       w.key("hedge_timeout_ns").value(d.hedge_timeout_ns);
     if (d.granularity_logged && d.path != Decision::kGranularity)
       w.key("granularity").value(core::granularity_name(d.granularity));
+    if (d.forecast_logged) {
+      w.key("forecast").begin_object();
+      w.key("horizon_ticks").value(d.fc_horizon_ticks);
+      w.key("p99_ns").value(d.fc_p99_ns);
+      w.key("p999_ns").value(d.fc_p999_ns);
+      w.key("confidence").value(d.fc_confidence);
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();
@@ -482,6 +770,22 @@ void Controller::register_stats(trace::StatsRegistry& reg) const {
                   [this] { return hedge_timeout_.adjustments(); });
   reg.add_counter("ctrl.service_deferrals",
                   [this] { return service_deferrals_; });
+  if (cfg_.forecast.enabled) {
+    reg.add_counter("ctrl.forecast_prehedges",
+                    [this] { return forecast_prehedges_; });
+    reg.add_counter("ctrl.forecast_probes",
+                    [this] { return forecast_probes_; });
+    reg.add_counter("ctrl.forecast_prequarantines",
+                    [this] { return forecast_prequarantines_; });
+    reg.add_counter("ctrl.forecast_restores",
+                    [this] { return forecast_restores_; });
+    reg.add_counter("ctrl.forecast_confirmed",
+                    [this] { return forecast_confirmed_; });
+    reg.add_counter("ctrl.forecast_false_positives",
+                    [this] { return forecast_false_positives_; });
+    reg.add_counter("ctrl.breach_windows",
+                    [this] { return breach_windows_; });
+  }
   reg.add_counter("ctrl.granularity_shifts",
                   [this] { return gran_.shifts(); });
   reg.add_gauge("ctrl.granularity", [this] {

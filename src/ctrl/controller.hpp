@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,7 @@
 #include "ctrl/path_state.hpp"
 #include "ctrl/slo_monitor.hpp"
 #include "ctrl/tenant.hpp"
+#include "forecast/tail_estimator.hpp"
 #include "telem/flight_recorder.hpp"
 #include "telem/snapshot_exporter.hpp"
 #include "trace/registry.hpp"
@@ -45,7 +47,53 @@ namespace mdp::ctrl {
 ///   7 probation_passed    8 hedge_raise        9 hedge_lower
 ///  10 hedge_timeout      11 tenant_throttle   12 tenant_shed
 ///  13 tenant_probation   14 tenant_reinstate  15 granularity_shift
+///  16 forecast_prehedge  17 forecast_probe    18 forecast_prequarantine
+///  19 forecast_restore
 std::uint32_t decision_reason_code(const char* reason) noexcept;
+
+/// The proactive stage (docs/FORECAST.md): a TailEstimator runs over the
+/// same harvested windows the reactive judge sees, and forecasts that
+/// clear BOTH the estimator's actionability gate (min_windows +
+/// confidence_floor) and the thresholds below actuate before the breach:
+///
+///   forecast p99.9 >= prequarantine_threshold x SLO  -> admission
+///       kProbeOnly on that path (probe-first; a forecast NEVER
+///       hard-quarantines — only the reactive FSM, fed by the probe
+///       evidence, can do that)
+///   forecast p99.9 >= prehedge_threshold x SLO       -> one pre-raise of
+///       the replication factor + a proactive tightening of the PID hedge
+///       deadline (plane-wide; driven by the worst serving forecast)
+///   same threshold + a worsening dominant-stage trend -> probe credits at
+///       the trending path (stage-aware early evidence)
+///
+/// Every actuation opens a confirmation episode: a reactive slo_breach on
+/// that path within confirm_window_ticks confirms it, expiry counts a
+/// false positive — the fraction is exported and CI-gated (<= 5%).
+/// Disabled (the default) must be byte-identical to a build without this
+/// stage: every member below is only read when `enabled` is true.
+struct ForecastConfig {
+  bool enabled = false;
+  forecast::EstimatorConfig estimator{};
+  /// Pre-hedge when the worst actionable forecast p99.9 reaches this
+  /// multiple of the SLO target (just-under-1 = act while still in SLO).
+  double prehedge_threshold = 0.9;
+  /// Pre-quarantine (kProbeOnly) at this multiple. Must be > prehedge.
+  double prequarantine_threshold = 1.5;
+  /// Release a held pre-actuation once the forecast falls back below this
+  /// multiple of the SLO target.
+  double restore_threshold = 0.7;
+  /// Fractional cut of the PID deadline position on pre-hedge.
+  double pretighten_frac = 0.3;
+  /// A held pre-actuation auto-releases after this many ticks.
+  std::uint64_t max_hold_ticks = 16;
+  /// Reactive-confirmation window for false-positive accounting.
+  std::uint64_t confirm_window_ticks = 8;
+  /// Probe credits granted per tick by forecast_probe and to a
+  /// pre-quarantined path (0 = inherit probe_grant_per_tick).
+  std::uint64_t probe_grant = 0;
+  /// Minimum ticks between forecast_probe actuations per path.
+  std::uint64_t probe_cooldown_ticks = 4;
+};
 
 struct Config {
   /// The latency objective, in whatever unit the monitor is fed.
@@ -78,6 +126,10 @@ struct Config {
   /// stage evidence (observe_span feeders); scalar-only windows are
   /// never deferred.
   std::uint64_t service_defer_ticks = 0;
+  /// The proactive stage: act on forecast tails BEFORE the reactive
+  /// breach (docs/FORECAST.md). Disabled by default; disabled is
+  /// byte-identical to the pre-forecast controller.
+  ForecastConfig forecast{};
   /// Oldest decisions are evicted past this bound.
   std::size_t decision_log_capacity = 256;
 };
@@ -124,6 +176,13 @@ struct Decision {
   /// the "granularity" field while the lever is enabled.
   core::Granularity granularity = core::Granularity::kPacketHedge;
   bool granularity_logged = false;
+  /// Forecast decisions only (reason forecast_*): the forecast evidence
+  /// the action was taken on, serialized as a "forecast" sub-object.
+  std::uint64_t fc_p99_ns = 0;
+  std::uint64_t fc_p999_ns = 0;
+  double fc_confidence = 0.0;
+  std::uint64_t fc_horizon_ticks = 0;
+  bool forecast_logged = false;
 };
 
 class Controller {
@@ -164,6 +223,44 @@ class Controller {
   }
   std::uint64_t granularity_shifts() const noexcept {
     return gran_.shifts();
+  }
+
+  // --- forecast stage (docs/FORECAST.md; all zero while disabled) ----------
+  std::uint64_t forecast_prehedges() const noexcept {
+    return forecast_prehedges_;
+  }
+  std::uint64_t forecast_probes() const noexcept { return forecast_probes_; }
+  std::uint64_t forecast_prequarantines() const noexcept {
+    return forecast_prequarantines_;
+  }
+  std::uint64_t forecast_restores() const noexcept {
+    return forecast_restores_;
+  }
+  std::uint64_t forecast_confirmed() const noexcept {
+    return forecast_confirmed_;
+  }
+  std::uint64_t forecast_false_positives() const noexcept {
+    return forecast_false_positives_;
+  }
+  /// false positives / resolved episodes (0 with no resolved episodes).
+  double forecast_false_positive_fraction() const noexcept {
+    const std::uint64_t resolved =
+        forecast_confirmed_ + forecast_false_positives_;
+    return resolved ? static_cast<double>(forecast_false_positives_) /
+                          static_cast<double>(resolved)
+                    : 0.0;
+  }
+  /// Controller-tick windows whose reactive judge saw an SLO breach
+  /// (counted per path per tick; the A/B bench's primary metric).
+  std::uint64_t breach_windows() const noexcept { return breach_windows_; }
+  /// True while a forecast pre-quarantine holds `p` at kProbeOnly.
+  bool pre_quarantined(std::size_t p) const noexcept {
+    return p < paths_.size() && paths_[p].pre_quarantined;
+  }
+  /// The estimator's current forecast for `p` (default-constructed, never
+  /// actionable, while the stage is disabled).
+  forecast::Forecast path_forecast(std::size_t p) const {
+    return est_ ? est_->forecast(p) : forecast::Forecast{};
   }
 
   const std::vector<Decision>& decisions() const noexcept {
@@ -247,10 +344,26 @@ class Controller {
     /// service_defer_ticks budget consumed in the current breach episode
     /// (reset by the first clean window).
     std::uint64_t service_defers_used = 0;
+    // Forecast stage (only touched while cfg_.forecast.enabled):
+    /// Held at kProbeOnly by a forecast (the FSM still reads kActive —
+    /// only reactive evidence may hard-quarantine).
+    bool pre_quarantined = false;
+    std::uint64_t pre_quarantined_since = 0;
+    std::uint64_t last_forecast_probe_tick = 0;  ///< 0 = never
+    /// Open confirmation episode: a forecast actuation waiting for a
+    /// reactive slo_breach (confirm) or expiry (false positive).
+    bool fp_pending = false;
+    std::uint64_t fp_since = 0;
   };
 
   void log_decision(Decision d);
   std::size_t active_count() const;
+  /// kActive paths NOT held by a forecast pre-quarantine (== active_count
+  /// while the forecast stage is disabled).
+  std::size_t serving_count() const;
+  /// Open a confirmation episode on `p` (no-op while one is pending:
+  /// overlapping actuations share the first episode's clock).
+  void open_fp_episode(std::size_t p);
 
   Config cfg_;
   Actuator& act_;
@@ -274,6 +387,18 @@ class Controller {
   std::uint64_t suppressed_quarantines_ = 0;
   std::uint64_t service_deferrals_ = 0;
   std::uint64_t decisions_evicted_ = 0;
+  /// Forecast stage (docs/FORECAST.md). The estimator exists only while
+  /// cfg_.forecast.enabled — a null est_ is the disabled stage.
+  std::unique_ptr<forecast::TailEstimator> est_;
+  bool prehedge_active_ = false;
+  std::uint64_t prehedge_since_ = 0;
+  std::uint64_t forecast_prehedges_ = 0;
+  std::uint64_t forecast_probes_ = 0;
+  std::uint64_t forecast_prequarantines_ = 0;
+  std::uint64_t forecast_restores_ = 0;
+  std::uint64_t forecast_confirmed_ = 0;
+  std::uint64_t forecast_false_positives_ = 0;
+  std::uint64_t breach_windows_ = 0;
 };
 
 }  // namespace mdp::ctrl

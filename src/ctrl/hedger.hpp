@@ -50,9 +50,27 @@ class AdaptiveHedger {
   std::size_t update(std::uint64_t worst_p99_ns, std::uint64_t samples,
                      std::uint64_t slo_target_ns);
 
+  /// Forecast-driven raise (mdp::forecast pre-hedge): +1 replica within
+  /// max_replicas on predicted — not yet measured — tail inflation. Starts
+  /// the same cooldown a measured raise would, so the reactive loop can't
+  /// immediately fight the pre-raise; honored cooldowns also mean a
+  /// flapping forecast can't ratchet replicas faster than measurement
+  /// could. Returns the (possibly unchanged) factor.
+  std::size_t pre_raise() {
+    if (!cfg_.enabled || cooldown_ > 0 || replicas_ >= cfg_.max_replicas)
+      return replicas_;
+    ++replicas_;
+    ++pre_raises_;
+    raise_streak_ = 0;
+    lower_streak_ = 0;
+    cooldown_ = cfg_.cooldown_ticks;
+    return replicas_;
+  }
+
   std::size_t replicas() const noexcept { return replicas_; }
   std::uint64_t raises() const noexcept { return raises_; }
   std::uint64_t lowers() const noexcept { return lowers_; }
+  std::uint64_t pre_raises() const noexcept { return pre_raises_; }
 
  private:
   HedgerConfig cfg_;
@@ -62,6 +80,7 @@ class AdaptiveHedger {
   int cooldown_ = 0;
   std::uint64_t raises_ = 0;
   std::uint64_t lowers_ = 0;
+  std::uint64_t pre_raises_ = 0;
 };
 
 // --- hedge-timeout control -------------------------------------------------------
@@ -117,6 +136,18 @@ class HedgeTimeoutController {
   std::uint64_t timeout_ns() const noexcept { return timeout_ns_; }
   std::uint64_t adjustments() const noexcept { return adjustments_; }
   bool enabled() const noexcept { return cfg_.enabled; }
+
+  /// Forecast-driven tightening (mdp::forecast pre-hedge): slide the
+  /// deadline position toward the floor by `frac` of its current value
+  /// ahead of any measured error. The move flows through the next
+  /// update()'s normal deadband/actuation path — the PID stays the single
+  /// writer of the actuated deadline, the forecast only biases it.
+  void pre_tighten(double frac) {
+    if (!cfg_.enabled) return;
+    if (frac < 0.0) frac = 0.0;
+    if (frac > 1.0) frac = 1.0;
+    position_ *= 1.0 - frac;
+  }
 
  private:
   HedgeTimeoutConfig cfg_;

@@ -1,7 +1,5 @@
 #include "ctrl/slo_monitor.hpp"
 
-#include <bit>
-
 namespace mdp::ctrl {
 
 SloMonitor::SloMonitor(std::size_t num_paths, std::uint64_t slo_target_ns)
@@ -15,35 +13,12 @@ SloMonitor::SloMonitor(std::size_t num_paths, std::uint64_t slo_target_ns)
   }
 }
 
-std::size_t SloMonitor::bucket_index(std::uint64_t v) noexcept {
-  // Same shape as stats::LatencyHistogram: values below 2^kSubBits map
-  // linearly, everything else by (octave, top kSubBits mantissa bits).
-  if (v < (1u << kSubBits)) return static_cast<std::size_t>(v);
-  const int msb = 63 - std::countl_zero(v);
-  const std::size_t sub =
-      static_cast<std::size_t>(v >> (msb - static_cast<int>(kSubBits))) &
-      ((1u << kSubBits) - 1);
-  const std::size_t idx =
-      (static_cast<std::size_t>(msb) << kSubBits) + sub;
-  return idx < kBuckets ? idx : kBuckets - 1;
-}
-
-std::uint64_t SloMonitor::bucket_upper_edge(std::size_t idx) noexcept {
-  if (idx < (1u << kSubBits)) return idx;
-  const std::size_t msb = idx >> kSubBits;
-  const std::size_t sub = idx & ((1u << kSubBits) - 1);
-  // Upper edge of (msb, sub): (1 + (sub+1)/4) * 2^msb - 1, saturating.
-  if (msb >= 62) return UINT64_MAX;
-  const std::uint64_t base = 1ull << msb;
-  return base + ((base >> kSubBits) * (sub + 1)) - 1;
-}
-
 void SloMonitor::observe(std::uint16_t path,
                          std::uint64_t latency_ns) noexcept {
   if (path >= paths_.size()) return;
   PathWindow& w = *paths_[path];
-  w.buckets[bucket_index(latency_ns)].fetch_add(1,
-                                                std::memory_order_relaxed);
+  w.buckets[slo_bucket_index(latency_ns)].fetch_add(
+      1, std::memory_order_relaxed);
   w.sum.fetch_add(latency_ns, std::memory_order_relaxed);
   w.lifetime_samples.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t slot_t =
@@ -70,11 +45,11 @@ WindowStats SloMonitor::harvest(std::size_t path) noexcept {
   WindowStats out;
   if (path >= paths_.size()) return out;
   PathWindow& w = *paths_[path];
-  std::uint64_t counts[kBuckets];
+  std::uint64_t* counts = out.bucket_counts.data();
   for (std::size_t i = 0; i < kBuckets; ++i) {
     counts[i] = w.buckets[i].exchange(0, std::memory_order_relaxed);
     out.samples += counts[i];
-    if (counts[i]) out.max_ns = bucket_upper_edge(i);
+    if (counts[i]) out.max_ns = slo_bucket_upper_edge(i);
   }
   out.sum_ns = w.sum.exchange(0, std::memory_order_relaxed);
   out.violations = w.violations.exchange(0, std::memory_order_relaxed);
@@ -94,15 +69,15 @@ WindowStats SloMonitor::harvest(std::size_t path) noexcept {
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += counts[i];
     if (!have_p50 && seen >= rank50) {
-      out.p50_ns = bucket_upper_edge(i);
+      out.p50_ns = slo_bucket_upper_edge(i);
       have_p50 = true;
     }
     if (!have_p99 && seen >= rank99) {
-      out.p99_ns = bucket_upper_edge(i);
+      out.p99_ns = slo_bucket_upper_edge(i);
       have_p99 = true;
     }
     if (seen >= rank999) {
-      out.p999_ns = bucket_upper_edge(i);
+      out.p999_ns = slo_bucket_upper_edge(i);
       break;
     }
   }

@@ -27,6 +27,7 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -36,6 +37,40 @@
 #include "trace/span.hpp"
 
 namespace mdp::ctrl {
+
+// Window-bucket geometry, at namespace level so WindowStats can carry the
+// harvested counts and interpolate quantiles without reaching back into
+// the monitor (the forecast estimator consumes WindowStats by value).
+inline constexpr std::size_t kSloSubBits = 2;  // 4 sub-buckets per octave
+inline constexpr std::size_t kSloBuckets = 64 << kSloSubBits;
+
+/// Same shape as stats::LatencyHistogram: values below 2^kSloSubBits map
+/// linearly, everything else by (octave, top kSloSubBits mantissa bits).
+constexpr std::size_t slo_bucket_index(std::uint64_t v) noexcept {
+  if (v < (1u << kSloSubBits)) return static_cast<std::size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const std::size_t sub =
+      static_cast<std::size_t>(v >> (msb - static_cast<int>(kSloSubBits))) &
+      ((1u << kSloSubBits) - 1);
+  const std::size_t idx = (static_cast<std::size_t>(msb) << kSloSubBits) + sub;
+  return idx < kSloBuckets ? idx : kSloBuckets - 1;
+}
+
+/// Upper edge of bucket `idx`: (1 + (sub+1)/4) * 2^msb - 1, saturating to
+/// UINT64_MAX once the octave would overflow.
+constexpr std::uint64_t slo_bucket_upper_edge(std::size_t idx) noexcept {
+  if (idx < (1u << kSloSubBits)) return idx;
+  const std::size_t msb = idx >> kSloSubBits;
+  const std::size_t sub = idx & ((1u << kSloSubBits) - 1);
+  if (msb >= 62) return UINT64_MAX;
+  const std::uint64_t base = 1ull << msb;
+  return base + ((base >> kSloSubBits) * (sub + 1)) - 1;
+}
+
+/// Smallest value that lands in bucket `idx`.
+constexpr std::uint64_t slo_bucket_lower_edge(std::size_t idx) noexcept {
+  return idx ? slo_bucket_upper_edge(idx - 1) + 1 : 0;
+}
 
 /// One harvested observation window for one path.
 struct WindowStats {
@@ -50,6 +85,46 @@ struct WindowStats {
   /// only; all-zero when the plane feeds plain scalar latencies). Indexed
   /// by trace::stage_at(i).
   std::array<std::uint64_t, trace::kNumStages> stage_sum_ns{};
+  /// The drained window histogram itself (slo_bucket_index geometry), so
+  /// consumers can derive quantiles the summary fields don't carry.
+  std::array<std::uint64_t, kSloBuckets> bucket_counts{};
+
+  /// Bucket-interpolated quantile, q in [0, 1]. Unlike the quantized
+  /// p50/p99/p999 fields (upper edge of the crossing bucket — kept
+  /// byte-identical for every existing consumer), this interpolates the
+  /// rank's position linearly WITHIN the crossing bucket, which is what a
+  /// differentiating consumer (the forecast trend term) needs: a staircase
+  /// input turns a smooth ramp into slope noise. Pinned edge behavior:
+  /// empty window -> 0; the rank's position within a bucket of count c is
+  /// (rank - seen)/c of the span, so a single-sample window returns the
+  /// bucket's upper edge; a saturated top octave (upper edge UINT64_MAX)
+  /// returns UINT64_MAX rather than pretending sub-bucket resolution.
+  std::uint64_t quantile_ns(double q) const noexcept {
+    if (samples == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double exact = q * static_cast<double>(samples);
+    std::uint64_t rank = static_cast<std::uint64_t>(exact);
+    if (static_cast<double>(rank) < exact) ++rank;  // ceil
+    if (rank == 0) rank = 1;
+    if (rank > samples) rank = samples;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kSloBuckets; ++i) {
+      const std::uint64_t c = bucket_counts[i];
+      if (!c) continue;
+      if (seen + c >= rank) {
+        const std::uint64_t upper = slo_bucket_upper_edge(i);
+        if (upper == UINT64_MAX) return upper;
+        const std::uint64_t lower = slo_bucket_lower_edge(i);
+        const double frac = static_cast<double>(rank - seen) /
+                            static_cast<double>(c);
+        return lower + static_cast<std::uint64_t>(
+                           static_cast<double>(upper - lower) * frac);
+      }
+      seen += c;
+    }
+    return max_ns;  // unreachable with consistent counts
+  }
 
   double violation_fraction() const noexcept {
     return samples ? static_cast<double>(violations) /
@@ -89,8 +164,8 @@ struct WindowStats {
 
 class SloMonitor {
  public:
-  static constexpr std::size_t kSubBits = 2;          // 4 sub-buckets/octave
-  static constexpr std::size_t kBuckets = 64 << kSubBits;
+  static constexpr std::size_t kSubBits = kSloSubBits;
+  static constexpr std::size_t kBuckets = kSloBuckets;
 
   SloMonitor(std::size_t num_paths, std::uint64_t slo_target_ns);
 
@@ -165,9 +240,6 @@ class SloMonitor {
     /// Per-slot SLO override; 0 = inherit the monitor-wide target.
     std::atomic<std::uint64_t> slot_target{0};
   };
-
-  static std::size_t bucket_index(std::uint64_t v) noexcept;
-  static std::uint64_t bucket_upper_edge(std::size_t idx) noexcept;
 
   std::atomic<std::uint64_t> slo_target_ns_;
   std::vector<std::unique_ptr<PathWindow>> paths_;

@@ -1,0 +1,70 @@
+#include "forecast/capacity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdp::forecast {
+
+void CapacityModel::add_observation(double load_per_path, double tail_ns) {
+  if (!(load_per_path > 0.0) || !(tail_ns >= 0.0)) return;
+  points_.push_back(Point{load_per_path, tail_ns});
+  finalized_ = false;
+}
+
+void CapacityModel::finalize() {
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) { return a.load < b.load; });
+  // Collapse duplicate loads to their worst tail, then flatten dips so the
+  // curve is non-decreasing: a recorded tail that IMPROVES with load is
+  // noise, and trusting it would let the solver under-provision.
+  std::vector<Point> out;
+  out.reserve(points_.size());
+  for (const Point& p : points_) {
+    if (!out.empty() && out.back().load == p.load) {
+      out.back().tail_ns = std::max(out.back().tail_ns, p.tail_ns);
+      continue;
+    }
+    out.push_back(p);
+  }
+  for (std::size_t i = 1; i < out.size(); ++i)
+    out[i].tail_ns = std::max(out[i].tail_ns, out[i - 1].tail_ns);
+  points_ = std::move(out);
+  finalized_ = true;
+}
+
+double CapacityModel::predict_tail_ns(double load_per_path) const {
+  if (points_.empty() || !finalized_) return 0.0;
+  if (load_per_path <= points_.front().load) return points_.front().tail_ns;
+  if (load_per_path >= points_.back().load) {
+    // Extrapolate along the last segment; with a single point the only
+    // defensible answer is flat.
+    if (points_.size() == 1) return points_.back().tail_ns;
+    const Point& a = points_[points_.size() - 2];
+    const Point& b = points_.back();
+    const double slope =
+        b.load > a.load ? (b.tail_ns - a.tail_ns) / (b.load - a.load) : 0.0;
+    return b.tail_ns + std::max(0.0, slope) * (load_per_path - b.load);
+  }
+  // Interior: linear interpolation inside the bracketing segment.
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), load_per_path,
+      [](const Point& p, double load) { return p.load < load; });
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  const double t = (load_per_path - lo.load) / (hi.load - lo.load);
+  return lo.tail_ns + t * (hi.tail_ns - lo.tail_ns);
+}
+
+std::size_t CapacityModel::paths_needed(double total_load_per_tick,
+                                        std::uint64_t slo_ns,
+                                        std::size_t max_paths) const {
+  if (points_.empty() || !finalized_ || max_paths == 0) return 0;
+  if (!(total_load_per_tick > 0.0)) return 1;
+  for (std::size_t k = 1; k <= max_paths; ++k) {
+    const double share = total_load_per_tick / static_cast<double>(k);
+    if (predict_tail_ns(share) <= static_cast<double>(slo_ns)) return k;
+  }
+  return 0;
+}
+
+}  // namespace mdp::forecast

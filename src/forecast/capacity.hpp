@@ -1,0 +1,65 @@
+// Offline capacity solver: "how many paths do I need for SLO X at load
+// Y?" answered from recorded telemetry instead of guesswork.
+//
+// The input is a set of recorded (load, tail) observations — per-path
+// offered load (samples per controller tick) against the steady-state
+// tail the TailEstimator settled on at that load. The chaos rig and the
+// ext5 bench produce these by replaying recorded per-tick windows
+// through the estimator at several load levels: the estimator's level
+// term IS the steady-state tail with the window noise smoothed out.
+//
+// The solver builds a monotone load -> tail curve (isotonic envelope:
+// queueing tails never improve with load; recorded dips are measurement
+// noise and are flattened upward) and inverts it:
+//
+//   paths_needed(total_load, slo) = smallest k with
+//       predict_tail(total_load / k) <= slo
+//
+// Between recorded points the curve interpolates linearly; beyond the
+// last point it extrapolates along the final segment's slope (with a
+// floor of flat), which deliberately errs toward MORE paths — a capacity
+// answer extrapolated optimistically is how fleets end up underwater.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mdp::forecast {
+
+class CapacityModel {
+ public:
+  /// Record one calibration point: a per-path offered load (samples per
+  /// tick) and the steady-state tail estimate observed at that load.
+  void add_observation(double load_per_path, double tail_ns);
+
+  /// Sort observations and flatten non-monotone dips (call once after
+  /// the last add_observation; add_observation resets it).
+  void finalize();
+
+  std::size_t observations() const noexcept { return points_.size(); }
+  bool empty() const noexcept { return points_.empty(); }
+
+  /// Predicted steady-state tail at `load_per_path`. Linear between
+  /// recorded points, extrapolated along the last segment beyond them,
+  /// clamped at the first point below them.
+  double predict_tail_ns(double load_per_path) const;
+
+  /// Smallest path count k in [1, max_paths] whose per-path share of
+  /// `total_load_per_tick` keeps the predicted tail inside `slo_ns`.
+  /// Returns 0 when even max_paths cannot hold the SLO (the honest
+  /// answer; callers must not clamp it to max_paths silently).
+  std::size_t paths_needed(double total_load_per_tick,
+                           std::uint64_t slo_ns,
+                           std::size_t max_paths) const;
+
+ private:
+  struct Point {
+    double load = 0.0;
+    double tail_ns = 0.0;
+  };
+  std::vector<Point> points_;
+  bool finalized_ = false;
+};
+
+}  // namespace mdp::forecast

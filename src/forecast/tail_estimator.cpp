@@ -1,0 +1,94 @@
+#include "forecast/tail_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdp::forecast {
+
+TailEstimator::TailEstimator(std::size_t num_paths, EstimatorConfig cfg)
+    : cfg_(cfg), paths_(num_paths) {
+  // Defensive clamps: smoothing factors outside (0, 1] turn the
+  // recursion divergent; a zero horizon makes every forecast a nowcast.
+  cfg_.alpha = std::clamp(cfg_.alpha, 1e-3, 1.0);
+  cfg_.beta = std::clamp(cfg_.beta, 1e-3, 1.0);
+  cfg_.error_alpha = std::clamp(cfg_.error_alpha, 1e-3, 1.0);
+  if (cfg_.error_scale <= 0.0) cfg_.error_scale = 0.5;
+  if (cfg_.horizon_ticks == 0) cfg_.horizon_ticks = 1;
+}
+
+void TailEstimator::observe(std::size_t path, const WindowSample& w) {
+  if (path >= paths_.size()) return;
+  PathEst& pe = paths_[path];
+  if (w.samples < cfg_.min_samples) {
+    ++pe.skipped;
+    return;
+  }
+
+  // Residual BEFORE the update: how far did the newest window land from
+  // where the previous state said it would? Normalizing by the larger of
+  // the two keeps the score in [0, 1] and symmetric in over/under-shoot.
+  // The residual is judged on the p99.9 series — the quantity the
+  // controller actually actuates on.
+  const double x999 = static_cast<double>(w.p999_ns);
+  if (pe.p999.primed) {
+    const double predicted = pe.p999.predict(1.0);
+    const double denom = std::max({x999, predicted, 1.0});
+    const double rel_err = std::abs(x999 - predicted) / denom;
+    pe.rel_err_ewma = pe.err_primed
+                          ? cfg_.error_alpha * rel_err +
+                                (1.0 - cfg_.error_alpha) * pe.rel_err_ewma
+                          : rel_err;
+    pe.err_primed = true;
+  }
+
+  pe.p99.update(static_cast<double>(w.p99_ns), cfg_.alpha, cfg_.beta);
+  pe.p999.update(x999, cfg_.alpha, cfg_.beta);
+
+  // Per-stage trends run on the per-sample stage MEAN, so a window with
+  // more packets doesn't read as a worsening stage.
+  for (std::size_t i = 0; i < trace::kNumStages; ++i) {
+    if (w.stage_sum_ns[i] == 0 && !pe.stage[i].primed) continue;
+    pe.has_stage = true;
+    const double mean = static_cast<double>(w.stage_sum_ns[i]) /
+                        static_cast<double>(w.samples);
+    pe.stage[i].update(mean, cfg_.alpha, cfg_.beta);
+  }
+  ++pe.windows;
+}
+
+Forecast TailEstimator::forecast(std::size_t path) const {
+  Forecast f;
+  f.horizon_ticks = cfg_.horizon_ticks;
+  if (path >= paths_.size()) return f;
+  const PathEst& pe = paths_[path];
+  if (pe.windows == 0) return f;
+
+  const double h = static_cast<double>(cfg_.horizon_ticks);
+  f.p99_ns = static_cast<std::uint64_t>(pe.p99.predict(h));
+  f.p999_ns = static_cast<std::uint64_t>(pe.p999.predict(h));
+  f.confidence =
+      pe.err_primed
+          ? std::max(0.0, 1.0 - pe.rel_err_ewma / cfg_.error_scale)
+          : 0.0;
+  f.has_stage = pe.has_stage;
+  if (pe.has_stage) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < trace::kNumStages; ++i)
+      if (pe.stage[i].trend > pe.stage[best].trend) best = i;
+    f.dominant_stage = trace::stage_at(best);
+    f.dominant_stage_slope = pe.stage[best].trend;
+  }
+  f.actionable = pe.windows >= cfg_.min_windows &&
+                 f.confidence >= cfg_.confidence_floor;
+  return f;
+}
+
+std::uint64_t TailEstimator::windows_seen(std::size_t path) const {
+  return path < paths_.size() ? paths_[path].windows : 0;
+}
+
+std::uint64_t TailEstimator::windows_skipped(std::size_t path) const {
+  return path < paths_.size() ? paths_[path].skipped : 0;
+}
+
+}  // namespace mdp::forecast

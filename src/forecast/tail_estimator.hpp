@@ -1,0 +1,169 @@
+// TailEstimator: the predictive half of the control plane's observation
+// stage — per-path (and per-stage) tail forecasts a few ticks ahead of
+// the measurement.
+//
+// The reactive controller (mdp::ctrl) acts only after an SLO window has
+// already breached, so every episode eats at least one bad window before
+// actuation. "Scalable Tail Latency Estimation for Data Center Networks"
+// (PAPERS.md) shows that cheap online estimators forecast flow-level
+// tails well ahead of measurement, and "Deconstructing the Tail at Scale
+// Effect" shows those tails build with predictable per-stage signatures —
+// exactly what the SloMonitor's per-stage sums already record. This module
+// turns that evidence into a forecast the controller can act on BEFORE
+// the breach.
+//
+// Model: Holt's linear (double-exponential) smoothing per quantile proxy.
+// For each path the estimator tracks a level + trend pair for the
+// bucket-interpolated window p99 and p99.9:
+//
+//   level_t = alpha * x_t + (1 - alpha) * (level_{t-1} + trend_{t-1})
+//   trend_t = beta * (level_t - level_{t-1}) + (1 - beta) * trend_{t-1}
+//   forecast(h) = max(0, level_t + h * trend_t)
+//
+// plus one level+trend pair per pipeline stage over the window's
+// per-sample stage mean (stage_sum / samples), which is what lets the
+// controller probe the path whose TRENDING stage is worsening rather
+// than the path that already broke.
+//
+// Confidence is an EWMA of the relative one-step-ahead forecast error:
+// while the series follows a drift the Holt pair tracks (a ramp, a
+// plateau), the residual shrinks and confidence rises toward 1; a regime
+// change (step, storm onset) spikes the residual and confidence collapses
+// — which is the estimator telling the controller "my extrapolation is
+// currently fiction, do not actuate on it". Cold start is gated
+// explicitly: a path is never `actionable` before min_windows adequate
+// windows, and windows below min_samples are skipped entirely (they
+// carry bucket noise, not signal).
+//
+// Layering: like mdp::telem, this module sits BELOW mdp::ctrl (trace/
+// stats only), so the controller converts its WindowStats into the
+// WindowSample mirror here — same pattern as telem::PathTickStats.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/span.hpp"
+
+namespace mdp::forecast {
+
+struct EstimatorConfig {
+  /// Level smoothing factor (reaction to the newest window).
+  double alpha = 0.4;
+  /// Trend smoothing factor (reaction of the slope estimate).
+  double beta = 0.2;
+  /// Ticks ahead every forecast() extrapolates.
+  std::uint64_t horizon_ticks = 3;
+  /// Cold-start gate: a path is not actionable before this many adequate
+  /// windows have been absorbed.
+  std::uint64_t min_windows = 6;
+  /// Windows with fewer samples than this are skipped (no update).
+  std::uint64_t min_samples = 16;
+  /// Forecasts below this confidence are not actionable.
+  double confidence_floor = 0.5;
+  /// Relative one-step error at which confidence reaches zero; the
+  /// mapping is confidence = max(0, 1 - err_ewma / error_scale).
+  double error_scale = 0.5;
+  /// EWMA factor for the relative-error series behind the confidence.
+  double error_alpha = 0.3;
+};
+
+/// One harvested observation window, flattened (mirror of
+/// ctrl::WindowStats — forecast sits below mdp::ctrl in the link order,
+/// so the controller converts rather than this module including ctrl
+/// headers). p99/p999 should be the bucket-INTERPOLATED quantiles
+/// (WindowStats::quantile_ns), not the quantized upper edges: the
+/// estimator differentiates the series, and a staircase input turns the
+/// trend term into noise.
+struct WindowSample {
+  std::uint64_t samples = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+  /// Per-stage latency mass this window (all-zero = no stage evidence).
+  std::array<std::uint64_t, trace::kNumStages> stage_sum_ns{};
+};
+
+/// One path's forecast, horizon_ticks ahead of the newest window.
+struct Forecast {
+  std::uint64_t horizon_ticks = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+  /// [0, 1]: 1 - normalized one-step residual EWMA. Collapses on regime
+  /// changes; consumers must not actuate below the configured floor.
+  double confidence = 0.0;
+  /// The stage whose per-sample mean has the steepest upward trend —
+  /// where the tail is HEADING, not where it already went.
+  trace::Stage dominant_stage = trace::Stage::kSchedule;
+  /// Trend of that stage's per-sample mean, in ns per tick (<= 0 means
+  /// no stage is worsening).
+  double dominant_stage_slope = 0.0;
+  bool has_stage = false;  ///< stage evidence was ever observed
+  /// Cold-start + confidence gate: true iff the path has absorbed
+  /// min_windows adequate windows AND confidence >= confidence_floor.
+  /// Low-confidence forecasts must never actuate.
+  bool actionable = false;
+};
+
+class TailEstimator {
+ public:
+  explicit TailEstimator(std::size_t num_paths, EstimatorConfig cfg = {});
+
+  /// Absorb one harvested window for `path` (one call per path per
+  /// controller tick). Windows below min_samples are counted as skipped
+  /// and change nothing.
+  void observe(std::size_t path, const WindowSample& w);
+
+  /// The current forecast for `path`, horizon_ticks ahead.
+  Forecast forecast(std::size_t path) const;
+
+  std::size_t num_paths() const noexcept { return paths_.size(); }
+  std::uint64_t windows_seen(std::size_t path) const;
+  std::uint64_t windows_skipped(std::size_t path) const;
+  const EstimatorConfig& config() const noexcept { return cfg_; }
+
+ private:
+  /// One Holt level+trend pair. Priming: the first sample sets the level
+  /// with zero trend, so the estimator starts flat instead of inventing
+  /// a slope from a single point.
+  struct Holt {
+    double level = 0.0;
+    double trend = 0.0;
+    bool primed = false;
+
+    void update(double x, double alpha, double beta) {
+      if (!primed) {
+        level = x;
+        trend = 0.0;
+        primed = true;
+        return;
+      }
+      const double prev_level = level;
+      level = alpha * x + (1.0 - alpha) * (level + trend);
+      trend = beta * (level - prev_level) + (1.0 - beta) * trend;
+    }
+    double predict(double h) const {
+      const double f = level + h * trend;
+      return f > 0.0 ? f : 0.0;
+    }
+  };
+
+  struct PathEst {
+    Holt p99;
+    Holt p999;
+    std::array<Holt, trace::kNumStages> stage{};
+    /// EWMA of |x - one_step_forecast| / max(x, forecast): the
+    /// normalized residual behind the confidence score.
+    double rel_err_ewma = 0.0;
+    bool err_primed = false;
+    std::uint64_t windows = 0;
+    std::uint64_t skipped = 0;
+    bool has_stage = false;
+  };
+
+  EstimatorConfig cfg_;
+  std::vector<PathEst> paths_;
+};
+
+}  // namespace mdp::forecast

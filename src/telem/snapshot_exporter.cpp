@@ -80,6 +80,16 @@ std::string SnapshotExporter::to_json() const {
           w.key(trace::stage_name(trace::stage_at(i)))
               .value(p.stage_sum_ns[i]);
       w.end_object();
+      if (p.has_forecast) {
+        w.key("forecast").begin_object();
+        w.key("horizon_ticks").value(p.fc_horizon_ticks);
+        w.key("p99_ns").value(p.fc_p99_ns);
+        w.key("p999_ns").value(p.fc_p999_ns);
+        w.key("confidence").value(p.fc_confidence);
+        w.key("actionable").value(p.fc_actionable);
+        if (p.fc_stage[0] != '\0') w.key("stage").value(p.fc_stage);
+        w.end_object();
+      }
       w.end_object();
     }
     w.end_array();
@@ -163,6 +173,37 @@ std::string SnapshotExporter::to_prometheus() const {
       for (const PathTickStats& p : row.paths)
         line(m.metric, "{path=\"" + std::to_string(p.path) + "\"}",
              p.*(m.field));
+    }
+    // Forecast gauges only exist when the forecast stage fed any — a
+    // forecast-disabled run's exposition is unchanged.
+    bool any_fc = false;
+    for (const PathTickStats& p : row.paths) any_fc |= p.has_forecast;
+    if (any_fc) {
+      const struct {
+        const char* metric;
+        std::uint64_t PathTickStats::*field;
+      } kForecast[] = {
+          {"mdp_telem_forecast_p99_ns", &PathTickStats::fc_p99_ns},
+          {"mdp_telem_forecast_p999_ns", &PathTickStats::fc_p999_ns},
+          {"mdp_telem_forecast_horizon_ticks",
+           &PathTickStats::fc_horizon_ticks},
+      };
+      for (const auto& m : kForecast) {
+        out += "# TYPE ";
+        out += m.metric;
+        out += " gauge\n";
+        for (const PathTickStats& p : row.paths)
+          if (p.has_forecast)
+            line(m.metric, "{path=\"" + std::to_string(p.path) + "\"}",
+                 p.*(m.field));
+      }
+      out += "# TYPE mdp_telem_forecast_confidence gauge\n";
+      for (const PathTickStats& p : row.paths)
+        if (p.has_forecast) {
+          out += "mdp_telem_forecast_confidence{path=\"" +
+                 std::to_string(p.path) + "\"} " +
+                 std::to_string(p.fc_confidence) + '\n';
+        }
     }
     out += "# TYPE mdp_telem_window_stage_sum_ns gauge\n";
     for (const PathTickStats& p : row.paths)

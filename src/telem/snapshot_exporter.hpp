@@ -46,6 +46,18 @@ struct PathTickStats {
   std::uint64_t p999_ns = 0;
   std::uint64_t max_ns = 0;
   std::array<std::uint64_t, trace::kNumStages> stage_sum_ns{};
+  /// The controller's forecast for this path at harvest time
+  /// (mdp::forecast; docs/FORECAST.md). Serialized as a "forecast"
+  /// sub-object only when has_forecast is set, so runs without the
+  /// forecast stage keep the pre-forecast mdp.telem.v1 bytes.
+  bool has_forecast = false;
+  std::uint64_t fc_p99_ns = 0;
+  std::uint64_t fc_p999_ns = 0;
+  double fc_confidence = 0.0;
+  std::uint64_t fc_horizon_ticks = 0;
+  bool fc_actionable = false;
+  /// Trending dominant stage ("" = no worsening stage trend).
+  const char* fc_stage = "";
 };
 
 /// One tenant's harvested window (ctrl::TenantAdmission::tick_tenant,

@@ -96,6 +96,16 @@ struct ChaosScenarioConfig {
   /// controller's third lever) overrides it mid-run. kPacketHedge is the
   /// legacy behavior: hedge sweep armed, no flow replicas.
   core::Granularity granularity = core::Granularity::kPacketHedge;
+  /// Feed LATE duplicate copies (dedup losers) into the path SLO windows
+  /// too. Successful proactive control erases its own evidence: a hedge
+  /// rescue caps the e2e latency and the slow first copy is dropped at
+  /// dedup unobserved, so the path that caused the trouble looks clean and
+  /// every forecast actuation books as a false positive. With this flag
+  /// each dropped copy's true per-copy wire latency still lands in its own
+  /// path's window (reactive confirmation keeps working) while e2e
+  /// delivery metrics stay rescue-capped. false keeps the rig
+  /// byte-for-byte identical to the pre-forecast harness.
+  bool observe_late_copies = false;
   ctrl::Config ctrl{};
   std::uint64_t ctrl_tick_every = 64;  ///< iterations between ticks
   std::uint64_t reorder_timeout_ns = 200'000;
@@ -160,6 +170,18 @@ struct ChaosResult {
   std::string ctrl_report;  ///< report_json(): the byte-identity artifact
   /// Egress order as (flow << 32 | seq), for run-to-run identity checks.
   std::vector<std::uint64_t> delivered_log;
+  /// (egress_ns, e2e latency_ns) of every delivered packet, in egress
+  /// order — the raw series behind the A/B breach-window and storm-onset
+  /// metrics (bench-side, identical bucketing for both controllers).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> latency_log;
+  // Forecast stage outcome (all zero while ctrl.forecast.enabled=false).
+  std::uint64_t breach_windows = 0;
+  std::uint64_t forecast_prehedges = 0;
+  std::uint64_t forecast_probes = 0;
+  std::uint64_t forecast_prequarantines = 0;
+  std::uint64_t forecast_restores = 0;
+  std::uint64_t forecast_confirmed = 0;
+  std::uint64_t forecast_false_positives = 0;
   // Telemetry plane artifacts. The rig runs on one logical clock and one
   // RNG stream, so all three are byte-identical across same-seed reruns.
   std::uint64_t telem_events = 0;   ///< events emitted across all channels
@@ -275,6 +297,8 @@ class ChaosRig {
           sp.path_id = a.path_id;
           sp.active = true;
           mon_->observe_span(a.path_id, sp);
+          res.latency_log.emplace_back(sp.egress_ns,
+                                       sp.egress_ns - a.ingress_ns);
           if (ta) {
             // Per-tenant evidence: the exact e2e latency feeds both the
             // tenant's SLO window and the test-side latency log.
@@ -335,6 +359,24 @@ class ChaosRig {
         for (std::size_t i = 0; i < n; ++i)
           if (!first[i]) {
             const auto& a = got[i]->anno();
+            if (cfg_.observe_late_copies) {
+              // The losing copy's true per-copy wire latency, charged to
+              // the path that carried it — the evidence a hedge rescue
+              // would otherwise erase (see the config flag's comment).
+              trace::SpanRecord sp;
+              sp.ingress_ns = a.ingress_ns;
+              sp.dispatch_ns = a.ingress_ns;
+              sp.service_start_ns = a.dispatch_ns;
+              sp.service_end_ns = a.egress_ns;
+              sp.chain_done_ns = a.egress_ns;
+              sp.merge_ns = a.egress_ns;
+              sp.egress_ns = static_cast<std::uint64_t>(eq.now());
+              sp.flow_id = a.flow_id;
+              sp.seq = a.seq;
+              sp.path_id = a.path_id;
+              sp.active = true;
+              mon_->observe_span(a.path_id, sp);
+            }
             rig_chan_->emit(static_cast<std::uint64_t>(eq.now()),
                             telem::EventType::kDedupDrop, a.path_id, 1,
                             keys[i]);
@@ -593,6 +635,13 @@ class ChaosRig {
     res.service_deferrals = controller.service_deferrals();
     res.granularity_shifts = controller.granularity_shifts();
     res.final_granularity = granularity_;
+    res.breach_windows = controller.breach_windows();
+    res.forecast_prehedges = controller.forecast_prehedges();
+    res.forecast_probes = controller.forecast_probes();
+    res.forecast_prequarantines = controller.forecast_prequarantines();
+    res.forecast_restores = controller.forecast_restores();
+    res.forecast_confirmed = controller.forecast_confirmed();
+    res.forecast_false_positives = controller.forecast_false_positives();
     res.decisions = controller.decisions();
     res.ctrl_report = controller.report_json();
     res.telem_events = rec.total_emitted();
