@@ -131,13 +131,18 @@ BurstRow run_burst_loopback(std::size_t burst,
       driver->tx_burst(std::span<net::PacketPtr>(fresh, built));
       // Unconsumed frames recycle here and are rebuilt next round.
     }
-    dp.pump();
+    const std::size_t admitted = dp.pump();
     const std::size_t n = driver->rx_burst(
         std::span<net::PacketPtr>(got, std::size(got)));
     if (n > 0) {
       const std::size_t sent =
           driver->tx_burst(std::span<net::PacketPtr>(got, n));
       for (std::size_t i = sent; i < n; ++i) got[i].reset();
+    } else if (admitted == 0) {
+      // Starved iteration: frames are parked in path rings waiting for a
+      // worker/collector timeslice. Donate ours instead of spinning a
+      // full quantum against them (decisive on single-core runners).
+      std::this_thread::yield();
     }
   }
   dp.stop();

@@ -18,6 +18,9 @@ this catches "someone made the hot path 5x slower", not 10% drift).
 ext2_fastpath extras: the burst-32-vs-burst-1 speedup (>= 1.3x) and the
 telem on/off overhead are reported as WARNING-only lines — an
 oversubscribed runner can distort them arbitrarily, so they do not gate.
+The loopback/synthetic gap at burst 32 DOES gate hard (<= 4x): both rows
+come from the same fresh run, so runner speed cancels out, and a fresh
+sweep missing either row fails rather than passing by omission.
 
 ext4_tenants extras: rows marked wall_clock=false run on the rig's
 LOGICAL clock (deterministic: same seed, same numbers, any machine), so
@@ -65,6 +68,11 @@ DEFAULT_BASELINE = {"ext2_fastpath": "BENCH_fastpath.json",
                     "ext4_tenants": "BENCH_tenants.json",
                     "fig11_fct": "BENCH_fct.json",
                     "ext5_forecast": "BENCH_forecast.json"}
+
+# ext2_fastpath hard limit: the in-memory loopback wire must stay
+# burst-native — within this factor of the synthetic packet source at
+# burst 32, measured within one run so runner speed cancels out.
+FASTPATH_MAX_LOOPBACK_GAP = 4.0
 
 # fig11_fct hard limits (deterministic rows; no runner-noise excuse).
 FCT_MAX_DUP_BYTE_FRACTION = 0.25
@@ -207,6 +215,26 @@ def check_fastpath(fresh, base, max_regression):
         tag = "ok" if overhead <= 2.0 else \
             "WARNING (flight recorder is dominating the hot path)"
         print(f"telem on/off at burst 32: {overhead:.2f}x [{tag}]")
+
+    # Loopback-gap gate: the slab wire's headline. Both rows come from
+    # the SAME fresh run, so the ratio is immune to runner-speed drift
+    # between baseline and fresh — it gates hard, and a sweep that
+    # silently drops either backend fails instead of passing by omission.
+    for key in (("synthetic", 32), ("loopback", 32)):
+        if key not in fresh:
+            print(f"FAIL: {key[0]}/burst{key[1]} row missing from the "
+                  f"fresh run (the loopback gap cannot be checked)")
+            failed = True
+    if ("synthetic", 32) in fresh and ("loopback", 32) in fresh:
+        gap = fresh[("loopback", 32)] / fresh[("synthetic", 32)]
+        if gap > FASTPATH_MAX_LOOPBACK_GAP:
+            print(f"FAIL: loopback/synthetic gap at burst 32 is "
+                  f"{gap:.2f}x > {FASTPATH_MAX_LOOPBACK_GAP}x (the "
+                  f"wire is no longer burst-native)")
+            failed = True
+        else:
+            print(f"loopback/synthetic gap at burst 32: {gap:.2f}x "
+                  f"(<= {FASTPATH_MAX_LOOPBACK_GAP}x) [ok]")
     return failed
 
 
@@ -407,7 +435,7 @@ def self_test():
             print(f"self-test FAIL: {name}\n--- gate output ---\n{output}")
 
     base_rows = {("synthetic", 1): 100.0, ("synthetic", 32): 50.0,
-                 ("synthetic_telem", 32): 55.0}
+                 ("synthetic_telem", 32): 55.0, ("loopback", 32): 150.0}
     tn_base = {
         "flowtable_insert_1m": {"row": "flowtable_insert_1m",
                                 "value": 100.0, "wall_clock": True},
@@ -438,6 +466,8 @@ def self_test():
         check("identical rows pass", code == 0 and "FAIL" not in out, out)
         check("telem on/off ratio reported",
               "telem on/off at burst 32: 1.10x [ok]" in out, out)
+        check("loopback gap reported",
+              "loopback/synthetic gap at burst 32: 3.00x" in out, out)
 
         # Regression: a 3x slower row must fail a 2x gate.
         slow = {**base_rows, ("synthetic", 32): 150.0}
@@ -453,10 +483,29 @@ def self_test():
               code == 1 and "baseline rows missing" in out, out)
 
         # New row: an extra fresh configuration is noted but not gated.
-        wide = {**base_rows, ("loopback", 32): 80.0}
+        wide = {**base_rows, ("loopback", 64): 80.0}
         code, out = run_gate([write("wide.json", fp_report(wide)), base])
         check("new row noted, not gated",
               code == 0 and "not gated" in out, out)
+
+        # Loopback gap past the ceiling: a hard FAIL even though every
+        # row holds its own baseline ratio (same rows on both sides).
+        gappy = {**base_rows, ("loopback", 32): 250.0}
+        gap_base = write("gapbase.json", fp_report(gappy))
+        code, out = run_gate([write("gappy.json", fp_report(gappy)),
+                              gap_base])
+        check("loopback gap fails",
+              code == 1 and "no longer burst-native" in out, out)
+
+        # A sweep that silently drops the loopback backend must fail,
+        # not pass by omission (baseline equally thin, so the generic
+        # missing-row rule alone would stay green).
+        noloop = {k: v for k, v in base_rows.items() if k[0] != "loopback"}
+        nl_base = write("noloopbase.json", fp_report(noloop))
+        code, out = run_gate([write("noloop.json", fp_report(noloop)),
+                              nl_base])
+        check("missing loopback row fails",
+              code == 1 and "loopback gap cannot be checked" in out, out)
 
         # Unreadable file.
         code, out = run_gate([os.path.join(d, "absent.json"), base])
@@ -615,7 +664,7 @@ def self_test():
         check("forecast calm actuation fails",
               code == 1 and "must never trip the forecast" in out, out)
 
-    total = 21
+    total = 24
     passed = total - len(failures)
     print(f"self-test: {passed}/{total} checks passed")
     return 1 if failures else 0

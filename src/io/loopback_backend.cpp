@@ -21,8 +21,11 @@ LoopbackBackend::LoopbackBackend(LoopbackConfig cfg) : cfg_(cfg) {
   caps_.split_rx_tx = true;
   caps_.needs_peer_frames = true;
   // Self-connected by default; make_pair() rewires rx to the peer's tx.
-  tx_ring_ = std::make_shared<Ring>(cfg_.queue_depth);
+  tx_ring_ = std::make_shared<Ring>(
+      cfg_.ring_capacity ? cfg_.ring_capacity : cfg_.queue_depth);
   rx_ring_ = tx_ring_;
+  tx_scratch_.reserve(cfg_.max_burst * 2);  // originals + dup clones
+  rx_scratch_.resize(cfg_.max_burst);
 }
 
 std::pair<std::unique_ptr<LoopbackBackend>, std::unique_ptr<LoopbackBackend>>
@@ -36,15 +39,19 @@ LoopbackBackend::make_pair(LoopbackConfig cfg) {
 }
 
 LoopbackBackend::~LoopbackBackend() {
-  // Recycle whatever this endpoint still owns: its staged frames and its
-  // inbound wire (the peer's destructor handles the other direction; for a
-  // self-loop both are the same ring, drained once here).
-  while (!staged_.empty()) {
-    recycle_raw(staged_.top().pkt);
-    staged_.pop();
+  // Recycle everything this endpoint can still reach. Both wire rings are
+  // drained (not just the inbound one) so clones from this endpoint's slab
+  // never outlive it inside a shared ring; caller-pool frames recycle to
+  // their own pools, which outlive both endpoints per the header contract.
+  std::uint64_t due = 0;
+  while (net::Packet** e = staged_.peek_any(&due)) {
+    recycle_raw(*e);
+    staged_.pop_front();
   }
   net::Packet* p = nullptr;
   while (rx_ring_ && rx_ring_->try_pop(p)) recycle_raw(p);
+  if (tx_ring_ && tx_ring_ != rx_ring_)
+    while (tx_ring_->try_pop(p)) recycle_raw(p);
 }
 
 std::uint64_t LoopbackBackend::next_u64(std::uint64_t& state) noexcept {
@@ -76,55 +83,96 @@ void LoopbackBackend::set_path_faults(std::uint16_t path,
   if (faults.drop_rate > 0 || faults.dup_rate > 0 ||
       faults.reorder_rate > 0 || faults.delay_ticks > 0)
     caps_.injects_faults = true;
+  // Size the calendar wheel for the worst-case hold-back across lanes.
+  std::uint64_t horizon = 0;
+  for (const auto& lane : faults_)
+    horizon = std::max<std::uint64_t>(
+        horizon, lane.delay_ticks + lane.reorder_extra_ticks);
+  staged_.ensure_horizon(horizon);
 }
 
 std::size_t LoopbackBackend::in_flight() const noexcept {
   return staged_.size() + tx_ring_->size();
 }
 
+net::PacketPtr LoopbackBackend::clone_from_slab(const net::Packet& src) {
+  if (!clone_slab_) {
+    clone_slab_ = std::make_unique<net::PacketPool>(
+        cfg_.queue_depth, src.capacity(), /*allow_growth=*/true);
+  } else if (clone_slab_->buf_capacity() < src.capacity()) {
+    // Oversized frame for the slab: fall back to the source pool.
+    return src.pool() ? src.pool()->clone(src) : net::PacketPtr{};
+  }
+  return clone_slab_->clone(src);
+}
+
 void LoopbackBackend::release_due() {
-  while (!staged_.empty() && staged_.top().due_tick <= tick_) {
-    if (!tx_ring_->try_push(staged_.top().pkt)) break;  // wire full: later
-    staged_.pop();
+  while (net::Packet** e = staged_.peek(tick_)) {
+    if (!tx_ring_->try_push(*e)) break;  // wire full: later
+    staged_.pop_front();
   }
 }
 
 std::size_t LoopbackBackend::tx_burst(std::span<net::PacketPtr> pkts) {
-  ++tick_;
+  const std::size_t limit = std::min(pkts.size(), caps_.max_burst);
+  release_due();
+  // Strict (due, tx order) delivery: direct ring pushes are only legal
+  // while nothing already-due is stuck behind a full ring.
+  const bool can_direct = staged_.peek(tick_) == nullptr;
+  // Occupancy snapshot; the ring can only drain concurrently, so this is
+  // a conservative stand-in for calling in_flight() per frame.
+  std::size_t occupied = staged_.size() + tx_ring_->size();
+
   static const LoopbackFaults kClean{};
+  const LoopbackFaults* lane = &kClean;
+  bool lane_faulty = false;
+  std::uint64_t* rng = nullptr;
+  std::uint32_t cur_path = UINT32_MAX;
+
+  std::uint64_t local_tx = 0, local_drop = 0, local_dup = 0, local_reord = 0;
   std::size_t n = 0;
-  for (auto& handle : pkts) {
-    if (n >= caps_.max_burst) break;
-    if (!handle) {  // null slots are consumed and ignored
-      ++n;
-      continue;
-    }
-    if (in_flight() >= cfg_.queue_depth) break;  // partial-burst rule
+  for (; n < limit; ++n) {
+    auto& handle = pkts[n];
+    if (!handle) continue;  // null slots are consumed and ignored
+    if (occupied >= cfg_.queue_depth) break;  // partial-burst rule
+
     const std::uint16_t path = handle->anno().path_id;
-    const LoopbackFaults& lane =
-        path < faults_.size() ? faults_[path] : kClean;
+    if (path != cur_path) {
+      cur_path = path;
+      lane = path < faults_.size() ? &faults_[path] : &kClean;
+      lane_faulty = lane->drop_rate > 0 || lane->dup_rate > 0 ||
+                    lane->reorder_rate > 0 || lane->delay_ticks > 0;
+      rng = lane_faulty ? &rng_for_path(path) : nullptr;
+    }
 
-    if (lane.drop_rate > 0 &&
-        next_unit(rng_for_path(path)) < lane.drop_rate) {
-      handle.reset();  // the wire ate it: recycled to its pool
-      ++dropped_;
-      ++n;
-      ++tx_packets_;
+    if (!lane_faulty) {  // clean lane: gather for one bulk wire push
+      if (can_direct) {
+        tx_scratch_.push_back(handle.release());
+      } else {
+        staged_.push(tick_, handle.release());
+      }
+      ++occupied;
+      ++local_tx;
       continue;
     }
 
-    std::uint64_t due = tick_ + lane.delay_ticks;
-    if (lane.reorder_rate > 0 &&
-        next_unit(rng_for_path(path)) < lane.reorder_rate) {
-      due += lane.reorder_extra_ticks;
-      ++reordered_;
+    if (lane->drop_rate > 0 && next_unit(*rng) < lane->drop_rate) {
+      handle.reset();  // the wire ate it: recycled to its pool
+      ++local_drop;
+      ++local_tx;
+      continue;
+    }
+
+    std::uint64_t due = tick_ + lane->delay_ticks;
+    if (lane->reorder_rate > 0 && next_unit(*rng) < lane->reorder_rate) {
+      due += lane->reorder_extra_ticks;
+      ++local_reord;
     }
 
     net::PacketPtr dup;
-    if (lane.dup_rate > 0 &&
-        next_unit(rng_for_path(path)) < lane.dup_rate &&
-        in_flight() + 1 < cfg_.queue_depth) {
-      dup = handle->pool()->clone(*handle);
+    if (lane->dup_rate > 0 && next_unit(*rng) < lane->dup_rate &&
+        occupied + 1 < cfg_.queue_depth) {
+      dup = clone_from_slab(*handle);
       if (dup) {
         dup->anno().is_replica = true;
         dup->anno().copy_index =
@@ -132,15 +180,36 @@ std::size_t LoopbackBackend::tx_burst(std::span<net::PacketPtr> pkts) {
       }
     }
 
-    staged_.push(Staged{due, tx_order_++, handle.release()});
-    if (dup) {
-      staged_.push(Staged{due, tx_order_++, dup.release()});
-      ++duplicated_;
+    const bool had_dup = static_cast<bool>(dup);
+    if (can_direct && due == tick_) {
+      tx_scratch_.push_back(handle.release());
+      if (had_dup) tx_scratch_.push_back(dup.release());
+    } else {
+      staged_.push(due, handle.release());
+      if (had_dup) staged_.push(due, dup.release());
     }
-    ++n;
-    ++tx_packets_;
+    ++occupied;
+    if (had_dup) {
+      ++occupied;
+      ++local_dup;
+    }
+    ++local_tx;
   }
-  release_due();
+
+  if (!tx_scratch_.empty()) {
+    const std::size_t pushed =
+        tx_ring_->try_push_burst({tx_scratch_.data(), tx_scratch_.size()});
+    // Ring filled mid-push: keep the leftovers staged at the current tick
+    // so (due, tx order) delivery survives the backpressure.
+    for (std::size_t i = pushed; i < tx_scratch_.size(); ++i)
+      staged_.push(tick_, tx_scratch_[i]);
+    tx_scratch_.clear();
+  }
+
+  tx_packets_ += local_tx;
+  dropped_ += local_drop;
+  duplicated_ += local_dup;
+  reordered_ += local_reord;
   tx_rejected_ += pkts.size() > n ? pkts.size() - n : 0;
   return n;
 }
@@ -152,19 +221,20 @@ void LoopbackBackend::advance(std::uint32_t ticks) {
 
 std::size_t LoopbackBackend::flush() {
   std::size_t released = 0;
-  while (!staged_.empty()) {
-    if (!tx_ring_->try_push(staged_.top().pkt)) break;
-    staged_.pop();
+  std::uint64_t due = 0;
+  while (net::Packet** e = staged_.peek_any(&due)) {
+    if (!tx_ring_->try_push(*e)) break;
+    staged_.pop_front();
     ++released;
   }
   return released;
 }
 
 std::size_t LoopbackBackend::rx_burst(std::span<net::PacketPtr> out) {
-  std::size_t n = 0;
   const std::size_t want = std::min(out.size(), caps_.max_burst);
-  net::Packet* p = nullptr;
-  while (n < want && rx_ring_->try_pop(p)) out[n++] = net::PacketPtr(p);
+  if (want == 0) return 0;
+  const std::size_t n = rx_ring_->try_pop_burst({rx_scratch_.data(), want});
+  for (std::size_t i = 0; i < n; ++i) out[i] = net::PacketPtr(rx_scratch_[i]);
   rx_packets_ += n;
   return n;
 }

@@ -7,6 +7,13 @@
 // A standalone LoopbackBackend is self-connected (tx feeds its own rx),
 // which is enough for single-port round-trip tests.
 //
+// The wire is burst-native: a clean-lane burst is one batched pass over the
+// span and one bulk ring push — no staging, no per-frame heap traffic, no
+// clock arithmetic. Frames that faults hold back move to a calendar queue
+// of tick buckets (ring::CalendarQueue) instead of a heap, and dup-lane
+// clones come from a dedicated backend-owned slab pool so the caller's pool
+// accounting (in_use, allocs==recycles) never sees wire-internal copies.
+//
 // Faults model the last mile the paper cares about. Each endpoint's TX
 // direction has an independent fault lane per multipath path id (selected
 // by anno().path_id at tx time):
@@ -15,13 +22,20 @@
 //   - delay_ticks    fixed extra delivery delay, in wire ticks
 //   - reorder_rate / reorder_extra_ticks
 //                    hit frames are held back so later frames overtake
-// One wire tick elapses per tx_burst() (or advance()) call, so a given
-// seed + offered stream yields the exact same delivery order every run —
-// CI can assert on it. Frames whose delivery time hasn't come sit in a
-// staging heap; flush() force-releases them (used at quiesce).
+// Fault decisions are strictly per-frame — one splitmix64 stream per path,
+// drawn in frame order — so a given seed + offered stream yields the exact
+// same delivery order and counters no matter how the stream is chunked
+// into bursts. CI asserts on this.
+//
+// Wire time is explicit: advance() is the only clock. tx_burst() stamps
+// frames with the current tick and never advances it, so drivers own the
+// time/data ratio (the chaos rig advances once per iteration; a clean
+// echo loop never needs to advance at all). Frames whose delivery tick
+// hasn't come sit in the calendar queue; flush() force-releases them in
+// (due tick, tx order) — used at quiesce.
 //
 // Threading: the TX direction (tx_burst/advance/flush and all fault state,
-// including pool recycle on drop and pool clone on dup) belongs to the
+// including pool recycle on drop and the clone slab) belongs to the
 // producer thread; rx_burst to the consumer thread (caps().split_rx_tx).
 // The frame pool must outlive both endpoints and is only ever touched from
 // the TX side plus whoever owns the rx'd handles.
@@ -29,11 +43,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <utility>
 #include <vector>
 
 #include "io/packet_backend.hpp"
+#include "ring/calendar_queue.hpp"
 #include "ring/spsc_ring.hpp"
 
 namespace mdp::io {
@@ -48,6 +62,10 @@ struct LoopbackFaults {
 
 struct LoopbackConfig {
   std::size_t queue_depth = 4096;  ///< per-direction bound (staged + ring)
+  /// Wire ring slots (0 = queue_depth). Smaller than queue_depth models a
+  /// shallow rx ring: staged frames then back-pressure in flush()/advance()
+  /// and release partially — drain rx and repeat.
+  std::size_t ring_capacity = 0;
   std::size_t max_burst = 256;
   std::uint64_t seed = 1;          ///< fault RNG seed (per-path streams)
   int numa_node = -1;
@@ -72,8 +90,8 @@ class LoopbackBackend final : public PacketBackend {
   /// Install a fault lane on this endpoint's TX direction for `path`.
   void set_path_faults(std::uint16_t path, const LoopbackFaults& faults);
 
-  /// Advance the wire clock without transmitting: releases staged frames
-  /// whose delivery tick has come.
+  /// Advance the wire clock — the only thing that does. Releases staged
+  /// frames whose delivery tick has come.
   void advance(std::uint32_t ticks = 1);
 
   /// Force-release staged frames regardless of delivery tick (quiesce
@@ -93,30 +111,26 @@ class LoopbackBackend final : public PacketBackend {
  private:
   using Ring = ring::SpscRing<net::Packet*>;
 
-  struct Staged {
-    std::uint64_t due_tick;
-    std::uint64_t order;
-    net::Packet* pkt;
-    bool operator<(const Staged& o) const noexcept {  // min-heap via >
-      return due_tick != o.due_tick ? due_tick > o.due_tick
-                                    : order > o.order;
-    }
-  };
-
   void release_due();
-  std::uint64_t next_u64(std::uint64_t& state) noexcept;
-  double next_unit(std::uint64_t& state) noexcept;
+  net::PacketPtr clone_from_slab(const net::Packet& src);
+  static std::uint64_t next_u64(std::uint64_t& state) noexcept;
+  static double next_unit(std::uint64_t& state) noexcept;
   std::uint64_t& rng_for_path(std::uint16_t path);
 
   LoopbackConfig cfg_;
   BackendCaps caps_;
+  /// Dup-lane clones live here, not in the caller's pool: the slab is
+  /// created lazily on the first dup hit (sized off the source frame's
+  /// buffers) and clones recycle back into it through their pool pointer.
+  std::unique_ptr<net::PacketPool> clone_slab_;
   std::shared_ptr<Ring> tx_ring_;  ///< this endpoint's outbound wire
   std::shared_ptr<Ring> rx_ring_;  ///< this endpoint's inbound wire
   std::vector<LoopbackFaults> faults_;     // indexed by path id
   std::vector<std::uint64_t> rng_state_;   // one stream per path id
-  std::priority_queue<Staged> staged_;
+  ring::CalendarQueue<net::Packet*> staged_;  // held-back frames, by due tick
+  std::vector<net::Packet*> tx_scratch_;   // clean-run gather (TX thread)
+  std::vector<net::Packet*> rx_scratch_;   // bulk pop staging (RX thread)
   std::uint64_t tick_ = 0;
-  std::uint64_t tx_order_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;
   std::uint64_t reordered_ = 0;

@@ -1,0 +1,135 @@
+// CalendarQueue: a timing-wheel of tick buckets for frames whose delivery
+// time hasn't come — the staging structure behind LoopbackBackend's fault
+// lanes, replacing a binary heap with O(1) push/pop and no per-entry heap
+// churn.
+//
+// Entries carry an absolute due tick. A bucket holds every staged entry
+// whose due maps to it (due & mask). Under the caller contract below each
+// bucket is naturally sorted by (due, push order), so releasing in global
+// (due, push order) is a head pop — no comparisons, no sifting.
+//
+// Caller contract (checked by construction, not at runtime): pushes happen
+// at a nondecreasing wire clock `now` with due in [now, now + horizon], and
+// the wheel is at least horizon + 1 wide (ensure_horizon). Two entries can
+// then share a bucket with different dues only when they are a full wheel
+// lap apart, and the later-lap entry is provably pushed later — so append
+// order IS (due, push order) within every bucket.
+//
+// Single-threaded by design: it lives on the TX side of a backend, behind
+// the same thread that owns the fault lanes.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mdp::ring {
+
+template <typename T>
+class CalendarQueue {
+ public:
+  explicit CalendarQueue(std::uint64_t horizon = 0) { rebuild(horizon); }
+
+  /// Widest supported (due - now) offset for pushes.
+  std::uint64_t horizon() const noexcept { return wheel_.size() - 1; }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Grow the wheel so offsets up to `horizon` are representable. Existing
+  /// entries are re-bucketed; control path only (fault-lane installs).
+  void ensure_horizon(std::uint64_t horizon) {
+    if (horizon < wheel_.size()) return;
+    std::vector<std::pair<std::uint64_t, T>> drained;
+    drained.reserve(size_);
+    std::uint64_t due = 0;
+    while (T* e = peek_any(&due)) {
+      drained.emplace_back(due, std::move(*e));
+      pop_front();
+    }
+    rebuild(horizon);
+    for (auto& [d, item] : drained) push(d, std::move(item));
+  }
+
+  /// Stage an entry for delivery at absolute tick `due`.
+  void push(std::uint64_t due, T item) {
+    Bucket& b = wheel_[due & mask_];
+    b.entries.emplace_back(Entry{due, std::move(item)});
+    if (size_ == 0) {
+      scan_ = due;
+      max_due_ = due;
+    } else {
+      if (due < scan_) scan_ = due;
+      if (due > max_due_) max_due_ = due;
+    }
+    ++size_;
+  }
+
+  /// Earliest entry (global (due, push order)) with due <= limit, or
+  /// nullptr. Amortized O(1): the scan cursor only ever moves forward
+  /// across calls (except when an earlier due is pushed).
+  T* peek(std::uint64_t limit) {
+    if (size_ == 0) return nullptr;
+    while (scan_ <= limit) {
+      Bucket& b = wheel_[scan_ & mask_];
+      if (b.head < b.entries.size() && b.entries[b.head].due == scan_)
+        return &b.entries[b.head].item;
+      if (scan_ == max_due_) break;  // nothing staged at or before limit
+      ++scan_;  // proven empty at this due: advance permanently
+    }
+    return nullptr;
+  }
+
+  /// Earliest entry regardless of due (flush path). Writes its due to
+  /// `*due_out` when found.
+  T* peek_any(std::uint64_t* due_out) {
+    if (size_ == 0) return nullptr;
+    for (;; ++scan_) {
+      Bucket& b = wheel_[scan_ & mask_];
+      if (b.head < b.entries.size() && b.entries[b.head].due == scan_) {
+        *due_out = scan_;
+        return &b.entries[b.head].item;
+      }
+    }
+  }
+
+  /// Remove the entry the last successful peek/peek_any returned.
+  void pop_front() {
+    Bucket& b = wheel_[scan_ & mask_];
+    ++b.head;
+    if (b.head == b.entries.size()) {
+      b.entries.clear();
+      b.head = 0;
+    }
+    --size_;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t due;
+    T item;
+  };
+  struct Bucket {
+    std::vector<Entry> entries;
+    std::size_t head = 0;
+  };
+
+  void rebuild(std::uint64_t horizon) {
+    const std::uint64_t width = std::bit_ceil(horizon + 1);
+    wheel_.assign(static_cast<std::size_t>(width), Bucket{});
+    mask_ = width - 1;
+    size_ = 0;
+    scan_ = 0;
+    max_due_ = 0;
+  }
+
+  std::vector<Bucket> wheel_;
+  std::uint64_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t scan_ = 0;     ///< lower bound on the minimum staged due
+  std::uint64_t max_due_ = 0;  ///< highest due ever staged (scan backstop)
+};
+
+}  // namespace mdp::ring

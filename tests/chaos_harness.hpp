@@ -581,9 +581,10 @@ class ChaosRig {
         }
       }
 
-      // One wire tick per iteration: a single tx_burst carrying every
-      // path's drain budget (fault lanes select on anno().path_id), or a
-      // bare advance when there is nothing to send.
+      // One wire tick per iteration — advance() is the wire's only clock,
+      // tx_burst never ticks — then a single tx_burst carrying every
+      // path's drain budget (fault lanes select on anno().path_id).
+      tx->advance(1);
       txvec.clear();
       for (std::size_t p = 0; p < cfg_.num_paths; ++p) {
         for (std::size_t k = 0;
@@ -595,7 +596,6 @@ class ChaosRig {
       }
       if (txvec.empty()) {
         if (!generating && tx->in_flight() > 0) tx->flush();
-        tx->advance(1);
       } else {
         const std::size_t sent = tx->tx_burst(
             std::span<net::PacketPtr>(txvec.data(), txvec.size()));

@@ -383,6 +383,7 @@ TEST(LoopbackWire, SeededFaultsAreDeterministic) {
     a->set_path_faults(0, f);
     std::vector<std::uint64_t> delivered;
     for (std::uint64_t seq = 0; seq < 100; ++seq) {
+      a->advance(1);  // the driver owns wire time; tx_burst never ticks
       net::PacketPtr frames[1] = {make_frame(pool, 0, seq, 0)};
       EXPECT_EQ(a->tx_burst(frames), 1u);
       net::PacketPtr got[8];
@@ -508,6 +509,7 @@ TEST(LoopbackHealing, ReorderBufferHealsWireReordering) {
   std::uint64_t wire_order_breaks = 0, last_rx = 0;
   bool first_rx = true;
   for (std::uint64_t seq = 0; seq < kSeqs; ++seq) {
+    a->advance(1);  // wire time flows with the offered stream
     net::PacketPtr frames[1] = {make_frame(pool, 9, seq, 0)};
     ASSERT_EQ(a->tx_burst(frames), 1u);
     net::PacketPtr got[16];
@@ -644,6 +646,7 @@ TEST(LoopbackHealing, PropertyTenThousandPacketsExactlyOnceInOrder) {
 
   for (std::uint64_t seq = 0; seq < kSeqsPerFlow; ++seq) {
     for (std::uint32_t flow = 0; flow < kFlows; ++flow) {
+      tx->advance(1);  // one wire tick per offered redundant pair
       dedup.expect(core::Deduplicator::key(flow, seq), 2, eq.now());
       net::PacketPtr copies[2] = {make_frame(pool, flow, seq, 0, 0),
                                   make_frame(pool, flow, seq, 1, 1)};
@@ -682,6 +685,428 @@ TEST(LoopbackHealing, PropertyTenThousandPacketsExactlyOnceInOrder) {
   EXPECT_EQ(order_violations, 0u) << "per-flow egress stayed in order";
   EXPECT_EQ(reorder.buffered(), 0u);
   EXPECT_EQ(pool.in_use(), 0u) << "zero pool leaks at quiesce";
+  EXPECT_EQ(pool.total_allocs(), pool.total_recycles());
+}
+
+// ---------------------------------------------------------------------------
+// Differential wire oracle: a deliberately naive reference model of the
+// loopback fault semantics — plain vectors, a full sort per release, and a
+// per-frame replay of the same splitmix64 streams. The slab/calendar
+// rewrite must be byte-equivalent to it: same delivery order, same fault
+// counters, same pool balance, for any seed.
+
+struct NaiveWireModel {
+  struct Delivered {
+    std::uint32_t flow;
+    std::uint64_t seq;
+    std::uint8_t copy;
+    bool operator==(const Delivered&) const = default;
+  };
+
+  explicit NaiveWireModel(std::uint64_t seed) : seed_(seed) {}
+
+  static std::uint64_t next_u64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);  // splitmix64
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  static double next_unit(std::uint64_t& state) {
+    return static_cast<double>(next_u64(state) >> 11) * 0x1.0p-53;
+  }
+
+  std::uint64_t& rng(std::uint16_t path) {
+    if (path >= state_.size()) {
+      const std::size_t old = state_.size();
+      state_.resize(path + 1);
+      for (std::size_t p = old; p < state_.size(); ++p)
+        state_[p] = seed_ * 0x9e3779b97f4a7c15ull + p + 1;
+    }
+    return state_[path];
+  }
+
+  void set_faults(std::uint16_t path, const io::LoopbackFaults& f) {
+    if (path >= lanes_.size()) lanes_.resize(path + 1);
+    lanes_[path] = f;
+    rng(path);
+  }
+
+  void tx(std::uint32_t flow, std::uint64_t seq, std::uint16_t path,
+          std::uint8_t copy) {
+    static const io::LoopbackFaults kClean{};
+    const io::LoopbackFaults& lane =
+        path < lanes_.size() ? lanes_[path] : kClean;
+    if (lane.drop_rate > 0 && next_unit(rng(path)) < lane.drop_rate) {
+      ++dropped;
+      return;
+    }
+    std::uint64_t due = tick_ + lane.delay_ticks;
+    if (lane.reorder_rate > 0 && next_unit(rng(path)) < lane.reorder_rate) {
+      due += lane.reorder_extra_ticks;
+      ++reordered;
+    }
+    const bool dup =
+        lane.dup_rate > 0 && next_unit(rng(path)) < lane.dup_rate;
+    emit(due, {flow, seq, copy});
+    if (dup) {
+      ++duplicated;
+      emit(due, {flow, seq, static_cast<std::uint8_t>(copy + 1)});
+    }
+  }
+
+  void advance(std::uint64_t ticks) {
+    tick_ += ticks;
+    release(tick_);
+  }
+
+  void flush_all() { release(UINT64_MAX); }
+
+  std::vector<Delivered> delivered;
+  std::uint64_t dropped = 0, duplicated = 0, reordered = 0;
+
+ private:
+  struct Held {
+    std::uint64_t due, order;
+    Delivered d;
+  };
+
+  void emit(std::uint64_t due, Delivered d) {
+    if (due <= tick_) {
+      delivered.push_back(d);  // the wire passes it straight through
+    } else {
+      held_.push_back(Held{due, order_++, d});
+    }
+  }
+
+  void release(std::uint64_t limit) {
+    std::vector<Held> ready;
+    std::erase_if(held_, [&](const Held& h) {
+      if (h.due > limit) return false;
+      ready.push_back(h);
+      return true;
+    });
+    std::sort(ready.begin(), ready.end(), [](const Held& a, const Held& b) {
+      return a.due != b.due ? a.due < b.due : a.order < b.order;
+    });
+    for (const Held& h : ready) delivered.push_back(h.d);
+  }
+
+  std::uint64_t seed_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t order_ = 0;
+  std::vector<io::LoopbackFaults> lanes_;
+  std::vector<std::uint64_t> state_;
+  std::vector<Held> held_;
+};
+
+TEST(LoopbackOracle, PropertyRewrittenWireMatchesNaiveModelExactly) {
+  constexpr std::uint64_t kFrames = 10'000;
+  constexpr std::size_t kWindow = 16;  // frames per wire tick
+  io::LoopbackFaults lane0;
+  lane0.drop_rate = 0.08;
+  lane0.dup_rate = 0.06;
+  lane0.reorder_rate = 0.15;
+  lane0.reorder_extra_ticks = 5;
+  lane0.delay_ticks = 1;
+  io::LoopbackFaults lane1;
+  lane1.drop_rate = 0.20;
+  lane1.dup_rate = 0.02;
+  lane1.reorder_rate = 0.10;
+  lane1.reorder_extra_ticks = 3;
+  lane1.delay_ticks = 3;
+  // path 2 stays clean: the direct-push fast path must interleave
+  // correctly with both faulted lanes.
+
+  for (const std::uint64_t seed : {11ull, 42ull, 20260808ull}) {
+    net::PacketPool pool(2048, 2048, false);
+    io::LoopbackConfig cfg;
+    cfg.queue_depth = 8192;
+    cfg.seed = seed;
+    auto [tx, rx] = io::LoopbackBackend::make_pair(cfg);
+    tx->set_path_faults(0, lane0);
+    tx->set_path_faults(1, lane1);
+
+    NaiveWireModel model(seed);
+    model.set_faults(0, lane0);
+    model.set_faults(1, lane1);
+
+    std::vector<NaiveWireModel::Delivered> wire;
+    auto drain = [&] {
+      net::PacketPtr got[64];
+      std::size_t n;
+      while ((n = rx->rx_burst(got)) > 0)
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto& a = got[i]->anno();
+          wire.push_back({a.flow_id, a.seq, a.copy_index});
+          got[i].reset();
+        }
+    };
+
+    net::PacketPtr burst[kWindow];
+    for (std::uint64_t base = 0; base < kFrames; base += kWindow) {
+      tx->advance(1);
+      model.advance(1);
+      std::size_t built = 0;
+      for (; built < kWindow && base + built < kFrames; ++built) {
+        const std::uint64_t i = base + built;
+        const auto path = static_cast<std::uint16_t>((i * 2654435761u) % 3);
+        const auto flow = static_cast<std::uint32_t>(i % 7);
+        burst[built] = make_frame(pool, flow, i, path);
+        ASSERT_TRUE(burst[built]);
+        model.tx(flow, i, path, 0);
+      }
+      std::size_t sent = 0;
+      while (sent < built)
+        sent += tx->tx_burst(
+            std::span<net::PacketPtr>(burst + sent, built - sent));
+      drain();
+    }
+    while (tx->in_flight() > 0) {
+      tx->flush();
+      drain();
+    }
+    model.flush_all();
+
+    ASSERT_EQ(wire.size(), model.delivered.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < wire.size(); ++i)
+      ASSERT_TRUE(wire[i] == model.delivered[i])
+          << "seed " << seed << ": delivery diverged at index " << i
+          << " (wire flow " << wire[i].flow << " seq " << wire[i].seq
+          << " copy " << int(wire[i].copy) << " vs model flow "
+          << model.delivered[i].flow << " seq " << model.delivered[i].seq
+          << " copy " << int(model.delivered[i].copy) << ")";
+    EXPECT_EQ(tx->dropped(), model.dropped) << "seed " << seed;
+    EXPECT_EQ(tx->duplicated(), model.duplicated) << "seed " << seed;
+    EXPECT_EQ(tx->reordered(), model.reordered) << "seed " << seed;
+    EXPECT_EQ(pool.in_use(), 0u) << "seed " << seed;
+    EXPECT_EQ(pool.total_allocs(), pool.total_recycles())
+        << "seed " << seed << ": dup clones must come from the wire's own "
+        << "slab, never the caller's pool";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Burst-size byte-identity: fault decisions are strictly per-frame, so the
+// same seed + offered stream must deliver identically no matter how the
+// stream is chunked into bursts. Pins the "batched evaluation, per-frame
+// decisions" contract of the slab rewrite.
+
+TEST(LoopbackOracle, BurstSizeCannotChangeDeliveryOrFaultCounters) {
+  constexpr std::uint64_t kFrames = 4096;
+  constexpr std::uint64_t kWindow = 256;  // frames per wire tick
+  io::LoopbackFaults lane0;
+  lane0.drop_rate = 0.05;
+  lane0.dup_rate = 0.04;
+  lane0.reorder_rate = 0.12;
+  lane0.reorder_extra_ticks = 4;
+  io::LoopbackFaults lane1;
+  lane1.drop_rate = 0.15;
+  lane1.reorder_rate = 0.08;
+  lane1.reorder_extra_ticks = 2;
+  lane1.delay_ticks = 3;
+
+  struct RunResult {
+    std::vector<NaiveWireModel::Delivered> delivered;
+    std::uint64_t dropped, duplicated, reordered;
+  };
+  auto run_with_burst = [&](std::size_t burst_size) {
+    net::PacketPool pool(2048, 2048, false);
+    io::LoopbackConfig cfg;
+    cfg.queue_depth = 8192;
+    cfg.seed = 7;
+    auto [tx, rx] = io::LoopbackBackend::make_pair(cfg);
+    tx->set_path_faults(0, lane0);
+    tx->set_path_faults(1, lane1);
+
+    RunResult res;
+    auto drain = [&] {
+      net::PacketPtr got[64];
+      std::size_t n;
+      while ((n = rx->rx_burst(got)) > 0)
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto& a = got[i]->anno();
+          res.delivered.push_back({a.flow_id, a.seq, a.copy_index});
+          got[i].reset();
+        }
+    };
+
+    std::vector<net::PacketPtr> chunk(burst_size);
+    for (std::uint64_t base = 0; base < kFrames; base += kWindow) {
+      tx->advance(1);  // wire time is fixed at window granularity, so the
+                       // chunking below is the only variable
+      for (std::uint64_t off = 0; off < kWindow; off += burst_size) {
+        for (std::size_t k = 0; k < burst_size; ++k) {
+          const std::uint64_t i = base + off + k;
+          chunk[k] = make_frame(pool, static_cast<std::uint32_t>(i % 5), i,
+                                static_cast<std::uint16_t>(i & 1));
+          EXPECT_TRUE(chunk[k]);
+        }
+        std::size_t sent = 0;
+        while (sent < burst_size)
+          sent += tx->tx_burst(std::span<net::PacketPtr>(
+              chunk.data() + sent, burst_size - sent));
+      }
+      drain();
+    }
+    while (tx->in_flight() > 0) {
+      tx->flush();
+      drain();
+    }
+    res.dropped = tx->dropped();
+    res.duplicated = tx->duplicated();
+    res.reordered = tx->reordered();
+    EXPECT_EQ(pool.in_use(), 0u) << "burst " << burst_size;
+    return res;
+  };
+
+  const RunResult ref = run_with_burst(1);
+  EXPECT_FALSE(ref.delivered.empty());
+  EXPECT_GT(ref.reordered, 0u);
+  for (const std::size_t b : {8u, 32u, 256u}) {
+    const RunResult got = run_with_burst(b);
+    EXPECT_EQ(got.delivered.size(), ref.delivered.size()) << "burst " << b;
+    EXPECT_TRUE(got.delivered == ref.delivered)
+        << "burst " << b << " changed the delivery order";
+    EXPECT_EQ(got.dropped, ref.dropped) << "burst " << b;
+    EXPECT_EQ(got.duplicated, ref.duplicated) << "burst " << b;
+    EXPECT_EQ(got.reordered, ref.reordered) << "burst " << b;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quiesce edge cases: the flush()/in_flight() contract under ring
+// backpressure, empty spans, and fault-lane pool traffic.
+
+TEST(LoopbackQuiesce, FlushAgainstFullRxRingReleasesPartiallyUntilDrained) {
+  net::PacketPool pool(128, 2048, false);
+  io::LoopbackConfig cfg;
+  cfg.queue_depth = 64;
+  cfg.ring_capacity = 8;  // shallow wire: staged frames outnumber slots
+  auto [tx, rx] = io::LoopbackBackend::make_pair(cfg);
+  io::LoopbackFaults slow;
+  slow.delay_ticks = 1000;  // far beyond the test horizon
+  tx->set_path_faults(0, slow);
+
+  net::PacketPtr frames[32];
+  for (std::uint64_t seq = 0; seq < 32; ++seq)
+    frames[seq] = make_frame(pool, 0, seq, 0);
+  ASSERT_EQ(tx->tx_burst(frames), 32u);
+  EXPECT_EQ(tx->in_flight(), 32u);
+
+  // First flush can only fill the 8-slot ring: a partial release.
+  const std::size_t first = tx->flush();
+  EXPECT_EQ(first, 8u) << "flush is bounded by wire ring space";
+  EXPECT_EQ(tx->in_flight(), 32u) << "unreleased frames still in flight";
+
+  // Repeat-until-drained: interleave rx_burst and flush, frames arrive in
+  // (due, tx order) — here all dues are equal, so in tx order.
+  std::uint64_t expect_seq = 0;
+  std::size_t rounds = 0;
+  while (tx->in_flight() > 0) {
+    ASSERT_LT(rounds++, 64u) << "quiesce loop must terminate";
+    net::PacketPtr got[8];
+    std::size_t n;
+    while ((n = rx->rx_burst(got)) > 0)
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(got[i]->anno().seq, expect_seq++);
+        got[i].reset();
+      }
+    tx->flush();
+  }
+  EXPECT_EQ(expect_seq, 32u) << "every staged frame was released";
+  EXPECT_GE(rounds, 4u) << "the shallow ring forced multiple rounds";
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.total_allocs(), pool.total_recycles());
+}
+
+TEST(LoopbackQuiesce, ZeroCapacitySpansAndExhaustedWireConsumeNothing) {
+  net::PacketPool pool(64, 2048, false);
+  io::LoopbackConfig cfg;
+  cfg.queue_depth = 8;
+  auto [tx, rx] = io::LoopbackBackend::make_pair(cfg);
+  io::LoopbackFaults slow;
+  slow.delay_ticks = 100;
+  tx->set_path_faults(0, slow);
+
+  // Zero-capacity spans: no consumption, no counters, no clock movement.
+  EXPECT_EQ(tx->tx_burst({}), 0u);
+  EXPECT_EQ(rx->rx_burst({}), 0u);
+  EXPECT_EQ(tx->tx_packets(), 0u);
+  EXPECT_EQ(tx->tx_rejected(), 0u);
+  EXPECT_EQ(tx->tick(), 0u);
+
+  // Fill the wire to queue_depth, then offer more: the partial-burst rule
+  // consumes nothing and accounts the rejects.
+  net::PacketPtr fill[8];
+  for (std::uint64_t seq = 0; seq < 8; ++seq)
+    fill[seq] = make_frame(pool, 0, seq, 0);
+  ASSERT_EQ(tx->tx_burst(fill), 8u);
+  EXPECT_EQ(tx->in_flight(), 8u);
+
+  net::PacketPtr extra[4];
+  for (std::uint64_t seq = 8; seq < 12; ++seq)
+    extra[seq - 8] = make_frame(pool, 0, seq, 0);
+  EXPECT_EQ(tx->tx_burst(extra), 0u) << "wire at queue_depth rejects all";
+  EXPECT_EQ(tx->tx_rejected(), 4u);
+  for (auto& p : extra) {
+    EXPECT_TRUE(p) << "rejected frames stay caller-owned";
+    p.reset();
+  }
+
+  while (tx->in_flight() > 0) {
+    tx->flush();
+    net::PacketPtr got[8];
+    std::size_t n;
+    while ((n = rx->rx_burst(got)) > 0)
+      for (std::size_t i = 0; i < n; ++i) got[i].reset();
+  }
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.total_allocs(), pool.total_recycles());
+}
+
+TEST(LoopbackQuiesce, InFlightAccountsDropRecycleAndSlabClones) {
+  net::PacketPool pool(128, 2048, false);
+  auto [tx, rx] = io::LoopbackBackend::make_pair({});
+  io::LoopbackFaults eat;
+  eat.drop_rate = 1.0;
+  io::LoopbackFaults twin;
+  twin.dup_rate = 1.0;
+  tx->set_path_faults(0, eat);
+  tx->set_path_faults(1, twin);
+
+  // Drop lane: consumed but never in flight — recycled synchronously.
+  const std::uint64_t allocs_before = pool.total_allocs();
+  net::PacketPtr doomed[10];
+  for (std::uint64_t seq = 0; seq < 10; ++seq)
+    doomed[seq] = make_frame(pool, 0, seq, 0);
+  ASSERT_EQ(tx->tx_burst(doomed), 10u);
+  EXPECT_EQ(tx->dropped(), 10u);
+  EXPECT_EQ(tx->in_flight(), 0u) << "dropped frames are not in flight";
+  EXPECT_EQ(pool.in_use(), 0u) << "drop recycles synchronously";
+
+  // Dup lane: each frame doubles; clones count toward in_flight but come
+  // from the backend's slab, not the caller's pool.
+  net::PacketPtr twins[10];
+  for (std::uint64_t seq = 0; seq < 10; ++seq)
+    twins[seq] = make_frame(pool, 7, seq, 1);
+  ASSERT_EQ(tx->tx_burst(twins), 10u);
+  EXPECT_EQ(tx->duplicated(), 10u);
+  EXPECT_EQ(tx->in_flight(), 20u) << "originals + clones in flight";
+  EXPECT_EQ(pool.total_allocs(), allocs_before + 20)
+      << "exactly the frames this test built: clones never touched the "
+      << "caller pool";
+
+  std::size_t received = 0;
+  net::PacketPtr got[32];
+  std::size_t n;
+  while ((n = rx->rx_burst(got)) > 0)
+    for (std::size_t i = 0; i < n; ++i) {
+      ++received;
+      got[i].reset();
+    }
+  EXPECT_EQ(received, 20u);
+  EXPECT_EQ(tx->in_flight(), 0u);
+  EXPECT_EQ(pool.in_use(), 0u);
   EXPECT_EQ(pool.total_allocs(), pool.total_recycles());
 }
 

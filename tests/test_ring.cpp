@@ -2,12 +2,14 @@
 // multi-threaded loss/duplication checks for both SPSC and MPMC rings.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "ring/calendar_queue.hpp"
 #include "ring/mpmc_ring.hpp"
 #include "ring/spsc_ring.hpp"
 
@@ -294,6 +296,126 @@ TEST(MpmcRing, MoveOnlyTypes) {
   ASSERT_TRUE(r.try_pop(out));
   ASSERT_TRUE(out);
   EXPECT_EQ(*out, 42);
+}
+
+// ---------------------------------------------------------------------------
+// CalendarQueue: the tick-bucket staging structure behind the loopback
+// wire's fault lanes. Contract: peek/pop enumerate entries in global
+// (due, push order) as long as pushes happen at a nondecreasing clock with
+// due in [now, now + horizon].
+
+TEST(CalendarQueue, ReleasesInDueThenPushOrder) {
+  CalendarQueue<int> q(8);
+  q.push(5, 50);
+  q.push(2, 20);
+  q.push(5, 51);  // same due as the first: FIFO within a due
+  q.push(3, 30);
+  EXPECT_EQ(q.size(), 4u);
+
+  EXPECT_EQ(q.peek(1), nullptr) << "nothing due yet";
+  std::vector<int> released;
+  while (int* e = q.peek(5)) {
+    released.push_back(*e);
+    q.pop_front();
+  }
+  EXPECT_EQ(released, (std::vector<int>{20, 30, 50, 51}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, PeekRespectsTheLimit) {
+  CalendarQueue<int> q(16);
+  q.push(10, 1);
+  q.push(12, 2);
+  ASSERT_EQ(q.peek(9), nullptr);
+  ASSERT_NE(q.peek(10), nullptr);
+  EXPECT_EQ(*q.peek(10), 1);
+  q.pop_front();
+  EXPECT_EQ(q.peek(11), nullptr) << "next entry is due at 12";
+  ASSERT_NE(q.peek(12), nullptr);
+  EXPECT_EQ(*q.peek(12), 2);
+  q.pop_front();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, WheelLapsKeepBucketsSorted) {
+  // Wheel of 8: dues 3 and 11 share a bucket but are a lap apart. Pushed
+  // at the clocks the contract allows (3 at now<=3, 11 at now>=4), the
+  // earlier due must still come out first.
+  CalendarQueue<int> q(7);
+  q.push(3, 33);    // pushed at now = 0
+  q.push(11, 111);  // pushed at now = 4 (due 11 = 4 + horizon 7)
+  ASSERT_NE(q.peek(3), nullptr);
+  EXPECT_EQ(*q.peek(3), 33);
+  q.pop_front();
+  EXPECT_EQ(q.peek(10), nullptr);
+  ASSERT_NE(q.peek(11), nullptr);
+  EXPECT_EQ(*q.peek(11), 111);
+  q.pop_front();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, PeekAnyIgnoresDueForFlush) {
+  CalendarQueue<int> q(32);
+  q.push(20, 200);
+  q.push(7, 70);
+  q.push(20, 201);
+  std::vector<int> flushed;
+  std::uint64_t due = 0;
+  while (int* e = q.peek_any(&due)) {
+    flushed.push_back(*e);
+    q.pop_front();
+  }
+  EXPECT_EQ(flushed, (std::vector<int>{70, 200, 201}));
+}
+
+TEST(CalendarQueue, EnsureHorizonRebucketsPreservingOrder) {
+  CalendarQueue<int> q(3);
+  q.push(1, 10);
+  q.push(3, 30);
+  q.push(1, 11);
+  q.ensure_horizon(100);  // grow mid-flight: entries must survive in order
+  EXPECT_EQ(q.size(), 3u);
+  q.push(90, 900);
+  std::vector<int> released;
+  std::uint64_t due = 0;
+  while (int* e = q.peek_any(&due)) {
+    released.push_back(*e);
+    q.pop_front();
+  }
+  EXPECT_EQ(released, (std::vector<int>{10, 11, 30, 900}));
+}
+
+TEST(CalendarQueue, InterleavedPushPopAcrossAdvancingClock) {
+  // Property: against a naive sorted reference, for a clock that advances
+  // while entries are pushed with bounded offsets.
+  constexpr std::uint64_t kHorizon = 16;
+  CalendarQueue<std::uint64_t> q(kHorizon);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> reference;  // due, id
+  std::uint64_t rng = 99, id = 0;
+  std::vector<std::uint64_t> got, want;
+  for (std::uint64_t now = 0; now < 500; ++now) {
+    for (int k = 0; k < 3; ++k) {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      const std::uint64_t due = now + ((rng >> 33) % (kHorizon + 1));
+      q.push(due, id);
+      reference.emplace_back(due, id);
+      ++id;
+    }
+    while (std::uint64_t* e = q.peek(now)) {
+      got.push_back(*e);
+      q.pop_front();
+    }
+  }
+  while (std::uint64_t* e = q.peek(UINT64_MAX)) {
+    got.push_back(*e);
+    q.pop_front();
+  }
+  std::stable_sort(reference.begin(), reference.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  for (const auto& [due, i] : reference) want.push_back(i);
+  EXPECT_EQ(got, want) << "calendar order == stable sort by due";
 }
 
 }  // namespace
